@@ -1,0 +1,137 @@
+//! LH\*m — structural mirroring: every bucket has a full copy on a
+//! separate server. 1-availability at 100 % storage overhead; recovery is
+//! a plain copy.
+
+use lhrs_sim::{LatencyModel, NetStats};
+
+use crate::common::Mode;
+use crate::scheme::{BaseDriver, Scheme};
+
+/// An LH\*m file: primary + mirror bucket per logical bucket.
+pub struct MirrorLh {
+    driver: BaseDriver,
+}
+
+impl MirrorLh {
+    /// Create with the given bucket capacity.
+    pub fn new(capacity: usize, node_pool: usize, latency: LatencyModel) -> Self {
+        MirrorLh {
+            driver: BaseDriver::new(Mode::Mirror, capacity, node_pool, latency),
+        }
+    }
+
+    /// Crash one copy of a logical bucket (replica 0 = primary, 1 = mirror).
+    pub fn crash_replica(&mut self, bucket: u64, replica: usize) {
+        self.driver.crash_replica(bucket, replica);
+    }
+
+    /// Rebuild a lost copy from its mirror — the LH\*m recovery: one bulk
+    /// copy, no decoding.
+    pub fn recover_replica(&mut self, bucket: u64, replica: usize) -> bool {
+        self.driver.recover_replica(bucket, replica)
+    }
+}
+
+impl Scheme for MirrorLh {
+    fn name(&self) -> &'static str {
+        "LH*m"
+    }
+
+    fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        self.driver.insert(key, payload);
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.driver.lookup(key)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.driver.stats()
+    }
+
+    fn data_buckets(&self) -> u64 {
+        self.driver.data_buckets()
+    }
+
+    fn total_servers(&self) -> u64 {
+        self.driver.total_servers()
+    }
+
+    fn storage_bytes(&self) -> (u64, u64) {
+        self.driver.storage_bytes()
+    }
+
+    fn availability(&self, p: f64) -> f64 {
+        lhrs_core::availability::mirrored_availability(self.data_buckets(), p)
+    }
+
+    fn tolerates(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_stores_two_full_copies() {
+        let mut f = MirrorLh::new(8, 768, LatencyModel::instant());
+        for k in 0..800u64 {
+            f.insert(lhrs_lh::scramble(k), vec![7u8; 20]);
+        }
+        for k in 0..800u64 {
+            assert_eq!(f.lookup(lhrs_lh::scramble(k)).unwrap(), vec![7u8; 20]);
+        }
+        let (primary, redundant) = f.storage_bytes();
+        assert_eq!(primary, 800 * 20);
+        assert_eq!(redundant, 800 * 20, "mirror must hold a full copy");
+        assert_eq!(f.total_servers(), 2 * f.data_buckets());
+    }
+
+    #[test]
+    fn mirror_recovery_is_one_bulk_copy() {
+        let mut f = MirrorLh::new(8, 768, LatencyModel::instant());
+        for k in 0..500u64 {
+            f.insert(lhrs_lh::scramble(k), vec![5u8; 24]);
+        }
+        // Lose the primary copy of bucket 3; rebuild it from the mirror.
+        f.crash_replica(3, 0);
+        let before = f.stats();
+        assert!(f.recover_replica(3, 0));
+        let cost = f.stats().since(&before);
+        // 1 transfer request + 1 bulk reply + install + ack.
+        assert_eq!(cost.count("transfer-req"), 1);
+        assert_eq!(cost.count("transfer-data"), 1);
+        assert_eq!(cost.count("install"), 1);
+        // Everything still readable.
+        for k in 0..500u64 {
+            assert_eq!(f.lookup(lhrs_lh::scramble(k)).unwrap(), vec![5u8; 24]);
+        }
+    }
+
+    #[test]
+    fn mirror_insert_costs_two_messages() {
+        let mut f = MirrorLh::new(16, 768, LatencyModel::instant());
+        for k in 0..1500u64 {
+            f.insert(lhrs_lh::scramble(k), vec![0u8; 16]);
+        }
+        for k in 0..100u64 {
+            f.lookup(lhrs_lh::scramble(k));
+        }
+        let before = f.stats();
+        for k in 10_000..10_100u64 {
+            f.insert(lhrs_lh::scramble(k), vec![0u8; 16]);
+        }
+        let cost = f.stats().since(&before);
+        let structural: u64 = ["overflow", "split", "split-load", "init-data"]
+            .iter()
+            .map(|k| cost.count(k))
+            .sum();
+        let per_insert = (cost.total_messages() - structural) as f64 / 100.0;
+        assert!(
+            (2.0..=2.4).contains(&per_insert),
+            "LH*m insert cost {per_insert}"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Plain LH\* — the 0-availability base scheme.
+
+use lhrs_sim::{LatencyModel, NetStats};
+
+use crate::common::Mode;
+use crate::scheme::{BaseDriver, Scheme};
+
+/// A plain LH\* file: one bucket per server, no redundancy.
+pub struct PlainLh {
+    driver: BaseDriver,
+}
+
+impl PlainLh {
+    /// Create with the given bucket capacity.
+    pub fn new(capacity: usize, node_pool: usize, latency: LatencyModel) -> Self {
+        PlainLh {
+            driver: BaseDriver::new(Mode::Plain, capacity, node_pool, latency),
+        }
+    }
+
+    /// IAMs received by the client.
+    pub fn client_iams(&self) -> u64 {
+        self.driver.client_iams()
+    }
+}
+
+impl Scheme for PlainLh {
+    fn name(&self) -> &'static str {
+        "LH*"
+    }
+
+    fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        self.driver.insert(key, payload);
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.driver.lookup(key)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.driver.stats()
+    }
+
+    fn data_buckets(&self) -> u64 {
+        self.driver.data_buckets()
+    }
+
+    fn total_servers(&self) -> u64 {
+        self.driver.total_servers()
+    }
+
+    fn storage_bytes(&self) -> (u64, u64) {
+        self.driver.storage_bytes()
+    }
+
+    fn availability(&self, p: f64) -> f64 {
+        lhrs_core::availability::lh_star_availability(self.data_buckets(), p)
+    }
+
+    fn tolerates(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhrs_sim::LatencyModel;
+
+    #[test]
+    fn plain_lh_scales_and_serves() {
+        let mut f = PlainLh::new(8, 512, LatencyModel::instant());
+        for k in 0..1000u64 {
+            f.insert(lhrs_lh::scramble(k), format!("v{k}").into_bytes());
+        }
+        assert!(f.data_buckets() > 60);
+        for k in 0..1000u64 {
+            assert_eq!(
+                f.lookup(lhrs_lh::scramble(k)).unwrap(),
+                format!("v{k}").into_bytes()
+            );
+        }
+        assert_eq!(f.lookup(u64::MAX), None);
+        let (primary, redundant) = f.storage_bytes();
+        assert!(primary > 0);
+        assert_eq!(redundant, 0);
+        assert_eq!(f.total_servers(), f.data_buckets());
+    }
+
+    #[test]
+    fn plain_insert_costs_one_message_steady_state() {
+        let mut f = PlainLh::new(16, 512, LatencyModel::instant());
+        for k in 0..2000u64 {
+            f.insert(lhrs_lh::scramble(k), vec![0u8; 16]);
+        }
+        // Warm the image.
+        for k in 0..100u64 {
+            f.lookup(lhrs_lh::scramble(k));
+        }
+        let before = f.stats();
+        for k in 10_000..10_100u64 {
+            f.insert(lhrs_lh::scramble(k), vec![0u8; 16]);
+        }
+        let cost = f.stats().since(&before);
+        let structural: u64 = ["overflow", "split", "split-load", "init-data"]
+            .iter()
+            .map(|k| cost.count(k))
+            .sum();
+        let per_insert = (cost.total_messages() - structural) as f64 / 100.0;
+        assert!(
+            (1.0..=1.2).contains(&per_insert),
+            "LH* insert cost {per_insert}"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! LH\*s — record striping: each record is chopped into `m` fragments plus
+//! one XOR parity fragment on `m + 1` servers per logical bucket.
+//! 1-availability at ≈ 1/m storage overhead, but a key search must gather
+//! all `m` data fragments — the access-cost penalty that motivated record
+//! grouping.
+
+use lhrs_sim::{LatencyModel, NetStats};
+
+use crate::common::Mode;
+use crate::scheme::{BaseDriver, Scheme};
+
+/// An LH\*s file with stripe width `m`.
+pub struct StripeLh {
+    driver: BaseDriver,
+    m: usize,
+}
+
+impl StripeLh {
+    /// Create with stripe width `m` and the given bucket capacity.
+    pub fn new(m: usize, capacity: usize, node_pool: usize, latency: LatencyModel) -> Self {
+        assert!(m >= 1);
+        StripeLh {
+            driver: BaseDriver::new(Mode::Stripe { m }, capacity, node_pool, latency),
+            m,
+        }
+    }
+
+    /// Stripe width.
+    pub fn stripe_width(&self) -> usize {
+        self.m
+    }
+
+    /// Crash one stripe server of a logical bucket (`replica < m` = data
+    /// fragment, `= m` = parity fragment).
+    pub fn crash_replica(&mut self, bucket: u64, replica: usize) {
+        self.driver.crash_replica(bucket, replica);
+    }
+
+    /// Rebuild a lost stripe server by XOR over the surviving `m`
+    /// fragments of every record — the LH\*s recovery.
+    pub fn recover_replica(&mut self, bucket: u64, replica: usize) -> bool {
+        self.driver.recover_replica(bucket, replica)
+    }
+}
+
+impl Scheme for StripeLh {
+    fn name(&self) -> &'static str {
+        "LH*s"
+    }
+
+    fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        self.driver.insert(key, payload);
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.driver.lookup(key)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.driver.stats()
+    }
+
+    fn data_buckets(&self) -> u64 {
+        self.driver.data_buckets()
+    }
+
+    fn total_servers(&self) -> u64 {
+        self.driver.total_servers()
+    }
+
+    fn storage_bytes(&self) -> (u64, u64) {
+        self.driver.storage_bytes()
+    }
+
+    fn availability(&self, p: f64) -> f64 {
+        // Each logical bucket's m+1 stripe servers tolerate one loss.
+        lhrs_core::availability::group_availability(self.m, 1, p)
+            .powi(self.data_buckets() as i32)
+    }
+
+    fn tolerates(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_records_reassemble_exactly() {
+        let mut f = StripeLh::new(4, 8, 1024, LatencyModel::instant());
+        for k in 0..500u64 {
+            let payload = format!("record-{k}-{}", "x".repeat((k % 23) as usize)).into_bytes();
+            f.insert(lhrs_lh::scramble(k), payload);
+        }
+        for k in 0..500u64 {
+            let expect = format!("record-{k}-{}", "x".repeat((k % 23) as usize)).into_bytes();
+            assert_eq!(f.lookup(lhrs_lh::scramble(k)).unwrap(), expect, "key {k}");
+        }
+        assert_eq!(f.lookup(u64::MAX), None);
+        assert_eq!(f.total_servers(), 5 * f.data_buckets());
+    }
+
+    #[test]
+    fn stripe_recovery_rebuilds_any_fragment_server() {
+        let mut f = StripeLh::new(4, 8, 1024, LatencyModel::instant());
+        for k in 0..400u64 {
+            let payload = format!("sr-{k}-{}", "y".repeat((k % 13) as usize)).into_bytes();
+            f.insert(lhrs_lh::scramble(k), payload);
+        }
+        // Lose a data-fragment server and the parity server of bucket 2.
+        for replica in [1usize, 4] {
+            f.crash_replica(2, replica);
+            let before = f.stats();
+            assert!(f.recover_replica(2, replica));
+            let cost = f.stats().since(&before);
+            // m = 4 surviving replicas consulted.
+            assert_eq!(cost.count("transfer-req"), 4);
+            assert_eq!(cost.count("transfer-data"), 4);
+        }
+        for k in 0..400u64 {
+            let expect = format!("sr-{k}-{}", "y".repeat((k % 13) as usize)).into_bytes();
+            assert_eq!(f.lookup(lhrs_lh::scramble(k)).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn stripe_lookup_costs_two_m_messages() {
+        let m = 4;
+        let mut f = StripeLh::new(m, 16, 1024, LatencyModel::instant());
+        for k in 0..1000u64 {
+            f.insert(lhrs_lh::scramble(k), vec![1u8; 64]);
+        }
+        for k in 0..100u64 {
+            f.lookup(lhrs_lh::scramble(k)); // warm image
+        }
+        let before = f.stats();
+        for k in 0..100u64 {
+            f.lookup(lhrs_lh::scramble(k));
+        }
+        let cost = f.stats().since(&before);
+        let per_lookup = cost.total_messages() as f64 / 100.0;
+        // m requests + m replies.
+        assert!(
+            (2.0 * m as f64..=2.0 * m as f64 + 0.5).contains(&per_lookup),
+            "LH*s lookup cost {per_lookup}"
+        );
+    }
+
+    #[test]
+    fn stripe_overhead_is_one_over_m() {
+        let mut f = StripeLh::new(4, 8, 1024, LatencyModel::instant());
+        for k in 0..400u64 {
+            f.insert(lhrs_lh::scramble(k), vec![9u8; 64]);
+        }
+        let (primary, redundant) = f.storage_bytes();
+        // The striped cell is [4-byte len | payload] = 68 B → 17 B/fragment.
+        assert_eq!(primary, 400 * 68);
+        assert_eq!(redundant, 400 * 17);
+        // Overhead ratio is exactly 1/m.
+        assert!((redundant as f64 / primary as f64 - 0.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `f1_image_convergence` (see DESIGN.md §3); writes
+//! `bench_out/f1_image_convergence.txt`.
+
+fn main() {
+    lhrs_bench::emit("f1_image_convergence", &lhrs_bench::experiments::f1_image_convergence::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `f2_availability_curves` (see DESIGN.md §3); writes
+//! `bench_out/f2_availability_curves.txt`.
+
+fn main() {
+    lhrs_bench::emit("f2_availability_curves", &lhrs_bench::experiments::f2_availability_curves::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `f3_scalable_availability` (see DESIGN.md §3); writes
+//! `bench_out/f3_scalable_availability.txt`.
+
+fn main() {
+    lhrs_bench::emit("f3_scalable_availability", &lhrs_bench::experiments::f3_scalable_availability::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `f4_split_throughput` (see DESIGN.md §3); writes
+//! `bench_out/f4_split_throughput.txt`.
+
+fn main() {
+    lhrs_bench::emit("f4_split_throughput", &lhrs_bench::experiments::f4_split_throughput::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `t1_storage_overhead` (see DESIGN.md §3); writes
+//! `bench_out/t1_storage_overhead.txt`.
+
+fn main() {
+    lhrs_bench::emit("t1_storage_overhead", &lhrs_bench::experiments::t1_storage_overhead::run());
+}

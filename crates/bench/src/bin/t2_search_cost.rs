@@ -1,0 +1,6 @@
+//! Regenerates experiment `t2_search_cost` (see DESIGN.md §3); writes
+//! `bench_out/t2_search_cost.txt`.
+
+fn main() {
+    lhrs_bench::emit("t2_search_cost", &lhrs_bench::experiments::t2_search_cost::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `t3_insert_cost` (see DESIGN.md §3); writes
+//! `bench_out/t3_insert_cost.txt`.
+
+fn main() {
+    lhrs_bench::emit("t3_insert_cost", &lhrs_bench::experiments::t3_insert_cost::run());
+}

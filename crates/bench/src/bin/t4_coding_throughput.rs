@@ -1,0 +1,6 @@
+//! Regenerates experiment `t4_coding_throughput` (see DESIGN.md §3); writes
+//! `bench_out/t4_coding_throughput.txt`.
+
+fn main() {
+    lhrs_bench::emit("t4_coding_throughput", &lhrs_bench::experiments::t4_coding_throughput::run());
+}

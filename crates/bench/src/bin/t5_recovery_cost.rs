@@ -1,0 +1,6 @@
+//! Regenerates experiment `t5_recovery_cost` (see DESIGN.md §3); writes
+//! `bench_out/t5_recovery_cost.txt`.
+
+fn main() {
+    lhrs_bench::emit("t5_recovery_cost", &lhrs_bench::experiments::t5_recovery_cost::run());
+}

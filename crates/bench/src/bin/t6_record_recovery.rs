@@ -1,0 +1,6 @@
+//! Regenerates experiment `t6_record_recovery` (see DESIGN.md §3); writes
+//! `bench_out/t6_record_recovery.txt`.
+
+fn main() {
+    lhrs_bench::emit("t6_record_recovery", &lhrs_bench::experiments::t6_record_recovery::run());
+}

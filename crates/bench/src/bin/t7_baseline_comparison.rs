@@ -1,0 +1,6 @@
+//! Regenerates experiment `t7_baseline_comparison` (see DESIGN.md §3); writes
+//! `bench_out/t7_baseline_comparison.txt`.
+
+fn main() {
+    lhrs_bench::emit("t7_baseline_comparison", &lhrs_bench::experiments::t7_baseline_comparison::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates experiment `t8_update_cost` (see DESIGN.md §3); writes
+//! `bench_out/t8_update_cost.txt`.
+
+fn main() {
+    lhrs_bench::emit("t8_update_cost", &lhrs_bench::experiments::t8_update_cost::run());
+}

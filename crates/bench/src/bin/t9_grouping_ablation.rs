@@ -1,0 +1,6 @@
+//! Regenerates experiment `t9_grouping_ablation` (see DESIGN.md §3); writes
+//! `bench_out/t9_grouping_ablation.txt`.
+
+fn main() {
+    lhrs_bench::emit("t9_grouping_ablation", &lhrs_bench::experiments::t9_grouping_ablation::run());
+}

@@ -1,0 +1,55 @@
+//! **F1 — Client image convergence.**
+//!
+//! A brand-new client starts with the worst-case image (one bucket). Every
+//! addressing error costs at most two extra hops and returns an IAM; after
+//! O(log M) IAMs the image is exact. This series is the data behind the
+//! papers' "usually O(log M) IAMs suffice" claim.
+
+use lhrs_core::{Config, LhrsFile};
+use lhrs_sim::LatencyModel;
+
+use crate::{payload_of, uniform_keys, Table};
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let cfg = Config {
+        group_size: 4,
+        initial_k: 1,
+        bucket_capacity: 32,
+        record_len: 64,
+        latency: LatencyModel::instant(),
+        node_pool: 2048,
+        ..Config::default()
+    };
+    let mut file = LhrsFile::new(cfg).expect("config");
+    let keys = uniform_keys(12_000, 0xF1);
+    file.insert_batch(keys[..10_000].iter().map(|&key| (key, payload_of(key, 64))))
+        .expect("bulk");
+    let m = file.bucket_count();
+
+    let mut table = Table::new(
+        format!("F1: fresh-client image convergence on an M = {m} bucket file"),
+        &["ops", "IAMs", "image M'", "image/M"],
+    );
+    let fresh = file.add_client();
+    let checkpoints = [1usize, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+    let mut done = 0usize;
+    for &cp in &checkpoints {
+        while done < cp {
+            let key = keys[10_000 + done];
+            // Lookups of never-inserted keys still exercise addressing.
+            file.lookup_via(fresh, key).expect("lookup");
+            done += 1;
+        }
+        let (n_img, i_img) = file.client_image(fresh);
+        let image_m = n_img + (1u64 << i_img);
+        table.row(vec![
+            cp.to_string(),
+            file.client_iams(fresh).to_string(),
+            image_m.to_string(),
+            format!("{:.3}", image_m as f64 / m as f64),
+        ]);
+    }
+    table.note("expected: IAMs plateau at O(log M) ≪ ops; image/M → 1.0");
+    vec![table]
+}

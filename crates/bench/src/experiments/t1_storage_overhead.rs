@@ -1,0 +1,54 @@
+//! **T1 — Storage overhead vs (m, k).**
+//!
+//! The paper's core storage claim: parity costs ≈ k/m extra buckets and
+//! ≈ k/m extra bytes, independent of file size, while the data file keeps
+//! the classic ≈ 0.7 uncontrolled-split load factor.
+
+use lhrs_core::{Config, LhrsFile};
+use lhrs_sim::LatencyModel;
+
+use crate::table::f2;
+use crate::{payload_of, uniform_keys, Table};
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let n_records = 3000usize;
+    let mut table = Table::new(
+        format!("T1: storage overhead after {n_records} inserts (payload 64 B, b = 32)"),
+        &[
+            "m", "k", "M", "parity", "servers", "overhead", "byte-ovh", "k/m", "load",
+        ],
+    );
+    for &m in &[2usize, 4, 8, 16] {
+        for &k in &[1usize, 2, 3] {
+            let cfg = Config {
+                group_size: m,
+                initial_k: k,
+                bucket_capacity: 32,
+                record_len: 64,
+                latency: LatencyModel::instant(),
+                node_pool: 4096,
+                ..Config::default()
+            };
+            let mut file = LhrsFile::new(cfg).expect("config");
+            let keys = uniform_keys(n_records, 0x71 + m as u64 * 31 + k as u64);
+            file.insert_batch(keys.iter().map(|&key| (key, payload_of(key, 64))))
+                .expect("bulk load");
+            let r = file.storage_report();
+            table.row(vec![
+                m.to_string(),
+                k.to_string(),
+                r.data_buckets.to_string(),
+                r.parity_buckets.to_string(),
+                (r.data_buckets + r.parity_buckets).to_string(),
+                f2(r.storage_overhead),
+                f2(r.parity_bytes as f64 / r.data_bytes as f64),
+                f2(k as f64 / m as f64),
+                f2(r.load_factor),
+            ]);
+        }
+    }
+    table.note("overhead = parity buckets / data buckets; expected ≈ k/m (bucket-granular, so it exceeds k/m while the last groups are partial)");
+    table.note("byte-ovh = parity bytes / data bytes; slightly above k/m because parity cells are padded to record_len");
+    vec![table]
+}

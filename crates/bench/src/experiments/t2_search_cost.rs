@@ -1,0 +1,121 @@
+//! **T2 — Key-search messaging cost vs file size.**
+//!
+//! The headline LH\* access guarantee carried over to LH\*RS: a key search
+//! costs ~2 messages on average and never more than 4 (request + ≤ 2
+//! forwards + reply), *independent of file size and of k* — availability is
+//! free on the read path.
+
+use lhrs_core::{Config, FilterSpec, LhrsFile, ScanTermination};
+use lhrs_sim::LatencyModel;
+
+use crate::table::f2;
+use crate::{payload_of, uniform_keys, Table};
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "T2: key-search messages vs file size M (m = 4, k = 2)",
+        &["M", "fresh avg", "fresh max", "warm avg", "warm max"],
+    );
+    for &target_m in &[16u64, 64, 256] {
+        let cfg = Config {
+            group_size: 4,
+            initial_k: 2,
+            bucket_capacity: 32,
+            record_len: 64,
+            latency: LatencyModel::instant(),
+            node_pool: 2048,
+            ..Config::default()
+        };
+        let mut file = LhrsFile::new(cfg).expect("config");
+        let keys = uniform_keys(40 * target_m as usize, 0x72 + target_m);
+        let mut fed = 0;
+        while file.bucket_count() < target_m {
+            let key = keys[fed];
+            file.insert(key, payload_of(key, 64)).expect("insert");
+            fed += 1;
+        }
+
+        // Fresh client: worst-case image, first 100 lookups.
+        let fresh = file.add_client();
+        let (fresh_avg, fresh_max) = lookup_costs(&mut file, fresh, &keys[..100]);
+        // Warm client: same client after convergence.
+        let (warm_avg, warm_max) = lookup_costs(&mut file, fresh, &keys[100..200]);
+
+        table.row(vec![
+            file.bucket_count().to_string(),
+            f2(fresh_avg),
+            fresh_max.to_string(),
+            f2(warm_avg),
+            warm_max.to_string(),
+        ]);
+    }
+    table.note("fresh = brand-new client (image of 1 bucket); warm = same client after 100 ops");
+    table.note("expected: warm avg ≈ 2.0 flat in M; max ≤ 4 always (A2 two-hop bound)");
+
+    // T2b: parallel scans — deterministic vs probabilistic termination,
+    // full vs selective filters.
+    let mut scans = Table::new(
+        "T2b: scan messages vs termination protocol (m = 4, k = 2, M ≈ 128)",
+        &["termination", "filter", "M", "hits", "scan msgs", "replies"],
+    );
+    for &(term, label) in &[
+        (ScanTermination::Deterministic, "deterministic"),
+        (
+            ScanTermination::Probabilistic { silence_us: 5_000 },
+            "probabilistic",
+        ),
+    ] {
+        let cfg = Config {
+            group_size: 4,
+            initial_k: 2,
+            bucket_capacity: 32,
+            record_len: 64,
+            scan_termination: term,
+            latency: LatencyModel::default(),
+            node_pool: 2048,
+            ..Config::default()
+        };
+        let mut file = LhrsFile::new(cfg).expect("config");
+        let keys = uniform_keys(3000, 0x72B);
+        for &key in &keys {
+            file.insert(key, payload_of(key, 64)).expect("insert");
+        }
+        let m_now = file.bucket_count();
+        let needle = keys[42];
+        for (filter, fname, expect_hits) in [
+            (FilterSpec::All, "all", 3000usize),
+            (FilterSpec::KeyRange(needle, needle + 1), "1-in-3000", 1),
+        ] {
+            let mut hits = 0usize;
+            let cost = file.cost_of(|f| {
+                hits = f.scan(filter.clone()).expect("scan").len();
+            });
+            assert_eq!(hits, expect_hits);
+            scans.row(vec![
+                label.to_string(),
+                fname.to_string(),
+                m_now.to_string(),
+                hits.to_string(),
+                cost.total_messages().to_string(),
+                cost.count("scan-reply").to_string(),
+            ]);
+        }
+    }
+    scans.note("deterministic: M requests + M replies always; probabilistic: M requests + (hit buckets) replies — the §2.1 trade-off, exact coverage vs fewer messages");
+    vec![table, scans]
+}
+
+fn lookup_costs(file: &mut LhrsFile, client: usize, keys: &[u64]) -> (f64, u64) {
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for &key in keys {
+        let cost = file.cost_of(|f| {
+            f.lookup_via(client, key).expect("lookup");
+        });
+        let msgs = cost.total_messages();
+        total += msgs;
+        max = max.max(msgs);
+    }
+    (total as f64 / keys.len() as f64, max)
+}

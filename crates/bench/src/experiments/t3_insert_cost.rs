@@ -1,0 +1,86 @@
+//! **T3 — Insert messaging cost vs availability level k.**
+//!
+//! An LH\*RS insert costs 1 message to the data bucket plus one Δ-commit
+//! per parity bucket: `1 + k` unacknowledged, `1 + 2k` with parity acks.
+//! Split maintenance adds an amortised surcharge that also grows with k.
+
+use lhrs_core::{Config, LhrsFile};
+use lhrs_sim::LatencyModel;
+
+use crate::table::f2;
+use crate::{payload_of, uniform_keys, Table};
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let mut table = Table::new(
+        "T3: insert messages vs k (m = 4, steady state, 64 B payloads)",
+        &[
+            "k",
+            "acks",
+            "op msgs",
+            "expect",
+            "with splits",
+            "split share",
+        ],
+    );
+    for &k in &[1usize, 2, 3] {
+        for &ack in &[false, true] {
+            let cfg = Config {
+                group_size: 4,
+                initial_k: k,
+                bucket_capacity: 32,
+                record_len: 64,
+                ack_parity: ack,
+                latency: LatencyModel::instant(),
+                node_pool: 2048,
+                ..Config::default()
+            };
+            let mut file = LhrsFile::new(cfg).expect("config");
+            let keys = uniform_keys(4000, 0x73 + k as u64 * 7 + ack as u64);
+            // Grow phase (amortised cost including splits measured here).
+            let grow = file.cost_of(|f| {
+                f.insert_batch(keys[..3000].iter().map(|&key| (key, payload_of(key, 64))))
+                    .expect("bulk");
+            });
+            let with_splits = grow.total_messages() as f64 / 3000.0;
+
+            // Steady state: inserts that trigger no split.
+            let mut measured = 0usize;
+            let mut op_msgs = 0u64;
+            for &key in &keys[3000..3200] {
+                let cost = file.cost_of(|f| {
+                    f.insert(key, payload_of(key, 64)).expect("insert");
+                });
+                let structural: u64 = [
+                    "overflow",
+                    "split",
+                    "split-load",
+                    "split-done",
+                    "init-data",
+                    "init-parity",
+                    "parity-batch",
+                ]
+                .iter()
+                .map(|kind| cost.count(kind))
+                .sum();
+                if structural == 0 {
+                    op_msgs += cost.total_messages();
+                    measured += 1;
+                }
+            }
+            let per_op = op_msgs as f64 / measured as f64;
+            let expect = if ack { 1 + 2 * k } else { 1 + k };
+            table.row(vec![
+                k.to_string(),
+                if ack { "yes" } else { "no" }.to_string(),
+                f2(per_op),
+                expect.to_string(),
+                f2(with_splits),
+                f2((with_splits - per_op).max(0.0)),
+            ]);
+        }
+    }
+    table.note("op msgs = steady-state inserts with no split triggered; expect = 1 + k (unacked) or 1 + 2k (parity-acked)");
+    table.note("with splits = amortised growth-phase cost; split share = structural surcharge per insert");
+    vec![table]
+}

@@ -1,0 +1,112 @@
+//! **T4 — Reed–Solomon encode/decode throughput by field and (m, k).**
+//!
+//! The paper evaluates small Galois fields because parity arithmetic sits
+//! on every insert's critical path. This reproduces the classic shape:
+//! the XOR fast path (first parity column) is fastest; GF(2^8) is the
+//! practical workhorse; GF(2^4) trades table size for a tiny symbol space;
+//! GF(2^16) pays per-symbol overhead for its huge code support. Encode
+//! throughput scales ≈ 1/k, decode cost grows with the erasure count.
+
+use std::time::Instant;
+
+use lhrs_gf::{GaloisField, Gf16, Gf4, Gf8};
+use lhrs_rs::RsCode;
+
+use crate::table::f2;
+use crate::Table;
+
+const SHARD: usize = 64 * 1024;
+
+fn encode_mbps<F: GaloisField>(m: usize, k: usize) -> f64 {
+    let code: RsCode<F> = RsCode::new(m, k).expect("params fit field");
+    let data: Vec<Vec<u8>> = (0..m)
+        .map(|i| (0..SHARD).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    // Warm up, then time.
+    let _ = code.encode(&refs).expect("encode");
+    let iters = 8;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(code.encode(&refs).expect("encode"));
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (m * SHARD * iters) as f64 / secs / 1e6
+}
+
+fn decode_mbps<F: GaloisField>(m: usize, k: usize, erasures: usize) -> f64 {
+    let code: RsCode<F> = RsCode::new(m, k).expect("params fit field");
+    let data: Vec<Vec<u8>> = (0..m)
+        .map(|i| (0..SHARD).map(|b| ((i * 37 + b * 11 + 5) % 251) as u8).collect())
+        .collect();
+    let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+    let parity = code.encode(&refs).expect("encode");
+    let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+    let iters = 8;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        for slot in shards.iter_mut().take(erasures) {
+            *slot = None; // data erasures: the expensive case
+        }
+        code.reconstruct(&mut shards).expect("decode");
+        std::hint::black_box(&shards);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (m * SHARD * iters) as f64 / secs / 1e6
+}
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    let mut enc = Table::new(
+        "T4a: RS encode throughput, MB/s of data encoded (64 KiB shards)",
+        &["field", "m", "k", "MB/s", "per-parity MB/s"],
+    );
+    for &(m, k) in &[(4usize, 1usize), (4, 2), (4, 3), (8, 2), (16, 2), (8, 3)] {
+        let g8 = encode_mbps::<Gf8>(m, k);
+        enc.row(vec![
+            "GF(2^8)".into(),
+            m.to_string(),
+            k.to_string(),
+            f2(g8),
+            f2(g8 * k as f64),
+        ]);
+    }
+    for &(m, k) in &[(4usize, 1usize), (4, 2), (8, 2)] {
+        let g4 = encode_mbps::<Gf4>(m, k);
+        enc.row(vec![
+            "GF(2^4)".into(),
+            m.to_string(),
+            k.to_string(),
+            f2(g4),
+            f2(g4 * k as f64),
+        ]);
+        let g16 = encode_mbps::<Gf16>(m, k);
+        enc.row(vec![
+            "GF(2^16)".into(),
+            m.to_string(),
+            k.to_string(),
+            f2(g16),
+            f2(g16 * k as f64),
+        ]);
+    }
+    enc.note("k = 1 rows exercise the all-ones (pure XOR) parity column — the LH*g-compatible fast path");
+    enc.note("expected shape: throughput ≈ c/k; XOR k=1 well above multiply-based rows");
+
+    let mut dec = Table::new(
+        "T4b: RS decode throughput vs erasure count (GF(2^8), 64 KiB shards)",
+        &["m", "k", "erasures", "MB/s"],
+    );
+    for &(m, k) in &[(4usize, 2usize), (4, 3), (8, 3)] {
+        for e in 1..=k {
+            dec.row(vec![
+                m.to_string(),
+                k.to_string(),
+                e.to_string(),
+                f2(decode_mbps::<Gf8>(m, k, e)),
+            ]);
+        }
+    }
+    dec.note("expected shape: decode slows as the erasure count grows (more non-trivial matrix rows)");
+    vec![enc, dec]
+}

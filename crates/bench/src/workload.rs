@@ -1,0 +1,47 @@
+//! Workload generators shared by all experiments: uniform keys (what the
+//! papers assume for the LH hash family) and deterministic payloads.
+
+use rand::{Rng, SeedableRng};
+
+/// `n` distinct pseudo-random uniform keys, reproducible from `seed`.
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut keys = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let k: u64 = rng.gen();
+        if keys.insert(k) {
+            out.push(k);
+        }
+    }
+    out
+}
+
+/// A deterministic payload of `len` bytes derived from the key.
+pub fn payload_of(key: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (key.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) >> 7) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct_and_reproducible() {
+        let a = uniform_keys(1000, 42);
+        let b = uniform_keys(1000, 42);
+        assert_eq!(a, b);
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 1000);
+        assert_ne!(uniform_keys(10, 1), uniform_keys(10, 2));
+    }
+
+    #[test]
+    fn payloads_deterministic() {
+        assert_eq!(payload_of(5, 32), payload_of(5, 32));
+        assert_ne!(payload_of(5, 32), payload_of(6, 32));
+        assert_eq!(payload_of(9, 0).len(), 0);
+    }
+}

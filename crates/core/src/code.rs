@@ -1,0 +1,146 @@
+//! Field-dispatched Reed–Solomon code: the LH\*RS core can run over
+//! GF(2^8) (the SIGMOD 2000 default — compact tables, `m + k ≤ 256`) or
+//! GF(2^16) (the TODS refinement — supports groups up to 65 536 shards,
+//! two-byte symbols). All shard-level operations are byte-buffer based, so
+//! the rest of the system is field-agnostic.
+
+use lhrs_gf::{Gf16, Gf8};
+use lhrs_rs::{RsCode, RsError};
+
+/// Which Galois field the file's parity arithmetic runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GfField {
+    /// GF(2^8): one-byte symbols, `m + k ≤ 256`. The paper's default.
+    #[default]
+    Gf8,
+    /// GF(2^16): two-byte symbols, `m + k ≤ 65 536`; coding cells must have
+    /// even length (enforced by config validation on `record_len`).
+    Gf16,
+}
+
+impl GfField {
+    /// Maximum supported `m + k`.
+    pub fn max_shards(self) -> usize {
+        match self {
+            GfField::Gf8 => 256,
+            GfField::Gf16 => 65_536,
+        }
+    }
+
+    /// Symbol size in bytes (buffer lengths must be multiples of this).
+    pub fn symbol_bytes(self) -> usize {
+        match self {
+            GfField::Gf8 => 1,
+            GfField::Gf16 => 2,
+        }
+    }
+}
+
+/// An `RsCode` over either field, dispatching the byte-level operations the
+/// LH\*RS actors need.
+#[derive(Clone, Debug)]
+pub enum AnyCode {
+    /// GF(2^8)-backed code.
+    G8(RsCode<Gf8>),
+    /// GF(2^16)-backed code.
+    G16(RsCode<Gf16>),
+}
+
+impl AnyCode {
+    /// Build the `(m + k, m)` code over the chosen field.
+    pub fn new(field: GfField, m: usize, k: usize) -> Result<Self, RsError> {
+        match field {
+            GfField::Gf8 => RsCode::new(m, k).map(AnyCode::G8),
+            GfField::Gf16 => RsCode::new(m, k).map(AnyCode::G16),
+        }
+    }
+
+    /// `parity ^= Γ[col][index] · delta` — the parity bucket's Δ-commit.
+    pub fn apply_delta(&self, col: usize, index: usize, delta: &[u8], parity: &mut [u8]) {
+        match self {
+            AnyCode::G8(c) => c.apply_delta(col, index, delta, parity),
+            AnyCode::G16(c) => c.apply_delta(col, index, delta, parity),
+        }
+    }
+
+    /// Full parity computation from `m` data buffers.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        match self {
+            AnyCode::G8(c) => c.encode(data),
+            AnyCode::G16(c) => c.encode(data),
+        }
+    }
+
+    /// Erasure decode in place (`shards.len() == m + k`).
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        match self {
+            AnyCode::G8(c) => c.reconstruct(shards),
+            AnyCode::G16(c) => c.reconstruct(shards),
+        }
+    }
+
+    /// Rebuild a single data shard from `m` available shards.
+    pub fn reconstruct_one(
+        &self,
+        target: usize,
+        available: &[(usize, &[u8])],
+    ) -> Result<Vec<u8>, RsError> {
+        match self {
+            AnyCode::G8(c) => c.reconstruct_one(target, available),
+            AnyCode::G16(c) => c.reconstruct_one(target, available),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_fields_roundtrip_through_dispatch() {
+        for field in [GfField::Gf8, GfField::Gf16] {
+            let code = AnyCode::new(field, 4, 2).unwrap();
+            let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 31 + 5) as u8; 16]).collect();
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = code.encode(&refs).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter()
+                .chain(parity.iter())
+                .cloned()
+                .map(Some)
+                .collect();
+            shards[1] = None;
+            shards[4] = None;
+            code.reconstruct(&mut shards).unwrap();
+            assert_eq!(shards[1].as_deref(), Some(&data[1][..]), "{field:?}");
+            assert_eq!(shards[4].as_deref(), Some(&parity[0][..]), "{field:?}");
+        }
+    }
+
+    #[test]
+    fn gf16_supports_giant_groups() {
+        assert!(AnyCode::new(GfField::Gf8, 300, 4).is_err());
+        assert!(AnyCode::new(GfField::Gf16, 300, 4).is_ok());
+        assert_eq!(GfField::Gf8.max_shards(), 256);
+        assert_eq!(GfField::Gf16.max_shards(), 65_536);
+    }
+
+    #[test]
+    fn delta_commit_matches_encode_both_fields() {
+        for field in [GfField::Gf8, GfField::Gf16] {
+            let code = AnyCode::new(field, 3, 2).unwrap();
+            let zero = vec![0u8; 12];
+            let d: Vec<Vec<u8>> = (0..3).map(|i| vec![(7 * i + 1) as u8; 12]).collect();
+            let mut parity = vec![vec![0u8; 12]; 2];
+            for (i, buf) in d.iter().enumerate() {
+                for (j, p) in parity.iter_mut().enumerate() {
+                    code.apply_delta(i, j, buf, p);
+                }
+            }
+            let refs: Vec<&[u8]> = d.iter().map(|x| x.as_slice()).collect();
+            let direct = code.encode(&refs).unwrap();
+            assert_eq!(parity, direct, "{field:?}");
+            let _ = zero;
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! File-level configuration.
+
+use lhrs_sim::LatencyModel;
+
+use crate::code::GfField;
+
+/// How existing bucket groups acquire additional parity buckets when the
+/// scalable-availability rule raises the file's availability level `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeMode {
+    /// Upgrade every existing group immediately when `k` increases.
+    /// Predictable availability, bursty messaging.
+    Eager,
+    /// Upgrade a group the next time a split touches it (source or target
+    /// in the group). Spreads the cost over normal growth; groups lag until
+    /// touched.
+    Lazy,
+}
+
+/// How scan completion is detected (§2.1 of the LH\* design).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanTermination {
+    /// Every reached bucket replies (with its number and level even when it
+    /// has no hits); the client verifies it heard from *all* buckets of the
+    /// file. Exact, costs ~2 messages per bucket.
+    Deterministic,
+    /// Only buckets with matching records reply; the client finishes after
+    /// `silence_us` µs without a new reply. Costs M + hits messages but can
+    /// in principle terminate early (hence "probabilistic").
+    Probabilistic {
+        /// Silence window that ends the scan.
+        silence_us: u64,
+    },
+}
+
+/// Configuration of an LH\*RS file.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bucket-group size `m`: data buckets per group (the paper uses 4–128).
+    pub group_size: usize,
+    /// Initial availability level `k`: parity buckets per group (`k ≥ 1`).
+    pub initial_k: usize,
+    /// Data-bucket capacity `b`: records per bucket above which the bucket
+    /// reports an overflow to the coordinator.
+    pub bucket_capacity: usize,
+    /// Maximum record payload length in bytes. Payloads are stored in
+    /// fixed-size coding cells of `record_len + 4` bytes (4-byte length
+    /// prefix), which is what the parity arithmetic runs over.
+    pub record_len: usize,
+    /// Scalable-availability thresholds: when the data-bucket count `M`
+    /// first exceeds `thresholds[t]`, the file availability level becomes
+    /// `initial_k + t + 1`. Empty = fixed `k` forever.
+    pub scale_thresholds: Vec<u64>,
+    /// How lagging groups catch up after a `k` increase.
+    pub upgrade_mode: UpgradeMode,
+    /// Whether parity buckets acknowledge Δ-commits (2-messages-per-parity
+    /// reliable mode). The paper's base cost model is unacknowledged
+    /// (1 + k messages per insert), the default here.
+    pub ack_parity: bool,
+    /// Whether data buckets acknowledge inserts/updates/deletes to the
+    /// client. Required for client-side failure detection of blind writes;
+    /// adds one message per operation. Lookups always get replies.
+    pub ack_writes: bool,
+    /// Galois field for the parity arithmetic: GF(2^8) (default, compact
+    /// tables, `m + k ≤ 256`) or GF(2^16) (huge groups, two-byte symbols —
+    /// `record_len` must be even so coding cells symbol-align).
+    pub field: GfField,
+    /// Scan termination protocol.
+    pub scan_termination: ScanTermination,
+    /// Client request timeout (µs) before reporting a suspected bucket
+    /// failure to the coordinator.
+    pub client_timeout_us: u64,
+    /// Coordinator probe timeout (µs) before declaring a suspect dead.
+    pub probe_timeout_us: u64,
+    /// Network latency model for the simulated multicomputer.
+    pub latency: LatencyModel,
+    /// Total simulated server pool (data + parity + spares). The file
+    /// cannot outgrow the pool; size it to the experiment.
+    pub node_pool: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            group_size: 4,
+            initial_k: 1,
+            bucket_capacity: 32,
+            record_len: 64,
+            scale_thresholds: Vec::new(),
+            upgrade_mode: UpgradeMode::Eager,
+            ack_parity: false,
+            ack_writes: false,
+            field: GfField::default(),
+            scan_termination: ScanTermination::Deterministic,
+            client_timeout_us: 10_000,
+            probe_timeout_us: 5_000,
+            latency: LatencyModel::default(),
+            node_pool: 512,
+        }
+    }
+}
+
+impl Config {
+    /// Validate parameter sanity; called by [`crate::LhrsFile::new`].
+    pub(crate) fn validate(&self) -> Result<(), crate::Error> {
+        if self.group_size == 0
+            || self.initial_k == 0
+            || self.bucket_capacity == 0
+            || self.record_len == 0
+        {
+            return Err(crate::Error::InvalidConfig(
+                "group_size, initial_k, bucket_capacity, record_len must all be ≥ 1".into(),
+            ));
+        }
+        let max_k = self.initial_k + self.scale_thresholds.len();
+        if self.group_size + max_k > self.field.max_shards() {
+            return Err(crate::Error::InvalidConfig(format!(
+                "m + k_max = {} exceeds the {:?} limit of {}",
+                self.group_size + max_k,
+                self.field,
+                self.field.max_shards()
+            )));
+        }
+        if !self.cell_len().is_multiple_of(self.field.symbol_bytes()) {
+            return Err(crate::Error::InvalidConfig(format!(
+                "coding cell of {} bytes is not {:?}-symbol aligned: use an even record_len",
+                self.cell_len(),
+                self.field
+            )));
+        }
+        if !self.scale_thresholds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(crate::Error::InvalidConfig(
+                "scale_thresholds must be strictly increasing".into(),
+            ));
+        }
+        if self.node_pool < 2 + self.group_size + self.initial_k {
+            return Err(crate::Error::InvalidConfig(
+                "node_pool too small for even the initial file".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The fixed coding-cell length: payload length prefix plus padded
+    /// payload.
+    pub(crate) fn cell_len(&self) -> usize {
+        4 + self.record_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(Config::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        for f in [
+            |c: &mut Config| c.group_size = 0,
+            |c: &mut Config| c.initial_k = 0,
+            |c: &mut Config| c.bucket_capacity = 0,
+            |c: &mut Config| c.record_len = 0,
+        ] {
+            let mut c = Config::default();
+            f(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn field_shard_limits_enforced() {
+        let c = Config {
+            group_size: 250,
+            initial_k: 10,
+            ..Config::default()
+        };
+        assert!(c.validate().is_err(), "m + k > 256 invalid under GF(2^8)");
+        let c = Config {
+            group_size: 250,
+            initial_k: 10,
+            field: GfField::Gf16,
+            node_pool: 4096,
+            ..Config::default()
+        };
+        assert!(c.validate().is_ok(), "GF(2^16) lifts the limit");
+        let c = Config {
+            field: GfField::Gf16,
+            record_len: 33, // odd ⇒ odd cell: misaligned for 2-byte symbols
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thresholds_must_increase() {
+        let c = Config {
+            scale_thresholds: vec![16, 16],
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

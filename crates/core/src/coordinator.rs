@@ -1,0 +1,1466 @@
+//! The coordinator: file state, split sequencing, scalable availability,
+//! failure detection, degraded-mode record recovery, and multi-bucket group
+//! recovery by erasure decoding.
+//!
+//! One coordinator per file, assumed available (the papers' standing
+//! assumption; coordinator replication is orthogonal and out of scope).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+use lhrs_lh::FileState;
+use lhrs_sim::{Env, NodeId, TimerId};
+
+use crate::code::AnyCode;
+
+use crate::msg::{Msg, OpId, OpResult, ReqKind, ShardContent};
+use crate::record::decode_cell;
+use crate::registry::SharedHandle;
+use crate::{Key, Rank, UpgradeMode};
+
+/// Observable coordinator events, consumed by the driver and the tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordEvent {
+    /// A split completed (bucket created).
+    Split {
+        /// Splitting bucket.
+        source: u64,
+        /// New bucket.
+        target: u64,
+        /// Bucket count after the split.
+        buckets: u64,
+    },
+    /// The scalable-availability rule raised the file availability level.
+    KIncreased {
+        /// The new file-wide `k`.
+        k: usize,
+    },
+    /// A group finished upgrading to a higher `k`.
+    GroupUpgraded {
+        /// The group.
+        group: u64,
+        /// Its new availability level.
+        k: usize,
+    },
+    /// Failure(s) confirmed in a group.
+    FailureDetected {
+        /// The group.
+        group: u64,
+        /// Failed shard indices (`0..m` data, `m..` parity).
+        shards: Vec<usize>,
+    },
+    /// A group was fully rebuilt onto spares.
+    GroupRecovered {
+        /// The group.
+        group: u64,
+        /// Shards rebuilt.
+        shards: Vec<usize>,
+    },
+    /// More shards failed than the group's `k` tolerates.
+    GroupUnrecoverable {
+        /// The group.
+        group: u64,
+        /// Number of failed shards.
+        failed: usize,
+    },
+    /// A bucket merge completed (file shrank by one bucket).
+    Merged {
+        /// The absorbing bucket.
+        source: u64,
+        /// The removed bucket.
+        target: u64,
+        /// Bucket count after the merge.
+        buckets: u64,
+    },
+    /// File state `(n, i)` reconstructed from a bucket scan.
+    StateRecovered {
+        /// Recovered split pointer.
+        n: u64,
+        /// Recovered file level.
+        i: u8,
+    },
+}
+
+/// Outstanding liveness probe for one node.
+struct ProbeCtx {
+    bucket: u64,
+    pending: Vec<(OpId, NodeId, ReqKind)>,
+    timer: TimerId,
+}
+
+/// Outstanding group audit: probing every shard of a group.
+struct GroupCheckCtx {
+    group: u64,
+    /// shard index → node probed.
+    probed: Vec<(usize, NodeId)>,
+    responded: HashSet<usize>,
+    timer: TimerId,
+}
+
+/// Why shards are being collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Purpose {
+    /// Rebuild failed shards onto spares.
+    Repair,
+    /// Extend the group's parity to a higher `k`.
+    Upgrade,
+}
+
+/// Outstanding shard collection for one group.
+struct RecoveryCtx {
+    group: u64,
+    purpose: Purpose,
+    /// Group availability level used for the code (target level for
+    /// upgrades).
+    k: usize,
+    /// Shard indices being rebuilt.
+    rebuild: Vec<usize>,
+    /// Shard indices we are waiting to receive.
+    awaiting: HashSet<usize>,
+    collected: HashMap<usize, ShardContent>,
+    /// Install acks outstanding: token → shard index.
+    installs: HashMap<u64, usize>,
+    /// Spare node per rebuilt shard.
+    spares: HashMap<usize, NodeId>,
+}
+
+/// Degraded-mode record read in progress.
+struct DegradedCtx {
+    group: u64,
+    op_id: OpId,
+    client: NodeId,
+    key: Key,
+    stage: DegradedStage,
+}
+
+enum DegradedStage {
+    AwaitFind,
+    AwaitCells {
+        target_col: usize,
+        cells: HashMap<usize, Vec<u8>>,
+        need: usize,
+    },
+}
+
+/// File-state recovery scan in progress.
+struct StateRecCtx {
+    expected: usize,
+    replies: Vec<(u64, u8)>,
+}
+
+/// The LH\*RS coordinator actor.
+pub struct Coordinator {
+    shared: SharedHandle,
+    /// The authoritative file state `(n, i)`.
+    pub state: FileState,
+    /// Current file-wide availability level.
+    pub k_file: usize,
+    /// Per-group availability level (index = group).
+    pub group_k: Vec<usize>,
+    pool: Vec<NodeId>,
+    thresholds_crossed: usize,
+    /// Confirmed-failed shards: (group, shard index).
+    failed: HashSet<(u64, usize)>,
+    /// Groups declared unrecoverable.
+    pub dead_groups: HashSet<u64>,
+    next_token: u64,
+    probes: HashMap<u64, ProbeCtx>,
+    checks: HashMap<u64, GroupCheckCtx>,
+    recoveries: HashMap<u64, RecoveryCtx>,
+    degraded: HashMap<u64, DegradedCtx>,
+    /// Tokens owned by timers.
+    timer_tokens: HashMap<TimerId, u64>,
+    /// group → ops parked until the group heals.
+    queued_ops: HashMap<u64, Vec<(OpId, NodeId, ReqKind)>>,
+    /// Groups the check machinery is already looking at (per token).
+    checking_groups: HashSet<u64>,
+    deferred_splits: u64,
+    outstanding_splits: u64,
+    /// In-flight merge: (source, target) awaiting MergeDone.
+    outstanding_merge: Option<(u64, u64)>,
+    upgrade_queue: VecDeque<u64>,
+    /// Groups lagging behind `k_file` (lazy mode).
+    lagging: HashSet<u64>,
+    state_rec: Option<StateRecCtx>,
+    /// Event log for the driver: `(simulated time µs, event)`.
+    pub events: Vec<(u64, CoordEvent)>,
+}
+
+impl Coordinator {
+    /// Build the coordinator for a freshly created file. The registry must
+    /// already map bucket 0 and group 0's parity; `pool` is the free node
+    /// list.
+    pub fn new(shared: SharedHandle, pool: Vec<NodeId>) -> Self {
+        let k = shared.cfg.initial_k;
+        Coordinator {
+            shared,
+            state: FileState::new(1),
+            k_file: k,
+            group_k: vec![k],
+            pool,
+            thresholds_crossed: 0,
+            failed: HashSet::new(),
+            dead_groups: HashSet::new(),
+            next_token: 1,
+            probes: HashMap::new(),
+            checks: HashMap::new(),
+            recoveries: HashMap::new(),
+            degraded: HashMap::new(),
+            timer_tokens: HashMap::new(),
+            queued_ops: HashMap::new(),
+            checking_groups: HashSet::new(),
+            deferred_splits: 0,
+            outstanding_splits: 0,
+            outstanding_merge: None,
+            upgrade_queue: VecDeque::new(),
+            lagging: HashSet::new(),
+            state_rec: None,
+            events: Vec::new(),
+        }
+    }
+
+    /// Free nodes remaining in the pool.
+    pub fn pool_remaining(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether any structural work (splits, checks, recoveries, upgrades)
+    /// is in flight.
+    pub fn busy(&self) -> bool {
+        self.outstanding_splits > 0
+            || self.outstanding_merge.is_some()
+            || !self.checks.is_empty()
+            || !self.recoveries.is_empty()
+            || !self.degraded.is_empty()
+            || !self.upgrade_queue.is_empty()
+            || self.deferred_splits > 0
+    }
+
+    fn m(&self) -> usize {
+        self.shared.cfg.group_size
+    }
+
+    fn token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn alloc_node(&mut self) -> NodeId {
+        self.pool
+            .pop()
+            .expect("simulated node pool exhausted: raise Config::node_pool")
+    }
+
+    /// Existing data buckets of `group` (the file may not have grown the
+    /// whole group yet).
+    fn existing_cols(&self, group: u64) -> usize {
+        let m = self.m() as u64;
+        let total = self.state.bucket_count();
+        let start = group * m;
+        total.saturating_sub(start).min(m) as usize
+    }
+
+    /// Main message handler.
+    pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ReportOverflow { .. } => {
+                if self.busy() {
+                    self.deferred_splits += 1;
+                } else {
+                    self.do_split(env);
+                }
+            }
+            Msg::SplitDone { .. } => {
+                self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
+                self.drain_queues(env);
+            }
+            Msg::ForceMerge => self.do_merge(env),
+            Msg::MergeDone { .. } => self.finish_merge(env),
+            Msg::Suspect {
+                op_id,
+                client,
+                bucket: _,
+                kind,
+            } => self.handle_suspect(env, op_id, client, kind),
+            Msg::ProbeAck { token, .. } => self.handle_probe_ack(env, token, from),
+            Msg::CheckGroup { group } => {
+                if group < self.group_k.len() as u64 && !self.checking_groups.contains(&group) {
+                    self.start_group_check(env, group);
+                }
+            }
+            Msg::ShardData {
+                token,
+                shard,
+                content,
+            } => self.handle_shard_data(env, token, shard, content),
+            Msg::InstallAck { token } => self.handle_install_ack(env, token),
+            Msg::FindRecordReply { token, found } => self.handle_find_reply(env, token, found),
+            Msg::CellData { token, shard, cell } => {
+                self.handle_cell_data(env, token, shard, cell)
+            }
+            Msg::RecoverFileState => {
+                let nodes = self.shared.registry.borrow().all_data_nodes();
+                self.state_rec = Some(StateRecCtx {
+                    expected: nodes.len(),
+                    replies: Vec::new(),
+                });
+                for n in nodes {
+                    env.send(n, Msg::StateQuery);
+                }
+            }
+            Msg::StateReply { bucket, level } => {
+                let done = if let Some(ctx) = self.state_rec.as_mut() {
+                    ctx.replies.push((bucket, level));
+                    ctx.replies.len() == ctx.expected
+                } else {
+                    false
+                };
+                if done {
+                    let ctx = self.state_rec.take().expect("checked");
+                    let (n, i) = recompute_state(&ctx.replies);
+                    self.state = FileState::from_parts(n, i, 1);
+                    self.events.push((env.now(), CoordEvent::StateRecovered { n, i }));
+                }
+            }
+            Msg::CheckOwnership { bucket, parity } => {
+                let reg = self.shared.registry.borrow();
+                let (still_owner, loc) = match (bucket, parity) {
+                    (Some(b), None) => (
+                        (b as usize) < reg.data_count() && reg.data_node(b) == from,
+                        (b / self.m() as u64, (b % self.m() as u64) as usize),
+                    ),
+                    (None, Some((g, q))) => (
+                        reg.parity_nodes(g).get(q) == Some(&from),
+                        (g, self.m() + q),
+                    ),
+                    _ => {
+                        debug_assert!(false, "malformed ownership claim");
+                        return;
+                    }
+                };
+                drop(reg);
+                if still_owner {
+                    // §2.5.4: restarted with correct data and never
+                    // replaced — resume. Clear any failure suspicion.
+                    self.failed.remove(&loc);
+                    env.send(from, Msg::OwnershipAck);
+                } else {
+                    // The bucket was recreated elsewhere: the comeback node
+                    // is demoted to a hot spare.
+                    env.send(from, Msg::Retire);
+                    self.pool.push(from);
+                }
+            }
+            Msg::ParityAck { .. } => {}
+            other => {
+                debug_assert!(false, "coordinator got {:?}", other);
+            }
+        }
+        // `from` is only used for debug assertions today.
+        let _ = from;
+    }
+
+    /// Timer handler: probe and group-check timeouts.
+    pub fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
+        let Some(token) = self.timer_tokens.remove(&timer) else {
+            return;
+        };
+        if let Some(probe) = self.probes.remove(&token) {
+            // The addressed bucket is dead: remember the ops and audit its
+            // whole group.
+            let group = probe.bucket / self.m() as u64;
+            self.queued_ops
+                .entry(group)
+                .or_default()
+                .extend(probe.pending);
+            if !self.checking_groups.contains(&group) {
+                self.start_group_check(env, group);
+            }
+            return;
+        }
+        if let Some(check) = self.checks.remove(&token) {
+            self.finish_group_check(env, check);
+        }
+    }
+
+    // ----- splits and availability scaling -----
+
+    fn do_split(&mut self, env: &mut Env<'_, Msg>) {
+        let m = self.m() as u64;
+        let plan = self.state.split();
+        let target_group = plan.target / m;
+
+        // Provision parity for a group touched for the first time.
+        if self.group_k.len() as u64 <= target_group {
+            debug_assert_eq!(self.group_k.len() as u64, target_group);
+            let k = self.k_file;
+            let mut nodes = Vec::with_capacity(k);
+            for q in 0..k {
+                let n = self.alloc_node();
+                env.send(
+                    n,
+                    Msg::InitParity {
+                        group: target_group,
+                        index: q,
+                        k,
+                    },
+                );
+                nodes.push(n);
+            }
+            self.shared
+                .registry
+                .borrow_mut()
+                .set_parity(target_group, nodes);
+            self.group_k.push(k);
+        }
+
+        // Lazy upgrades: a touched lagging group catches up now.
+        let source_group = plan.source / m;
+        if self.shared.cfg.upgrade_mode == UpgradeMode::Lazy {
+            for g in [source_group, target_group] {
+                if self.lagging.remove(&g) {
+                    self.upgrade_queue.push_back(g);
+                }
+            }
+        }
+
+        // Create the new bucket and order the split.
+        let target_node = self.alloc_node();
+        env.send(
+            target_node,
+            Msg::InitData {
+                bucket: plan.target,
+                level: plan.new_level,
+            },
+        );
+        self.shared
+            .registry
+            .borrow_mut()
+            .push_data(plan.target, target_node);
+        let source_node = self.shared.registry.borrow().data_node(plan.source);
+        env.send(
+            source_node,
+            Msg::DoSplit {
+                source: plan.source,
+                target: plan.target,
+                new_level: plan.new_level,
+            },
+        );
+        self.outstanding_splits += 1;
+        self.events.push((env.now(), CoordEvent::Split {
+            source: plan.source,
+            target: plan.target,
+            buckets: self.state.bucket_count(),
+        }));
+
+        // Scalable availability: raise k when M crosses the next threshold.
+        let m_now = self.state.bucket_count();
+        while self.thresholds_crossed < self.shared.cfg.scale_thresholds.len()
+            && m_now > self.shared.cfg.scale_thresholds[self.thresholds_crossed]
+        {
+            self.thresholds_crossed += 1;
+            self.k_file += 1;
+            self.events.push((env.now(), CoordEvent::KIncreased { k: self.k_file }));
+            match self.shared.cfg.upgrade_mode {
+                UpgradeMode::Eager => {
+                    for g in 0..self.group_k.len() as u64 {
+                        if self.group_k[g as usize] < self.k_file
+                            && !self.upgrade_queue.contains(&g)
+                        {
+                            self.upgrade_queue.push_back(g);
+                        }
+                    }
+                }
+                UpgradeMode::Lazy => {
+                    for g in 0..self.group_k.len() as u64 {
+                        if self.group_k[g as usize] < self.k_file {
+                            self.lagging.insert(g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Undo the last split: order the last bucket to fold back into its
+    /// split source. Ignored while other structural work is in flight or
+    /// at the initial size.
+    fn do_merge(&mut self, env: &mut Env<'_, Msg>) {
+        if self.busy() || self.state.bucket_count() <= 1 {
+            return;
+        }
+        let Some(plan) = self.state.merge() else {
+            return;
+        };
+        // plan.target is the disappearing bucket, plan.source absorbs;
+        // both end at level new_level - 1.
+        let target_node = self.shared.registry.borrow().data_node(plan.target);
+        self.outstanding_merge = Some((plan.source, plan.target));
+        env.send(
+            target_node,
+            Msg::DoMerge {
+                source: plan.source,
+                target: plan.target,
+                new_level: plan.new_level - 1,
+            },
+        );
+    }
+
+    /// The absorbing bucket confirmed: retire the ex-bucket's node (and the
+    /// last group's parity nodes if the group emptied) back into the pool.
+    fn finish_merge(&mut self, env: &mut Env<'_, Msg>) {
+        let Some((source, target)) = self.outstanding_merge.take() else {
+            return;
+        };
+        let m = self.m() as u64;
+        let mut reg = self.shared.registry.borrow_mut();
+        let ex_node = reg.pop_data();
+        env.send(ex_node, Msg::Retire);
+        self.pool.push(ex_node);
+        // If the removed bucket was the sole member of the last group, the
+        // group's (now record-free) parity buckets are decommissioned too.
+        if target % m == 0 {
+            debug_assert_eq!(self.group_k.len() as u64, target / m + 1);
+            for pn in reg.pop_parity_group() {
+                env.send(pn, Msg::Retire);
+                self.pool.push(pn);
+            }
+            self.group_k.pop();
+            self.lagging.remove(&(target / m));
+        }
+        drop(reg);
+        self.events.push((
+            env.now(),
+            CoordEvent::Merged {
+                source,
+                target,
+                buckets: self.state.bucket_count(),
+            },
+        ));
+        self.drain_queues(env);
+    }
+
+    /// Run queued structural work when the coordinator goes idle.
+    fn drain_queues(&mut self, env: &mut Env<'_, Msg>) {
+        if self.outstanding_splits > 0
+            || !self.checks.is_empty()
+            || !self.recoveries.is_empty()
+            || !self.degraded.is_empty()
+        {
+            return;
+        }
+        if let Some(group) = self.upgrade_queue.pop_front() {
+            self.start_upgrade(env, group);
+            return;
+        }
+        if self.deferred_splits > 0 {
+            self.deferred_splits -= 1;
+            self.do_split(env);
+        }
+    }
+
+    fn start_upgrade(&mut self, env: &mut Env<'_, Msg>, group: u64) {
+        let k_old = self.group_k[group as usize];
+        let k_new = self.k_file;
+        if k_old >= k_new {
+            self.drain_queues(env);
+            return;
+        }
+        let token = self.token();
+        let existing = self.existing_cols(group);
+        let mut awaiting = HashSet::new();
+        let reg = self.shared.registry.borrow();
+        let m = self.m() as u64;
+        for c in 0..existing {
+            awaiting.insert(c);
+            env.send(reg.data_node(group * m + c as u64), Msg::TransferShard { token });
+        }
+        drop(reg);
+        self.recoveries.insert(
+            token,
+            RecoveryCtx {
+                group,
+                purpose: Purpose::Upgrade,
+                k: k_new,
+                rebuild: (self.m() + k_old..self.m() + k_new).collect(),
+                awaiting,
+                collected: HashMap::new(),
+                installs: HashMap::new(),
+                spares: HashMap::new(),
+            },
+        );
+        // A group with no existing columns (cannot happen: groups are
+        // created by splits into them) would stall; guard anyway.
+        if existing == 0 {
+            let ctx = self.recoveries.remove(&token).expect("just inserted");
+            self.finish_collection(env, token, ctx);
+        }
+    }
+
+    // ----- failure detection -----
+
+    fn handle_suspect(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        op_id: OpId,
+        client: NodeId,
+        kind: ReqKind,
+    ) {
+        let bucket = self.state.address(kind.key());
+        let group = bucket / self.m() as u64;
+        if self.dead_groups.contains(&group) {
+            env.send(
+                client,
+                Msg::Reply {
+                    op_id,
+                    result: OpResult::Failed("group unrecoverable".into()),
+                    iam: None,
+                },
+            );
+            return;
+        }
+        // Already working on this group: park the op.
+        if self.checking_groups.contains(&group)
+            || self.recoveries.values().any(|r| r.group == group)
+        {
+            self.queued_ops
+                .entry(group)
+                .or_default()
+                .push((op_id, client, kind));
+            return;
+        }
+        let col = (bucket % self.m() as u64) as usize;
+        if self.failed.contains(&(group, col)) {
+            // Known failure, recovery apparently finished (or pending
+            // elsewhere); queue and audit again.
+            self.queued_ops
+                .entry(group)
+                .or_default()
+                .push((op_id, client, kind));
+            self.start_group_check(env, group);
+            return;
+        }
+        // Probe the bucket's node.
+        let token = self.token();
+        let node = self.shared.registry.borrow().data_node(bucket);
+        env.send(node, Msg::Probe { token });
+        let timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+        self.timer_tokens.insert(timer, token);
+        self.probes.insert(
+            token,
+            ProbeCtx {
+                bucket,
+                pending: vec![(op_id, client, kind)],
+                timer,
+            },
+        );
+    }
+
+    fn handle_probe_ack(&mut self, env: &mut Env<'_, Msg>, token: u64, from: NodeId) {
+        // A plain probe: the node is alive, deliver the parked ops
+        // directly (the client image or a forwarding hop was at fault).
+        if let Some(probe) = self.probes.remove(&token) {
+            env.cancel_timer(probe.timer);
+            self.timer_tokens.remove(&probe.timer);
+            let node = self.shared.registry.borrow().data_node(probe.bucket);
+            for (op_id, client, kind) in probe.pending {
+                env.send(
+                    node,
+                    Msg::Req {
+                        op_id,
+                        client,
+                        intended: probe.bucket,
+                        hops: 1,
+                        kind,
+                    },
+                );
+            }
+            return;
+        }
+        // Otherwise it belongs to a group check; the responding shard is
+        // identified by its node id.
+        self.note_check_ack(env, token, from);
+    }
+
+    fn start_group_check(&mut self, env: &mut Env<'_, Msg>, group: u64) {
+        self.checking_groups.insert(group);
+        let token = self.token();
+        let m = self.m() as u64;
+        let existing = self.existing_cols(group);
+        let reg = self.shared.registry.borrow();
+        let mut probed = Vec::new();
+        for c in 0..existing {
+            probed.push((c, reg.data_node(group * m + c as u64)));
+        }
+        for (q, n) in reg.parity_nodes(group).iter().enumerate() {
+            probed.push((self.m() + q, *n));
+        }
+        drop(reg);
+        for (_, node) in &probed {
+            env.send(*node, Msg::Probe { token });
+        }
+        let timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+        self.timer_tokens.insert(timer, token);
+        self.checks.insert(
+            token,
+            GroupCheckCtx {
+                group,
+                probed,
+                responded: HashSet::new(),
+                timer,
+            },
+        );
+    }
+
+    /// Group-check probe acks arrive as ProbeAck with the check's token;
+    /// routed here from the dispatcher. A check whose every probed shard
+    /// responded finishes early (healthy groups pay no timeout).
+    fn note_check_ack(&mut self, env: &mut Env<'_, Msg>, token: u64, node: NodeId) {
+        let all_in = if let Some(ctx) = self.checks.get_mut(&token) {
+            if let Some((shard, _)) = ctx.probed.iter().find(|(_, n)| *n == node) {
+                ctx.responded.insert(*shard);
+            }
+            ctx.responded.len() == ctx.probed.len()
+        } else {
+            false
+        };
+        if all_in {
+            let check = self.checks.remove(&token).expect("checked above");
+            env.cancel_timer(check.timer);
+            self.timer_tokens.remove(&check.timer);
+            self.finish_group_check(env, check);
+        }
+    }
+
+    fn finish_group_check(&mut self, env: &mut Env<'_, Msg>, check: GroupCheckCtx) {
+        let group = check.group;
+        let failed: Vec<usize> = check
+            .probed
+            .iter()
+            .map(|(s, _)| *s)
+            .filter(|s| !check.responded.contains(s))
+            .collect();
+        self.checking_groups.remove(&group);
+        if failed.is_empty() {
+            // False alarm: replay queued ops to their (live) buckets.
+            self.replay_queued(env, group);
+            self.drain_queues(env);
+            return;
+        }
+        let k_g = self.group_k[group as usize];
+        self.events.push((
+            env.now(),
+            CoordEvent::FailureDetected {
+                group,
+                shards: failed.clone(),
+            },
+        ));
+        if failed.len() > k_g {
+            self.dead_groups.insert(group);
+            self.events.push((
+                env.now(),
+                CoordEvent::GroupUnrecoverable {
+                    group,
+                    failed: failed.len(),
+                },
+            ));
+            for (op_id, client, _) in self.queued_ops.remove(&group).unwrap_or_default() {
+                env.send(
+                    client,
+                    Msg::Reply {
+                        op_id,
+                        result: OpResult::Failed("group unrecoverable".into()),
+                        iam: None,
+                    },
+                );
+            }
+            self.drain_queues(env);
+            return;
+        }
+        for &s in &failed {
+            self.failed.insert((group, s));
+        }
+
+        // Serve queued *lookups* right now in degraded mode; writes wait
+        // for the rebuilt bucket.
+        let queued = self.queued_ops.entry(group).or_default();
+        let mut keep = Vec::new();
+        let mut degraded_lookups = Vec::new();
+        for (op_id, client, kind) in queued.drain(..) {
+            match kind {
+                ReqKind::Lookup(key) => degraded_lookups.push((op_id, client, key)),
+                other => keep.push((op_id, client, other)),
+            }
+        }
+        *queued = keep;
+        for (op_id, client, key) in degraded_lookups {
+            self.start_degraded_read(env, group, op_id, client, key);
+        }
+
+        // Kick off the rebuild: collect all surviving data columns plus as
+        // many parity shards as there are failed data columns.
+        let token = self.token();
+        let m = self.m();
+        let existing = self.existing_cols(group);
+        let failed_data: Vec<usize> = failed.iter().copied().filter(|&s| s < m).collect();
+        let reg = self.shared.registry.borrow();
+        let mut awaiting = HashSet::new();
+        for c in 0..existing {
+            if !failed.contains(&c) {
+                awaiting.insert(c);
+                env.send(
+                    reg.data_node(group * m as u64 + c as u64),
+                    Msg::TransferShard { token },
+                );
+            }
+        }
+        let mut parity_needed = failed_data.len();
+        for (q, node) in reg.parity_nodes(group).iter().enumerate() {
+            if parity_needed == 0 {
+                break;
+            }
+            if !failed.contains(&(m + q)) {
+                awaiting.insert(m + q);
+                env.send(*node, Msg::TransferShard { token });
+                parity_needed -= 1;
+            }
+        }
+        drop(reg);
+        debug_assert_eq!(parity_needed, 0, "tolerance check guarantees survivors");
+        self.recoveries.insert(
+            token,
+            RecoveryCtx {
+                group,
+                purpose: Purpose::Repair,
+                k: k_g,
+                rebuild: failed,
+                awaiting,
+                collected: HashMap::new(),
+                installs: HashMap::new(),
+                spares: HashMap::new(),
+            },
+        );
+        // Degenerate case: nothing to await (e.g. group of one existing
+        // failed column rebuilt purely from parity... then parity was
+        // awaited; truly empty only if no survivors needed).
+        if self.recoveries[&token].awaiting.is_empty() {
+            let ctx = self.recoveries.remove(&token).expect("just inserted");
+            self.finish_collection(env, token, ctx);
+        }
+    }
+
+    fn replay_queued(&mut self, env: &mut Env<'_, Msg>, group: u64) {
+        let reg = self.shared.registry.borrow();
+        for (op_id, client, kind) in self.queued_ops.remove(&group).unwrap_or_default() {
+            let bucket = self.state.address(kind.key());
+            env.send(
+                reg.data_node(bucket),
+                Msg::Req {
+                    op_id,
+                    client,
+                    intended: bucket,
+                    hops: 1,
+                    kind,
+                },
+            );
+        }
+    }
+
+    // ----- degraded-mode record recovery -----
+
+    fn start_degraded_read(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        group: u64,
+        op_id: OpId,
+        client: NodeId,
+        key: Key,
+    ) {
+        // Ask a surviving parity bucket which rank holds the key.
+        let m = self.m();
+        let reg = self.shared.registry.borrow();
+        let alive_parity = reg
+            .parity_nodes(group)
+            .iter()
+            .enumerate()
+            .find(|(q, _)| !self.failed.contains(&(group, m + q)));
+        let Some((_, &pnode)) = alive_parity else {
+            drop(reg);
+            env.send(
+                client,
+                Msg::Reply {
+                    op_id,
+                    result: OpResult::Failed("no surviving parity bucket".into()),
+                    iam: None,
+                },
+            );
+            return;
+        };
+        drop(reg);
+        let token = self.token();
+        env.send(pnode, Msg::FindRecord { key, token });
+        self.degraded.insert(
+            token,
+            DegradedCtx {
+                group,
+                op_id,
+                client,
+                key,
+                stage: DegradedStage::AwaitFind,
+            },
+        );
+    }
+
+    fn handle_find_reply(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        token: u64,
+        found: Option<(Rank, Vec<Option<Key>>)>,
+    ) {
+        let Some(mut ctx) = self.degraded.remove(&token) else {
+            return;
+        };
+        let Some((rank, keys)) = found else {
+            // The key never existed: unsuccessful-search semantics.
+            env.send(
+                ctx.client,
+                Msg::Reply {
+                    op_id: ctx.op_id,
+                    result: OpResult::Value(None),
+                    iam: None,
+                },
+            );
+            self.drain_queues(env);
+            return;
+        };
+        let m = self.m();
+        let target_col = keys
+            .iter()
+            .position(|k| *k == Some(ctx.key))
+            .expect("parity reported the key");
+        // Gather m shards: existing live data columns first, then parity.
+        let group = ctx.group;
+        let existing = self.existing_cols(group);
+        let mut cells: HashMap<usize, Vec<u8>> = HashMap::new();
+        // Non-existing columns are known-zero locally.
+        for c in existing..m {
+            cells.insert(c, vec![0u8; self.shared.cfg.cell_len()]);
+        }
+        let mut requested = 0usize;
+        let reg = self.shared.registry.borrow();
+        let mut remaining = m.saturating_sub(cells.len());
+        for c in 0..existing {
+            if remaining == 0 {
+                break;
+            }
+            if !self.failed.contains(&(group, c)) {
+                env.send(
+                    reg.data_node(group * m as u64 + c as u64),
+                    Msg::ReadCell { rank, token },
+                );
+                requested += 1;
+                remaining -= 1;
+            }
+        }
+        for (q, node) in reg.parity_nodes(group).iter().enumerate() {
+            if remaining == 0 {
+                break;
+            }
+            if !self.failed.contains(&(group, m + q)) {
+                env.send(*node, Msg::ReadCell { rank, token });
+                requested += 1;
+                remaining -= 1;
+            }
+        }
+        drop(reg);
+        debug_assert_eq!(remaining, 0, "tolerance guarantees m live shards");
+        let need = cells.len() + requested;
+        debug_assert_eq!(need, m);
+        ctx.stage = DegradedStage::AwaitCells {
+            target_col,
+            cells,
+            need,
+        };
+        self.degraded.insert(token, ctx);
+    }
+
+    fn handle_cell_data(&mut self, env: &mut Env<'_, Msg>, token: u64, shard: usize, cell: Vec<u8>) {
+        let done = {
+            let Some(ctx) = self.degraded.get_mut(&token) else {
+                return;
+            };
+            let DegradedStage::AwaitCells { cells, need, .. } = &mut ctx.stage else {
+                return;
+            };
+            cells.insert(shard, cell);
+            cells.len() >= *need
+        };
+        if !done {
+            return;
+        }
+        let ctx = self.degraded.remove(&token).expect("present");
+        let DegradedStage::AwaitCells {
+            target_col, cells, ..
+        } = ctx.stage
+        else {
+            unreachable!()
+        };
+        let code = AnyCode::new(
+            self.shared.cfg.field,
+            self.m(),
+            self.group_k[ctx.group as usize],
+        )
+        .expect("validated config");
+        let avail: Vec<(usize, &[u8])> = cells.iter().map(|(s, c)| (*s, c.as_slice())).collect();
+        let result = match code.reconstruct_one(target_col, &avail) {
+            Ok(cell) => match decode_cell(&cell) {
+                Some(payload) => OpResult::Value(Some(payload)),
+                None => OpResult::Failed("corrupt cell after decode".into()),
+            },
+            Err(e) => OpResult::Failed(format!("decode failed: {e}")),
+        };
+        env.send(
+            ctx.client,
+            Msg::Reply {
+                op_id: ctx.op_id,
+                result,
+                iam: None,
+            },
+        );
+        self.drain_queues(env);
+    }
+
+    // ----- shard collection, decode, install -----
+
+    fn handle_shard_data(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        token: u64,
+        shard: usize,
+        content: ShardContent,
+    ) {
+        let Some(ctx) = self.recoveries.get_mut(&token) else {
+            return;
+        };
+        if ctx.awaiting.remove(&shard) {
+            ctx.collected.insert(shard, content);
+        }
+        if ctx.awaiting.is_empty() {
+            let ctx = self.recoveries.remove(&token).expect("present");
+            self.finish_collection(env, token, ctx);
+        }
+    }
+
+    fn finish_collection(&mut self, env: &mut Env<'_, Msg>, token: u64, mut ctx: RecoveryCtx) {
+        let m = self.m();
+        let cell_len = self.shared.cfg.cell_len();
+        let existing = self.existing_cols(ctx.group);
+        let code = AnyCode::new(self.shared.cfg.field, m, ctx.k).expect("validated config");
+        let rebuilt = rebuild_shards(
+            m,
+            ctx.k,
+            cell_len,
+            existing,
+            &ctx.collected,
+            &ctx.rebuild,
+            &code,
+        );
+
+        // Install each rebuilt shard on a spare node.
+        for (shard, content) in rebuilt {
+            let spare = self.alloc_node();
+            let install_token = self.token();
+            let (bucket, index) = if shard < m {
+                (Some(ctx.group * m as u64 + shard as u64), None)
+            } else {
+                (None, Some(shard - m))
+            };
+            // Data buckets need their level restored; the coordinator
+            // computes it from the file state.
+            let content = match content {
+                ShardContent::Data {
+                    next_rank, records, ..
+                } => ShardContent::Data {
+                    level: self.state.level_of(bucket.expect("data shard")),
+                    next_rank,
+                    records,
+                },
+                p => p,
+            };
+            env.send(
+                spare,
+                Msg::Install {
+                    group: ctx.group,
+                    bucket,
+                    index,
+                    k: ctx.k,
+                    content,
+                    token: install_token,
+                },
+            );
+            ctx.installs.insert(install_token, shard);
+            ctx.spares.insert(shard, spare);
+        }
+        self.recoveries.insert(token, ctx);
+    }
+
+    fn handle_install_ack(&mut self, env: &mut Env<'_, Msg>, install_token: u64) {
+        let Some(recovery_token) = self
+            .recoveries
+            .iter()
+            .find(|(_, c)| c.installs.contains_key(&install_token))
+            .map(|(t, _)| *t)
+        else {
+            return;
+        };
+        let done = {
+            let ctx = self.recoveries.get_mut(&recovery_token).expect("found");
+            let shard = ctx.installs.remove(&install_token).expect("found");
+            let spare = ctx.spares[&shard];
+            let m = self.shared.cfg.group_size;
+            let mut reg = self.shared.registry.borrow_mut();
+            if shard < m {
+                reg.move_data(ctx.group * m as u64 + shard as u64, spare);
+            } else if shard - m < reg.group_k(ctx.group) {
+                reg.move_parity(ctx.group, shard - m, spare);
+            } else {
+                // Upgrade: append the new parity column.
+                let mut nodes = reg.parity_nodes(ctx.group).to_vec();
+                debug_assert_eq!(nodes.len(), shard - m);
+                nodes.push(spare);
+                reg.set_parity(ctx.group, nodes);
+            }
+            ctx.installs.is_empty()
+        };
+        if done {
+            let ctx = self.recoveries.remove(&recovery_token).expect("found");
+            match ctx.purpose {
+                Purpose::Repair => {
+                    for &s in &ctx.rebuild {
+                        self.failed.remove(&(ctx.group, s));
+                    }
+                    self.events.push((
+                        env.now(),
+                        CoordEvent::GroupRecovered {
+                            group: ctx.group,
+                            shards: ctx.rebuild.clone(),
+                        },
+                    ));
+                    self.replay_queued(env, ctx.group);
+                }
+                Purpose::Upgrade => {
+                    self.group_k[ctx.group as usize] = ctx.k;
+                    self.events.push((
+                        env.now(),
+                        CoordEvent::GroupUpgraded {
+                            group: ctx.group,
+                            k: ctx.k,
+                        },
+                    ));
+                }
+            }
+            self.drain_queues(env);
+        }
+    }
+}
+
+/// Rebuild the listed shards of one group from the collected survivors.
+///
+/// Pure function (no messaging) so the decode logic is unit-testable. Uses
+/// the concatenated-buffer trick: all ranks of a shard are laid out
+/// rank-major in one buffer, so one `reconstruct` call decodes every record
+/// group at once.
+fn rebuild_shards(
+    m: usize,
+    k: usize,
+    cell_len: usize,
+    existing_cols: usize,
+    collected: &HashMap<usize, ShardContent>,
+    rebuild: &[usize],
+    code: &AnyCode,
+) -> Vec<(usize, ShardContent)> {
+    // Universe of ranks.
+    let mut ranks: BTreeSet<Rank> = BTreeSet::new();
+    for content in collected.values() {
+        match content {
+            ShardContent::Data { records, .. } => ranks.extend(records.iter().map(|(r, _, _)| *r)),
+            ShardContent::Parity { records } => ranks.extend(records.iter().map(|(r, _, _)| *r)),
+        }
+    }
+    let rank_pos: BTreeMap<Rank, usize> =
+        ranks.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let n_ranks = ranks.len();
+    let buf_len = n_ranks * cell_len;
+
+    let mut shards: Vec<Option<Vec<u8>>> = vec![None; m + k];
+    // Known-zero: data columns beyond the file's current size.
+    for slot in shards.iter_mut().take(m).skip(existing_cols) {
+        *slot = Some(vec![0u8; buf_len]);
+    }
+    for (&idx, content) in collected {
+        let mut buf = vec![0u8; buf_len];
+        match content {
+            ShardContent::Data { records, .. } => {
+                for (rank, _, payload) in records {
+                    let pos = rank_pos[rank] * cell_len;
+                    let cell = crate::record::encode_cell(payload, cell_len);
+                    buf[pos..pos + cell_len].copy_from_slice(&cell);
+                }
+            }
+            ShardContent::Parity { records } => {
+                for (rank, _, cell) in records {
+                    let pos = rank_pos[rank] * cell_len;
+                    buf[pos..pos + cell_len].copy_from_slice(cell);
+                }
+            }
+        }
+        shards[idx] = Some(buf);
+    }
+    code.reconstruct(&mut shards)
+        .expect("≤ k erasures by the tolerance check");
+
+    // Keys per (rank, col): from collected data shards and any collected
+    // parity shard's key lists.
+    let mut keys: BTreeMap<Rank, Vec<Option<Key>>> =
+        ranks.iter().map(|r| (*r, vec![None; m])).collect();
+    for (&idx, content) in collected {
+        match content {
+            ShardContent::Data { records, .. } => {
+                for (rank, key, _) in records {
+                    keys.get_mut(rank).expect("rank known")[idx] = Some(*key);
+                }
+            }
+            ShardContent::Parity { records } => {
+                for (rank, ks, _) in records {
+                    let slot = keys.get_mut(rank).expect("rank known");
+                    for (dst, src) in slot.iter_mut().zip(ks) {
+                        if src.is_some() {
+                            *dst = *src;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for &shard in rebuild {
+        let buf = shards[shard].as_ref().expect("reconstructed");
+        if shard < m {
+            // A data bucket: records are the ranks where this column holds
+            // a key.
+            let mut records = Vec::new();
+            let mut max_rank: Option<Rank> = None;
+            for (rank, pos) in &rank_pos {
+                if let Some(key) = keys[rank][shard] {
+                    let cell = &buf[pos * cell_len..(pos + 1) * cell_len];
+                    let payload = decode_cell(cell).expect("decoded cell is well-formed");
+                    records.push((*rank, key, payload));
+                    max_rank = Some(max_rank.map_or(*rank, |m0: Rank| m0.max(*rank)));
+                }
+            }
+            out.push((
+                shard,
+                ShardContent::Data {
+                    level: 0, // restored by the coordinator from file state
+                    next_rank: max_rank.map_or(0, |r| r + 1),
+                    records,
+                },
+            ));
+        } else {
+            // A parity bucket: one parity record per rank with any member.
+            let mut records = Vec::new();
+            for (rank, pos) in &rank_pos {
+                let ks = keys[rank].clone();
+                if ks.iter().any(Option::is_some) {
+                    let cell = buf[pos * cell_len..(pos + 1) * cell_len].to_vec();
+                    records.push((*rank, ks, cell));
+                }
+            }
+            out.push((shard, ShardContent::Parity { records }));
+        }
+    }
+    out
+}
+
+/// Recompute `(n, i)` from the `(bucket, level)` pairs of a full scan —
+/// algorithm A6: the split pointer sits exactly where the level drops by
+/// one; if no drop exists the pointer is 0 and the level is uniform.
+fn recompute_state(replies: &[(u64, u8)]) -> (u64, u8) {
+    let mut by_bucket: Vec<(u64, u8)> = replies.to_vec();
+    by_bucket.sort_unstable();
+    debug_assert!(!by_bucket.is_empty());
+    for w in by_bucket.windows(2) {
+        let (_, j_prev) = w[0];
+        let (b, j) = w[1];
+        if j_prev == j + 1 {
+            return (b, j);
+        }
+    }
+    // Uniform level: n = 0.
+    let i = by_bucket[0].1;
+    debug_assert_eq!(by_bucket.len() as u64, 1u64 << i, "E1 cross-check");
+    (0, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::GfField;
+    use crate::record::encode_cell;
+
+    #[test]
+    fn recompute_state_finds_split_pointer() {
+        // M = 6: levels 3,3,2,2,3,3 → n = 2, i = 2.
+        let replies = vec![(0, 3), (1, 3), (2, 2), (3, 2), (4, 3), (5, 3)];
+        assert_eq!(recompute_state(&replies), (2, 2));
+        // Order must not matter.
+        let mut shuffled = replies.clone();
+        shuffled.reverse();
+        assert_eq!(recompute_state(&shuffled), (2, 2));
+    }
+
+    #[test]
+    fn recompute_state_uniform_levels() {
+        let replies = vec![(0, 2), (1, 2), (2, 2), (3, 2)];
+        assert_eq!(recompute_state(&replies), (0, 2));
+        assert_eq!(recompute_state(&[(0, 0)]), (0, 0));
+    }
+
+    #[test]
+    fn rebuild_shards_data_and_parity() {
+        let m = 4;
+        let k = 2;
+        let cell_len = 12;
+        let code = AnyCode::new(GfField::Gf8, m, k).unwrap();
+
+        // Build a consistent group: 3 existing columns with some records.
+        let data: Vec<Vec<(Rank, Key, Vec<u8>)>> = vec![
+            vec![(0, 10, b"aa".to_vec()), (1, 11, b"bb".to_vec())],
+            vec![(0, 20, b"cc".to_vec())],
+            vec![(1, 31, b"dd".to_vec()), (2, 32, b"ee".to_vec())],
+        ];
+        // Parity from scratch.
+        let ranks = [0u64, 1, 2];
+        type ParityRecords = Vec<(Rank, Vec<Option<Key>>, Vec<u8>)>;
+        let mut parity: Vec<ParityRecords> = vec![Vec::new(); k];
+        for &rank in &ranks {
+            let mut keys = vec![None; m];
+            let mut cells: Vec<Vec<u8>> = vec![vec![0u8; cell_len]; m];
+            for (c, recs) in data.iter().enumerate() {
+                for (r, key, payload) in recs {
+                    if *r == rank {
+                        keys[c] = Some(*key);
+                        cells[c] = encode_cell(payload, cell_len);
+                    }
+                }
+            }
+            let refs: Vec<&[u8]> = cells.iter().map(|c| c.as_slice()).collect();
+            let pcells = code.encode(&refs).unwrap();
+            for (q, list) in parity.iter_mut().enumerate() {
+                list.push((rank, keys.clone(), pcells[q].clone()));
+            }
+        }
+
+        // Lose data column 1 and parity 1; collect cols 0, 2 and parity 0.
+        let mut collected = HashMap::new();
+        collected.insert(
+            0,
+            ShardContent::Data {
+                level: 5,
+                next_rank: 2,
+                records: data[0].clone(),
+            },
+        );
+        collected.insert(
+            2,
+            ShardContent::Data {
+                level: 5,
+                next_rank: 3,
+                records: data[2].clone(),
+            },
+        );
+        collected.insert(
+            m,
+            ShardContent::Parity {
+                records: parity[0].clone(),
+            },
+        );
+        let rebuilt = rebuild_shards(m, k, cell_len, 3, &collected, &[1, m + 1], &code);
+        let by_shard: HashMap<usize, &ShardContent> =
+            rebuilt.iter().map(|(s, c)| (*s, c)).collect();
+
+        match by_shard[&1] {
+            ShardContent::Data {
+                next_rank, records, ..
+            } => {
+                assert_eq!(*next_rank, 1);
+                assert_eq!(records, &vec![(0, 20, b"cc".to_vec())]);
+            }
+            _ => panic!("expected data shard"),
+        }
+        match by_shard[&(m + 1)] {
+            ShardContent::Parity { records } => {
+                assert_eq!(records.len(), parity[1].len());
+                for (got, want) in records.iter().zip(&parity[1]) {
+                    assert_eq!(got, want);
+                }
+            }
+            _ => panic!("expected parity shard"),
+        }
+    }
+
+    #[test]
+    fn rebuild_with_nonexistent_columns_as_zero() {
+        // Group of m = 4 but only 1 existing column; k = 1. Lose the one
+        // data column; rebuild from parity alone plus known-zero columns.
+        let m = 4;
+        let k = 1;
+        let cell_len = 10;
+        let code = AnyCode::new(GfField::Gf8, m, k).unwrap();
+        let rec: (Rank, Key, Vec<u8>) = (0, 77, b"xyz".to_vec());
+        let cell = encode_cell(&rec.2, cell_len);
+        // Parity 0 is the XOR of the single member.
+        let mut keys = vec![None; m];
+        keys[0] = Some(77);
+        let mut collected = HashMap::new();
+        collected.insert(
+            m,
+            ShardContent::Parity {
+                records: vec![(0, keys, cell)],
+            },
+        );
+        let rebuilt = rebuild_shards(m, k, cell_len, 1, &collected, &[0], &code);
+        match &rebuilt[0].1 {
+            ShardContent::Data {
+                records, next_rank, ..
+            } => {
+                assert_eq!(records, &vec![rec]);
+                assert_eq!(*next_rank, 1);
+            }
+            _ => panic!("expected data shard"),
+        }
+    }
+
+    #[test]
+    fn rebuild_empty_group_yields_empty_shards() {
+        let m = 2;
+        let k = 1;
+        let code = AnyCode::new(GfField::Gf8, m, k).unwrap();
+        let mut collected = HashMap::new();
+        collected.insert(
+            1,
+            ShardContent::Data {
+                level: 1,
+                next_rank: 0,
+                records: Vec::new(),
+            },
+        );
+        collected.insert(m, ShardContent::Parity { records: Vec::new() });
+        let rebuilt = rebuild_shards(m, k, 8, 2, &collected, &[0], &code);
+        match &rebuilt[0].1 {
+            ShardContent::Data { records, .. } => assert!(records.is_empty()),
+            _ => panic!("expected data shard"),
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The data-bucket server: primary record storage, A2 forwarding, rank
+//! assignment, Δ-emission to parity buckets, and splitting.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, HashMap};
+
+use lhrs_lh::{a2_route, A2Outcome};
+use lhrs_sim::{Env, NodeId};
+
+use crate::msg::{DeltaEntry, Iam, KeyOp, Msg, OpResult, ReqKind, ShardContent};
+use crate::record::{cell_delta, encode_cell, Record};
+use crate::registry::SharedHandle;
+use crate::{Key, Rank};
+
+/// A primary (data) bucket of the LH\*RS file.
+pub struct DataBucket {
+    shared: SharedHandle,
+    /// Logical bucket number.
+    pub bucket: u64,
+    /// Current bucket level `j`.
+    pub level: u8,
+    /// Records by rank — the rank is the `r` of the record-group key.
+    records: BTreeMap<Rank, Record>,
+    /// Key → rank index for O(1) key access.
+    by_key: HashMap<Key, Rank>,
+    /// The insert counter `r`: next never-used rank.
+    next_rank: Rank,
+    /// Ranks freed by deletes, reused smallest-first to keep record groups
+    /// dense (the §4.3 storage-efficiency rule, applied locally).
+    free_ranks: BinaryHeap<Reverse<Rank>>,
+    /// Whether an overflow report is already outstanding.
+    overflow_reported: bool,
+}
+
+impl DataBucket {
+    /// Create an empty bucket.
+    pub fn new(shared: SharedHandle, bucket: u64, level: u8) -> Self {
+        DataBucket {
+            shared,
+            bucket,
+            level,
+            records: BTreeMap::new(),
+            by_key: HashMap::new(),
+            next_rank: 0,
+            free_ranks: BinaryHeap::new(),
+            overflow_reported: false,
+        }
+    }
+
+    /// Restore a bucket from recovered content (hot-spare installation).
+    pub fn from_content(
+        shared: SharedHandle,
+        bucket: u64,
+        level: u8,
+        next_rank: Rank,
+        records: Vec<(Rank, Key, Vec<u8>)>,
+    ) -> Self {
+        let mut b = DataBucket::new(shared, bucket, level);
+        b.next_rank = next_rank;
+        for (rank, key, payload) in records {
+            b.by_key.insert(key, rank);
+            b.records.insert(rank, Record { key, payload });
+        }
+        // Ranks below `next_rank` not in use are reusable gaps.
+        for r in 0..next_rank {
+            if !b.records.contains_key(&r) {
+                b.free_ranks.push(Reverse(r));
+            }
+        }
+        b
+    }
+
+    /// Bucket-group number `g = ⌊bucket / m⌋`.
+    pub fn group(&self) -> u64 {
+        self.bucket / self.shared.cfg.group_size as u64
+    }
+
+    /// Reed–Solomon column index: offset within the group.
+    pub fn col(&self) -> usize {
+        (self.bucket % self.shared.cfg.group_size as u64) as usize
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the bucket holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate `(rank, key, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, Key, &[u8])> {
+        self.records
+            .iter()
+            .map(|(r, rec)| (*r, rec.key, rec.payload.as_slice()))
+    }
+
+    /// Approximate payload bytes held.
+    pub fn payload_bytes(&self) -> usize {
+        self.records.values().map(|r| r.payload.len()).sum()
+    }
+
+    /// Main message handler, called from the node dispatcher.
+    pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Req {
+                op_id,
+                client,
+                intended,
+                hops,
+                kind,
+            } => self.handle_req(env, op_id, client, intended, hops, kind),
+            Msg::DoSplit {
+                source,
+                target,
+                new_level,
+            } => self.handle_split(env, source, target, new_level),
+            Msg::DoMerge {
+                source,
+                target,
+                new_level,
+            } => self.handle_merge(env, source, target, new_level),
+            Msg::MergeLoad { level, records } => {
+                self.level = level;
+                // A merge-driven absorb must not immediately re-split the
+                // bucket (that would undo the shrink the file manager asked
+                // for); a later insert can still report overflow.
+                self.absorb_movers(env, records, false);
+                let coord = self.shared.registry.borrow().coordinator;
+                env.send(coord, Msg::MergeDone { bucket: self.bucket });
+            }
+            Msg::SplitLoad { bucket, level, records } => {
+                // Movers arriving at a freshly initialised bucket.
+                debug_assert_eq!(bucket, self.bucket);
+                debug_assert_eq!(level, self.level);
+                self.absorb_movers(env, records, true);
+                let coord = self.shared.registry.borrow().coordinator;
+                env.send(coord, Msg::SplitDone { bucket: self.bucket });
+            }
+            Msg::Scan {
+                op_id,
+                client,
+                filter,
+                assumed_level,
+                reply_if_empty,
+            } => {
+                // Propagate to the buckets this scan's sender image does not
+                // know about: for each level l the sender missed, the child
+                // bucket created when this bucket split from l to l+1.
+                let mut l = assumed_level;
+                while l < self.level {
+                    let child = self.bucket + (1u64 << l);
+                    let node = self.shared.registry.borrow().data_node(child);
+                    env.send(
+                        node,
+                        Msg::Scan {
+                            op_id,
+                            client,
+                            filter: filter.clone(),
+                            assumed_level: l + 1,
+                            reply_if_empty,
+                        },
+                    );
+                    l += 1;
+                }
+                let hits: Vec<(Key, Vec<u8>)> = self
+                    .records
+                    .values()
+                    .filter(|r| filter.matches(r.key, &r.payload))
+                    .map(|r| (r.key, r.payload.clone()))
+                    .collect();
+                // Probabilistic termination: silent unless there are hits.
+                if reply_if_empty || !hits.is_empty() {
+                    env.send(
+                        client,
+                        Msg::ScanReply {
+                            op_id,
+                            bucket: self.bucket,
+                            level: self.level,
+                            hits,
+                        },
+                    );
+                }
+            }
+            Msg::TransferShard { token } => {
+                let content = ShardContent::Data {
+                    level: self.level,
+                    next_rank: self.next_rank,
+                    records: self
+                        .records
+                        .iter()
+                        .map(|(r, rec)| (*r, rec.key, rec.payload.clone()))
+                        .collect(),
+                };
+                env.send(
+                    from,
+                    Msg::ShardData {
+                        token,
+                        shard: self.col(),
+                        content,
+                    },
+                );
+            }
+            Msg::ReadCell { rank, token } => {
+                let cell_len = self.shared.cfg.cell_len();
+                let cell = self
+                    .records
+                    .get(&rank)
+                    .map(|rec| encode_cell(&rec.payload, cell_len))
+                    .unwrap_or_else(|| vec![0u8; cell_len]);
+                env.send(
+                    from,
+                    Msg::CellData {
+                        token,
+                        shard: self.col(),
+                        cell,
+                    },
+                );
+            }
+            Msg::Probe { token } => {
+                env.send(
+                    from,
+                    Msg::ProbeAck {
+                        token,
+                        bucket: Some(self.bucket),
+                    },
+                );
+            }
+            Msg::StateQuery => {
+                env.send(
+                    from,
+                    Msg::StateReply {
+                        bucket: self.bucket,
+                        level: self.level,
+                    },
+                );
+            }
+            Msg::SelfReport => {
+                // Boot after an outage: check with the coordinator before
+                // serving (the coordinator may have recreated this bucket
+                // on a spare meanwhile).
+                let coord = self.shared.registry.borrow().coordinator;
+                env.send(
+                    coord,
+                    Msg::CheckOwnership {
+                        bucket: Some(self.bucket),
+                        parity: None,
+                    },
+                );
+            }
+            Msg::OwnershipAck => { /* still the owner: resume serving */ }
+            Msg::ParityAck { .. } => { /* reliable-mode ack; nothing to do */ }
+            other => {
+                debug_assert!(false, "data bucket {} got {:?}", self.bucket, other);
+            }
+        }
+    }
+
+    fn handle_req(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        op_id: u64,
+        client: NodeId,
+        _intended: u64,
+        hops: u8,
+        kind: ReqKind,
+    ) {
+        // Algorithm A2: verify this bucket is the correct address, forward
+        // otherwise. N = 1 throughout LH*RS.
+        match a2_route(self.bucket, self.level, kind.key(), 1) {
+            A2Outcome::Forward(next) => {
+                let node = self.shared.registry.borrow().data_node(next);
+                env.send(
+                    node,
+                    Msg::Req {
+                        op_id,
+                        client,
+                        intended: next,
+                        hops: hops + 1,
+                        kind,
+                    },
+                );
+            }
+            A2Outcome::Accept => {
+                let iam = (hops > 0).then_some(Iam {
+                    level: self.level,
+                    bucket: self.bucket,
+                });
+                let ack_writes = self.shared.cfg.ack_writes;
+                match kind {
+                    ReqKind::Lookup(key) => {
+                        let payload = self.by_key.get(&key).map(|r| self.records[r].payload.clone());
+                        env.send(
+                            client,
+                            Msg::Reply {
+                                op_id,
+                                result: OpResult::Value(payload),
+                                iam,
+                            },
+                        );
+                    }
+                    ReqKind::Insert(key, payload) => {
+                        if self.by_key.contains_key(&key) {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::DuplicateKey,
+                                    iam,
+                                },
+                            );
+                            return;
+                        }
+                        let rank = self.alloc_rank();
+                        let cell = encode_cell(&payload, self.shared.cfg.cell_len());
+                        self.by_key.insert(key, rank);
+                        self.records.insert(rank, Record { key, payload });
+                        self.emit_delta(env, rank, KeyOp::Add(key), cell);
+                        self.maybe_report_overflow(env);
+                        if ack_writes || iam.is_some() {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::Inserted,
+                                    iam,
+                                },
+                            );
+                        }
+                    }
+                    ReqKind::Update(key, new_payload) => {
+                        let Some(&rank) = self.by_key.get(&key) else {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::NotFound,
+                                    iam,
+                                },
+                            );
+                            return;
+                        };
+                        let cell_len = self.shared.cfg.cell_len();
+                        let rec = self.records.get_mut(&rank).expect("index consistent");
+                        let old_cell = encode_cell(&rec.payload, cell_len);
+                        let new_cell = encode_cell(&new_payload, cell_len);
+                        rec.payload = new_payload;
+                        let delta = cell_delta(&old_cell, &new_cell);
+                        self.emit_delta(env, rank, KeyOp::Keep, delta);
+                        if ack_writes || iam.is_some() {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::Updated,
+                                    iam,
+                                },
+                            );
+                        }
+                    }
+                    ReqKind::Delete(key) => {
+                        let Some(rank) = self.by_key.remove(&key) else {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::NotFound,
+                                    iam,
+                                },
+                            );
+                            return;
+                        };
+                        let rec = self.records.remove(&rank).expect("index consistent");
+                        self.free_ranks.push(Reverse(rank));
+                        let cell = encode_cell(&rec.payload, self.shared.cfg.cell_len());
+                        self.emit_delta(env, rank, KeyOp::Remove(key), cell);
+                        if ack_writes || iam.is_some() {
+                            env.send(
+                                client,
+                                Msg::Reply {
+                                    op_id,
+                                    result: OpResult::Deleted,
+                                    iam,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute a split ordered by the coordinator: partition by
+    /// `h_{new_level}`, ship movers, retract their parity contributions.
+    fn handle_split(&mut self, env: &mut Env<'_, Msg>, source: u64, target: u64, new_level: u8) {
+        debug_assert_eq!(source, self.bucket);
+        let cell_len = self.shared.cfg.cell_len();
+        let mut movers = Vec::new();
+        let mut removals = Vec::new();
+        let moving_ranks: Vec<Rank> = self
+            .records
+            .iter()
+            .filter(|(_, rec)| lhrs_lh::h(new_level, 1, rec.key) == target)
+            .map(|(r, _)| *r)
+            .collect();
+        for rank in moving_ranks {
+            let rec = self.records.remove(&rank).expect("rank listed");
+            self.by_key.remove(&rec.key);
+            self.free_ranks.push(Reverse(rank));
+            removals.push(DeltaEntry {
+                rank,
+                col: self.col(),
+                key_op: KeyOp::Remove(rec.key),
+                delta_cell: encode_cell(&rec.payload, cell_len),
+            });
+            movers.push(rec);
+        }
+        self.level = new_level;
+        self.overflow_reported = false;
+
+        // Retract movers from this group's parity (one batch per parity
+        // bucket — the bulk-transfer optimisation of the paper).
+        if !removals.is_empty() {
+            let group = self.group();
+            let parity_nodes: Vec<NodeId> =
+                self.shared.registry.borrow().parity_nodes(group).to_vec();
+            for pn in parity_nodes {
+                env.send(
+                    pn,
+                    Msg::ParityBatch {
+                        group,
+                        entries: removals.clone(),
+                    },
+                );
+            }
+        }
+
+        // Ship movers to the new bucket (which enrols them in its own
+        // group's parity).
+        let target_node = self.shared.registry.borrow().data_node(target);
+        env.send(
+            target_node,
+            Msg::SplitLoad {
+                bucket: target,
+                level: new_level,
+                records: movers,
+            },
+        );
+        // A split may leave this bucket still over capacity (skewed keys).
+        self.maybe_report_overflow(env);
+    }
+
+    /// Receive records moved in by a split: assign fresh ranks and enrol
+    /// them in this group's parity.
+    fn absorb_movers(&mut self, env: &mut Env<'_, Msg>, records: Vec<Record>, check_overflow: bool) {
+        let cell_len = self.shared.cfg.cell_len();
+        let mut additions = Vec::new();
+        for rec in records {
+            let rank = self.alloc_rank();
+            additions.push(DeltaEntry {
+                rank,
+                col: self.col(),
+                key_op: KeyOp::Add(rec.key),
+                delta_cell: encode_cell(&rec.payload, cell_len),
+            });
+            self.by_key.insert(rec.key, rank);
+            self.records.insert(rank, rec);
+        }
+        if !additions.is_empty() {
+            let group = self.group();
+            let parity_nodes: Vec<NodeId> =
+                self.shared.registry.borrow().parity_nodes(group).to_vec();
+            for pn in parity_nodes {
+                env.send(
+                    pn,
+                    Msg::ParityBatch {
+                        group,
+                        entries: additions.clone(),
+                    },
+                );
+            }
+        }
+        if check_overflow {
+            self.maybe_report_overflow(env);
+        }
+    }
+
+    /// Execute a merge ordered by the coordinator: this bucket (the last
+    /// one, `target`) retracts every record from its group's parity and
+    /// ships them back to `source`. The node is retired afterwards.
+    fn handle_merge(&mut self, env: &mut Env<'_, Msg>, source: u64, target: u64, new_level: u8) {
+        debug_assert_eq!(target, self.bucket);
+        let cell_len = self.shared.cfg.cell_len();
+        let mut removals = Vec::new();
+        let mut movers = Vec::new();
+        let ranks: Vec<Rank> = self.records.keys().copied().collect();
+        for rank in ranks {
+            let rec = self.records.remove(&rank).expect("listed");
+            self.by_key.remove(&rec.key);
+            removals.push(DeltaEntry {
+                rank,
+                col: self.col(),
+                key_op: KeyOp::Remove(rec.key),
+                delta_cell: encode_cell(&rec.payload, cell_len),
+            });
+            movers.push(rec);
+        }
+        if !removals.is_empty() {
+            let group = self.group();
+            let parity_nodes: Vec<NodeId> =
+                self.shared.registry.borrow().parity_nodes(group).to_vec();
+            for pn in parity_nodes {
+                env.send(
+                    pn,
+                    Msg::ParityBatch {
+                        group,
+                        entries: removals.clone(),
+                    },
+                );
+            }
+        }
+        let source_node = self.shared.registry.borrow().data_node(source);
+        env.send(
+            source_node,
+            Msg::MergeLoad {
+                level: new_level,
+                records: movers,
+            },
+        );
+    }
+
+    /// Send one Δ-commit to every parity bucket of this group.
+    fn emit_delta(&self, env: &mut Env<'_, Msg>, rank: Rank, key_op: KeyOp, delta_cell: Vec<u8>) {
+        let group = self.group();
+        let ack_to = self.shared.cfg.ack_parity.then(|| env.me());
+        let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
+        for pn in parity_nodes {
+            env.send(
+                pn,
+                Msg::ParityDelta {
+                    group,
+                    entry: DeltaEntry {
+                        rank,
+                        col: self.col(),
+                        key_op,
+                        delta_cell: delta_cell.clone(),
+                    },
+                    ack_to,
+                },
+            );
+        }
+    }
+
+    fn alloc_rank(&mut self) -> Rank {
+        if let Some(Reverse(r)) = self.free_ranks.pop() {
+            r
+        } else {
+            let r = self.next_rank;
+            self.next_rank += 1;
+            r
+        }
+    }
+
+    fn maybe_report_overflow(&mut self, env: &mut Env<'_, Msg>) {
+        if !self.overflow_reported && self.records.len() > self.shared.cfg.bucket_capacity {
+            self.overflow_reported = true;
+            let coord = self.shared.registry.borrow().coordinator;
+            env.send(
+                coord,
+                Msg::ReportOverflow {
+                    bucket: self.bucket,
+                    size: self.records.len(),
+                },
+            );
+        }
+    }
+
+    /// The insert counter (exposed for tests and recovery assertions).
+    pub fn next_rank(&self) -> Rank {
+        self.next_rank
+    }
+
+    /// The shared handle (used by the node dispatcher for retirement).
+    pub(crate) fn shared_handle(&self) -> SharedHandle {
+        self.shared.clone()
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the LH\*RS driver API.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::LhrsFile`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Bad [`crate::Config`] parameters.
+    InvalidConfig(String),
+    /// The payload exceeds `Config::record_len`.
+    PayloadTooLarge {
+        /// Bytes supplied.
+        got: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The simulated server pool is exhausted; grow `Config::node_pool`.
+    PoolExhausted,
+    /// An operation did not complete inside the simulation (a bug or an
+    /// unrecoverable failure pattern — more crashed buckets in one group
+    /// than the availability level tolerates).
+    Stuck(String),
+    /// Data is unrecoverable: more than `k` buckets of one group are down.
+    Unrecoverable {
+        /// The bucket group concerned.
+        group: u64,
+        /// Failed shards in that group.
+        failed: usize,
+        /// The group's availability level.
+        tolerated: usize,
+    },
+    /// A key-specific operation referenced a key that does not exist
+    /// (update/delete of a missing key).
+    KeyNotFound(u64),
+    /// An insert collided with an existing key.
+    DuplicateKey(u64),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            Error::PayloadTooLarge { got, max } => {
+                write!(f, "payload of {got} bytes exceeds record_len {max}")
+            }
+            Error::PoolExhausted => write!(f, "simulated server pool exhausted"),
+            Error::Stuck(s) => write!(f, "operation did not complete: {s}"),
+            Error::Unrecoverable {
+                group,
+                failed,
+                tolerated,
+            } => write!(
+                f,
+                "group {group} lost {failed} buckets but tolerates only {tolerated}"
+            ),
+            Error::KeyNotFound(k) => write!(f, "key {k} not found"),
+            Error::DuplicateKey(k) => write!(f, "key {k} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,708 @@
+//! [`LhrsFile`]: the synchronous driver API wrapping the simulated LH\*RS
+//! multicomputer.
+//!
+//! The driver owns the discrete-event simulation, injects operations
+//! through a client node, runs the network to quiescence, and returns the
+//! result — so library users get an ordinary key-value API while every
+//! message, failure, and recovery underneath is fully simulated and
+//! accounted.
+
+use lhrs_sim::{NetStats, NodeId, Sim};
+
+use crate::code::AnyCode;
+
+use crate::client::Client;
+use crate::coordinator::{CoordEvent, Coordinator};
+use crate::data_bucket::DataBucket;
+use crate::msg::{ClientOp, FilterSpec, Msg, OpId, OpResult};
+use crate::node::Node;
+use crate::parity_bucket::ParityBucket;
+use crate::record::encode_cell;
+use crate::registry::{Shared, SharedHandle};
+use crate::{Config, Error, Key};
+
+/// Index of a client created by [`LhrsFile::add_client`]; the file always
+/// has client 0.
+pub type ClientId = usize;
+
+/// Storage accounting of the whole file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageReport {
+    /// Data buckets in the file (`M`).
+    pub data_buckets: usize,
+    /// Parity buckets across all groups.
+    pub parity_buckets: usize,
+    /// Primary records stored.
+    pub data_records: usize,
+    /// Parity records stored.
+    pub parity_records: usize,
+    /// Application payload bytes in data buckets.
+    pub data_bytes: usize,
+    /// Parity cell bytes in parity buckets.
+    pub parity_bytes: usize,
+    /// Average data-bucket load factor (records / (buckets × capacity)).
+    pub load_factor: f64,
+    /// Parity storage overhead: parity buckets / data buckets (the paper's
+    /// ≈ k/m figure).
+    pub storage_overhead: f64,
+}
+
+/// What a failure drill did, distilled from the coordinator event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shard indices detected as failed (`0..m` data, `m..` parity).
+    pub failed_shards: Vec<usize>,
+    /// Whether the group was rebuilt.
+    pub recovered: bool,
+    /// Whether the group was declared unrecoverable.
+    pub unrecoverable: bool,
+    /// Simulated duration from detection to recovery, µs.
+    pub duration_us: u64,
+}
+
+/// A running LH\*RS file over the simulated multicomputer.
+pub struct LhrsFile {
+    sim: Sim<Msg, Node>,
+    shared: SharedHandle,
+    coordinator: NodeId,
+    clients: Vec<NodeId>,
+    next_op: OpId,
+    /// Nodes taken down by the failure-injection API, so restart drills can
+    /// find them again: (node, what it carried).
+    crashed_log: Vec<(NodeId, CrashedShard)>,
+}
+
+/// What a crashed node was carrying at crash time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashedShard {
+    Data(u64),
+    Parity(u64, usize),
+}
+
+impl LhrsFile {
+    /// Create a file: one data bucket, `k` parity buckets for group 0, one
+    /// client, a coordinator, and a pool of blank spare nodes.
+    pub fn new(cfg: Config) -> Result<Self, Error> {
+        cfg.validate()?;
+        let latency = cfg.latency;
+        let k = cfg.initial_k;
+        let shared = Shared::new(cfg);
+        let mut sim: Sim<Msg, Node> = Sim::new(latency);
+        let total = shared.cfg.node_pool;
+        let ids: Vec<NodeId> = (0..total)
+            .map(|_| {
+                sim.add_node(Node::Blank {
+                    shared: shared.clone(),
+                    pending: Vec::new(),
+                })
+            })
+            .collect();
+        let coordinator = ids[0];
+        let client = ids[1];
+        let bucket0 = ids[2];
+        let parity: Vec<NodeId> = ids[3..3 + k].to_vec();
+        let pool: Vec<NodeId> = ids[3 + k..].iter().rev().copied().collect();
+
+        {
+            let mut reg = shared.registry.borrow_mut();
+            reg.coordinator = coordinator;
+            reg.push_data(0, bucket0);
+            reg.set_parity(0, parity.clone());
+        }
+        sim.replace(
+            coordinator,
+            Node::Coordinator(Box::new(Coordinator::new(shared.clone(), pool))),
+        );
+        sim.replace(client, Node::Client(Client::new(shared.clone())));
+        sim.replace(bucket0, Node::Data(DataBucket::new(shared.clone(), 0, 0)));
+        for (q, node) in parity.iter().enumerate() {
+            sim.replace(
+                *node,
+                Node::Parity(ParityBucket::new(shared.clone(), 0, q, k)),
+            );
+        }
+        Ok(LhrsFile {
+            sim,
+            shared,
+            coordinator,
+            clients: vec![client],
+            next_op: 1,
+            crashed_log: Vec::new(),
+        })
+    }
+
+    // ----- key-value API -----
+
+    /// Insert a record.
+    pub fn insert(&mut self, key: Key, payload: Vec<u8>) -> Result<(), Error> {
+        self.check_payload(&payload)?;
+        match self.exec_on(0, ClientOp::Insert { key, payload })? {
+            OpResult::Inserted => Ok(()),
+            OpResult::DuplicateKey => Err(Error::DuplicateKey(key)),
+            other => Err(Error::Stuck(format!("unexpected insert result {other:?}"))),
+        }
+    }
+
+    /// Key search; `Ok(None)` is an unsuccessful search.
+    pub fn lookup(&mut self, key: Key) -> Result<Option<Vec<u8>>, Error> {
+        self.lookup_via(0, key)
+    }
+
+    /// Key search through a specific client.
+    pub fn lookup_via(&mut self, client: ClientId, key: Key) -> Result<Option<Vec<u8>>, Error> {
+        match self.exec_on(client, ClientOp::Lookup { key })? {
+            OpResult::Value(v) => Ok(v),
+            OpResult::Failed(e) => Err(Error::Stuck(e)),
+            other => Err(Error::Stuck(format!("unexpected lookup result {other:?}"))),
+        }
+    }
+
+    /// Replace the payload of an existing record.
+    pub fn update(&mut self, key: Key, payload: Vec<u8>) -> Result<(), Error> {
+        self.check_payload(&payload)?;
+        match self.exec_on(0, ClientOp::Update { key, payload })? {
+            OpResult::Updated => Ok(()),
+            OpResult::NotFound => Err(Error::KeyNotFound(key)),
+            other => Err(Error::Stuck(format!("unexpected update result {other:?}"))),
+        }
+    }
+
+    /// Delete a record.
+    pub fn delete(&mut self, key: Key) -> Result<(), Error> {
+        match self.exec_on(0, ClientOp::Delete { key })? {
+            OpResult::Deleted => Ok(()),
+            OpResult::NotFound => Err(Error::KeyNotFound(key)),
+            other => Err(Error::Stuck(format!("unexpected delete result {other:?}"))),
+        }
+    }
+
+    /// Parallel scan with a server-side filter; results sorted by key.
+    pub fn scan(&mut self, filter: FilterSpec) -> Result<Vec<(Key, Vec<u8>)>, Error> {
+        self.scan_via(0, filter)
+    }
+
+    /// Scan through a specific client.
+    pub fn scan_via(
+        &mut self,
+        client: ClientId,
+        filter: FilterSpec,
+    ) -> Result<Vec<(Key, Vec<u8>)>, Error> {
+        match self.exec_on(client, ClientOp::Scan { filter })? {
+            OpResult::ScanHits(hits) => Ok(hits),
+            OpResult::Failed(e) => Err(Error::Stuck(e)),
+            other => Err(Error::Stuck(format!("unexpected scan result {other:?}"))),
+        }
+    }
+
+    /// Pipelined bulk insert: all operations are injected before the
+    /// network runs, modelling a client streaming inserts. Fails on the
+    /// first error.
+    ///
+    /// Structural maintenance (splits/upgrades) may interleave; do not
+    /// combine with concurrent failure injection.
+    pub fn insert_batch(
+        &mut self,
+        items: impl IntoIterator<Item = (Key, Vec<u8>)>,
+    ) -> Result<usize, Error> {
+        let client = self.clients[0];
+        let mut ids = Vec::new();
+        for (key, payload) in items {
+            self.check_payload(&payload)?;
+            let op_id = self.next_op;
+            self.next_op += 1;
+            ids.push((op_id, key));
+            self.sim
+                .send_external(client, Msg::Do { op_id, op: ClientOp::Insert { key, payload } });
+        }
+        self.sim.run_until_idle();
+        self.sim.actor_mut(client).as_client_mut().settle_optimistic();
+        let results = self.sim.actor_mut(client).as_client_mut().take_results();
+        let mut ok = 0;
+        for (op_id, result) in results {
+            match result {
+                OpResult::Inserted => ok += 1,
+                OpResult::DuplicateKey => {
+                    let key = ids.iter().find(|(i, _)| *i == op_id).map(|(_, k)| *k);
+                    return Err(Error::DuplicateKey(key.unwrap_or_default()));
+                }
+                other => return Err(Error::Stuck(format!("bulk insert: {other:?}"))),
+            }
+        }
+        Ok(ok)
+    }
+
+    /// Pipelined bulk insert spread round-robin across `n_clients` clients
+    /// (created on demand), modelling concurrent writers. Returns the
+    /// number of records inserted. Same caveats as
+    /// [`LhrsFile::insert_batch`].
+    pub fn parallel_load(
+        &mut self,
+        n_clients: usize,
+        items: impl IntoIterator<Item = (Key, Vec<u8>)>,
+    ) -> Result<usize, Error> {
+        assert!(n_clients >= 1);
+        while self.clients.len() < n_clients {
+            self.add_client();
+        }
+        let mut count = 0usize;
+        for (i, (key, payload)) in items.into_iter().enumerate() {
+            self.check_payload(&payload)?;
+            let node = self.clients[i % n_clients];
+            let op_id = self.next_op;
+            self.next_op += 1;
+            self.sim.send_external(
+                node,
+                Msg::Do {
+                    op_id,
+                    op: ClientOp::Insert { key, payload },
+                },
+            );
+            count += 1;
+        }
+        self.sim.run_until_idle();
+        let mut ok = 0usize;
+        for c in 0..n_clients {
+            let node = self.clients[c];
+            let client = self.sim.actor_mut(node).as_client_mut();
+            client.settle_optimistic();
+            for (_, result) in client.take_results() {
+                match result {
+                    OpResult::Inserted => ok += 1,
+                    OpResult::DuplicateKey => return Err(Error::DuplicateKey(0)),
+                    other => return Err(Error::Stuck(format!("parallel load: {other:?}"))),
+                }
+            }
+        }
+        debug_assert_eq!(ok, count);
+        Ok(ok)
+    }
+
+    /// Insert/lookup via an explicit client id (any [`ClientOp`]).
+    fn exec_on(&mut self, client: ClientId, op: ClientOp) -> Result<OpResult, Error> {
+        let node = *self
+            .clients
+            .get(client)
+            .ok_or_else(|| Error::Stuck(format!("unknown client {client}")))?;
+        let op_id = self.next_op;
+        self.next_op += 1;
+        self.sim.send_external(node, Msg::Do { op_id, op });
+        self.sim.run_until_idle();
+        self.sim.actor_mut(node).as_client_mut().settle_optimistic();
+        let results = self.sim.actor_mut(node).as_client_mut().take_results();
+        results
+            .into_iter()
+            .find(|(id, _)| *id == op_id)
+            .map(|(_, r)| r)
+            .ok_or_else(|| Error::Stuck("operation produced no result".into()))
+    }
+
+    fn check_payload(&self, payload: &[u8]) -> Result<(), Error> {
+        if payload.len() > self.shared.cfg.record_len {
+            return Err(Error::PayloadTooLarge {
+                got: payload.len(),
+                max: self.shared.cfg.record_len,
+            });
+        }
+        Ok(())
+    }
+
+    // ----- topology & introspection -----
+
+    /// Create an additional client with a fresh (worst-case) image;
+    /// returns its id for the `*_via` methods.
+    pub fn add_client(&mut self) -> ClientId {
+        let node = self.sim.add_node(Node::Client(Client::new(self.shared.clone())));
+        self.clients.push(node);
+        self.clients.len() - 1
+    }
+
+    /// Number of data buckets `M`.
+    pub fn bucket_count(&self) -> u64 {
+        self.coord().state.bucket_count()
+    }
+
+    /// The correct bucket for `key` under the true file state.
+    pub fn address_of(&self, key: Key) -> u64 {
+        self.coord().state.address(key)
+    }
+
+    /// Number of bucket groups with parity provisioned.
+    pub fn group_count(&self) -> usize {
+        self.coord().group_k.len()
+    }
+
+    /// Availability level of group `g`.
+    pub fn group_k(&self, g: u64) -> usize {
+        self.coord().group_k[g as usize]
+    }
+
+    /// Current file-wide availability level.
+    pub fn k_file(&self) -> usize {
+        self.coord().k_file
+    }
+
+    /// The file configuration.
+    pub fn config(&self) -> &Config {
+        &self.shared.cfg
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// Run `f` and return the message statistics it generated.
+    pub fn cost_of(&mut self, f: impl FnOnce(&mut Self)) -> NetStats {
+        let before = self.sim.stats().clone();
+        f(self);
+        self.sim.stats().since(&before)
+    }
+
+    /// Coordinator event log `(simulated µs, event)`.
+    pub fn events(&self) -> &[(u64, CoordEvent)] {
+        &self.coord().events
+    }
+
+    /// IAMs received by a client (image-convergence metric).
+    pub fn client_iams(&self, client: ClientId) -> u64 {
+        self.sim.actor(self.clients[client]).as_client().iams_received
+    }
+
+    /// The image `(n', i')` a client currently holds.
+    pub fn client_image(&self, client: ClientId) -> (u64, u8) {
+        self.sim.actor(self.clients[client]).as_client().image.parts()
+    }
+
+    /// Current simulated time (µs).
+    pub fn now_us(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Storage accounting across all buckets.
+    pub fn storage_report(&self) -> StorageReport {
+        let reg = self.shared.registry.borrow();
+        let m_buckets = reg.data_count();
+        let mut data_records = 0;
+        let mut data_bytes = 0;
+        for b in 0..m_buckets as u64 {
+            let node = reg.data_node(b);
+            if self.sim.is_crashed(node) {
+                continue;
+            }
+            let d = self.sim.actor(node).as_data();
+            data_records += d.len();
+            data_bytes += d.payload_bytes();
+        }
+        let mut parity_buckets = 0;
+        let mut parity_records = 0;
+        let mut parity_bytes = 0;
+        for g in 0..reg.group_count() as u64 {
+            for node in reg.parity_nodes(g) {
+                parity_buckets += 1;
+                if self.sim.is_crashed(*node) {
+                    continue;
+                }
+                let p = self.sim.actor(*node).as_parity();
+                parity_records += p.len();
+                parity_bytes += p.parity_bytes();
+            }
+        }
+        StorageReport {
+            data_buckets: m_buckets,
+            parity_buckets,
+            data_records,
+            parity_records,
+            data_bytes,
+            parity_bytes,
+            load_factor: data_records as f64
+                / (m_buckets as f64 * self.shared.cfg.bucket_capacity as f64),
+            storage_overhead: parity_buckets as f64 / m_buckets as f64,
+        }
+    }
+
+    // ----- failure injection & drills -----
+
+    /// Crash the node carrying data bucket `bucket`.
+    pub fn crash_data_bucket(&mut self, bucket: u64) {
+        let node = self.shared.registry.borrow().data_node(bucket);
+        self.sim.crash(node);
+        self.crashed_log.push((node, CrashedShard::Data(bucket)));
+    }
+
+    /// Crash parity bucket `index` of `group`.
+    pub fn crash_parity_bucket(&mut self, group: u64, index: usize) {
+        let node = self.shared.registry.borrow().parity_nodes(group)[index];
+        self.sim.crash(node);
+        self.crashed_log.push((node, CrashedShard::Parity(group, index)));
+    }
+
+    /// Bring back the node that was crashed while carrying data bucket
+    /// `bucket`, with its state intact, and run the §2.5.4 self-detection
+    /// protocol: the node asks the coordinator whether it still owns the
+    /// bucket. Returns `true` if it resumed as the owner, `false` if it was
+    /// demoted to a hot spare (the bucket had been recreated elsewhere).
+    ///
+    /// # Panics
+    /// Panics if no such crash was injected.
+    pub fn restart_data_bucket(&mut self, bucket: u64) -> bool {
+        let pos = self
+            .crashed_log
+            .iter()
+            .position(|(_, s)| *s == CrashedShard::Data(bucket))
+            .expect("no crashed node recorded for this bucket");
+        let (node, _) = self.crashed_log.remove(pos);
+        self.sim.restart(node);
+        self.sim.send_external(node, Msg::SelfReport);
+        self.sim.run_until_idle();
+        self.shared.registry.borrow().data_node(bucket) == node
+            && !self.sim.actor(node).is_blank()
+    }
+
+    /// Audit a group's liveness and recover any failed shards; returns what
+    /// happened.
+    pub fn check_group(&mut self, group: u64) -> RecoveryReport {
+        let events_before = self.coord().events.len();
+        self.sim.send_external(self.coordinator, Msg::CheckGroup { group });
+        self.sim.run_until_idle();
+        let events = &self.coord().events[events_before..];
+        let mut report = RecoveryReport {
+            failed_shards: Vec::new(),
+            recovered: false,
+            unrecoverable: false,
+            duration_us: 0,
+        };
+        let mut t_detect = None;
+        for (t, ev) in events {
+            match ev {
+                CoordEvent::FailureDetected { group: g, shards } if *g == group => {
+                    report.failed_shards = shards.clone();
+                    t_detect = Some(*t);
+                }
+                CoordEvent::GroupRecovered { group: g, .. } if *g == group => {
+                    report.recovered = true;
+                    report.duration_us = t - t_detect.unwrap_or(*t);
+                }
+                CoordEvent::GroupUnrecoverable { group: g, .. } if *g == group => {
+                    report.unrecoverable = true;
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+
+    /// Undo the last split: merge the last bucket back into its split
+    /// source (§4.3 shrink operation for deletion-heavy files), retiring
+    /// the freed node — and, when a group empties, its parity nodes — to
+    /// the spare pool. Returns `false` when the file is at its initial
+    /// size. The *when* (load-control policy) is left to the deployment,
+    /// as in the paper; call this when the load factor warrants it.
+    pub fn force_merge(&mut self) -> bool {
+        let before = self.bucket_count();
+        if before <= 1 {
+            return false;
+        }
+        self.sim.send_external(self.coordinator, Msg::ForceMerge);
+        self.sim.run_until_idle();
+        self.bucket_count() == before - 1
+    }
+
+    /// Drill algorithm A6: wipe the coordinator's `(n, i)` and rebuild it
+    /// from a bucket scan. Returns the recovered `(n, i)`.
+    ///
+    /// As in the paper, the scan assumes the queried data buckets are
+    /// available (A6 handles the loss of the *state*, held at bucket 0 in
+    /// the original design, not concurrent bucket outages — recover those
+    /// first via [`LhrsFile::check_group`]). If some buckets never reply,
+    /// the scan does not terminate and the previous state is returned
+    /// unchanged.
+    pub fn drill_file_state_recovery(&mut self) -> (u64, u8) {
+        self.sim.send_external(self.coordinator, Msg::RecoverFileState);
+        self.sim.run_until_idle();
+        let state = self.coord().state;
+        (state.split_pointer(), state.level())
+    }
+
+    // ----- deep invariants (used heavily by the test suite) -----
+
+    /// Verify the global LH\*RS invariants across every group:
+    ///
+    /// 1. every record's bucket matches A1 under the true file state;
+    /// 2. for every group and rank, the parity cells equal the
+    ///    Reed–Solomon encoding of the member cells;
+    /// 3. the key lists in every parity bucket match the data buckets;
+    /// 4. all parity buckets of a group agree on membership.
+    ///
+    /// Groups containing crashed nodes are skipped (call after recovery).
+    pub fn verify_integrity(&self) -> Result<(), String> {
+        let reg = self.shared.registry.borrow();
+        let cfg = &self.shared.cfg;
+        let m = cfg.group_size;
+        let cell_len = cfg.cell_len();
+        let state = self.coord().state;
+        let total = reg.data_count() as u64;
+        let groups = reg.group_count() as u64;
+
+        for g in 0..groups {
+            let k_g = reg.group_k(g);
+            let data_nodes: Vec<(u64, NodeId)> = (g * m as u64..((g + 1) * m as u64).min(total))
+                .map(|b| (b, reg.data_node(b)))
+                .collect::<Vec<_>>();
+            let parity_nodes = reg.parity_nodes(g);
+            if data_nodes.iter().any(|(_, n)| self.sim.is_crashed(*n))
+                || parity_nodes.iter().any(|n| self.sim.is_crashed(*n))
+            {
+                continue;
+            }
+            let code = AnyCode::new(cfg.field, m, k_g).map_err(|e| e.to_string())?;
+
+            // Gather per-rank member cells and keys.
+            use std::collections::BTreeMap;
+            type MemberRow = Vec<Option<(Key, Vec<u8>)>>;
+            let mut members: BTreeMap<u64, MemberRow> = BTreeMap::new();
+            for (b, node) in &data_nodes {
+                let bucket = self.sim.actor(*node).as_data();
+                if bucket.bucket != *b {
+                    return Err(format!("node carries bucket {} not {b}", bucket.bucket));
+                }
+                if state.level_of(*b) != bucket.level {
+                    return Err(format!(
+                        "bucket {b} level {} but state implies {}",
+                        bucket.level,
+                        state.level_of(*b)
+                    ));
+                }
+                let col = (b % m as u64) as usize;
+                for (rank, key, payload) in bucket.iter() {
+                    if state.address(key) != *b {
+                        return Err(format!("record {key} misplaced in bucket {b}"));
+                    }
+                    members.entry(rank).or_insert_with(|| vec![None; m])[col] =
+                        Some((key, payload.to_vec()));
+                }
+            }
+
+            for (q, pnode) in parity_nodes.iter().enumerate() {
+                let pb = self.sim.actor(*pnode).as_parity();
+                if pb.group != g || pb.index != q {
+                    return Err(format!(
+                        "parity node mismatch: carries ({}, {}), expected ({g}, {q})",
+                        pb.group, pb.index
+                    ));
+                }
+                let mut seen = 0usize;
+                for (rank, rec) in pb.iter() {
+                    seen += 1;
+                    let Some(row) = members.get(&rank) else {
+                        return Err(format!(
+                            "group {g} parity {q} has ghost record at rank {rank}"
+                        ));
+                    };
+                    // Keys must match exactly.
+                    for (c, slot) in row.iter().enumerate() {
+                        let expect = slot.as_ref().map(|(k, _)| *k);
+                        if rec.keys[c] != expect {
+                            return Err(format!(
+                                "group {g} parity {q} rank {rank} col {c}: keys {:?} != {:?}",
+                                rec.keys[c], expect
+                            ));
+                        }
+                    }
+                    // Parity cell must equal the RS encoding.
+                    let cells: Vec<Vec<u8>> = row
+                        .iter()
+                        .map(|slot| match slot {
+                            Some((_, payload)) => encode_cell(payload, cell_len),
+                            None => vec![0u8; cell_len],
+                        })
+                        .collect();
+                    let refs: Vec<&[u8]> = cells.iter().map(|c| c.as_slice()).collect();
+                    let expect = code.encode(&refs).map_err(|e| e.to_string())?;
+                    if rec.cell != expect[q] {
+                        return Err(format!(
+                            "group {g} parity {q} rank {rank}: parity cell mismatch"
+                        ));
+                    }
+                }
+                if seen != members.len() {
+                    return Err(format!(
+                        "group {g} parity {q}: {seen} parity records but {} record groups",
+                        members.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn coord(&self) -> &Coordinator {
+        self.sim.actor(self.coordinator).as_coordinator()
+    }
+
+    // ----- snapshots -----
+
+    /// Export every live record as a portable byte snapshot (logical dump:
+    /// keys + payloads, not the physical bucket layout). Format:
+    /// `LHRS1 | u64 count | (u64 key | u32 len | bytes)*`, little-endian.
+    pub fn export_snapshot(&self) -> Vec<u8> {
+        let reg = self.shared.registry.borrow();
+        let mut records: Vec<(Key, Vec<u8>)> = Vec::new();
+        for b in 0..reg.data_count() as u64 {
+            let node = reg.data_node(b);
+            if self.sim.is_crashed(node) {
+                continue;
+            }
+            for (_, key, payload) in self.sim.actor(node).as_data().iter() {
+                records.push((key, payload.to_vec()));
+            }
+        }
+        records.sort_by_key(|(k, _)| *k);
+        let mut out = Vec::with_capacity(16 + records.len() * 24);
+        out.extend_from_slice(b"LHRS1");
+        out.extend_from_slice(&(records.len() as u64).to_le_bytes());
+        for (key, payload) in &records {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Rebuild a file from a snapshot produced by
+    /// [`LhrsFile::export_snapshot`] (records are re-inserted under the
+    /// given configuration, so `m`, `k`, and field may all differ from the
+    /// original file's).
+    ///
+    /// # Errors
+    /// [`Error::InvalidConfig`] for a malformed snapshot, plus anything
+    /// [`LhrsFile::insert_batch`] can return.
+    pub fn import_snapshot(cfg: Config, bytes: &[u8]) -> Result<Self, Error> {
+        let malformed = || Error::InvalidConfig("malformed snapshot".into());
+        if bytes.len() < 13 || &bytes[..5] != b"LHRS1" {
+            return Err(malformed());
+        }
+        let count = u64::from_le_bytes(bytes[5..13].try_into().expect("8 bytes")) as usize;
+        let mut records = Vec::with_capacity(count);
+        let mut at = 13usize;
+        for _ in 0..count {
+            if at + 12 > bytes.len() {
+                return Err(malformed());
+            }
+            let key = u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+            let len =
+                u32::from_le_bytes(bytes[at + 8..at + 12].try_into().expect("4 bytes")) as usize;
+            at += 12;
+            if at + len > bytes.len() {
+                return Err(malformed());
+            }
+            records.push((key, bytes[at..at + len].to_vec()));
+            at += len;
+        }
+        if at != bytes.len() {
+            return Err(malformed());
+        }
+        let mut file = LhrsFile::new(cfg)?;
+        file.insert_batch(records)?;
+        Ok(file)
+    }
+}

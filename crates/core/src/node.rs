@@ -1,0 +1,191 @@
+//! The node dispatcher: one simulated server can be blank (pool/spare), a
+//! data bucket, a parity bucket, a client, or the coordinator.
+
+use lhrs_sim::{Actor, Env, NodeId, TimerId};
+
+use crate::client::Client;
+use crate::coordinator::Coordinator;
+use crate::data_bucket::DataBucket;
+use crate::msg::{Msg, ShardContent};
+use crate::parity_bucket::ParityBucket;
+use crate::registry::SharedHandle;
+
+/// A node of the LH\*RS multicomputer.
+pub enum Node {
+    /// Unallocated pool node / hot spare. Buffers any early messages (a
+    /// race possible only under extreme latency models) and replays them
+    /// once initialised.
+    Blank {
+        /// Shared registry/config handle.
+        shared: SharedHandle,
+        /// Messages that arrived before initialisation.
+        pending: Vec<(NodeId, Msg)>,
+    },
+    /// A primary (data) bucket.
+    Data(DataBucket),
+    /// A parity bucket.
+    Parity(ParityBucket),
+    /// A client.
+    Client(Client),
+    /// The coordinator (boxed: it carries the recovery state machines and
+    /// would otherwise dominate the enum's size).
+    Coordinator(Box<Coordinator>),
+}
+
+impl Node {
+    /// Access the client state (panics otherwise) — driver convenience.
+    pub fn as_client(&self) -> &Client {
+        match self {
+            Node::Client(c) => c,
+            _ => panic!("node is not a client"),
+        }
+    }
+
+    /// Mutable client access.
+    pub fn as_client_mut(&mut self) -> &mut Client {
+        match self {
+            Node::Client(c) => c,
+            _ => panic!("node is not a client"),
+        }
+    }
+
+    /// Access the coordinator state (panics otherwise).
+    pub fn as_coordinator(&self) -> &Coordinator {
+        match self {
+            Node::Coordinator(c) => c,
+            _ => panic!("node is not the coordinator"),
+        }
+    }
+
+    /// Mutable coordinator access.
+    pub fn as_coordinator_mut(&mut self) -> &mut Coordinator {
+        match self {
+            Node::Coordinator(c) => c,
+            _ => panic!("node is not the coordinator"),
+        }
+    }
+
+    /// Access a data bucket (panics otherwise).
+    pub fn as_data(&self) -> &DataBucket {
+        match self {
+            Node::Data(d) => d,
+            _ => panic!("node is not a data bucket"),
+        }
+    }
+
+    /// Access a parity bucket (panics otherwise).
+    pub fn as_parity(&self) -> &ParityBucket {
+        match self {
+            Node::Parity(p) => p,
+            _ => panic!("node is not a parity bucket"),
+        }
+    }
+
+    /// Whether the node is still an unallocated blank.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Node::Blank { .. })
+    }
+
+    /// Initialise a blank node per an init/install message; returns the
+    /// replacement plus any buffered messages to replay.
+    fn initialise(
+        shared: &SharedHandle,
+        pending: &mut Vec<(NodeId, Msg)>,
+        env: &mut Env<'_, Msg>,
+        from: NodeId,
+        msg: Msg,
+    ) -> Option<Node> {
+        match msg {
+            Msg::InitData { bucket, level } => {
+                Some(Node::Data(DataBucket::new(shared.clone(), bucket, level)))
+            }
+            Msg::InitParity { group, index, k } => Some(Node::Parity(ParityBucket::new(
+                shared.clone(),
+                group,
+                index,
+                k,
+            ))),
+            Msg::Install {
+                group,
+                bucket,
+                index,
+                k,
+                content,
+                token,
+            } => {
+                let node = match content {
+                    ShardContent::Data {
+                        level,
+                        next_rank,
+                        records,
+                    } => Node::Data(DataBucket::from_content(
+                        shared.clone(),
+                        bucket.expect("data install carries a bucket number"),
+                        level,
+                        next_rank,
+                        records,
+                    )),
+                    ShardContent::Parity { records } => Node::Parity(ParityBucket::from_content(
+                        shared.clone(),
+                        group,
+                        index.expect("parity install carries an index"),
+                        k,
+                        records,
+                    )),
+                };
+                env.send(from, Msg::InstallAck { token });
+                Some(node)
+            }
+            other => {
+                pending.push((from, other));
+                None
+            }
+        }
+    }
+}
+
+impl Actor<Msg> for Node {
+    fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+        // Retirement applies to whole nodes, independent of role.
+        if matches!(msg, Msg::Retire) {
+            let shared = match self {
+                Node::Blank { shared, .. } => shared.clone(),
+                Node::Data(d) => d.shared_handle(),
+                Node::Parity(p) => p.shared_handle(),
+                Node::Client(_) | Node::Coordinator(_) => {
+                    debug_assert!(false, "clients/coordinator are never retired");
+                    return;
+                }
+            };
+            *self = Node::Blank {
+                shared,
+                pending: Vec::new(),
+            };
+            return;
+        }
+        match self {
+            Node::Blank { shared, pending } => {
+                if let Some(mut node) = Node::initialise(shared, pending, env, from, msg) {
+                    // Replay anything that raced ahead of the init.
+                    let replay = std::mem::take(pending);
+                    for (f, m) in replay {
+                        node.on_message(env, f, m);
+                    }
+                    *self = node;
+                }
+            }
+            Node::Data(d) => d.on_message(env, from, msg),
+            Node::Parity(p) => p.on_message(env, from, msg),
+            Node::Client(c) => c.on_message(env, from, msg),
+            Node::Coordinator(c) => c.on_message(env, from, msg),
+        }
+    }
+
+    fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
+        match self {
+            Node::Client(c) => c.on_timer(env, timer),
+            Node::Coordinator(c) => c.on_timer(env, timer),
+            _ => {}
+        }
+    }
+}

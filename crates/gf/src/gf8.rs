@@ -1,0 +1,238 @@
+//! GF(2^8) with the AES-adjacent primitive polynomial
+//! x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator α = 2 — the classical
+//! Reed–Solomon field and the default for LH\*RS parity buckets.
+//!
+//! All tables are built at compile time by `const fn`s, so there is no
+//! runtime initialisation and no locking on the hot path.
+
+use crate::field::GaloisField;
+
+/// Reduction polynomial (without the x^8 term): x^4+x^3+x^2+1.
+const POLY: u16 = 0x11D;
+
+/// Antilog table doubled to 512 entries so `exp[log a + log b]` needs no
+/// modular reduction (`log a + log b ≤ 508`).
+const EXP: [u8; 512] = build_exp();
+/// Log table; entry 0 is a sentinel (zero has no logarithm) guarded by the
+/// callers.
+const LOG: [u16; 256] = build_log();
+
+const fn build_exp() -> [u8; 512] {
+    let mut t = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        t[i] = x as u8;
+        t[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Positions 510, 511 are never indexed (max index 508) but fill them for
+    // definedness.
+    t[510] = t[0];
+    t[511] = t[1];
+    t
+}
+
+const fn build_log() -> [u16; 256] {
+    let mut t = [0u16; 256];
+    let mut i = 0;
+    while i < 255 {
+        t[EXP[i] as usize] = i as u16;
+        i += 1;
+    }
+    t
+}
+
+/// Marker type implementing [`GaloisField`] for GF(2^8).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Gf8;
+
+impl Gf8 {
+    /// Build the two 16-entry split tables for multiplier `c`: products of
+    /// `c` with the low nibble values and with the high nibble values. One
+    /// byte multiply then costs two lookups and one XOR.
+    #[inline]
+    fn split_tables(c: u8) -> ([u8; 16], [u8; 16]) {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for x in 0..16u8 {
+            lo[x as usize] = <Gf8 as GaloisField>::mul(c, x);
+            hi[x as usize] = <Gf8 as GaloisField>::mul(c, x << 4);
+        }
+        (lo, hi)
+    }
+}
+
+impl GaloisField for Gf8 {
+    type Elem = u8;
+    const BITS: u32 = 8;
+    const ORDER: u32 = 256;
+    const SYMBOL_BYTES: usize = 1;
+    const NAME: &'static str = "GF(2^8)";
+
+    #[inline]
+    fn zero() -> u8 {
+        0
+    }
+
+    #[inline]
+    fn one() -> u8 {
+        1
+    }
+
+    #[inline]
+    fn add(a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    #[inline]
+    fn mul(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+        }
+    }
+
+    #[inline]
+    fn inv(a: u8) -> Option<u8> {
+        if a == 0 {
+            None
+        } else {
+            Some(EXP[255 - LOG[a as usize] as usize])
+        }
+    }
+
+    #[inline]
+    fn exp(i: u32) -> u8 {
+        EXP[(i % 255) as usize]
+    }
+
+    #[inline]
+    fn log(a: u8) -> Option<u32> {
+        if a == 0 {
+            None
+        } else {
+            Some(LOG[a as usize] as u32)
+        }
+    }
+
+    #[inline]
+    fn from_usize(x: usize) -> u8 {
+        x as u8
+    }
+
+    #[inline]
+    fn to_usize(a: u8) -> usize {
+        a as usize
+    }
+
+    fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => {
+                let (lo, hi) = Self::split_tables(c);
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+                }
+            }
+        }
+    }
+
+    fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+        match c {
+            0 => {}
+            1 => crate::field::add_slice(src, dst),
+            _ => {
+                let (lo, hi) = Self::split_tables(c);
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_has_full_order() {
+        // α = 2 must generate all 255 nonzero elements.
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator order < 255");
+            seen[x as usize] = true;
+            x = Gf8::mul(x, 2);
+        }
+        assert_eq!(x, 1, "α^255 must be 1");
+    }
+
+    #[test]
+    fn inv_matches_exhaustive_search() {
+        for a in 1..=255u8 {
+            let inv = Gf8::inv(a).unwrap();
+            assert_eq!(Gf8::mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                let q = Gf8::div(a, b).unwrap();
+                assert_eq!(Gf8::mul(q, b), a);
+            }
+        }
+        assert_eq!(Gf8::div(7, 0), None);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255u8).chain(0..=100).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF, 0x53] {
+            let mut dst = vec![0xAAu8; src.len()];
+            Gf8::mul_slice(c, &src, &mut dst);
+            for (s, d) in src.iter().zip(&dst) {
+                assert_eq!(*d, Gf8::mul(c, *s));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 0x1D, 0xFF] {
+            let base: Vec<u8> = (0..=255u8).map(|x| x.wrapping_mul(7)).collect();
+            let mut dst = base.clone();
+            Gf8::mul_add_slice(c, &src, &mut dst);
+            for i in 0..src.len() {
+                assert_eq!(dst[i], base[i] ^ Gf8::mul(c, src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_identity_multiplier_is_xor() {
+        let src = [0x0Fu8; 32];
+        let mut dst = [0xF0u8; 32];
+        Gf8::mul_add_slice(1, &src, &mut dst);
+        assert!(dst.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mul_slice_rejects_mismatched_lengths() {
+        let mut dst = [0u8; 4];
+        Gf8::mul_slice(3, &[1, 2, 3], &mut dst);
+    }
+}

@@ -1,0 +1,107 @@
+//! Split plans and key partitioning: what moves where when bucket `n`
+//! splits.
+
+use crate::h;
+
+/// The outcome of advancing the file state by one split (or, read backwards,
+/// one merge): bucket `source` re-hashes its records with `h_{new_level}`;
+/// those mapping to `target` move there, the rest stay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// The bucket that splits (the old split-pointer position).
+    pub source: u64,
+    /// The newly appended bucket `source + 2^{new_level-1}·N`.
+    pub target: u64,
+    /// Level of both `source` and `target` after the split.
+    pub new_level: u8,
+    /// Initial bucket count of the file (needed to re-run the hash).
+    pub n0: u64,
+}
+
+impl SplitPlan {
+    /// Whether `key` moves from `source` to `target` under this plan.
+    ///
+    /// Only meaningful for keys currently addressed to `source`.
+    pub fn moves(&self, key: u64) -> bool {
+        h(self.new_level, self.n0, key) == self.target
+    }
+}
+
+/// Partition `keys` (all currently resident in `plan.source`) into
+/// `(stayers, movers)` under the plan.
+pub fn partition_keys(plan: &SplitPlan, keys: impl IntoIterator<Item = u64>) -> (Vec<u64>, Vec<u64>) {
+    let mut stay = Vec::new();
+    let mut go = Vec::new();
+    for k in keys {
+        debug_assert_eq!(
+            h(plan.new_level - 1, plan.n0, k),
+            plan.source,
+            "key {k} was not resident in the splitting bucket"
+        );
+        if plan.moves(k) {
+            go.push(k);
+        } else {
+            stay.push(k);
+        }
+    }
+    (stay, go)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileState;
+
+    #[test]
+    fn movers_land_on_target_stayers_on_source() {
+        let mut state = FileState::new(1);
+        for _ in 0..6 {
+            state.split();
+        }
+        // Collect keys for the bucket about to split.
+        let source = state.split_pointer();
+        let keys: Vec<u64> = (0..4000u64).filter(|&k| state.address(k) == source).collect();
+        assert!(!keys.is_empty());
+        let plan = state.split();
+        let (stay, go) = partition_keys(&plan, keys.iter().copied());
+        assert_eq!(stay.len() + go.len(), keys.len());
+        for &k in &stay {
+            assert_eq!(state.address(k), plan.source);
+        }
+        for &k in &go {
+            assert_eq!(state.address(k), plan.target);
+        }
+    }
+
+    #[test]
+    fn split_moves_roughly_half_of_uniform_keys() {
+        let mut state = FileState::new(1);
+        for _ in 0..3 {
+            state.split();
+        }
+        let source = state.split_pointer();
+        let keys: Vec<u64> = (0..40_000u64)
+            .map(crate::scramble)
+            .filter(|&k| state.address(k) == source)
+            .collect();
+        let plan = state.split();
+        let (stay, go) = partition_keys(&plan, keys.iter().copied());
+        let frac = go.len() as f64 / keys.len() as f64;
+        assert!(
+            (0.45..=0.55).contains(&frac),
+            "uniform keys should split ~50/50, got {frac}"
+        );
+        assert!(!stay.is_empty());
+    }
+
+    #[test]
+    fn plan_numbers_match_lh_arithmetic() {
+        let mut state = FileState::new(2); // N = 2
+        let p0 = state.split();
+        assert_eq!((p0.source, p0.target, p0.new_level), (0, 2, 1));
+        let p1 = state.split();
+        assert_eq!((p1.source, p1.target, p1.new_level), (1, 3, 1));
+        let p2 = state.split();
+        assert_eq!((p2.source, p2.target, p2.new_level), (0, 4, 2));
+    }
+}

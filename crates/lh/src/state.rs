@@ -1,0 +1,249 @@
+//! [`FileState`]: the coordinator's `(n, i)` file state and algorithm A1.
+
+use crate::split::SplitPlan;
+use crate::h;
+
+/// The LH\* file state `(n, i)` kept by the coordinator: split pointer `n`,
+/// file level `i`, and the initial bucket count `N` (`n0`).
+///
+/// The file has `M = n + 2^i · N` buckets; buckets `0..n` and
+/// `2^i·N..M` are at level `i + 1`, buckets `n..2^i·N` at level `i`.
+///
+/// ```
+/// use lhrs_lh::FileState;
+///
+/// let mut state = FileState::new(1);
+/// let plan = state.split(); // bucket 0 splits into bucket 1
+/// assert_eq!((plan.source, plan.target), (0, 1));
+/// assert_eq!(state.bucket_count(), 2);
+/// // A1: keys address an existing bucket under any state.
+/// for key in 0..100 {
+///     assert!(state.address(key) < state.bucket_count());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileState {
+    n: u64,
+    i: u8,
+    n0: u64,
+}
+
+impl FileState {
+    /// A fresh file of `n0 ≥ 1` buckets (`n = 0`, `i = 0`).
+    pub fn new(n0: u64) -> Self {
+        assert!(n0 >= 1, "initial bucket count must be at least 1");
+        FileState { n: 0, i: 0, n0 }
+    }
+
+    /// Reconstruct a state from raw `(n, i, n0)` — used by file-state
+    /// recovery.
+    pub fn from_parts(n: u64, i: u8, n0: u64) -> Self {
+        assert!(n0 >= 1);
+        assert!(n < (1u64 << i) * n0, "split pointer out of range");
+        FileState { n, i, n0 }
+    }
+
+    /// Split pointer `n`: the next bucket to split.
+    pub fn split_pointer(&self) -> u64 {
+        self.n
+    }
+
+    /// File level `i`.
+    pub fn level(&self) -> u8 {
+        self.i
+    }
+
+    /// Initial bucket count `N`.
+    pub fn n0(&self) -> u64 {
+        self.n0
+    }
+
+    /// Total number of buckets `M = n + 2^i · N`.
+    pub fn bucket_count(&self) -> u64 {
+        self.n + (1u64 << self.i) * self.n0
+    }
+
+    /// **Algorithm A1** — the correct address of `key` under this state:
+    ///
+    /// ```text
+    /// a ← h_i(c); if a < n then a ← h_{i+1}(c)
+    /// ```
+    pub fn address(&self, key: u64) -> u64 {
+        let a = h(self.i, self.n0, key);
+        if a < self.n {
+            h(self.i + 1, self.n0, key)
+        } else {
+            a
+        }
+    }
+
+    /// The level `j_m` of bucket `m` under this state.
+    ///
+    /// # Panics
+    /// Panics if `m` is not an existing bucket.
+    pub fn level_of(&self, m: u64) -> u8 {
+        assert!(m < self.bucket_count(), "bucket {m} does not exist");
+        let boundary = (1u64 << self.i) * self.n0;
+        if m < self.n || m >= boundary {
+            self.i + 1
+        } else {
+            self.i
+        }
+    }
+
+    /// Perform one split step: returns the [`SplitPlan`] (which bucket
+    /// splits, where movers go, the new level) and advances `(n, i)`.
+    pub fn split(&mut self) -> SplitPlan {
+        let source = self.n;
+        let boundary = (1u64 << self.i) * self.n0;
+        let target = source + boundary;
+        let new_level = self.i + 1;
+        self.n += 1;
+        if self.n == boundary {
+            self.n = 0;
+            self.i += 1;
+        }
+        SplitPlan {
+            source,
+            target,
+            new_level,
+            n0: self.n0,
+        }
+    }
+
+    /// Undo the last split (bucket merge, the shrink operation of §4.3 of
+    /// the predecessor paper). Returns the plan of the merge — records of
+    /// the removed bucket `plan.target` move back into `plan.source` — or
+    /// `None` when the file is at its initial size.
+    pub fn merge(&mut self) -> Option<SplitPlan> {
+        if self.n == 0 {
+            if self.i == 0 {
+                return None;
+            }
+            self.i -= 1;
+            self.n = (1u64 << self.i) * self.n0;
+        }
+        self.n -= 1;
+        let boundary = (1u64 << self.i) * self.n0;
+        Some(SplitPlan {
+            source: self.n,
+            target: self.n + boundary,
+            new_level: self.i + 1,
+            n0: self.n0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_has_n0_buckets() {
+        let s = FileState::new(3);
+        assert_eq!(s.bucket_count(), 3);
+        assert_eq!(s.split_pointer(), 0);
+        assert_eq!(s.level(), 0);
+    }
+
+    #[test]
+    fn split_sequence_follows_lh_order() {
+        // With N = 1 the split sequence is 0; 0,1; 0,1,2,3; ...
+        let mut s = FileState::new(1);
+        let sources: Vec<u64> = (0..7).map(|_| s.split().source).collect();
+        assert_eq!(sources, vec![0, 0, 1, 0, 1, 2, 3]);
+        assert_eq!(s.bucket_count(), 8);
+        assert_eq!(s.level(), 3);
+    }
+
+    #[test]
+    fn split_targets_are_dense_new_buckets() {
+        let mut s = FileState::new(1);
+        for expected_target in 1..40u64 {
+            let plan = s.split();
+            assert_eq!(plan.target, expected_target);
+            assert_eq!(s.bucket_count(), expected_target + 1);
+        }
+    }
+
+    #[test]
+    fn address_is_always_an_existing_bucket() {
+        let mut s = FileState::new(1);
+        for step in 0..100 {
+            for key in 0..500u64 {
+                let a = s.address(key);
+                assert!(a < s.bucket_count(), "step={step} key={key}");
+            }
+            s.split();
+        }
+    }
+
+    #[test]
+    fn address_is_stable_for_unsplit_buckets() {
+        // Splitting bucket n only changes addresses of keys in bucket n.
+        let mut s = FileState::new(1);
+        for _ in 0..10 {
+            s.split();
+        }
+        let before: Vec<u64> = (0..1000).map(|k| s.address(k)).collect();
+        let plan_source = s.split_pointer();
+        s.split();
+        for k in 0..1000u64 {
+            if before[k as usize] != plan_source {
+                assert_eq!(s.address(k), before[k as usize], "key {k} moved unexpectedly");
+            }
+        }
+    }
+
+    #[test]
+    fn level_of_matches_split_history() {
+        let mut s = FileState::new(1);
+        for _ in 0..5 {
+            s.split();
+        }
+        // M = 6, i = 2, n = 2: buckets 0,1 and 4,5 at level 3; buckets 2,3 at level 2.
+        assert_eq!(s.level(), 2);
+        assert_eq!(s.split_pointer(), 2);
+        assert_eq!(s.level_of(0), 3);
+        assert_eq!(s.level_of(1), 3);
+        assert_eq!(s.level_of(2), 2);
+        assert_eq!(s.level_of(3), 2);
+        assert_eq!(s.level_of(4), 3);
+        assert_eq!(s.level_of(5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn level_of_unknown_bucket_panics() {
+        FileState::new(1).level_of(1);
+    }
+
+    #[test]
+    fn merge_is_inverse_of_split() {
+        let mut s = FileState::new(1);
+        let mut history = Vec::new();
+        for _ in 0..23 {
+            history.push(s);
+            s.split();
+        }
+        for prev in history.into_iter().rev() {
+            s.merge().unwrap();
+            assert_eq!(s, prev);
+        }
+        assert!(s.merge().is_none(), "cannot shrink below initial size");
+    }
+
+    #[test]
+    fn address_matches_level_of_bucket_hash() {
+        // The invariant used by A2: m is the correct bucket for c iff
+        // m == h_{j_m}(c).
+        let mut s = FileState::new(1);
+        for _ in 0..13 {
+            s.split();
+        }
+        for key in 0..2000u64 {
+            let a = s.address(key);
+            assert_eq!(crate::h(s.level_of(a), 1, key), a);
+        }
+    }
+}

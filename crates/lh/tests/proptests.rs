@@ -1,0 +1,171 @@
+//! Property-based tests of the LH* addressing guarantees: A1 correctness,
+//! the A2 two-hop bound under arbitrarily stale images, A3 convergence and
+//! safety, and split/merge inversion.
+
+use lhrs_lh::{a2_route, partition_keys, A2Outcome, ClientImage, FileState, LhTable};
+use proptest::prelude::*;
+
+/// Resolve a request via A2 from `start`, panicking on chains > 3.
+fn resolve(state: &FileState, start: u64, key: u64) -> (u64, usize) {
+    let mut at = start;
+    let mut hops = 0;
+    loop {
+        match a2_route(at, state.level_of(at), key, state.n0()) {
+            A2Outcome::Accept => return (at, hops),
+            A2Outcome::Forward(next) => {
+                at = next;
+                hops += 1;
+                assert!(hops <= 3, "A2 chain exceeded 3 hops");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A1 always yields an existing bucket, for any file size and key.
+    #[test]
+    fn a1_address_in_range(splits in 0usize..300, key: u64, n0 in 1u64..5) {
+        let mut state = FileState::new(n0);
+        for _ in 0..splits {
+            state.split();
+        }
+        prop_assert!(state.address(key) < state.bucket_count());
+    }
+
+    /// The two-hop guarantee: a request starting at the address computed by
+    /// ANY older image reaches the correct bucket in at most 2 hops.
+    #[test]
+    fn a2_two_hop_bound(
+        splits in 0usize..200,
+        image_splits_frac in 0.0f64..1.0,
+        keys in proptest::collection::vec(any::<u64>(), 1..30),
+        n0 in 1u64..4,
+    ) {
+        let mut state = FileState::new(n0);
+        for _ in 0..splits {
+            state.split();
+        }
+        // Build an image corresponding to an earlier point in history.
+        let image_splits = (splits as f64 * image_splits_frac) as usize;
+        let mut img_state = FileState::new(n0);
+        for _ in 0..image_splits {
+            img_state.split();
+        }
+        for key in keys {
+            let start = img_state.address(key); // image = old true state
+            let (at, hops) = resolve(&state, start, key);
+            prop_assert_eq!(at, state.address(key));
+            prop_assert!(hops <= 2, "took {} hops", hops);
+        }
+    }
+
+    /// A3 safety: an image fed arbitrary valid IAMs from the true state
+    /// never overtakes it, and one IAM per key resolves that key.
+    #[test]
+    fn a3_safety_and_resolution(
+        splits in 1usize..200,
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut state = FileState::new(1);
+        for _ in 0..splits {
+            state.split();
+        }
+        let mut img = ClientImage::new(1);
+        for key in keys {
+            let correct = state.address(key);
+            if img.address(key) != correct {
+                img.adjust(state.level_of(correct), correct);
+                prop_assert_eq!(img.address(key), correct);
+            }
+            prop_assert!(img.bucket_count() <= state.bucket_count());
+        }
+    }
+
+    /// Splits preserve addressing: after a split, every key is addressed
+    /// either where it was, or to the new bucket if it came from the split
+    /// source.
+    #[test]
+    fn split_only_moves_source_keys(
+        splits in 0usize..150,
+        keys in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let mut state = FileState::new(1);
+        for _ in 0..splits {
+            state.split();
+        }
+        let before: Vec<u64> = keys.iter().map(|&k| state.address(k)).collect();
+        let plan = state.split();
+        for (idx, &k) in keys.iter().enumerate() {
+            let now = state.address(k);
+            if before[idx] == plan.source {
+                prop_assert!(now == plan.source || now == plan.target);
+                prop_assert_eq!(now == plan.target, plan.moves(k));
+            } else {
+                prop_assert_eq!(now, before[idx]);
+            }
+        }
+    }
+
+    /// merge() exactly undoes split() anywhere in the growth history.
+    #[test]
+    fn merge_inverts_split(splits in 0usize..300, n0 in 1u64..4) {
+        let mut state = FileState::new(n0);
+        for _ in 0..splits {
+            state.split();
+        }
+        let before = state;
+        let plan = state.split();
+        let merged = state.merge().unwrap();
+        prop_assert_eq!(state, before);
+        prop_assert_eq!(merged, plan);
+    }
+
+    /// partition_keys is a partition: disjoint, exhaustive, and consistent
+    /// with post-split addressing.
+    #[test]
+    fn partition_is_exact(splits in 0usize..100, seed: u64) {
+        let mut state = FileState::new(1);
+        for _ in 0..splits {
+            state.split();
+        }
+        let source = state.split_pointer();
+        let keys: Vec<u64> = (0..500u64)
+            .map(|i| lhrs_lh::scramble(seed.wrapping_add(i)))
+            .filter(|&k| state.address(k) == source)
+            .collect();
+        let plan = state.split();
+        let (stay, go) = partition_keys(&plan, keys.iter().copied());
+        prop_assert_eq!(stay.len() + go.len(), keys.len());
+        for &k in &stay {
+            prop_assert_eq!(state.address(k), plan.source);
+        }
+        for &k in &go {
+            prop_assert_eq!(state.address(k), plan.target);
+        }
+    }
+
+    /// LhTable behaves like a HashMap under random workloads.
+    #[test]
+    fn lh_table_matches_model(
+        ops in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 1..400),
+        threshold in 1usize..16,
+    ) {
+        use std::collections::HashMap;
+        let mut table = LhTable::new(threshold);
+        let mut model: HashMap<u64, u16> = HashMap::new();
+        for (k, v, is_insert) in ops {
+            let k = k as u64;
+            if is_insert {
+                prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+            } else {
+                prop_assert_eq!(table.remove(k), model.remove(&k));
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(table.get(*k), Some(v));
+        }
+    }
+}

@@ -1,0 +1,601 @@
+//! The systematic generalized Reed–Solomon code used by LH\*RS bucket
+//! groups.
+
+use lhrs_gf::{add_slice, GaloisField};
+
+use crate::{Matrix, RsError};
+
+/// A systematic `(m + k, m)` generalized Reed–Solomon erasure code over the
+/// field `F`.
+///
+/// `m` is the bucket-group size (data shards), `k` the availability level
+/// (parity shards). The generator is `[I | Γ]` with `Γ` a normalised Cauchy
+/// matrix whose first row and first column are all ones (see the crate
+/// docs); any `k` erasures among the `m + k` shards are recoverable.
+#[derive(Clone, Debug)]
+pub struct RsCode<F: GaloisField> {
+    m: usize,
+    k: usize,
+    gamma: Matrix<F>,
+}
+
+impl<F: GaloisField> RsCode<F> {
+    /// Create the code for `m` data and `k` parity shards.
+    ///
+    /// # Errors
+    /// [`RsError::InvalidParameters`] when `m == 0`, `k == 0`, or
+    /// `m + k > 2^f` (the Cauchy construction needs that many distinct
+    /// field points).
+    pub fn new(m: usize, k: usize) -> Result<Self, RsError> {
+        if m == 0 || k == 0 {
+            return Err(RsError::InvalidParameters {
+                m,
+                k,
+                field_order: F::ORDER,
+            });
+        }
+        let mut gamma = Matrix::<F>::cauchy(m, k)?;
+        // Normalise: first make column 0 all ones (row scaling), then row 0
+        // all ones (column scaling; column 0 keeps its ones because
+        // Γ[0][0] = 1 after the row pass). Row/column scaling by nonzero
+        // constants preserves the all-square-submatrices-nonsingular
+        // property of Cauchy matrices, hence the code stays MDS.
+        for i in 0..m {
+            let inv = F::inv(gamma.get(i, 0)).expect("cauchy entries are nonzero");
+            gamma.scale_row(i, inv);
+        }
+        for j in 0..k {
+            let inv = F::inv(gamma.get(0, j)).expect("cauchy entries are nonzero");
+            gamma.scale_col(j, inv);
+        }
+        Ok(RsCode { m, k, gamma })
+    }
+
+    /// Number of data shards (bucket-group size `m`).
+    pub fn data_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Number of parity shards (availability level `k`).
+    pub fn parity_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Total shards `m + k`.
+    pub fn total_shards(&self) -> usize {
+        self.m + self.k
+    }
+
+    /// Generator coefficient `Γ[i][j]`: the weight of data shard `i` in
+    /// parity shard `j`.
+    pub fn coeff(&self, data_index: usize, parity_index: usize) -> F::Elem {
+        self.gamma.get(data_index, parity_index)
+    }
+
+    /// Compute all `k` parity buffers from exactly `m` equal-length data
+    /// buffers.
+    ///
+    /// ```
+    /// use lhrs_rs::RsCode;
+    /// use lhrs_gf::Gf8;
+    ///
+    /// let code: RsCode<Gf8> = RsCode::new(2, 1).unwrap();
+    /// let parity = code.encode(&[&[1, 2][..], &[3, 4][..]]).unwrap();
+    /// // k = 1 parity is the XOR of the data shards.
+    /// assert_eq!(parity, vec![vec![1 ^ 3, 2 ^ 4]]);
+    /// ```
+    ///
+    /// # Errors
+    /// [`RsError::WrongShardCount`] if `data.len() != m`;
+    /// [`RsError::InconsistentShardLength`] on ragged or misaligned buffers.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.m {
+            return Err(RsError::WrongShardCount {
+                got: data.len(),
+                expected: self.m,
+            });
+        }
+        let len = data[0].len();
+        self.check_len(len)?;
+        if data.iter().any(|d| d.len() != len) {
+            return Err(RsError::InconsistentShardLength);
+        }
+        let mut parity = vec![vec![0u8; len]; self.k];
+        for (i, d) in data.iter().enumerate() {
+            self.add_shard_into_parity(i, d, &mut parity);
+        }
+        Ok(parity)
+    }
+
+    /// Compute all `k` parity buffers from a *sparse* record group: only the
+    /// listed `(data_index, payload)` members are nonzero, the rest are
+    /// implicit zero buffers of length `len`. This is how LH\*RS encodes a
+    /// record group with fewer than `m` live members.
+    ///
+    /// # Errors
+    /// [`RsError::WrongShardCount`] on an out-of-range index;
+    /// [`RsError::InconsistentShardLength`] on ragged or misaligned buffers.
+    pub fn encode_sparse(
+        &self,
+        members: &[(usize, &[u8])],
+        len: usize,
+    ) -> Result<Vec<Vec<u8>>, RsError> {
+        self.check_len(len)?;
+        let mut parity = vec![vec![0u8; len]; self.k];
+        for &(i, d) in members {
+            if i >= self.m {
+                return Err(RsError::WrongShardCount {
+                    got: i,
+                    expected: self.m,
+                });
+            }
+            if d.len() != len {
+                return Err(RsError::InconsistentShardLength);
+            }
+            self.add_shard_into_parity(i, d, &mut parity);
+        }
+        Ok(parity)
+    }
+
+    /// Commit a record delta into one parity buffer:
+    /// `parity ^= Γ[data_index][parity_index] · delta`.
+    ///
+    /// ```
+    /// use lhrs_rs::RsCode;
+    /// use lhrs_gf::Gf8;
+    ///
+    /// let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+    /// let mut parity = vec![0u8; 8];
+    /// let old = [5u8; 8];
+    /// let new = [9u8; 8];
+    /// let delta: Vec<u8> = old.iter().zip(&new).map(|(a, b)| a ^ b).collect();
+    /// code.apply_delta(2, 1, &old, &mut parity);   // record appears
+    /// code.apply_delta(2, 1, &delta, &mut parity); // record updated
+    /// let mut direct = vec![0u8; 8];
+    /// code.apply_delta(2, 1, &new, &mut direct);
+    /// assert_eq!(parity, direct);
+    /// ```
+    ///
+    /// This is the whole computational work of a parity bucket on an LH\*RS
+    /// insert, update, or delete (`Δ = new ⊕ old`, with absent = all-zero).
+    /// For `parity_index == 0` the coefficient is 1, so the commit is a pure
+    /// XOR — the LH\*g-compatible fast path.
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != parity.len()` (caller pads to the parity
+    /// record length) or indices are out of range.
+    pub fn apply_delta(
+        &self,
+        data_index: usize,
+        parity_index: usize,
+        delta: &[u8],
+        parity: &mut [u8],
+    ) {
+        assert!(data_index < self.m && parity_index < self.k);
+        F::mul_add_slice(self.coeff(data_index, parity_index), delta, parity);
+    }
+
+    /// Reconstruct every missing shard in place. `shards.len()` must be
+    /// `m + k`; indices `0..m` are data shards, `m..m+k` parity shards.
+    /// Present shards are left untouched.
+    ///
+    /// # Errors
+    /// [`RsError::WrongShardCount`], [`RsError::TooManyErasures`],
+    /// [`RsError::InconsistentShardLength`] — see the variants.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::WrongShardCount {
+                got: shards.len(),
+                expected: self.total_shards(),
+            });
+        }
+        let missing: Vec<usize> = (0..shards.len())
+            .filter(|&i| shards[i].is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.k {
+            return Err(RsError::TooManyErasures {
+                missing: missing.len(),
+                tolerated: self.k,
+            });
+        }
+        let len = shards
+            .iter()
+            .flatten()
+            .map(Vec::len)
+            .next()
+            .expect("at least m shards present");
+        self.check_len(len)?;
+        if shards.iter().flatten().any(|s| s.len() != len) {
+            return Err(RsError::InconsistentShardLength);
+        }
+
+        // Phase 1: recover missing *data* shards by inverting the m×m
+        // submatrix of [I | Γ] formed by m available shard columns.
+        let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.m).collect();
+        if !missing_data.is_empty() {
+            let avail: Vec<usize> = (0..self.total_shards())
+                .filter(|&i| shards[i].is_some())
+                .take(self.m)
+                .collect();
+            debug_assert_eq!(avail.len(), self.m);
+            // A[r][t] = G[r][avail[t]]: the generator column of each chosen
+            // shard; c_avail = d · A, hence d = c_avail · A⁻¹.
+            let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
+                let col = avail[t];
+                if col < self.m {
+                    if r == col {
+                        F::one()
+                    } else {
+                        F::zero()
+                    }
+                } else {
+                    self.gamma.get(r, col - self.m)
+                }
+            });
+            let inv = a.inverse()?;
+            for &x in &missing_data {
+                let mut buf = vec![0u8; len];
+                for (t, &src) in avail.iter().enumerate() {
+                    let c = inv.get(t, x);
+                    let shard = shards[src].as_deref().expect("available");
+                    F::mul_add_slice(c, shard, &mut buf);
+                }
+                shards[x] = Some(buf);
+            }
+        }
+
+        // Phase 2: recompute missing parity shards from the (now complete)
+        // data shards.
+        for &x in missing.iter().filter(|&&i| i >= self.m) {
+            let j = x - self.m;
+            let mut buf = vec![0u8; len];
+            for (i, shard) in shards[..self.m].iter().enumerate() {
+                let c = self.gamma.get(i, j);
+                let shard = shard.as_deref().expect("data complete after phase 1");
+                F::mul_add_slice(c, shard, &mut buf);
+            }
+            shards[x] = Some(buf);
+        }
+        Ok(())
+    }
+
+    /// Reconstruct a single data shard without materialising the others —
+    /// the record-level degraded-mode read of LH\*RS (answer a key search
+    /// while the bucket rebuild is still running).
+    ///
+    /// `available` supplies at least `m` shards as `(shard_index, payload)`.
+    ///
+    /// # Errors
+    /// [`RsError::TooManyErasures`] if fewer than `m` shards are supplied;
+    /// length errors as for [`RsCode::reconstruct`].
+    pub fn reconstruct_one(
+        &self,
+        target_data_index: usize,
+        available: &[(usize, &[u8])],
+    ) -> Result<Vec<u8>, RsError> {
+        if available.len() < self.m {
+            return Err(RsError::TooManyErasures {
+                missing: self.total_shards() - available.len(),
+                tolerated: self.k,
+            });
+        }
+        let chosen = &available[..self.m];
+        let len = chosen[0].1.len();
+        self.check_len(len)?;
+        if chosen.iter().any(|(_, s)| s.len() != len) {
+            return Err(RsError::InconsistentShardLength);
+        }
+        let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
+            let col = chosen[t].0;
+            if col < self.m {
+                if r == col {
+                    F::one()
+                } else {
+                    F::zero()
+                }
+            } else {
+                self.gamma.get(r, col - self.m)
+            }
+        });
+        let inv = a.inverse()?;
+        let mut buf = vec![0u8; len];
+        for (t, &(_, shard)) in chosen.iter().enumerate() {
+            F::mul_add_slice(inv.get(t, target_data_index), shard, &mut buf);
+        }
+        Ok(buf)
+    }
+
+    /// XOR-combine `delta` into `acc` — re-exported here so callers coding
+    /// against `RsCode` don't need the field crate for the common case.
+    pub fn xor_into(delta: &[u8], acc: &mut [u8]) {
+        add_slice(delta, acc);
+    }
+
+    /// `parity[j] ^= Γ[i][j] · shard` for every parity buffer — the inner
+    /// loop of both dense and sparse encoding.
+    fn add_shard_into_parity(&self, i: usize, shard: &[u8], parity: &mut [Vec<u8>]) {
+        for (j, p) in parity.iter_mut().enumerate() {
+            F::mul_add_slice(self.gamma.get(i, j), shard, p);
+        }
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), RsError> {
+        if !len.is_multiple_of(F::SYMBOL_BYTES) {
+            return Err(RsError::InconsistentShardLength);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhrs_gf::{Gf16, Gf4, Gf8};
+
+    fn sample_data(m: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..m)
+            .map(|i| (0..len).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn first_parity_column_is_all_ones() {
+        for (m, k) in [(1, 1), (4, 1), (4, 3), (16, 4), (128, 8)] {
+            let code: RsCode<Gf8> = RsCode::new(m, k).unwrap();
+            for i in 0..m {
+                assert_eq!(code.coeff(i, 0), 1, "m={m} k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_data_row_is_all_ones() {
+        let code: RsCode<Gf8> = RsCode::new(8, 4).unwrap();
+        for j in 0..4 {
+            assert_eq!(code.coeff(0, j), 1);
+        }
+    }
+
+    #[test]
+    fn parity_zero_is_xor_of_data() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 32);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut xor = vec![0u8; 32];
+        for d in &data {
+            add_slice(d, &mut xor);
+        }
+        assert_eq!(parity[0], xor);
+    }
+
+    #[test]
+    fn reconstruct_all_single_and_double_erasures() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 24);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        let n = full.len();
+        for a in 0..n {
+            for b in a..n {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                code.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_deref(), Some(&full[i][..]), "erased ({a},{b}) shard {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_detected() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut shards),
+            Err(RsError::TooManyErasures { missing: 3, tolerated: 2 })
+        ));
+    }
+
+    #[test]
+    fn delta_commit_equals_reencoding() {
+        let code: RsCode<Gf8> = RsCode::new(4, 3).unwrap();
+        let mut data = sample_data(4, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut parity = code.encode(&refs).unwrap();
+
+        // Update record 2 via delta on every parity shard.
+        let new_payload: Vec<u8> = (0..16).map(|b| (b * 17 + 1) as u8).collect();
+        let mut delta = data[2].clone();
+        add_slice(&new_payload, &mut delta);
+        for (j, p) in parity.iter_mut().enumerate() {
+            code.apply_delta(2, j, &delta, p);
+        }
+        data[2] = new_payload;
+
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let direct = code.encode(&refs).unwrap();
+        assert_eq!(parity, direct);
+    }
+
+    #[test]
+    fn sparse_encode_matches_dense_with_zero_fill() {
+        let code: RsCode<Gf8> = RsCode::new(6, 2).unwrap();
+        let d1 = vec![9u8; 10];
+        let d4 = vec![200u8; 10];
+        let sparse = code.encode_sparse(&[(1, &d1), (4, &d4)], 10).unwrap();
+        let zero = vec![0u8; 10];
+        let dense_in: Vec<&[u8]> = vec![&zero, &d1, &zero, &zero, &d4, &zero];
+        let dense = code.encode(&dense_in).unwrap();
+        assert_eq!(sparse, dense);
+    }
+
+    #[test]
+    fn reconstruct_one_during_degraded_mode() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 12);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        // Shard 1 and 3 lost; rebuild only shard 3 from shards {0, 2, p0, p1}.
+        let avail: Vec<(usize, &[u8])> = vec![
+            (0, data[0].as_slice()),
+            (2, data[2].as_slice()),
+            (4, parity[0].as_slice()),
+            (5, parity[1].as_slice()),
+        ];
+        let got = code.reconstruct_one(3, &avail).unwrap();
+        assert_eq!(got, data[3]);
+    }
+
+    #[test]
+    fn k_equals_one_is_pure_xor_scheme() {
+        // With k = 1 the code degenerates to LH*g: parity is XOR and a lost
+        // shard is the XOR of the survivors.
+        let code: RsCode<Gf8> = RsCode::new(3, 1).unwrap();
+        let data = sample_data(3, 8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut expect = vec![0u8; 8];
+        for d in &data {
+            add_slice(d, &mut expect);
+        }
+        assert_eq!(parity[0], expect);
+        let avail: Vec<(usize, &[u8])> =
+            vec![(0, data[0].as_slice()), (2, data[2].as_slice()), (3, parity[0].as_slice())];
+        assert_eq!(code.reconstruct_one(1, &avail).unwrap(), data[1]);
+    }
+
+    #[test]
+    fn gf16_roundtrip() {
+        let code: RsCode<Gf16> = RsCode::new(8, 3).unwrap();
+        let data = sample_data(8, 32); // even length for GF(2^16)
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[5] = None;
+        shards[9] = None;
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_deref(), Some(&data[0][..]));
+        assert_eq!(shards[5].as_deref(), Some(&data[5][..]));
+        assert_eq!(shards[9].as_deref(), Some(&parity[1][..]));
+    }
+
+    #[test]
+    fn gf4_supports_small_groups_only() {
+        assert!(RsCode::<Gf4>::new(12, 4).is_ok()); // 16 = 2^4
+        assert!(matches!(
+            RsCode::<Gf4>::new(14, 3),
+            Err(RsError::InvalidParameters { .. })
+        ));
+        let code: RsCode<Gf4> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[1] = None;
+        shards[4] = None;
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
+        assert_eq!(shards[4].as_deref(), Some(&parity[0][..]));
+    }
+
+    #[test]
+    fn generator_columns_are_prefix_stable_in_k() {
+        // Raising k must not change the existing parity columns — this is
+        // what lets LH*RS scalable availability add parity buckets to a
+        // group without touching the existing ones.
+        for m in [1usize, 2, 4, 8, 16, 100] {
+            let codes: Vec<RsCode<Gf8>> = (1..=4).map(|k| RsCode::new(m, k).unwrap()).collect();
+            for (ki, code) in codes.iter().enumerate() {
+                for smaller in &codes[..ki] {
+                    for i in 0..m {
+                        for j in 0..smaller.parity_shards() {
+                            assert_eq!(
+                                code.coeff(i, j),
+                                smaller.coeff(i, j),
+                                "m={m} i={i} j={j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_encoded_at_low_k_decodes_under_higher_k() {
+        // End-to-end version of prefix stability: parity shards produced by
+        // the (m, 1) code remain valid shards of the (m, 3) code.
+        let m = 4;
+        let low: RsCode<Gf8> = RsCode::new(m, 1).unwrap();
+        let high: RsCode<Gf8> = RsCode::new(m, 3).unwrap();
+        let data = sample_data(m, 20);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let p_low = low.encode(&refs).unwrap();
+        let p_high = high.encode(&refs).unwrap();
+        assert_eq!(p_low[0], p_high[0]);
+        // Decode two data losses using the old parity plus one new column.
+        let mut shards: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some).collect();
+        shards.extend(p_high.iter().cloned().map(Some));
+        shards[0] = None;
+        shards[2] = None;
+        high.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_deref(), Some(&data[0][..]));
+        assert_eq!(shards[2].as_deref(), Some(&data[2][..]));
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(RsCode::<Gf8>::new(0, 2).is_err());
+        assert!(RsCode::<Gf8>::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn misaligned_gf16_buffers_rejected() {
+        let code: RsCode<Gf16> = RsCode::new(2, 1).unwrap();
+        let d = vec![1u8; 7]; // odd
+        assert_eq!(
+            code.encode(&[&d, &d]).unwrap_err(),
+            RsError::InconsistentShardLength
+        );
+    }
+
+    #[test]
+    fn ragged_buffers_rejected() {
+        let code: RsCode<Gf8> = RsCode::new(2, 1).unwrap();
+        let a = vec![1u8; 8];
+        let b = vec![1u8; 9];
+        assert_eq!(
+            code.encode(&[&a, &b]).unwrap_err(),
+            RsError::InconsistentShardLength
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the Reed–Solomon layer.
+
+use std::fmt;
+
+/// Errors returned by [`crate::RsCode`] and [`crate::Matrix`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// `m` or `k` is zero, or `m + k` exceeds what the field supports
+    /// (Cauchy construction needs `m + k ≤ 2^f`).
+    InvalidParameters {
+        /// Requested number of data shards.
+        m: usize,
+        /// Requested number of parity shards.
+        k: usize,
+        /// Field order 2^f.
+        field_order: u32,
+    },
+    /// More shards are missing than the code can tolerate.
+    TooManyErasures {
+        /// Number of missing shards.
+        missing: usize,
+        /// Maximum recoverable (`k`).
+        tolerated: usize,
+    },
+    /// The shard vector passed to decode has the wrong length (`!= m + k`).
+    WrongShardCount {
+        /// Shards supplied.
+        got: usize,
+        /// Shards expected (`m + k`).
+        expected: usize,
+    },
+    /// Present shards disagree in length, or a shard length is not a
+    /// multiple of the field's symbol size.
+    InconsistentShardLength,
+    /// A matrix that must be invertible was singular. With the Cauchy
+    /// construction this indicates memory corruption or a logic error, never
+    /// a legal input.
+    SingularMatrix,
+    /// Matrix dimensions do not match for the requested operation.
+    DimensionMismatch,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::InvalidParameters { m, k, field_order } => write!(
+                f,
+                "invalid RS parameters m={m}, k={k}: need m ≥ 1, k ≥ 1, m + k ≤ {field_order}"
+            ),
+            RsError::TooManyErasures { missing, tolerated } => write!(
+                f,
+                "{missing} shards missing but the code tolerates only {tolerated}"
+            ),
+            RsError::WrongShardCount { got, expected } => {
+                write!(f, "expected {expected} shards, got {got}")
+            }
+            RsError::InconsistentShardLength => {
+                write!(f, "present shards have inconsistent or misaligned lengths")
+            }
+            RsError::SingularMatrix => write!(f, "matrix is singular"),
+            RsError::DimensionMismatch => write!(f, "matrix dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RsError::InvalidParameters {
+            m: 300,
+            k: 3,
+            field_order: 256,
+        };
+        let s = e.to_string();
+        assert!(s.contains("300") && s.contains("256"), "{s}");
+        assert!(RsError::SingularMatrix.to_string().contains("singular"));
+    }
+}

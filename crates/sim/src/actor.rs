@@ -1,0 +1,83 @@
+//! The [`Actor`] trait and the [`Env`] handle actors use to talk to the
+//! simulated network.
+
+use crate::engine::NodeId;
+use crate::Payload;
+
+/// Identifier of a pending timer, returned by [`Env::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+/// A node of the simulated multicomputer.
+///
+/// Actors own private state and react to delivered messages and to their own
+/// timers. All effects (sends, new timers) go through the [`Env`]; they are
+/// buffered by the engine and applied after the handler returns, keeping the
+/// simulation deterministic.
+pub trait Actor<M: Payload> {
+    /// Handle a message delivered from `from`.
+    fn on_message(&mut self, env: &mut Env<'_, M>, from: NodeId, msg: M);
+
+    /// Handle an expired timer set earlier via [`Env::set_timer`].
+    fn on_timer(&mut self, env: &mut Env<'_, M>, timer: TimerId) {
+        let _ = (env, timer);
+    }
+}
+
+/// Buffered effect produced by an actor during one handler invocation.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    Multicast { to: Vec<NodeId>, msg: M },
+    SetTimer { id: TimerId, delay: u64 },
+    CancelTimer { id: TimerId },
+}
+
+/// The interface through which an actor interacts with the simulated world:
+/// sending messages, multicasting, and managing timers.
+pub struct Env<'a, M: Payload> {
+    pub(crate) me: NodeId,
+    pub(crate) now: u64,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+}
+
+impl<M: Payload> Env<'_, M> {
+    /// The node this actor runs on.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Current simulated time (microseconds since simulation start).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Send a unicast message to `to` (counted once in [`crate::NetStats`]).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Send one multicast message to all `to` nodes. Tallied as a single
+    /// multicast plus one delivery per recipient, matching how the LH\*
+    /// papers cost scans on multicast-capable networks.
+    pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
+        let to: Vec<NodeId> = to.into_iter().collect();
+        self.effects.push(Effect::Multicast { to, msg });
+    }
+
+    /// Arm a timer that fires on this node after `delay` simulated
+    /// microseconds (unless cancelled or the node crashes).
+    pub fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, delay });
+        id
+    }
+
+    /// Cancel a previously armed timer. Cancelling an already-fired or
+    /// foreign timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+}

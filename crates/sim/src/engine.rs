@@ -1,0 +1,535 @@
+//! The discrete-event engine: event queue, node table, crash/restart, and
+//! the deterministic run loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::actor::{Actor, Effect, Env, TimerId};
+use crate::{LatencyModel, NetStats, Payload};
+
+/// Identifier of a simulated node. Dense indices assigned by
+/// [`Sim::add_node`] in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Pseudo-sender for messages injected from outside the simulation (the
+/// test harness / application driver).
+pub const EXTERNAL: NodeId = NodeId(u32::MAX);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == EXTERNAL {
+            write!(f, "ext")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: NodeId, msg: M },
+    Timer { id: TimerId },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    node: NodeId,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// Generic over the message payload `M` and the actor type `A` (typically an
+/// enum over the node roles of the scheme under test).
+pub struct Sim<M: Payload, A: Actor<M>> {
+    actors: Vec<Option<A>>,
+    crashed: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    now: u64,
+    seq: u64,
+    next_timer: u64,
+    cancelled_timers: HashSet<u64>,
+    latency: LatencyModel,
+    stats: NetStats,
+    /// Last scheduled arrival per (src, dst): deliveries between a node
+    /// pair are FIFO, like the TCP connections of the paper's testbed.
+    channel_clock: std::collections::HashMap<(NodeId, NodeId), u64>,
+    /// Per-node "busy until" clock for the serial service-time model.
+    node_free_at: Vec<u64>,
+}
+
+impl<M: Payload, A: Actor<M>> Sim<M, A> {
+    /// Create an empty simulation with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        Sim {
+            actors: Vec::new(),
+            crashed: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            next_timer: 0,
+            cancelled_timers: HashSet::new(),
+            latency,
+            stats: NetStats::default(),
+            channel_clock: std::collections::HashMap::new(),
+            node_free_at: Vec::new(),
+        }
+    }
+
+    /// Add a node running `actor`; returns its id (dense, in creation
+    /// order).
+    pub fn add_node(&mut self, actor: A) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(Some(actor));
+        self.crashed.push(false);
+        self.node_free_at.push(0);
+        id
+    }
+
+    /// Number of nodes ever added (crashed ones included).
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Inject a message from the external driver into the simulation.
+    ///
+    /// Driver injections model the application handing work to its local
+    /// client, not network traffic, so they are **not** tallied in
+    /// [`NetStats`] (the SDDS cost model counts messages between nodes
+    /// only).
+    pub fn send_external(&mut self, to: NodeId, msg: M) {
+        self.enqueue_delivery(EXTERNAL, to, msg);
+    }
+
+    /// Inject a message with an arbitrary (spoofed) sender — used by test
+    /// harnesses that play the role of a specific node.
+    pub fn send_as(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.enqueue_send(from, to, msg);
+    }
+
+    /// Crash a node: its pending and future deliveries and timers are
+    /// silently dropped (and counted in [`NetStats::dropped`]) until
+    /// [`Sim::restart`]. Actor state is retained, modelling a transient
+    /// outage; use [`Sim::replace`] to model state loss onto a hot spare.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed[node.0 as usize] = true;
+    }
+
+    /// Bring a crashed node back with its state intact (the paper's
+    /// "restarted with correct data" self-detection case).
+    pub fn restart(&mut self, node: NodeId) {
+        self.crashed[node.0 as usize] = false;
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.0 as usize]
+    }
+
+    /// Replace the actor on `node` (e.g. re-provisioning a hot spare) and
+    /// un-crash it.
+    pub fn replace(&mut self, node: NodeId, actor: A) {
+        self.actors[node.0 as usize] = Some(actor);
+        self.crashed[node.0 as usize] = false;
+    }
+
+    /// Immutable access to a node's actor (panics on unknown node).
+    pub fn actor(&self, node: NodeId) -> &A {
+        self.actors[node.0 as usize].as_ref().expect("actor present")
+    }
+
+    /// Mutable access to a node's actor (panics on unknown node).
+    pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
+        self.actors[node.0 as usize].as_mut().expect("actor present")
+    }
+
+    /// Current simulated time in microseconds.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time must be monotone");
+        self.now = ev.time;
+        let idx = ev.node.0 as usize;
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                if self.crashed[idx] {
+                    self.stats.record_drop();
+                    return true;
+                }
+                // Serial service: a message reaching a busy node waits for
+                // the node to free up. The event keeps its ORIGINAL
+                // sequence number — a fresh one would let a later
+                // same-channel message arriving exactly at `node_free_at`
+                // overtake it (same event time, smaller seq), breaking the
+                // per-channel FIFO guarantee.
+                if self.latency.service_us > 0 && self.node_free_at[idx] > ev.time {
+                    self.queue.push(Reverse(Event {
+                        time: self.node_free_at[idx],
+                        seq: ev.seq,
+                        node: ev.node,
+                        kind: EventKind::Deliver { from, msg },
+                    }));
+                    return true;
+                }
+                self.node_free_at[idx] = ev.time + self.latency.service_us;
+                self.dispatch(ev.node, |actor, env| actor.on_message(env, from, msg));
+            }
+            EventKind::Timer { id } => {
+                if self.cancelled_timers.remove(&id.0) {
+                    return true;
+                }
+                if self.crashed[idx] {
+                    return true;
+                }
+                self.dispatch(ev.node, |actor, env| actor.on_timer(env, id));
+            }
+        }
+        true
+    }
+
+    /// Run until no events remain. Returns the number of events processed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run until simulated time would exceed `t_us` (events at exactly
+    /// `t_us` are processed). Returns the number of events processed.
+    pub fn run_until(&mut self, t_us: u64) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > t_us {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        self.now = self.now.max(t_us);
+        n
+    }
+
+    /// Take the actor out, run the handler with a fresh [`Env`], put it
+    /// back, then apply the buffered effects. The take/put dance is what
+    /// lets handlers send messages without aliasing the engine.
+    fn dispatch(&mut self, node: NodeId, f: impl FnOnce(&mut A, &mut Env<'_, M>)) {
+        let idx = node.0 as usize;
+        let mut actor = self.actors[idx].take().expect("actor present");
+        let mut effects = Vec::new();
+        {
+            let mut env = Env {
+                me: node,
+                now: self.now,
+                next_timer: &mut self.next_timer,
+                effects: &mut effects,
+            };
+            f(&mut actor, &mut env);
+        }
+        self.actors[idx] = Some(actor);
+        for eff in effects {
+            match eff {
+                Effect::Send { to, msg } => self.enqueue_send(node, to, msg),
+                Effect::Multicast { to, msg } => {
+                    self.stats
+                        .record_multicast(msg.kind(), msg.size_bytes(), to.len());
+                    for dest in to {
+                        self.enqueue_delivery(node, dest, msg.clone());
+                    }
+                }
+                Effect::SetTimer { id, delay } => {
+                    let seq = self.next_seq();
+                    self.queue.push(Reverse(Event {
+                        time: self.now + delay,
+                        seq,
+                        node,
+                        kind: EventKind::Timer { id },
+                    }));
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id.0);
+                }
+            }
+        }
+    }
+
+    fn enqueue_send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.stats.record_unicast(msg.kind(), msg.size_bytes());
+        self.enqueue_delivery(from, to, msg);
+    }
+
+    fn enqueue_delivery(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let seq = self.next_seq();
+        let delay = self.latency.delay_us(msg.size_bytes(), seq);
+        // FIFO per channel: never schedule an arrival before an earlier
+        // send on the same (src, dst) pair.
+        let clock = self.channel_clock.entry((from, to)).or_insert(0);
+        let time = (self.now + delay).max(*clock);
+        *clock = time;
+        self.queue.push(Reverse(Event {
+            time,
+            seq,
+            node: to,
+            kind: EventKind::Deliver { from, msg },
+        }));
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Hello(u32),
+        Fanout,
+    }
+    impl Payload for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Hello(_) => "hello",
+                Msg::Fanout => "fanout",
+            }
+        }
+        fn size_bytes(&self) -> usize {
+            4
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(NodeId, Msg)>,
+        timer_fired: Vec<TimerId>,
+        relay_to: Vec<NodeId>,
+    }
+
+    impl Actor<Msg> for Recorder {
+        fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+            self.seen.push((from, msg.clone()));
+            if msg == Msg::Fanout {
+                let to = self.relay_to.clone();
+                env.multicast(to, Msg::Hello(99));
+            }
+        }
+        fn on_timer(&mut self, _env: &mut Env<'_, Msg>, timer: TimerId) {
+            self.timer_fired.push(timer);
+        }
+    }
+
+    #[test]
+    fn external_message_is_delivered() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(Recorder::default());
+        sim.send_external(a, Msg::Hello(1));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).seen, vec![(EXTERNAL, Msg::Hello(1))]);
+        // Driver injections are not network traffic and are not tallied.
+        assert_eq!(sim.stats().count("hello"), 0);
+        assert_eq!(sim.stats().total_bytes(), 0);
+        // A node-to-node send is tallied.
+        sim.send_as(a, a, Msg::Hello(2));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().count("hello"), 1);
+        assert_eq!(sim.stats().total_bytes(), 4);
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_then_restart_delivers_again() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(Recorder::default());
+        sim.crash(a);
+        sim.send_external(a, Msg::Hello(1));
+        sim.run_until_idle();
+        assert!(sim.actor(a).seen.is_empty());
+        assert_eq!(sim.stats().dropped, 1);
+        sim.restart(a);
+        sim.send_external(a, Msg::Hello(2));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).seen, vec![(EXTERNAL, Msg::Hello(2))]);
+    }
+
+    #[test]
+    fn multicast_reaches_all_and_counts_once() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        let hub = sim.add_node(Recorder::default());
+        let b = sim.add_node(Recorder::default());
+        let c = sim.add_node(Recorder::default());
+        sim.actor_mut(hub).relay_to = vec![b, c];
+        sim.send_external(hub, Msg::Fanout);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(b).seen.len(), 1);
+        assert_eq!(sim.actor(c).seen.len(), 1);
+        assert_eq!(sim.stats().multicasts, 1);
+        assert_eq!(sim.stats().multicast_deliveries, 2);
+        assert_eq!(sim.stats().count("hello"), 2);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical() {
+        fn run() -> Vec<(NodeId, Msg)> {
+            let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::default());
+            let a = sim.add_node(Recorder::default());
+            for i in 0..50 {
+                sim.send_external(a, Msg::Hello(i));
+            }
+            sim.run_until_idle();
+            sim.actor(a).seen.clone()
+        }
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_orders_deliveries_by_time() {
+        // With a fixed latency, two messages sent at t=0 arrive in send
+        // order; a later external send arrives after.
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::fixed(100));
+        let a = sim.add_node(Recorder::default());
+        sim.send_external(a, Msg::Hello(1));
+        sim.send_external(a, Msg::Hello(2));
+        sim.run_until_idle();
+        let vals: Vec<u32> = sim
+            .actor(a)
+            .seen
+            .iter()
+            .map(|(_, m)| match m {
+                Msg::Hello(x) => *x,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, vec![1, 2]);
+        assert_eq!(sim.now(), 100);
+    }
+
+    #[derive(Default)]
+    struct TimerNode {
+        fired: Vec<(u64, TimerId)>,
+        arm: Vec<u64>,
+        cancel_first: bool,
+    }
+    impl Actor<Msg> for TimerNode {
+        fn on_message(&mut self, env: &mut Env<'_, Msg>, _from: NodeId, _msg: Msg) {
+            let mut ids = Vec::new();
+            for &d in &self.arm {
+                ids.push(env.set_timer(d));
+            }
+            if self.cancel_first {
+                env.cancel_timer(ids[0]);
+            }
+        }
+        fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
+            self.fired.push((env.now(), timer));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancellation_works() {
+        let mut sim: Sim<Msg, TimerNode> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(TimerNode {
+            arm: vec![300, 100, 200],
+            cancel_first: true,
+            ..Default::default()
+        });
+        sim.send_external(a, Msg::Hello(0));
+        sim.run_until_idle();
+        let times: Vec<u64> = sim.actor(a).fired.iter().map(|(t, _)| *t).collect();
+        // The 300 µs timer was cancelled; 100 then 200 fire.
+        assert_eq!(times, vec![100, 200]);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim: Sim<Msg, TimerNode> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(TimerNode {
+            arm: vec![100, 900],
+            ..Default::default()
+        });
+        sim.send_external(a, Msg::Hello(0));
+        sim.run_until(500);
+        assert_eq!(sim.actor(a).fired.len(), 1);
+        assert_eq!(sim.now(), 500);
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).fired.len(), 2);
+    }
+
+    #[test]
+    fn serial_service_time_queues_concurrent_deliveries() {
+        // Ten messages arrive at once; with 100 µs service the node
+        // finishes the batch at t = 1000 µs, not 100.
+        let model = LatencyModel {
+            base_us: 0,
+            per_byte_ns: 0,
+            jitter_us: 0,
+            service_us: 100,
+        };
+        let mut sim: Sim<Msg, Recorder> = Sim::new(model);
+        let a = sim.add_node(Recorder::default());
+        for i in 0..10 {
+            sim.send_external(a, Msg::Hello(i));
+        }
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).seen.len(), 10);
+        assert_eq!(sim.now(), 900, "10th message starts service at 900 µs");
+        // Arrival order preserved despite re-queuing.
+        let vals: Vec<u32> = sim
+            .actor(a)
+            .seen
+            .iter()
+            .map(|(_, m)| match m {
+                Msg::Hello(x) => *x,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn replace_installs_fresh_state() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(Recorder::default());
+        sim.send_external(a, Msg::Hello(7));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).seen.len(), 1);
+        sim.crash(a);
+        sim.replace(a, Recorder::default());
+        assert!(!sim.is_crashed(a));
+        assert!(sim.actor(a).seen.is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! Network accounting: the measurement instrument behind every table in the
+//! evaluation.
+
+use std::collections::BTreeMap;
+
+/// Tally for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages sent of this kind.
+    pub count: u64,
+    /// Total payload bytes of this kind.
+    pub bytes: u64,
+}
+
+/// Aggregate message statistics of a simulation run.
+///
+/// Every unicast send increments `unicast` and its kind tally; a multicast
+/// increments `multicasts` once and `multicast_deliveries` per recipient
+/// (the kind tally also counts one entry per recipient, since the LH\*
+/// papers cost scan *replies* individually but the scan request once).
+/// Messages addressed to crashed nodes are still tallied at send time and
+/// additionally counted in `dropped` when delivery fails.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Unicast messages sent.
+    pub unicast: u64,
+    /// Multicast operations performed.
+    pub multicasts: u64,
+    /// Individual deliveries fanned out by multicasts.
+    pub multicast_deliveries: u64,
+    /// Deliveries dropped because the destination was crashed.
+    pub dropped: u64,
+    /// Per-kind tallies (BTreeMap so reports are deterministically ordered).
+    pub by_kind: BTreeMap<&'static str, KindStats>,
+}
+
+impl NetStats {
+    /// Record a unicast send of `bytes` payload labelled `kind`.
+    pub(crate) fn record_unicast(&mut self, kind: &'static str, bytes: usize) {
+        self.unicast += 1;
+        let e = self.by_kind.entry(kind).or_default();
+        e.count += 1;
+        e.bytes += bytes as u64;
+    }
+
+    /// Record one multicast to `recipients` nodes.
+    pub(crate) fn record_multicast(&mut self, kind: &'static str, bytes: usize, recipients: usize) {
+        self.multicasts += 1;
+        self.multicast_deliveries += recipients as u64;
+        let e = self.by_kind.entry(kind).or_default();
+        e.count += recipients as u64;
+        e.bytes += (bytes * recipients) as u64;
+    }
+
+    pub(crate) fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Count of messages of the given kind (0 if never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).map(|k| k.count).unwrap_or(0)
+    }
+
+    /// Payload bytes of the given kind (0 if never seen).
+    pub fn bytes(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).map(|k| k.bytes).unwrap_or(0)
+    }
+
+    /// Total messages: unicasts plus per-recipient multicast deliveries —
+    /// the "number of messages" metric of the SDDS papers.
+    pub fn total_messages(&self) -> u64 {
+        self.unicast + self.multicast_deliveries
+    }
+
+    /// Total payload bytes across all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.by_kind.values().map(|k| k.bytes).sum()
+    }
+
+    /// Difference `self - earlier`, kind by kind. Used to cost a single
+    /// operation: snapshot, run the operation, diff.
+    ///
+    /// ```
+    /// # use lhrs_sim::NetStats;
+    /// let stats = NetStats::default();
+    /// let snapshot = stats.clone();
+    /// // ... run an operation on the simulation owning `stats` ...
+    /// let op_cost = stats.since(&snapshot);
+    /// assert_eq!(op_cost.total_messages(), 0);
+    /// ```
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let mut by_kind = BTreeMap::new();
+        for (k, v) in &self.by_kind {
+            let before = earlier.by_kind.get(k).copied().unwrap_or_default();
+            by_kind.insert(
+                *k,
+                KindStats {
+                    count: v.count - before.count,
+                    bytes: v.bytes - before.bytes,
+                },
+            );
+        }
+        NetStats {
+            unicast: self.unicast - earlier.unicast,
+            multicasts: self.multicasts - earlier.multicasts,
+            multicast_deliveries: self.multicast_deliveries - earlier.multicast_deliveries,
+            dropped: self.dropped - earlier.dropped,
+            by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_by_kind() {
+        let mut s = NetStats::default();
+        s.record_unicast("a", 10);
+        s.record_unicast("a", 5);
+        s.record_unicast("b", 1);
+        s.record_multicast("scan", 4, 3);
+        assert_eq!(s.count("a"), 2);
+        assert_eq!(s.bytes("a"), 15);
+        assert_eq!(s.count("scan"), 3);
+        assert_eq!(s.bytes("scan"), 12);
+        assert_eq!(s.total_messages(), 3 + 3);
+        assert_eq!(s.total_bytes(), 15 + 1 + 12);
+    }
+
+    #[test]
+    fn since_diffs_per_kind() {
+        let mut s = NetStats::default();
+        s.record_unicast("a", 10);
+        let snap = s.clone();
+        s.record_unicast("a", 10);
+        s.record_unicast("c", 2);
+        let d = s.since(&snap);
+        assert_eq!(d.count("a"), 1);
+        assert_eq!(d.count("c"), 1);
+        assert_eq!(d.unicast, 2);
+    }
+
+    #[test]
+    fn missing_kind_reads_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.count("nope"), 0);
+        assert_eq!(s.bytes("nope"), 0);
+    }
+}

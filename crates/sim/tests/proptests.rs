@@ -1,0 +1,165 @@
+//! Property tests of the simulator's foundational guarantees: bit-for-bit
+//! determinism and per-channel FIFO delivery — the two properties every
+//! protocol result in this repository rests on.
+
+use lhrs_sim::{Actor, Env, LatencyModel, NodeId, Payload, Sim};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Tagged {
+    src_hint: u32,
+    seq: u32,
+    fanout: Vec<u32>,
+}
+
+impl Payload for Tagged {
+    fn kind(&self) -> &'static str {
+        "tagged"
+    }
+    fn size_bytes(&self) -> usize {
+        8 + self.fanout.len()
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    seen: Vec<(NodeId, u32, u32)>,
+}
+
+impl Actor<Tagged> for Collector {
+    fn on_message(&mut self, env: &mut Env<'_, Tagged>, from: NodeId, msg: Tagged) {
+        self.seen.push((from, msg.src_hint, msg.seq));
+        // Relay to the listed peers, preserving the tag.
+        for &peer in &msg.fanout {
+            env.send(
+                NodeId(peer),
+                Tagged {
+                    src_hint: msg.src_hint,
+                    seq: msg.seq,
+                    fanout: Vec::new(),
+                },
+            );
+        }
+    }
+}
+
+fn model(choice: u8) -> LatencyModel {
+    match choice % 4 {
+        0 => LatencyModel::instant(),
+        1 => LatencyModel::fixed(100),
+        2 => LatencyModel::default(),
+        _ => LatencyModel {
+            base_us: 50,
+            per_byte_ns: 500,
+            jitter_us: 40,
+            service_us: 10,
+        },
+    }
+}
+
+fn run(
+    nodes: usize,
+    sends: &[(u8, u8, u8)],
+    latency: LatencyModel,
+) -> Vec<Vec<(NodeId, u32, u32)>> {
+    let mut sim: Sim<Tagged, Collector> = Sim::new(latency);
+    let ids: Vec<NodeId> = (0..nodes).map(|_| sim.add_node(Collector::default())).collect();
+    for (i, &(to, fan1, fan2)) in sends.iter().enumerate() {
+        let to = ids[to as usize % nodes];
+        let fanout = vec![
+            ids[fan1 as usize % nodes].0,
+            ids[fan2 as usize % nodes].0,
+        ];
+        sim.send_external(
+            to,
+            Tagged {
+                src_hint: to.0,
+                seq: i as u32,
+                fanout,
+            },
+        );
+    }
+    sim.run_until_idle();
+    ids.iter().map(|id| sim.actor(*id).seen.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two identical runs produce identical per-node delivery logs under
+    /// every latency model, including jittered + service-time ones.
+    #[test]
+    fn runs_are_deterministic(
+        nodes in 2usize..8,
+        sends in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
+        latency_choice in 0u8..4,
+    ) {
+        let a = run(nodes, &sends, model(latency_choice));
+        let b = run(nodes, &sends, model(latency_choice));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Per-channel FIFO: for any (src, dst) pair, messages arrive in send
+    /// order regardless of jitter (the external driver is one channel per
+    /// destination; relayed messages form node-to-node channels).
+    #[test]
+    fn channels_are_fifo(
+        nodes in 2usize..6,
+        sends in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
+        latency_choice in 0u8..4,
+    ) {
+        let logs = run(nodes, &sends, model(latency_choice));
+        for log in &logs {
+            // Group by sender; each sender's seqs must arrive in increasing
+            // order of *their send order*. The external channel sends seq
+            // in increasing order; relays forward each received seq
+            // immediately, so per relay-sender order must match the
+            // relayer's own delivery order. We check the external channel
+            // directly:
+            let ext: Vec<u32> = log
+                .iter()
+                .filter(|(from, _, _)| *from == lhrs_sim::EXTERNAL)
+                .map(|(_, _, seq)| *seq)
+                .collect();
+            let mut sorted = ext.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(ext, sorted, "external channel reordered");
+        }
+        // Relay channels: node A relays in its delivery order; B must see
+        // A's relays in that same order.
+        for (a_idx, a_log) in logs.iter().enumerate() {
+            let a_relay_order: Vec<u32> = a_log.iter().map(|(_, _, seq)| *seq).collect();
+            for b_log in &logs {
+                let from_a: Vec<u32> = b_log
+                    .iter()
+                    .filter(|(from, _, _)| *from == NodeId(a_idx as u32))
+                    .map(|(_, _, seq)| *seq)
+                    .collect();
+                // from_a must be a subsequence of a_relay_order (possibly
+                // with duplicates when A relayed the same seq twice to B).
+                let mut it = a_relay_order.iter().peekable();
+                let mut ok = true;
+                'outer: for want in &from_a {
+                    loop {
+                        match it.peek() {
+                            Some(&&have) if have == *want => {
+                                // Do not consume: duplicates (two fanout
+                                // entries to the same node) arrive
+                                // back-to-back from one delivery.
+                                break;
+                            }
+                            Some(_) => {
+                                it.next();
+                            }
+                            None => {
+                                ok = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                prop_assert!(ok, "relay channel {}→? reordered", a_idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Explore the (m, k) design space: for a target file size and per-server
+//! availability, what do group size and availability level buy and cost?
+//! This is the capacity-planning exercise an operator of an LH*RS
+//! deployment would run — entirely from the analytic availability model
+//! plus measured per-op costs.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use lhrs_core::availability::{file_availability, k_needed};
+use lhrs_core::{Config, LhrsFile};
+use lhrs_sim::LatencyModel;
+
+fn main() {
+    let p = 0.99; // per-server availability
+    let m_buckets = 1024; // planned file size
+
+    println!("design space for an M = {m_buckets} bucket file, p = {p}\n");
+    println!(
+        "{:>4} {:>3} {:>10} {:>10} {:>10} {:>10}",
+        "m", "k", "P(file)", "overhead", "ins msgs", "rebuild"
+    );
+    for &m in &[2usize, 4, 8, 16] {
+        for k in 1..=3usize {
+            let avail = file_availability(m_buckets, m, k, p);
+            println!(
+                "{:>4} {:>3} {:>10.6} {:>10} {:>10} {:>10}",
+                m,
+                k,
+                avail,
+                format!("{:.1}%", 100.0 * k as f64 / m as f64),
+                1 + k,
+                format!("{} xfers", m),
+            );
+        }
+    }
+
+    println!("\nsmallest k meeting P ≥ 0.9999 by file size (m = 4):");
+    for exp in [6u32, 8, 10, 12, 14, 16] {
+        let m_now = 1u64 << exp;
+        match k_needed(m_now, 4, p, 0.9999, 10) {
+            Some(k) => println!("  M = {m_now:>6}: k = {k}"),
+            None => println!("  M = {m_now:>6}: k > 10"),
+        }
+    }
+
+    // Validate one chosen point empirically: (m = 8, k = 2).
+    println!("\nempirical check of (m = 8, k = 2) on a live simulated file:");
+    let mut file = LhrsFile::new(Config {
+        group_size: 8,
+        initial_k: 2,
+        bucket_capacity: 32,
+        record_len: 64,
+        latency: LatencyModel::instant(),
+        node_pool: 2048,
+        ..Config::default()
+    })
+    .expect("config");
+    for key in 0..4000u64 {
+        file.insert(lhrs_lh::scramble(key), vec![0xCD; 64]).expect("insert");
+    }
+    let r = file.storage_report();
+    println!(
+        "  measured overhead: {:.3} (plan said {:.3}); load factor {:.2}",
+        r.storage_overhead,
+        2.0 / 8.0,
+        r.load_factor
+    );
+    let cost = file.cost_of(|f| {
+        for key in 10_000..10_100u64 {
+            f.insert(lhrs_lh::scramble(key), vec![1; 64]).expect("insert");
+        }
+    });
+    println!(
+        "  measured insert cost: {:.2} msgs/op (plan said {})",
+        cost.total_messages() as f64 / 100.0,
+        1 + 2
+    );
+    file.verify_integrity().expect("consistent");
+    println!("  integrity ✔");
+}

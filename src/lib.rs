@@ -1,0 +1,12 @@
+//! Workspace root crate for the LH*RS reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`; the actual library surface lives
+//! in the member crates re-exported below.
+
+pub use lhrs_baselines as baselines;
+pub use lhrs_core as lhrs;
+pub use lhrs_gf as gf;
+pub use lhrs_lh as lh;
+pub use lhrs_rs as rs;
+pub use lhrs_sim as sim;
