@@ -176,8 +176,14 @@ impl Payload for BMsg {
     fn kind(&self) -> &'static str {
         match self {
             BMsg::Do { .. } => "app-do",
-            BMsg::Req { kind: BReq::Insert(..), .. } => "insert",
-            BMsg::Req { kind: BReq::Lookup(..), .. } => "lookup",
+            BMsg::Req {
+                kind: BReq::Insert(..),
+                ..
+            } => "insert",
+            BMsg::Req {
+                kind: BReq::Lookup(..),
+                ..
+            } => "lookup",
             BMsg::Reply { .. } => "reply",
             BMsg::ReportOverflow { .. } => "overflow",
             BMsg::InitBucket { .. } => "init-data",
@@ -194,8 +200,14 @@ impl Payload for BMsg {
     fn size_bytes(&self) -> usize {
         match self {
             BMsg::Do { .. } => 0,
-            BMsg::Req { kind: BReq::Insert(_, p), .. } => 24 + p.len(),
-            BMsg::Req { kind: BReq::Lookup(_), .. } => 24,
+            BMsg::Req {
+                kind: BReq::Insert(_, p),
+                ..
+            } => 24 + p.len(),
+            BMsg::Req {
+                kind: BReq::Lookup(_),
+                ..
+            } => 24,
             BMsg::Reply { value, .. } => 16 + value.as_ref().map(Vec::len).unwrap_or(0),
             BMsg::ReportOverflow { .. } => 12,
             BMsg::InitBucket { .. } => 16,
@@ -300,7 +312,12 @@ impl BBucket {
                                 {
                                     self.overflow_reported = true;
                                     let coord = self.shared.registry.borrow().coordinator;
-                                    env.send(coord, BMsg::ReportOverflow { bucket: self.bucket });
+                                    env.send(
+                                        coord,
+                                        BMsg::ReportOverflow {
+                                            bucket: self.bucket,
+                                        },
+                                    );
                                 }
                                 if let Some(iam) = iam {
                                     env.send(
@@ -486,8 +503,8 @@ impl BCoordinator {
                             token: install_token,
                         },
                     );
-                    self.shared.registry.borrow_mut().nodes[ctx.replica]
-                        [ctx.bucket as usize] = spare;
+                    self.shared.registry.borrow_mut().nodes[ctx.replica][ctx.bucket as usize] =
+                        spare;
                     self.recoveries.insert(
                         install_token,
                         BRecovery {
@@ -635,8 +652,7 @@ impl BClient {
                             // Reassemble fragments in replica order; a
                             // record exists iff fragment 0 exists.
                             let assembled = if got.get(&0).map(|v| v.is_some()).unwrap_or(false) {
-                                let frags: Vec<Vec<u8>> =
-                                    got.values().flatten().cloned().collect();
+                                let frags: Vec<Vec<u8>> = got.values().flatten().cloned().collect();
                                 unstripe(&frags)
                             } else {
                                 None

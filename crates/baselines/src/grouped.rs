@@ -79,7 +79,6 @@ pub enum POp {
     Update(Vec<u8>),
 }
 
-
 /// The LH\*g message protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GMsg {
@@ -290,7 +289,10 @@ impl Payload for GMsg {
             GMsg::InitPrimary { .. } | GMsg::InitParity { .. } => 12,
             GMsg::SplitPrimary { .. } | GMsg::SplitParity { .. } => 16,
             GMsg::LoadPrimary { records } => {
-                8 + records.iter().map(|(_, _, _, p)| 28 + p.len()).sum::<usize>()
+                8 + records
+                    .iter()
+                    .map(|(_, _, _, p)| 28 + p.len())
+                    .sum::<usize>()
             }
             GMsg::LoadParity { records } => {
                 8 + records
@@ -404,15 +406,19 @@ impl GPrimary {
                         env.send(reply_to, GMsg::Reply { op_id, value, iam });
                     }
                     GReq::FetchCell(key) => {
-                        let value = self
-                            .records
-                            .get(&key)
-                            .map(|r| cell(&r.payload, cell_len));
+                        let value = self.records.get(&key).map(|r| cell(&r.payload, cell_len));
                         env.send(reply_to, GMsg::Reply { op_id, value, iam });
                     }
                     GReq::Insert(key, payload) => {
                         if self.records.contains_key(&key) {
-                            env.send(reply_to, GMsg::Reply { op_id, value: None, iam });
+                            env.send(
+                                reply_to,
+                                GMsg::Reply {
+                                    op_id,
+                                    value: None,
+                                    iam,
+                                },
+                            );
                             return;
                         }
                         // Insertion-time group binding: g from THIS bucket,
@@ -426,7 +432,12 @@ impl GPrimary {
                         if !self.overflow_reported && self.records.len() > self.shared.capacity {
                             self.overflow_reported = true;
                             let coord = *self.shared.coordinator.borrow();
-                            env.send(coord, GMsg::OverflowPrimary { bucket: self.bucket });
+                            env.send(
+                                coord,
+                                GMsg::OverflowPrimary {
+                                    bucket: self.bucket,
+                                },
+                            );
                         }
                         if iam.is_some() {
                             env.send(
@@ -441,7 +452,14 @@ impl GPrimary {
                     }
                     GReq::Update(key, payload) => {
                         let Some(rec) = self.records.get_mut(&key) else {
-                            env.send(reply_to, GMsg::Reply { op_id, value: None, iam });
+                            env.send(
+                                reply_to,
+                                GMsg::Reply {
+                                    op_id,
+                                    value: None,
+                                    iam,
+                                },
+                            );
                             return;
                         };
                         let mut delta = cell(&rec.payload, cell_len);
@@ -463,7 +481,14 @@ impl GPrimary {
                     }
                     GReq::Delete(key) => {
                         let Some(rec) = self.records.remove(&key) else {
-                            env.send(reply_to, GMsg::Reply { op_id, value: None, iam });
+                            env.send(
+                                reply_to,
+                                GMsg::Reply {
+                                    op_id,
+                                    value: None,
+                                    iam,
+                                },
+                            );
                             return;
                         };
                         let c = cell(&rec.payload, cell_len);
@@ -613,7 +638,12 @@ impl GParity {
                 if !self.overflow_reported && self.records.len() > self.shared.capacity {
                     self.overflow_reported = true;
                     let coord = *self.shared.coordinator.borrow();
-                    env.send(coord, GMsg::OverflowParity { bucket: self.bucket });
+                    env.send(
+                        coord,
+                        GMsg::OverflowParity {
+                            bucket: self.bucket,
+                        },
+                    );
                 }
             }
             GMsg::SplitParity { target, new_level } => {
@@ -817,7 +847,10 @@ impl GCoordinator {
                 return;
             };
             (
-                keys.iter().copied().filter(|k| *k != ctx.key).collect::<Vec<u64>>(),
+                keys.iter()
+                    .copied()
+                    .filter(|k| *k != ctx.key)
+                    .collect::<Vec<u64>>(),
                 ctx.key,
             )
         };
@@ -835,8 +868,7 @@ impl GCoordinator {
             // The coordinator knows the true state: address directly.
             let b = self.primary_state.address(member);
             debug_assert_ne!(
-                b,
-                self.recoveries[&token].unavailable,
+                b, self.recoveries[&token].unavailable,
                 "two group members in one bucket would break 1-availability"
             );
             env.send(
@@ -923,7 +955,10 @@ impl GClient {
 
 /// Node roles.
 enum GNode {
-    Blank { shared: GHandle, pending: Vec<(NodeId, GMsg)> },
+    Blank {
+        shared: GHandle,
+        pending: Vec<(NodeId, GMsg)>,
+    },
     Primary(GPrimary),
     Parity(GParity),
     Client(GClient),
@@ -1007,7 +1042,10 @@ impl GroupedLh {
         *shared.coordinator.borrow_mut() = coordinator;
         // Primary file starts with m buckets (N = m); parity with 1.
         for (i, id) in ids[2..2 + m].iter().enumerate() {
-            sim.replace(*id, GNode::Primary(GPrimary::new(shared.clone(), i as u64, 0)));
+            sim.replace(
+                *id,
+                GNode::Primary(GPrimary::new(shared.clone(), i as u64, 0)),
+            );
             shared.primary.borrow_mut().push(*id);
         }
         let parity0 = ids[2 + m];
@@ -1142,10 +1180,11 @@ impl GroupedLh {
                 _ => return Err(format!("primary slot {b} holds a non-primary node")),
             };
             for (key, rec) in &bucket.records {
-                groups
-                    .entry((rec.g, rec.r))
-                    .or_default()
-                    .push((*key, b as u64, rec.payload.clone()));
+                groups.entry((rec.g, rec.r)).or_default().push((
+                    *key,
+                    b as u64,
+                    rec.payload.clone(),
+                ));
             }
         }
         // Proposition 1 and parity consistency.
@@ -1190,10 +1229,7 @@ impl GroupedLh {
         }
         // No ghost parity records.
         for gk in all_parity.keys() {
-            if !groups
-                .iter()
-                .any(|((g, r), _)| pack_gkey(*g, *r) == *gk)
-            {
+            if !groups.iter().any(|((g, r), _)| pack_gkey(*g, *r) == *gk) {
                 return Err(format!("ghost parity record for packed gkey {gk}"));
             }
         }
@@ -1230,7 +1266,11 @@ impl crate::Scheme for GroupedLh {
         let mut primary = 0u64;
         for node in self.shared.primary.borrow().iter() {
             if let GNode::Primary(p) = self.sim.actor(*node) {
-                primary += p.records.values().map(|r| r.payload.len() as u64).sum::<u64>();
+                primary += p
+                    .records
+                    .values()
+                    .map(|r| r.payload.len() as u64)
+                    .sum::<u64>();
             }
         }
         let mut redundant = 0u64;

@@ -195,10 +195,8 @@ impl BaseDriver {
     /// the coordinator confirmed the install.
     pub fn recover_replica(&mut self, bucket: u64, replica: usize) -> bool {
         let coord = self.shared.registry.borrow().coordinator;
-        self.sim.send_external(
-            coord,
-            BMsg::RecoverReplica { bucket, replica },
-        );
+        self.sim
+            .send_external(coord, BMsg::RecoverReplica { bucket, replica });
         self.sim.run_until_idle();
         let done = self
             .sim

@@ -74,8 +74,7 @@ impl Scheme for StripeLh {
 
     fn availability(&self, p: f64) -> f64 {
         // Each logical bucket's m+1 stripe servers tolerate one loss.
-        lhrs_core::availability::group_availability(self.m, 1, p)
-            .powi(self.data_buckets() as i32)
+        lhrs_core::availability::group_availability(self.m, 1, p).powi(self.data_buckets() as i32)
     }
 
     fn tolerates(&self) -> usize {

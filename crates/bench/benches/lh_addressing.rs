@@ -1,63 +1,63 @@
-//! Criterion micro-benchmarks of the linear-hashing address math (A1/A2/A3)
-//! and the single-node LH table — all on the client/server fast path.
+//! Micro-benchmarks of the linear-hashing address math (A1/A2/A3) and the
+//! single-node LH table — all on the client/server fast path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lhrs_bench::microbench::Bench;
 use lhrs_lh::{a2_route, ClientImage, FileState, LhTable};
 
-fn bench_addressing(c: &mut Criterion) {
+fn bench_addressing() {
     let mut state = FileState::new(1);
     for _ in 0..1000 {
         state.split();
     }
-    c.bench_function("a1_address", |b| {
+    let g = Bench::group("lh_addressing");
+    {
         let mut key = 0u64;
-        b.iter(|| {
+        g.run("a1_address", 0, || {
             key = key.wrapping_add(0x9E3779B97F4A7C15);
             std::hint::black_box(state.address(key))
         });
-    });
-    c.bench_function("a2_route", |b| {
+    }
+    {
         let mut key = 0u64;
-        b.iter(|| {
+        g.run("a2_route", 0, || {
             key = key.wrapping_add(0x9E3779B97F4A7C15);
             let a = state.address(key);
             std::hint::black_box(a2_route(a, state.level_of(a), key, 1))
         });
-    });
-    c.bench_function("a3_adjust", |b| {
+    }
+    {
         let mut img = ClientImage::new(1);
         let mut key = 0u64;
-        b.iter(|| {
+        g.run("a3_adjust", 0, || {
             key = key.wrapping_add(0x9E3779B97F4A7C15);
             let a = state.address(key);
             img.adjust(state.level_of(a), a);
             std::hint::black_box(img.bucket_count())
         });
-    });
+    }
 }
 
-fn bench_table(c: &mut Criterion) {
-    c.bench_function("lh_table_insert_10k", |b| {
-        b.iter(|| {
-            let mut t = LhTable::new(16);
-            for k in 0..10_000u64 {
-                t.insert(lhrs_lh::scramble(k), k);
-            }
-            t
-        });
+fn bench_table() {
+    let g = Bench::group("lh_table");
+    g.run("lh_table_insert_10k", 0, || {
+        let mut t = LhTable::new(16);
+        for k in 0..10_000u64 {
+            t.insert(lhrs_lh::scramble(k), k);
+        }
+        t
     });
     let mut t = LhTable::new(16);
     for k in 0..100_000u64 {
         t.insert(lhrs_lh::scramble(k), k);
     }
-    c.bench_function("lh_table_get", |b| {
-        let mut k = 0u64;
-        b.iter(|| {
-            k = (k + 1) % 100_000;
-            std::hint::black_box(t.get(lhrs_lh::scramble(k)))
-        });
+    let mut k = 0u64;
+    g.run("lh_table_get", 0, || {
+        k = (k + 1) % 100_000;
+        std::hint::black_box(t.get(lhrs_lh::scramble(k)))
     });
 }
 
-criterion_group!(benches, bench_addressing, bench_table);
-criterion_main!(benches);
+fn main() {
+    bench_addressing();
+    bench_table();
+}

@@ -1,69 +1,75 @@
-//! Criterion micro-benchmarks of the coding kernels on LH*RS's critical
-//! path: GF multiply-accumulate, full encode, Δ-commit, and erasure decode.
+//! Micro-benchmarks of the coding kernels on LH*RS's critical path: GF
+//! multiply-accumulate, full encode, Δ-commit, and erasure decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lhrs_bench::microbench::Bench;
 use lhrs_gf::{GaloisField, Gf16, Gf4, Gf8};
 use lhrs_rs::RsCode;
 
 const LEN: usize = 64 * 1024;
 
-fn bench_mul_add(c: &mut Criterion) {
+fn bench_mul_add() {
     let src: Vec<u8> = (0..LEN).map(|i| (i * 7 + 1) as u8).collect();
-    let mut g = c.benchmark_group("gf_mul_add_slice");
-    g.throughput(Throughput::Bytes(LEN as u64));
-    g.bench_function("gf8_xor_path(c=1)", |b| {
+    let g = Bench::group("gf_mul_add_slice");
+    {
         let mut dst = vec![0u8; LEN];
-        b.iter(|| Gf8::mul_add_slice(1, &src, &mut dst));
-    });
-    g.bench_function("gf8_general(c=0x1d)", |b| {
+        g.run("gf8_xor_path(c=1)", LEN as u64, || {
+            Gf8::mul_add_slice(1, &src, &mut dst)
+        });
+    }
+    {
         let mut dst = vec![0u8; LEN];
-        b.iter(|| Gf8::mul_add_slice(0x1D, &src, &mut dst));
-    });
-    g.bench_function("gf4_general(c=7)", |b| {
+        g.run("gf8_general(c=0x1d)", LEN as u64, || {
+            Gf8::mul_add_slice(0x1D, &src, &mut dst)
+        });
+    }
+    {
         let mut dst = vec![0u8; LEN];
-        b.iter(|| Gf4::mul_add_slice(7, &src, &mut dst));
-    });
-    g.bench_function("gf16_general(c=0x100b)", |b| {
+        g.run("gf4_general(c=7)", LEN as u64, || {
+            Gf4::mul_add_slice(7, &src, &mut dst)
+        });
+    }
+    {
         let mut dst = vec![0u8; LEN];
-        b.iter(|| Gf16::mul_add_slice(0x100B, &src, &mut dst));
-    });
-    g.finish();
+        g.run("gf16_general(c=0x100b)", LEN as u64, || {
+            Gf16::mul_add_slice(0x100B, &src, &mut dst)
+        });
+    }
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rs_encode");
+fn bench_encode() {
+    let g = Bench::group("rs_encode");
     for &(m, k) in &[(4usize, 1usize), (4, 2), (8, 2), (16, 4)] {
         let code: RsCode<Gf8> = RsCode::new(m, k).unwrap();
         let data: Vec<Vec<u8>> = (0..m)
             .map(|i| (0..LEN).map(|b| ((i * 131 + b) % 251) as u8).collect())
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
-        g.throughput(Throughput::Bytes((m * LEN) as u64));
-        g.bench_with_input(BenchmarkId::new("gf8", format!("m{m}_k{k}")), &refs, |b, refs| {
-            b.iter(|| code.encode(refs).unwrap());
+        g.run(&format!("gf8/m{m}_k{k}"), (m * LEN) as u64, || {
+            code.encode(&refs).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_delta(c: &mut Criterion) {
+fn bench_delta() {
     let code: RsCode<Gf8> = RsCode::new(4, 3).unwrap();
     let delta: Vec<u8> = (0..LEN).map(|i| (i * 3) as u8).collect();
-    let mut g = c.benchmark_group("rs_apply_delta");
-    g.throughput(Throughput::Bytes(LEN as u64));
-    g.bench_function("col0_parity0(xor)", |b| {
+    let g = Bench::group("rs_apply_delta");
+    {
         let mut parity = vec![0u8; LEN];
-        b.iter(|| code.apply_delta(0, 0, &delta, &mut parity));
-    });
-    g.bench_function("col2_parity2(mul)", |b| {
+        g.run("col0_parity0(xor)", LEN as u64, || {
+            code.apply_delta(0, 0, &delta, &mut parity)
+        });
+    }
+    {
         let mut parity = vec![0u8; LEN];
-        b.iter(|| code.apply_delta(2, 2, &delta, &mut parity));
-    });
-    g.finish();
+        g.run("col2_parity2(mul)", LEN as u64, || {
+            code.apply_delta(2, 2, &delta, &mut parity)
+        });
+    }
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rs_reconstruct");
+fn bench_decode() {
+    let g = Bench::group("rs_reconstruct");
     for &(m, k, e) in &[(4usize, 2usize, 1usize), (4, 2, 2), (8, 3, 3)] {
         let code: RsCode<Gf8> = RsCode::new(m, k).unwrap();
         let data: Vec<Vec<u8>> = (0..m)
@@ -72,25 +78,20 @@ fn bench_decode(c: &mut Criterion) {
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = code.encode(&refs).unwrap();
         let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
-        g.throughput(Throughput::Bytes((m * LEN) as u64));
-        g.bench_with_input(
-            BenchmarkId::new("gf8", format!("m{m}_k{k}_e{e}")),
-            &full,
-            |b, full| {
-                b.iter(|| {
-                    let mut shards: Vec<Option<Vec<u8>>> =
-                        full.iter().cloned().map(Some).collect();
-                    for slot in shards.iter_mut().take(e) {
-                        *slot = None;
-                    }
-                    code.reconstruct(&mut shards).unwrap();
-                    shards
-                });
-            },
-        );
+        g.run(&format!("gf8/m{m}_k{k}_e{e}"), (m * LEN) as u64, || {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            for slot in shards.iter_mut().take(e) {
+                *slot = None;
+            }
+            code.reconstruct(&mut shards).unwrap();
+            shards
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_mul_add, bench_encode, bench_delta, bench_decode);
-criterion_main!(benches);
+fn main() {
+    bench_mul_add();
+    bench_encode();
+    bench_delta();
+    bench_decode();
+}

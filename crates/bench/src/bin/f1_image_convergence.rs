@@ -2,5 +2,8 @@
 //! `bench_out/f1_image_convergence.txt`.
 
 fn main() {
-    lhrs_bench::emit("f1_image_convergence", &lhrs_bench::experiments::f1_image_convergence::run());
+    lhrs_bench::emit(
+        "f1_image_convergence",
+        &lhrs_bench::experiments::f1_image_convergence::run(),
+    );
 }

@@ -2,5 +2,8 @@
 //! `bench_out/f2_availability_curves.txt`.
 
 fn main() {
-    lhrs_bench::emit("f2_availability_curves", &lhrs_bench::experiments::f2_availability_curves::run());
+    lhrs_bench::emit(
+        "f2_availability_curves",
+        &lhrs_bench::experiments::f2_availability_curves::run(),
+    );
 }

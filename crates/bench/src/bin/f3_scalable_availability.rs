@@ -2,5 +2,8 @@
 //! `bench_out/f3_scalable_availability.txt`.
 
 fn main() {
-    lhrs_bench::emit("f3_scalable_availability", &lhrs_bench::experiments::f3_scalable_availability::run());
+    lhrs_bench::emit(
+        "f3_scalable_availability",
+        &lhrs_bench::experiments::f3_scalable_availability::run(),
+    );
 }

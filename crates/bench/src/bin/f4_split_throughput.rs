@@ -2,5 +2,8 @@
 //! `bench_out/f4_split_throughput.txt`.
 
 fn main() {
-    lhrs_bench::emit("f4_split_throughput", &lhrs_bench::experiments::f4_split_throughput::run());
+    lhrs_bench::emit(
+        "f4_split_throughput",
+        &lhrs_bench::experiments::f4_split_throughput::run(),
+    );
 }

@@ -1,0 +1,9 @@
+//! Regenerates experiment `t10_fault_overhead` (see DESIGN.md §3); writes
+//! `bench_out/t10_fault_overhead.txt`.
+
+fn main() {
+    lhrs_bench::emit(
+        "t10_fault_overhead",
+        &lhrs_bench::experiments::t10_fault_overhead::run(),
+    );
+}

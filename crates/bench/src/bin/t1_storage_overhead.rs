@@ -2,5 +2,8 @@
 //! `bench_out/t1_storage_overhead.txt`.
 
 fn main() {
-    lhrs_bench::emit("t1_storage_overhead", &lhrs_bench::experiments::t1_storage_overhead::run());
+    lhrs_bench::emit(
+        "t1_storage_overhead",
+        &lhrs_bench::experiments::t1_storage_overhead::run(),
+    );
 }

@@ -2,5 +2,8 @@
 //! `bench_out/t2_search_cost.txt`.
 
 fn main() {
-    lhrs_bench::emit("t2_search_cost", &lhrs_bench::experiments::t2_search_cost::run());
+    lhrs_bench::emit(
+        "t2_search_cost",
+        &lhrs_bench::experiments::t2_search_cost::run(),
+    );
 }

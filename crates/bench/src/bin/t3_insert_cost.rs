@@ -2,5 +2,8 @@
 //! `bench_out/t3_insert_cost.txt`.
 
 fn main() {
-    lhrs_bench::emit("t3_insert_cost", &lhrs_bench::experiments::t3_insert_cost::run());
+    lhrs_bench::emit(
+        "t3_insert_cost",
+        &lhrs_bench::experiments::t3_insert_cost::run(),
+    );
 }

@@ -2,5 +2,8 @@
 //! `bench_out/t4_coding_throughput.txt`.
 
 fn main() {
-    lhrs_bench::emit("t4_coding_throughput", &lhrs_bench::experiments::t4_coding_throughput::run());
+    lhrs_bench::emit(
+        "t4_coding_throughput",
+        &lhrs_bench::experiments::t4_coding_throughput::run(),
+    );
 }

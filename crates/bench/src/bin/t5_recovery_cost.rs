@@ -2,5 +2,8 @@
 //! `bench_out/t5_recovery_cost.txt`.
 
 fn main() {
-    lhrs_bench::emit("t5_recovery_cost", &lhrs_bench::experiments::t5_recovery_cost::run());
+    lhrs_bench::emit(
+        "t5_recovery_cost",
+        &lhrs_bench::experiments::t5_recovery_cost::run(),
+    );
 }

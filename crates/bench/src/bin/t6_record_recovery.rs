@@ -2,5 +2,8 @@
 //! `bench_out/t6_record_recovery.txt`.
 
 fn main() {
-    lhrs_bench::emit("t6_record_recovery", &lhrs_bench::experiments::t6_record_recovery::run());
+    lhrs_bench::emit(
+        "t6_record_recovery",
+        &lhrs_bench::experiments::t6_record_recovery::run(),
+    );
 }

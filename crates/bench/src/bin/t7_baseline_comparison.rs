@@ -2,5 +2,8 @@
 //! `bench_out/t7_baseline_comparison.txt`.
 
 fn main() {
-    lhrs_bench::emit("t7_baseline_comparison", &lhrs_bench::experiments::t7_baseline_comparison::run());
+    lhrs_bench::emit(
+        "t7_baseline_comparison",
+        &lhrs_bench::experiments::t7_baseline_comparison::run(),
+    );
 }

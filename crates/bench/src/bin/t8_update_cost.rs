@@ -2,5 +2,8 @@
 //! `bench_out/t8_update_cost.txt`.
 
 fn main() {
-    lhrs_bench::emit("t8_update_cost", &lhrs_bench::experiments::t8_update_cost::run());
+    lhrs_bench::emit(
+        "t8_update_cost",
+        &lhrs_bench::experiments::t8_update_cost::run(),
+    );
 }

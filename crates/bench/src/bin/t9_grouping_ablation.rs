@@ -2,5 +2,8 @@
 //! `bench_out/t9_grouping_ablation.txt`.
 
 fn main() {
-    lhrs_bench::emit("t9_grouping_ablation", &lhrs_bench::experiments::t9_grouping_ablation::run());
+    lhrs_bench::emit(
+        "t9_grouping_ablation",
+        &lhrs_bench::experiments::t9_grouping_ablation::run(),
+    );
 }

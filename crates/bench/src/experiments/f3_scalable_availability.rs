@@ -49,8 +49,7 @@ pub fn run() -> Vec<Table> {
             if cols == 0 {
                 continue;
             }
-            p_scaled *=
-                lhrs_core::availability::group_availability(cols, file.group_k(g), p);
+            p_scaled *= lhrs_core::availability::group_availability(cols, file.group_k(g), p);
         }
         series.row(vec![
             m_now.to_string(),
@@ -61,7 +60,9 @@ pub fn run() -> Vec<Table> {
             f4(file_availability(m_now, 4, 1, p)),
         ]);
     }
-    series.note("expected shape: P(scaled) stays ≈ flat across threshold crossings while P(k=1) decays");
+    series.note(
+        "expected shape: P(scaled) stays ≈ flat across threshold crossings while P(k=1) decays",
+    );
 
     // Ablation: eager vs lazy upgrade cost and lag.
     let mut ablation = Table::new(

@@ -57,8 +57,7 @@ pub fn run() -> Vec<Table> {
         // image-lag tax of a client racing the growing file; struct =
         // split machinery (incl. the 2k parity batches per split).
         let base = (nf + stats.count("parity-delta") as f64) / nf;
-        let fwd_iam =
-            (stats.count("insert") as f64 - nf + stats.count("reply") as f64) / nf;
+        let fwd_iam = (stats.count("insert") as f64 - nf + stats.count("reply") as f64) / nf;
         let structural: u64 = [
             "overflow",
             "split",

@@ -5,6 +5,7 @@ pub mod f1_image_convergence;
 pub mod f2_availability_curves;
 pub mod f3_scalable_availability;
 pub mod f4_split_throughput;
+pub mod t10_fault_overhead;
 pub mod t1_storage_overhead;
 pub mod t2_search_cost;
 pub mod t3_insert_cost;
@@ -34,5 +35,6 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("f4_split_throughput", f4_split_throughput::run),
         ("t8_update_cost", t8_update_cost::run),
         ("t9_grouping_ablation", t9_grouping_ablation::run),
+        ("t10_fault_overhead", t10_fault_overhead::run),
     ]
 }

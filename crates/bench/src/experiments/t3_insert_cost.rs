@@ -81,6 +81,8 @@ pub fn run() -> Vec<Table> {
         }
     }
     table.note("op msgs = steady-state inserts with no split triggered; expect = 1 + k (unacked) or 1 + 2k (parity-acked)");
-    table.note("with splits = amortised growth-phase cost; split share = structural surcharge per insert");
+    table.note(
+        "with splits = amortised growth-phase cost; split share = structural surcharge per insert",
+    );
     vec![table]
 }

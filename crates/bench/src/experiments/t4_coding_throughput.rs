@@ -20,7 +20,11 @@ const SHARD: usize = 64 * 1024;
 fn encode_mbps<F: GaloisField>(m: usize, k: usize) -> f64 {
     let code: RsCode<F> = RsCode::new(m, k).expect("params fit field");
     let data: Vec<Vec<u8>> = (0..m)
-        .map(|i| (0..SHARD).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+        .map(|i| {
+            (0..SHARD)
+                .map(|b| ((i * 131 + b * 7 + 3) % 251) as u8)
+                .collect()
+        })
         .collect();
     let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     // Warm up, then time.
@@ -37,7 +41,11 @@ fn encode_mbps<F: GaloisField>(m: usize, k: usize) -> f64 {
 fn decode_mbps<F: GaloisField>(m: usize, k: usize, erasures: usize) -> f64 {
     let code: RsCode<F> = RsCode::new(m, k).expect("params fit field");
     let data: Vec<Vec<u8>> = (0..m)
-        .map(|i| (0..SHARD).map(|b| ((i * 37 + b * 11 + 5) % 251) as u8).collect())
+        .map(|i| {
+            (0..SHARD)
+                .map(|b| ((i * 37 + b * 11 + 5) % 251) as u8)
+                .collect()
+        })
         .collect();
     let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
     let parity = code.encode(&refs).expect("encode");
@@ -90,7 +98,9 @@ pub fn run() -> Vec<Table> {
             f2(g16 * k as f64),
         ]);
     }
-    enc.note("k = 1 rows exercise the all-ones (pure XOR) parity column — the LH*g-compatible fast path");
+    enc.note(
+        "k = 1 rows exercise the all-ones (pure XOR) parity column — the LH*g-compatible fast path",
+    );
     enc.note("expected shape: throughput ≈ c/k; XOR k=1 well above multiply-based rows");
 
     let mut dec = Table::new(
@@ -107,6 +117,8 @@ pub fn run() -> Vec<Table> {
             ]);
         }
     }
-    dec.note("expected shape: decode slows as the erasure count grows (more non-trivial matrix rows)");
+    dec.note(
+        "expected shape: decode slows as the erasure count grows (more non-trivial matrix rows)",
+    );
     vec![enc, dec]
 }

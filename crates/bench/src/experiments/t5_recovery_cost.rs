@@ -68,7 +68,9 @@ pub fn run() -> Vec<Table> {
             }
         }
     }
-    table.note("mix = which shards were killed: 'data' = data buckets only, 'mixed' = data + parity");
+    table.note(
+        "mix = which shards were killed: 'data' = data buckets only, 'mixed' = data + parity",
+    );
     table.note("expected shape: transfers flat in f (always m shards consulted); installs and bytes grow with f; k only gates how large f may get");
 
     // Bucket-size sweep: messages stay flat, bytes and time scale with b.
@@ -115,7 +117,13 @@ pub fn run() -> Vec<Table> {
     // Cross-scheme comparison: rebuilding ONE lost server.
     let mut schemes = Table::new(
         "T5c: one-server rebuild across schemes (b = 32, 64 B payloads, ~2000 records)",
-        &["scheme", "partners read", "msgs", "KB moved", "needs decode"],
+        &[
+            "scheme",
+            "partners read",
+            "msgs",
+            "KB moved",
+            "needs decode",
+        ],
     );
     {
         let mut f = MirrorLh::new(32, 2048, LatencyModel::default());
@@ -175,7 +183,11 @@ pub fn run() -> Vec<Table> {
             "m = 4 group shards".into(),
             cost.total_messages().to_string(),
             f2(cost.total_bytes() as f64 / 1024.0),
-            if k == 1 { "XOR only".into() } else { "GF(2^8) decode".into() },
+            if k == 1 {
+                "XOR only".into()
+            } else {
+                "GF(2^8) decode".into()
+            },
         ]);
     }
     schemes.row(vec![

@@ -1,0 +1,78 @@
+//! A minimal micro-benchmark runner for the `benches/` binaries.
+//!
+//! The workspace builds without a crates registry, so Criterion is not
+//! available; this module provides the small subset the kernels need —
+//! warmup, automatic iteration-count calibration, median-of-samples timing,
+//! and optional throughput reporting — with plain-text output.
+
+use std::time::{Duration, Instant};
+
+/// Samples collected per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+/// Target wall time per sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(60);
+
+/// One benchmark harness, printing results as `name  ...  time [throughput]`.
+pub struct Bench {
+    group: String,
+}
+
+impl Bench {
+    /// A named benchmark group (purely cosmetic, mirrors Criterion groups).
+    pub fn group(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Bench {
+            group: name.to_string(),
+        }
+    }
+
+    /// Time `f`, reporting ns/iter; `bytes` (if non-zero) adds MiB/s.
+    pub fn run<T>(&self, name: &str, bytes: u64, mut f: impl FnMut() -> T) {
+        // Warm up and calibrate the per-sample iteration count.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= TARGET_SAMPLE / 4 || iters >= 1 << 30 {
+                let scale = TARGET_SAMPLE.as_nanos() as f64 / el.as_nanos().max(1) as f64;
+                iters = ((iters as f64 * scale).max(1.0)) as u64;
+                break;
+            }
+            iters *= 8;
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let ns = samples[SAMPLES / 2];
+        let mut line = format!(
+            "{:<40} {:>12}/iter",
+            format!("{}/{name}", self.group),
+            fmt_ns(ns)
+        );
+        if bytes > 0 {
+            let mibs = bytes as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mibs:>10.1} MiB/s"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}

@@ -1,15 +1,15 @@
 //! Workload generators shared by all experiments: uniform keys (what the
 //! papers assume for the LH hash family) and deterministic payloads.
 
-use rand::{Rng, SeedableRng};
+use lhrs_testkit::Rng;
 
 /// `n` distinct pseudo-random uniform keys, reproducible from `seed`.
 pub fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut keys = std::collections::HashSet::with_capacity(n);
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
-        let k: u64 = rng.gen();
+        let k: u64 = rng.next_u64();
         if keys.insert(k) {
             out.push(k);
         }

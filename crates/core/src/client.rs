@@ -17,6 +17,8 @@ struct Pending {
     /// Logical bucket the request was (last) sent to.
     sent_to: u64,
     timer: Option<TimerId>,
+    /// Retransmissions attempted so far (bounded by `client_retries`).
+    attempts: u32,
     /// Whether the coordinator has already been alerted.
     escalated: bool,
     /// Fire-and-forget write (`ack_writes = false`): assumed successful
@@ -34,6 +36,10 @@ struct ScanState {
     replies: BTreeMap<u64, ScanReply>,
     timer: TimerId,
     termination: ScanTermination,
+    /// The filter, kept for retransmission to unresponsive buckets.
+    filter: FilterSpec,
+    /// Retransmission rounds attempted (bounded by `client_retries`).
+    attempts: u32,
 }
 
 /// An LH\*RS client.
@@ -52,6 +58,9 @@ pub struct Client {
     pub iams_received: u64,
     /// Requests that needed coordinator assistance (failure path metric).
     pub escalations: u64,
+    /// Retransmissions sent (request or scan rounds) — the fault-overhead
+    /// metric of the loss-rate experiments.
+    pub retries: u64,
 }
 
 impl Client {
@@ -66,6 +75,7 @@ impl Client {
             results: Vec::new(),
             iams_received: 0,
             escalations: 0,
+            retries: 0,
         }
     }
 
@@ -133,7 +143,12 @@ impl Client {
                     // and n = the smallest bucket at that level, the file
                     // has exactly M = n + 2^i buckets; finish once every
                     // bucket 0..M-1 has replied.
-                    let i = scan.replies.values().map(|(l, _)| *l).min().expect("nonempty");
+                    let i = scan
+                        .replies
+                        .values()
+                        .map(|(l, _)| *l)
+                        .min()
+                        .expect("nonempty");
                     let n = scan
                         .replies
                         .iter()
@@ -155,15 +170,48 @@ impl Client {
         }
     }
 
-    /// Timer handler: escalate a stalled request to the coordinator, or
-    /// give up after the escalation grace period.
+    /// Timer handler: retry a stalled request (bounded exponential
+    /// backoff), then escalate it to the coordinator, then give up after
+    /// the escalation grace period.
     pub fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
         let Some(&op_id) = self.timer_to_op.get(&timer) else {
             return;
         };
         self.timer_to_op.remove(&timer);
-        if let Some(p) = self.pending.get_mut(&op_id) {
-            if !p.escalated {
+        if self.pending.contains_key(&op_id) {
+            let (escalated, attempts, key) = {
+                let p = &self.pending[&op_id];
+                (p.escalated, p.attempts, p.kind.key())
+            };
+            if !escalated && attempts < self.shared.cfg.client_retries {
+                // Retry: the request or its reply may simply have been
+                // lost. Re-resolve the address — the bucket may have moved
+                // (split, recovery) while we waited.
+                let bucket = self.clamped_address(key);
+                let node = self.shared.registry.borrow().data_node(bucket);
+                let backoff = (self.shared.cfg.client_timeout_us << (attempts + 1))
+                    .min(self.shared.cfg.retry_backoff_cap_us);
+                let new_timer = env.set_timer(backoff);
+                self.timer_to_op.insert(new_timer, op_id);
+                self.retries += 1;
+                let me = env.me();
+                let p = self.pending.get_mut(&op_id).expect("checked above");
+                p.attempts += 1;
+                p.sent_to = bucket;
+                p.timer = Some(new_timer);
+                let kind = p.kind.clone();
+                env.send(
+                    node,
+                    Msg::Req {
+                        op_id,
+                        client: me,
+                        intended: bucket,
+                        hops: 0,
+                        kind,
+                    },
+                );
+            } else if !escalated {
+                let p = self.pending.get_mut(&op_id).expect("checked above");
                 p.escalated = true;
                 self.escalations += 1;
                 // Grace period for detection + degraded service + recovery.
@@ -194,12 +242,81 @@ impl Client {
                 // The silence window elapsed: the probabilistic scan is
                 // complete with whatever replied.
                 ScanTermination::Probabilistic { .. } => self.finish_scan(env, op_id),
-                ScanTermination::Deterministic => {
-                    self.scans.remove(&op_id);
-                    self.results
-                        .push((op_id, OpResult::Failed("scan timed out".into())));
+                ScanTermination::Deterministic => self.retry_or_fail_scan(env, op_id),
+            }
+        }
+    }
+
+    /// A deterministic scan timed out: re-send it to the buckets that have
+    /// not replied (messages or replies may have been lost), or fail the
+    /// scan once the retry budget is spent.
+    fn retry_or_fail_scan(&mut self, env: &mut Env<'_, Msg>, op_id: OpId) {
+        let (attempts, replied, min_level) = {
+            let scan = &self.scans[&op_id];
+            (
+                scan.attempts,
+                scan.replies
+                    .iter()
+                    .map(|(b, (l, _))| (*b, *l))
+                    .collect::<Vec<(u64, u8)>>(),
+                scan.replies.values().map(|(l, _)| *l).min(),
+            )
+        };
+        if attempts >= self.shared.cfg.client_retries {
+            self.scans.remove(&op_id);
+            self.results
+                .push((op_id, OpResult::Failed("scan timed out".into())));
+            return;
+        }
+        // Rebuild the target set. With replies in hand the expected bucket
+        // range is known exactly (the termination rule); without any, fall
+        // back to the image. Buckets that replied are skipped; re-reaching
+        // a bucket twice is harmless (replies are keyed by bucket).
+        let mut targets: Vec<(u64, u8)> = Vec::new();
+        match min_level {
+            Some(i) => {
+                // Same rule as the termination check: n = smallest bucket at
+                // the minimum level ⇒ the file has n + 2^i buckets.
+                let n = replied
+                    .iter()
+                    .filter(|(_, l)| *l == i)
+                    .map(|(b, _)| *b)
+                    .min()
+                    .expect("min_level came from replies");
+                let expected = n + (1u64 << i);
+                for b in 0..expected {
+                    if !replied.iter().any(|(rb, _)| *rb == b) {
+                        targets.push((b, i));
+                    }
                 }
             }
+            None => {
+                self.clamped_address(0);
+                for b in 0..self.image.bucket_count() {
+                    targets.push((b, self.image.level_of(b)));
+                }
+            }
+        }
+        let me = env.me();
+        let new_timer = env.set_timer(self.shared.cfg.client_timeout_us * 50);
+        self.timer_to_op.insert(new_timer, op_id);
+        self.retries += 1;
+        let scan = self.scans.get_mut(&op_id).expect("checked above");
+        scan.attempts += 1;
+        scan.timer = new_timer;
+        let filter = scan.filter.clone();
+        for (b, assumed_level) in targets {
+            let node = self.shared.registry.borrow().data_node(b);
+            env.send(
+                node,
+                Msg::Scan {
+                    op_id,
+                    client: me,
+                    filter: filter.clone(),
+                    assumed_level,
+                    reply_if_empty: true,
+                },
+            );
         }
     }
 
@@ -248,6 +365,7 @@ impl Client {
                 kind: kind.clone(),
                 sent_to: bucket,
                 timer,
+                attempts: 0,
                 escalated: false,
                 optimistic: !needs_reply,
             },
@@ -298,6 +416,8 @@ impl Client {
                 replies: BTreeMap::new(),
                 timer,
                 termination,
+                filter: filter.clone(),
+                attempts: 0,
             },
         );
         // Coarsen first if the file shrank below the image.

@@ -70,8 +70,30 @@ pub struct Config {
     /// Client request timeout (µs) before reporting a suspected bucket
     /// failure to the coordinator.
     pub client_timeout_us: u64,
+    /// Retransmissions a client attempts per operation (with exponential
+    /// backoff, doubling from `client_timeout_us`) before escalating to the
+    /// coordinator. Rides out message loss without involving the
+    /// coordinator; 0 restores the escalate-immediately behaviour.
+    pub client_retries: u32,
+    /// Ceiling (µs) on the client's per-retry backoff delay.
+    pub retry_backoff_cap_us: u64,
+    /// Interval (µs) at which a data bucket retransmits unacknowledged
+    /// Δ-commits to parity buckets. Only used when `ack_parity` is on;
+    /// nothing is retransmitted (or even tracked) in the paper's
+    /// fire-and-forget base mode.
+    pub delta_retransmit_us: u64,
+    /// Consecutive no-progress retransmission rounds before a data bucket
+    /// gives up on a parity bucket (recovery will rebuild it).
+    pub delta_retry_limit: u32,
     /// Coordinator probe timeout (µs) before declaring a suspect dead.
     pub probe_timeout_us: u64,
+    /// Interval (µs) at which the coordinator retransmits unanswered
+    /// recovery traffic (shard transfers, installs) and structural orders
+    /// (splits, merges).
+    pub coord_retransmit_us: u64,
+    /// Retransmission rounds the coordinator attempts (per probe, shard
+    /// transfer, install, split, or merge) before giving up.
+    pub coord_retries: u32,
     /// Network latency model for the simulated multicomputer.
     pub latency: LatencyModel,
     /// Total simulated server pool (data + parity + spares). The file
@@ -93,7 +115,13 @@ impl Default for Config {
             field: GfField::default(),
             scan_termination: ScanTermination::Deterministic,
             client_timeout_us: 10_000,
+            client_retries: 3,
+            retry_backoff_cap_us: 160_000,
+            delta_retransmit_us: 8_000,
+            delta_retry_limit: 20,
             probe_timeout_us: 5_000,
+            coord_retransmit_us: 8_000,
+            coord_retries: 10,
             latency: LatencyModel::default(),
             node_pool: 512,
         }
@@ -127,6 +155,16 @@ impl Config {
                 self.cell_len(),
                 self.field
             )));
+        }
+        if self.delta_retransmit_us == 0 || self.coord_retransmit_us == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "delta_retransmit_us and coord_retransmit_us must be ≥ 1 µs".into(),
+            ));
+        }
+        if self.retry_backoff_cap_us < self.client_timeout_us {
+            return Err(crate::Error::InvalidConfig(
+                "retry_backoff_cap_us must be at least client_timeout_us".into(),
+            ));
         }
         if !self.scale_thresholds.windows(2).all(|w| w[0] < w[1]) {
             return Err(crate::Error::InvalidConfig(

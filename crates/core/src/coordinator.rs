@@ -85,6 +85,10 @@ struct ProbeCtx {
     bucket: u64,
     pending: Vec<(OpId, NodeId, ReqKind)>,
     timer: TimerId,
+    /// Probe rounds sent so far. A node is only declared dead after
+    /// `coord_retries` unanswered rounds — one lost probe (or ack) must not
+    /// trigger a spurious recovery.
+    attempts: u32,
 }
 
 /// Outstanding group audit: probing every shard of a group.
@@ -94,6 +98,8 @@ struct GroupCheckCtx {
     probed: Vec<(usize, NodeId)>,
     responded: HashSet<usize>,
     timer: TimerId,
+    /// Re-probe rounds (non-responders only) before the verdict.
+    attempts: u32,
 }
 
 /// Why shards are being collected.
@@ -119,8 +125,16 @@ struct RecoveryCtx {
     collected: HashMap<usize, ShardContent>,
     /// Install acks outstanding: token → shard index.
     installs: HashMap<u64, usize>,
+    /// Install messages kept verbatim for retransmission: token → (spare,
+    /// message).
+    install_msgs: HashMap<u64, (NodeId, Msg)>,
     /// Spare node per rebuilt shard.
     spares: HashMap<usize, NodeId>,
+    /// Retransmission timer (armed for the whole collection + install
+    /// lifetime; cancelled on completion).
+    timer: TimerId,
+    /// Retransmission rounds so far.
+    attempts: u32,
 }
 
 /// Degraded-mode record read in progress.
@@ -130,21 +144,59 @@ struct DegradedCtx {
     client: NodeId,
     key: Key,
     stage: DegradedStage,
+    timer: TimerId,
+    attempts: u32,
 }
 
 enum DegradedStage {
-    AwaitFind,
+    AwaitFind {
+        /// The parity bucket asked (for retransmission).
+        pnode: NodeId,
+    },
     AwaitCells {
         target_col: usize,
+        rank: Rank,
+        /// Shards asked for cells (for retransmission).
+        requested: Vec<(usize, NodeId)>,
         cells: HashMap<usize, Vec<u8>>,
         need: usize,
     },
 }
 
+/// An ordered split awaiting `SplitDone`, with everything needed to re-issue
+/// the orders if they (or the confirmation) were lost.
+struct SplitCtx {
+    source: u64,
+    target: u64,
+    new_level: u8,
+    /// Δ-stream resume point passed in the target's InitData.
+    seq0: u64,
+    /// InitParity orders for a group this split created, re-sent alongside
+    /// (they carry no ack of their own).
+    init_parity: Vec<(NodeId, Msg)>,
+    timer: TimerId,
+    attempts: u32,
+}
+
+/// An ordered merge awaiting `MergeDone`.
+struct MergeCtx {
+    source: u64,
+    target: u64,
+    new_level: u8,
+    token: u64,
+    timer: TimerId,
+    attempts: u32,
+}
+
 /// File-state recovery scan in progress.
 struct StateRecCtx {
     expected: usize,
-    replies: Vec<(u64, u8)>,
+    /// Replies keyed by bucket — a duplicated `StateReply` must not count
+    /// twice toward completion.
+    replies: BTreeMap<u64, u8>,
+    token: u64,
+    timer: TimerId,
+    attempts: u32,
 }
 
 /// The LH\*RS coordinator actor.
@@ -175,9 +227,15 @@ pub struct Coordinator {
     checking_groups: HashSet<u64>,
     deferred_splits: u64,
     outstanding_splits: u64,
-    /// In-flight merge: (source, target) awaiting MergeDone.
-    outstanding_merge: Option<(u64, u64)>,
+    /// Ordered splits awaiting confirmation, keyed by token.
+    splits: HashMap<u64, SplitCtx>,
+    /// In-flight merge awaiting MergeDone.
+    outstanding_merge: Option<MergeCtx>,
     upgrade_queue: VecDeque<u64>,
+    /// Final Δ sequence of merged-away buckets, keyed by bucket number: a
+    /// regrow split re-creating the bucket resumes its column's stream here
+    /// (parity channels are never reset).
+    col_floors: HashMap<u64, u64>,
     /// Groups lagging behind `k_file` (lazy mode).
     lagging: HashSet<u64>,
     state_rec: Option<StateRecCtx>,
@@ -210,8 +268,10 @@ impl Coordinator {
             checking_groups: HashSet::new(),
             deferred_splits: 0,
             outstanding_splits: 0,
+            splits: HashMap::new(),
             outstanding_merge: None,
             upgrade_queue: VecDeque::new(),
+            col_floors: HashMap::new(),
             lagging: HashSet::new(),
             state_rec: None,
             events: Vec::new(),
@@ -270,12 +330,24 @@ impl Coordinator {
                     self.do_split(env);
                 }
             }
-            Msg::SplitDone { .. } => {
-                self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
-                self.drain_queues(env);
+            Msg::SplitDone { bucket } => {
+                // Only account a split we are actually waiting for: a
+                // duplicated confirmation must not unbalance the counter.
+                let token = self
+                    .splits
+                    .iter()
+                    .find(|(_, s)| s.target == bucket)
+                    .map(|(t, _)| *t);
+                if let Some(token) = token {
+                    let ctx = self.splits.remove(&token).expect("found above");
+                    env.cancel_timer(ctx.timer);
+                    self.timer_tokens.remove(&ctx.timer);
+                    self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
+                    self.drain_queues(env);
+                }
             }
             Msg::ForceMerge => self.do_merge(env),
-            Msg::MergeDone { .. } => self.finish_merge(env),
+            Msg::MergeDone { final_seq, .. } => self.finish_merge(env, final_seq),
             Msg::Suspect {
                 op_id,
                 client,
@@ -295,14 +367,21 @@ impl Coordinator {
             } => self.handle_shard_data(env, token, shard, content),
             Msg::InstallAck { token } => self.handle_install_ack(env, token),
             Msg::FindRecordReply { token, found } => self.handle_find_reply(env, token, found),
-            Msg::CellData { token, shard, cell } => {
-                self.handle_cell_data(env, token, shard, cell)
-            }
+            Msg::CellData { token, shard, cell } => self.handle_cell_data(env, token, shard, cell),
             Msg::RecoverFileState => {
+                if self.state_rec.is_some() {
+                    return; // duplicated trigger: scan already running
+                }
                 let nodes = self.shared.registry.borrow().all_data_nodes();
+                let token = self.token();
+                let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+                self.timer_tokens.insert(timer, token);
                 self.state_rec = Some(StateRecCtx {
                     expected: nodes.len(),
-                    replies: Vec::new(),
+                    replies: BTreeMap::new(),
+                    token,
+                    timer,
+                    attempts: 0,
                 });
                 for n in nodes {
                     env.send(n, Msg::StateQuery);
@@ -310,16 +389,20 @@ impl Coordinator {
             }
             Msg::StateReply { bucket, level } => {
                 let done = if let Some(ctx) = self.state_rec.as_mut() {
-                    ctx.replies.push((bucket, level));
+                    ctx.replies.insert(bucket, level);
                     ctx.replies.len() == ctx.expected
                 } else {
                     false
                 };
                 if done {
                     let ctx = self.state_rec.take().expect("checked");
-                    let (n, i) = recompute_state(&ctx.replies);
+                    env.cancel_timer(ctx.timer);
+                    self.timer_tokens.remove(&ctx.timer);
+                    let pairs: Vec<(u64, u8)> = ctx.replies.into_iter().collect();
+                    let (n, i) = recompute_state(&pairs);
                     self.state = FileState::from_parts(n, i, 1);
-                    self.events.push((env.now(), CoordEvent::StateRecovered { n, i }));
+                    self.events
+                        .push((env.now(), CoordEvent::StateRecovered { n, i }));
                 }
             }
             Msg::CheckOwnership { bucket, parity } => {
@@ -329,10 +412,9 @@ impl Coordinator {
                         (b as usize) < reg.data_count() && reg.data_node(b) == from,
                         (b / self.m() as u64, (b % self.m() as u64) as usize),
                     ),
-                    (None, Some((g, q))) => (
-                        reg.parity_nodes(g).get(q) == Some(&from),
-                        (g, self.m() + q),
-                    ),
+                    (None, Some((g, q))) => {
+                        (reg.parity_nodes(g).get(q) == Some(&from), (g, self.m() + q))
+                    }
                     _ => {
                         debug_assert!(false, "malformed ownership claim");
                         return;
@@ -346,9 +428,13 @@ impl Coordinator {
                     env.send(from, Msg::OwnershipAck);
                 } else {
                     // The bucket was recreated elsewhere: the comeback node
-                    // is demoted to a hot spare.
+                    // is demoted to a hot spare. A duplicated claim must not
+                    // pool the same node twice (it would be allocated to two
+                    // roles at once).
                     env.send(from, Msg::Retire);
-                    self.pool.push(from);
+                    if !self.pool.contains(&from) {
+                        self.pool.push(from);
+                    }
                 }
             }
             Msg::ParityAck { .. } => {}
@@ -360,27 +446,309 @@ impl Coordinator {
         let _ = from;
     }
 
-    /// Timer handler: probe and group-check timeouts.
+    /// Timer handler: probe / group-check timeouts and retransmission
+    /// rounds for every in-flight protocol exchange. Anything the
+    /// coordinator sends that expects an answer is re-sent up to
+    /// `coord_retries` times before the exchange is abandoned, so a lost
+    /// message (or lost reply) only costs latency.
     pub fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
         let Some(token) = self.timer_tokens.remove(&timer) else {
             return;
         };
-        if let Some(probe) = self.probes.remove(&token) {
+        let retries = self.shared.cfg.coord_retries;
+
+        if let Some(mut probe) = self.probes.remove(&token) {
+            if probe.attempts < retries {
+                // Re-probe: one lost probe must not fake a death.
+                probe.attempts += 1;
+                let node = self.shared.registry.borrow().data_node(probe.bucket);
+                env.send(node, Msg::Probe { token });
+                probe.timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+                self.timer_tokens.insert(probe.timer, token);
+                self.probes.insert(token, probe);
+                return;
+            }
             // The addressed bucket is dead: remember the ops and audit its
             // whole group.
             let group = probe.bucket / self.m() as u64;
-            self.queued_ops
-                .entry(group)
-                .or_default()
-                .extend(probe.pending);
+            self.queue_ops(group, probe.pending);
             if !self.checking_groups.contains(&group) {
                 self.start_group_check(env, group);
             }
             return;
         }
-        if let Some(check) = self.checks.remove(&token) {
+
+        if let Some(mut check) = self.checks.remove(&token) {
+            let silent: Vec<NodeId> = check
+                .probed
+                .iter()
+                .filter(|(s, _)| !check.responded.contains(s))
+                .map(|(_, n)| *n)
+                .collect();
+            if check.attempts < retries && !silent.is_empty() {
+                check.attempts += 1;
+                for node in silent {
+                    env.send(node, Msg::Probe { token });
+                }
+                check.timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+                self.timer_tokens.insert(check.timer, token);
+                self.checks.insert(token, check);
+                return;
+            }
             self.finish_group_check(env, check);
+            return;
         }
+
+        if self.recoveries.contains_key(&token) {
+            self.retry_recovery(env, token);
+            return;
+        }
+
+        if self.splits.contains_key(&token) {
+            self.retry_split(env, token);
+            return;
+        }
+
+        if self
+            .outstanding_merge
+            .as_ref()
+            .is_some_and(|m| m.token == token)
+        {
+            self.retry_merge(env);
+            return;
+        }
+
+        if self.state_rec.as_ref().is_some_and(|s| s.token == token) {
+            self.retry_state_rec(env);
+            return;
+        }
+
+        if self.degraded.contains_key(&token) {
+            self.retry_degraded(env, token);
+        }
+    }
+
+    /// Park ops for a group, without duplicating an op already parked (a
+    /// duplicated Suspect or a probe round can offer the same op twice).
+    fn queue_ops(&mut self, group: u64, ops: Vec<(OpId, NodeId, ReqKind)>) {
+        let queued = self.queued_ops.entry(group).or_default();
+        for (op_id, client, kind) in ops {
+            if !queued.iter().any(|(o, c, _)| *o == op_id && *c == client) {
+                queued.push((op_id, client, kind));
+            }
+        }
+    }
+
+    /// Re-send whatever a recovery is still waiting on: `TransferShard` to
+    /// the shards not yet collected, then the pending `Install`s verbatim.
+    /// After `coord_retries` fruitless rounds the recovery is abandoned and
+    /// the group re-audited (the survivor set may have changed under us).
+    fn retry_recovery(&mut self, env: &mut Env<'_, Msg>, token: u64) {
+        let retries = self.shared.cfg.coord_retries;
+        let give_up = {
+            let ctx = self.recoveries.get_mut(&token).expect("caller checked");
+            ctx.attempts += 1;
+            ctx.attempts > retries
+        };
+        if give_up {
+            let ctx = self.recoveries.remove(&token).expect("present");
+            match ctx.purpose {
+                Purpose::Repair => {
+                    // Survivors stopped answering; audit the group afresh.
+                    if !self.checking_groups.contains(&ctx.group) {
+                        self.start_group_check(env, ctx.group);
+                    }
+                }
+                Purpose::Upgrade => {
+                    if !self.upgrade_queue.contains(&ctx.group) {
+                        self.upgrade_queue.push_back(ctx.group);
+                    }
+                }
+            }
+            self.drain_queues(env);
+            return;
+        }
+        let m = self.m() as u64;
+        let ctx = self.recoveries.get(&token).expect("present");
+        let reg = self.shared.registry.borrow();
+        let mut sends: Vec<(NodeId, Msg)> = Vec::new();
+        for &shard in &ctx.awaiting {
+            let node = if shard < m as usize {
+                reg.data_node(ctx.group * m + shard as u64)
+            } else {
+                reg.parity_nodes(ctx.group)[shard - m as usize]
+            };
+            sends.push((node, Msg::TransferShard { token }));
+        }
+        for (spare, msg) in ctx.install_msgs.values() {
+            sends.push((*spare, msg.clone()));
+        }
+        drop(reg);
+        for (node, msg) in sends {
+            env.send(node, msg);
+        }
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.recoveries.get_mut(&token).expect("present").timer = timer;
+    }
+
+    /// Re-issue a split's orders (InitParity for a freshly created group,
+    /// InitData for the target, DoSplit to the source). All three are
+    /// idempotent at their receivers, and the source re-ships its cached
+    /// SplitLoad verbatim, so re-ordering a split is always safe.
+    fn retry_split(&mut self, env: &mut Env<'_, Msg>, token: u64) {
+        let retries = self.shared.cfg.coord_retries;
+        {
+            let ctx = self.splits.get_mut(&token).expect("caller checked");
+            ctx.attempts += 1;
+            if ctx.attempts > retries {
+                // Give up: unblock the queue and audit the target's group.
+                let ctx = self.splits.remove(&token).expect("present");
+                self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
+                let group = ctx.target / self.m() as u64;
+                if !self.checking_groups.contains(&group) {
+                    self.start_group_check(env, group);
+                }
+                self.drain_queues(env);
+                return;
+            }
+        }
+        let ctx = &self.splits[&token];
+        let reg = self.shared.registry.borrow();
+        let target_node = reg.data_node(ctx.target);
+        let source_node = reg.data_node(ctx.source);
+        drop(reg);
+        for (node, msg) in &self.splits[&token].init_parity {
+            env.send(*node, msg.clone());
+        }
+        let ctx = &self.splits[&token];
+        env.send(
+            target_node,
+            Msg::InitData {
+                bucket: ctx.target,
+                level: ctx.new_level,
+                delta_seq: ctx.seq0,
+            },
+        );
+        env.send(
+            source_node,
+            Msg::DoSplit {
+                source: ctx.source,
+                target: ctx.target,
+                new_level: ctx.new_level,
+            },
+        );
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.splits.get_mut(&token).expect("present").timer = timer;
+    }
+
+    /// Re-order an unconfirmed merge (DoMerge and the downstream MergeLoad
+    /// are both idempotent); abandoned after `coord_retries` rounds.
+    fn retry_merge(&mut self, env: &mut Env<'_, Msg>) {
+        let retries = self.shared.cfg.coord_retries;
+        let ctx = self.outstanding_merge.as_mut().expect("caller checked");
+        ctx.attempts += 1;
+        if ctx.attempts > retries {
+            self.outstanding_merge = None;
+            self.drain_queues(env);
+            return;
+        }
+        let (source, target, new_level, token) = (ctx.source, ctx.target, ctx.new_level, ctx.token);
+        let target_node = self.shared.registry.borrow().data_node(target);
+        env.send(
+            target_node,
+            Msg::DoMerge {
+                source,
+                target,
+                new_level,
+            },
+        );
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.outstanding_merge.as_mut().expect("present").timer = timer;
+    }
+
+    /// Re-query the buckets that have not answered a file-state scan.
+    fn retry_state_rec(&mut self, env: &mut Env<'_, Msg>) {
+        let retries = self.shared.cfg.coord_retries;
+        let ctx = self.state_rec.as_mut().expect("caller checked");
+        ctx.attempts += 1;
+        if ctx.attempts > retries {
+            self.state_rec = None;
+            return;
+        }
+        let token = ctx.token;
+        let missing: Vec<NodeId> = {
+            let reg = self.shared.registry.borrow();
+            (0..reg.data_count() as u64)
+                .filter(|b| !ctx.replies.contains_key(b))
+                .map(|b| reg.data_node(b))
+                .collect()
+        };
+        for node in missing {
+            env.send(node, Msg::StateQuery);
+        }
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.state_rec.as_mut().expect("present").timer = timer;
+    }
+
+    /// Re-drive a degraded read: re-ask the parity bucket (AwaitFind) or
+    /// re-request the cells still missing (AwaitCells). After
+    /// `coord_retries` rounds the lookup fails cleanly — the client's own
+    /// retry may still land once the group is rebuilt.
+    fn retry_degraded(&mut self, env: &mut Env<'_, Msg>, token: u64) {
+        let retries = self.shared.cfg.coord_retries;
+        let give_up = {
+            let ctx = self.degraded.get_mut(&token).expect("caller checked");
+            ctx.attempts += 1;
+            ctx.attempts > retries
+        };
+        if give_up {
+            let ctx = self.degraded.remove(&token).expect("present");
+            env.send(
+                ctx.client,
+                Msg::Reply {
+                    op_id: ctx.op_id,
+                    result: OpResult::Failed("degraded read timed out".into()),
+                    iam: None,
+                },
+            );
+            self.drain_queues(env);
+            return;
+        }
+        let ctx = self.degraded.get(&token).expect("present");
+        let mut sends: Vec<(NodeId, Msg)> = Vec::new();
+        match &ctx.stage {
+            DegradedStage::AwaitFind { pnode } => {
+                sends.push((
+                    *pnode,
+                    Msg::FindRecord {
+                        key: ctx.key,
+                        token,
+                    },
+                ));
+            }
+            DegradedStage::AwaitCells {
+                rank,
+                requested,
+                cells,
+                ..
+            } => {
+                for (shard, node) in requested {
+                    if !cells.contains_key(shard) {
+                        sends.push((*node, Msg::ReadCell { rank: *rank, token }));
+                    }
+                }
+            }
+        }
+        for (node, msg) in sends {
+            env.send(node, msg);
+        }
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.degraded.get_mut(&token).expect("present").timer = timer;
     }
 
     // ----- splits and availability scaling -----
@@ -390,21 +758,24 @@ impl Coordinator {
         let plan = self.state.split();
         let target_group = plan.target / m;
 
-        // Provision parity for a group touched for the first time.
+        // Provision parity for a group touched for the first time. The
+        // InitParity orders are remembered on the split context so a lost
+        // one is re-sent with the split orders (Blank nodes buffer traffic
+        // until initialised, so a late init is harmless).
+        let mut init_parity: Vec<(NodeId, Msg)> = Vec::new();
         if self.group_k.len() as u64 <= target_group {
             debug_assert_eq!(self.group_k.len() as u64, target_group);
             let k = self.k_file;
             let mut nodes = Vec::with_capacity(k);
             for q in 0..k {
                 let n = self.alloc_node();
-                env.send(
-                    n,
-                    Msg::InitParity {
-                        group: target_group,
-                        index: q,
-                        k,
-                    },
-                );
+                let msg = Msg::InitParity {
+                    group: target_group,
+                    index: q,
+                    k,
+                };
+                env.send(n, msg.clone());
+                init_parity.push((n, msg));
                 nodes.push(n);
             }
             self.shared
@@ -425,12 +796,14 @@ impl Coordinator {
         }
 
         // Create the new bucket and order the split.
+        let seq0 = self.col_floors.remove(&plan.target).unwrap_or(0);
         let target_node = self.alloc_node();
         env.send(
             target_node,
             Msg::InitData {
                 bucket: plan.target,
                 level: plan.new_level,
+                delta_seq: seq0,
             },
         );
         self.shared
@@ -447,11 +820,29 @@ impl Coordinator {
             },
         );
         self.outstanding_splits += 1;
-        self.events.push((env.now(), CoordEvent::Split {
-            source: plan.source,
-            target: plan.target,
-            buckets: self.state.bucket_count(),
-        }));
+        let token = self.token();
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.splits.insert(
+            token,
+            SplitCtx {
+                source: plan.source,
+                target: plan.target,
+                new_level: plan.new_level,
+                seq0,
+                init_parity,
+                timer,
+                attempts: 0,
+            },
+        );
+        self.events.push((
+            env.now(),
+            CoordEvent::Split {
+                source: plan.source,
+                target: plan.target,
+                buckets: self.state.bucket_count(),
+            },
+        ));
 
         // Scalable availability: raise k when M crosses the next threshold.
         let m_now = self.state.bucket_count();
@@ -460,7 +851,8 @@ impl Coordinator {
         {
             self.thresholds_crossed += 1;
             self.k_file += 1;
-            self.events.push((env.now(), CoordEvent::KIncreased { k: self.k_file }));
+            self.events
+                .push((env.now(), CoordEvent::KIncreased { k: self.k_file }));
             match self.shared.cfg.upgrade_mode {
                 UpgradeMode::Eager => {
                     for g in 0..self.group_k.len() as u64 {
@@ -495,7 +887,17 @@ impl Coordinator {
         // plan.target is the disappearing bucket, plan.source absorbs;
         // both end at level new_level - 1.
         let target_node = self.shared.registry.borrow().data_node(plan.target);
-        self.outstanding_merge = Some((plan.source, plan.target));
+        let token = self.token();
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
+        self.outstanding_merge = Some(MergeCtx {
+            source: plan.source,
+            target: plan.target,
+            new_level: plan.new_level - 1,
+            token,
+            timer,
+            attempts: 0,
+        });
         env.send(
             target_node,
             Msg::DoMerge {
@@ -508,10 +910,14 @@ impl Coordinator {
 
     /// The absorbing bucket confirmed: retire the ex-bucket's node (and the
     /// last group's parity nodes if the group emptied) back into the pool.
-    fn finish_merge(&mut self, env: &mut Env<'_, Msg>) {
-        let Some((source, target)) = self.outstanding_merge.take() else {
+    fn finish_merge(&mut self, env: &mut Env<'_, Msg>, final_seq: u64) {
+        let Some(ctx) = self.outstanding_merge.take() else {
             return;
         };
+        env.cancel_timer(ctx.timer);
+        self.timer_tokens.remove(&ctx.timer);
+        let (source, target) = (ctx.source, ctx.target);
+        self.col_floors.insert(target, final_seq);
         let m = self.m() as u64;
         let mut reg = self.shared.registry.borrow_mut();
         let ex_node = reg.pop_data();
@@ -527,6 +933,12 @@ impl Coordinator {
             }
             self.group_k.pop();
             self.lagging.remove(&(target / m));
+            // The group's parity state is gone with its buckets: any Δ
+            // floors recorded for this group's columns die with it (a
+            // regrow gets fresh parity channels starting at 0).
+            for b in target..target + m {
+                self.col_floors.remove(&b);
+            }
         }
         drop(reg);
         self.events.push((
@@ -573,9 +985,14 @@ impl Coordinator {
         let m = self.m() as u64;
         for c in 0..existing {
             awaiting.insert(c);
-            env.send(reg.data_node(group * m + c as u64), Msg::TransferShard { token });
+            env.send(
+                reg.data_node(group * m + c as u64),
+                Msg::TransferShard { token },
+            );
         }
         drop(reg);
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
         self.recoveries.insert(
             token,
             RecoveryCtx {
@@ -586,7 +1003,10 @@ impl Coordinator {
                 awaiting,
                 collected: HashMap::new(),
                 installs: HashMap::new(),
+                install_msgs: HashMap::new(),
                 spares: HashMap::new(),
+                timer,
+                attempts: 0,
             },
         );
         // A group with no existing columns (cannot happen: groups are
@@ -623,21 +1043,27 @@ impl Coordinator {
         if self.checking_groups.contains(&group)
             || self.recoveries.values().any(|r| r.group == group)
         {
-            self.queued_ops
-                .entry(group)
-                .or_default()
-                .push((op_id, client, kind));
+            self.queue_ops(group, vec![(op_id, client, kind)]);
             return;
         }
         let col = (bucket % self.m() as u64) as usize;
         if self.failed.contains(&(group, col)) {
             // Known failure, recovery apparently finished (or pending
             // elsewhere); queue and audit again.
-            self.queued_ops
-                .entry(group)
-                .or_default()
-                .push((op_id, client, kind));
+            self.queue_ops(group, vec![(op_id, client, kind)]);
             self.start_group_check(env, group);
+            return;
+        }
+        // A probe for this bucket is already in flight (e.g. a duplicated
+        // Suspect): ride along instead of double-probing.
+        if let Some(probe) = self.probes.values_mut().find(|p| p.bucket == bucket) {
+            if !probe
+                .pending
+                .iter()
+                .any(|(o, c, _)| *o == op_id && *c == client)
+            {
+                probe.pending.push((op_id, client, kind));
+            }
             return;
         }
         // Probe the bucket's node.
@@ -652,6 +1078,7 @@ impl Coordinator {
                 bucket,
                 pending: vec![(op_id, client, kind)],
                 timer,
+                attempts: 0,
             },
         );
     }
@@ -708,6 +1135,7 @@ impl Coordinator {
                 probed,
                 responded: HashSet::new(),
                 timer,
+                attempts: 0,
             },
         );
     }
@@ -827,6 +1255,8 @@ impl Coordinator {
         }
         drop(reg);
         debug_assert_eq!(parity_needed, 0, "tolerance check guarantees survivors");
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
         self.recoveries.insert(
             token,
             RecoveryCtx {
@@ -837,7 +1267,10 @@ impl Coordinator {
                 awaiting,
                 collected: HashMap::new(),
                 installs: HashMap::new(),
+                install_msgs: HashMap::new(),
                 spares: HashMap::new(),
+                timer,
+                attempts: 0,
             },
         );
         // Degenerate case: nothing to await (e.g. group of one existing
@@ -899,6 +1332,8 @@ impl Coordinator {
         drop(reg);
         let token = self.token();
         env.send(pnode, Msg::FindRecord { key, token });
+        let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
+        self.timer_tokens.insert(timer, token);
         self.degraded.insert(
             token,
             DegradedCtx {
@@ -906,7 +1341,9 @@ impl Coordinator {
                 op_id,
                 client,
                 key,
-                stage: DegradedStage::AwaitFind,
+                stage: DegradedStage::AwaitFind { pnode },
+                timer,
+                attempts: 0,
             },
         );
     }
@@ -917,11 +1354,19 @@ impl Coordinator {
         token: u64,
         found: Option<(Rank, Vec<Option<Key>>)>,
     ) {
-        let Some(mut ctx) = self.degraded.remove(&token) else {
+        // A duplicated reply for a read already in the cell stage must not
+        // restart it.
+        if !matches!(
+            self.degraded.get(&token).map(|c| &c.stage),
+            Some(DegradedStage::AwaitFind { .. })
+        ) {
             return;
-        };
+        }
+        let mut ctx = self.degraded.remove(&token).expect("checked above");
         let Some((rank, keys)) = found else {
             // The key never existed: unsuccessful-search semantics.
+            env.cancel_timer(ctx.timer);
+            self.timer_tokens.remove(&ctx.timer);
             env.send(
                 ctx.client,
                 Msg::Reply {
@@ -946,7 +1391,7 @@ impl Coordinator {
         for c in existing..m {
             cells.insert(c, vec![0u8; self.shared.cfg.cell_len()]);
         }
-        let mut requested = 0usize;
+        let mut requested: Vec<(usize, NodeId)> = Vec::new();
         let reg = self.shared.registry.borrow();
         let mut remaining = m.saturating_sub(cells.len());
         for c in 0..existing {
@@ -954,11 +1399,9 @@ impl Coordinator {
                 break;
             }
             if !self.failed.contains(&(group, c)) {
-                env.send(
-                    reg.data_node(group * m as u64 + c as u64),
-                    Msg::ReadCell { rank, token },
-                );
-                requested += 1;
+                let node = reg.data_node(group * m as u64 + c as u64);
+                env.send(node, Msg::ReadCell { rank, token });
+                requested.push((c, node));
                 remaining -= 1;
             }
         }
@@ -968,23 +1411,31 @@ impl Coordinator {
             }
             if !self.failed.contains(&(group, m + q)) {
                 env.send(*node, Msg::ReadCell { rank, token });
-                requested += 1;
+                requested.push((m + q, *node));
                 remaining -= 1;
             }
         }
         drop(reg);
         debug_assert_eq!(remaining, 0, "tolerance guarantees m live shards");
-        let need = cells.len() + requested;
+        let need = cells.len() + requested.len();
         debug_assert_eq!(need, m);
         ctx.stage = DegradedStage::AwaitCells {
             target_col,
+            rank,
+            requested,
             cells,
             need,
         };
         self.degraded.insert(token, ctx);
     }
 
-    fn handle_cell_data(&mut self, env: &mut Env<'_, Msg>, token: u64, shard: usize, cell: Vec<u8>) {
+    fn handle_cell_data(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        token: u64,
+        shard: usize,
+        cell: Vec<u8>,
+    ) {
         let done = {
             let Some(ctx) = self.degraded.get_mut(&token) else {
                 return;
@@ -999,6 +1450,8 @@ impl Coordinator {
             return;
         }
         let ctx = self.degraded.remove(&token).expect("present");
+        env.cancel_timer(ctx.timer);
+        self.timer_tokens.remove(&ctx.timer);
         let DegradedStage::AwaitCells {
             target_col, cells, ..
         } = ctx.stage
@@ -1079,26 +1532,29 @@ impl Coordinator {
             // computes it from the file state.
             let content = match content {
                 ShardContent::Data {
-                    next_rank, records, ..
+                    next_rank,
+                    delta_seq,
+                    records,
+                    ..
                 } => ShardContent::Data {
                     level: self.state.level_of(bucket.expect("data shard")),
                     next_rank,
+                    delta_seq,
                     records,
                 },
                 p => p,
             };
-            env.send(
-                spare,
-                Msg::Install {
-                    group: ctx.group,
-                    bucket,
-                    index,
-                    k: ctx.k,
-                    content,
-                    token: install_token,
-                },
-            );
+            let msg = Msg::Install {
+                group: ctx.group,
+                bucket,
+                index,
+                k: ctx.k,
+                content,
+                token: install_token,
+            };
+            env.send(spare, msg.clone());
             ctx.installs.insert(install_token, shard);
+            ctx.install_msgs.insert(install_token, (spare, msg));
             ctx.spares.insert(shard, spare);
         }
         self.recoveries.insert(token, ctx);
@@ -1113,15 +1569,20 @@ impl Coordinator {
         else {
             return;
         };
-        let done = {
+        let (done, displaced) = {
             let ctx = self.recoveries.get_mut(&recovery_token).expect("found");
             let shard = ctx.installs.remove(&install_token).expect("found");
+            ctx.install_msgs.remove(&install_token);
             let spare = ctx.spares[&shard];
             let m = self.shared.cfg.group_size;
             let mut reg = self.shared.registry.borrow_mut();
+            let mut displaced = None;
             if shard < m {
-                reg.move_data(ctx.group * m as u64 + shard as u64, spare);
+                let bucket = ctx.group * m as u64 + shard as u64;
+                displaced = Some(reg.data_node(bucket));
+                reg.move_data(bucket, spare);
             } else if shard - m < reg.group_k(ctx.group) {
+                displaced = Some(reg.parity_nodes(ctx.group)[shard - m]);
                 reg.move_parity(ctx.group, shard - m, spare);
             } else {
                 // Upgrade: append the new parity column.
@@ -1130,10 +1591,19 @@ impl Coordinator {
                 nodes.push(spare);
                 reg.set_parity(ctx.group, nodes);
             }
-            ctx.installs.is_empty()
+            (ctx.installs.is_empty(), displaced)
         };
+        // Fence the replaced node: if it was only partitioned (not dead) it
+        // must not keep serving the shard. The Retire is best-effort — the
+        // parity sender check (deltas accepted only from the registered
+        // bucket node) backs it up while the Retire is in flight.
+        if let Some(old) = displaced {
+            env.send(old, Msg::Retire);
+        }
         if done {
             let ctx = self.recoveries.remove(&recovery_token).expect("found");
+            env.cancel_timer(ctx.timer);
+            self.timer_tokens.remove(&ctx.timer);
             match ctx.purpose {
                 Purpose::Repair => {
                     for &s in &ctx.rebuild {
@@ -1179,16 +1649,31 @@ fn rebuild_shards(
     rebuild: &[usize],
     code: &AnyCode,
 ) -> Vec<(usize, ShardContent)> {
-    // Universe of ranks.
+    // Universe of ranks, plus the per-column delta-sequence watermarks.
+    // Collection happens at quiescence (every survivor has applied the same
+    // Δ stream), so the data bucket's own counter and any parity channel
+    // counter for that column agree; `max` also covers partial collections.
     let mut ranks: BTreeSet<Rank> = BTreeSet::new();
-    for content in collected.values() {
+    let mut watermark: Vec<u64> = vec![0; m];
+    for (&idx, content) in collected {
         match content {
-            ShardContent::Data { records, .. } => ranks.extend(records.iter().map(|(r, _, _)| *r)),
-            ShardContent::Parity { records } => ranks.extend(records.iter().map(|(r, _, _)| *r)),
+            ShardContent::Data {
+                records, delta_seq, ..
+            } => {
+                ranks.extend(records.iter().map(|(r, _, _)| *r));
+                if idx < m {
+                    watermark[idx] = watermark[idx].max(*delta_seq);
+                }
+            }
+            ShardContent::Parity { records, col_seqs } => {
+                ranks.extend(records.iter().map(|(r, _, _)| *r));
+                for (w, s) in watermark.iter_mut().zip(col_seqs) {
+                    *w = (*w).max(*s);
+                }
+            }
         }
     }
-    let rank_pos: BTreeMap<Rank, usize> =
-        ranks.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let rank_pos: BTreeMap<Rank, usize> = ranks.iter().enumerate().map(|(i, r)| (*r, i)).collect();
     let n_ranks = ranks.len();
     let buf_len = n_ranks * cell_len;
 
@@ -1207,7 +1692,7 @@ fn rebuild_shards(
                     buf[pos..pos + cell_len].copy_from_slice(&cell);
                 }
             }
-            ShardContent::Parity { records } => {
+            ShardContent::Parity { records, .. } => {
                 for (rank, _, cell) in records {
                     let pos = rank_pos[rank] * cell_len;
                     buf[pos..pos + cell_len].copy_from_slice(cell);
@@ -1230,7 +1715,7 @@ fn rebuild_shards(
                     keys.get_mut(rank).expect("rank known")[idx] = Some(*key);
                 }
             }
-            ShardContent::Parity { records } => {
+            ShardContent::Parity { records, .. } => {
                 for (rank, ks, _) in records {
                     let slot = keys.get_mut(rank).expect("rank known");
                     for (dst, src) in slot.iter_mut().zip(ks) {
@@ -1264,6 +1749,7 @@ fn rebuild_shards(
                 ShardContent::Data {
                     level: 0, // restored by the coordinator from file state
                     next_rank: max_rank.map_or(0, |r| r + 1),
+                    delta_seq: watermark[shard],
                     records,
                 },
             ));
@@ -1277,7 +1763,13 @@ fn rebuild_shards(
                     records.push((*rank, ks, cell));
                 }
             }
-            out.push((shard, ShardContent::Parity { records }));
+            out.push((
+                shard,
+                ShardContent::Parity {
+                    records,
+                    col_seqs: watermark.clone(),
+                },
+            ));
         }
     }
     out
@@ -1369,6 +1861,7 @@ mod tests {
             ShardContent::Data {
                 level: 5,
                 next_rank: 2,
+                delta_seq: 7,
                 records: data[0].clone(),
             },
         );
@@ -1377,6 +1870,7 @@ mod tests {
             ShardContent::Data {
                 level: 5,
                 next_rank: 3,
+                delta_seq: 9,
                 records: data[2].clone(),
             },
         );
@@ -1384,6 +1878,7 @@ mod tests {
             m,
             ShardContent::Parity {
                 records: parity[0].clone(),
+                col_seqs: vec![7, 4, 9, 0],
             },
         );
         let rebuilt = rebuild_shards(m, k, cell_len, 3, &collected, &[1, m + 1], &code);
@@ -1392,19 +1887,26 @@ mod tests {
 
         match by_shard[&1] {
             ShardContent::Data {
-                next_rank, records, ..
+                next_rank,
+                delta_seq,
+                records,
+                ..
             } => {
                 assert_eq!(*next_rank, 1);
+                // The lost column's Δ-sequence resumes from the surviving
+                // parity channel's watermark.
+                assert_eq!(*delta_seq, 4);
                 assert_eq!(records, &vec![(0, 20, b"cc".to_vec())]);
             }
             _ => panic!("expected data shard"),
         }
         match by_shard[&(m + 1)] {
-            ShardContent::Parity { records } => {
+            ShardContent::Parity { records, col_seqs } => {
                 assert_eq!(records.len(), parity[1].len());
                 for (got, want) in records.iter().zip(&parity[1]) {
                     assert_eq!(got, want);
                 }
+                assert_eq!(col_seqs, &vec![7, 4, 9, 0]);
             }
             _ => panic!("expected parity shard"),
         }
@@ -1428,6 +1930,7 @@ mod tests {
             m,
             ShardContent::Parity {
                 records: vec![(0, keys, cell)],
+                col_seqs: vec![1, 0, 0, 0],
             },
         );
         let rebuilt = rebuild_shards(m, k, cell_len, 1, &collected, &[0], &code);
@@ -1453,10 +1956,17 @@ mod tests {
             ShardContent::Data {
                 level: 1,
                 next_rank: 0,
+                delta_seq: 0,
                 records: Vec::new(),
             },
         );
-        collected.insert(m, ShardContent::Parity { records: Vec::new() });
+        collected.insert(
+            m,
+            ShardContent::Parity {
+                records: Vec::new(),
+                col_seqs: vec![0, 0],
+            },
+        );
         let rebuilt = rebuild_shards(m, k, 8, 2, &collected, &[0], &code);
         match &rebuilt[0].1 {
             ShardContent::Data { records, .. } => assert!(records.is_empty()),

@@ -2,15 +2,20 @@
 //! assignment, Δ-emission to parity buckets, and splitting.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use lhrs_lh::{a2_route, A2Outcome};
-use lhrs_sim::{Env, NodeId};
+use lhrs_sim::{Env, NodeId, TimerId};
 
-use crate::msg::{DeltaEntry, Iam, KeyOp, Msg, OpResult, ReqKind, ShardContent};
+use crate::msg::{DeltaEntry, Iam, KeyOp, Msg, OpId, OpResult, ReplayEntry, ReqKind, ShardContent};
 use crate::record::{cell_delta, encode_cell, Record};
 use crate::registry::SharedHandle;
 use crate::{Key, Rank};
+
+/// Replay-cache capacity: recent write results kept for duplicate-request
+/// suppression. FIFO eviction; sized far above any realistic number of
+/// in-flight retried operations.
+const REPLAY_CAP: usize = 4096;
 
 /// A primary (data) bucket of the LH\*RS file.
 pub struct DataBucket {
@@ -30,6 +35,34 @@ pub struct DataBucket {
     free_ranks: BinaryHeap<Reverse<Rank>>,
     /// Whether an overflow report is already outstanding.
     overflow_reported: bool,
+    /// Record count at the last overflow report (drives the doubling rule
+    /// for re-reports when the first report was lost).
+    last_report_size: usize,
+    /// Next Δ sequence number of this column's stream.
+    delta_seq: u64,
+    /// Reliable mode (`ack_parity`): Δs emitted but not yet acknowledged by
+    /// every parity bucket, kept for retransmission. Keyed by seq.
+    unacked: BTreeMap<u64, DeltaEntry>,
+    /// Per parity column `q`: cumulative ack watermark (every Δ with
+    /// `seq < parity_acked[q]` is applied there).
+    parity_acked: Vec<u64>,
+    /// Retransmission timer, armed while `unacked` is nonempty.
+    retry_timer: Option<TimerId>,
+    /// Consecutive retransmission rounds without watermark progress.
+    retry_rounds: u32,
+    /// Watermark minimum at the last progress check.
+    last_min_acked: u64,
+    /// Client-op replay cache: the result each recent write produced, so a
+    /// retried (duplicated) request is answered identically without
+    /// re-executing.
+    replay: HashMap<(NodeId, OpId), (Key, OpResult)>,
+    /// FIFO eviction order of the replay cache.
+    replay_order: VecDeque<(NodeId, OpId)>,
+    /// Last split shipment `(target, movers, replay)`, re-sent verbatim when
+    /// the coordinator re-orders the split (lost SplitLoad or SplitDone).
+    last_split: Option<(u64, Vec<Record>, Vec<ReplayEntry>)>,
+    /// Last merge shipment `(source, new_level, movers, replay)`, ditto.
+    last_merge: Option<(u64, u8, Vec<Record>, Vec<ReplayEntry>)>,
 }
 
 impl DataBucket {
@@ -44,19 +77,35 @@ impl DataBucket {
             next_rank: 0,
             free_ranks: BinaryHeap::new(),
             overflow_reported: false,
+            last_report_size: 0,
+            delta_seq: 0,
+            unacked: BTreeMap::new(),
+            parity_acked: Vec::new(),
+            retry_timer: None,
+            retry_rounds: 0,
+            last_min_acked: 0,
+            replay: HashMap::new(),
+            replay_order: VecDeque::new(),
+            last_split: None,
+            last_merge: None,
         }
     }
 
     /// Restore a bucket from recovered content (hot-spare installation).
+    /// `delta_seq` resumes the column's Δ numbering where the lost bucket
+    /// stopped, so surviving parity buckets recognise the continuation.
     pub fn from_content(
         shared: SharedHandle,
         bucket: u64,
         level: u8,
         next_rank: Rank,
+        delta_seq: u64,
         records: Vec<(Rank, Key, Vec<u8>)>,
     ) -> Self {
         let mut b = DataBucket::new(shared, bucket, level);
         b.next_rank = next_rank;
+        b.delta_seq = delta_seq;
+        b.last_min_acked = delta_seq;
         for (rank, key, payload) in records {
             b.by_key.insert(key, rank);
             b.records.insert(rank, Record { key, payload });
@@ -122,22 +171,44 @@ impl DataBucket {
                 target,
                 new_level,
             } => self.handle_merge(env, source, target, new_level),
-            Msg::MergeLoad { level, records } => {
+            Msg::MergeLoad {
+                level,
+                records,
+                replay,
+                final_seq,
+            } => {
                 self.level = level;
                 // A merge-driven absorb must not immediately re-split the
                 // bucket (that would undo the shrink the file manager asked
                 // for); a later insert can still report overflow.
-                self.absorb_movers(env, records, false);
+                self.absorb_movers(env, records, replay, false);
                 let coord = self.shared.registry.borrow().coordinator;
-                env.send(coord, Msg::MergeDone { bucket: self.bucket });
+                env.send(
+                    coord,
+                    Msg::MergeDone {
+                        bucket: self.bucket,
+                        final_seq,
+                    },
+                );
             }
-            Msg::SplitLoad { bucket, level, records } => {
-                // Movers arriving at a freshly initialised bucket.
+            Msg::SplitLoad {
+                bucket,
+                level,
+                records,
+                replay,
+            } => {
+                // Movers arriving at a freshly initialised bucket (or again,
+                // if the shipment was duplicated — absorb dedups by key).
                 debug_assert_eq!(bucket, self.bucket);
                 debug_assert_eq!(level, self.level);
-                self.absorb_movers(env, records, true);
+                self.absorb_movers(env, records, replay, true);
                 let coord = self.shared.registry.borrow().coordinator;
-                env.send(coord, Msg::SplitDone { bucket: self.bucket });
+                env.send(
+                    coord,
+                    Msg::SplitDone {
+                        bucket: self.bucket,
+                    },
+                );
             }
             Msg::Scan {
                 op_id,
@@ -188,6 +259,7 @@ impl DataBucket {
                 let content = ShardContent::Data {
                     level: self.level,
                     next_rank: self.next_rank,
+                    delta_seq: self.delta_seq,
                     records: self
                         .records
                         .iter()
@@ -250,10 +322,139 @@ impl DataBucket {
                     },
                 );
             }
-            Msg::OwnershipAck => { /* still the owner: resume serving */ }
-            Msg::ParityAck { .. } => { /* reliable-mode ack; nothing to do */ }
+            Msg::OwnershipAck => {
+                // Still the owner: resume serving. A crash dropped this
+                // node's timers, so restart retransmission of any Δs that
+                // were still unacknowledged.
+                if self.shared.cfg.ack_parity
+                    && !self.unacked.is_empty()
+                    && self.retry_timer.is_none()
+                {
+                    self.retry_rounds = 0;
+                    self.retry_timer = Some(env.set_timer(self.shared.cfg.delta_retransmit_us));
+                }
+            }
+            Msg::ParityAck { col, upto } => self.handle_parity_ack(env, from, col, upto),
+            Msg::InitData { bucket, .. } if bucket == self.bucket => {
+                // Duplicated provisioning order: already initialised.
+            }
+            Msg::Install {
+                bucket: Some(b),
+                token,
+                ..
+            } if b == self.bucket => {
+                // Duplicated install whose InstallAck was lost: re-ack.
+                env.send(from, Msg::InstallAck { token });
+            }
             other => {
                 debug_assert!(false, "data bucket {} got {:?}", self.bucket, other);
+            }
+        }
+    }
+
+    /// Timer callback: retransmit unacknowledged Δs (reliable mode).
+    pub fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
+        if self.retry_timer != Some(timer) {
+            return; // stale timer from a cancelled round
+        }
+        self.retry_timer = None;
+        if self.unacked.is_empty() {
+            return;
+        }
+        let min = self.min_acked();
+        if min > self.last_min_acked {
+            self.retry_rounds = 0;
+            self.last_min_acked = min;
+        } else {
+            self.retry_rounds += 1;
+        }
+        if self.retry_rounds > self.shared.cfg.delta_retry_limit {
+            // No progress for too long: a dead parity bucket is the
+            // recovery machinery's problem. Stop retransmitting (the timer
+            // re-arms when an ack or a fresh Δ shows signs of life).
+            return;
+        }
+        let group = self.group();
+        let me = env.me();
+        let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
+        self.ensure_acked_slots(parity_nodes.len());
+        for (q, pn) in parity_nodes.iter().enumerate() {
+            let pending: Vec<DeltaEntry> = self
+                .unacked
+                .range(self.parity_acked[q]..)
+                .map(|(_, e)| e.clone())
+                .collect();
+            if !pending.is_empty() {
+                env.send(
+                    *pn,
+                    Msg::ParityBatch {
+                        group,
+                        entries: pending,
+                        ack_to: Some(me),
+                    },
+                );
+            }
+        }
+        self.retry_timer = Some(env.set_timer(self.shared.cfg.delta_retransmit_us));
+    }
+
+    /// Cumulative ack from parity column holder `from`: advance its
+    /// watermark, prune Δs every parity bucket has, and manage the timer.
+    fn handle_parity_ack(&mut self, env: &mut Env<'_, Msg>, from: NodeId, col: usize, upto: u64) {
+        if col != self.col() {
+            return; // stale ack addressed to a previous tenant of this node
+        }
+        let group = self.group();
+        let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
+        let Some(q) = parity_nodes.iter().position(|&n| n == from) else {
+            return; // an ack from a since-replaced parity bucket
+        };
+        self.ensure_acked_slots(parity_nodes.len());
+        if upto > self.parity_acked[q] {
+            self.parity_acked[q] = upto;
+        }
+        let min = self.min_acked();
+        self.unacked = self.unacked.split_off(&min);
+        if min > self.last_min_acked {
+            self.retry_rounds = 0;
+            self.last_min_acked = min;
+        }
+        if self.unacked.is_empty() {
+            if let Some(t) = self.retry_timer.take() {
+                env.cancel_timer(t);
+            }
+        } else if self.retry_timer.is_none() && self.shared.cfg.ack_parity {
+            // Progress after a give-up (or a post-crash ack): resume.
+            self.retry_rounds = 0;
+            self.retry_timer = Some(env.set_timer(self.shared.cfg.delta_retransmit_us));
+        }
+    }
+
+    fn ensure_acked_slots(&mut self, k: usize) {
+        if self.parity_acked.len() < k {
+            self.parity_acked.resize(k, 0);
+        }
+    }
+
+    /// The lowest ack watermark across the group's current parity buckets.
+    fn min_acked(&mut self) -> u64 {
+        let k = self.shared.registry.borrow().group_k(self.group());
+        self.ensure_acked_slots(k);
+        self.parity_acked[..k]
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.delta_seq)
+    }
+
+    /// Record a write's outcome in the replay cache (FIFO-bounded).
+    fn remember(&mut self, client: NodeId, op_id: OpId, key: Key, result: OpResult) {
+        if self.replay.insert((client, op_id), (key, result)).is_none() {
+            self.replay_order.push_back((client, op_id));
+            if self.replay_order.len() > REPLAY_CAP {
+                if let Some(old) = self.replay_order.pop_front() {
+                    self.replay.remove(&old);
+                }
             }
         }
     }
@@ -289,104 +490,87 @@ impl DataBucket {
                     bucket: self.bucket,
                 });
                 let ack_writes = self.shared.cfg.ack_writes;
-                match kind {
-                    ReqKind::Lookup(key) => {
-                        let payload = self.by_key.get(&key).map(|r| self.records[r].payload.clone());
-                        env.send(
-                            client,
-                            Msg::Reply {
-                                op_id,
-                                result: OpResult::Value(payload),
-                                iam,
-                            },
-                        );
+                if let ReqKind::Lookup(key) = kind {
+                    // Lookups are naturally idempotent: no replay cache.
+                    let payload = self
+                        .by_key
+                        .get(&key)
+                        .map(|r| self.records[r].payload.clone());
+                    env.send(
+                        client,
+                        Msg::Reply {
+                            op_id,
+                            result: OpResult::Value(payload),
+                            iam,
+                        },
+                    );
+                    return;
+                }
+                // A retried write the bucket already executed must not run
+                // again (a re-run insert would report DuplicateKey, a re-run
+                // delete NotFound, and each would double-commit parity Δs).
+                // Answer duplicates from the replay cache instead.
+                if let Some((_, result)) = self.replay.get(&(client, op_id)) {
+                    let is_err = matches!(result, OpResult::DuplicateKey | OpResult::NotFound);
+                    if ack_writes || iam.is_some() || is_err {
+                        let result = result.clone();
+                        env.send(client, Msg::Reply { op_id, result, iam });
                     }
+                    return;
+                }
+                let (key, result) = match kind {
+                    ReqKind::Lookup(_) => unreachable!("handled above"),
                     ReqKind::Insert(key, payload) => {
-                        if self.by_key.contains_key(&key) {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::DuplicateKey,
-                                    iam,
-                                },
-                            );
-                            return;
-                        }
-                        let rank = self.alloc_rank();
-                        let cell = encode_cell(&payload, self.shared.cfg.cell_len());
-                        self.by_key.insert(key, rank);
-                        self.records.insert(rank, Record { key, payload });
-                        self.emit_delta(env, rank, KeyOp::Add(key), cell);
-                        self.maybe_report_overflow(env);
-                        if ack_writes || iam.is_some() {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::Inserted,
-                                    iam,
-                                },
-                            );
-                        }
+                        let result = if self.by_key.contains_key(&key) {
+                            OpResult::DuplicateKey
+                        } else {
+                            let rank = self.alloc_rank();
+                            let cell = encode_cell(&payload, self.shared.cfg.cell_len());
+                            self.by_key.insert(key, rank);
+                            self.records.insert(rank, Record { key, payload });
+                            self.emit_delta(env, rank, KeyOp::Add(key), cell);
+                            self.maybe_report_overflow(env);
+                            OpResult::Inserted
+                        };
+                        (key, result)
                     }
                     ReqKind::Update(key, new_payload) => {
-                        let Some(&rank) = self.by_key.get(&key) else {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::NotFound,
-                                    iam,
-                                },
-                            );
-                            return;
+                        let result = match self.by_key.get(&key) {
+                            None => OpResult::NotFound,
+                            Some(&rank) => {
+                                let cell_len = self.shared.cfg.cell_len();
+                                let rec = self.records.get_mut(&rank).expect("index consistent");
+                                let old_cell = encode_cell(&rec.payload, cell_len);
+                                let new_cell = encode_cell(&new_payload, cell_len);
+                                rec.payload = new_payload;
+                                let delta = cell_delta(&old_cell, &new_cell);
+                                self.emit_delta(env, rank, KeyOp::Keep, delta);
+                                OpResult::Updated
+                            }
                         };
-                        let cell_len = self.shared.cfg.cell_len();
-                        let rec = self.records.get_mut(&rank).expect("index consistent");
-                        let old_cell = encode_cell(&rec.payload, cell_len);
-                        let new_cell = encode_cell(&new_payload, cell_len);
-                        rec.payload = new_payload;
-                        let delta = cell_delta(&old_cell, &new_cell);
-                        self.emit_delta(env, rank, KeyOp::Keep, delta);
-                        if ack_writes || iam.is_some() {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::Updated,
-                                    iam,
-                                },
-                            );
-                        }
+                        (key, result)
                     }
                     ReqKind::Delete(key) => {
-                        let Some(rank) = self.by_key.remove(&key) else {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::NotFound,
-                                    iam,
-                                },
-                            );
-                            return;
+                        let result = match self.by_key.remove(&key) {
+                            None => OpResult::NotFound,
+                            Some(rank) => {
+                                let rec = self.records.remove(&rank).expect("index consistent");
+                                self.free_ranks.push(Reverse(rank));
+                                let cell = encode_cell(&rec.payload, self.shared.cfg.cell_len());
+                                self.emit_delta(env, rank, KeyOp::Remove(key), cell);
+                                OpResult::Deleted
+                            }
                         };
-                        let rec = self.records.remove(&rank).expect("index consistent");
-                        self.free_ranks.push(Reverse(rank));
-                        let cell = encode_cell(&rec.payload, self.shared.cfg.cell_len());
-                        self.emit_delta(env, rank, KeyOp::Remove(key), cell);
-                        if ack_writes || iam.is_some() {
-                            env.send(
-                                client,
-                                Msg::Reply {
-                                    op_id,
-                                    result: OpResult::Deleted,
-                                    iam,
-                                },
-                            );
-                        }
+                        (key, result)
                     }
+                };
+                self.remember(client, op_id, key, result.clone());
+                // Error outcomes are always reported (even in unacked mode
+                // the client must learn its optimistic write failed);
+                // success replies only when acked or the image was stale.
+                let is_err = matches!(result, OpResult::DuplicateKey | OpResult::NotFound);
+                if ack_writes || iam.is_some() || is_err {
+                    env.send(client, Msg::Reply { op_id, result, iam });
                 }
             }
         }
@@ -396,6 +580,27 @@ impl DataBucket {
     /// `h_{new_level}`, ship movers, retract their parity contributions.
     fn handle_split(&mut self, env: &mut Env<'_, Msg>, source: u64, target: u64, new_level: u8) {
         debug_assert_eq!(source, self.bucket);
+        if new_level <= self.level {
+            // Duplicate order: the coordinator re-sent because SplitDone
+            // never arrived. The partition already ran — re-ship the cached
+            // movers verbatim (re-running would emit fresh Δ seqs for work
+            // the parity already saw). The receiver absorbs idempotently
+            // and re-confirms.
+            if let Some((cached_target, movers, replay)) = self.last_split.clone() {
+                debug_assert_eq!(cached_target, target);
+                let target_node = self.shared.registry.borrow().data_node(target);
+                env.send(
+                    target_node,
+                    Msg::SplitLoad {
+                        bucket: target,
+                        level: self.level,
+                        records: movers,
+                        replay,
+                    },
+                );
+            }
+            return;
+        }
         let cell_len = self.shared.cfg.cell_len();
         let mut movers = Vec::new();
         let mut removals = Vec::new();
@@ -410,6 +615,7 @@ impl DataBucket {
             self.by_key.remove(&rec.key);
             self.free_ranks.push(Reverse(rank));
             removals.push(DeltaEntry {
+                seq: self.next_seq(),
                 rank,
                 col: self.col(),
                 key_op: KeyOp::Remove(rec.key),
@@ -419,26 +625,37 @@ impl DataBucket {
         }
         self.level = new_level;
         self.overflow_reported = false;
+        self.last_report_size = 0;
 
-        // Retract movers from this group's parity (one batch per parity
-        // bucket — the bulk-transfer optimisation of the paper).
-        if !removals.is_empty() {
-            let group = self.group();
-            let parity_nodes: Vec<NodeId> =
-                self.shared.registry.borrow().parity_nodes(group).to_vec();
-            for pn in parity_nodes {
-                env.send(
-                    pn,
-                    Msg::ParityBatch {
-                        group,
-                        entries: removals.clone(),
-                    },
-                );
+        // Replay-cache entries follow their keys to the new bucket, so a
+        // retried write that now routes there is still seen as a duplicate.
+        let mut moving_ids: Vec<(NodeId, OpId)> = self
+            .replay
+            .iter()
+            .filter(|(_, (key, _))| lhrs_lh::h(new_level, 1, *key) == target)
+            .map(|(id, _)| *id)
+            .collect();
+        moving_ids.sort_unstable();
+        let mut replay_movers = Vec::new();
+        for id in moving_ids {
+            if let Some((key, result)) = self.replay.remove(&id) {
+                self.replay_order.retain(|x| x != &id);
+                replay_movers.push(ReplayEntry {
+                    client: id.0,
+                    op_id: id.1,
+                    key,
+                    result,
+                });
             }
         }
 
+        // Retract movers from this group's parity (one batch per parity
+        // bucket — the bulk-transfer optimisation of the paper).
+        self.send_batch(env, removals);
+
         // Ship movers to the new bucket (which enrols them in its own
-        // group's parity).
+        // group's parity). Keep a copy for retransmission.
+        self.last_split = Some((target, movers.clone(), replay_movers.clone()));
         let target_node = self.shared.registry.borrow().data_node(target);
         env.send(
             target_node,
@@ -446,20 +663,36 @@ impl DataBucket {
                 bucket: target,
                 level: new_level,
                 records: movers,
+                replay: replay_movers,
             },
         );
         // A split may leave this bucket still over capacity (skewed keys).
         self.maybe_report_overflow(env);
     }
 
-    /// Receive records moved in by a split: assign fresh ranks and enrol
-    /// them in this group's parity.
-    fn absorb_movers(&mut self, env: &mut Env<'_, Msg>, records: Vec<Record>, check_overflow: bool) {
+    /// Receive records moved in by a split or merge: assign fresh ranks and
+    /// enrol them in this group's parity. Records whose key is already
+    /// present are duplicates from a retransmitted shipment and are skipped
+    /// (absorbing them twice would double-count them in the parity).
+    fn absorb_movers(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        records: Vec<Record>,
+        replay: Vec<ReplayEntry>,
+        check_overflow: bool,
+    ) {
+        for e in replay {
+            self.remember(e.client, e.op_id, e.key, e.result);
+        }
         let cell_len = self.shared.cfg.cell_len();
         let mut additions = Vec::new();
         for rec in records {
+            if self.by_key.contains_key(&rec.key) {
+                continue; // duplicated shipment
+            }
             let rank = self.alloc_rank();
             additions.push(DeltaEntry {
+                seq: self.next_seq(),
                 rank,
                 col: self.col(),
                 key_op: KeyOp::Add(rec.key),
@@ -468,20 +701,7 @@ impl DataBucket {
             self.by_key.insert(rec.key, rank);
             self.records.insert(rank, rec);
         }
-        if !additions.is_empty() {
-            let group = self.group();
-            let parity_nodes: Vec<NodeId> =
-                self.shared.registry.borrow().parity_nodes(group).to_vec();
-            for pn in parity_nodes {
-                env.send(
-                    pn,
-                    Msg::ParityBatch {
-                        group,
-                        entries: additions.clone(),
-                    },
-                );
-            }
-        }
+        self.send_batch(env, additions);
         if check_overflow {
             self.maybe_report_overflow(env);
         }
@@ -492,6 +712,22 @@ impl DataBucket {
     /// ships them back to `source`. The node is retired afterwards.
     fn handle_merge(&mut self, env: &mut Env<'_, Msg>, source: u64, target: u64, new_level: u8) {
         debug_assert_eq!(target, self.bucket);
+        if let Some((cached_source, lvl, movers, replay)) = self.last_merge.clone() {
+            // Duplicate order (lost MergeLoad or MergeDone): re-ship the
+            // cached movers; the absorber dedups by key and re-confirms.
+            debug_assert_eq!(cached_source, source);
+            let source_node = self.shared.registry.borrow().data_node(source);
+            env.send(
+                source_node,
+                Msg::MergeLoad {
+                    level: lvl,
+                    records: movers,
+                    replay,
+                    final_seq: self.delta_seq,
+                },
+            );
+            return;
+        }
         let cell_len = self.shared.cfg.cell_len();
         let mut removals = Vec::new();
         let mut movers = Vec::new();
@@ -500,6 +736,7 @@ impl DataBucket {
             let rec = self.records.remove(&rank).expect("listed");
             self.by_key.remove(&rec.key);
             removals.push(DeltaEntry {
+                seq: self.next_seq(),
                 rank,
                 col: self.col(),
                 key_op: KeyOp::Remove(rec.key),
@@ -507,49 +744,124 @@ impl DataBucket {
             });
             movers.push(rec);
         }
-        if !removals.is_empty() {
-            let group = self.group();
-            let parity_nodes: Vec<NodeId> =
-                self.shared.registry.borrow().parity_nodes(group).to_vec();
-            for pn in parity_nodes {
-                env.send(
-                    pn,
-                    Msg::ParityBatch {
-                        group,
-                        entries: removals.clone(),
-                    },
-                );
+        // The whole replay cache follows the records (this bucket is
+        // disappearing).
+        let mut ids: Vec<(NodeId, OpId)> = std::mem::take(&mut self.replay_order).into();
+        ids.sort_unstable();
+        let mut replay_movers = Vec::new();
+        for id in ids {
+            if let Some((key, result)) = self.replay.remove(&id) {
+                replay_movers.push(ReplayEntry {
+                    client: id.0,
+                    op_id: id.1,
+                    key,
+                    result,
+                });
             }
         }
+        self.send_batch(env, removals);
+        self.last_merge = Some((source, new_level, movers.clone(), replay_movers.clone()));
         let source_node = self.shared.registry.borrow().data_node(source);
         env.send(
             source_node,
             Msg::MergeLoad {
                 level: new_level,
                 records: movers,
+                replay: replay_movers,
+                final_seq: self.delta_seq,
             },
         );
     }
 
+    /// Resume this column's Δ numbering at `seq` (a re-created bucket must
+    /// continue where its merged-away predecessor stopped — the parity
+    /// channels were never reset).
+    pub fn resume_delta_seq(&mut self, seq: u64) {
+        debug_assert_eq!(self.delta_seq, 0, "only meaningful on a fresh bucket");
+        self.delta_seq = seq;
+        self.last_min_acked = seq;
+    }
+
+    /// Take the next Δ sequence number of this column's stream.
+    fn next_seq(&mut self) -> u64 {
+        let s = self.delta_seq;
+        self.delta_seq += 1;
+        s
+    }
+
     /// Send one Δ-commit to every parity bucket of this group.
-    fn emit_delta(&self, env: &mut Env<'_, Msg>, rank: Rank, key_op: KeyOp, delta_cell: Vec<u8>) {
+    fn emit_delta(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        rank: Rank,
+        key_op: KeyOp,
+        delta_cell: Vec<u8>,
+    ) {
         let group = self.group();
         let ack_to = self.shared.cfg.ack_parity.then(|| env.me());
         let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
+        if parity_nodes.is_empty() {
+            return;
+        }
+        let entry = DeltaEntry {
+            seq: self.next_seq(),
+            rank,
+            col: self.col(),
+            key_op,
+            delta_cell,
+        };
+        if ack_to.is_some() {
+            self.unacked.insert(entry.seq, entry.clone());
+            self.arm_retry(env);
+        }
         for pn in parity_nodes {
             env.send(
                 pn,
                 Msg::ParityDelta {
                     group,
-                    entry: DeltaEntry {
-                        rank,
-                        col: self.col(),
-                        key_op,
-                        delta_cell: delta_cell.clone(),
-                    },
+                    entry: entry.clone(),
                     ack_to,
                 },
             );
+        }
+    }
+
+    /// Send a Δ batch to every parity bucket of this group, tracking the
+    /// entries for retransmission in reliable mode.
+    fn send_batch(&mut self, env: &mut Env<'_, Msg>, entries: Vec<DeltaEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let group = self.group();
+        let ack_to = self.shared.cfg.ack_parity.then(|| env.me());
+        let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
+        if parity_nodes.is_empty() {
+            return;
+        }
+        if ack_to.is_some() {
+            for e in &entries {
+                self.unacked.insert(e.seq, e.clone());
+            }
+            self.arm_retry(env);
+        }
+        for pn in parity_nodes {
+            env.send(
+                pn,
+                Msg::ParityBatch {
+                    group,
+                    entries: entries.clone(),
+                    ack_to,
+                },
+            );
+        }
+    }
+
+    /// Arm the retransmission timer if it is not already running.
+    fn arm_retry(&mut self, env: &mut Env<'_, Msg>) {
+        if self.retry_timer.is_none() {
+            self.retry_rounds = 0;
+            self.last_min_acked = self.min_acked();
+            self.retry_timer = Some(env.set_timer(self.shared.cfg.delta_retransmit_us));
         }
     }
 
@@ -564,17 +876,27 @@ impl DataBucket {
     }
 
     fn maybe_report_overflow(&mut self, env: &mut Env<'_, Msg>) {
-        if !self.overflow_reported && self.records.len() > self.shared.cfg.bucket_capacity {
-            self.overflow_reported = true;
-            let coord = self.shared.registry.borrow().coordinator;
-            env.send(
-                coord,
-                Msg::ReportOverflow {
-                    bucket: self.bucket,
-                    size: self.records.len(),
-                },
-            );
+        let len = self.records.len();
+        if len <= self.shared.cfg.bucket_capacity {
+            return;
         }
+        // Report once; if the report (or the split order) was lost, the
+        // bucket re-reports only after doubling in size again — in fault-free
+        // runs the split always arrives long before that, so the report
+        // stays effectively single-shot and the message cost model holds.
+        if self.overflow_reported && len < 2 * self.last_report_size {
+            return;
+        }
+        self.overflow_reported = true;
+        self.last_report_size = len;
+        let coord = self.shared.registry.borrow().coordinator;
+        env.send(
+            coord,
+            Msg::ReportOverflow {
+                bucket: self.bucket,
+                size: len,
+            },
+        );
     }
 
     /// The insert counter (exposed for tests and recovery assertions).

@@ -211,11 +211,19 @@ impl LhrsFile {
             let op_id = self.next_op;
             self.next_op += 1;
             ids.push((op_id, key));
-            self.sim
-                .send_external(client, Msg::Do { op_id, op: ClientOp::Insert { key, payload } });
+            self.sim.send_external(
+                client,
+                Msg::Do {
+                    op_id,
+                    op: ClientOp::Insert { key, payload },
+                },
+            );
         }
         self.sim.run_until_idle();
-        self.sim.actor_mut(client).as_client_mut().settle_optimistic();
+        self.sim
+            .actor_mut(client)
+            .as_client_mut()
+            .settle_optimistic();
         let results = self.sim.actor_mut(client).as_client_mut().take_results();
         let mut ok = 0;
         for (op_id, result) in results {
@@ -311,7 +319,9 @@ impl LhrsFile {
     /// Create an additional client with a fresh (worst-case) image;
     /// returns its id for the `*_via` methods.
     pub fn add_client(&mut self) -> ClientId {
-        let node = self.sim.add_node(Node::Client(Client::new(self.shared.clone())));
+        let node = self
+            .sim
+            .add_node(Node::Client(Client::new(self.shared.clone())));
         self.clients.push(node);
         self.clients.len() - 1
     }
@@ -365,12 +375,19 @@ impl LhrsFile {
 
     /// IAMs received by a client (image-convergence metric).
     pub fn client_iams(&self, client: ClientId) -> u64 {
-        self.sim.actor(self.clients[client]).as_client().iams_received
+        self.sim
+            .actor(self.clients[client])
+            .as_client()
+            .iams_received
     }
 
     /// The image `(n', i')` a client currently holds.
     pub fn client_image(&self, client: ClientId) -> (u64, u8) {
-        self.sim.actor(self.clients[client]).as_client().image.parts()
+        self.sim
+            .actor(self.clients[client])
+            .as_client()
+            .image
+            .parts()
     }
 
     /// Current simulated time (µs).
@@ -422,6 +439,35 @@ impl LhrsFile {
 
     // ----- failure injection & drills -----
 
+    /// Install a network fault plan (message loss, duplication, reordering,
+    /// timed partitions) on the underlying simulator. Takes effect for all
+    /// traffic sent after the call; replaces any previous plan. Drills that
+    /// inject loss should run with [`Config::ack_parity`] (and usually
+    /// [`Config::ack_writes`]) enabled, otherwise lost Δ-commits have no
+    /// retransmission path and parity may drift until the next recovery.
+    pub fn set_fault_plan(&mut self, plan: lhrs_sim::FaultPlan) {
+        self.sim.set_fault_plan(plan);
+    }
+
+    /// Remove the active fault plan (the network is reliable again);
+    /// returns the plan that was installed, if any.
+    pub fn clear_fault_plan(&mut self) -> Option<lhrs_sim::FaultPlan> {
+        self.sim.clear_fault_plan()
+    }
+
+    /// The simulator node currently carrying data bucket `bucket` — the
+    /// handle fault drills need to aim a [`lhrs_sim::Partition`] at a
+    /// specific server.
+    pub fn data_node_id(&self, bucket: u64) -> NodeId {
+        self.shared.registry.borrow().data_node(bucket)
+    }
+
+    /// The simulator node currently carrying parity bucket `index` of
+    /// `group`.
+    pub fn parity_node_id(&self, group: u64, index: usize) -> NodeId {
+        self.shared.registry.borrow().parity_nodes(group)[index]
+    }
+
     /// Crash the node carrying data bucket `bucket`.
     pub fn crash_data_bucket(&mut self, bucket: u64) {
         let node = self.shared.registry.borrow().data_node(bucket);
@@ -433,7 +479,8 @@ impl LhrsFile {
     pub fn crash_parity_bucket(&mut self, group: u64, index: usize) {
         let node = self.shared.registry.borrow().parity_nodes(group)[index];
         self.sim.crash(node);
-        self.crashed_log.push((node, CrashedShard::Parity(group, index)));
+        self.crashed_log
+            .push((node, CrashedShard::Parity(group, index)));
     }
 
     /// Bring back the node that was crashed while carrying data bucket
@@ -454,15 +501,15 @@ impl LhrsFile {
         self.sim.restart(node);
         self.sim.send_external(node, Msg::SelfReport);
         self.sim.run_until_idle();
-        self.shared.registry.borrow().data_node(bucket) == node
-            && !self.sim.actor(node).is_blank()
+        self.shared.registry.borrow().data_node(bucket) == node && !self.sim.actor(node).is_blank()
     }
 
     /// Audit a group's liveness and recover any failed shards; returns what
     /// happened.
     pub fn check_group(&mut self, group: u64) -> RecoveryReport {
         let events_before = self.coord().events.len();
-        self.sim.send_external(self.coordinator, Msg::CheckGroup { group });
+        self.sim
+            .send_external(self.coordinator, Msg::CheckGroup { group });
         self.sim.run_until_idle();
         let events = &self.coord().events[events_before..];
         let mut report = RecoveryReport {
@@ -517,7 +564,8 @@ impl LhrsFile {
     /// the scan does not terminate and the previous state is returned
     /// unchanged.
     pub fn drill_file_state_recovery(&mut self) -> (u64, u8) {
-        self.sim.send_external(self.coordinator, Msg::RecoverFileState);
+        self.sim
+            .send_external(self.coordinator, Msg::RecoverFileState);
         self.sim.run_until_idle();
         let state = self.coord().state;
         (state.split_pointer(), state.level())

@@ -74,6 +74,7 @@ pub use config::{Config, ScanTermination, UpgradeMode};
 pub use coordinator::CoordEvent;
 pub use error::Error;
 pub use file::{LhrsFile, RecoveryReport, StorageReport};
+pub use lhrs_sim::{FaultPlan, NodeId, Partition};
 pub use msg::{FilterSpec, OpResult};
 pub use record::GroupKey;
 

@@ -109,9 +109,10 @@ impl ReqKind {
     /// The key this request addresses.
     pub fn key(&self) -> Key {
         match self {
-            ReqKind::Insert(k, _) | ReqKind::Lookup(k) | ReqKind::Update(k, _) | ReqKind::Delete(k) => {
-                *k
-            }
+            ReqKind::Insert(k, _)
+            | ReqKind::Lookup(k)
+            | ReqKind::Update(k, _)
+            | ReqKind::Delete(k) => *k,
         }
     }
 
@@ -155,6 +156,11 @@ pub enum KeyOp {
 /// One Δ-commit entry (shared by single deltas and split batches).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeltaEntry {
+    /// Position in the emitting column's delta stream. Every data bucket
+    /// numbers its Δs densely from 0; parity buckets apply each column's
+    /// stream exactly once, in order, so a duplicated or reordered delivery
+    /// can never double-apply or cross Add/Remove effects.
+    pub seq: u64,
     /// Record rank within the group.
     pub rank: Rank,
     /// Column = bucket offset within the group.
@@ -163,6 +169,21 @@ pub struct DeltaEntry {
     pub key_op: KeyOp,
     /// XOR of old and new coding cells.
     pub delta_cell: Vec<u8>,
+}
+
+/// A client-op replay-cache entry migrated with a split or merge load, so
+/// a retried write whose record moved buckets is still recognised as a
+/// duplicate at its new home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayEntry {
+    /// The client that issued the operation.
+    pub client: NodeId,
+    /// Its operation id.
+    pub op_id: OpId,
+    /// The key the operation addressed (decides which bucket it follows).
+    pub key: Key,
+    /// The result the first execution produced.
+    pub result: OpResult,
 }
 
 /// A data or parity shard's full content, moved during recovery, upgrades,
@@ -176,6 +197,9 @@ pub enum ShardContent {
         level: u8,
         /// Next unassigned rank (the insert counter `r`).
         next_rank: Rank,
+        /// Next delta sequence number of this column's Δ stream, so a
+        /// rebuilt bucket continues numbering where the lost one stopped.
+        delta_seq: u64,
         /// Live records.
         records: Vec<(Rank, Key, Vec<u8>)>,
     },
@@ -183,6 +207,10 @@ pub enum ShardContent {
     Parity {
         /// Records: `(rank, member keys by column, parity cell)`.
         records: Vec<(Rank, Vec<Option<Key>>, Vec<u8>)>,
+        /// Per data column: the next Δ sequence number this bucket expects,
+        /// so a rebuilt parity bucket resumes each column's stream exactly
+        /// where the snapshot left it.
+        col_seqs: Vec<u64>,
     },
 }
 
@@ -192,8 +220,12 @@ impl ShardContent {
             ShardContent::Data { records, .. } => {
                 records.iter().map(|(_, _, p)| 20 + p.len()).sum()
             }
-            ShardContent::Parity { records } => {
-                records.iter().map(|(_, ks, c)| 12 + 8 * ks.len() + c.len()).sum()
+            ShardContent::Parity { records, col_seqs } => {
+                8 * col_seqs.len()
+                    + records
+                        .iter()
+                        .map(|(_, ks, c)| 12 + 8 * ks.len() + c.len())
+                        .sum::<usize>()
             }
         }
     }
@@ -272,17 +304,23 @@ pub enum Msg {
         /// Where to send the ack, when `ack_parity` is on.
         ack_to: Option<NodeId>,
     },
-    /// Batched Δ-commits emitted by a split (one message per parity bucket).
+    /// Batched Δ-commits emitted by a split, merge, or retransmission (one
+    /// message per parity bucket).
     ParityBatch {
         /// Group of the emitting bucket.
         group: u64,
         /// All entries of the batch.
         entries: Vec<DeltaEntry>,
+        /// Where to send the ack, when `ack_parity` is on.
+        ack_to: Option<NodeId>,
     },
-    /// Parity commit acknowledgement (reliable mode only).
+    /// Cumulative parity commit acknowledgement (reliable mode only): the
+    /// parity bucket has applied every Δ of column `col` below `upto`.
     ParityAck {
-        /// Rank acknowledged.
-        rank: Rank,
+        /// The data column (bucket offset in the group) being acked.
+        col: usize,
+        /// All sequence numbers `< upto` are applied.
+        upto: u64,
     },
 
     // ----- growth control -----
@@ -299,6 +337,11 @@ pub enum Msg {
         bucket: u64,
         /// Initial level.
         level: u8,
+        /// Resume point for the column's Δ stream: 0 for a never-seen
+        /// bucket number, the retired predecessor's final sequence when the
+        /// bucket was merged away earlier (parity channels are never reset,
+        /// so a re-created column must continue, not restart, its stream).
+        delta_seq: u64,
     },
     /// Coordinator turns a pool node into parity bucket `index` of `group`
     /// under availability level `k`.
@@ -319,7 +362,10 @@ pub enum Msg {
         /// Level of both after the split.
         new_level: u8,
     },
-    /// The splitting bucket ships movers to the new bucket.
+    /// The splitting bucket ships movers to the new bucket. Retransmitted
+    /// verbatim if the coordinator re-orders the split, and applied
+    /// idempotently (per key) at the receiver, so a lost or duplicated
+    /// load never loses or doubles records.
     SplitLoad {
         /// The new bucket's number.
         bucket: u64,
@@ -327,6 +373,8 @@ pub enum Msg {
         level: u8,
         /// Records moving in.
         records: Vec<Record>,
+        /// Replay-cache entries following their keys to the new bucket.
+        replay: Vec<ReplayEntry>,
     },
 
     // ----- failure handling -----
@@ -448,11 +496,19 @@ pub enum Msg {
         level: u8,
         /// Records moving back.
         records: Vec<Record>,
+        /// Replay-cache entries following the records.
+        replay: Vec<ReplayEntry>,
+        /// The retiring column's final Δ sequence (after the retraction
+        /// Δs), echoed to the coordinator so a future re-creation of the
+        /// bucket resumes the stream there.
+        final_seq: u64,
     },
     /// The absorbing bucket confirms the merge to the coordinator.
     MergeDone {
         /// The absorbing bucket.
         bucket: u64,
+        /// The retired column's final Δ sequence, from [`Msg::MergeLoad`].
+        final_seq: u64,
     },
     /// Coordinator decommissions a node (ex-bucket after a merge, or a
     /// restarted node whose bucket was recreated elsewhere); the node
@@ -560,17 +616,22 @@ impl lhrs_sim::Payload for Msg {
             Msg::ScanReply { hits, .. } => {
                 16 + hits.iter().map(|(_, p)| 8 + p.len()).sum::<usize>()
             }
-            Msg::ParityDelta { entry, .. } => 24 + entry.delta_cell.len(),
+            Msg::ParityDelta { entry, .. } => 32 + entry.delta_cell.len(),
             Msg::ParityBatch { entries, .. } => {
-                8 + entries.iter().map(|e| 24 + e.delta_cell.len()).sum::<usize>()
+                8 + entries
+                    .iter()
+                    .map(|e| 32 + e.delta_cell.len())
+                    .sum::<usize>()
             }
-            Msg::ParityAck { .. } => 8,
+            Msg::ParityAck { .. } => 12,
             Msg::ReportOverflow { .. } => 12,
-            Msg::InitData { .. } => 12,
+            Msg::InitData { .. } => 20,
             Msg::InitParity { .. } => 16,
             Msg::DoSplit { .. } => 20,
-            Msg::SplitLoad { records, .. } => {
-                12 + records.iter().map(|r| 12 + r.payload.len()).sum::<usize>()
+            Msg::SplitLoad {
+                records, replay, ..
+            } => {
+                12 + 24 * replay.len() + records.iter().map(|r| 12 + r.payload.len()).sum::<usize>()
             }
             Msg::Suspect { kind, .. } => 24 + kind.bytes(),
             Msg::Probe { .. } | Msg::ProbeAck { .. } => 8,
@@ -587,10 +648,12 @@ impl lhrs_sim::Payload for Msg {
             Msg::SplitDone { .. } => 8,
             Msg::ForceMerge => 0,
             Msg::DoMerge { .. } => 20,
-            Msg::MergeLoad { records, .. } => {
-                8 + records.iter().map(|r| 12 + r.payload.len()).sum::<usize>()
+            Msg::MergeLoad {
+                records, replay, ..
+            } => {
+                16 + 24 * replay.len() + records.iter().map(|r| 12 + r.payload.len()).sum::<usize>()
             }
-            Msg::MergeDone { .. } => 8,
+            Msg::MergeDone { .. } => 16,
             Msg::Retire => 4,
             Msg::SelfReport => 0,
             Msg::CheckOwnership { .. } => 20,

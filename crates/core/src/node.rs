@@ -96,8 +96,14 @@ impl Node {
         msg: Msg,
     ) -> Option<Node> {
         match msg {
-            Msg::InitData { bucket, level } => {
-                Some(Node::Data(DataBucket::new(shared.clone(), bucket, level)))
+            Msg::InitData {
+                bucket,
+                level,
+                delta_seq,
+            } => {
+                let mut d = DataBucket::new(shared.clone(), bucket, level);
+                d.resume_delta_seq(delta_seq);
+                Some(Node::Data(d))
             }
             Msg::InitParity { group, index, k } => Some(Node::Parity(ParityBucket::new(
                 shared.clone(),
@@ -117,21 +123,26 @@ impl Node {
                     ShardContent::Data {
                         level,
                         next_rank,
+                        delta_seq,
                         records,
                     } => Node::Data(DataBucket::from_content(
                         shared.clone(),
                         bucket.expect("data install carries a bucket number"),
                         level,
                         next_rank,
+                        delta_seq,
                         records,
                     )),
-                    ShardContent::Parity { records } => Node::Parity(ParityBucket::from_content(
-                        shared.clone(),
-                        group,
-                        index.expect("parity install carries an index"),
-                        k,
-                        records,
-                    )),
+                    ShardContent::Parity { records, col_seqs } => {
+                        Node::Parity(ParityBucket::from_content(
+                            shared.clone(),
+                            group,
+                            index.expect("parity install carries an index"),
+                            k,
+                            records,
+                            col_seqs,
+                        ))
+                    }
                 };
                 env.send(from, Msg::InstallAck { token });
                 Some(node)
@@ -185,6 +196,7 @@ impl Actor<Msg> for Node {
         match self {
             Node::Client(c) => c.on_timer(env, timer),
             Node::Coordinator(c) => c.on_timer(env, timer),
+            Node::Data(d) => d.on_timer(env, timer),
             _ => {}
         }
     }

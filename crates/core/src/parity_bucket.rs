@@ -20,6 +20,20 @@ pub struct ParityRecord {
     pub cell: Vec<u8>,
 }
 
+/// One data column's Δ-stream state: the next sequence number this bucket
+/// will apply, plus a buffer holding Δs the network delivered early.
+///
+/// Δs within a column do not commute (`Add` then `Remove` of the same rank
+/// reversed is nonsense, and a double-applied XOR cancels itself), so each
+/// column's stream is applied **exactly once, in order**: duplicates of
+/// already-applied Δs are dropped, out-of-order arrivals wait for the gap
+/// to fill (via the emitter's retransmission in `ack_parity` mode).
+#[derive(Debug, Default, Clone)]
+struct ColChannel {
+    next_seq: u64,
+    buffered: BTreeMap<u64, DeltaEntry>,
+}
+
 /// A parity bucket: column `index` of the `k` parity buckets of one bucket
 /// group.
 pub struct ParityBucket {
@@ -34,6 +48,8 @@ pub struct ParityBucket {
     pub k: usize,
     code: crate::code::AnyCode,
     records: BTreeMap<Rank, ParityRecord>,
+    /// Per data column: Δ-stream admission state.
+    channels: Vec<ColChannel>,
     /// Key → rank index — the "secondary index internal to each parity
     /// bucket" of §4.1, turning degraded-mode record location from a
     /// bucket scan into a hash probe. Key size is negligible next to the
@@ -55,19 +71,26 @@ impl ParityBucket {
             k,
             code,
             records: BTreeMap::new(),
+            channels: vec![ColChannel::default(); m],
             key_index: HashMap::new(),
         }
     }
 
-    /// Restore from recovered content.
+    /// Restore from recovered content. `col_seqs` resumes each column's
+    /// Δ stream where the snapshot left it (a retransmitted Δ the snapshot
+    /// already contains is then recognised as a duplicate).
     pub fn from_content(
         shared: SharedHandle,
         group: u64,
         index: usize,
         k: usize,
         records: Vec<(Rank, Vec<Option<Key>>, Vec<u8>)>,
+        col_seqs: Vec<u64>,
     ) -> Self {
         let mut p = ParityBucket::new(shared, group, index, k);
+        for (chan, seq) in p.channels.iter_mut().zip(col_seqs) {
+            chan.next_seq = seq;
+        }
         for (rank, keys, cell) in records {
             for key in keys.iter().flatten() {
                 p.key_index.insert(*key, rank);
@@ -105,18 +128,45 @@ impl ParityBucket {
     /// Main message handler.
     pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
-            Msg::ParityDelta { group, entry, ack_to } => {
+            Msg::ParityDelta {
+                group,
+                entry,
+                ack_to,
+            } => {
                 debug_assert_eq!(group, self.group);
-                let rank = entry.rank;
-                self.apply(entry);
+                if !self.sender_owns_column(from, entry.col) {
+                    return;
+                }
+                let col = entry.col;
+                for ready in self.admit(entry) {
+                    self.apply(ready);
+                }
                 if let Some(ack) = ack_to {
-                    env.send(ack, Msg::ParityAck { rank });
+                    let upto = self.channels[col].next_seq;
+                    env.send(ack, Msg::ParityAck { col, upto });
                 }
             }
-            Msg::ParityBatch { group, entries } => {
+            Msg::ParityBatch {
+                group,
+                entries,
+                ack_to,
+            } => {
                 debug_assert_eq!(group, self.group);
+                let mut cols = std::collections::BTreeSet::new();
                 for entry in entries {
-                    self.apply(entry);
+                    if !self.sender_owns_column(from, entry.col) {
+                        continue;
+                    }
+                    cols.insert(entry.col);
+                    for ready in self.admit(entry) {
+                        self.apply(ready);
+                    }
+                }
+                if let Some(ack) = ack_to {
+                    for col in cols {
+                        let upto = self.channels[col].next_seq;
+                        env.send(ack, Msg::ParityAck { col, upto });
+                    }
                 }
             }
             Msg::FindRecord { key, token } => {
@@ -138,6 +188,7 @@ impl ParityBucket {
                         .iter()
                         .map(|(r, rec)| (*r, rec.keys.clone(), rec.cell.clone()))
                         .collect(),
+                    col_seqs: self.channels.iter().map(|c| c.next_seq).collect(),
                 };
                 env.send(
                     from,
@@ -166,7 +217,13 @@ impl ParityBucket {
                 );
             }
             Msg::Probe { token } => {
-                env.send(from, Msg::ProbeAck { token, bucket: None });
+                env.send(
+                    from,
+                    Msg::ProbeAck {
+                        token,
+                        bucket: None,
+                    },
+                );
             }
             Msg::SelfReport => {
                 let coord = self.shared.registry.borrow().coordinator;
@@ -179,6 +236,21 @@ impl ParityBucket {
                 );
             }
             Msg::OwnershipAck => { /* still the owner: resume serving */ }
+            Msg::InitParity { group, index, .. } if group == self.group && index == self.index => {
+                // Duplicated provisioning order (coordinator retransmission
+                // racing the original): already initialised, nothing to do.
+            }
+            Msg::Install {
+                group,
+                index,
+                token,
+                ..
+            } if group == self.group && index == Some(self.index) => {
+                // Duplicated install: the first copy built this bucket (via
+                // the Blank-node path); the coordinator is retransmitting
+                // because our InstallAck was lost. Re-ack, don't rebuild.
+                env.send(from, Msg::InstallAck { token });
+            }
             other => {
                 debug_assert!(
                     false,
@@ -189,15 +261,60 @@ impl ParityBucket {
         }
     }
 
+    /// Fencing check: a Δ for column `col` is honoured only when it comes
+    /// from the node the registry currently maps to that bucket. A node
+    /// displaced by group recovery (failed or merely partitioned) keeps
+    /// retransmitting until its Retire lands; accepting its stale stream
+    /// would corrupt the rebuilt column's Δ channel. Columns beyond the
+    /// current file size are accepted from anyone: during a merge the
+    /// disappearing bucket's final retraction Δs can still be in flight
+    /// when the registry shrinks.
+    fn sender_owns_column(&self, from: NodeId, col: usize) -> bool {
+        let m = self.shared.cfg.group_size as u64;
+        let bucket = self.group * m + col as u64;
+        let reg = self.shared.registry.borrow();
+        if bucket as usize >= reg.data_count() {
+            return true;
+        }
+        reg.data_node(bucket) == from
+    }
+
+    /// Admission control for one Δ: returns the entries now ready to apply,
+    /// in stream order. A duplicate (seq already applied) yields nothing; a
+    /// future Δ is buffered until the gap fills; the expected Δ is returned
+    /// together with any buffered successors it unblocks.
+    fn admit(&mut self, entry: DeltaEntry) -> Vec<DeltaEntry> {
+        let chan = &mut self.channels[entry.col];
+        match entry.seq.cmp(&chan.next_seq) {
+            std::cmp::Ordering::Less => Vec::new(), // duplicate: drop
+            std::cmp::Ordering::Greater => {
+                chan.buffered.insert(entry.seq, entry);
+                Vec::new()
+            }
+            std::cmp::Ordering::Equal => {
+                let mut ready = vec![entry];
+                chan.next_seq += 1;
+                while let Some(e) = chan.buffered.remove(&chan.next_seq) {
+                    chan.next_seq += 1;
+                    ready.push(e);
+                }
+                ready
+            }
+        }
+    }
+
     /// Fold one Δ into the parity record at `entry.rank`:
     /// `cell ^= Γ[col][index] · Δ`, plus the key-list effect.
     fn apply(&mut self, entry: DeltaEntry) {
         let m = self.shared.cfg.group_size;
         let cell_len = self.shared.cfg.cell_len();
-        let rec = self.records.entry(entry.rank).or_insert_with(|| ParityRecord {
-            keys: vec![None; m],
-            cell: vec![0u8; cell_len],
-        });
+        let rec = self
+            .records
+            .entry(entry.rank)
+            .or_insert_with(|| ParityRecord {
+                keys: vec![None; m],
+                cell: vec![0u8; cell_len],
+            });
         match entry.key_op {
             KeyOp::Add(key) => {
                 debug_assert!(rec.keys[entry.col].is_none(), "column already occupied");
@@ -220,5 +337,85 @@ impl ParityBucket {
             debug_assert!(cell_is_zero(&rec.cell), "ghost parity after last removal");
             self.records.remove(&entry.rank);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::registry::Shared;
+
+    fn bucket() -> ParityBucket {
+        let cfg = Config {
+            group_size: 4,
+            record_len: 8,
+            ..Config::default()
+        };
+        ParityBucket::new(Shared::new(cfg), 0, 0, 1)
+    }
+
+    fn delta(seq: u64, col: usize, key: u64, cell_len: usize) -> DeltaEntry {
+        DeltaEntry {
+            seq,
+            rank: seq,
+            col,
+            key_op: KeyOp::Add(key),
+            delta_cell: vec![1u8; cell_len],
+        }
+    }
+
+    #[test]
+    fn admit_is_exactly_once_in_order() {
+        let mut p = bucket();
+        let cl = p.shared.cfg.cell_len();
+
+        // In-order Δ applies immediately.
+        let ready = p.admit(delta(0, 0, 10, cl));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(p.channels[0].next_seq, 1);
+
+        // Duplicate of an already-applied Δ is dropped.
+        assert!(p.admit(delta(0, 0, 10, cl)).is_empty());
+        assert_eq!(p.channels[0].next_seq, 1);
+
+        // A future Δ is buffered, not applied.
+        assert!(p.admit(delta(3, 0, 13, cl)).is_empty());
+        assert!(p.admit(delta(2, 0, 12, cl)).is_empty());
+        assert_eq!(p.channels[0].next_seq, 1);
+
+        // Filling the gap releases the whole contiguous run, in order.
+        let ready = p.admit(delta(1, 0, 11, cl));
+        let seqs: Vec<u64> = ready.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert_eq!(p.channels[0].next_seq, 4);
+        assert!(p.channels[0].buffered.is_empty());
+
+        // A duplicate of a buffered-then-applied Δ is also dropped.
+        assert!(p.admit(delta(2, 0, 12, cl)).is_empty());
+    }
+
+    #[test]
+    fn admit_channels_are_independent_per_column() {
+        let mut p = bucket();
+        let cl = p.shared.cfg.cell_len();
+        assert_eq!(p.admit(delta(0, 0, 1, cl)).len(), 1);
+        // Column 1 starts at seq 0 regardless of column 0's progress.
+        assert!(p.admit(delta(1, 1, 2, cl)).is_empty());
+        assert_eq!(p.admit(delta(0, 1, 3, cl)).len(), 2);
+        assert_eq!(p.channels[0].next_seq, 1);
+        assert_eq!(p.channels[1].next_seq, 2);
+    }
+
+    #[test]
+    fn from_content_resumes_streams() {
+        let p0 = bucket();
+        let shared = p0.shared.clone();
+        let mut p = ParityBucket::from_content(shared, 0, 0, 1, Vec::new(), vec![5, 0, 2, 0]);
+        let cl = p.shared.cfg.cell_len();
+        // Δs below the restored watermark are recognised as duplicates.
+        assert!(p.admit(delta(4, 0, 9, cl)).is_empty());
+        assert_eq!(p.admit(delta(5, 0, 9, cl)).len(), 1);
+        assert_eq!(p.admit(delta(2, 2, 9, cl)).len(), 1);
     }
 }

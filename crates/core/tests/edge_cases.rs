@@ -31,7 +31,10 @@ fn group_size_one_behaves_like_per_bucket_replication() {
     }
     file.verify_integrity().unwrap();
     let r = file.storage_report();
-    assert_eq!(r.parity_buckets, r.data_buckets, "one parity bucket per data bucket");
+    assert_eq!(
+        r.parity_buckets, r.data_buckets,
+        "one parity bucket per data bucket"
+    );
     // Failure of any single bucket recoverable.
     let mut cfg2 = file.config().clone();
     cfg2.latency = LatencyModel::default();
@@ -53,7 +56,10 @@ fn large_group_small_file() {
     for key in 0..120u64 {
         file.insert(key, vec![7u8; 20]).unwrap();
     }
-    assert!(file.bucket_count() < 64, "file must not have filled group 0");
+    assert!(
+        file.bucket_count() < 64,
+        "file must not have filled group 0"
+    );
     file.verify_integrity().unwrap();
     // Two failures still recoverable from mostly-phantom columns.
     file.crash_data_bucket(0);
@@ -117,10 +123,18 @@ fn acked_parity_mode_roundtrip() {
             f.insert(key, vec![1u8; 24]).unwrap();
         }
     });
-    let structural: u64 = ["overflow", "split", "split-load", "split-done", "init-data", "init-parity", "parity-batch"]
-        .iter()
-        .map(|k| cost.count(k))
-        .sum();
+    let structural: u64 = [
+        "overflow",
+        "split",
+        "split-load",
+        "split-done",
+        "init-data",
+        "init-parity",
+        "parity-batch",
+    ]
+    .iter()
+    .map(|k| cost.count(k))
+    .sum();
     let per_op = (cost.total_messages() - structural) as f64 / 20.0;
     assert!(
         (6.0..=6.6).contains(&per_op),
@@ -147,11 +161,7 @@ fn identical_runs_are_bit_identical() {
             .expect("some key lives in bucket 5");
         let _ = file.lookup(victim).unwrap();
         let hits = file.scan(FilterSpec::KeyRange(0, u64::MAX / 7)).unwrap();
-        (
-            file.stats().total_messages(),
-            file.now_us(),
-            hits,
-        )
+        (file.stats().total_messages(), file.now_us(), hits)
     }
     assert_eq!(run(), run());
 }
@@ -160,10 +170,7 @@ fn identical_runs_are_bit_identical() {
 fn small_pool_is_rejected_up_front() {
     let mut cfg = base();
     cfg.node_pool = 3; // cannot even host coordinator+client+bucket+parity
-    assert!(matches!(
-        LhrsFile::new(cfg),
-        Err(Error::InvalidConfig(_))
-    ));
+    assert!(matches!(LhrsFile::new(cfg), Err(Error::InvalidConfig(_))));
 }
 
 #[test]

@@ -82,7 +82,8 @@ fn update_and_delete_maintain_parity() {
         file.insert(key, payload(key)).unwrap();
     }
     for key in (0..200u64).step_by(3) {
-        file.update(key, format!("updated-{key}").into_bytes()).unwrap();
+        file.update(key, format!("updated-{key}").into_bytes())
+            .unwrap();
     }
     for key in (0..200u64).step_by(5) {
         // Keys divisible by 15 were updated then deleted.
@@ -162,7 +163,10 @@ fn lookup_through_failed_bucket_served_degraded_and_recovered() {
 
     // The lookup must still succeed (timeout → coordinator → degraded
     // read), and the bucket must be rebuilt onto a spare.
-    assert_eq!(file.lookup(victim_key).unwrap().unwrap(), payload(victim_key));
+    assert_eq!(
+        file.lookup(victim_key).unwrap().unwrap(),
+        payload(victim_key)
+    );
     let recovered = file
         .events()
         .iter()
@@ -173,7 +177,11 @@ fn lookup_through_failed_bucket_served_degraded_and_recovered() {
     // other records.
     file.verify_integrity().unwrap();
     for key in 0..400u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 
@@ -208,7 +216,11 @@ fn double_failure_recovered_with_k2() {
     assert!(report.recovered, "{report:?}");
     file.verify_integrity().unwrap();
     for key in 0..600u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 
@@ -446,10 +458,18 @@ fn message_costs_match_the_paper_model() {
             f.insert(lhrs_lh::scramble(key), payload(key)).unwrap();
         }
     });
-    let structural: u64 = ["overflow", "split", "split-load", "split-done", "init-data", "init-parity", "parity-batch"]
-        .iter()
-        .map(|k| cost.count(k))
-        .sum();
+    let structural: u64 = [
+        "overflow",
+        "split",
+        "split-load",
+        "split-done",
+        "init-data",
+        "init-parity",
+        "parity-batch",
+    ]
+    .iter()
+    .map(|k| cost.count(k))
+    .sum();
     let op_msgs = cost.total_messages() - structural;
     let per_insert = op_msgs as f64 / 50.0;
     // 1 (request) + 2 (parity deltas, k = 2), small slack for forwarding.
@@ -464,7 +484,8 @@ fn default_config_demo_matches_docs() {
     // Mirrors the crate-level example (with default latency + jitter).
     let mut file = LhrsFile::new(Config::default()).unwrap();
     for key in 0..500u64 {
-        file.insert(key, format!("value-{key}").into_bytes()).unwrap();
+        file.insert(key, format!("value-{key}").into_bytes())
+            .unwrap();
     }
     assert_eq!(file.lookup(42).unwrap().unwrap(), b"value-42");
     let victim = file.address_of(42);

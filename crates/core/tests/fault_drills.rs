@@ -1,0 +1,366 @@
+//! Network-fault drills: the acceptance gauntlet for the hardened protocol
+//! stack. A lossy, duplicating, reordering network with a timed partition
+//! must never lose an acknowledged record, never drift parity, and — being
+//! a deterministic simulation — must reproduce bit-for-bit across runs.
+//!
+//! The model discipline: an operation the driver API acknowledged
+//! (`Ok`/`Err(DuplicateKey)`/`Err(KeyNotFound)`) updates the oracle; an
+//! operation that failed after retries (`Err(Stuck)`) leaves the key in an
+//! *unknown* state (the request may or may not have been applied before the
+//! ack was lost), so the key is tainted and excluded from exact-match
+//! assertions. Everything untainted must read back exactly.
+
+use std::collections::{BTreeMap, HashSet};
+
+use lhrs_core::{Config, Error, FaultPlan, LhrsFile, Partition};
+use lhrs_sim::LatencyModel;
+use lhrs_testkit::{cases, Rng};
+
+/// Base configuration for chaos drills: small buckets so splits trigger
+/// early, and both acknowledgement paths on — loss without retransmission
+/// has no correctness story (see `Config::ack_parity`).
+fn chaos_cfg() -> Config {
+    Config {
+        group_size: 4,
+        initial_k: 2,
+        bucket_capacity: 8,
+        record_len: 32,
+        ack_writes: true,
+        ack_parity: true,
+        latency: LatencyModel::instant(),
+        node_pool: 512,
+        ..Config::default()
+    }
+}
+
+fn payload(key: u64, generation: u64) -> Vec<u8> {
+    format!("chaos-{key}-{generation}").into_bytes()
+}
+
+/// The oracle: last acknowledged value per key (`None` = acknowledged
+/// delete), plus the taint set of keys whose state is unknown.
+#[derive(Default)]
+struct Oracle {
+    acked: BTreeMap<u64, Option<Vec<u8>>>,
+    tainted: HashSet<u64>,
+}
+
+impl Oracle {
+    fn live_untainted(&self) -> Vec<u64> {
+        self.acked
+            .iter()
+            .filter(|(k, v)| v.is_some() && !self.tainted.contains(*k))
+            .map(|(k, _)| *k)
+            .collect()
+    }
+}
+
+/// What a drill run produced, for determinism comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct DrillOutcome {
+    now_us: u64,
+    total_messages: u64,
+    fault_dropped: u64,
+    partition_dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    buckets: u64,
+    acked: Vec<(u64, Option<Vec<u8>>)>,
+    tainted: usize,
+}
+
+/// One full chaos drill: clean growth, a faulty phase (loss + duplication +
+/// reordering + one timed partition), healing, then total verification.
+fn run_chaos_drill(seed: u64, ops: usize, with_partition: bool) -> DrillOutcome {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    let mut oracle = Oracle::default();
+    let mut rng = Rng::new(seed);
+    let mut next_key = 0u64;
+
+    // Phase A — fault-free growth past the first splits, so the faulty
+    // phase runs against a multi-bucket, multi-group file.
+    for _ in 0..40 {
+        let key = next_key;
+        next_key += 1;
+        file.insert(key, payload(key, 0)).unwrap();
+        oracle.acked.insert(key, Some(payload(key, 0)));
+    }
+    assert!(file.bucket_count() > 1, "phase A must have split");
+    file.verify_integrity().unwrap();
+
+    // Phase B — the network turns hostile. ≥1% random loss, duplication,
+    // reordering, and (optionally) a timed partition isolating the node
+    // behind data bucket 1.
+    let mut plan = FaultPlan::new(seed)
+        .drop_permille(15)
+        .dup_permille(10)
+        .reorder_permille(20)
+        .reorder_window_us(300);
+    if with_partition {
+        let now = file.now_us();
+        let victim = file.data_node_id(1);
+        plan = plan.partition(Partition::new(vec![victim], now + 2_000, now + 40_000));
+    }
+    file.set_fault_plan(plan);
+
+    for _ in 0..ops {
+        let roll = rng.below(100);
+        if roll < 55 {
+            // Insert a fresh key.
+            let key = next_key;
+            next_key += 1;
+            match file.insert(key, payload(key, 1)) {
+                Ok(()) => {
+                    oracle.acked.insert(key, Some(payload(key, 1)));
+                }
+                Err(Error::Stuck(_)) => {
+                    oracle.tainted.insert(key);
+                }
+                Err(e) => panic!("insert {key}: {e}"),
+            }
+        } else if roll < 70 {
+            // Update a live untainted key.
+            let Some(&key) = rng.choose(&oracle.live_untainted()) else {
+                continue;
+            };
+            let generation = rng.range(2, 1_000_000);
+            match file.update(key, payload(key, generation)) {
+                Ok(()) => {
+                    oracle.acked.insert(key, Some(payload(key, generation)));
+                }
+                Err(Error::Stuck(_)) => {
+                    oracle.tainted.insert(key);
+                }
+                Err(e) => panic!("acked key {key} lost on update: {e}"),
+            }
+        } else if roll < 80 {
+            // Delete a live untainted key.
+            let Some(&key) = rng.choose(&oracle.live_untainted()) else {
+                continue;
+            };
+            match file.delete(key) {
+                Ok(()) => {
+                    oracle.acked.insert(key, None);
+                }
+                Err(Error::Stuck(_)) => {
+                    oracle.tainted.insert(key);
+                }
+                Err(e) => panic!("acked key {key} lost on delete: {e}"),
+            }
+        } else {
+            // Lookup: a successful read of an untainted key must match the
+            // oracle even mid-fault; a timeout is tolerated while the
+            // network is hostile.
+            let Some(&key) = rng.choose(&oracle.live_untainted()) else {
+                continue;
+            };
+            match file.lookup(key) {
+                Ok(found) => assert_eq!(
+                    found.as_ref(),
+                    oracle.acked[&key].as_ref(),
+                    "mid-fault read of acked key {key} diverged"
+                ),
+                Err(Error::Stuck(_)) => {}
+                Err(e) => panic!("lookup {key}: {e}"),
+            }
+        }
+    }
+
+    // Phase C — the network heals; drain in-flight traffic, then every
+    // acknowledged operation must be durable and parity must be exact.
+    file.clear_fault_plan();
+    let _ = file.lookup(0);
+    for (key, value) in &oracle.acked {
+        if oracle.tainted.contains(key) {
+            continue;
+        }
+        let found = file.lookup(*key).unwrap();
+        assert_eq!(
+            found.as_ref(),
+            value.as_ref(),
+            "acked key {key} lost after healing"
+        );
+    }
+    file.verify_integrity().unwrap();
+
+    let stats = file.stats();
+    DrillOutcome {
+        now_us: file.now_us(),
+        total_messages: stats.total_messages(),
+        fault_dropped: stats.fault_dropped,
+        partition_dropped: stats.partition_dropped,
+        duplicated: stats.duplicated,
+        reordered: stats.reordered,
+        buckets: file.bucket_count(),
+        acked: oracle.acked.into_iter().collect(),
+        tainted: oracle.tainted.len(),
+    }
+}
+
+/// The headline acceptance drill: ≥1% loss + duplication + reordering + a
+/// timed partition, zero acked-data loss, clean parity.
+#[test]
+fn chaos_drill_never_loses_acked_data() {
+    let outcome = run_chaos_drill(0xC0FFEE, 120, true);
+    assert!(outcome.fault_dropped > 0, "loss must actually fire");
+    assert!(outcome.duplicated > 0, "duplication must actually fire");
+    assert!(outcome.reordered > 0, "reordering must actually fire");
+    assert!(
+        outcome.partition_dropped > 0,
+        "the partition must actually drop traffic"
+    );
+}
+
+/// The same drill twice: a deterministic simulation under a deterministic
+/// fault plan must reproduce every counter and every byte.
+#[test]
+fn chaos_drill_is_deterministic() {
+    let a = run_chaos_drill(0xDECADE, 80, true);
+    let b = run_chaos_drill(0xDECADE, 80, true);
+    assert_eq!(a, b);
+}
+
+/// Property-style sweep: many seeds, randomized fault rates, no acked loss
+/// at any of them. Partitions excluded here (the dedicated drill covers
+/// them); rates stay within the retransmission budget.
+#[test]
+fn chaos_sweep_over_seeds() {
+    cases("chaos_sweep", 6, |rng| {
+        let seed = rng.next_u64();
+        run_chaos_drill(seed, 50, false);
+    });
+}
+
+/// Idempotency, per message type — client requests. Every message is
+/// duplicated (`dup_permille(1000)`), so each insert `Req` arrives at its
+/// data bucket at least twice; the replay cache must answer the duplicate
+/// without re-applying, or the client would see `DuplicateKey` for its own
+/// retransmission.
+#[test]
+fn duplicated_insert_requests_are_applied_once() {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    file.set_fault_plan(FaultPlan::new(7).dup_permille(1000));
+    for key in 0..30u64 {
+        file.insert(key, payload(key, 0)).unwrap();
+    }
+    for key in 0..30u64 {
+        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key, 0));
+    }
+    assert!(file.stats().duplicated > 0);
+    file.clear_fault_plan();
+    file.verify_integrity().unwrap();
+}
+
+/// Idempotency, per message type — Δ-commits. Updates emit one Δ per
+/// parity bucket; with every message duplicated, each Δ arrives twice and
+/// the per-column sequence check must drop the copy, or parity XORs the
+/// delta in twice and drifts (`verify_integrity` recomputes the full
+/// Reed–Solomon encoding, so any double-apply is caught).
+#[test]
+fn duplicated_delta_commits_do_not_drift_parity() {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    for key in 0..25u64 {
+        file.insert(key, payload(key, 0)).unwrap();
+    }
+    file.set_fault_plan(FaultPlan::new(11).dup_permille(1000));
+    for key in 0..25u64 {
+        file.update(key, payload(key, 1)).unwrap();
+    }
+    for key in (0..25u64).step_by(3) {
+        file.delete(key).unwrap();
+    }
+    assert!(file.stats().duplicated > 0);
+    file.clear_fault_plan();
+    file.verify_integrity().unwrap();
+}
+
+/// Loss alone, at 3%: the retransmission paths (client retry, Go-Back-N Δ
+/// resend, coordinator re-probe) must absorb it with no failed operations
+/// at all — 3% is far inside the retry budget.
+#[test]
+fn pure_loss_is_absorbed_by_retransmission() {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    file.set_fault_plan(FaultPlan::new(3).drop_permille(30));
+    for key in 0..60u64 {
+        file.insert(key, payload(key, 0)).unwrap();
+    }
+    for key in 0..60u64 {
+        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key, 0));
+    }
+    assert!(file.stats().fault_dropped > 0, "loss must actually fire");
+    file.clear_fault_plan();
+    file.verify_integrity().unwrap();
+}
+
+/// Heavy reordering alone: per-column Δ sequencing must re-serialize the
+/// stream (buffer futures, drain in order) with exact parity at the end.
+#[test]
+fn pure_reordering_keeps_parity_exact() {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    file.set_fault_plan(
+        FaultPlan::new(5)
+            .reorder_permille(250)
+            .reorder_window_us(400),
+    );
+    for key in 0..60u64 {
+        file.insert(key, payload(key, 0)).unwrap();
+    }
+    for key in (0..60u64).step_by(2) {
+        file.update(key, payload(key, 1)).unwrap();
+    }
+    assert!(file.stats().reordered > 0, "reordering must actually fire");
+    file.clear_fault_plan();
+    file.verify_integrity().unwrap();
+    for key in 0..60u64 {
+        let expect = if key % 2 == 0 {
+            payload(key, 1)
+        } else {
+            payload(key, 0)
+        };
+        assert_eq!(file.lookup(key).unwrap().unwrap(), expect);
+    }
+}
+
+/// A focused partition drill: isolate one data node for a fixed window.
+/// Operations during the window may fail after retries (tolerated); once
+/// the partition lifts, every acknowledged record must be readable —
+/// whether the coordinator recovered the bucket onto a spare mid-window or
+/// the original node answered again after healing.
+#[test]
+fn timed_partition_heals_without_acked_loss() {
+    let mut file = LhrsFile::new(chaos_cfg()).unwrap();
+    for key in 0..40u64 {
+        file.insert(key, payload(key, 0)).unwrap();
+    }
+    let now = file.now_us();
+    let victim = file.data_node_id(1);
+    file.set_fault_plan(FaultPlan::new(9).partition(Partition::new(
+        vec![victim],
+        now,
+        now + 60_000,
+    )));
+
+    let mut acked: Vec<u64> = (0..40).collect();
+    for key in 40..70u64 {
+        match file.insert(key, payload(key, 0)) {
+            Ok(()) => acked.push(key),
+            Err(Error::Stuck(_)) => {}
+            Err(e) => panic!("insert {key}: {e}"),
+        }
+    }
+    assert!(
+        file.stats().partition_dropped > 0,
+        "the partition must actually drop traffic"
+    );
+
+    file.clear_fault_plan();
+    let _ = file.lookup(0);
+    for key in acked {
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key, 0),
+            "acked key {key} lost across the partition"
+        );
+    }
+    file.verify_integrity().unwrap();
+}

@@ -54,7 +54,11 @@ fn double_failure_recovery_over_gf16() {
     assert!(rep.recovered, "{rep:?}");
     file.verify_integrity().unwrap();
     for key in 0..400u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 

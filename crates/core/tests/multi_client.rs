@@ -61,7 +61,10 @@ fn clients_with_wildly_different_staleness_coexist() {
         file.insert(lhrs_lh::scramble(key), vec![1u8; 8]).unwrap();
     }
     let c = file.add_client();
-    assert!(file.client_image(a) == image_a_before, "A idled while the file grew");
+    assert!(
+        file.client_image(a) == image_a_before,
+        "A idled while the file grew"
+    );
     for key in 0..1500u64 {
         let k = lhrs_lh::scramble(key);
         assert_eq!(file.lookup_via(a, k).unwrap().unwrap(), vec![1u8; 8]);

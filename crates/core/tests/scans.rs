@@ -51,7 +51,9 @@ fn probabilistic_selective_scan_saves_reply_messages() {
     load(&mut det_file, 1000);
     let det_m = det_file.bucket_count();
     let det = det_file.cost_of(|f| {
-        let hits = f.scan(FilterSpec::KeyRange(needle_key, needle_key + 1)).unwrap();
+        let hits = f
+            .scan(FilterSpec::KeyRange(needle_key, needle_key + 1))
+            .unwrap();
         assert_eq!(hits.len(), 1);
     });
 
@@ -61,7 +63,9 @@ fn probabilistic_selective_scan_saves_reply_messages() {
     load(&mut prob_file, 1000);
     assert_eq!(prob_file.bucket_count(), det_m, "same workload, same file");
     let prob = prob_file.cost_of(|f| {
-        let hits = f.scan(FilterSpec::KeyRange(needle_key, needle_key + 1)).unwrap();
+        let hits = f
+            .scan(FilterSpec::KeyRange(needle_key, needle_key + 1))
+            .unwrap();
         assert_eq!(hits.len(), 1);
     });
 

@@ -38,7 +38,11 @@ fn unnoticed_outage_resumes_ownership() {
     );
     file.verify_integrity().unwrap();
     for key in 0..300u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 
@@ -55,7 +59,10 @@ fn replaced_node_is_demoted_to_spare() {
     let bucket = file.address_of(victim_key);
     file.crash_data_bucket(bucket);
     // Access during the outage → degraded read + recovery onto a spare.
-    assert_eq!(file.lookup(victim_key).unwrap().unwrap(), payload(victim_key));
+    assert_eq!(
+        file.lookup(victim_key).unwrap().unwrap(),
+        payload(victim_key)
+    );
     let recovered = file
         .events()
         .iter()
@@ -68,7 +75,11 @@ fn replaced_node_is_demoted_to_spare() {
     );
     file.verify_integrity().unwrap();
     for key in 0..300u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
     // The demoted node is reusable: grow the file and everything stays
     // consistent.

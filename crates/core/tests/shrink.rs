@@ -37,7 +37,11 @@ fn merge_undoes_one_split() {
     assert!(merged);
     file.verify_integrity().unwrap();
     for key in 0..200u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 
@@ -87,7 +91,11 @@ fn stale_ahead_client_coarsens_its_image() {
     // Lookups still work: the client coarsens its image via the allocation
     // table instead of addressing ghosts.
     for key in 0..300u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
     // Scans too.
     let hits = file.scan(FilterSpec::All).unwrap();
@@ -112,7 +120,11 @@ fn shrink_then_regrow_reuses_pool_nodes() {
     assert!(file.bucket_count() >= m_big);
     file.verify_integrity().unwrap();
     for key in 0..900u64 {
-        assert_eq!(file.lookup(key).unwrap().unwrap(), payload(key), "key {key}");
+        assert_eq!(
+            file.lookup(key).unwrap().unwrap(),
+            payload(key),
+            "key {key}"
+        );
     }
 }
 

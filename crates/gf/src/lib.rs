@@ -81,10 +81,7 @@ mod axiom_tests {
                 for &c in elems {
                     // Associativity and distributivity.
                     assert_eq!(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
-                    assert_eq!(
-                        F::mul(a, F::add(b, c)),
-                        F::add(F::mul(a, b), F::mul(a, c))
-                    );
+                    assert_eq!(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
                 }
             }
         }

@@ -1,75 +1,90 @@
 //! Property-based tests of the field axioms and slice-kernel linearity for
 //! all three fields. These are the invariants the Reed–Solomon layer and the
-//! LH*RS parity Δ-protocol depend on.
+//! LH*RS parity Δ-protocol depend on. Each property runs as seeded cases
+//! via `lhrs-testkit` (hermetic stand-in for proptest).
 
 use lhrs_gf::{add_slice, GaloisField, Gf16, Gf4, Gf8};
-use proptest::prelude::*;
+use lhrs_testkit::cases;
 
-fn axioms<F: GaloisField>(
-    a: F::Elem,
-    b: F::Elem,
-    c: F::Elem,
-) -> Result<(), TestCaseError> {
+fn axioms<F: GaloisField>(a: F::Elem, b: F::Elem, c: F::Elem) {
     // Group/ring axioms.
-    prop_assert_eq!(F::add(a, b), F::add(b, a));
-    prop_assert_eq!(F::mul(a, b), F::mul(b, a));
-    prop_assert_eq!(F::add(F::add(a, b), c), F::add(a, F::add(b, c)));
-    prop_assert_eq!(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
-    prop_assert_eq!(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
-    prop_assert_eq!(F::add(a, F::zero()), a);
-    prop_assert_eq!(F::mul(a, F::one()), a);
-    prop_assert_eq!(F::add(a, a), F::zero());
+    assert_eq!(F::add(a, b), F::add(b, a));
+    assert_eq!(F::mul(a, b), F::mul(b, a));
+    assert_eq!(F::add(F::add(a, b), c), F::add(a, F::add(b, c)));
+    assert_eq!(F::mul(F::mul(a, b), c), F::mul(a, F::mul(b, c)));
+    assert_eq!(F::mul(a, F::add(b, c)), F::add(F::mul(a, b), F::mul(a, c)));
+    assert_eq!(F::add(a, F::zero()), a);
+    assert_eq!(F::mul(a, F::one()), a);
+    assert_eq!(F::add(a, a), F::zero());
     // Division is the inverse of multiplication.
     if b != F::zero() {
         let q = F::div(a, b).unwrap();
-        prop_assert_eq!(F::mul(q, b), a);
+        assert_eq!(F::mul(q, b), a);
     }
-    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn gf8_axioms(a: u8, b: u8, c: u8) {
-        axioms::<Gf8>(a, b, c)?;
-    }
+#[test]
+fn gf8_axioms() {
+    cases("gf8_axioms", 256, |rng| {
+        axioms::<Gf8>(rng.next_u8(), rng.next_u8(), rng.next_u8());
+    });
+}
 
-    #[test]
-    fn gf16_axioms(a: u16, b: u16, c: u16) {
-        axioms::<Gf16>(a, b, c)?;
-    }
+#[test]
+fn gf16_axioms() {
+    cases("gf16_axioms", 256, |rng| {
+        axioms::<Gf16>(rng.next_u16(), rng.next_u16(), rng.next_u16());
+    });
+}
 
-    #[test]
-    fn gf4_axioms(a in 0u8..16, b in 0u8..16, c in 0u8..16) {
-        axioms::<Gf4>(a, b, c)?;
-    }
+#[test]
+fn gf4_axioms() {
+    cases("gf4_axioms", 256, |rng| {
+        axioms::<Gf4>(
+            rng.below(16) as u8,
+            rng.below(16) as u8,
+            rng.below(16) as u8,
+        );
+    });
+}
 
-    /// mul_add_slice must be linear: applying (c1 then c2) equals applying
-    /// (c1 ^+ c2 products) — i.e. accumulation over GF distributes, which is
-    /// exactly what lets parity buckets apply record deltas incrementally.
-    #[test]
-    fn gf8_mul_add_slice_is_linear(
-        c1: u8,
-        c2: u8,
-        data in proptest::collection::vec(any::<u8>(), 0..257),
-    ) {
+/// mul_add_slice must be linear: applying (c1 then c2) equals applying
+/// (c1 ^+ c2 products) — i.e. accumulation over GF distributes, which is
+/// exactly what lets parity buckets apply record deltas incrementally.
+#[test]
+fn gf8_mul_add_slice_is_linear() {
+    cases("gf8_mul_add_slice_is_linear", 128, |rng| {
+        let c1 = rng.next_u8();
+        let c2 = rng.next_u8();
+        let data = {
+            let n = rng.range_usize(0, 257);
+            rng.bytes(n)
+        };
         let mut acc = vec![0u8; data.len()];
         Gf8::mul_add_slice(c1, &data, &mut acc);
         Gf8::mul_add_slice(c2, &data, &mut acc);
         let mut direct = vec![0u8; data.len()];
         Gf8::mul_add_slice(c1 ^ c2, &data, &mut direct);
-        prop_assert_eq!(acc, direct);
-    }
+        assert_eq!(acc, direct);
+    });
+}
 
-    /// Scalar multiplication distributes over buffer XOR:
-    /// c*(x ^ y) == c*x ^ c*y. This is the correctness core of the LH*RS
-    /// Δ-commit: sending Δ = new ^ old and accumulating γ·Δ onto the parity
-    /// yields the same parity as re-encoding from scratch.
-    #[test]
-    fn gf8_delta_commit_equivalence(
-        c: u8,
-        old in proptest::collection::vec(any::<u8>(), 1..129),
-        new_seed in proptest::collection::vec(any::<u8>(), 1..129),
-    ) {
+/// Scalar multiplication distributes over buffer XOR:
+/// c*(x ^ y) == c*x ^ c*y. This is the correctness core of the LH*RS
+/// Δ-commit: sending Δ = new ^ old and accumulating γ·Δ onto the parity
+/// yields the same parity as re-encoding from scratch.
+#[test]
+fn gf8_delta_commit_equivalence() {
+    cases("gf8_delta_commit_equivalence", 128, |rng| {
+        let c = rng.next_u8();
+        let old = {
+            let n = rng.range_usize(1, 129);
+            rng.bytes(n)
+        };
+        let new_seed = {
+            let n = rng.range_usize(1, 129);
+            rng.bytes(n)
+        };
         let n = old.len().min(new_seed.len());
         let old = &old[..n];
         let newv = &new_seed[..n];
@@ -84,62 +99,80 @@ proptest! {
         // Parity from encoding `new` directly.
         let mut direct = vec![0u8; n];
         Gf8::mul_add_slice(c, newv, &mut direct);
-        prop_assert_eq!(parity, direct);
-    }
+        assert_eq!(parity, direct);
+    });
+}
 
-    #[test]
-    fn gf16_mul_slice_then_inverse_roundtrips(
-        c in 1u16..,
-        data in proptest::collection::vec(any::<u8>(), 0..65).prop_map(|mut v| {
-            if v.len() % 2 == 1 { v.pop(); }
-            v
-        }),
-    ) {
+#[test]
+fn gf16_mul_slice_then_inverse_roundtrips() {
+    cases("gf16_mul_slice_then_inverse_roundtrips", 128, |rng| {
+        let c = rng.range(1, u16::MAX as u64 + 1) as u16;
+        let mut data = {
+            let n = rng.range_usize(0, 65);
+            rng.bytes(n)
+        };
+        if data.len() % 2 == 1 {
+            data.pop();
+        }
         let mut enc = vec![0u8; data.len()];
         Gf16::mul_slice(c, &data, &mut enc);
         let mut dec = vec![0u8; data.len()];
         Gf16::mul_slice(Gf16::inv(c).unwrap(), &enc, &mut dec);
-        prop_assert_eq!(dec, data);
-    }
+        assert_eq!(dec, data);
+    });
+}
 
-    /// GF(2^4) packed-pair kernel agrees with nibble-wise scalar math.
-    #[test]
-    fn gf4_mul_slice_matches_scalar(
-        c in 0u8..16,
-        data in proptest::collection::vec(any::<u8>(), 0..129),
-    ) {
+/// GF(2^4) packed-pair kernel agrees with nibble-wise scalar math.
+#[test]
+fn gf4_mul_slice_matches_scalar() {
+    cases("gf4_mul_slice_matches_scalar", 128, |rng| {
+        let c = rng.below(16) as u8;
+        let data = {
+            let n = rng.range_usize(0, 129);
+            rng.bytes(n)
+        };
         let mut dst = vec![0u8; data.len()];
         Gf4::mul_slice(c, &data, &mut dst);
         for (s, d) in data.iter().zip(&dst) {
-            prop_assert_eq!(d & 0x0F, Gf4::mul(c, s & 0x0F));
-            prop_assert_eq!(d >> 4, Gf4::mul(c, s >> 4));
+            assert_eq!(d & 0x0F, Gf4::mul(c, s & 0x0F));
+            assert_eq!(d >> 4, Gf4::mul(c, s >> 4));
         }
-    }
+    });
+}
 
-    /// GF(2^16) mul_add accumulates exactly like per-symbol scalar math.
-    #[test]
-    fn gf16_mul_add_slice_matches_scalar(
-        c: u16,
-        syms in proptest::collection::vec(any::<u16>(), 0..65),
-        base in proptest::collection::vec(any::<u16>(), 0..65),
-    ) {
+/// GF(2^16) mul_add accumulates exactly like per-symbol scalar math.
+#[test]
+fn gf16_mul_add_slice_matches_scalar() {
+    cases("gf16_mul_add_slice_matches_scalar", 128, |rng| {
+        let c = rng.next_u16();
+        let syms: Vec<u16> = (0..rng.range_usize(0, 65))
+            .map(|_| rng.next_u16())
+            .collect();
+        let base: Vec<u16> = (0..rng.range_usize(0, 65))
+            .map(|_| rng.next_u16())
+            .collect();
         let n = syms.len().min(base.len());
         let src: Vec<u8> = syms[..n].iter().flat_map(|s| s.to_le_bytes()).collect();
         let mut dst: Vec<u8> = base[..n].iter().flat_map(|s| s.to_le_bytes()).collect();
         Gf16::mul_add_slice(c, &src, &mut dst);
         for i in 0..n {
             let got = u16::from_le_bytes([dst[2 * i], dst[2 * i + 1]]);
-            prop_assert_eq!(got, base[i] ^ Gf16::mul(c, syms[i]));
+            assert_eq!(got, base[i] ^ Gf16::mul(c, syms[i]));
         }
-    }
+    });
+}
 
-    #[test]
-    fn pow_laws_gf16(a: u16, e1 in 0u32..1000, e2 in 0u32..1000) {
+#[test]
+fn pow_laws_gf16() {
+    cases("pow_laws_gf16", 256, |rng| {
+        let a = rng.next_u16();
+        let e1 = rng.below(1000) as u32;
+        let e2 = rng.below(1000) as u32;
         if a != 0 {
-            prop_assert_eq!(
+            assert_eq!(
                 Gf16::mul(Gf16::pow(a, e1), Gf16::pow(a, e2)),
                 Gf16::pow(a, e1 + e2)
             );
         }
-    }
+    });
 }

@@ -29,7 +29,10 @@ impl SplitPlan {
 
 /// Partition `keys` (all currently resident in `plan.source`) into
 /// `(stayers, movers)` under the plan.
-pub fn partition_keys(plan: &SplitPlan, keys: impl IntoIterator<Item = u64>) -> (Vec<u64>, Vec<u64>) {
+pub fn partition_keys(
+    plan: &SplitPlan,
+    keys: impl IntoIterator<Item = u64>,
+) -> (Vec<u64>, Vec<u64>) {
     let mut stay = Vec::new();
     let mut go = Vec::new();
     for k in keys {
@@ -60,7 +63,9 @@ mod tests {
         }
         // Collect keys for the bucket about to split.
         let source = state.split_pointer();
-        let keys: Vec<u64> = (0..4000u64).filter(|&k| state.address(k) == source).collect();
+        let keys: Vec<u64> = (0..4000u64)
+            .filter(|&k| state.address(k) == source)
+            .collect();
         assert!(!keys.is_empty());
         let plan = state.split();
         let (stay, go) = partition_keys(&plan, keys.iter().copied());

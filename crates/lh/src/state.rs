@@ -1,7 +1,7 @@
 //! [`FileState`]: the coordinator's `(n, i)` file state and algorithm A1.
 
-use crate::split::SplitPlan;
 use crate::h;
+use crate::split::SplitPlan;
 
 /// The LH\* file state `(n, i)` kept by the coordinator: split pointer `n`,
 /// file level `i`, and the initial bucket count `N` (`n0`).
@@ -190,7 +190,11 @@ mod tests {
         s.split();
         for k in 0..1000u64 {
             if before[k as usize] != plan_source {
-                assert_eq!(s.address(k), before[k as usize], "key {k} moved unexpectedly");
+                assert_eq!(
+                    s.address(k),
+                    before[k as usize],
+                    "key {k} moved unexpectedly"
+                );
             }
         }
     }

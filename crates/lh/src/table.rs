@@ -89,7 +89,10 @@ impl<V> LhTable<V> {
     /// Look up a key.
     pub fn get(&self, key: u64) -> Option<&V> {
         let a = self.state.address(key) as usize;
-        self.buckets[a].iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        self.buckets[a]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
     }
 
     /// Remove a key, returning its value.
@@ -104,7 +107,9 @@ impl<V> LhTable<V> {
 
     /// Iterate over all `(key, value)` pairs in bucket order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.buckets.iter().flat_map(|b| b.iter().map(|(k, v)| (*k, v)))
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(k, v)| (*k, v)))
     }
 
     /// Undo the last split: fold the last bucket back into its split

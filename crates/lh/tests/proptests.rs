@@ -1,9 +1,9 @@
 //! Property-based tests of the LH* addressing guarantees: A1 correctness,
 //! the A2 two-hop bound under arbitrarily stale images, A3 convergence and
-//! safety, and split/merge inversion.
+//! safety, and split/merge inversion. Seeded cases via `lhrs-testkit`.
 
 use lhrs_lh::{a2_route, partition_keys, A2Outcome, ClientImage, FileState, LhTable};
-use proptest::prelude::*;
+use lhrs_testkit::{cases, Rng};
 
 /// Resolve a request via A2 from `start`, panicking on chains > 3.
 fn resolve(state: &FileState, start: u64, key: u64) -> (u64, usize) {
@@ -21,96 +21,107 @@ fn resolve(state: &FileState, start: u64, key: u64) -> (u64, usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_keys(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u64> {
+    (0..rng.range_usize(lo, hi))
+        .map(|_| rng.next_u64())
+        .collect()
+}
 
-    /// A1 always yields an existing bucket, for any file size and key.
-    #[test]
-    fn a1_address_in_range(splits in 0usize..300, key: u64, n0 in 1u64..5) {
+/// A1 always yields an existing bucket, for any file size and key.
+#[test]
+fn a1_address_in_range() {
+    cases("a1_address_in_range", 128, |rng| {
+        let splits = rng.range_usize(0, 300);
+        let key = rng.next_u64();
+        let n0 = rng.range(1, 5);
         let mut state = FileState::new(n0);
         for _ in 0..splits {
             state.split();
         }
-        prop_assert!(state.address(key) < state.bucket_count());
-    }
+        assert!(state.address(key) < state.bucket_count());
+    });
+}
 
-    /// The two-hop guarantee: a request starting at the address computed by
-    /// ANY older image reaches the correct bucket in at most 2 hops.
-    #[test]
-    fn a2_two_hop_bound(
-        splits in 0usize..200,
-        image_splits_frac in 0.0f64..1.0,
-        keys in proptest::collection::vec(any::<u64>(), 1..30),
-        n0 in 1u64..4,
-    ) {
+/// The two-hop guarantee: a request starting at the address computed by
+/// ANY older image reaches the correct bucket in at most 2 hops.
+#[test]
+fn a2_two_hop_bound() {
+    cases("a2_two_hop_bound", 128, |rng| {
+        let splits = rng.range_usize(0, 200);
+        let n0 = rng.range(1, 4);
         let mut state = FileState::new(n0);
         for _ in 0..splits {
             state.split();
         }
         // Build an image corresponding to an earlier point in history.
-        let image_splits = (splits as f64 * image_splits_frac) as usize;
+        let image_splits = rng.range_usize(0, splits + 1);
         let mut img_state = FileState::new(n0);
         for _ in 0..image_splits {
             img_state.split();
         }
-        for key in keys {
+        for key in random_keys(rng, 1, 30) {
             let start = img_state.address(key); // image = old true state
             let (at, hops) = resolve(&state, start, key);
-            prop_assert_eq!(at, state.address(key));
-            prop_assert!(hops <= 2, "took {} hops", hops);
+            assert_eq!(at, state.address(key));
+            assert!(hops <= 2, "took {hops} hops");
         }
-    }
+    });
+}
 
-    /// A3 safety: an image fed arbitrary valid IAMs from the true state
-    /// never overtakes it, and one IAM per key resolves that key.
-    #[test]
-    fn a3_safety_and_resolution(
-        splits in 1usize..200,
-        keys in proptest::collection::vec(any::<u64>(), 1..50),
-    ) {
+/// A3 safety: an image fed arbitrary valid IAMs from the true state
+/// never overtakes it, and one IAM per key resolves that key.
+#[test]
+fn a3_safety_and_resolution() {
+    cases("a3_safety_and_resolution", 128, |rng| {
+        let splits = rng.range_usize(1, 200);
         let mut state = FileState::new(1);
         for _ in 0..splits {
             state.split();
         }
         let mut img = ClientImage::new(1);
-        for key in keys {
+        for key in random_keys(rng, 1, 50) {
             let correct = state.address(key);
             if img.address(key) != correct {
                 img.adjust(state.level_of(correct), correct);
-                prop_assert_eq!(img.address(key), correct);
+                assert_eq!(img.address(key), correct);
             }
-            prop_assert!(img.bucket_count() <= state.bucket_count());
+            assert!(img.bucket_count() <= state.bucket_count());
         }
-    }
+    });
+}
 
-    /// Splits preserve addressing: after a split, every key is addressed
-    /// either where it was, or to the new bucket if it came from the split
-    /// source.
-    #[test]
-    fn split_only_moves_source_keys(
-        splits in 0usize..150,
-        keys in proptest::collection::vec(any::<u64>(), 1..50),
-    ) {
+/// Splits preserve addressing: after a split, every key is addressed
+/// either where it was, or to the new bucket if it came from the split
+/// source.
+#[test]
+fn split_only_moves_source_keys() {
+    cases("split_only_moves_source_keys", 128, |rng| {
+        let splits = rng.range_usize(0, 150);
         let mut state = FileState::new(1);
         for _ in 0..splits {
             state.split();
         }
+        let keys = random_keys(rng, 1, 50);
         let before: Vec<u64> = keys.iter().map(|&k| state.address(k)).collect();
         let plan = state.split();
         for (idx, &k) in keys.iter().enumerate() {
             let now = state.address(k);
             if before[idx] == plan.source {
-                prop_assert!(now == plan.source || now == plan.target);
-                prop_assert_eq!(now == plan.target, plan.moves(k));
+                assert!(now == plan.source || now == plan.target);
+                assert_eq!(now == plan.target, plan.moves(k));
             } else {
-                prop_assert_eq!(now, before[idx]);
+                assert_eq!(now, before[idx]);
             }
         }
-    }
+    });
+}
 
-    /// merge() exactly undoes split() anywhere in the growth history.
-    #[test]
-    fn merge_inverts_split(splits in 0usize..300, n0 in 1u64..4) {
+/// merge() exactly undoes split() anywhere in the growth history.
+#[test]
+fn merge_inverts_split() {
+    cases("merge_inverts_split", 128, |rng| {
+        let splits = rng.range_usize(0, 300);
+        let n0 = rng.range(1, 4);
         let mut state = FileState::new(n0);
         for _ in 0..splits {
             state.split();
@@ -118,14 +129,18 @@ proptest! {
         let before = state;
         let plan = state.split();
         let merged = state.merge().unwrap();
-        prop_assert_eq!(state, before);
-        prop_assert_eq!(merged, plan);
-    }
+        assert_eq!(state, before);
+        assert_eq!(merged, plan);
+    });
+}
 
-    /// partition_keys is a partition: disjoint, exhaustive, and consistent
-    /// with post-split addressing.
-    #[test]
-    fn partition_is_exact(splits in 0usize..100, seed: u64) {
+/// partition_keys is a partition: disjoint, exhaustive, and consistent
+/// with post-split addressing.
+#[test]
+fn partition_is_exact() {
+    cases("partition_is_exact", 128, |rng| {
+        let splits = rng.range_usize(0, 100);
+        let seed = rng.next_u64();
         let mut state = FileState::new(1);
         for _ in 0..splits {
             state.split();
@@ -137,35 +152,36 @@ proptest! {
             .collect();
         let plan = state.split();
         let (stay, go) = partition_keys(&plan, keys.iter().copied());
-        prop_assert_eq!(stay.len() + go.len(), keys.len());
+        assert_eq!(stay.len() + go.len(), keys.len());
         for &k in &stay {
-            prop_assert_eq!(state.address(k), plan.source);
+            assert_eq!(state.address(k), plan.source);
         }
         for &k in &go {
-            prop_assert_eq!(state.address(k), plan.target);
+            assert_eq!(state.address(k), plan.target);
         }
-    }
+    });
+}
 
-    /// LhTable behaves like a HashMap under random workloads.
-    #[test]
-    fn lh_table_matches_model(
-        ops in proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 1..400),
-        threshold in 1usize..16,
-    ) {
+/// LhTable behaves like a HashMap under random workloads.
+#[test]
+fn lh_table_matches_model() {
+    cases("lh_table_matches_model", 128, |rng| {
         use std::collections::HashMap;
+        let threshold = rng.range_usize(1, 16);
         let mut table = LhTable::new(threshold);
         let mut model: HashMap<u64, u16> = HashMap::new();
-        for (k, v, is_insert) in ops {
-            let k = k as u64;
-            if is_insert {
-                prop_assert_eq!(table.insert(k, v), model.insert(k, v));
+        for _ in 0..rng.range_usize(1, 400) {
+            let k = rng.next_u16() as u64;
+            let v = rng.next_u16();
+            if rng.chance(1, 2) {
+                assert_eq!(table.insert(k, v), model.insert(k, v));
             } else {
-                prop_assert_eq!(table.remove(k), model.remove(&k));
+                assert_eq!(table.remove(k), model.remove(&k));
             }
-            prop_assert_eq!(table.len(), model.len());
+            assert_eq!(table.len(), model.len());
         }
         for (k, v) in &model {
-            prop_assert_eq!(table.get(*k), Some(v));
+            assert_eq!(table.get(*k), Some(v));
         }
-    }
+    });
 }

@@ -189,9 +189,7 @@ impl<F: GaloisField> RsCode<F> {
                 expected: self.total_shards(),
             });
         }
-        let missing: Vec<usize> = (0..shards.len())
-            .filter(|&i| shards[i].is_none())
-            .collect();
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
         if missing.is_empty() {
             return Ok(());
         }
@@ -270,6 +268,9 @@ impl<F: GaloisField> RsCode<F> {
     ///
     /// # Errors
     /// [`RsError::TooManyErasures`] if fewer than `m` shards are supplied;
+    /// [`RsError::DuplicateShardIndex`] if a shard index repeats (a
+    /// duplicated survivor list would otherwise build a singular decode
+    /// matrix and fail opaquely inside the inversion);
     /// length errors as for [`RsCode::reconstruct`].
     pub fn reconstruct_one(
         &self,
@@ -281,6 +282,18 @@ impl<F: GaloisField> RsCode<F> {
                 missing: self.total_shards() - available.len(),
                 tolerated: self.k,
             });
+        }
+        let mut seen = vec![false; self.total_shards()];
+        for &(idx, _) in available {
+            if idx >= self.total_shards() {
+                return Err(RsError::WrongShardCount {
+                    got: idx,
+                    expected: self.total_shards(),
+                });
+            }
+            if std::mem::replace(&mut seen[idx], true) {
+                return Err(RsError::DuplicateShardIndex { index: idx });
+            }
         }
         let chosen = &available[..self.m];
         let len = chosen[0].1.len();
@@ -337,7 +350,11 @@ mod tests {
 
     fn sample_data(m: usize, len: usize) -> Vec<Vec<u8>> {
         (0..m)
-            .map(|i| (0..len).map(|b| ((i * 131 + b * 7 + 3) % 251) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 131 + b * 7 + 3) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -387,7 +404,11 @@ mod tests {
                 shards[b] = None;
                 code.reconstruct(&mut shards).unwrap();
                 for (i, s) in shards.iter().enumerate() {
-                    assert_eq!(s.as_deref(), Some(&full[i][..]), "erased ({a},{b}) shard {i}");
+                    assert_eq!(
+                        s.as_deref(),
+                        Some(&full[i][..]),
+                        "erased ({a},{b}) shard {i}"
+                    );
                 }
             }
         }
@@ -410,7 +431,10 @@ mod tests {
         shards[2] = None;
         assert!(matches!(
             code.reconstruct(&mut shards),
-            Err(RsError::TooManyErasures { missing: 3, tolerated: 2 })
+            Err(RsError::TooManyErasures {
+                missing: 3,
+                tolerated: 2
+            })
         ));
     }
 
@@ -465,6 +489,51 @@ mod tests {
     }
 
     #[test]
+    fn reconstruct_one_rejects_duplicate_indices_up_front() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 12);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        // Shard 0 listed twice: without the up-front check this built a
+        // singular matrix and surfaced as an inscrutable SingularMatrix.
+        let avail: Vec<(usize, &[u8])> = vec![
+            (0, data[0].as_slice()),
+            (0, data[0].as_slice()),
+            (2, data[2].as_slice()),
+            (4, parity[0].as_slice()),
+        ];
+        assert_eq!(
+            code.reconstruct_one(3, &avail),
+            Err(RsError::DuplicateShardIndex { index: 0 })
+        );
+        // Duplicates beyond the first m survivors are rejected too — the
+        // caller's list is inconsistent even if the chosen prefix is fine.
+        let avail: Vec<(usize, &[u8])> = vec![
+            (0, data[0].as_slice()),
+            (1, data[1].as_slice()),
+            (2, data[2].as_slice()),
+            (4, parity[0].as_slice()),
+            (4, parity[0].as_slice()),
+        ];
+        assert_eq!(
+            code.reconstruct_one(3, &avail),
+            Err(RsError::DuplicateShardIndex { index: 4 })
+        );
+        // An out-of-range index is caught before it can panic in the
+        // matrix build.
+        let avail: Vec<(usize, &[u8])> = vec![
+            (0, data[0].as_slice()),
+            (1, data[1].as_slice()),
+            (2, data[2].as_slice()),
+            (9, parity[0].as_slice()),
+        ];
+        assert!(matches!(
+            code.reconstruct_one(3, &avail),
+            Err(RsError::WrongShardCount { .. })
+        ));
+    }
+
+    #[test]
     fn k_equals_one_is_pure_xor_scheme() {
         // With k = 1 the code degenerates to LH*g: parity is XOR and a lost
         // shard is the XOR of the survivors.
@@ -477,8 +546,11 @@ mod tests {
             add_slice(d, &mut expect);
         }
         assert_eq!(parity[0], expect);
-        let avail: Vec<(usize, &[u8])> =
-            vec![(0, data[0].as_slice()), (2, data[2].as_slice()), (3, parity[0].as_slice())];
+        let avail: Vec<(usize, &[u8])> = vec![
+            (0, data[0].as_slice()),
+            (2, data[2].as_slice()),
+            (3, parity[0].as_slice()),
+        ];
         assert_eq!(code.reconstruct_one(1, &avail).unwrap(), data[1]);
     }
 
@@ -538,11 +610,7 @@ mod tests {
                 for smaller in &codes[..ki] {
                     for i in 0..m {
                         for j in 0..smaller.parity_shards() {
-                            assert_eq!(
-                                code.coeff(i, j),
-                                smaller.coeff(i, j),
-                                "m={m} i={i} j={j}"
-                            );
+                            assert_eq!(code.coeff(i, j), smaller.coeff(i, j), "m={m} i={i} j={j}");
                         }
                     }
                 }

@@ -29,6 +29,13 @@ pub enum RsError {
         /// Shards expected (`m + k`).
         expected: usize,
     },
+    /// The same shard index was supplied more than once. Without this check
+    /// a duplicated survivor list builds a singular decode matrix and fails
+    /// deep inside `inverse()` with no hint of the real cause.
+    DuplicateShardIndex {
+        /// The repeated shard index.
+        index: usize,
+    },
     /// Present shards disagree in length, or a shard length is not a
     /// multiple of the field's symbol size.
     InconsistentShardLength,
@@ -53,6 +60,9 @@ impl fmt::Display for RsError {
             ),
             RsError::WrongShardCount { got, expected } => {
                 write!(f, "expected {expected} shards, got {got}")
+            }
+            RsError::DuplicateShardIndex { index } => {
+                write!(f, "shard index {index} supplied more than once")
             }
             RsError::InconsistentShardLength => {
                 write!(f, "present shards have inconsistent or misaligned lengths")

@@ -5,7 +5,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::actor::{Actor, Effect, Env, TimerId};
-use crate::{LatencyModel, NetStats, Payload};
+use crate::faults::FaultOutcome;
+use crate::{FaultPlan, LatencyModel, NetStats, Payload};
 
 /// Identifier of a simulated node. Dense indices assigned by
 /// [`Sim::add_node`] in creation order.
@@ -69,7 +70,13 @@ pub struct Sim<M: Payload, A: Actor<M>> {
     seq: u64,
     next_timer: u64,
     cancelled_timers: HashSet<u64>,
+    /// Timer ids with an event still in the queue. Cancelling an id not in
+    /// this set is a no-op, so `cancelled_timers` can never grow a
+    /// permanent entry (the old behaviour leaked one per stale cancel
+    /// across long soak runs).
+    armed_timers: HashSet<u64>,
     latency: LatencyModel,
+    faults: Option<FaultPlan>,
     stats: NetStats,
     /// Last scheduled arrival per (src, dst): deliveries between a node
     /// pair are FIFO, like the TCP connections of the paper's testbed.
@@ -89,7 +96,9 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
             seq: 0,
             next_timer: 0,
             cancelled_timers: HashSet::new(),
+            armed_timers: HashSet::new(),
             latency,
+            faults: None,
             stats: NetStats::default(),
             channel_clock: std::collections::HashMap::new(),
             node_free_at: Vec::new(),
@@ -127,40 +136,82 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
         self.enqueue_send(from, to, msg);
     }
 
+    /// Validate a node id and return its dense index. `EXTERNAL` and ids
+    /// beyond the node table panic with a message naming the operation —
+    /// the raw `node.0 as usize` indexing this replaces produced either an
+    /// opaque out-of-bounds panic or (for `EXTERNAL` on a 4-billion-entry
+    /// table) a capacity blowup.
+    #[track_caller]
+    fn checked_index(&self, node: NodeId, op: &str) -> usize {
+        assert!(
+            node != EXTERNAL,
+            "Sim::{op}: EXTERNAL is the driver pseudo-node, not a simulated node"
+        );
+        let idx = node.0 as usize;
+        assert!(
+            idx < self.actors.len(),
+            "Sim::{op}: unknown node {node} (only {} nodes exist)",
+            self.actors.len()
+        );
+        idx
+    }
+
     /// Crash a node: its pending and future deliveries and timers are
     /// silently dropped (and counted in [`NetStats::dropped`]) until
     /// [`Sim::restart`]. Actor state is retained, modelling a transient
     /// outage; use [`Sim::replace`] to model state loss onto a hot spare.
     pub fn crash(&mut self, node: NodeId) {
-        self.crashed[node.0 as usize] = true;
+        let idx = self.checked_index(node, "crash");
+        self.crashed[idx] = true;
     }
 
     /// Bring a crashed node back with its state intact (the paper's
     /// "restarted with correct data" self-detection case).
     pub fn restart(&mut self, node: NodeId) {
-        self.crashed[node.0 as usize] = false;
+        let idx = self.checked_index(node, "restart");
+        self.crashed[idx] = false;
     }
 
     /// Whether the node is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.crashed[node.0 as usize]
+        self.crashed[self.checked_index(node, "is_crashed")]
     }
 
     /// Replace the actor on `node` (e.g. re-provisioning a hot spare) and
     /// un-crash it.
     pub fn replace(&mut self, node: NodeId, actor: A) {
-        self.actors[node.0 as usize] = Some(actor);
-        self.crashed[node.0 as usize] = false;
+        let idx = self.checked_index(node, "replace");
+        self.actors[idx] = Some(actor);
+        self.crashed[idx] = false;
     }
 
     /// Immutable access to a node's actor (panics on unknown node).
     pub fn actor(&self, node: NodeId) -> &A {
-        self.actors[node.0 as usize].as_ref().expect("actor present")
+        let idx = self.checked_index(node, "actor");
+        self.actors[idx].as_ref().expect("actor present")
     }
 
     /// Mutable access to a node's actor (panics on unknown node).
     pub fn actor_mut(&mut self, node: NodeId) -> &mut A {
-        self.actors[node.0 as usize].as_mut().expect("actor present")
+        let idx = self.checked_index(node, "actor_mut");
+        self.actors[idx].as_mut().expect("actor present")
+    }
+
+    /// Install a deterministic network [`FaultPlan`]; replaces any existing
+    /// plan. Faults apply to node-to-node traffic only — external driver
+    /// injections model the app→local-client handoff and stay reliable.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Remove the fault plan, returning the network to perfect reliability.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Current simulated time in microseconds.
@@ -206,6 +257,11 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
                 self.dispatch(ev.node, |actor, env| actor.on_message(env, from, msg));
             }
             EventKind::Timer { id } => {
+                // The event is consumed whatever happens next, so both
+                // tracking sets drain here — including entries for timers
+                // whose owner crashed, which previously could linger in
+                // `cancelled_timers` forever.
+                self.armed_timers.remove(&id.0);
                 if self.cancelled_timers.remove(&id.0) {
                     return true;
                 }
@@ -271,6 +327,7 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
                 }
                 Effect::SetTimer { id, delay } => {
                     let seq = self.next_seq();
+                    self.armed_timers.insert(id.0);
                     self.queue.push(Reverse(Event {
                         time: self.now + delay,
                         seq,
@@ -279,7 +336,12 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
                     }));
                 }
                 Effect::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id.0);
+                    // Only a timer whose event is still queued needs a
+                    // tombstone; cancelling an already-fired (or never
+                    // armed) id must not leak a permanent entry.
+                    if self.armed_timers.contains(&id.0) {
+                        self.cancelled_timers.insert(id.0);
+                    }
                 }
             }
         }
@@ -291,13 +353,60 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
     }
 
     fn enqueue_delivery(&mut self, from: NodeId, to: NodeId, msg: M) {
+        // Fault injection applies to node-to-node traffic only; driver
+        // injections model the app handing work to its local client.
+        if from != EXTERNAL {
+            if let Some(plan) = &self.faults {
+                match plan.decide(self.seq, self.now, from, to) {
+                    FaultOutcome::Dropped => {
+                        self.next_seq(); // keep the decision stream advancing
+                        self.stats.record_fault_drop();
+                        return;
+                    }
+                    FaultOutcome::Partitioned => {
+                        self.next_seq();
+                        self.stats.record_partition_drop();
+                        return;
+                    }
+                    FaultOutcome::Deliver {
+                        copies,
+                        reorder_extra_us,
+                    } => {
+                        if copies > 1 {
+                            self.stats.record_duplicate();
+                        }
+                        if reorder_extra_us.is_some() {
+                            self.stats.record_reorder();
+                        }
+                        for _ in 0..copies {
+                            self.enqueue_copy(from, to, msg.clone(), reorder_extra_us);
+                        }
+                        return;
+                    }
+                }
+            }
+        }
+        self.enqueue_copy(from, to, msg, None);
+    }
+
+    /// Schedule one physical delivery. `reorder_extra_us = Some(x)` delays
+    /// the message by `x` extra microseconds and **bypasses the per-channel
+    /// FIFO clamp**, so later sends on the same channel can overtake it —
+    /// that is what makes it a reordering rather than a slowdown.
+    fn enqueue_copy(&mut self, from: NodeId, to: NodeId, msg: M, reorder_extra_us: Option<u64>) {
         let seq = self.next_seq();
         let delay = self.latency.delay_us(msg.size_bytes(), seq);
-        // FIFO per channel: never schedule an arrival before an earlier
-        // send on the same (src, dst) pair.
-        let clock = self.channel_clock.entry((from, to)).or_insert(0);
-        let time = (self.now + delay).max(*clock);
-        *clock = time;
+        let time = match reorder_extra_us {
+            None => {
+                // FIFO per channel: never schedule an arrival before an
+                // earlier send on the same (src, dst) pair.
+                let clock = self.channel_clock.entry((from, to)).or_insert(0);
+                let time = (self.now + delay).max(*clock);
+                *clock = time;
+                time
+            }
+            Some(extra) => self.now + delay + extra,
+        };
         self.queue.push(Reverse(Event {
             time,
             seq,
@@ -518,6 +627,89 @@ mod tests {
             })
             .collect();
         assert_eq!(vals, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "EXTERNAL is the driver pseudo-node")]
+    fn crash_external_panics_with_clear_message() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        sim.add_node(Recorder::default());
+        sim.crash(EXTERNAL);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node n7 (only 1 nodes exist)")]
+    fn crash_out_of_range_panics_with_clear_message() {
+        let mut sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        sim.add_node(Recorder::default());
+        sim.crash(NodeId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "Sim::is_crashed")]
+    fn is_crashed_validates_too() {
+        let sim: Sim<Msg, Recorder> = Sim::new(LatencyModel::instant());
+        sim.is_crashed(NodeId(0));
+    }
+
+    /// An actor that arms one timer on the first message and cancels that
+    /// (by then long-fired) id on the second — the stale-cancel pattern
+    /// that used to leak a permanent `cancelled_timers` entry.
+    #[derive(Default)]
+    struct StaleCanceller {
+        armed: Option<TimerId>,
+        fired: usize,
+    }
+    impl Actor<Msg> for StaleCanceller {
+        fn on_message(&mut self, env: &mut Env<'_, Msg>, _from: NodeId, _msg: Msg) {
+            match self.armed {
+                None => self.armed = Some(env.set_timer(50)),
+                Some(id) => env.cancel_timer(id),
+            }
+        }
+        fn on_timer(&mut self, _env: &mut Env<'_, Msg>, _timer: TimerId) {
+            self.fired += 1;
+        }
+    }
+
+    #[test]
+    fn stale_cancel_does_not_leak_tombstones() {
+        let mut sim: Sim<Msg, StaleCanceller> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(StaleCanceller::default());
+        for _ in 0..100 {
+            sim.send_external(a, Msg::Hello(0)); // arm
+            sim.run_until_idle(); // timer fires
+            sim.send_external(a, Msg::Hello(1)); // cancel the fired id
+            sim.run_until_idle();
+            sim.actor_mut(a).armed = None;
+        }
+        assert_eq!(sim.actor(a).fired, 100);
+        assert!(
+            sim.cancelled_timers.is_empty(),
+            "stale cancels must not accumulate: {} entries",
+            sim.cancelled_timers.len()
+        );
+        assert!(sim.armed_timers.is_empty());
+    }
+
+    #[test]
+    fn crash_dropped_timer_drains_tracking_sets() {
+        let mut sim: Sim<Msg, TimerNode> = Sim::new(LatencyModel::instant());
+        let a = sim.add_node(TimerNode {
+            arm: vec![100, 200],
+            cancel_first: true, // tombstone for the 100 µs timer
+            ..Default::default()
+        });
+        sim.send_external(a, Msg::Hello(0));
+        sim.run_until(50);
+        sim.crash(a); // both timer events now pop against a crashed node
+        sim.run_until_idle();
+        assert!(sim.actor(a).fired.is_empty());
+        assert!(
+            sim.cancelled_timers.is_empty(),
+            "crash-dropped timers must drain their tombstones"
+        );
+        assert!(sim.armed_timers.is_empty());
     }
 
     #[test]

@@ -119,8 +119,7 @@ mod tests {
             assert!((10..=15).contains(&d1));
         }
         // Jitter actually varies across sequence numbers.
-        let distinct: std::collections::HashSet<u64> =
-            (0..100).map(|s| m.delay_us(0, s)).collect();
+        let distinct: std::collections::HashSet<u64> = (0..100).map(|s| m.delay_us(0, s)).collect();
         assert!(distinct.len() > 1);
     }
 }

@@ -54,11 +54,13 @@
 
 mod actor;
 mod engine;
+mod faults;
 mod latency;
 mod stats;
 
 pub use actor::{Actor, Env, TimerId};
 pub use engine::{NodeId, Sim, EXTERNAL};
+pub use faults::{FaultPlan, Partition, PERMILLE};
 pub use latency::LatencyModel;
 pub use stats::{KindStats, NetStats};
 

@@ -30,6 +30,17 @@ pub struct NetStats {
     pub multicast_deliveries: u64,
     /// Deliveries dropped because the destination was crashed.
     pub dropped: u64,
+    /// Messages lost to injected random loss (see
+    /// [`FaultPlan`](crate::FaultPlan)).
+    pub fault_dropped: u64,
+    /// Messages lost to an active timed partition.
+    pub partition_dropped: u64,
+    /// Messages duplicated by fault injection (each counts one extra
+    /// physical delivery).
+    pub duplicated: u64,
+    /// Messages reordered by fault injection (scheduled outside the
+    /// per-channel FIFO).
+    pub reordered: u64,
     /// Per-kind tallies (BTreeMap so reports are deterministically ordered).
     pub by_kind: BTreeMap<&'static str, KindStats>,
 }
@@ -54,6 +65,27 @@ impl NetStats {
 
     pub(crate) fn record_drop(&mut self) {
         self.dropped += 1;
+    }
+
+    pub(crate) fn record_fault_drop(&mut self) {
+        self.fault_dropped += 1;
+    }
+
+    pub(crate) fn record_partition_drop(&mut self) {
+        self.partition_dropped += 1;
+    }
+
+    pub(crate) fn record_duplicate(&mut self) {
+        self.duplicated += 1;
+    }
+
+    pub(crate) fn record_reorder(&mut self) {
+        self.reordered += 1;
+    }
+
+    /// Total messages lost to injected faults (random loss + partitions).
+    pub fn total_fault_losses(&self) -> u64 {
+        self.fault_dropped + self.partition_dropped
     }
 
     /// Count of messages of the given kind (0 if never seen).
@@ -105,6 +137,10 @@ impl NetStats {
             multicasts: self.multicasts - earlier.multicasts,
             multicast_deliveries: self.multicast_deliveries - earlier.multicast_deliveries,
             dropped: self.dropped - earlier.dropped,
+            fault_dropped: self.fault_dropped - earlier.fault_dropped,
+            partition_dropped: self.partition_dropped - earlier.partition_dropped,
+            duplicated: self.duplicated - earlier.duplicated,
+            reordered: self.reordered - earlier.reordered,
             by_kind,
         }
     }

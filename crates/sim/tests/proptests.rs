@@ -1,9 +1,10 @@
 //! Property tests of the simulator's foundational guarantees: bit-for-bit
 //! determinism and per-channel FIFO delivery — the two properties every
-//! protocol result in this repository rests on.
+//! protocol result in this repository rests on. Seeded cases via
+//! `lhrs-testkit`.
 
 use lhrs_sim::{Actor, Env, LatencyModel, NodeId, Payload, Sim};
-use proptest::prelude::*;
+use lhrs_testkit::{cases, Rng};
 
 #[derive(Clone, Debug, PartialEq)]
 struct Tagged {
@@ -57,19 +58,24 @@ fn model(choice: u8) -> LatencyModel {
     }
 }
 
+fn random_sends(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(u8, u8, u8)> {
+    (0..rng.range_usize(lo, hi))
+        .map(|_| (rng.next_u8(), rng.next_u8(), rng.next_u8()))
+        .collect()
+}
+
 fn run(
     nodes: usize,
     sends: &[(u8, u8, u8)],
     latency: LatencyModel,
 ) -> Vec<Vec<(NodeId, u32, u32)>> {
     let mut sim: Sim<Tagged, Collector> = Sim::new(latency);
-    let ids: Vec<NodeId> = (0..nodes).map(|_| sim.add_node(Collector::default())).collect();
+    let ids: Vec<NodeId> = (0..nodes)
+        .map(|_| sim.add_node(Collector::default()))
+        .collect();
     for (i, &(to, fan1, fan2)) in sends.iter().enumerate() {
         let to = ids[to as usize % nodes];
-        let fanout = vec![
-            ids[fan1 as usize % nodes].0,
-            ids[fan2 as usize % nodes].0,
-        ];
+        let fanout = vec![ids[fan1 as usize % nodes].0, ids[fan2 as usize % nodes].0];
         sim.send_external(
             to,
             Tagged {
@@ -83,31 +89,29 @@ fn run(
     ids.iter().map(|id| sim.actor(*id).seen.clone()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Two identical runs produce identical per-node delivery logs under
-    /// every latency model, including jittered + service-time ones.
-    #[test]
-    fn runs_are_deterministic(
-        nodes in 2usize..8,
-        sends in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..60),
-        latency_choice in 0u8..4,
-    ) {
+/// Two identical runs produce identical per-node delivery logs under
+/// every latency model, including jittered + service-time ones.
+#[test]
+fn runs_are_deterministic() {
+    cases("runs_are_deterministic", 48, |rng| {
+        let nodes = rng.range_usize(2, 8);
+        let sends = random_sends(rng, 1, 60);
+        let latency_choice = rng.below(4) as u8;
         let a = run(nodes, &sends, model(latency_choice));
         let b = run(nodes, &sends, model(latency_choice));
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Per-channel FIFO: for any (src, dst) pair, messages arrive in send
-    /// order regardless of jitter (the external driver is one channel per
-    /// destination; relayed messages form node-to-node channels).
-    #[test]
-    fn channels_are_fifo(
-        nodes in 2usize..6,
-        sends in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..80),
-        latency_choice in 0u8..4,
-    ) {
+/// Per-channel FIFO: for any (src, dst) pair, messages arrive in send
+/// order regardless of jitter (the external driver is one channel per
+/// destination; relayed messages form node-to-node channels).
+#[test]
+fn channels_are_fifo() {
+    cases("channels_are_fifo", 48, |rng| {
+        let nodes = rng.range_usize(2, 6);
+        let sends = random_sends(rng, 1, 80);
+        let latency_choice = rng.below(4) as u8;
         let logs = run(nodes, &sends, model(latency_choice));
         for log in &logs {
             // Group by sender; each sender's seqs must arrive in increasing
@@ -123,7 +127,7 @@ proptest! {
                 .collect();
             let mut sorted = ext.clone();
             sorted.sort_unstable();
-            prop_assert_eq!(ext, sorted, "external channel reordered");
+            assert_eq!(ext, sorted, "external channel reordered");
         }
         // Relay channels: node A relays in its delivery order; B must see
         // A's relays in that same order.
@@ -158,8 +162,8 @@ proptest! {
                         }
                     }
                 }
-                prop_assert!(ok, "relay channel {}→? reordered", a_idx);
+                assert!(ok, "relay channel {a_idx}→? reordered");
             }
         }
-    }
+    });
 }

@@ -1,0 +1,246 @@
+//! Deterministic pseudo-randomness for tests, benches, and examples.
+//!
+//! The workspace builds in hermetic environments with no access to a crates
+//! registry, so everything that previously leaned on `rand`/`proptest` uses
+//! this tiny crate instead: a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+//! generator (the same mixer the simulator's latency jitter uses) plus a
+//! seeded-case harness, [`cases`], that replaces `proptest!` loops with
+//! reproducible iteration — every failure reports the exact seed that
+//! triggers it, so a failing case can be replayed as a one-line unit test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The SplitMix64 finalizer: a bijective 64-bit mixer with good avalanche.
+///
+/// This is deliberately the same function `lhrs_sim::LatencyModel` uses for
+/// jitter, so test inputs and simulated network noise draw from the same
+/// well-studied family.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic pseudo-random generator (SplitMix64 stream).
+///
+/// Not cryptographic; statistically solid for test-case generation and
+/// workload synthesis, and — crucially — identical on every platform and
+/// every run.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Next 32 uniform bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 16 uniform bits.
+    #[inline]
+    pub fn next_u16(&mut self) -> u16 {
+        (self.next_u64() >> 48) as u16
+    }
+
+    /// Next 8 uniform bits.
+    #[inline]
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// Uniform value in `[0, n)` (Lemire multiply-shift; `n = 0` panics).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`; panics on an empty range.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Rng::range: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)` — the common test-size helper.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// `true` with probability `num / den`.
+    #[inline]
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Fill `out` with uniform bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// `len` uniform bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, v: &'a [T]) -> Option<&'a T> {
+        if v.is_empty() {
+            None
+        } else {
+            Some(&v[self.below(v.len() as u64) as usize])
+        }
+    }
+}
+
+/// FNV-1a hash of a test name, used to decorrelate the seed streams of
+/// different properties that share a case index.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `n` seeded cases of a property.
+///
+/// Each case gets an [`Rng`] seeded from `(name, case index)`; a panic inside
+/// the body is re-raised annotated with the failing case's seed, so the
+/// exact input can be reproduced with `Rng::new(seed)` in isolation.
+pub fn cases<F: Fn(&mut Rng)>(name: &str, n: u64, f: F) {
+    let base = name_hash(name);
+    for i in 0..n {
+        let seed = splitmix64(base ^ i);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = Rng::new(seed);
+            f(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property `{name}` failed at case {i} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything() {
+        let mut r = Rng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "10 buckets in 1000 draws");
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng::new(11);
+        for _ in 0..500 {
+            let v = r.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = Rng::new(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cases_reports_seed_on_failure() {
+        let err = std::panic::catch_unwind(|| {
+            cases("always_fails", 1, |_| panic!("boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn cases_passes_quietly() {
+        cases("trivial", 8, |rng| {
+            let x = rng.next_u64();
+            let y = x;
+            assert_eq!(y, x);
+        });
+    }
+}

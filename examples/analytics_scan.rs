@@ -67,7 +67,10 @@ fn main() {
     let fresh = file.add_client();
     let cost = file.cost_of(|f| {
         let billing_errors = f
-            .scan_via(fresh, FilterSpec::PayloadContains(b"ERROR|billing".to_vec()))
+            .scan_via(
+                fresh,
+                FilterSpec::PayloadContains(b"ERROR|billing".to_vec()),
+            )
             .expect("scan");
         println!(
             "billing errors from a fresh client: {} events",

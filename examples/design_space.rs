@@ -58,7 +58,8 @@ fn main() {
     })
     .expect("config");
     for key in 0..4000u64 {
-        file.insert(lhrs_lh::scramble(key), vec![0xCD; 64]).expect("insert");
+        file.insert(lhrs_lh::scramble(key), vec![0xCD; 64])
+            .expect("insert");
     }
     let r = file.storage_report();
     println!(
@@ -69,7 +70,8 @@ fn main() {
     );
     let cost = file.cost_of(|f| {
         for key in 10_000..10_100u64 {
-            f.insert(lhrs_lh::scramble(key), vec![1; 64]).expect("insert");
+            f.insert(lhrs_lh::scramble(key), vec![1; 64])
+                .expect("insert");
         }
     });
     println!(

@@ -22,7 +22,8 @@ fn main() {
     .expect("config");
 
     for key in 0..1_500u64 {
-        file.insert(key, format!("drill-{key}").into_bytes()).expect("insert");
+        file.insert(key, format!("drill-{key}").into_bytes())
+            .expect("insert");
     }
     println!(
         "file ready: M = {} buckets, {} groups, k = 2\n",
@@ -100,5 +101,4 @@ fn main() {
         report.unrecoverable
     );
     println!("  the scalable-availability rule exists precisely to keep this probability flat\n");
-
 }

@@ -23,7 +23,8 @@ fn main() {
     // servers automatically, with constant per-op messaging.
     for key in 0..2_000u64 {
         let payload = format!("record number {key}").into_bytes();
-        file.insert(lhrs_lh::scramble(key), payload).expect("insert");
+        file.insert(lhrs_lh::scramble(key), payload)
+            .expect("insert");
     }
     println!(
         "loaded 2000 records into M = {} data buckets across {} groups (k = {})",
@@ -45,14 +46,18 @@ fn main() {
     file.crash_data_bucket(group * 4 + 1);
     println!("crashed data buckets {} and {}", group * 4, group * 4 + 1);
 
-    let value = file.lookup(key).expect("degraded lookup").expect("still readable");
+    let value = file
+        .lookup(key)
+        .expect("degraded lookup")
+        .expect("still readable");
     println!(
         "degraded lookup(1234) -> {:?} (served from parity, rebuild running)",
         String::from_utf8_lossy(&value)
     );
 
     // The coordinator rebuilt both buckets onto hot spares in the background.
-    file.verify_integrity().expect("parity consistent after recovery");
+    file.verify_integrity()
+        .expect("parity consistent after recovery");
     println!("integrity verified after recovery ✔");
 
     // Message accounting — the paper's primary metric — is built in.

@@ -25,12 +25,16 @@ fn main() {
     .expect("config");
 
     println!("growing a file under the rule k: 1 → 2 (M>8) → 3 (M>48) → 4 (M>200), p = {p}");
-    println!("{:>8} {:>4} {:>8} {:>10} {:>10}", "M", "k", "parity", "P(scaled)", "P(k=1)");
+    println!(
+        "{:>8} {:>4} {:>8} {:>10} {:>10}",
+        "M", "k", "parity", "P(scaled)", "P(k=1)"
+    );
 
     let mut key = 0u64;
     for target in [4u64, 8, 16, 32, 64, 128, 256] {
         while file.bucket_count() < target {
-            file.insert(lhrs_lh::scramble(key), vec![0xAB; 64]).expect("insert");
+            file.insert(lhrs_lh::scramble(key), vec![0xAB; 64])
+                .expect("insert");
             key += 1;
         }
         let m_now = file.bucket_count();
@@ -70,6 +74,7 @@ fn main() {
         k_bumps,
         file.storage_report().data_records
     );
-    file.verify_integrity().expect("all upgraded groups consistent");
+    file.verify_integrity()
+        .expect("all upgraded groups consistent");
     println!("integrity across every upgraded group ✔");
 }

@@ -8,7 +8,7 @@
 
 use lhrs_core::{Config, FilterSpec, LhrsFile};
 use lhrs_lh::scramble;
-use rand::{Rng, SeedableRng};
+use lhrs_testkit::Rng;
 
 /// A fixed-layout profile record (a real system would use serde here; the
 //  manual layout keeps the example dependency-free).
@@ -40,14 +40,19 @@ fn main() {
         ..Config::default()
     })
     .expect("config");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = Rng::new(7);
     let countries = ["se", "fr", "us", "jp", "br"];
 
     // Sign-ups.
     let users = 5_000u64;
     for uid in 0..users {
         let country = countries[(uid % 5) as usize];
-        let profile = encode_profile(uid, rng.gen_range(18..90), country, &format!("user_{uid}"));
+        let profile = encode_profile(
+            uid,
+            rng.range(18, 90) as u8,
+            country,
+            &format!("user_{uid}"),
+        );
         file.insert(scramble(uid), profile).expect("insert");
     }
     println!(
@@ -59,7 +64,12 @@ fn main() {
     // Profile edits: cheap Δ-commits to parity, 1 + k messages each.
     for uid in (0..users).step_by(10) {
         let country = countries[(uid % 5) as usize];
-        let profile = encode_profile(uid, rng.gen_range(18..90), country, &format!("user_{uid}_v2"));
+        let profile = encode_profile(
+            uid,
+            rng.range(18, 90) as u8,
+            country,
+            &format!("user_{uid}_v2"),
+        );
         file.update(scramble(uid), profile).expect("update");
     }
 
@@ -70,7 +80,10 @@ fn main() {
 
     // Point reads.
     let uid = 4321u64;
-    let payload = file.lookup(scramble(uid)).expect("lookup").expect("present");
+    let payload = file
+        .lookup(scramble(uid))
+        .expect("lookup")
+        .expect("present");
     println!("user {uid} handle: {}", decode_handle(&payload));
 
     // Parallel scan: all profiles from Sweden (country bytes "se" at a fixed
@@ -83,7 +96,10 @@ fn main() {
     // A server dies mid-operation; reads keep working.
     let victim_uid = scramble(1111);
     file.crash_data_bucket(file.address_of(victim_uid));
-    let payload = file.lookup(victim_uid).expect("degraded read").expect("present");
+    let payload = file
+        .lookup(victim_uid)
+        .expect("degraded read")
+        .expect("present");
     println!(
         "after a server crash, user 1111 still readable: {}",
         decode_handle(&payload)

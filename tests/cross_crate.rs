@@ -31,7 +31,8 @@ fn whole_stack_smoke() {
 
     let mut file = LhrsFile::new(cfg(2)).unwrap();
     for key in 0..300u64 {
-        file.insert(scramble(key), format!("v{key}").into_bytes()).unwrap();
+        file.insert(scramble(key), format!("v{key}").into_bytes())
+            .unwrap();
     }
     assert!(file.bucket_count() > 16);
     let hits = file.scan(FilterSpec::All).unwrap();
@@ -129,7 +130,10 @@ fn schemes_rank_as_the_paper_argues() {
 
     let (p_m, r_m) = mirror.storage_bytes();
     let (p_l, r_l) = lhrs.storage_bytes();
-    assert!((r_m as f64 / p_m as f64) > 0.99, "mirror overhead must be ~100%");
+    assert!(
+        (r_m as f64 / p_m as f64) > 0.99,
+        "mirror overhead must be ~100%"
+    );
     assert!(
         (r_l as f64 / p_l as f64) < 0.6,
         "lhrs k=1 overhead must be far below mirroring"

@@ -1,12 +1,12 @@
 //! System-level property tests: random operation mixes against a model
 //! dictionary with deep parity verification, and random ≤ k crash patterns
-//! that must always recover losslessly.
+//! that must always recover losslessly. Seeded cases via `lhrs-testkit`.
 
 use std::collections::HashMap;
 
 use lhrs_core::{Config, Error, LhrsFile};
 use lhrs_sim::LatencyModel;
-use proptest::prelude::*;
+use lhrs_testkit::{cases, Rng};
 
 fn cfg(m: usize, k: usize) -> Config {
     Config {
@@ -30,30 +30,27 @@ enum Op {
     Merge,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        2 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
-        1 => any::<u16>().prop_map(Op::Delete),
-        2 => any::<u16>().prop_map(Op::Lookup),
-        1 => Just(Op::Merge),
-    ]
+/// Weighted op mix matching the old proptest strategy (3:2:1:2:1).
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(9) {
+        0..=2 => Op::Insert(rng.next_u16(), rng.next_u8()),
+        3..=4 => Op::Update(rng.next_u16(), rng.next_u8()),
+        5 => Op::Delete(rng.next_u16()),
+        6..=7 => Op::Lookup(rng.next_u16()),
+        _ => Op::Merge,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 16,
-        .. ProptestConfig::default()
-    })]
-
-    /// The file behaves exactly like a dictionary under any op mix, and the
-    /// parity never drifts from the data.
-    #[test]
-    fn file_matches_model_dictionary(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        m in 2usize..6,
-        k in 1usize..4,
-    ) {
+/// The file behaves exactly like a dictionary under any op mix, and the
+/// parity never drifts from the data.
+#[test]
+fn file_matches_model_dictionary() {
+    cases("file_matches_model_dictionary", 16, |rng| {
+        let m = rng.range_usize(2, 6);
+        let k = rng.range_usize(1, 4);
+        let ops: Vec<Op> = (0..rng.range_usize(1, 120))
+            .map(|_| random_op(rng))
+            .collect();
         let mut file = LhrsFile::new(cfg(m, k)).unwrap();
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
         for op in ops {
@@ -64,11 +61,11 @@ proptest! {
                     let expect_dup = model.contains_key(&key);
                     match file.insert(key, payload.clone()) {
                         Ok(()) => {
-                            prop_assert!(!expect_dup);
+                            assert!(!expect_dup);
                             model.insert(key, payload);
                         }
-                        Err(Error::DuplicateKey(_)) => prop_assert!(expect_dup),
-                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                        Err(Error::DuplicateKey(_)) => assert!(expect_dup),
+                        Err(e) => panic!("unexpected error {e}"),
                     }
                 }
                 Op::Update(key, v) => {
@@ -76,26 +73,26 @@ proptest! {
                     let payload = vec![v.wrapping_add(1); (v % 20) as usize];
                     match file.update(key, payload.clone()) {
                         Ok(()) => {
-                            prop_assert!(model.contains_key(&key));
+                            assert!(model.contains_key(&key));
                             model.insert(key, payload);
                         }
-                        Err(Error::KeyNotFound(_)) => prop_assert!(!model.contains_key(&key)),
-                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                        Err(Error::KeyNotFound(_)) => assert!(!model.contains_key(&key)),
+                        Err(e) => panic!("unexpected error {e}"),
                     }
                 }
                 Op::Delete(key) => {
                     let key = key as u64;
                     match file.delete(key) {
                         Ok(()) => {
-                            prop_assert!(model.remove(&key).is_some());
+                            assert!(model.remove(&key).is_some());
                         }
-                        Err(Error::KeyNotFound(_)) => prop_assert!(!model.contains_key(&key)),
-                        Err(e) => prop_assert!(false, "unexpected error {e}"),
+                        Err(Error::KeyNotFound(_)) => assert!(!model.contains_key(&key)),
+                        Err(e) => panic!("unexpected error {e}"),
                     }
                 }
                 Op::Lookup(key) => {
                     let key = key as u64;
-                    prop_assert_eq!(file.lookup(key).unwrap(), model.get(&key).cloned());
+                    assert_eq!(file.lookup(key).unwrap(), model.get(&key).cloned());
                 }
                 Op::Merge => {
                     // Shrinking must never lose or corrupt records.
@@ -104,61 +101,70 @@ proptest! {
             }
         }
         // Deep invariant: every parity record equals the RS encoding.
-        file.verify_integrity().map_err(TestCaseError::fail)?;
+        file.verify_integrity().expect("parity drift");
         // Full content check.
         for (key, payload) in &model {
             let got = file.lookup(*key).unwrap();
-            prop_assert_eq!(got.as_ref(), Some(payload));
+            assert_eq!(got.as_ref(), Some(payload));
         }
-    }
+    });
+}
 
-    /// Any crash pattern of ≤ k shards per group is fully recoverable with
-    /// no data loss.
-    #[test]
-    fn random_crash_patterns_within_tolerance_recover(
-        seed in any::<u64>(),
-        kills in 1usize..=3,
-        k in 1usize..4,
-    ) {
-        let kills = kills.min(k);
-        let mut c = cfg(4, k);
-        c.latency = LatencyModel::default();
-        let mut file = LhrsFile::new(c).unwrap();
-        let n = 250u64;
-        for key in 0..n {
-            file.insert(key, vec![(key % 251) as u8; 16]).unwrap();
-        }
-        let groups = file.group_count() as u64;
-        let group = seed % groups;
-        // Pick `kills` distinct shards of the group (data cols that exist
-        // + parity indices).
-        let m_total = file.bucket_count();
-        let existing = (m_total.saturating_sub(group * 4)).min(4) as usize;
-        let shard_space: Vec<usize> = (0..existing).chain(4..4 + k).collect();
-        let mut chosen = Vec::new();
-        let mut s = seed;
-        while chosen.len() < kills.min(shard_space.len()) {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let pick = shard_space[(s >> 33) as usize % shard_space.len()];
-            if !chosen.contains(&pick) {
-                chosen.push(pick);
+/// Any crash pattern of ≤ k shards per group is fully recoverable with
+/// no data loss.
+#[test]
+fn random_crash_patterns_within_tolerance_recover() {
+    cases(
+        "random_crash_patterns_within_tolerance_recover",
+        16,
+        |rng| {
+            let seed = rng.next_u64();
+            let k = rng.range_usize(1, 4);
+            let kills = rng.range_usize(1, 4).min(k);
+            let mut c = cfg(4, k);
+            c.latency = LatencyModel::default();
+            let mut file = LhrsFile::new(c).unwrap();
+            let n = 250u64;
+            for key in 0..n {
+                file.insert(key, vec![(key % 251) as u8; 16]).unwrap();
             }
-        }
-        for &shard in &chosen {
-            if shard < 4 {
-                file.crash_data_bucket(group * 4 + shard as u64);
-            } else {
-                file.crash_parity_bucket(group, shard - 4);
+            let groups = file.group_count() as u64;
+            let group = seed % groups;
+            // Pick `kills` distinct shards of the group (data cols that exist
+            // + parity indices).
+            let m_total = file.bucket_count();
+            let existing = (m_total.saturating_sub(group * 4)).min(4) as usize;
+            let shard_space: Vec<usize> = (0..existing).chain(4..4 + k).collect();
+            let mut chosen = Vec::new();
+            let mut s = seed;
+            while chosen.len() < kills.min(shard_space.len()) {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let pick = shard_space[(s >> 33) as usize % shard_space.len()];
+                if !chosen.contains(&pick) {
+                    chosen.push(pick);
+                }
             }
-        }
-        let report = file.check_group(group);
-        prop_assert!(report.recovered, "pattern {:?} not recovered: {:?}", chosen, report);
-        file.verify_integrity().map_err(TestCaseError::fail)?;
-        for key in 0..n {
-            prop_assert_eq!(
-                file.lookup(key).unwrap().unwrap(),
-                vec![(key % 251) as u8; 16]
+            for &shard in &chosen {
+                if shard < 4 {
+                    file.crash_data_bucket(group * 4 + shard as u64);
+                } else {
+                    file.crash_parity_bucket(group, shard - 4);
+                }
+            }
+            let report = file.check_group(group);
+            assert!(
+                report.recovered,
+                "pattern {chosen:?} not recovered: {report:?}"
             );
-        }
-    }
+            file.verify_integrity().expect("parity drift");
+            for key in 0..n {
+                assert_eq!(
+                    file.lookup(key).unwrap().unwrap(),
+                    vec![(key % 251) as u8; 16]
+                );
+            }
+        },
+    );
 }

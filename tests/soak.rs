@@ -120,6 +120,41 @@ fn long_mixed_lifecycle() {
     let (n, i) = file.drill_file_state_recovery();
     assert_eq!(n + (1 << i), file.bucket_count());
 
+    // Phase 7: fault-injected churn. This file runs without write/parity
+    // acks, so the plan stays loss-free (loss needs the acknowledged
+    // retransmission paths — see crates/core/tests/fault_drills.rs);
+    // duplication and reordering are absorbed by the replay cache and the
+    // per-column Δ sequencing alone.
+    file.set_fault_plan(
+        lhrs_core::FaultPlan::new(0x50AC)
+            .dup_permille(60)
+            .reorder_permille(80)
+            .reorder_window_us(400),
+    );
+    for key in 3000..3200u64 {
+        let k = scramble(key);
+        file.insert(k, val(key, 4)).unwrap();
+        model.insert(k, val(key, 4));
+    }
+    for key in (3000..3200u64).step_by(2) {
+        let k = scramble(key);
+        file.update(k, val(key, 5)).unwrap();
+        model.insert(k, val(key, 5));
+    }
+    for key in (3000..3200u64).step_by(7) {
+        let k = scramble(key);
+        file.delete(k).unwrap();
+        model.remove(&k);
+    }
+    let stats = file.stats();
+    assert!(stats.duplicated > 0, "duplication must actually fire");
+    assert!(stats.reordered > 0, "reordering must actually fire");
+    file.clear_fault_plan();
+    file.verify_integrity().unwrap();
+    for (k, v) in &model {
+        assert_eq!(file.lookup(*k).unwrap().as_ref(), Some(v), "key {k}");
+    }
+
     // Sanity over the whole life: every failure we injected was detected
     // and every recovery completed.
     let detected = file
