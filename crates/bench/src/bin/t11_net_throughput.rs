@@ -1,0 +1,9 @@
+//! Regenerates experiment `t11_net_throughput` (see DESIGN.md §3); writes
+//! `bench_out/t11_net_throughput.txt`.
+
+fn main() {
+    lhrs_bench::emit(
+        "t11_net_throughput",
+        &lhrs_bench::experiments::t11_net_throughput::run(),
+    );
+}

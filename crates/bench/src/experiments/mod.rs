@@ -6,6 +6,7 @@ pub mod f2_availability_curves;
 pub mod f3_scalable_availability;
 pub mod f4_split_throughput;
 pub mod t10_fault_overhead;
+pub mod t11_net_throughput;
 pub mod t1_storage_overhead;
 pub mod t2_search_cost;
 pub mod t3_insert_cost;
@@ -36,5 +37,6 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("t8_update_cost", t8_update_cost::run),
         ("t9_grouping_ablation", t9_grouping_ablation::run),
         ("t10_fault_overhead", t10_fault_overhead::run),
+        ("t11_net_throughput", t11_net_throughput::run),
     ]
 }

@@ -1,0 +1,202 @@
+//! **T11 — Networked throughput vs the simulator's message model.**
+//!
+//! The `lhrs-net` subsystem runs the *same* node actors as the simulator,
+//! over a real transport. This experiment drives a multi-threaded loopback
+//! cluster (one thread per server "process", every message round-tripping
+//! through the wire codec) with a synchronous client, and reports
+//! wall-clock throughput and latency percentiles next to the simulator's
+//! exact per-operation message counts for an identical workload — the cost
+//! model the paper argues in messages, measured in microseconds.
+
+use std::sync::mpsc::{self, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lhrs_core::{Config, LhrsFile};
+use lhrs_net::client::NetClient;
+use lhrs_net::cluster::{ClusterSpec, NodeSpec, Role};
+use lhrs_net::host::NodeHost;
+use lhrs_net::transport::{HostEvent, LoopbackNet, LoopbackTransport};
+use lhrs_sim::LatencyModel;
+
+use crate::table::f2;
+use crate::Table;
+
+/// Operations per phase (inserts, then lookups over the same keys).
+const OPS: u64 = 1500;
+/// Per-operation deadline: far above any observed loopback latency.
+const OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn bench_config() -> Config {
+    Config {
+        group_size: 2,
+        initial_k: 1,
+        bucket_capacity: 256,
+        record_len: 32,
+        ack_writes: true,
+        ack_parity: true,
+        node_pool: 64,
+        ..Config::default()
+    }
+}
+
+fn payload_for(key: u64) -> Vec<u8> {
+    format!("t11-{key:08}").into_bytes()
+}
+
+struct Server {
+    tx: Sender<HostEvent>,
+    thread: JoinHandle<()>,
+}
+
+fn spawn_server(spec: &ClusterSpec, net: &LoopbackNet, id: u32) -> Server {
+    let (tx, rx) = mpsc::channel();
+    net.register(&[id], tx.clone());
+    let spec = spec.clone();
+    let net = net.clone();
+    let thread_tx = tx.clone();
+    let thread = std::thread::spawn(move || {
+        let shared = spec.build_shared();
+        let transport = LoopbackTransport::new(net, &[id]);
+        let mut host = NodeHost::new(shared.clone(), transport, thread_tx, rx);
+        host.add_node(id, spec.build_node(&shared, id));
+        host.run();
+    });
+    Server { tx, thread }
+}
+
+/// `(ops/sec, p50 µs, p99 µs)` over per-op latencies.
+fn stats(latencies: &mut [u64], wall: Duration) -> (f64, u64, u64) {
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let pct = |p: usize| latencies[(n * p / 100).min(n - 1)];
+    (n as f64 / wall.as_secs_f64(), pct(50), pct(99))
+}
+
+/// Run the experiment.
+pub fn run() -> Vec<Table> {
+    // --- simulator side: exact message counts for the same workload ---
+    let sim_cfg = Config {
+        latency: LatencyModel::instant(),
+        ..bench_config()
+    };
+    let mut file = LhrsFile::new(sim_cfg).expect("config");
+    let insert_cost = file.cost_of(|f| {
+        for key in 1..=OPS {
+            f.insert(key, payload_for(key)).expect("sim insert");
+        }
+    });
+    let lookup_cost = file.cost_of(|f| {
+        for key in 1..=OPS {
+            f.lookup(key).expect("sim lookup");
+        }
+    });
+    let sim_insert = insert_cost.total_messages() as f64 / OPS as f64;
+    let sim_lookup = lookup_cost.total_messages() as f64 / OPS as f64;
+
+    // --- loopback cluster: same actors, real threads and codec ---
+    let nodes = (0..40u32)
+        .map(|id| NodeSpec {
+            id,
+            addr: format!("loopback:{id}"),
+            role: match id {
+                0 => Role::Coordinator,
+                1 => Role::Client,
+                _ => Role::Server,
+            },
+        })
+        .collect();
+    let spec = ClusterSpec {
+        cfg: bench_config(),
+        nodes,
+    };
+    spec.validate().expect("bench spec valid");
+
+    let net = LoopbackNet::new();
+    let servers: Vec<Server> = std::iter::once(0)
+        .chain(spec.server_ids())
+        .map(|id| spawn_server(&spec, &net, id))
+        .collect();
+
+    let (tx, rx) = mpsc::channel();
+    net.register(&[1], tx.clone());
+    let shared = spec.build_shared();
+    let transport = LoopbackTransport::new(net.clone(), &[1]);
+    let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
+    host.add_node(1, spec.build_node(&shared, 1));
+    let mut client = NetClient::new(host, 1, 1);
+    assert!(
+        client.sync_registry(0, Duration::from_secs(10)),
+        "no allocation table"
+    );
+
+    let mut insert_lat = Vec::with_capacity(OPS as usize);
+    let t0 = Instant::now();
+    for key in 1..=OPS {
+        let t = Instant::now();
+        assert_eq!(
+            client.insert(key, payload_for(key), OP_TIMEOUT),
+            Some(true),
+            "net insert {key}"
+        );
+        insert_lat.push(t.elapsed().as_micros() as u64);
+    }
+    let insert_wall = t0.elapsed();
+
+    let mut lookup_lat = Vec::with_capacity(OPS as usize);
+    let t0 = Instant::now();
+    for key in 1..=OPS {
+        let t = Instant::now();
+        assert_eq!(
+            client.lookup(key, OP_TIMEOUT),
+            Some(Some(payload_for(key))),
+            "net lookup {key}"
+        );
+        lookup_lat.push(t.elapsed().as_micros() as u64);
+    }
+    let lookup_wall = t0.elapsed();
+
+    let net_stats = client.host().transport_stats();
+    for s in &servers {
+        let _ = s.tx.send(HostEvent::Shutdown);
+    }
+    for s in servers {
+        s.thread.join().expect("server joins");
+    }
+
+    let (ins_rate, ins_p50, ins_p99) = stats(&mut insert_lat, insert_wall);
+    let (look_rate, look_p50, look_p99) = stats(&mut lookup_lat, lookup_wall);
+
+    let mut table = Table::new(
+        "T11: loopback-cluster throughput vs simulator message model (m = 2, k = 1, acked writes + parity)",
+        &["phase", "ops", "ops/sec", "p50 us", "p99 us", "sim msgs/op"],
+    );
+    table.row(vec![
+        "insert".into(),
+        OPS.to_string(),
+        f2(ins_rate),
+        ins_p50.to_string(),
+        ins_p99.to_string(),
+        f2(sim_insert),
+    ]);
+    table.row(vec![
+        "lookup".into(),
+        OPS.to_string(),
+        f2(look_rate),
+        look_p50.to_string(),
+        look_p99.to_string(),
+        f2(sim_lookup),
+    ]);
+    table.note(format!(
+        "cluster: 38 single-node server threads + 1 client thread over the in-process \
+         loopback; every message crosses the real wire codec (client transport: {} msgs, \
+         {} bytes, {} dropped)",
+        net_stats.sent_msgs, net_stats.sent_bytes, net_stats.dropped
+    ));
+    table.note(
+        "the synchronous client pipelines nothing: one op in flight, so ops/sec ≈ \
+         1e6 / p50; the sim column is the paper's cost model (messages/op) for the \
+         identical workload",
+    );
+    vec![table]
+}

@@ -306,7 +306,12 @@ impl Client {
         scan.timer = new_timer;
         let filter = scan.filter.clone();
         for (b, assumed_level) in targets {
-            let node = self.shared.registry.borrow().data_node(b);
+            // A networked host's allocation table can lag the level a reply
+            // advertised; skip unmapped buckets — the next retry round sees
+            // a fresher table.
+            let Some(node) = self.shared.registry.borrow().try_data_node(b) else {
+                continue;
+            };
             env.send(
                 node,
                 Msg::Scan {

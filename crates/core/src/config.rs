@@ -94,6 +94,11 @@ pub struct Config {
     /// Retransmission rounds the coordinator attempts (per probe, shard
     /// transfer, install, split, or merge) before giving up.
     pub coord_retries: u32,
+    /// Data-bucket replay-cache capacity: how many recent client-op results
+    /// each bucket remembers for duplicate suppression. FIFO-evicted beyond
+    /// this bound; must be ≥ 1. Size it above `clients × in-flight ops` so
+    /// a retried write still finds its first execution's result.
+    pub replay_cache_cap: usize,
     /// Network latency model for the simulated multicomputer.
     pub latency: LatencyModel,
     /// Total simulated server pool (data + parity + spares). The file
@@ -122,6 +127,7 @@ impl Default for Config {
             probe_timeout_us: 5_000,
             coord_retransmit_us: 8_000,
             coord_retries: 10,
+            replay_cache_cap: 4096,
             latency: LatencyModel::default(),
             node_pool: 512,
         }
@@ -159,6 +165,11 @@ impl Config {
         if self.delta_retransmit_us == 0 || self.coord_retransmit_us == 0 {
             return Err(crate::Error::InvalidConfig(
                 "delta_retransmit_us and coord_retransmit_us must be ≥ 1 µs".into(),
+            ));
+        }
+        if self.replay_cache_cap == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "replay_cache_cap must be ≥ 1".into(),
             ));
         }
         if self.retry_backoff_cap_us < self.client_timeout_us {

@@ -78,6 +78,15 @@ pub enum CoordEvent {
         /// Recovered file level.
         i: u8,
     },
+    /// A rebuild collected its shards but found no spare nodes to install
+    /// them on; the attempt was abandoned (a later suspect retries, and
+    /// lookups are served in degraded mode meanwhile).
+    RecoveryStalled {
+        /// The group.
+        group: u64,
+        /// Spare nodes the rebuild needed.
+        needed: usize,
+    },
 }
 
 /// Outstanding liveness probe for one node.
@@ -225,6 +234,9 @@ pub struct Coordinator {
     queued_ops: HashMap<u64, Vec<(OpId, NodeId, ReqKind)>>,
     /// Groups the check machinery is already looking at (per token).
     checking_groups: HashSet<u64>,
+    /// Overflow reports waiting for the coordinator to go idle, one split
+    /// owed per report (the paper's split policy). Runaway growth under
+    /// slow networks is bounded by the pool guard in `do_split`, not here.
     deferred_splits: u64,
     outstanding_splits: u64,
     /// Ordered splits awaiting confirmation, keyed by token.
@@ -755,6 +767,23 @@ impl Coordinator {
 
     fn do_split(&mut self, env: &mut Env<'_, Msg>) {
         let m = self.m() as u64;
+
+        // Out of spare nodes: drop the split rather than panic. The
+        // overflowing bucket keeps serving (just over capacity) and will
+        // re-report as it grows, so the split retries once nodes free up.
+        // Checked before `state.split()` commits the address-space change;
+        // the next bucket number is always the current count, so the
+        // new-group test is exact.
+        let next_target = self.state.bucket_count();
+        let needed = 1 + if self.group_k.len() as u64 <= next_target / m {
+            self.k_file
+        } else {
+            0
+        };
+        if self.pool.len() < needed {
+            return;
+        }
+
         let plan = self.state.split();
         let target_group = plan.target / m;
 
@@ -1518,6 +1547,34 @@ impl Coordinator {
             &ctx.rebuild,
             &code,
         );
+
+        // Out of spare nodes: abandon this rebuild instead of panicking
+        // the coordinator. The shards stay marked failed, so the next
+        // suspect re-audits the group and retries once nodes free up (a
+        // merge, say); queued lookups were already served degraded, and
+        // parked writes fail back to their clients.
+        if self.pool.len() < rebuilt.len() {
+            env.cancel_timer(ctx.timer);
+            self.timer_tokens.remove(&ctx.timer);
+            self.events.push((
+                env.now(),
+                CoordEvent::RecoveryStalled {
+                    group: ctx.group,
+                    needed: rebuilt.len(),
+                },
+            ));
+            for (op_id, client, _) in self.queued_ops.remove(&ctx.group).unwrap_or_default() {
+                env.send(
+                    client,
+                    Msg::Reply {
+                        op_id,
+                        result: OpResult::Failed("no spare nodes to rebuild onto".into()),
+                        iam: None,
+                    },
+                );
+            }
+            return;
+        }
 
         // Install each rebuilt shard on a spare node.
         for (shard, content) in rebuilt {

@@ -12,11 +12,6 @@ use crate::record::{cell_delta, encode_cell, Record};
 use crate::registry::SharedHandle;
 use crate::{Key, Rank};
 
-/// Replay-cache capacity: recent write results kept for duplicate-request
-/// suppression. FIFO eviction; sized far above any realistic number of
-/// in-flight retried operations.
-const REPLAY_CAP: usize = 4096;
-
 /// A primary (data) bucket of the LH\*RS file.
 pub struct DataBucket {
     shared: SharedHandle,
@@ -223,7 +218,13 @@ impl DataBucket {
                 let mut l = assumed_level;
                 while l < self.level {
                     let child = self.bucket + (1u64 << l);
-                    let node = self.shared.registry.borrow().data_node(child);
+                    // A networked host's allocation-table snapshot can lag
+                    // the sender's; drop the propagation then (the client's
+                    // scan machinery retries a stalled scan).
+                    let Some(node) = self.shared.registry.borrow().try_data_node(child) else {
+                        l += 1;
+                        continue;
+                    };
                     env.send(
                         node,
                         Msg::Scan {
@@ -451,12 +452,18 @@ impl DataBucket {
     fn remember(&mut self, client: NodeId, op_id: OpId, key: Key, result: OpResult) {
         if self.replay.insert((client, op_id), (key, result)).is_none() {
             self.replay_order.push_back((client, op_id));
-            if self.replay_order.len() > REPLAY_CAP {
+            while self.replay_order.len() > self.shared.cfg.replay_cache_cap {
                 if let Some(old) = self.replay_order.pop_front() {
                     self.replay.remove(&old);
                 }
             }
         }
+    }
+
+    /// Number of entries currently in the replay cache (bounded by
+    /// [`crate::Config::replay_cache_cap`]).
+    pub fn replay_cache_len(&self) -> usize {
+        self.replay.len()
     }
 
     fn handle_req(
@@ -472,7 +479,12 @@ impl DataBucket {
         // otherwise. N = 1 throughout LH*RS.
         match a2_route(self.bucket, self.level, kind.key(), 1) {
             A2Outcome::Forward(next) => {
-                let node = self.shared.registry.borrow().data_node(next);
+                // With a lagging networked allocation table the forward
+                // target may not be mapped yet: drop the request — the
+                // client times out and retries against a fresher table.
+                let Some(node) = self.shared.registry.borrow().try_data_node(next) else {
+                    return;
+                };
                 env.send(
                     node,
                     Msg::Req {

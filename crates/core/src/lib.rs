@@ -68,6 +68,7 @@ pub mod node;
 pub mod parity_bucket;
 pub mod record;
 pub mod registry;
+pub mod wire;
 
 pub use code::GfField;
 pub use config::{Config, ScanTermination, UpgradeMode};

@@ -61,6 +61,14 @@ impl Registry {
         self.data[b as usize]
     }
 
+    /// Node carrying data bucket `b`, or `None` when the table has no such
+    /// bucket. The non-panicking variant for paths that can legitimately
+    /// race a stale table (a networked host whose registry snapshot lags the
+    /// coordinator); the caller drops the message and relies on retries.
+    pub fn try_data_node(&self, b: u64) -> Option<NodeId> {
+        self.data.get(b as usize).copied()
+    }
+
     /// Number of data buckets (`M`).
     pub fn data_count(&self) -> usize {
         self.data.len()

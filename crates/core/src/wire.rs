@@ -1,0 +1,1281 @@
+//! Binary wire codec for the LH\*RS protocol.
+//!
+//! Everything a [`Msg`] can carry is encoded into a self-contained byte
+//! string so messages can cross real sockets (the `lhrs-net` crate) instead
+//! of being moved in-memory by the simulator. The workspace is
+//! registry-free, so the codec is hand-rolled and zero-dependency:
+//!
+//! * **Versioned**: every encoding starts with [`WIRE_VERSION`]; a decoder
+//!   refuses other versions with [`WireError::Version`].
+//! * **Tagged**: each enum variant carries a one-byte tag (see [`tag`] for
+//!   the full table, mirrored in `DESIGN.md`). Unknown tags are rejected
+//!   with [`WireError::UnknownTag`] naming the enum that was being decoded.
+//! * **Varint integers**: `u64`/`usize` quantities use LEB128 (7 bits per
+//!   byte, little-endian groups), so small keys, ranks, and lengths cost one
+//!   byte. Node ids are fixed 4-byte little-endian (they include the
+//!   `u32::MAX` driver sentinel).
+//! * **Defensive decode**: length fields are checked against both a hard
+//!   cap ([`MAX_LEN`], rejecting absurd claims before any allocation) and
+//!   the bytes actually remaining (rejecting truncated frames), and a
+//!   successful decode must consume the buffer exactly ([`WireError::Trailing`]).
+//!   No input can make the decoder panic or over-allocate.
+//!
+//! Encode→decode is the identity on every well-formed message; the
+//! `wire_roundtrip` integration test fuzzes this across all variants.
+
+use lhrs_sim::NodeId;
+
+use crate::msg::{
+    ClientOp, DeltaEntry, FilterSpec, Iam, KeyOp, Msg, OpResult, ReplayEntry, ReqKind, ShardContent,
+};
+use crate::record::Record;
+use crate::{Key, Rank};
+
+/// Wire format version; bumped on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on any single length field (bytes or element count). Frames are
+/// far smaller in practice; the cap only exists so a corrupt length cannot
+/// trigger a giant allocation before the truncation check.
+pub const MAX_LEN: u64 = 1 << 30;
+
+/// Typed decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the encoding did.
+    Truncated,
+    /// The leading version byte is not [`WIRE_VERSION`].
+    Version {
+        /// The version byte found.
+        got: u8,
+    },
+    /// An enum tag byte had no assigned meaning.
+    UnknownTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A length field exceeded [`MAX_LEN`].
+    Oversized {
+        /// The field being decoded.
+        what: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// The encoding decoded cleanly but left unconsumed bytes.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A varint ran past 10 bytes (would overflow `u64`).
+    VarintOverflow,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Version { got } => {
+                write!(f, "wire version {got} (supported: {WIRE_VERSION})")
+            }
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Oversized { what, len } => {
+                write!(f, "oversized {what} length {len} (cap {MAX_LEN})")
+            }
+            WireError::Trailing { extra } => write!(f, "{extra} trailing bytes after message"),
+            WireError::VarintOverflow => write!(f, "varint overflows u64"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The tag table: one byte per [`Msg`] variant. Stable across versions of
+/// the same [`WIRE_VERSION`]; new variants append, retired tags are never
+/// reused.
+pub mod tag {
+    /// `Msg::Do`
+    pub const DO: u8 = 1;
+    /// `Msg::Req`
+    pub const REQ: u8 = 2;
+    /// `Msg::Reply`
+    pub const REPLY: u8 = 3;
+    /// `Msg::Scan`
+    pub const SCAN: u8 = 4;
+    /// `Msg::ScanReply`
+    pub const SCAN_REPLY: u8 = 5;
+    /// `Msg::ParityDelta`
+    pub const PARITY_DELTA: u8 = 6;
+    /// `Msg::ParityBatch`
+    pub const PARITY_BATCH: u8 = 7;
+    /// `Msg::ParityAck`
+    pub const PARITY_ACK: u8 = 8;
+    /// `Msg::ReportOverflow`
+    pub const REPORT_OVERFLOW: u8 = 9;
+    /// `Msg::InitData`
+    pub const INIT_DATA: u8 = 10;
+    /// `Msg::InitParity`
+    pub const INIT_PARITY: u8 = 11;
+    /// `Msg::DoSplit`
+    pub const DO_SPLIT: u8 = 12;
+    /// `Msg::SplitLoad`
+    pub const SPLIT_LOAD: u8 = 13;
+    /// `Msg::Suspect`
+    pub const SUSPECT: u8 = 14;
+    /// `Msg::Probe`
+    pub const PROBE: u8 = 15;
+    /// `Msg::ProbeAck`
+    pub const PROBE_ACK: u8 = 16;
+    /// `Msg::TransferShard`
+    pub const TRANSFER_SHARD: u8 = 17;
+    /// `Msg::ShardData`
+    pub const SHARD_DATA: u8 = 18;
+    /// `Msg::Install`
+    pub const INSTALL: u8 = 19;
+    /// `Msg::InstallAck`
+    pub const INSTALL_ACK: u8 = 20;
+    /// `Msg::FindRecord`
+    pub const FIND_RECORD: u8 = 21;
+    /// `Msg::FindRecordReply`
+    pub const FIND_RECORD_REPLY: u8 = 22;
+    /// `Msg::ReadCell`
+    pub const READ_CELL: u8 = 23;
+    /// `Msg::CellData`
+    pub const CELL_DATA: u8 = 24;
+    /// `Msg::SplitDone`
+    pub const SPLIT_DONE: u8 = 25;
+    /// `Msg::ForceMerge`
+    pub const FORCE_MERGE: u8 = 26;
+    /// `Msg::DoMerge`
+    pub const DO_MERGE: u8 = 27;
+    /// `Msg::MergeLoad`
+    pub const MERGE_LOAD: u8 = 28;
+    /// `Msg::MergeDone`
+    pub const MERGE_DONE: u8 = 29;
+    /// `Msg::Retire`
+    pub const RETIRE: u8 = 30;
+    /// `Msg::SelfReport`
+    pub const SELF_REPORT: u8 = 31;
+    /// `Msg::CheckOwnership`
+    pub const CHECK_OWNERSHIP: u8 = 32;
+    /// `Msg::OwnershipAck`
+    pub const OWNERSHIP_ACK: u8 = 33;
+    /// `Msg::CheckGroup`
+    pub const CHECK_GROUP: u8 = 34;
+    /// `Msg::RecoverFileState`
+    pub const RECOVER_FILE_STATE: u8 = 35;
+    /// `Msg::StateQuery`
+    pub const STATE_QUERY: u8 = 36;
+    /// `Msg::StateReply`
+    pub const STATE_REPLY: u8 = 37;
+}
+
+// ----- encoding primitives -----
+
+/// Append a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a varint-length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_varint(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Append a node id (fixed 4-byte little-endian, `u32::MAX` = driver).
+pub fn put_node(out: &mut Vec<u8>, n: NodeId) {
+    out.extend_from_slice(&n.0.to_le_bytes());
+}
+
+fn put_opt_node(out: &mut Vec<u8>, n: &Option<NodeId>) {
+    match n {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            put_node(out, *n);
+        }
+    }
+}
+
+fn put_opt_varint(out: &mut Vec<u8>, v: &Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_varint(out, *v);
+        }
+    }
+}
+
+// ----- decoding primitives -----
+
+/// A bounds-checked cursor over an encoded buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.at).ok_or(WireError::Truncated)?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    /// Read a fixed 4-byte little-endian `u32`.
+    pub fn u32le(&mut self) -> Result<u32, WireError> {
+        let s = self
+            .buf
+            .get(self.at..self.at + 4)
+            .ok_or(WireError::Truncated)?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Read a LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let low = (byte & 0x7f) as u64;
+            // The 10th byte may only contribute the final bit.
+            if shift == 63 && low > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(WireError::VarintOverflow)
+    }
+
+    /// Read a length field: a varint checked against [`MAX_LEN`] and the
+    /// bytes remaining (every encoded element costs ≥ 1 byte, so a count
+    /// beyond `remaining` is necessarily truncation).
+    pub fn len(&mut self, what: &'static str) -> Result<usize, WireError> {
+        let n = self.varint()?;
+        if n > MAX_LEN {
+            return Err(WireError::Oversized { what, len: n });
+        }
+        if n as usize > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let s = self
+            .buf
+            .get(self.at..self.at + n)
+            .ok_or(WireError::Truncated)?;
+        self.at += n;
+        Ok(s)
+    }
+
+    /// Read a varint-length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, WireError> {
+        let n = self.len(what)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Read a node id.
+    pub fn node(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId(self.u32le()?))
+    }
+
+    fn opt_node(&mut self) -> Result<Option<NodeId>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.node()?)),
+            t => Err(WireError::UnknownTag {
+                what: "Option<NodeId>",
+                tag: t,
+            }),
+        }
+    }
+
+    fn opt_varint(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.varint()?)),
+            t => Err(WireError::UnknownTag {
+                what: "Option<u64>",
+                tag: t,
+            }),
+        }
+    }
+
+    /// Require full consumption (call after the top-level decode).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ----- sub-codecs -----
+
+fn put_filter(out: &mut Vec<u8>, f: &FilterSpec) {
+    match f {
+        FilterSpec::All => out.push(0),
+        FilterSpec::PayloadContains(n) => {
+            out.push(1);
+            put_bytes(out, n);
+        }
+        FilterSpec::KeyRange(lo, hi) => {
+            out.push(2);
+            put_varint(out, *lo);
+            put_varint(out, *hi);
+        }
+    }
+}
+
+fn get_filter(r: &mut Reader<'_>) -> Result<FilterSpec, WireError> {
+    match r.u8()? {
+        0 => Ok(FilterSpec::All),
+        1 => Ok(FilterSpec::PayloadContains(r.bytes("filter needle")?)),
+        2 => Ok(FilterSpec::KeyRange(r.varint()?, r.varint()?)),
+        t => Err(WireError::UnknownTag {
+            what: "FilterSpec",
+            tag: t,
+        }),
+    }
+}
+
+fn put_client_op(out: &mut Vec<u8>, op: &ClientOp) {
+    match op {
+        ClientOp::Insert { key, payload } => {
+            out.push(0);
+            put_varint(out, *key);
+            put_bytes(out, payload);
+        }
+        ClientOp::Lookup { key } => {
+            out.push(1);
+            put_varint(out, *key);
+        }
+        ClientOp::Update { key, payload } => {
+            out.push(2);
+            put_varint(out, *key);
+            put_bytes(out, payload);
+        }
+        ClientOp::Delete { key } => {
+            out.push(3);
+            put_varint(out, *key);
+        }
+        ClientOp::Scan { filter } => {
+            out.push(4);
+            put_filter(out, filter);
+        }
+    }
+}
+
+fn get_client_op(r: &mut Reader<'_>) -> Result<ClientOp, WireError> {
+    match r.u8()? {
+        0 => Ok(ClientOp::Insert {
+            key: r.varint()?,
+            payload: r.bytes("payload")?,
+        }),
+        1 => Ok(ClientOp::Lookup { key: r.varint()? }),
+        2 => Ok(ClientOp::Update {
+            key: r.varint()?,
+            payload: r.bytes("payload")?,
+        }),
+        3 => Ok(ClientOp::Delete { key: r.varint()? }),
+        4 => Ok(ClientOp::Scan {
+            filter: get_filter(r)?,
+        }),
+        t => Err(WireError::UnknownTag {
+            what: "ClientOp",
+            tag: t,
+        }),
+    }
+}
+
+fn put_req_kind(out: &mut Vec<u8>, k: &ReqKind) {
+    match k {
+        ReqKind::Insert(key, p) => {
+            out.push(0);
+            put_varint(out, *key);
+            put_bytes(out, p);
+        }
+        ReqKind::Lookup(key) => {
+            out.push(1);
+            put_varint(out, *key);
+        }
+        ReqKind::Update(key, p) => {
+            out.push(2);
+            put_varint(out, *key);
+            put_bytes(out, p);
+        }
+        ReqKind::Delete(key) => {
+            out.push(3);
+            put_varint(out, *key);
+        }
+    }
+}
+
+fn get_req_kind(r: &mut Reader<'_>) -> Result<ReqKind, WireError> {
+    match r.u8()? {
+        0 => Ok(ReqKind::Insert(r.varint()?, r.bytes("payload")?)),
+        1 => Ok(ReqKind::Lookup(r.varint()?)),
+        2 => Ok(ReqKind::Update(r.varint()?, r.bytes("payload")?)),
+        3 => Ok(ReqKind::Delete(r.varint()?)),
+        t => Err(WireError::UnknownTag {
+            what: "ReqKind",
+            tag: t,
+        }),
+    }
+}
+
+fn put_hits(out: &mut Vec<u8>, hits: &[(Key, Vec<u8>)]) {
+    put_varint(out, hits.len() as u64);
+    for (k, p) in hits {
+        put_varint(out, *k);
+        put_bytes(out, p);
+    }
+}
+
+fn get_hits(r: &mut Reader<'_>) -> Result<Vec<(Key, Vec<u8>)>, WireError> {
+    let n = r.len("hit list")?;
+    let mut hits = Vec::with_capacity(n);
+    for _ in 0..n {
+        hits.push((r.varint()?, r.bytes("hit payload")?));
+    }
+    Ok(hits)
+}
+
+fn put_op_result(out: &mut Vec<u8>, res: &OpResult) {
+    match res {
+        OpResult::Inserted => out.push(0),
+        OpResult::DuplicateKey => out.push(1),
+        OpResult::Updated => out.push(2),
+        OpResult::Deleted => out.push(3),
+        OpResult::Value(None) => out.push(4),
+        OpResult::Value(Some(p)) => {
+            out.push(5);
+            put_bytes(out, p);
+        }
+        OpResult::NotFound => out.push(6),
+        OpResult::ScanHits(hits) => {
+            out.push(7);
+            put_hits(out, hits);
+        }
+        OpResult::Failed(e) => {
+            out.push(8);
+            put_bytes(out, e.as_bytes());
+        }
+    }
+}
+
+fn get_op_result(r: &mut Reader<'_>) -> Result<OpResult, WireError> {
+    match r.u8()? {
+        0 => Ok(OpResult::Inserted),
+        1 => Ok(OpResult::DuplicateKey),
+        2 => Ok(OpResult::Updated),
+        3 => Ok(OpResult::Deleted),
+        4 => Ok(OpResult::Value(None)),
+        5 => Ok(OpResult::Value(Some(r.bytes("value")?))),
+        6 => Ok(OpResult::NotFound),
+        7 => Ok(OpResult::ScanHits(get_hits(r)?)),
+        8 => Ok(OpResult::Failed(
+            String::from_utf8(r.bytes("error text")?).map_err(|_| WireError::BadUtf8)?,
+        )),
+        t => Err(WireError::UnknownTag {
+            what: "OpResult",
+            tag: t,
+        }),
+    }
+}
+
+fn put_iam(out: &mut Vec<u8>, iam: &Option<Iam>) {
+    match iam {
+        None => out.push(0),
+        Some(iam) => {
+            out.push(1);
+            out.push(iam.level);
+            put_varint(out, iam.bucket);
+        }
+    }
+}
+
+fn get_iam(r: &mut Reader<'_>) -> Result<Option<Iam>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Iam {
+            level: r.u8()?,
+            bucket: r.varint()?,
+        })),
+        t => Err(WireError::UnknownTag {
+            what: "Option<Iam>",
+            tag: t,
+        }),
+    }
+}
+
+fn put_key_op(out: &mut Vec<u8>, op: &KeyOp) {
+    match op {
+        KeyOp::Add(k) => {
+            out.push(0);
+            put_varint(out, *k);
+        }
+        KeyOp::Remove(k) => {
+            out.push(1);
+            put_varint(out, *k);
+        }
+        KeyOp::Keep => out.push(2),
+    }
+}
+
+fn get_key_op(r: &mut Reader<'_>) -> Result<KeyOp, WireError> {
+    match r.u8()? {
+        0 => Ok(KeyOp::Add(r.varint()?)),
+        1 => Ok(KeyOp::Remove(r.varint()?)),
+        2 => Ok(KeyOp::Keep),
+        t => Err(WireError::UnknownTag {
+            what: "KeyOp",
+            tag: t,
+        }),
+    }
+}
+
+fn put_delta_entry(out: &mut Vec<u8>, e: &DeltaEntry) {
+    put_varint(out, e.seq);
+    put_varint(out, e.rank);
+    put_varint(out, e.col as u64);
+    put_key_op(out, &e.key_op);
+    put_bytes(out, &e.delta_cell);
+}
+
+fn get_delta_entry(r: &mut Reader<'_>) -> Result<DeltaEntry, WireError> {
+    Ok(DeltaEntry {
+        seq: r.varint()?,
+        rank: r.varint()?,
+        col: r.varint()? as usize,
+        key_op: get_key_op(r)?,
+        delta_cell: r.bytes("delta cell")?,
+    })
+}
+
+fn put_replay_entry(out: &mut Vec<u8>, e: &ReplayEntry) {
+    put_node(out, e.client);
+    put_varint(out, e.op_id);
+    put_varint(out, e.key);
+    put_op_result(out, &e.result);
+}
+
+fn get_replay_entry(r: &mut Reader<'_>) -> Result<ReplayEntry, WireError> {
+    Ok(ReplayEntry {
+        client: r.node()?,
+        op_id: r.varint()?,
+        key: r.varint()?,
+        result: get_op_result(r)?,
+    })
+}
+
+fn put_records(out: &mut Vec<u8>, records: &[Record]) {
+    put_varint(out, records.len() as u64);
+    for rec in records {
+        put_varint(out, rec.key);
+        put_bytes(out, &rec.payload);
+    }
+}
+
+fn get_records(r: &mut Reader<'_>) -> Result<Vec<Record>, WireError> {
+    let n = r.len("record list")?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(Record {
+            key: r.varint()?,
+            payload: r.bytes("record payload")?,
+        });
+    }
+    Ok(records)
+}
+
+fn put_replay_list(out: &mut Vec<u8>, replay: &[ReplayEntry]) {
+    put_varint(out, replay.len() as u64);
+    for e in replay {
+        put_replay_entry(out, e);
+    }
+}
+
+fn get_replay_list(r: &mut Reader<'_>) -> Result<Vec<ReplayEntry>, WireError> {
+    let n = r.len("replay list")?;
+    let mut replay = Vec::with_capacity(n);
+    for _ in 0..n {
+        replay.push(get_replay_entry(r)?);
+    }
+    Ok(replay)
+}
+
+fn put_shard_content(out: &mut Vec<u8>, c: &ShardContent) {
+    match c {
+        ShardContent::Data {
+            level,
+            next_rank,
+            delta_seq,
+            records,
+        } => {
+            out.push(0);
+            out.push(*level);
+            put_varint(out, *next_rank);
+            put_varint(out, *delta_seq);
+            put_varint(out, records.len() as u64);
+            for (rank, key, payload) in records {
+                put_varint(out, *rank);
+                put_varint(out, *key);
+                put_bytes(out, payload);
+            }
+        }
+        ShardContent::Parity { records, col_seqs } => {
+            out.push(1);
+            put_varint(out, records.len() as u64);
+            for (rank, keys, cell) in records {
+                put_varint(out, *rank);
+                put_varint(out, keys.len() as u64);
+                for k in keys {
+                    put_opt_varint(out, k);
+                }
+                put_bytes(out, cell);
+            }
+            put_varint(out, col_seqs.len() as u64);
+            for s in col_seqs {
+                put_varint(out, *s);
+            }
+        }
+    }
+}
+
+fn get_shard_content(r: &mut Reader<'_>) -> Result<ShardContent, WireError> {
+    match r.u8()? {
+        0 => {
+            let level = r.u8()?;
+            let next_rank: Rank = r.varint()?;
+            let delta_seq = r.varint()?;
+            let n = r.len("data shard records")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push((r.varint()?, r.varint()?, r.bytes("record payload")?));
+            }
+            Ok(ShardContent::Data {
+                level,
+                next_rank,
+                delta_seq,
+                records,
+            })
+        }
+        1 => {
+            let n = r.len("parity shard records")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rank: Rank = r.varint()?;
+                let kn = r.len("parity key list")?;
+                let mut keys = Vec::with_capacity(kn);
+                for _ in 0..kn {
+                    keys.push(r.opt_varint()?);
+                }
+                records.push((rank, keys, r.bytes("parity cell")?));
+            }
+            let cn = r.len("column seq list")?;
+            let mut col_seqs = Vec::with_capacity(cn);
+            for _ in 0..cn {
+                col_seqs.push(r.varint()?);
+            }
+            Ok(ShardContent::Parity { records, col_seqs })
+        }
+        t => Err(WireError::UnknownTag {
+            what: "ShardContent",
+            tag: t,
+        }),
+    }
+}
+
+// ----- top-level message codec -----
+
+/// Encode a message (starts with [`WIRE_VERSION`]).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.push(WIRE_VERSION);
+    match msg {
+        Msg::Do { op_id, op } => {
+            out.push(tag::DO);
+            put_varint(&mut out, *op_id);
+            put_client_op(&mut out, op);
+        }
+        Msg::Req {
+            op_id,
+            client,
+            intended,
+            hops,
+            kind,
+        } => {
+            out.push(tag::REQ);
+            put_varint(&mut out, *op_id);
+            put_node(&mut out, *client);
+            put_varint(&mut out, *intended);
+            out.push(*hops);
+            put_req_kind(&mut out, kind);
+        }
+        Msg::Reply { op_id, result, iam } => {
+            out.push(tag::REPLY);
+            put_varint(&mut out, *op_id);
+            put_op_result(&mut out, result);
+            put_iam(&mut out, iam);
+        }
+        Msg::Scan {
+            op_id,
+            client,
+            filter,
+            assumed_level,
+            reply_if_empty,
+        } => {
+            out.push(tag::SCAN);
+            put_varint(&mut out, *op_id);
+            put_node(&mut out, *client);
+            put_filter(&mut out, filter);
+            out.push(*assumed_level);
+            out.push(u8::from(*reply_if_empty));
+        }
+        Msg::ScanReply {
+            op_id,
+            bucket,
+            level,
+            hits,
+        } => {
+            out.push(tag::SCAN_REPLY);
+            put_varint(&mut out, *op_id);
+            put_varint(&mut out, *bucket);
+            out.push(*level);
+            put_hits(&mut out, hits);
+        }
+        Msg::ParityDelta {
+            group,
+            entry,
+            ack_to,
+        } => {
+            out.push(tag::PARITY_DELTA);
+            put_varint(&mut out, *group);
+            put_delta_entry(&mut out, entry);
+            put_opt_node(&mut out, ack_to);
+        }
+        Msg::ParityBatch {
+            group,
+            entries,
+            ack_to,
+        } => {
+            out.push(tag::PARITY_BATCH);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, entries.len() as u64);
+            for e in entries {
+                put_delta_entry(&mut out, e);
+            }
+            put_opt_node(&mut out, ack_to);
+        }
+        Msg::ParityAck { col, upto } => {
+            out.push(tag::PARITY_ACK);
+            put_varint(&mut out, *col as u64);
+            put_varint(&mut out, *upto);
+        }
+        Msg::ReportOverflow { bucket, size } => {
+            out.push(tag::REPORT_OVERFLOW);
+            put_varint(&mut out, *bucket);
+            put_varint(&mut out, *size as u64);
+        }
+        Msg::InitData {
+            bucket,
+            level,
+            delta_seq,
+        } => {
+            out.push(tag::INIT_DATA);
+            put_varint(&mut out, *bucket);
+            out.push(*level);
+            put_varint(&mut out, *delta_seq);
+        }
+        Msg::InitParity { group, index, k } => {
+            out.push(tag::INIT_PARITY);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, *index as u64);
+            put_varint(&mut out, *k as u64);
+        }
+        Msg::DoSplit {
+            source,
+            target,
+            new_level,
+        } => {
+            out.push(tag::DO_SPLIT);
+            put_varint(&mut out, *source);
+            put_varint(&mut out, *target);
+            out.push(*new_level);
+        }
+        Msg::SplitLoad {
+            bucket,
+            level,
+            records,
+            replay,
+        } => {
+            out.push(tag::SPLIT_LOAD);
+            put_varint(&mut out, *bucket);
+            out.push(*level);
+            put_records(&mut out, records);
+            put_replay_list(&mut out, replay);
+        }
+        Msg::Suspect {
+            op_id,
+            client,
+            bucket,
+            kind,
+        } => {
+            out.push(tag::SUSPECT);
+            put_varint(&mut out, *op_id);
+            put_node(&mut out, *client);
+            put_varint(&mut out, *bucket);
+            put_req_kind(&mut out, kind);
+        }
+        Msg::Probe { token } => {
+            out.push(tag::PROBE);
+            put_varint(&mut out, *token);
+        }
+        Msg::ProbeAck { token, bucket } => {
+            out.push(tag::PROBE_ACK);
+            put_varint(&mut out, *token);
+            put_opt_varint(&mut out, bucket);
+        }
+        Msg::TransferShard { token } => {
+            out.push(tag::TRANSFER_SHARD);
+            put_varint(&mut out, *token);
+        }
+        Msg::ShardData {
+            token,
+            shard,
+            content,
+        } => {
+            out.push(tag::SHARD_DATA);
+            put_varint(&mut out, *token);
+            put_varint(&mut out, *shard as u64);
+            put_shard_content(&mut out, content);
+        }
+        Msg::Install {
+            group,
+            bucket,
+            index,
+            k,
+            content,
+            token,
+        } => {
+            out.push(tag::INSTALL);
+            put_varint(&mut out, *group);
+            put_opt_varint(&mut out, bucket);
+            put_opt_varint(&mut out, &index.map(|i| i as u64));
+            put_varint(&mut out, *k as u64);
+            put_shard_content(&mut out, content);
+            put_varint(&mut out, *token);
+        }
+        Msg::InstallAck { token } => {
+            out.push(tag::INSTALL_ACK);
+            put_varint(&mut out, *token);
+        }
+        Msg::FindRecord { key, token } => {
+            out.push(tag::FIND_RECORD);
+            put_varint(&mut out, *key);
+            put_varint(&mut out, *token);
+        }
+        Msg::FindRecordReply { token, found } => {
+            out.push(tag::FIND_RECORD_REPLY);
+            put_varint(&mut out, *token);
+            match found {
+                None => out.push(0),
+                Some((rank, keys)) => {
+                    out.push(1);
+                    put_varint(&mut out, *rank);
+                    put_varint(&mut out, keys.len() as u64);
+                    for k in keys {
+                        put_opt_varint(&mut out, k);
+                    }
+                }
+            }
+        }
+        Msg::ReadCell { rank, token } => {
+            out.push(tag::READ_CELL);
+            put_varint(&mut out, *rank);
+            put_varint(&mut out, *token);
+        }
+        Msg::CellData { token, shard, cell } => {
+            out.push(tag::CELL_DATA);
+            put_varint(&mut out, *token);
+            put_varint(&mut out, *shard as u64);
+            put_bytes(&mut out, cell);
+        }
+        Msg::SplitDone { bucket } => {
+            out.push(tag::SPLIT_DONE);
+            put_varint(&mut out, *bucket);
+        }
+        Msg::ForceMerge => out.push(tag::FORCE_MERGE),
+        Msg::DoMerge {
+            source,
+            target,
+            new_level,
+        } => {
+            out.push(tag::DO_MERGE);
+            put_varint(&mut out, *source);
+            put_varint(&mut out, *target);
+            out.push(*new_level);
+        }
+        Msg::MergeLoad {
+            level,
+            records,
+            replay,
+            final_seq,
+        } => {
+            out.push(tag::MERGE_LOAD);
+            out.push(*level);
+            put_records(&mut out, records);
+            put_replay_list(&mut out, replay);
+            put_varint(&mut out, *final_seq);
+        }
+        Msg::MergeDone { bucket, final_seq } => {
+            out.push(tag::MERGE_DONE);
+            put_varint(&mut out, *bucket);
+            put_varint(&mut out, *final_seq);
+        }
+        Msg::Retire => out.push(tag::RETIRE),
+        Msg::SelfReport => out.push(tag::SELF_REPORT),
+        Msg::CheckOwnership { bucket, parity } => {
+            out.push(tag::CHECK_OWNERSHIP);
+            put_opt_varint(&mut out, bucket);
+            match parity {
+                None => out.push(0),
+                Some((g, q)) => {
+                    out.push(1);
+                    put_varint(&mut out, *g);
+                    put_varint(&mut out, *q as u64);
+                }
+            }
+        }
+        Msg::OwnershipAck => out.push(tag::OWNERSHIP_ACK),
+        Msg::CheckGroup { group } => {
+            out.push(tag::CHECK_GROUP);
+            put_varint(&mut out, *group);
+        }
+        Msg::RecoverFileState => out.push(tag::RECOVER_FILE_STATE),
+        Msg::StateQuery => out.push(tag::STATE_QUERY),
+        Msg::StateReply { bucket, level } => {
+            out.push(tag::STATE_REPLY);
+            put_varint(&mut out, *bucket);
+            out.push(*level);
+        }
+    }
+    out
+}
+
+/// Decode a message produced by [`encode_msg`]. The whole buffer must be
+/// consumed.
+pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version { got: version });
+    }
+    let t = r.u8()?;
+    let msg = match t {
+        tag::DO => Msg::Do {
+            op_id: r.varint()?,
+            op: get_client_op(&mut r)?,
+        },
+        tag::REQ => Msg::Req {
+            op_id: r.varint()?,
+            client: r.node()?,
+            intended: r.varint()?,
+            hops: r.u8()?,
+            kind: get_req_kind(&mut r)?,
+        },
+        tag::REPLY => Msg::Reply {
+            op_id: r.varint()?,
+            result: get_op_result(&mut r)?,
+            iam: get_iam(&mut r)?,
+        },
+        tag::SCAN => Msg::Scan {
+            op_id: r.varint()?,
+            client: r.node()?,
+            filter: get_filter(&mut r)?,
+            assumed_level: r.u8()?,
+            reply_if_empty: r.u8()? != 0,
+        },
+        tag::SCAN_REPLY => Msg::ScanReply {
+            op_id: r.varint()?,
+            bucket: r.varint()?,
+            level: r.u8()?,
+            hits: get_hits(&mut r)?,
+        },
+        tag::PARITY_DELTA => Msg::ParityDelta {
+            group: r.varint()?,
+            entry: get_delta_entry(&mut r)?,
+            ack_to: r.opt_node()?,
+        },
+        tag::PARITY_BATCH => {
+            let group = r.varint()?;
+            let n = r.len("delta batch")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_delta_entry(&mut r)?);
+            }
+            Msg::ParityBatch {
+                group,
+                entries,
+                ack_to: r.opt_node()?,
+            }
+        }
+        tag::PARITY_ACK => Msg::ParityAck {
+            col: r.varint()? as usize,
+            upto: r.varint()?,
+        },
+        tag::REPORT_OVERFLOW => Msg::ReportOverflow {
+            bucket: r.varint()?,
+            size: r.varint()? as usize,
+        },
+        tag::INIT_DATA => Msg::InitData {
+            bucket: r.varint()?,
+            level: r.u8()?,
+            delta_seq: r.varint()?,
+        },
+        tag::INIT_PARITY => Msg::InitParity {
+            group: r.varint()?,
+            index: r.varint()? as usize,
+            k: r.varint()? as usize,
+        },
+        tag::DO_SPLIT => Msg::DoSplit {
+            source: r.varint()?,
+            target: r.varint()?,
+            new_level: r.u8()?,
+        },
+        tag::SPLIT_LOAD => Msg::SplitLoad {
+            bucket: r.varint()?,
+            level: r.u8()?,
+            records: get_records(&mut r)?,
+            replay: get_replay_list(&mut r)?,
+        },
+        tag::SUSPECT => Msg::Suspect {
+            op_id: r.varint()?,
+            client: r.node()?,
+            bucket: r.varint()?,
+            kind: get_req_kind(&mut r)?,
+        },
+        tag::PROBE => Msg::Probe { token: r.varint()? },
+        tag::PROBE_ACK => Msg::ProbeAck {
+            token: r.varint()?,
+            bucket: r.opt_varint()?,
+        },
+        tag::TRANSFER_SHARD => Msg::TransferShard { token: r.varint()? },
+        tag::SHARD_DATA => Msg::ShardData {
+            token: r.varint()?,
+            shard: r.varint()? as usize,
+            content: get_shard_content(&mut r)?,
+        },
+        tag::INSTALL => Msg::Install {
+            group: r.varint()?,
+            bucket: r.opt_varint()?,
+            index: r.opt_varint()?.map(|i| i as usize),
+            k: r.varint()? as usize,
+            content: get_shard_content(&mut r)?,
+            token: r.varint()?,
+        },
+        tag::INSTALL_ACK => Msg::InstallAck { token: r.varint()? },
+        tag::FIND_RECORD => Msg::FindRecord {
+            key: r.varint()?,
+            token: r.varint()?,
+        },
+        tag::FIND_RECORD_REPLY => {
+            let token = r.varint()?;
+            let found = match r.u8()? {
+                0 => None,
+                1 => {
+                    let rank = r.varint()?;
+                    let n = r.len("member key list")?;
+                    let mut keys = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        keys.push(r.opt_varint()?);
+                    }
+                    Some((rank, keys))
+                }
+                t => {
+                    return Err(WireError::UnknownTag {
+                        what: "Option<(Rank, keys)>",
+                        tag: t,
+                    })
+                }
+            };
+            Msg::FindRecordReply { token, found }
+        }
+        tag::READ_CELL => Msg::ReadCell {
+            rank: r.varint()?,
+            token: r.varint()?,
+        },
+        tag::CELL_DATA => Msg::CellData {
+            token: r.varint()?,
+            shard: r.varint()? as usize,
+            cell: r.bytes("cell")?,
+        },
+        tag::SPLIT_DONE => Msg::SplitDone {
+            bucket: r.varint()?,
+        },
+        tag::FORCE_MERGE => Msg::ForceMerge,
+        tag::DO_MERGE => Msg::DoMerge {
+            source: r.varint()?,
+            target: r.varint()?,
+            new_level: r.u8()?,
+        },
+        tag::MERGE_LOAD => Msg::MergeLoad {
+            level: r.u8()?,
+            records: get_records(&mut r)?,
+            replay: get_replay_list(&mut r)?,
+            final_seq: r.varint()?,
+        },
+        tag::MERGE_DONE => Msg::MergeDone {
+            bucket: r.varint()?,
+            final_seq: r.varint()?,
+        },
+        tag::RETIRE => Msg::Retire,
+        tag::SELF_REPORT => Msg::SelfReport,
+        tag::CHECK_OWNERSHIP => {
+            let bucket = r.opt_varint()?;
+            let parity = match r.u8()? {
+                0 => None,
+                1 => Some((r.varint()?, r.varint()? as usize)),
+                t => {
+                    return Err(WireError::UnknownTag {
+                        what: "Option<(group, index)>",
+                        tag: t,
+                    })
+                }
+            };
+            Msg::CheckOwnership { bucket, parity }
+        }
+        tag::OWNERSHIP_ACK => Msg::OwnershipAck,
+        tag::CHECK_GROUP => Msg::CheckGroup { group: r.varint()? },
+        tag::RECOVER_FILE_STATE => Msg::RecoverFileState,
+        tag::STATE_QUERY => Msg::StateQuery,
+        tag::STATE_REPLY => Msg::StateReply {
+            bucket: r.varint()?,
+            level: r.u8()?,
+        },
+        t => {
+            return Err(WireError::UnknownTag {
+                what: "Msg",
+                tag: t,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.varint().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let buf = [0xffu8; 11];
+        assert_eq!(
+            Reader::new(&buf).varint().unwrap_err(),
+            WireError::VarintOverflow
+        );
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut buf = encode_msg(&Msg::StateQuery);
+        buf[0] = 99;
+        assert_eq!(
+            decode_msg(&buf).unwrap_err(),
+            WireError::Version { got: 99 }
+        );
+    }
+
+    #[test]
+    fn unknown_msg_tag_rejected() {
+        let buf = [WIRE_VERSION, 200];
+        assert_eq!(
+            decode_msg(&buf).unwrap_err(),
+            WireError::UnknownTag {
+                what: "Msg",
+                tag: 200
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode_msg(&Msg::StateQuery);
+        buf.push(0);
+        assert_eq!(
+            decode_msg(&buf).unwrap_err(),
+            WireError::Trailing { extra: 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        // CellData with a cell length claim beyond MAX_LEN.
+        let mut buf = vec![WIRE_VERSION, tag::CELL_DATA];
+        put_varint(&mut buf, 7); // token
+        put_varint(&mut buf, 0); // shard
+        put_varint(&mut buf, MAX_LEN + 1); // absurd cell length
+        assert_eq!(
+            decode_msg(&buf).unwrap_err(),
+            WireError::Oversized {
+                what: "cell",
+                len: MAX_LEN + 1
+            }
+        );
+    }
+
+    #[test]
+    fn length_beyond_remaining_is_truncation() {
+        let mut buf = vec![WIRE_VERSION, tag::CELL_DATA];
+        put_varint(&mut buf, 7);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1000); // claims 1000 bytes, none follow
+        assert_eq!(decode_msg(&buf).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,191 @@
+//! `lhrs-netcli` — run client operations against a live LH\*RS cluster.
+//!
+//! ```text
+//! lhrs-netcli --config cluster.conf --node 1 insert 42 hello
+//! lhrs-netcli --config cluster.conf --node 1 lookup 42
+//! lhrs-netcli --config cluster.conf --node 1 delete 42
+//! lhrs-netcli --config cluster.conf --node 1 load 100      # keys 1..=100
+//! lhrs-netcli --config cluster.conf --node 1 load 100 200  # keys 200..=299
+//! lhrs-netcli --config cluster.conf --node 1 verify 100    # re-read them
+//! lhrs-netcli --config cluster.conf --node 1 status
+//! ```
+//!
+//! The process hosts the spec's client node (binding its listener so
+//! allocation-table broadcasts reach it), pulls the table from the
+//! coordinator, runs the subcommand, and exits — nonzero on any failure.
+//! Operation ids are derived from the wall clock so repeated invocations
+//! against the same cluster never collide in the servers' replay caches.
+
+use std::collections::HashMap;
+use std::process::exit;
+use std::sync::mpsc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use lhrs_net::client::NetClient;
+use lhrs_net::cluster::{ClusterSpec, Role};
+use lhrs_net::host::NodeHost;
+use lhrs_net::transport::TcpTransport;
+
+/// Generous per-operation deadline: the first operation after a bucket
+/// failure rides through suspect-escalation, probing, and a full shard
+/// recovery before its retry succeeds.
+const OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lhrs-netcli --config <cluster.conf> --node <id> \
+         (insert <key> <value> | lookup <key> | delete <key> | \
+         load <n> [start] | verify <n> [start] | status)"
+    );
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("lhrs-netcli: {msg}");
+    exit(1);
+}
+
+/// The demo's deterministic payload for `key` (load writes it, verify
+/// checks it).
+fn payload_for(key: u64) -> Vec<u8> {
+    format!("v{key:08}").into_bytes()
+}
+
+fn main() {
+    let mut config: Option<String> = None;
+    let mut node: Option<u32> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config = args.next(),
+            "--node" => node = args.next().and_then(|s| s.parse().ok()),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(config) = config else { usage() };
+    let Some(node) = node else { usage() };
+    if rest.is_empty() {
+        usage();
+    }
+
+    let text = std::fs::read_to_string(&config)
+        .unwrap_or_else(|e| fail(&format!("cannot read {config}: {e}")));
+    let spec =
+        ClusterSpec::parse(&text).unwrap_or_else(|e| fail(&format!("bad cluster spec: {e}")));
+    match spec.nodes.get(node as usize) {
+        Some(n) if n.role == Role::Client => {}
+        Some(_) => fail(&format!("node {node} is not a client in the spec")),
+        None => fail(&format!("node {node} not in the spec")),
+    }
+
+    let local = vec![(node, spec.addr_of(node).to_string())];
+    let peers: HashMap<u32, String> = spec.addr_map().into_iter().collect();
+    let (tx, rx) = mpsc::channel();
+    let transport = TcpTransport::start(&local, peers, tx.clone())
+        .unwrap_or_else(|e| fail(&format!("cannot bind {}: {e}", spec.addr_of(node))));
+
+    let shared = spec.build_shared();
+    let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
+    host.add_node(node, spec.build_node(&shared, node));
+
+    // Wall-clock-derived op-id base: distinct across invocations sharing
+    // the client node id, so replay caches never confuse two runs.
+    let base = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1)
+        .max(1);
+    let mut client = NetClient::new(host, node, base);
+
+    if !client.sync_registry(0, Duration::from_secs(20)) {
+        fail("no allocation table from the coordinator (is node 0 up?)");
+    }
+
+    let arg_n = |i: usize| -> u64 {
+        rest.get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    match rest[0].as_str() {
+        "insert" => {
+            let key = arg_n(1);
+            let value = rest
+                .get(2)
+                .map(|s| s.as_bytes().to_vec())
+                .unwrap_or_default();
+            match client.insert(key, value, OP_TIMEOUT) {
+                Some(true) => println!("inserted {key}"),
+                Some(false) => fail(&format!("duplicate key {key}")),
+                None => fail(&format!("insert {key} did not complete")),
+            }
+        }
+        "lookup" => {
+            let key = arg_n(1);
+            match client.lookup(key, OP_TIMEOUT) {
+                Some(Some(v)) => println!("found {key} = {}", String::from_utf8_lossy(&v)),
+                Some(None) => fail(&format!("key {key} not found")),
+                None => fail(&format!("lookup {key} did not complete")),
+            }
+        }
+        "delete" => {
+            let key = arg_n(1);
+            match client.delete(key, OP_TIMEOUT) {
+                Some(true) => println!("deleted {key}"),
+                Some(false) => fail(&format!("key {key} not found")),
+                None => fail(&format!("delete {key} did not complete")),
+            }
+        }
+        "load" => {
+            let n = arg_n(1);
+            let start = if rest.len() > 2 { arg_n(2) } else { 1 };
+            for key in start..start + n {
+                match client.insert(key, payload_for(key), OP_TIMEOUT) {
+                    Some(true) => {}
+                    Some(false) => fail(&format!("duplicate key {key} during load")),
+                    None => fail(&format!("insert {key} did not complete")),
+                }
+            }
+            println!("loaded {n} records");
+        }
+        "verify" => {
+            let n = arg_n(1);
+            let start = if rest.len() > 2 { arg_n(2) } else { 1 };
+            for key in start..start + n {
+                match client.lookup(key, OP_TIMEOUT) {
+                    Some(Some(v)) if v == payload_for(key) => {}
+                    Some(Some(_)) => fail(&format!("key {key} has a corrupt payload")),
+                    Some(None) => fail(&format!("key {key} lost")),
+                    None => fail(&format!("lookup {key} did not complete")),
+                }
+            }
+            println!("verified {n} records");
+        }
+        "status" => {
+            let version = client
+                .host()
+                .registry_version()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into());
+            let placement: Vec<String> = client
+                .host()
+                .shared()
+                .registry
+                .borrow()
+                .all_data_nodes()
+                .iter()
+                .map(|n| n.0.to_string())
+                .collect();
+            println!(
+                "buckets={} groups={} table_version={version} data_nodes={}",
+                client.bucket_count(),
+                client.group_count(),
+                placement.join(","),
+            );
+        }
+        other => fail(&format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,114 @@
+//! `lhrs-netd` — host one or more LH\*RS nodes of a cluster as a real
+//! network server.
+//!
+//! ```text
+//! lhrs-netd --config cluster.conf --nodes 0          # the coordinator
+//! lhrs-netd --config cluster.conf --nodes 2          # one bucket
+//! lhrs-netd --config cluster.conf --nodes 4,5,6      # several nodes
+//! ```
+//!
+//! The process binds one TCP listener per hosted node, builds the node
+//! actors from the shared cluster spec, and runs the host loop until
+//! killed.
+
+use std::collections::HashMap;
+use std::process::exit;
+use std::sync::mpsc;
+
+use lhrs_net::cluster::ClusterSpec;
+use lhrs_net::host::NodeHost;
+use lhrs_net::transport::TcpTransport;
+
+fn usage() -> ! {
+    eprintln!("usage: lhrs-netd --config <cluster.conf> --nodes <id[,id...]> [--verbose]");
+    exit(2);
+}
+
+fn main() {
+    let mut config: Option<String> = None;
+    let mut nodes: Vec<u32> = Vec::new();
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => config = args.next(),
+            "--verbose" => verbose = true,
+            "--nodes" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                for part in list.split(',') {
+                    match part.trim().parse() {
+                        Ok(id) => nodes.push(id),
+                        Err(_) => usage(),
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let Some(config) = config else { usage() };
+    if nodes.is_empty() {
+        usage();
+    }
+
+    let text = match std::fs::read_to_string(&config) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lhrs-netd: cannot read {config}: {e}");
+            exit(1);
+        }
+    };
+    let spec = match ClusterSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lhrs-netd: bad cluster spec: {e}");
+            exit(1);
+        }
+    };
+    for &id in &nodes {
+        if id as usize >= spec.nodes.len() {
+            eprintln!("lhrs-netd: node {id} not in the spec");
+            exit(1);
+        }
+    }
+
+    let local: Vec<(u32, String)> = nodes
+        .iter()
+        .map(|&id| (id, spec.addr_of(id).to_string()))
+        .collect();
+    let peers: HashMap<u32, String> = spec.addr_map().into_iter().collect();
+    let (tx, rx) = mpsc::channel();
+    let transport = match TcpTransport::start(&local, peers, tx.clone()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lhrs-netd: cannot bind: {e}");
+            exit(1);
+        }
+    };
+
+    let shared = spec.build_shared();
+    let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
+    for &id in &nodes {
+        host.add_node(id, spec.build_node(&shared, id));
+    }
+    eprintln!(
+        "lhrs-netd: hosting nodes {nodes:?} ({})",
+        local
+            .iter()
+            .map(|(_, a)| a.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if verbose && nodes.contains(&0) {
+        // Coordinator host: narrate structural events as they happen.
+        let mut seen = 0usize;
+        loop {
+            host.poll(std::time::Duration::from_millis(50));
+            let events = &host.node(0).as_coordinator().events;
+            for (t, ev) in &events[seen..] {
+                eprintln!("lhrs-netd: [{t}us] {ev:?}");
+            }
+            seen = events.len();
+        }
+    }
+    host.run();
+}

@@ -1,0 +1,123 @@
+//! [`NetClient`]: a synchronous key-value façade over a hosted client node.
+//!
+//! Wraps a [`NodeHost`] carrying one `lhrs-core` client actor: operations
+//! are injected as `Msg::Do`, the host is polled until the client's
+//! retry/IAM machinery produces a result, and the result is returned — the
+//! networked analogue of `LhrsFile`'s driver API.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use lhrs_core::msg::{ClientOp, Msg, OpId, OpResult};
+
+use crate::host::NodeHost;
+use crate::transport::Transport;
+
+/// A synchronous client over a node host.
+pub struct NetClient<T: Transport> {
+    host: NodeHost<T>,
+    client: u32,
+    next_op: OpId,
+    results: HashMap<OpId, OpResult>,
+}
+
+impl<T: Transport> NetClient<T> {
+    /// Wrap `host`, whose node `client` must be a `Node::Client`.
+    pub fn new(host: NodeHost<T>, client: u32, first_op: OpId) -> Self {
+        NetClient {
+            host,
+            client,
+            next_op: first_op.max(1),
+            results: HashMap::new(),
+        }
+    }
+
+    /// The underlying host (to inspect the registry or stats).
+    pub fn host(&self) -> &NodeHost<T> {
+        &self.host
+    }
+
+    /// Mutable access to the underlying host.
+    pub fn host_mut(&mut self) -> &mut NodeHost<T> {
+        &mut self.host
+    }
+
+    /// Pull the allocation table from the authoritative host at node
+    /// `coordinator`, re-asking every ~300 ms until a snapshot arrives or
+    /// `timeout` elapses. Returns whether a table was received.
+    pub fn sync_registry(&mut self, coordinator: u32, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_ask = Instant::now() - Duration::from_secs(1);
+        while self.host.registry_version().is_none() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            if last_ask.elapsed() >= Duration::from_millis(300) {
+                self.host.request_registry(self.client, coordinator);
+                last_ask = Instant::now();
+            }
+            self.host.poll(Duration::from_millis(20));
+        }
+        true
+    }
+
+    /// Execute one operation, blocking up to `timeout` for its result.
+    /// `None` means the deadline passed with the operation still unsettled
+    /// (the client actor keeps retrying in the background; a later exec may
+    /// surface the result).
+    pub fn exec(&mut self, op: ClientOp, timeout: Duration) -> Option<OpResult> {
+        let op_id = self.next_op;
+        self.next_op += 1;
+        self.host.inject(self.client, Msg::Do { op_id, op });
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.host.poll(Duration::from_millis(20));
+            let client = self.host.node_mut(self.client).as_client_mut();
+            for (id, result) in client.take_results() {
+                self.results.insert(id, result);
+            }
+            if let Some(result) = self.results.remove(&op_id) {
+                return Some(result);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Insert a record; `Some(true)` inserted, `Some(false)` duplicate key.
+    pub fn insert(&mut self, key: u64, payload: Vec<u8>, timeout: Duration) -> Option<bool> {
+        match self.exec(ClientOp::Insert { key, payload }, timeout)? {
+            OpResult::Inserted => Some(true),
+            OpResult::DuplicateKey => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Key search; `Some(None)` is a definitive unsuccessful search.
+    pub fn lookup(&mut self, key: u64, timeout: Duration) -> Option<Option<Vec<u8>>> {
+        match self.exec(ClientOp::Lookup { key }, timeout)? {
+            OpResult::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Delete a record; `Some(true)` deleted, `Some(false)` not found.
+    pub fn delete(&mut self, key: u64, timeout: Duration) -> Option<bool> {
+        match self.exec(ClientOp::Delete { key }, timeout)? {
+            OpResult::Deleted => Some(true),
+            OpResult::NotFound => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Number of data buckets in the local allocation-table snapshot.
+    pub fn bucket_count(&self) -> usize {
+        self.host.shared().registry.borrow().data_count()
+    }
+
+    /// Number of parity groups in the local allocation-table snapshot.
+    pub fn group_count(&self) -> usize {
+        self.host.shared().registry.borrow().group_count()
+    }
+}

@@ -1,0 +1,245 @@
+//! Socket framing: `[u32 LE length][version][type][from][to][payload]`.
+//!
+//! The payload of a [`FrameType::Msg`] frame is a `lhrs_core::wire`
+//! encoding; [`FrameType::Registry`] carries a [`RegistryUpdate`]
+//! allocation-table snapshot; [`FrameType::RegistryPull`] is an empty
+//! control frame asking the authoritative host for the current table.
+
+use std::io::{self, Read, Write};
+
+use lhrs_core::wire::{put_varint, Reader, WireError};
+use lhrs_sim::NodeId;
+
+/// Frame layout version (independent of the message codec's
+/// [`lhrs_core::wire::WIRE_VERSION`], which versions the payload).
+pub const FRAME_VERSION: u8 = 1;
+
+/// Hard cap on a frame's payload: even a full-bucket shard transfer stays
+/// far below this; anything bigger is a corrupt length field.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// A protocol message (`lhrs_core::wire`-encoded [`lhrs_core::msg::Msg`]).
+    Msg,
+    /// An allocation-table snapshot ([`RegistryUpdate`]).
+    Registry,
+    /// A request for the current allocation table (empty payload).
+    RegistryPull,
+}
+
+impl FrameType {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameType::Msg => 0,
+            FrameType::Registry => 1,
+            FrameType::RegistryPull => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<FrameType> {
+        match b {
+            0 => Some(FrameType::Msg),
+            1 => Some(FrameType::Registry),
+            2 => Some(FrameType::RegistryPull),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// What the payload is.
+    pub ftype: FrameType,
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Serialize a frame into a write-ready byte string.
+pub fn encode_frame(ftype: FrameType, from: NodeId, to: NodeId, payload: &[u8]) -> Vec<u8> {
+    let body_len = 10 + payload.len(); // version + type + from + to + payload
+    let mut out = Vec::with_capacity(4 + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    out.push(FRAME_VERSION);
+    out.push(ftype.to_byte());
+    out.extend_from_slice(&from.0.to_le_bytes());
+    out.extend_from_slice(&to.0.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Read one frame off a stream. `Ok(None)` is a clean EOF (the peer closed
+/// between frames); a mid-frame EOF or a malformed header is an error.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean close (0 bytes) from a torn frame.
+    let mut got = 0;
+    while got < 4 {
+        let n = stream.read(&mut len_buf[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside frame header",
+            ));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(10..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} out of range"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    if body[0] != FRAME_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame version {} (supported {FRAME_VERSION})", body[0]),
+        ));
+    }
+    let ftype = FrameType::from_byte(body[1]).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame type {}", body[1]),
+        )
+    })?;
+    let from = NodeId(u32::from_le_bytes(body[2..6].try_into().expect("4 bytes")));
+    let to = NodeId(u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")));
+    Ok(Some(Frame {
+        ftype,
+        from,
+        to,
+        payload: body[10..].to_vec(),
+    }))
+}
+
+/// Write a frame and leave it in the writer's buffer (callers flush in
+/// batches).
+pub fn write_frame(
+    stream: &mut impl Write,
+    ftype: FrameType,
+    from: NodeId,
+    to: NodeId,
+    payload: &[u8],
+) -> io::Result<()> {
+    stream.write_all(&encode_frame(ftype, from, to, payload))
+}
+
+/// A versioned full snapshot of the allocation table, broadcast by the
+/// process hosting the coordinator whenever the table changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryUpdate {
+    /// Monotone snapshot version; receivers apply only strictly newer ones.
+    pub version: u64,
+    /// The coordinator node.
+    pub coordinator: NodeId,
+    /// Data bucket number → node, dense from bucket 0.
+    pub data: Vec<NodeId>,
+    /// Per bucket group: parity column index → node.
+    pub parity: Vec<Vec<NodeId>>,
+}
+
+impl RegistryUpdate {
+    /// Encode the snapshot (the [`FrameType::Registry`] payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * self.data.len());
+        put_varint(&mut out, self.version);
+        out.extend_from_slice(&self.coordinator.0.to_le_bytes());
+        put_varint(&mut out, self.data.len() as u64);
+        for n in &self.data {
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+        put_varint(&mut out, self.parity.len() as u64);
+        for group in &self.parity {
+            put_varint(&mut out, group.len() as u64);
+            for n in group {
+                out.extend_from_slice(&n.0.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a snapshot; rejects truncated or trailing-garbage payloads.
+    pub fn decode(buf: &[u8]) -> Result<RegistryUpdate, WireError> {
+        let mut r = Reader::new(buf);
+        let version = r.varint()?;
+        let coordinator = NodeId(r.u32le()?);
+        let dn = r.len("registry data list")?;
+        let mut data = Vec::with_capacity(dn);
+        for _ in 0..dn {
+            data.push(NodeId(r.u32le()?));
+        }
+        let gn = r.len("registry group list")?;
+        let mut parity = Vec::with_capacity(gn);
+        for _ in 0..gn {
+            let kn = r.len("registry parity group")?;
+            let mut group = Vec::with_capacity(kn);
+            for _ in 0..kn {
+                group.push(NodeId(r.u32le()?));
+            }
+            parity.push(group);
+        }
+        r.finish()?;
+        Ok(RegistryUpdate {
+            version,
+            coordinator,
+            data,
+            parity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let buf = encode_frame(FrameType::Msg, NodeId(3), NodeId(9), b"payload");
+        let mut cursor = io::Cursor::new(buf);
+        let f = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(f.ftype, FrameType::Msg);
+        assert_eq!(f.from, NodeId(3));
+        assert_eq!(f.to, NodeId(9));
+        assert_eq!(f.payload, b"payload");
+        // Stream exhausted: clean EOF.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error() {
+        let buf = encode_frame(FrameType::Msg, NodeId(1), NodeId(2), b"abc");
+        let mut cursor = io::Cursor::new(&buf[..buf.len() - 1]);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 32]);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn registry_update_roundtrip() {
+        let up = RegistryUpdate {
+            version: 17,
+            coordinator: NodeId(0),
+            data: vec![NodeId(2), NodeId(5), NodeId(7)],
+            parity: vec![vec![NodeId(3)], vec![NodeId(9), NodeId(11)]],
+        };
+        assert_eq!(RegistryUpdate::decode(&up.encode()).unwrap(), up);
+    }
+}

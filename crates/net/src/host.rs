@@ -1,0 +1,451 @@
+//! [`NodeHost`]: runs `lhrs-core` [`Node`] actors over a real transport
+//! with the exact `Env` semantics the simulator provides.
+//!
+//! The actor contract is: handlers see a stable `now()`, effects (sends,
+//! timers) are buffered and applied only after the handler returns, and
+//! timer ids are unique per host. The host reproduces all three over wall
+//! clocks and sockets — `now()` is microseconds since host start, timers
+//! live in a min-heap drained by the poll loop, sends route to the local
+//! queue (same process) or the transport (remote). Nothing in `lhrs-core`
+//! can tell whether it is running here or inside `lhrs_sim::Sim`.
+
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use lhrs_core::msg::Msg;
+use lhrs_core::node::Node;
+use lhrs_core::registry::SharedHandle;
+use lhrs_sim::{Actor, Effect, Env, NodeId, TimerId};
+
+use crate::frame::RegistryUpdate;
+use crate::transport::{HostEvent, Transport};
+
+/// How often the authoritative host rebroadcasts the allocation table even
+/// without changes, healing peers that missed an update (µs).
+const HEARTBEAT_US: u64 = 200_000;
+
+/// A heap entry: fire at `deadline` µs, FIFO within a deadline via `seq`,
+/// on node `node`. `std::cmp::Reverse` turns the max-heap into a min-heap.
+type TimerEntry = std::cmp::Reverse<(u64, u64, u32, TimerId)>;
+
+/// One process's share of the LH\*RS multicomputer: a set of [`Node`]
+/// actors, their timers, and a transport to everyone else.
+pub struct NodeHost<T: Transport> {
+    transport: T,
+    tx: Sender<HostEvent>,
+    rx: Receiver<HostEvent>,
+    shared: SharedHandle,
+    nodes: HashMap<u32, Node>,
+    /// Same-process deliveries, drained before blocking on the channel.
+    local_queue: VecDeque<(NodeId, NodeId, Msg)>,
+    timers: BinaryHeap<TimerEntry>,
+    cancelled: HashSet<(u32, TimerId)>,
+    next_timer: u64,
+    timer_seq: u64,
+    epoch: Instant,
+    /// Whether this host carries the coordinator (and therefore owns the
+    /// authoritative allocation table).
+    authoritative: bool,
+    /// Last broadcast snapshot + version (authoritative side).
+    last_snapshot: Option<RegistryUpdate>,
+    reg_version: u64,
+    last_broadcast_at: u64,
+    /// Version last applied from the authoritative host (receiver side);
+    /// `None` until the first snapshot arrives.
+    seen_version: Option<u64>,
+    shutdown: bool,
+    /// Dump every dispatched message to stderr (`LHRS_NET_TRACE=1`).
+    trace: bool,
+}
+
+impl<T: Transport> NodeHost<T> {
+    /// A host over `transport`, reading inbound events from `rx`. Keep the
+    /// matching `tx` flowing into the transport's reader threads; the host
+    /// also holds a clone (see [`NodeHost::sender`]) so the channel never
+    /// disconnects.
+    pub fn new(
+        shared: SharedHandle,
+        transport: T,
+        tx: Sender<HostEvent>,
+        rx: Receiver<HostEvent>,
+    ) -> Self {
+        NodeHost {
+            transport,
+            tx,
+            rx,
+            shared,
+            nodes: HashMap::new(),
+            local_queue: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            timer_seq: 0,
+            epoch: Instant::now(),
+            authoritative: false,
+            last_snapshot: None,
+            reg_version: 0,
+            last_broadcast_at: 0,
+            seen_version: None,
+            shutdown: false,
+            trace: std::env::var_os("LHRS_NET_TRACE").is_some(),
+        }
+    }
+
+    /// Host a node. Adding the coordinator makes this host authoritative
+    /// for the allocation table.
+    pub fn add_node(&mut self, id: u32, node: Node) {
+        if matches!(node, Node::Coordinator(_)) {
+            self.authoritative = true;
+        }
+        self.nodes.insert(id, node);
+    }
+
+    /// The hosted node `id` (panics if not hosted here).
+    pub fn node(&self, id: u32) -> &Node {
+        &self.nodes[&id]
+    }
+
+    /// Mutable access to hosted node `id` (panics if not hosted here).
+    pub fn node_mut(&mut self, id: u32) -> &mut Node {
+        self.nodes.get_mut(&id).expect("node hosted here")
+    }
+
+    /// This process's shared registry/config handle.
+    pub fn shared(&self) -> &SharedHandle {
+        &self.shared
+    }
+
+    /// A sender feeding this host's event queue (give clones to transport
+    /// reader threads or use it to signal [`HostEvent::Shutdown`]).
+    pub fn sender(&self) -> Sender<HostEvent> {
+        self.tx.clone()
+    }
+
+    /// The transport's outbound counters.
+    pub fn transport_stats(&self) -> crate::transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// The allocation-table version last applied from the authoritative
+    /// host (`None` until one arrived). Authoritative hosts report their
+    /// own broadcast version.
+    pub fn registry_version(&self) -> Option<u64> {
+        if self.authoritative {
+            Some(self.reg_version)
+        } else {
+            self.seen_version
+        }
+    }
+
+    /// Whether [`HostEvent::Shutdown`] has been received.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// Microseconds since host start — the `Env::now` clock.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Ask the authoritative host (node `to`) for the current allocation
+    /// table; the answer arrives as a [`HostEvent::Registry`].
+    pub fn request_registry(&mut self, from: u32, to: u32) {
+        self.transport.send_registry_pull(NodeId(from), NodeId(to));
+        self.transport.flush();
+    }
+
+    /// Inject a driver message (e.g. `Msg::Do`) into hosted node `to`, as
+    /// if sent by the external world.
+    pub fn inject(&mut self, to: u32, msg: Msg) {
+        self.local_queue
+            .push_back((lhrs_sim::EXTERNAL, NodeId(to), msg));
+    }
+
+    /// Dispatch one message into a hosted node and apply its effects.
+    fn dispatch(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        let now = self.now_us();
+        if self.trace {
+            eprintln!("trace: [{now}us] {from:?} -> {to:?}: {msg:?}");
+        }
+        let mut effects: Vec<Effect<Msg>> = Vec::new();
+        match self.nodes.get_mut(&to.0) {
+            Some(node) => {
+                let mut env = Env::external(to, now, &mut self.next_timer, &mut effects);
+                node.on_message(&mut env, from, msg);
+            }
+            None => return, // late frame for a node we do not host
+        }
+        self.apply_effects(to, now, effects);
+    }
+
+    /// Fire one timer on a hosted node and apply its effects.
+    fn dispatch_timer(&mut self, node_id: u32, timer: TimerId) {
+        let now = self.now_us();
+        let mut effects: Vec<Effect<Msg>> = Vec::new();
+        match self.nodes.get_mut(&node_id) {
+            Some(node) => {
+                let mut env =
+                    Env::external(NodeId(node_id), now, &mut self.next_timer, &mut effects);
+                node.on_timer(&mut env, timer);
+            }
+            None => return,
+        }
+        self.apply_effects(NodeId(node_id), now, effects);
+    }
+
+    /// Apply a handler's buffered effects. The allocation-table broadcast
+    /// goes out FIRST: any peer that then receives this dispatch's messages
+    /// has already seen (per-connection FIFO) the table state those
+    /// messages presuppose.
+    fn apply_effects(&mut self, origin: NodeId, now: u64, effects: Vec<Effect<Msg>>) {
+        self.broadcast_registry_if_changed(now);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.route(origin, to, msg),
+                Effect::Multicast { to, msg } => {
+                    for t in to {
+                        self.route(origin, t, msg.clone());
+                    }
+                }
+                Effect::SetTimer { id, delay } => {
+                    self.timer_seq += 1;
+                    self.timers.push(std::cmp::Reverse((
+                        now.saturating_add(delay),
+                        self.timer_seq,
+                        origin.0,
+                        id,
+                    )));
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled.insert((origin.0, id));
+                }
+            }
+        }
+        self.transport.flush();
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: Msg) {
+        if self.nodes.contains_key(&to.0) {
+            self.local_queue.push_back((from, to, msg));
+        } else {
+            self.transport.send_msg(from, to, &msg);
+        }
+    }
+
+    /// Build the current table snapshot (without a version).
+    fn snapshot(&self) -> RegistryUpdate {
+        let reg = self.shared.registry.borrow();
+        let data: Vec<NodeId> = reg.all_data_nodes();
+        let parity: Vec<Vec<NodeId>> = (0..reg.group_count())
+            .map(|g| reg.parity_nodes(g as u64).to_vec())
+            .collect();
+        RegistryUpdate {
+            version: 0,
+            coordinator: reg.coordinator,
+            data,
+            parity,
+        }
+    }
+
+    /// Authoritative side: broadcast a fresh snapshot if the table changed
+    /// since the last broadcast.
+    fn broadcast_registry_if_changed(&mut self, now: u64) {
+        if !self.authoritative {
+            return;
+        }
+        let mut snap = self.snapshot();
+        let changed = match &self.last_snapshot {
+            None => true,
+            Some(last) => {
+                last.coordinator != snap.coordinator
+                    || last.data != snap.data
+                    || last.parity != snap.parity
+            }
+        };
+        if !changed {
+            return;
+        }
+        self.reg_version += 1;
+        snap.version = self.reg_version;
+        self.transport.broadcast_registry(snap.coordinator, &snap);
+        self.last_broadcast_at = now;
+        self.last_snapshot = Some(snap);
+    }
+
+    /// Authoritative side: the current versioned snapshot (allocating
+    /// version 1 if nothing was ever broadcast).
+    fn current_snapshot(&mut self) -> RegistryUpdate {
+        self.broadcast_registry_if_changed(self.now_us());
+        match &self.last_snapshot {
+            Some(snap) => snap.clone(),
+            None => {
+                // Table unchanged since construction and never broadcast:
+                // stamp and remember version 1 now.
+                let mut snap = self.snapshot();
+                self.reg_version = self.reg_version.max(1);
+                snap.version = self.reg_version;
+                self.last_snapshot = Some(snap.clone());
+                snap
+            }
+        }
+    }
+
+    /// Receiver side: apply a strictly newer snapshot to the local table.
+    fn apply_registry(&mut self, up: RegistryUpdate) {
+        if self.authoritative {
+            return; // we are the source of truth
+        }
+        if let Some(seen) = self.seen_version {
+            if up.version <= seen {
+                return;
+            }
+        }
+        self.seen_version = Some(up.version);
+        let mut reg = self.shared.registry.borrow_mut();
+        reg.coordinator = up.coordinator;
+        while reg.data_count() > up.data.len() {
+            reg.pop_data();
+        }
+        for (b, node) in up.data.iter().enumerate() {
+            let b = b as u64;
+            if (b as usize) < reg.data_count() {
+                if reg.data_node(b) != *node {
+                    reg.move_data(b, *node);
+                }
+            } else {
+                reg.push_data(b, *node);
+            }
+        }
+        while reg.group_count() > up.parity.len() {
+            reg.pop_parity_group();
+        }
+        for (g, group) in up.parity.iter().enumerate() {
+            if reg.parity_nodes(g as u64) != group.as_slice() {
+                reg.set_parity(g as u64, group.clone());
+            }
+        }
+    }
+
+    /// Handle one inbound event; returns false on shutdown.
+    fn handle_event(&mut self, event: HostEvent) -> bool {
+        match event {
+            HostEvent::Deliver { from, to, msg } => {
+                self.local_queue.push_back((from, to, msg));
+            }
+            HostEvent::Registry(up) => self.apply_registry(up),
+            HostEvent::RegistryPull { from } => {
+                if self.authoritative {
+                    let snap = self.current_snapshot();
+                    self.transport.send_registry(from, &snap);
+                    self.transport.flush();
+                }
+            }
+            HostEvent::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Deliver everything in the local queue (dispatches can enqueue more).
+    fn drain_local(&mut self) -> bool {
+        let mut did = false;
+        while let Some((from, to, msg)) = self.local_queue.pop_front() {
+            did = true;
+            self.dispatch(from, to, msg);
+        }
+        did
+    }
+
+    /// Fire every timer whose deadline has passed.
+    fn fire_due_timers(&mut self) -> bool {
+        let mut did = false;
+        loop {
+            let now = self.now_us();
+            match self.timers.peek() {
+                Some(std::cmp::Reverse((deadline, _, _, _))) if *deadline <= now => {}
+                _ => return did,
+            }
+            let std::cmp::Reverse((_, _, node, id)) = self.timers.pop().expect("peeked");
+            if self.cancelled.remove(&(node, id)) {
+                continue; // tombstoned
+            }
+            did = true;
+            self.dispatch_timer(node, id);
+        }
+    }
+
+    /// Wait for the earlier of the next timer deadline, the heartbeat, or
+    /// `max_wait`, handling inbound events as they arrive. Returns whether
+    /// any work was done. Call in a loop (or use [`NodeHost::run`]).
+    pub fn poll(&mut self, max_wait: Duration) -> bool {
+        let mut did = false;
+        did |= self.drain_local();
+        did |= self.fire_due_timers();
+        did |= self.drain_local();
+        if self.shutdown {
+            return did;
+        }
+
+        let now = self.now_us();
+        let mut wait = max_wait;
+        if let Some(std::cmp::Reverse((deadline, _, _, _))) = self.timers.peek() {
+            wait = wait.min(Duration::from_micros(deadline.saturating_sub(now)));
+        }
+        if self.authoritative {
+            let next_hb = self.last_broadcast_at + HEARTBEAT_US;
+            wait = wait.min(Duration::from_micros(next_hb.saturating_sub(now)));
+        }
+
+        match self.rx.recv_timeout(wait) {
+            Ok(event) => {
+                did = true;
+                if !self.handle_event(event) {
+                    self.shutdown = true;
+                    return did;
+                }
+                // Batch whatever else is already queued.
+                while let Ok(event) = self.rx.try_recv() {
+                    if !self.handle_event(event) {
+                        self.shutdown = true;
+                        return did;
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Cannot happen: self.tx keeps the channel alive.
+                self.shutdown = true;
+                return did;
+            }
+        }
+
+        did |= self.drain_local();
+        did |= self.fire_due_timers();
+        did |= self.drain_local();
+        self.heartbeat();
+        did
+    }
+
+    /// Authoritative side: periodic table rebroadcast, healing peers that
+    /// were unreachable when an update went out.
+    fn heartbeat(&mut self) {
+        if !self.authoritative {
+            return;
+        }
+        let now = self.now_us();
+        self.broadcast_registry_if_changed(now);
+        if now.saturating_sub(self.last_broadcast_at) >= HEARTBEAT_US {
+            let snap = self.current_snapshot();
+            self.transport.broadcast_registry(snap.coordinator, &snap);
+            self.transport.flush();
+            self.last_broadcast_at = now;
+        }
+    }
+
+    /// Poll until a [`HostEvent::Shutdown`] arrives.
+    pub fn run(&mut self) {
+        while !self.shutdown {
+            self.poll(Duration::from_millis(50));
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Message transports: real TCP and an in-process loopback.
+//!
+//! A [`Transport`] is the outbound half a [`crate::host::NodeHost`] writes
+//! to; the inbound half is a shared mpsc channel of [`HostEvent`]s fed by
+//! reader threads (TCP) or directly by peer hosts (loopback). Delivery is
+//! deliberately best-effort — a send to an unreachable peer is dropped and
+//! counted, because the protocol stack above (client retries, replay
+//! caches, Δ retransmission, coordinator timeouts) is already built to
+//! heal message loss.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lhrs_core::msg::Msg;
+use lhrs_core::wire::{decode_msg, encode_msg};
+use lhrs_sim::NodeId;
+
+use crate::frame::{encode_frame, read_frame, FrameType, RegistryUpdate};
+
+/// An inbound event delivered to a node host.
+#[derive(Debug)]
+pub enum HostEvent {
+    /// A protocol message for a locally hosted node.
+    Deliver {
+        /// Sending node.
+        from: NodeId,
+        /// Destination node (hosted here).
+        to: NodeId,
+        /// The message.
+        msg: Msg,
+    },
+    /// An allocation-table snapshot from the authoritative host.
+    Registry(RegistryUpdate),
+    /// A peer asks for the current allocation table (authoritative hosts
+    /// answer, everyone else ignores).
+    RegistryPull {
+        /// The node to send the table to.
+        from: NodeId,
+    },
+    /// Stop the host loop.
+    Shutdown,
+}
+
+/// Outbound counters of a transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Protocol messages handed to the transport.
+    pub sent_msgs: u64,
+    /// Frame bytes written (including registry traffic).
+    pub sent_bytes: u64,
+    /// Sends dropped because the peer was unreachable or unknown.
+    pub dropped: u64,
+    /// Reconnections performed after a broken outbound connection.
+    pub reconnects: u64,
+}
+
+/// The outbound interface a node host writes protocol traffic to.
+pub trait Transport {
+    /// Send one protocol message (best-effort; drops count in stats).
+    fn send_msg(&mut self, from: NodeId, to: NodeId, msg: &Msg);
+    /// Send an allocation-table snapshot to one peer.
+    fn send_registry(&mut self, to: NodeId, update: &RegistryUpdate);
+    /// Ask `to` (the authoritative host) for the current table.
+    fn send_registry_pull(&mut self, from: NodeId, to: NodeId);
+    /// Send an allocation-table snapshot to every known remote peer.
+    /// Written before any queued protocol frames are flushed, so FIFO
+    /// per-connection delivery orders the table ahead of messages that
+    /// presuppose it.
+    fn broadcast_registry(&mut self, from: NodeId, update: &RegistryUpdate);
+    /// Flush buffered writes to the wire.
+    fn flush(&mut self);
+    /// Outbound counters.
+    fn stats(&self) -> TransportStats;
+}
+
+// ----- TCP -----
+
+/// TCP transport: one lazily connected, write-buffered outbound connection
+/// per peer address; inbound via one listener per hosted node, a reader
+/// thread per accepted connection, all feeding the host's event channel.
+pub struct TcpTransport {
+    /// Peer node → address (includes local nodes; those are skipped).
+    peers: HashMap<u32, String>,
+    /// Locally hosted nodes (never connected to).
+    local: HashSet<u32>,
+    /// Open outbound connections by address.
+    conns: HashMap<String, BufWriter<TcpStream>>,
+    /// Addresses with unflushed writes.
+    dirty: HashSet<String>,
+    stats: TransportStats,
+}
+
+/// How long an outbound connect may take before the send is dropped.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+impl TcpTransport {
+    /// Bind a listener for every `(node, addr)` in `local`, spawn the
+    /// accept/reader threads feeding `tx`, and return the outbound half.
+    /// `peers` maps every node of the cluster to its address.
+    pub fn start(
+        local: &[(u32, String)],
+        peers: HashMap<u32, String>,
+        tx: Sender<HostEvent>,
+    ) -> std::io::Result<TcpTransport> {
+        for (_, addr) in local {
+            let listener = TcpListener::bind(addr)?;
+            let tx = tx.clone();
+            std::thread::spawn(move || accept_loop(listener, tx));
+        }
+        Ok(TcpTransport {
+            peers,
+            local: local.iter().map(|(id, _)| *id).collect(),
+            conns: HashMap::new(),
+            dirty: HashSet::new(),
+            stats: TransportStats::default(),
+        })
+    }
+
+    /// Write `bytes` to the connection for `addr`, connecting lazily and
+    /// retrying once through a reconnect. Returns false when the peer is
+    /// unreachable (the frame is dropped).
+    fn write_to(&mut self, addr: &str, bytes: &[u8]) -> bool {
+        let mut was_connected = false;
+        for _attempt in 0..2 {
+            if let Some(w) = self.conns.get(addr) {
+                // Outbound connections are write-only in this protocol —
+                // the peer replies over its own connection to our listener
+                // — so any readability here is a FIN or RST: the peer
+                // process went away (or restarted) since our last write.
+                // Writes into such a half-dead socket "succeed" at the OS
+                // level and vanish; detect it now and reconnect instead.
+                if conn_is_stale(w.get_ref()) {
+                    self.conns.remove(addr);
+                    was_connected = true;
+                }
+            }
+            if !self.conns.contains_key(addr) {
+                match TcpStream::connect_timeout(
+                    &match addr.parse() {
+                        Ok(a) => a,
+                        Err(_) => return false,
+                    },
+                    CONNECT_TIMEOUT,
+                ) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        if was_connected {
+                            self.stats.reconnects += 1;
+                        }
+                        self.conns.insert(addr.to_string(), BufWriter::new(stream));
+                    }
+                    Err(_) => return false,
+                }
+            }
+            let ok = self
+                .conns
+                .get_mut(addr)
+                .map(|w| w.write_all(bytes).is_ok())
+                .unwrap_or(false);
+            if ok {
+                self.dirty.insert(addr.to_string());
+                self.stats.sent_bytes += bytes.len() as u64;
+                return true;
+            }
+            // Broken pipe: drop the connection and retry once fresh.
+            self.conns.remove(addr);
+            was_connected = true;
+        }
+        false
+    }
+
+    fn send_frame(&mut self, ftype: FrameType, from: NodeId, to: NodeId, payload: &[u8]) {
+        let Some(addr) = self.peers.get(&to.0).cloned() else {
+            self.stats.dropped += 1;
+            return;
+        };
+        let bytes = encode_frame(ftype, from, to, payload);
+        if !self.write_to(&addr, &bytes) {
+            self.stats.dropped += 1;
+        }
+    }
+}
+
+/// Whether an idle outbound connection has gone stale: a non-blocking
+/// 1-byte peek. `WouldBlock` is the healthy case (nothing to read on a
+/// write-only connection); EOF, unexpected bytes, or a socket error all
+/// mean the peer closed or reset since our last write.
+fn conn_is_stale(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let stale = match stream.peek(&mut probe) {
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        _ => true, // EOF (Ok(0)), RST (Err), or protocol-violating data
+    };
+    let _ = stream.set_nonblocking(false);
+    stale
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<HostEvent>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let tx = tx.clone();
+        std::thread::spawn(move || reader_loop(stream, tx));
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<HostEvent>) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let event = match frame.ftype {
+            FrameType::Msg => match decode_msg(&frame.payload) {
+                Ok(msg) => HostEvent::Deliver {
+                    from: frame.from,
+                    to: frame.to,
+                    msg,
+                },
+                Err(_) => continue, // defensive: skip undecodable frames
+            },
+            FrameType::Registry => match RegistryUpdate::decode(&frame.payload) {
+                Ok(up) => HostEvent::Registry(up),
+                Err(_) => continue,
+            },
+            FrameType::RegistryPull => HostEvent::RegistryPull { from: frame.from },
+        };
+        if tx.send(event).is_err() {
+            return; // host gone
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send_msg(&mut self, from: NodeId, to: NodeId, msg: &Msg) {
+        self.stats.sent_msgs += 1;
+        let payload = encode_msg(msg);
+        self.send_frame(FrameType::Msg, from, to, &payload);
+    }
+
+    fn send_registry(&mut self, to: NodeId, update: &RegistryUpdate) {
+        let payload = update.encode();
+        self.send_frame(FrameType::Registry, update.coordinator, to, &payload);
+    }
+
+    fn send_registry_pull(&mut self, from: NodeId, to: NodeId) {
+        self.send_frame(FrameType::RegistryPull, from, to, &[]);
+    }
+
+    fn broadcast_registry(&mut self, from: NodeId, update: &RegistryUpdate) {
+        let payload = update.encode();
+        // One frame per distinct remote address (a process applies the
+        // snapshot once regardless of how many nodes it hosts).
+        let mut sent: HashSet<String> = HashSet::new();
+        let targets: Vec<(u32, String)> = self
+            .peers
+            .iter()
+            .filter(|(id, _)| !self.local.contains(id))
+            .map(|(id, addr)| (*id, addr.clone()))
+            .collect();
+        for (id, addr) in targets {
+            if sent.insert(addr.clone()) {
+                let bytes = encode_frame(FrameType::Registry, from, NodeId(id), &payload);
+                if !self.write_to(&addr, &bytes) {
+                    self.stats.dropped += 1;
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let dirty: Vec<String> = self.dirty.drain().collect();
+        for addr in dirty {
+            let ok = self
+                .conns
+                .get_mut(&addr)
+                .map(|w| w.flush().is_ok())
+                .unwrap_or(true);
+            if !ok {
+                self.conns.remove(&addr);
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ----- in-process loopback -----
+
+type RouteTable = Arc<Mutex<HashMap<u32, Sender<HostEvent>>>>;
+
+/// The in-process "network": node → host event channel. Clone freely; all
+/// clones share the same routing table. Used for multi-threaded
+/// benchmarking and tests without the kernel in the way.
+#[derive(Clone, Default)]
+pub struct LoopbackNet {
+    routes: RouteTable,
+}
+
+impl LoopbackNet {
+    /// An empty network.
+    pub fn new() -> Self {
+        LoopbackNet::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u32, Sender<HostEvent>>> {
+        // A panicked host thread must not take the whole network down.
+        self.routes.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a host's event channel as the destination for `ids`.
+    pub fn register(&self, ids: &[u32], tx: Sender<HostEvent>) {
+        let mut map = self.lock();
+        for id in ids {
+            map.insert(*id, tx.clone());
+        }
+    }
+
+    /// Remove nodes from the routing table (simulates a dead host: sends
+    /// to it are dropped from then on).
+    pub fn unregister(&self, ids: &[u32]) {
+        let mut map = self.lock();
+        for id in ids {
+            map.remove(id);
+        }
+    }
+
+    fn send(&self, to: u32, event: HostEvent) -> bool {
+        let tx = { self.lock().get(&to).cloned() };
+        match tx {
+            Some(tx) => tx.send(event).is_ok(),
+            None => false,
+        }
+    }
+
+    fn all_ids(&self) -> Vec<u32> {
+        self.lock().keys().copied().collect()
+    }
+}
+
+/// One host's outbound handle onto a [`LoopbackNet`]. Every message still
+/// round-trips through the wire codec (encode then decode), so the
+/// loopback path exercises exactly the bytes TCP would carry.
+pub struct LoopbackTransport {
+    net: LoopbackNet,
+    local: HashSet<u32>,
+    stats: TransportStats,
+}
+
+impl LoopbackTransport {
+    /// A transport for the host carrying `local` nodes.
+    pub fn new(net: LoopbackNet, local: &[u32]) -> Self {
+        LoopbackTransport {
+            net,
+            local: local.iter().copied().collect(),
+            stats: TransportStats::default(),
+        }
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send_msg(&mut self, from: NodeId, to: NodeId, msg: &Msg) {
+        self.stats.sent_msgs += 1;
+        // Codec honesty: ship the decoded re-materialization, not the
+        // original value.
+        let bytes = encode_msg(msg);
+        self.stats.sent_bytes += bytes.len() as u64;
+        let msg = decode_msg(&bytes).expect("own encoding decodes");
+        if !self.net.send(to.0, HostEvent::Deliver { from, to, msg }) {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn send_registry(&mut self, to: NodeId, update: &RegistryUpdate) {
+        let bytes = update.encode();
+        self.stats.sent_bytes += bytes.len() as u64;
+        let up = RegistryUpdate::decode(&bytes).expect("own encoding decodes");
+        if !self.net.send(to.0, HostEvent::Registry(up)) {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn send_registry_pull(&mut self, from: NodeId, to: NodeId) {
+        if !self.net.send(to.0, HostEvent::RegistryPull { from }) {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn broadcast_registry(&mut self, _from: NodeId, update: &RegistryUpdate) {
+        for id in self.net.all_ids() {
+            if !self.local.contains(&id) {
+                self.send_registry(NodeId(id), update);
+            }
+        }
+    }
+
+    fn flush(&mut self) {}
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}

@@ -25,12 +25,41 @@ pub trait Actor<M: Payload> {
 }
 
 /// Buffered effect produced by an actor during one handler invocation.
+///
+/// Effects are the complete vocabulary an actor can use against the outside
+/// world, which is what makes actors host-agnostic: the [`crate::Sim`]
+/// engine applies them to the discrete-event queue, while an external host
+/// (e.g. a socket transport) can drain the same effects from an
+/// [`Env::external`] environment and apply them to real connections and
+/// wall-clock timers.
 #[derive(Debug)]
-pub(crate) enum Effect<M> {
-    Send { to: NodeId, msg: M },
-    Multicast { to: Vec<NodeId>, msg: M },
-    SetTimer { id: TimerId, delay: u64 },
-    CancelTimer { id: TimerId },
+pub enum Effect<M> {
+    /// Unicast `msg` to `to`.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// One multicast of `msg` delivered to every node in `to`.
+    Multicast {
+        /// Destination nodes.
+        to: Vec<NodeId>,
+        /// The message.
+        msg: M,
+    },
+    /// Arm timer `id` to fire on this node after `delay` microseconds.
+    SetTimer {
+        /// The timer handle returned to the actor.
+        id: TimerId,
+        /// Delay before firing, µs.
+        delay: u64,
+    },
+    /// Cancel a previously armed timer (no-op if already fired).
+    CancelTimer {
+        /// The timer to cancel.
+        id: TimerId,
+    },
 }
 
 /// The interface through which an actor interacts with the simulated world:
@@ -42,7 +71,34 @@ pub struct Env<'a, M: Payload> {
     pub(crate) effects: &'a mut Vec<Effect<M>>,
 }
 
-impl<M: Payload> Env<'_, M> {
+impl<'a, M: Payload> Env<'a, M> {
+    /// Build an environment for driving an actor **outside** the [`crate::Sim`]
+    /// engine — the hook a real-network host runtime uses to run the very
+    /// same actor code over sockets and wall-clock timers.
+    ///
+    /// `me` is the hosted node's identity, `now` the host's current time in
+    /// microseconds, `next_timer` a host-owned counter allocating fresh
+    /// [`TimerId`]s, and `effects` the buffer the handler's sends and timer
+    /// operations are written into. After the handler returns, the host
+    /// drains `effects` and applies each [`Effect`] to its own transport and
+    /// timer wheel. The semantics an actor observes are identical to the
+    /// simulator's: effects are buffered (never applied re-entrantly), timer
+    /// ids are unique per host, and `now()` is stable for the whole handler
+    /// invocation.
+    pub fn external(
+        me: NodeId,
+        now: u64,
+        next_timer: &'a mut u64,
+        effects: &'a mut Vec<Effect<M>>,
+    ) -> Self {
+        Env {
+            me,
+            now,
+            next_timer,
+            effects,
+        }
+    }
+
     /// The node this actor runs on.
     pub fn me(&self) -> NodeId {
         self.me

@@ -58,7 +58,7 @@ mod faults;
 mod latency;
 mod stats;
 
-pub use actor::{Actor, Env, TimerId};
+pub use actor::{Actor, Effect, Env, TimerId};
 pub use engine::{NodeId, Sim, EXTERNAL};
 pub use faults::{FaultPlan, Partition, PERMILLE};
 pub use latency::LatencyModel;

@@ -1,0 +1,68 @@
+//! The multi-process demo, runnable by hand: a real LH\*RS deployment on
+//! localhost TCP — coordinator, data buckets, and parity buckets as
+//! separate OS processes — that grows through splits, loses a data-bucket
+//! process to `kill -9`, and recovers it over the network with zero
+//! acked-data loss.
+//!
+//! ```sh
+//! cargo build -p lhrs-net --bins          # the demo spawns these
+//! cargo run --release --example net_cluster
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use lhrs_net::demo::{self, DemoCommands};
+
+/// Locate a compiled binary next to our own executable (`target/<profile>/`).
+fn sibling_binary(name: &str) -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // the example binary itself
+    if dir.ends_with("examples") {
+        dir.pop(); // examples/ -> target/<profile>/
+    }
+    let path = dir.join(name);
+    path.is_file().then_some(path)
+}
+
+fn main() {
+    // Use already-built binaries when present; build them otherwise.
+    let (netd, netcli) = match (sibling_binary("lhrs-netd"), sibling_binary("lhrs-netcli")) {
+        (Some(d), Some(c)) => (d, c),
+        _ => {
+            eprintln!("building lhrs-net binaries...");
+            let status = Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+                .args(["build", "-p", "lhrs-net", "--bins"])
+                .status()
+                .expect("run cargo");
+            assert!(status.success(), "cargo build -p lhrs-net --bins failed");
+            let find = |name: &str| {
+                ["target/debug", "target/release"]
+                    .iter()
+                    .map(|d| PathBuf::from(d).join(name))
+                    .find(|p| p.is_file())
+                    .unwrap_or_else(|| panic!("{name} not found under target/"))
+            };
+            (find("lhrs-netd"), find("lhrs-netcli"))
+        }
+    };
+
+    let cmds = DemoCommands {
+        netd: vec![netd.display().to_string()],
+        netcli: vec![netcli.display().to_string()],
+    };
+    let workdir = std::env::temp_dir().join(format!("lhrs-net-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&workdir).expect("create workdir");
+    let result = demo::run(&cmds, &workdir);
+    let _ = std::fs::remove_dir_all(&workdir);
+    match result {
+        Ok(transcript) => {
+            println!("{transcript}");
+            println!("demo passed: the cluster survived kill -9 with zero acked-data loss");
+        }
+        Err(e) => {
+            eprintln!("demo failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
