@@ -88,19 +88,24 @@ impl Client {
     /// driver once the network is quiet: any error reply would have
     /// arrived and resolved the op by then.
     pub fn settle_optimistic(&mut self) {
+        // Lookups are never optimistic (they always get replies); a lookup
+        // in this set would be a logic bug, and is left pending rather than
+        // fabricating a result.
         let settled: Vec<OpId> = self
             .pending
             .iter()
-            .filter(|(_, p)| p.optimistic)
+            .filter(|(_, p)| p.optimistic && !matches!(p.kind, ReqKind::Lookup(..)))
             .map(|(id, _)| *id)
             .collect();
         for op_id in settled {
-            let p = self.pending.remove(&op_id).expect("listed");
+            let Some(p) = self.pending.remove(&op_id) else {
+                continue;
+            };
             let result = match p.kind {
                 ReqKind::Insert(..) => OpResult::Inserted,
                 ReqKind::Update(..) => OpResult::Updated,
                 ReqKind::Delete(..) => OpResult::Deleted,
-                ReqKind::Lookup(..) => unreachable!("lookups always get replies"),
+                ReqKind::Lookup(..) => continue, // filtered out above
             };
             self.results.push((op_id, result));
         }
@@ -143,19 +148,19 @@ impl Client {
                     // and n = the smallest bucket at that level, the file
                     // has exactly M = n + 2^i buckets; finish once every
                     // bucket 0..M-1 has replied.
-                    let i = scan
-                        .replies
-                        .values()
-                        .map(|(l, _)| *l)
-                        .min()
-                        .expect("nonempty");
-                    let n = scan
+                    // `replies` is nonempty: one was inserted just above.
+                    let Some(i) = scan.replies.values().map(|(l, _)| *l).min() else {
+                        return;
+                    };
+                    let Some(n) = scan
                         .replies
                         .iter()
                         .filter(|(_, (l, _))| *l == i)
                         .map(|(b, _)| *b)
                         .min()
-                        .expect("nonempty");
+                    else {
+                        return;
+                    };
                     let expected = n + (1u64 << i);
                     scan.replies.len() as u64 == expected
                         && scan.replies.keys().copied().eq(0..expected)
@@ -180,7 +185,9 @@ impl Client {
         self.timer_to_op.remove(&timer);
         if self.pending.contains_key(&op_id) {
             let (escalated, attempts, key) = {
-                let p = &self.pending[&op_id];
+                let Some(p) = self.pending.get(&op_id) else {
+                    return;
+                };
                 (p.escalated, p.attempts, p.kind.key())
             };
             if !escalated && attempts < self.shared.cfg.client_retries {
@@ -195,7 +202,9 @@ impl Client {
                 self.timer_to_op.insert(new_timer, op_id);
                 self.retries += 1;
                 let me = env.me();
-                let p = self.pending.get_mut(&op_id).expect("checked above");
+                let Some(p) = self.pending.get_mut(&op_id) else {
+                    return;
+                };
                 p.attempts += 1;
                 p.sent_to = bucket;
                 p.timer = Some(new_timer);
@@ -211,7 +220,9 @@ impl Client {
                     },
                 );
             } else if !escalated {
-                let p = self.pending.get_mut(&op_id).expect("checked above");
+                let Some(p) = self.pending.get_mut(&op_id) else {
+                    return;
+                };
                 p.escalated = true;
                 self.escalations += 1;
                 // Grace period for detection + degraded service + recovery.
@@ -252,7 +263,9 @@ impl Client {
     /// scan once the retry budget is spent.
     fn retry_or_fail_scan(&mut self, env: &mut Env<'_, Msg>, op_id: OpId) {
         let (attempts, replied, min_level) = {
-            let scan = &self.scans[&op_id];
+            let Some(scan) = self.scans.get(&op_id) else {
+                return;
+            };
             (
                 scan.attempts,
                 scan.replies
@@ -277,12 +290,16 @@ impl Client {
             Some(i) => {
                 // Same rule as the termination check: n = smallest bucket at
                 // the minimum level ⇒ the file has n + 2^i buckets.
-                let n = replied
+                // `min_level` came from this same reply set, so a bucket at
+                // that level exists.
+                let Some(n) = replied
                     .iter()
                     .filter(|(_, l)| *l == i)
                     .map(|(b, _)| *b)
                     .min()
-                    .expect("min_level came from replies");
+                else {
+                    return;
+                };
                 let expected = n + (1u64 << i);
                 for b in 0..expected {
                     if !replied.iter().any(|(rb, _)| *rb == b) {
@@ -301,7 +318,9 @@ impl Client {
         let new_timer = env.set_timer(self.shared.cfg.client_timeout_us * 50);
         self.timer_to_op.insert(new_timer, op_id);
         self.retries += 1;
-        let scan = self.scans.get_mut(&op_id).expect("checked above");
+        let Some(scan) = self.scans.get_mut(&op_id) else {
+            return;
+        };
         scan.attempts += 1;
         scan.timer = new_timer;
         let filter = scan.filter.clone();
@@ -327,7 +346,9 @@ impl Client {
 
     /// Close out a scan: fold levels into the image, sort, deliver.
     fn finish_scan(&mut self, env: &mut Env<'_, Msg>, op_id: OpId) {
-        let scan = self.scans.remove(&op_id).expect("scan present");
+        let Some(scan) = self.scans.remove(&op_id) else {
+            return;
+        };
         env.cancel_timer(scan.timer);
         self.timer_to_op.remove(&scan.timer);
         for (b, (l, _)) in &scan.replies {

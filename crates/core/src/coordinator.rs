@@ -87,6 +87,15 @@ pub enum CoordEvent {
         /// Spare nodes the rebuild needed.
         needed: usize,
     },
+    /// The coordinator hit a state it believes impossible (a stale token, a
+    /// malformed reply, an out-of-range shard index). Instead of aborting —
+    /// which would take the whole file's control plane down with it — the
+    /// offending operation is dropped and this event records what happened
+    /// so the driver/operator can see the degradation.
+    InvariantViolated {
+        /// Where the violation was detected (static context string).
+        context: String,
+    },
 }
 
 /// Outstanding liveness probe for one node.
@@ -317,10 +326,24 @@ impl Coordinator {
         t
     }
 
-    fn alloc_node(&mut self) -> NodeId {
-        self.pool
-            .pop()
-            .expect("simulated node pool exhausted: raise Config::node_pool")
+    /// Pop a spare node. Callers check `pool.len()` up front and reserve
+    /// enough nodes for the whole operation, so `None` here means the
+    /// reservation arithmetic is wrong — an invariant violation the caller
+    /// surfaces as a [`CoordEvent::InvariantViolated`] instead of aborting.
+    fn alloc_node(&mut self) -> Option<NodeId> {
+        self.pool.pop()
+    }
+
+    /// Record an invariant violation as a degraded-mode event. The
+    /// coordinator drops the operation that tripped it and keeps serving;
+    /// the event stream is the audit trail.
+    fn invariant_violated(&mut self, env: &mut Env<'_, Msg>, context: &str) {
+        self.events.push((
+            env.now(),
+            CoordEvent::InvariantViolated {
+                context: context.to_string(),
+            },
+        ));
     }
 
     /// Existing data buckets of `group` (the file may not have grown the
@@ -329,7 +352,7 @@ impl Coordinator {
         let m = self.m() as u64;
         let total = self.state.bucket_count();
         let start = group * m;
-        total.saturating_sub(start).min(m) as usize
+        crate::convert::to_index(total.saturating_sub(start).min(m))
     }
 
     /// Main message handler.
@@ -350,8 +373,7 @@ impl Coordinator {
                     .iter()
                     .find(|(_, s)| s.target == bucket)
                     .map(|(t, _)| *t);
-                if let Some(token) = token {
-                    let ctx = self.splits.remove(&token).expect("found above");
+                if let Some(ctx) = token.and_then(|t| self.splits.remove(&t)) {
                     env.cancel_timer(ctx.timer);
                     self.timer_tokens.remove(&ctx.timer);
                     self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
@@ -406,8 +428,7 @@ impl Coordinator {
                 } else {
                     false
                 };
-                if done {
-                    let ctx = self.state_rec.take().expect("checked");
+                if let Some(ctx) = if done { self.state_rec.take() } else { None } {
                     env.cancel_timer(ctx.timer);
                     self.timer_tokens.remove(&ctx.timer);
                     let pairs: Vec<(u64, u8)> = ctx.replies.into_iter().collect();
@@ -421,8 +442,11 @@ impl Coordinator {
                 let reg = self.shared.registry.borrow();
                 let (still_owner, loc) = match (bucket, parity) {
                     (Some(b), None) => (
-                        (b as usize) < reg.data_count() && reg.data_node(b) == from,
-                        (b / self.m() as u64, (b % self.m() as u64) as usize),
+                        crate::convert::to_index(b) < reg.data_count() && reg.data_node(b) == from,
+                        (
+                            b / self.m() as u64,
+                            crate::convert::to_index(b % self.m() as u64),
+                        ),
                     ),
                     (None, Some((g, q))) => {
                         (reg.parity_nodes(g).get(q) == Some(&from), (g, self.m() + q))
@@ -557,13 +581,17 @@ impl Coordinator {
     /// the group re-audited (the survivor set may have changed under us).
     fn retry_recovery(&mut self, env: &mut Env<'_, Msg>, token: u64) {
         let retries = self.shared.cfg.coord_retries;
-        let give_up = {
-            let ctx = self.recoveries.get_mut(&token).expect("caller checked");
-            ctx.attempts += 1;
-            ctx.attempts > retries
+        let give_up = match self.recoveries.get_mut(&token) {
+            Some(ctx) => {
+                ctx.attempts += 1;
+                ctx.attempts > retries
+            }
+            None => return,
         };
         if give_up {
-            let ctx = self.recoveries.remove(&token).expect("present");
+            let Some(ctx) = self.recoveries.remove(&token) else {
+                return;
+            };
             match ctx.purpose {
                 Purpose::Repair => {
                     // Survivors stopped answering; audit the group afresh.
@@ -580,15 +608,22 @@ impl Coordinator {
             self.drain_queues(env);
             return;
         }
-        let m = self.m() as u64;
-        let ctx = self.recoveries.get(&token).expect("present");
+        let m = self.m();
+        let Some(ctx) = self.recoveries.get(&token) else {
+            return;
+        };
         let reg = self.shared.registry.borrow();
         let mut sends: Vec<(NodeId, Msg)> = Vec::new();
         for &shard in &ctx.awaiting {
-            let node = if shard < m as usize {
-                reg.data_node(ctx.group * m + shard as u64)
+            let node = if shard < m {
+                reg.data_node(ctx.group * m as u64 + shard as u64)
             } else {
-                reg.parity_nodes(ctx.group)[shard - m as usize]
+                // A shard index beyond the parity set means the group
+                // shrank under us; skip it — the give-up path re-audits.
+                match reg.parity_nodes(ctx.group).get(shard - m) {
+                    Some(n) => *n,
+                    None => continue,
+                }
             };
             sends.push((node, Msg::TransferShard { token }));
         }
@@ -601,7 +636,9 @@ impl Coordinator {
         }
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
         self.timer_tokens.insert(timer, token);
-        self.recoveries.get_mut(&token).expect("present").timer = timer;
+        if let Some(ctx) = self.recoveries.get_mut(&token) {
+            ctx.timer = timer;
+        }
     }
 
     /// Re-issue a split's orders (InitParity for a freshly created group,
@@ -610,30 +647,36 @@ impl Coordinator {
     /// SplitLoad verbatim, so re-ordering a split is always safe.
     fn retry_split(&mut self, env: &mut Env<'_, Msg>, token: u64) {
         let retries = self.shared.cfg.coord_retries;
-        {
-            let ctx = self.splits.get_mut(&token).expect("caller checked");
-            ctx.attempts += 1;
-            if ctx.attempts > retries {
-                // Give up: unblock the queue and audit the target's group.
-                let ctx = self.splits.remove(&token).expect("present");
-                self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
-                let group = ctx.target / self.m() as u64;
-                if !self.checking_groups.contains(&group) {
-                    self.start_group_check(env, group);
-                }
-                self.drain_queues(env);
-                return;
+        let give_up = match self.splits.get_mut(&token) {
+            Some(ctx) => {
+                ctx.attempts += 1;
+                ctx.attempts > retries
             }
+            None => return,
+        };
+        if give_up {
+            // Give up: unblock the queue and audit the target's group.
+            let Some(ctx) = self.splits.remove(&token) else {
+                return;
+            };
+            self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
+            let group = ctx.target / self.m() as u64;
+            if !self.checking_groups.contains(&group) {
+                self.start_group_check(env, group);
+            }
+            self.drain_queues(env);
+            return;
         }
-        let ctx = &self.splits[&token];
+        let Some(ctx) = self.splits.get(&token) else {
+            return;
+        };
         let reg = self.shared.registry.borrow();
         let target_node = reg.data_node(ctx.target);
         let source_node = reg.data_node(ctx.source);
         drop(reg);
-        for (node, msg) in &self.splits[&token].init_parity {
+        for (node, msg) in &ctx.init_parity {
             env.send(*node, msg.clone());
         }
-        let ctx = &self.splits[&token];
         env.send(
             target_node,
             Msg::InitData {
@@ -652,14 +695,18 @@ impl Coordinator {
         );
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
         self.timer_tokens.insert(timer, token);
-        self.splits.get_mut(&token).expect("present").timer = timer;
+        if let Some(ctx) = self.splits.get_mut(&token) {
+            ctx.timer = timer;
+        }
     }
 
     /// Re-order an unconfirmed merge (DoMerge and the downstream MergeLoad
     /// are both idempotent); abandoned after `coord_retries` rounds.
     fn retry_merge(&mut self, env: &mut Env<'_, Msg>) {
         let retries = self.shared.cfg.coord_retries;
-        let ctx = self.outstanding_merge.as_mut().expect("caller checked");
+        let Some(ctx) = self.outstanding_merge.as_mut() else {
+            return;
+        };
         ctx.attempts += 1;
         if ctx.attempts > retries {
             self.outstanding_merge = None;
@@ -678,13 +725,17 @@ impl Coordinator {
         );
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
         self.timer_tokens.insert(timer, token);
-        self.outstanding_merge.as_mut().expect("present").timer = timer;
+        if let Some(ctx) = self.outstanding_merge.as_mut() {
+            ctx.timer = timer;
+        }
     }
 
     /// Re-query the buckets that have not answered a file-state scan.
     fn retry_state_rec(&mut self, env: &mut Env<'_, Msg>) {
         let retries = self.shared.cfg.coord_retries;
-        let ctx = self.state_rec.as_mut().expect("caller checked");
+        let Some(ctx) = self.state_rec.as_mut() else {
+            return;
+        };
         ctx.attempts += 1;
         if ctx.attempts > retries {
             self.state_rec = None;
@@ -703,7 +754,9 @@ impl Coordinator {
         }
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
         self.timer_tokens.insert(timer, token);
-        self.state_rec.as_mut().expect("present").timer = timer;
+        if let Some(ctx) = self.state_rec.as_mut() {
+            ctx.timer = timer;
+        }
     }
 
     /// Re-drive a degraded read: re-ask the parity bucket (AwaitFind) or
@@ -712,13 +765,17 @@ impl Coordinator {
     /// retry may still land once the group is rebuilt.
     fn retry_degraded(&mut self, env: &mut Env<'_, Msg>, token: u64) {
         let retries = self.shared.cfg.coord_retries;
-        let give_up = {
-            let ctx = self.degraded.get_mut(&token).expect("caller checked");
-            ctx.attempts += 1;
-            ctx.attempts > retries
+        let give_up = match self.degraded.get_mut(&token) {
+            Some(ctx) => {
+                ctx.attempts += 1;
+                ctx.attempts > retries
+            }
+            None => return,
         };
         if give_up {
-            let ctx = self.degraded.remove(&token).expect("present");
+            let Some(ctx) = self.degraded.remove(&token) else {
+                return;
+            };
             env.send(
                 ctx.client,
                 Msg::Reply {
@@ -730,7 +787,9 @@ impl Coordinator {
             self.drain_queues(env);
             return;
         }
-        let ctx = self.degraded.get(&token).expect("present");
+        let Some(ctx) = self.degraded.get(&token) else {
+            return;
+        };
         let mut sends: Vec<(NodeId, Msg)> = Vec::new();
         match &ctx.stage {
             DegradedStage::AwaitFind { pnode } => {
@@ -760,7 +819,9 @@ impl Coordinator {
         }
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
         self.timer_tokens.insert(timer, token);
-        self.degraded.get_mut(&token).expect("present").timer = timer;
+        if let Some(ctx) = self.degraded.get_mut(&token) {
+            ctx.timer = timer;
+        }
     }
 
     // ----- splits and availability scaling -----
@@ -797,7 +858,13 @@ impl Coordinator {
             let k = self.k_file;
             let mut nodes = Vec::with_capacity(k);
             for q in 0..k {
-                let n = self.alloc_node();
+                let Some(n) = self.alloc_node() else {
+                    self.invariant_violated(
+                        env,
+                        "node pool ran dry mid-split despite the up-front reservation check",
+                    );
+                    return;
+                };
                 let msg = Msg::InitParity {
                     group: target_group,
                     index: q,
@@ -826,7 +893,13 @@ impl Coordinator {
 
         // Create the new bucket and order the split.
         let seq0 = self.col_floors.remove(&plan.target).unwrap_or(0);
-        let target_node = self.alloc_node();
+        let Some(target_node) = self.alloc_node() else {
+            self.invariant_violated(
+                env,
+                "node pool ran dry mid-split despite the up-front reservation check",
+            );
+            return;
+        };
         env.send(
             target_node,
             Msg::InitData {
@@ -875,8 +948,12 @@ impl Coordinator {
 
         // Scalable availability: raise k when M crosses the next threshold.
         let m_now = self.state.bucket_count();
-        while self.thresholds_crossed < self.shared.cfg.scale_thresholds.len()
-            && m_now > self.shared.cfg.scale_thresholds[self.thresholds_crossed]
+        while self
+            .shared
+            .cfg
+            .scale_thresholds
+            .get(self.thresholds_crossed)
+            .is_some_and(|&t| m_now > t)
         {
             self.thresholds_crossed += 1;
             self.k_file += 1;
@@ -884,20 +961,30 @@ impl Coordinator {
                 .push((env.now(), CoordEvent::KIncreased { k: self.k_file }));
             match self.shared.cfg.upgrade_mode {
                 UpgradeMode::Eager => {
-                    for g in 0..self.group_k.len() as u64 {
-                        if self.group_k[g as usize] < self.k_file
-                            && !self.upgrade_queue.contains(&g)
-                        {
+                    let k_file = self.k_file;
+                    let behind: Vec<u64> = self
+                        .group_k
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &k)| k < k_file)
+                        .map(|(g, _)| g as u64)
+                        .collect();
+                    for g in behind {
+                        if !self.upgrade_queue.contains(&g) {
                             self.upgrade_queue.push_back(g);
                         }
                     }
                 }
                 UpgradeMode::Lazy => {
-                    for g in 0..self.group_k.len() as u64 {
-                        if self.group_k[g as usize] < self.k_file {
-                            self.lagging.insert(g);
-                        }
-                    }
+                    let k_file = self.k_file;
+                    let behind: Vec<u64> = self
+                        .group_k
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &k)| k < k_file)
+                        .map(|(g, _)| g as u64)
+                        .collect();
+                    self.lagging.extend(behind);
                 }
             }
         }
@@ -1001,7 +1088,11 @@ impl Coordinator {
     }
 
     fn start_upgrade(&mut self, env: &mut Env<'_, Msg>, group: u64) {
-        let k_old = self.group_k[group as usize];
+        let Some(&k_old) = self.group_k.get(crate::convert::to_index(group)) else {
+            // A queued upgrade can outlive its group (merged away).
+            self.drain_queues(env);
+            return;
+        };
         let k_new = self.k_file;
         if k_old >= k_new {
             self.drain_queues(env);
@@ -1041,8 +1132,9 @@ impl Coordinator {
         // A group with no existing columns (cannot happen: groups are
         // created by splits into them) would stall; guard anyway.
         if existing == 0 {
-            let ctx = self.recoveries.remove(&token).expect("just inserted");
-            self.finish_collection(env, token, ctx);
+            if let Some(ctx) = self.recoveries.remove(&token) {
+                self.finish_collection(env, token, ctx);
+            }
         }
     }
 
@@ -1075,7 +1167,7 @@ impl Coordinator {
             self.queue_ops(group, vec![(op_id, client, kind)]);
             return;
         }
-        let col = (bucket % self.m() as u64) as usize;
+        let col = crate::convert::to_index(bucket % self.m() as u64);
         if self.failed.contains(&(group, col)) {
             // Known failure, recovery apparently finished (or pending
             // elsewhere); queue and audit again.
@@ -1181,8 +1273,11 @@ impl Coordinator {
         } else {
             false
         };
-        if all_in {
-            let check = self.checks.remove(&token).expect("checked above");
+        if let Some(check) = if all_in {
+            self.checks.remove(&token)
+        } else {
+            None
+        } {
             env.cancel_timer(check.timer);
             self.timer_tokens.remove(&check.timer);
             self.finish_group_check(env, check);
@@ -1204,7 +1299,15 @@ impl Coordinator {
             self.drain_queues(env);
             return;
         }
-        let k_g = self.group_k[group as usize];
+        let Some(&k_g) = self.group_k.get(crate::convert::to_index(group)) else {
+            // The group vanished (merged away) between probe and reply.
+            self.invariant_violated(
+                env,
+                "group check finished for a group with no parity record",
+            );
+            self.drain_queues(env);
+            return;
+        };
         self.events.push((
             env.now(),
             CoordEvent::FailureDetected {
@@ -1305,9 +1408,14 @@ impl Coordinator {
         // Degenerate case: nothing to await (e.g. group of one existing
         // failed column rebuilt purely from parity... then parity was
         // awaited; truly empty only if no survivors needed).
-        if self.recoveries[&token].awaiting.is_empty() {
-            let ctx = self.recoveries.remove(&token).expect("just inserted");
-            self.finish_collection(env, token, ctx);
+        if self
+            .recoveries
+            .get(&token)
+            .is_some_and(|c| c.awaiting.is_empty())
+        {
+            if let Some(ctx) = self.recoveries.remove(&token) {
+                self.finish_collection(env, token, ctx);
+            }
         }
     }
 
@@ -1391,7 +1499,9 @@ impl Coordinator {
         ) {
             return;
         }
-        let mut ctx = self.degraded.remove(&token).expect("checked above");
+        let Some(mut ctx) = self.degraded.remove(&token) else {
+            return;
+        };
         let Some((rank, keys)) = found else {
             // The key never existed: unsuccessful-search semantics.
             env.cancel_timer(ctx.timer);
@@ -1408,10 +1518,28 @@ impl Coordinator {
             return;
         };
         let m = self.m();
-        let target_col = keys
-            .iter()
-            .position(|k| *k == Some(ctx.key))
-            .expect("parity reported the key");
+        // The parity bucket claimed it found the key, so the key list it
+        // returned must contain it. A reply that violates that (a buggy or
+        // byzantine parity node — this arrives off the wire) fails the one
+        // lookup instead of aborting the coordinator.
+        let Some(target_col) = keys.iter().position(|k| *k == Some(ctx.key)) else {
+            env.cancel_timer(ctx.timer);
+            self.timer_tokens.remove(&ctx.timer);
+            self.invariant_violated(
+                env,
+                "FindRecordReply's key list does not contain the key it claims to have found",
+            );
+            env.send(
+                ctx.client,
+                Msg::Reply {
+                    op_id: ctx.op_id,
+                    result: OpResult::Failed("inconsistent parity reply".into()),
+                    iam: None,
+                },
+            );
+            self.drain_queues(env);
+            return;
+        };
         // Gather m shards: existing live data columns first, then parity.
         let group = ctx.group;
         let existing = self.existing_cols(group);
@@ -1478,28 +1606,40 @@ impl Coordinator {
         if !done {
             return;
         }
-        let ctx = self.degraded.remove(&token).expect("present");
+        let Some(ctx) = self.degraded.remove(&token) else {
+            return;
+        };
         env.cancel_timer(ctx.timer);
         self.timer_tokens.remove(&ctx.timer);
+        let group = ctx.group;
         let DegradedStage::AwaitCells {
             target_col, cells, ..
         } = ctx.stage
         else {
-            unreachable!()
+            // The stage was AwaitCells when `done` was computed above.
+            self.invariant_violated(env, "degraded read left the cell stage mid-collection");
+            return;
         };
-        let code = AnyCode::new(
-            self.shared.cfg.field,
-            self.m(),
-            self.group_k[ctx.group as usize],
-        )
-        .expect("validated config");
-        let avail: Vec<(usize, &[u8])> = cells.iter().map(|(s, c)| (*s, c.as_slice())).collect();
-        let result = match code.reconstruct_one(target_col, &avail) {
-            Ok(cell) => match decode_cell(&cell) {
-                Some(payload) => OpResult::Value(Some(payload)),
-                None => OpResult::Failed("corrupt cell after decode".into()),
-            },
-            Err(e) => OpResult::Failed(format!("decode failed: {e}")),
+        // group_k and the field/m pair were validated when the group was
+        // created; a mismatch here degrades the one lookup, not the actor.
+        let k_g = self
+            .group_k
+            .get(crate::convert::to_index(group))
+            .copied()
+            .unwrap_or(0);
+        let result = match AnyCode::new(self.shared.cfg.field, self.m(), k_g) {
+            Ok(code) => {
+                let avail: Vec<(usize, &[u8])> =
+                    cells.iter().map(|(s, c)| (*s, c.as_slice())).collect();
+                match code.reconstruct_one(target_col, &avail) {
+                    Ok(cell) => match decode_cell(&cell) {
+                        Some(payload) => OpResult::Value(Some(payload)),
+                        None => OpResult::Failed("corrupt cell after decode".into()),
+                    },
+                    Err(e) => OpResult::Failed(format!("decode failed: {e}")),
+                }
+            }
+            Err(e) => OpResult::Failed(format!("code construction failed: {e}")),
         };
         env.send(
             ctx.client,
@@ -1528,8 +1668,9 @@ impl Coordinator {
             ctx.collected.insert(shard, content);
         }
         if ctx.awaiting.is_empty() {
-            let ctx = self.recoveries.remove(&token).expect("present");
-            self.finish_collection(env, token, ctx);
+            if let Some(ctx) = self.recoveries.remove(&token) {
+                self.finish_collection(env, token, ctx);
+            }
         }
     }
 
@@ -1537,16 +1678,44 @@ impl Coordinator {
         let m = self.m();
         let cell_len = self.shared.cfg.cell_len();
         let existing = self.existing_cols(ctx.group);
-        let code = AnyCode::new(self.shared.cfg.field, m, ctx.k).expect("validated config");
-        let rebuilt = rebuild_shards(
-            m,
-            ctx.k,
-            cell_len,
-            existing,
-            &ctx.collected,
-            &ctx.rebuild,
-            &code,
-        );
+        // The (field, m, k) triple was validated at file creation and every
+        // upgrade; if decode still fails the collected shards are
+        // inconsistent. Either way: record it, abandon the rebuild (the
+        // shards stay marked failed, so the next suspect re-audits), and
+        // fail the parked writes back to their clients.
+        let rebuilt = AnyCode::new(self.shared.cfg.field, m, ctx.k)
+            .map_err(|e| e.to_string())
+            .and_then(|code| {
+                rebuild_shards(
+                    m,
+                    ctx.k,
+                    cell_len,
+                    existing,
+                    &ctx.collected,
+                    &ctx.rebuild,
+                    &code,
+                )
+            });
+        let rebuilt = match rebuilt {
+            Ok(r) => r,
+            Err(why) => {
+                env.cancel_timer(ctx.timer);
+                self.timer_tokens.remove(&ctx.timer);
+                self.invariant_violated(env, &format!("group rebuild failed: {why}"));
+                for (op_id, client, _) in self.queued_ops.remove(&ctx.group).unwrap_or_default() {
+                    env.send(
+                        client,
+                        Msg::Reply {
+                            op_id,
+                            result: OpResult::Failed("group rebuild failed".into()),
+                            iam: None,
+                        },
+                    );
+                }
+                self.drain_queues(env);
+                return;
+            }
+        };
 
         // Out of spare nodes: abandon this rebuild instead of panicking
         // the coordinator. The shards stay marked failed, so the next
@@ -1578,7 +1747,12 @@ impl Coordinator {
 
         // Install each rebuilt shard on a spare node.
         for (shard, content) in rebuilt {
-            let spare = self.alloc_node();
+            let Some(spare) = self.alloc_node() else {
+                // Reserved above (`pool.len() >= rebuilt.len()`); the
+                // retransmit timer retries whatever this round missed.
+                self.invariant_violated(env, "node pool ran dry mid-install despite reservation");
+                break;
+            };
             let install_token = self.token();
             let (bucket, index) = if shard < m {
                 (Some(ctx.group * m as u64 + shard as u64), None)
@@ -1586,20 +1760,24 @@ impl Coordinator {
                 (None, Some(shard - m))
             };
             // Data buckets need their level restored; the coordinator
-            // computes it from the file state.
-            let content = match content {
-                ShardContent::Data {
-                    next_rank,
-                    delta_seq,
-                    records,
-                    ..
-                } => ShardContent::Data {
-                    level: self.state.level_of(bucket.expect("data shard")),
+            // computes it from the file state. Only a data shard (shard < m,
+            // i.e. `bucket` is Some) carries a level to restore.
+            let content = match (content, bucket) {
+                (
+                    ShardContent::Data {
+                        next_rank,
+                        delta_seq,
+                        records,
+                        ..
+                    },
+                    Some(b),
+                ) => ShardContent::Data {
+                    level: self.state.level_of(b),
                     next_rank,
                     delta_seq,
                     records,
                 },
-                p => p,
+                (p, _) => p,
             };
             let msg = Msg::Install {
                 group: ctx.group,
@@ -1627,10 +1805,16 @@ impl Coordinator {
             return;
         };
         let (done, displaced) = {
-            let ctx = self.recoveries.get_mut(&recovery_token).expect("found");
-            let shard = ctx.installs.remove(&install_token).expect("found");
+            let Some(ctx) = self.recoveries.get_mut(&recovery_token) else {
+                return;
+            };
+            let Some(shard) = ctx.installs.remove(&install_token) else {
+                return;
+            };
             ctx.install_msgs.remove(&install_token);
-            let spare = ctx.spares[&shard];
+            let Some(&spare) = ctx.spares.get(&shard) else {
+                return;
+            };
             let m = self.shared.cfg.group_size;
             let mut reg = self.shared.registry.borrow_mut();
             let mut displaced = None;
@@ -1639,7 +1823,7 @@ impl Coordinator {
                 displaced = Some(reg.data_node(bucket));
                 reg.move_data(bucket, spare);
             } else if shard - m < reg.group_k(ctx.group) {
-                displaced = Some(reg.parity_nodes(ctx.group)[shard - m]);
+                displaced = reg.parity_nodes(ctx.group).get(shard - m).copied();
                 reg.move_parity(ctx.group, shard - m, spare);
             } else {
                 // Upgrade: append the new parity column.
@@ -1658,7 +1842,9 @@ impl Coordinator {
             env.send(old, Msg::Retire);
         }
         if done {
-            let ctx = self.recoveries.remove(&recovery_token).expect("found");
+            let Some(ctx) = self.recoveries.remove(&recovery_token) else {
+                return;
+            };
             env.cancel_timer(ctx.timer);
             self.timer_tokens.remove(&ctx.timer);
             match ctx.purpose {
@@ -1676,7 +1862,9 @@ impl Coordinator {
                     self.replay_queued(env, ctx.group);
                 }
                 Purpose::Upgrade => {
-                    self.group_k[ctx.group as usize] = ctx.k;
+                    if let Some(slot) = self.group_k.get_mut(crate::convert::to_index(ctx.group)) {
+                        *slot = ctx.k;
+                    }
                     self.events.push((
                         env.now(),
                         CoordEvent::GroupUpgraded {
@@ -1691,12 +1879,29 @@ impl Coordinator {
     }
 }
 
+/// Copy `cell` into the `pos`-th `cell_len` slot of `buf`, clamping to the
+/// shorter of the two. A wrong-length cell (the content arrives off the
+/// wire) corrupts at most its own record instead of panicking the decode.
+fn copy_cell(buf: &mut [u8], pos: usize, cell_len: usize, cell: &[u8]) {
+    if let Some(dst) = buf.get_mut(pos * cell_len..(pos + 1) * cell_len) {
+        let n = dst.len().min(cell.len());
+        if let (Some(d), Some(s)) = (dst.get_mut(..n), cell.get(..n)) {
+            d.copy_from_slice(s);
+        }
+    }
+}
+
 /// Rebuild the listed shards of one group from the collected survivors.
 ///
 /// Pure function (no messaging) so the decode logic is unit-testable. Uses
 /// the concatenated-buffer trick: all ranks of a shard are laid out
 /// rank-major in one buffer, so one `reconstruct` call decodes every record
 /// group at once.
+///
+/// # Errors
+/// A human-readable description when the survivors cannot produce the
+/// requested shards (too many erasures, inconsistent content). The caller
+/// surfaces it as a degraded-mode event and abandons the rebuild.
 fn rebuild_shards(
     m: usize,
     k: usize,
@@ -1705,7 +1910,7 @@ fn rebuild_shards(
     collected: &HashMap<usize, ShardContent>,
     rebuild: &[usize],
     code: &AnyCode,
-) -> Vec<(usize, ShardContent)> {
+) -> Result<Vec<(usize, ShardContent)>, String> {
     // Universe of ranks, plus the per-column delta-sequence watermarks.
     // Collection happens at quiescence (every survivor has applied the same
     // Δ stream), so the data bucket's own counter and any parity channel
@@ -1718,8 +1923,8 @@ fn rebuild_shards(
                 records, delta_seq, ..
             } => {
                 ranks.extend(records.iter().map(|(r, _, _)| *r));
-                if idx < m {
-                    watermark[idx] = watermark[idx].max(*delta_seq);
+                if let Some(w) = watermark.get_mut(idx) {
+                    *w = (*w).max(*delta_seq);
                 }
             }
             ShardContent::Parity { records, col_seqs } => {
@@ -1744,22 +1949,30 @@ fn rebuild_shards(
         match content {
             ShardContent::Data { records, .. } => {
                 for (rank, _, payload) in records {
-                    let pos = rank_pos[rank] * cell_len;
+                    let Some(&pos) = rank_pos.get(rank) else {
+                        continue;
+                    };
                     let cell = crate::record::encode_cell(payload, cell_len);
-                    buf[pos..pos + cell_len].copy_from_slice(&cell);
+                    copy_cell(&mut buf, pos, cell_len, &cell);
                 }
             }
             ShardContent::Parity { records, .. } => {
                 for (rank, _, cell) in records {
-                    let pos = rank_pos[rank] * cell_len;
-                    buf[pos..pos + cell_len].copy_from_slice(cell);
+                    let Some(&pos) = rank_pos.get(rank) else {
+                        continue;
+                    };
+                    copy_cell(&mut buf, pos, cell_len, cell);
                 }
             }
         }
-        shards[idx] = Some(buf);
+        // An index beyond m + k (inconsistent collection) is dropped here
+        // and caught below as a reconstruction shortfall.
+        if let Some(slot) = shards.get_mut(idx) {
+            *slot = Some(buf);
+        }
     }
     code.reconstruct(&mut shards)
-        .expect("≤ k erasures by the tolerance check");
+        .map_err(|e| format!("reconstruct failed: {e}"))?;
 
     // Keys per (rank, col): from collected data shards and any collected
     // parity shard's key lists.
@@ -1769,12 +1982,16 @@ fn rebuild_shards(
         match content {
             ShardContent::Data { records, .. } => {
                 for (rank, key, _) in records {
-                    keys.get_mut(rank).expect("rank known")[idx] = Some(*key);
+                    if let Some(slot) = keys.get_mut(rank).and_then(|v| v.get_mut(idx)) {
+                        *slot = Some(*key);
+                    }
                 }
             }
             ShardContent::Parity { records, .. } => {
                 for (rank, ks, _) in records {
-                    let slot = keys.get_mut(rank).expect("rank known");
+                    let Some(slot) = keys.get_mut(rank) else {
+                        continue;
+                    };
                     for (dst, src) in slot.iter_mut().zip(ks) {
                         if src.is_some() {
                             *dst = *src;
@@ -1787,16 +2004,23 @@ fn rebuild_shards(
 
     let mut out = Vec::new();
     for &shard in rebuild {
-        let buf = shards[shard].as_ref().expect("reconstructed");
+        let Some(buf) = shards.get(shard).and_then(|s| s.as_ref()) else {
+            return Err(format!("shard {shard} missing after reconstruction"));
+        };
         if shard < m {
             // A data bucket: records are the ranks where this column holds
             // a key.
             let mut records = Vec::new();
             let mut max_rank: Option<Rank> = None;
             for (rank, pos) in &rank_pos {
-                if let Some(key) = keys[rank][shard] {
-                    let cell = &buf[pos * cell_len..(pos + 1) * cell_len];
-                    let payload = decode_cell(cell).expect("decoded cell is well-formed");
+                let key = keys.get(rank).and_then(|v| v.get(shard)).copied().flatten();
+                if let Some(key) = key {
+                    let Some(cell) = buf.get(pos * cell_len..(pos + 1) * cell_len) else {
+                        return Err(format!("rank {rank} out of the decoded buffer"));
+                    };
+                    let Some(payload) = decode_cell(cell) else {
+                        return Err(format!("rank {rank} decoded to a malformed cell"));
+                    };
                     records.push((*rank, key, payload));
                     max_rank = Some(max_rank.map_or(*rank, |m0: Rank| m0.max(*rank)));
                 }
@@ -1806,7 +2030,7 @@ fn rebuild_shards(
                 ShardContent::Data {
                     level: 0, // restored by the coordinator from file state
                     next_rank: max_rank.map_or(0, |r| r + 1),
-                    delta_seq: watermark[shard],
+                    delta_seq: watermark.get(shard).copied().unwrap_or(0),
                     records,
                 },
             ));
@@ -1814,10 +2038,12 @@ fn rebuild_shards(
             // A parity bucket: one parity record per rank with any member.
             let mut records = Vec::new();
             for (rank, pos) in &rank_pos {
-                let ks = keys[rank].clone();
+                let ks = keys.get(rank).cloned().unwrap_or_else(|| vec![None; m]);
                 if ks.iter().any(Option::is_some) {
-                    let cell = buf[pos * cell_len..(pos + 1) * cell_len].to_vec();
-                    records.push((*rank, ks, cell));
+                    let Some(cell) = buf.get(pos * cell_len..(pos + 1) * cell_len) else {
+                        return Err(format!("rank {rank} out of the decoded buffer"));
+                    };
+                    records.push((*rank, ks, cell.to_vec()));
                 }
             }
             out.push((
@@ -1829,7 +2055,7 @@ fn rebuild_shards(
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Recompute `(n, i)` from the `(bucket, level)` pairs of a full scan —
@@ -1840,14 +2066,14 @@ fn recompute_state(replies: &[(u64, u8)]) -> (u64, u8) {
     by_bucket.sort_unstable();
     debug_assert!(!by_bucket.is_empty());
     for w in by_bucket.windows(2) {
-        let (_, j_prev) = w[0];
-        let (b, j) = w[1];
-        if j_prev == j + 1 {
-            return (b, j);
+        if let [(_, j_prev), (b, j)] = w {
+            if *j_prev == *j + 1 {
+                return (*b, *j);
+            }
         }
     }
     // Uniform level: n = 0.
-    let i = by_bucket[0].1;
+    let i = by_bucket.first().map_or(0, |&(_, j)| j);
     debug_assert_eq!(by_bucket.len() as u64, 1u64 << i, "E1 cross-check");
     (0, i)
 }
@@ -1938,7 +2164,7 @@ mod tests {
                 col_seqs: vec![7, 4, 9, 0],
             },
         );
-        let rebuilt = rebuild_shards(m, k, cell_len, 3, &collected, &[1, m + 1], &code);
+        let rebuilt = rebuild_shards(m, k, cell_len, 3, &collected, &[1, m + 1], &code).unwrap();
         let by_shard: HashMap<usize, &ShardContent> =
             rebuilt.iter().map(|(s, c)| (*s, c)).collect();
 
@@ -1990,7 +2216,7 @@ mod tests {
                 col_seqs: vec![1, 0, 0, 0],
             },
         );
-        let rebuilt = rebuild_shards(m, k, cell_len, 1, &collected, &[0], &code);
+        let rebuilt = rebuild_shards(m, k, cell_len, 1, &collected, &[0], &code).unwrap();
         match &rebuilt[0].1 {
             ShardContent::Data {
                 records, next_rank, ..
@@ -2024,7 +2250,7 @@ mod tests {
                 col_seqs: vec![0, 0],
             },
         );
-        let rebuilt = rebuild_shards(m, k, 8, 2, &collected, &[0], &code);
+        let rebuilt = rebuild_shards(m, k, 8, 2, &collected, &[0], &code).unwrap();
         match &rebuilt[0].1 {
             ShardContent::Data { records, .. } => assert!(records.is_empty()),
             _ => panic!("expected data shard"),

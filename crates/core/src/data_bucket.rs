@@ -121,7 +121,7 @@ impl DataBucket {
 
     /// Reed–Solomon column index: offset within the group.
     pub fn col(&self) -> usize {
-        (self.bucket % self.shared.cfg.group_size as u64) as usize
+        crate::convert::to_index(self.bucket % self.shared.cfg.group_size as u64)
     }
 
     /// Number of records stored.
@@ -380,9 +380,10 @@ impl DataBucket {
         let parity_nodes: Vec<NodeId> = self.shared.registry.borrow().parity_nodes(group).to_vec();
         self.ensure_acked_slots(parity_nodes.len());
         for (q, pn) in parity_nodes.iter().enumerate() {
+            let acked = self.parity_acked.get(q).copied().unwrap_or(0);
             let pending: Vec<DeltaEntry> = self
                 .unacked
-                .range(self.parity_acked[q]..)
+                .range(acked..)
                 .map(|(_, e)| e.clone())
                 .collect();
             if !pending.is_empty() {
@@ -411,8 +412,10 @@ impl DataBucket {
             return; // an ack from a since-replaced parity bucket
         };
         self.ensure_acked_slots(parity_nodes.len());
-        if upto > self.parity_acked[q] {
-            self.parity_acked[q] = upto;
+        if let Some(slot) = self.parity_acked.get_mut(q) {
+            if upto > *slot {
+                *slot = upto;
+            }
         }
         let min = self.min_acked();
         self.unacked = self.unacked.split_off(&min);
@@ -441,8 +444,10 @@ impl DataBucket {
     fn min_acked(&mut self) -> u64 {
         let k = self.shared.registry.borrow().group_k(self.group());
         self.ensure_acked_slots(k);
-        self.parity_acked[..k]
-            .iter()
+        self.parity_acked
+            .get(..k)
+            .into_iter()
+            .flatten()
             .copied()
             .min()
             .unwrap_or(self.delta_seq)
@@ -507,7 +512,8 @@ impl DataBucket {
                     let payload = self
                         .by_key
                         .get(&key)
-                        .map(|r| self.records[r].payload.clone());
+                        .and_then(|r| self.records.get(r))
+                        .map(|rec| rec.payload.clone());
                     env.send(
                         client,
                         Msg::Reply {
@@ -531,7 +537,8 @@ impl DataBucket {
                     return;
                 }
                 let (key, result) = match kind {
-                    ReqKind::Lookup(_) => unreachable!("handled above"),
+                    ReqKind::Lookup(_) => return, // replied above
+
                     ReqKind::Insert(key, payload) => {
                         let result = if self.by_key.contains_key(&key) {
                             OpResult::DuplicateKey
@@ -547,11 +554,19 @@ impl DataBucket {
                         (key, result)
                     }
                     ReqKind::Update(key, new_payload) => {
-                        let result = match self.by_key.get(&key) {
+                        let cell_len = self.shared.cfg.cell_len();
+                        let result = match self
+                            .by_key
+                            .get(&key)
+                            .copied()
+                            .map(|rank| (rank, self.records.get_mut(&rank)))
+                        {
                             None => OpResult::NotFound,
-                            Some(&rank) => {
-                                let cell_len = self.shared.cfg.cell_len();
-                                let rec = self.records.get_mut(&rank).expect("index consistent");
+                            // by_key points at a missing rank: the bucket's
+                            // index is inconsistent. Fail the write rather
+                            // than abort; recovery rebuilds both maps.
+                            Some((_, None)) => OpResult::Failed("bucket index inconsistent".into()),
+                            Some((rank, Some(rec))) => {
                                 let old_cell = encode_cell(&rec.payload, cell_len);
                                 let new_cell = encode_cell(&new_payload, cell_len);
                                 rec.payload = new_payload;
@@ -563,10 +578,14 @@ impl DataBucket {
                         (key, result)
                     }
                     ReqKind::Delete(key) => {
-                        let result = match self.by_key.remove(&key) {
+                        let result = match self
+                            .by_key
+                            .remove(&key)
+                            .map(|r| (r, self.records.remove(&r)))
+                        {
                             None => OpResult::NotFound,
-                            Some(rank) => {
-                                let rec = self.records.remove(&rank).expect("index consistent");
+                            Some((_, None)) => OpResult::Failed("bucket index inconsistent".into()),
+                            Some((rank, Some(rec))) => {
                                 self.free_ranks.push(Reverse(rank));
                                 let cell = encode_cell(&rec.payload, self.shared.cfg.cell_len());
                                 self.emit_delta(env, rank, KeyOp::Remove(key), cell);
@@ -623,7 +642,9 @@ impl DataBucket {
             .map(|(r, _)| *r)
             .collect();
         for rank in moving_ranks {
-            let rec = self.records.remove(&rank).expect("rank listed");
+            let Some(rec) = self.records.remove(&rank) else {
+                continue; // listed from this map just above
+            };
             self.by_key.remove(&rec.key);
             self.free_ranks.push(Reverse(rank));
             removals.push(DeltaEntry {
@@ -745,7 +766,9 @@ impl DataBucket {
         let mut movers = Vec::new();
         let ranks: Vec<Rank> = self.records.keys().copied().collect();
         for rank in ranks {
-            let rec = self.records.remove(&rank).expect("listed");
+            let Some(rec) = self.records.remove(&rank) else {
+                continue; // listed from this map just above
+            };
             self.by_key.remove(&rec.key);
             removals.push(DeltaEntry {
                 seq: self.next_seq(),

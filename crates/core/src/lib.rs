@@ -59,6 +59,7 @@ pub mod availability;
 pub mod client;
 pub mod code;
 mod config;
+pub(crate) mod convert;
 pub mod coordinator;
 pub mod data_bucket;
 mod error;

@@ -25,6 +25,7 @@
 
 use lhrs_sim::NodeId;
 
+use crate::coordinator::CoordEvent;
 use crate::msg::{
     ClientOp, DeltaEntry, FilterSpec, Iam, KeyOp, Msg, OpResult, ReplayEntry, ReqKind, ShardContent,
 };
@@ -172,6 +173,32 @@ pub mod tag {
     pub const STATE_QUERY: u8 = 36;
     /// `Msg::StateReply`
     pub const STATE_REPLY: u8 = 37;
+}
+
+/// Tag table for [`CoordEvent`](crate::coordinator::CoordEvent) — a
+/// separate namespace from [`tag`] (events never share a buffer with
+/// messages).
+pub mod etag {
+    /// `CoordEvent::Split`
+    pub const SPLIT: u8 = 1;
+    /// `CoordEvent::KIncreased`
+    pub const K_INCREASED: u8 = 2;
+    /// `CoordEvent::GroupUpgraded`
+    pub const GROUP_UPGRADED: u8 = 3;
+    /// `CoordEvent::FailureDetected`
+    pub const FAILURE_DETECTED: u8 = 4;
+    /// `CoordEvent::GroupRecovered`
+    pub const GROUP_RECOVERED: u8 = 5;
+    /// `CoordEvent::GroupUnrecoverable`
+    pub const GROUP_UNRECOVERABLE: u8 = 6;
+    /// `CoordEvent::Merged`
+    pub const MERGED: u8 = 7;
+    /// `CoordEvent::StateRecovered`
+    pub const STATE_RECOVERED: u8 = 8;
+    /// `CoordEvent::RecoveryStalled`
+    pub const RECOVERY_STALLED: u8 = 9;
+    /// `CoordEvent::InvariantViolated`
+    pub const INVARIANT_VIOLATED: u8 = 10;
 }
 
 // ----- encoding primitives -----
@@ -1197,6 +1224,161 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
     Ok(msg)
 }
 
+// ----- coordinator events -----
+
+/// Encode a [`CoordEvent`] (versioned, tag from [`etag`]).
+///
+/// Events cross the wire when a driver observes a remotely-hosted
+/// coordinator, and the exhaustiveness lint holds this codec to the same
+/// rule as [`encode_msg`]: adding a variant without an arm here fails CI.
+pub fn encode_coord_event(ev: &CoordEvent) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    match ev {
+        CoordEvent::Split {
+            source,
+            target,
+            buckets,
+        } => {
+            out.push(etag::SPLIT);
+            put_varint(&mut out, *source);
+            put_varint(&mut out, *target);
+            put_varint(&mut out, *buckets);
+        }
+        CoordEvent::KIncreased { k } => {
+            out.push(etag::K_INCREASED);
+            put_varint(&mut out, *k as u64);
+        }
+        CoordEvent::GroupUpgraded { group, k } => {
+            out.push(etag::GROUP_UPGRADED);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, *k as u64);
+        }
+        CoordEvent::FailureDetected { group, shards } => {
+            out.push(etag::FAILURE_DETECTED);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, shards.len() as u64);
+            for s in shards {
+                put_varint(&mut out, *s as u64);
+            }
+        }
+        CoordEvent::GroupRecovered { group, shards } => {
+            out.push(etag::GROUP_RECOVERED);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, shards.len() as u64);
+            for s in shards {
+                put_varint(&mut out, *s as u64);
+            }
+        }
+        CoordEvent::GroupUnrecoverable { group, failed } => {
+            out.push(etag::GROUP_UNRECOVERABLE);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, *failed as u64);
+        }
+        CoordEvent::Merged {
+            source,
+            target,
+            buckets,
+        } => {
+            out.push(etag::MERGED);
+            put_varint(&mut out, *source);
+            put_varint(&mut out, *target);
+            put_varint(&mut out, *buckets);
+        }
+        CoordEvent::StateRecovered { n, i } => {
+            out.push(etag::STATE_RECOVERED);
+            put_varint(&mut out, *n);
+            out.push(*i);
+        }
+        CoordEvent::RecoveryStalled { group, needed } => {
+            out.push(etag::RECOVERY_STALLED);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, *needed as u64);
+        }
+        CoordEvent::InvariantViolated { context } => {
+            out.push(etag::INVARIANT_VIOLATED);
+            put_bytes(&mut out, context.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a usize-valued varint, rejecting values that do not fit.
+fn varint_usize(r: &mut Reader<'_>, what: &'static str) -> Result<usize, WireError> {
+    let v = r.varint()?;
+    usize::try_from(v).map_err(|_| WireError::Oversized { what, len: v })
+}
+
+/// Decode a shard-index list (count bounded against the remaining bytes).
+fn shard_list(r: &mut Reader<'_>) -> Result<Vec<usize>, WireError> {
+    let n = r.len("event shard list")?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(varint_usize(r, "event shard index")?);
+    }
+    Ok(shards)
+}
+
+/// Decode a [`CoordEvent`]; rejects truncated or trailing-garbage buffers.
+pub fn decode_coord_event(buf: &[u8]) -> Result<CoordEvent, WireError> {
+    let mut r = Reader::new(buf);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version { got: version });
+    }
+    let t = r.u8()?;
+    let ev = match t {
+        etag::SPLIT => CoordEvent::Split {
+            source: r.varint()?,
+            target: r.varint()?,
+            buckets: r.varint()?,
+        },
+        etag::K_INCREASED => CoordEvent::KIncreased {
+            k: varint_usize(&mut r, "event k")?,
+        },
+        etag::GROUP_UPGRADED => CoordEvent::GroupUpgraded {
+            group: r.varint()?,
+            k: varint_usize(&mut r, "event k")?,
+        },
+        etag::FAILURE_DETECTED => CoordEvent::FailureDetected {
+            group: r.varint()?,
+            shards: shard_list(&mut r)?,
+        },
+        etag::GROUP_RECOVERED => CoordEvent::GroupRecovered {
+            group: r.varint()?,
+            shards: shard_list(&mut r)?,
+        },
+        etag::GROUP_UNRECOVERABLE => CoordEvent::GroupUnrecoverable {
+            group: r.varint()?,
+            failed: varint_usize(&mut r, "event failed count")?,
+        },
+        etag::MERGED => CoordEvent::Merged {
+            source: r.varint()?,
+            target: r.varint()?,
+            buckets: r.varint()?,
+        },
+        etag::STATE_RECOVERED => CoordEvent::StateRecovered {
+            n: r.varint()?,
+            i: r.u8()?,
+        },
+        etag::RECOVERY_STALLED => CoordEvent::RecoveryStalled {
+            group: r.varint()?,
+            needed: varint_usize(&mut r, "event needed count")?,
+        },
+        etag::INVARIANT_VIOLATED => CoordEvent::InvariantViolated {
+            context: String::from_utf8(r.bytes("event context")?)
+                .map_err(|_| WireError::BadUtf8)?,
+        },
+        _ => {
+            return Err(WireError::UnknownTag {
+                what: "CoordEvent",
+                tag: t,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(ev)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1277,5 +1459,118 @@ mod tests {
         put_varint(&mut buf, 0);
         put_varint(&mut buf, 1000); // claims 1000 bytes, none follow
         assert_eq!(decode_msg(&buf).unwrap_err(), WireError::Truncated);
+    }
+
+    /// Adversarial frame: a nested list-of-lists where the *outer* count is
+    /// plausible but an *inner* length claims more than the frame holds.
+    /// The decoder must reject before allocating, not over-allocate or
+    /// panic.
+    #[test]
+    fn nested_inner_length_is_bounded_by_remaining_bytes() {
+        // FindRecordReply: token, presence byte, rank, then a key list whose
+        // claimed count dwarfs the actual frame.
+        let mut buf = vec![WIRE_VERSION, tag::FIND_RECORD_REPLY];
+        put_varint(&mut buf, 9); // token
+        buf.push(1); // found = Some
+        put_varint(&mut buf, 1); // rank
+        put_varint(&mut buf, 1 << 20); // key count: under MAX_LEN, over frame
+        assert_eq!(decode_msg(&buf).unwrap_err(), WireError::Truncated);
+    }
+
+    /// A huge claimed element count with a tiny frame must fail the
+    /// remaining-bytes bound even when it is under MAX_LEN.
+    #[test]
+    fn batch_count_under_cap_but_over_frame_is_truncation() {
+        let mut buf = vec![WIRE_VERSION, tag::PARITY_BATCH];
+        put_varint(&mut buf, 3); // group
+        put_varint(&mut buf, MAX_LEN); // exactly the cap, frame is ~4 bytes
+        assert_eq!(decode_msg(&buf).unwrap_err(), WireError::Truncated);
+    }
+
+    /// Truncating a well-formed encoding at every prefix must yield a typed
+    /// error — never a panic and never a bogus success.
+    #[test]
+    fn every_prefix_of_a_real_message_fails_cleanly() {
+        let buf = encode_msg(&Msg::FindRecordReply {
+            token: 3,
+            found: Some((4, vec![Some(7), None, Some(11)])),
+        });
+        for cut in 0..buf.len() {
+            assert!(
+                decode_msg(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded successfully"
+            );
+        }
+        assert!(decode_msg(&buf).is_ok());
+    }
+
+    #[test]
+    fn coord_event_roundtrip_all_variants() {
+        let events = [
+            CoordEvent::Split {
+                source: 0,
+                target: 8,
+                buckets: 9,
+            },
+            CoordEvent::KIncreased { k: 2 },
+            CoordEvent::GroupUpgraded { group: 1, k: 2 },
+            CoordEvent::FailureDetected {
+                group: 3,
+                shards: vec![0, 5, 2],
+            },
+            CoordEvent::GroupRecovered {
+                group: 3,
+                shards: vec![1],
+            },
+            CoordEvent::GroupUnrecoverable {
+                group: 7,
+                failed: 4,
+            },
+            CoordEvent::Merged {
+                source: 4,
+                target: 9,
+                buckets: 9,
+            },
+            CoordEvent::StateRecovered { n: 77, i: 6 },
+            CoordEvent::RecoveryStalled {
+                group: 2,
+                needed: 3,
+            },
+            CoordEvent::InvariantViolated {
+                context: "find-record reply missing the searched key".to_string(),
+            },
+        ];
+        for ev in &events {
+            let buf = encode_coord_event(ev);
+            assert_eq!(&decode_coord_event(&buf).unwrap(), ev, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn coord_event_rejects_unknown_tag_truncation_and_trailing() {
+        assert_eq!(
+            decode_coord_event(&[WIRE_VERSION, 200]).unwrap_err(),
+            WireError::UnknownTag {
+                what: "CoordEvent",
+                tag: 200
+            }
+        );
+        let buf = encode_coord_event(&CoordEvent::KIncreased { k: 300 });
+        assert!(decode_coord_event(&buf[..buf.len() - 1]).is_err());
+        let mut buf = encode_coord_event(&CoordEvent::StateRecovered { n: 1, i: 2 });
+        buf.push(0);
+        assert_eq!(
+            decode_coord_event(&buf).unwrap_err(),
+            WireError::Trailing { extra: 1 }
+        );
+        // A shard list claiming more elements than bytes remain.
+        let mut buf = vec![WIRE_VERSION, etag::FAILURE_DETECTED];
+        put_varint(&mut buf, 3); // group
+        put_varint(&mut buf, 1 << 20); // absurd shard count
+        assert_eq!(decode_coord_event(&buf).unwrap_err(), WireError::Truncated);
+        // Invalid UTF-8 in the context string.
+        let mut buf = vec![WIRE_VERSION, etag::INVARIANT_VIOLATED];
+        put_bytes(&mut buf, &[0xff, 0xfe]);
+        assert_eq!(decode_coord_event(&buf).unwrap_err(), WireError::BadUtf8);
     }
 }

@@ -65,7 +65,10 @@ pub struct Frame {
 pub fn encode_frame(ftype: FrameType, from: NodeId, to: NodeId, payload: &[u8]) -> Vec<u8> {
     let body_len = 10 + payload.len(); // version + type + from + to + payload
     let mut out = Vec::with_capacity(4 + body_len);
-    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    // Saturate instead of truncating: an absurd payload produces a frame
+    // the receiver's MAX_FRAME check rejects, never a desynced stream.
+    let wire_len = u32::try_from(body_len).unwrap_or(u32::MAX);
+    out.extend_from_slice(&wire_len.to_le_bytes());
     out.push(FRAME_VERSION);
     out.push(ftype.to_byte());
     out.extend_from_slice(&from.0.to_le_bytes());
@@ -80,8 +83,11 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
     let mut len_buf = [0u8; 4];
     // Distinguish clean close (0 bytes) from a torn frame.
     let mut got = 0;
-    while got < 4 {
-        let n = stream.read(&mut len_buf[got..])?;
+    while let Some(rest) = len_buf.get_mut(got..) {
+        if rest.is_empty() {
+            break;
+        }
+        let n = stream.read(rest)?;
         if n == 0 {
             if got == 0 {
                 return Ok(None);
@@ -100,27 +106,47 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
             format!("frame length {len} out of range"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
-    if body[0] != FRAME_VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame version {} (supported {FRAME_VERSION})", body[0]),
-        ));
-    }
-    let ftype = FrameType::from_byte(body[1]).ok_or_else(|| {
+    let len = usize::try_from(len).map_err(|_| {
         io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame type {}", body[1]),
+            "frame length exceeds address space",
         )
     })?;
-    let from = NodeId(u32::from_le_bytes(body[2..6].try_into().expect("4 bytes")));
-    let to = NodeId(u32::from_le_bytes(body[6..10].try_into().expect("4 bytes")));
+    let body = {
+        let mut b = vec![0u8; len];
+        stream.read_exact(&mut b)?;
+        b
+    };
+    // `len >= 10` was range-checked above; destructuring the fixed-size
+    // header keeps every byte access panic-free.
+    let (hdr, payload) = body.split_at_checked(10).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame body shorter than its header",
+        )
+    })?;
+    let hdr: [u8; 10] = hdr.try_into().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame body shorter than its header",
+        )
+    })?;
+    let [version, tbyte, f0, f1, f2, f3, t0, t1, t2, t3] = hdr;
+    if version != FRAME_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame version {version} (supported {FRAME_VERSION})"),
+        ));
+    }
+    let ftype = FrameType::from_byte(tbyte)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("frame type {tbyte}")))?;
+    let from = NodeId(u32::from_le_bytes([f0, f1, f2, f3]));
+    let to = NodeId(u32::from_le_bytes([t0, t1, t2, t3]));
     Ok(Some(Frame {
         ftype,
         from,
         to,
-        payload: body[10..].to_vec(),
+        payload: payload.to_vec(),
     }))
 }
 

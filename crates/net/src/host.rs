@@ -103,11 +103,13 @@ impl<T: Transport> NodeHost<T> {
 
     /// The hosted node `id` (panics if not hosted here).
     pub fn node(&self, id: u32) -> &Node {
+        // lhrs-lint: allow(panic-freedom) reason="driver-facing accessor with a documented panic contract; `id` comes from local test/driver code, never off the wire"
         &self.nodes[&id]
     }
 
     /// Mutable access to hosted node `id` (panics if not hosted here).
     pub fn node_mut(&mut self, id: u32) -> &mut Node {
+        // lhrs-lint: allow(panic-freedom) reason="driver-facing accessor with a documented panic contract; `id` comes from local test/driver code, never off the wire"
         self.nodes.get_mut(&id).expect("node hosted here")
     }
 
@@ -308,13 +310,13 @@ impl<T: Transport> NodeHost<T> {
             reg.pop_data();
         }
         for (b, node) in up.data.iter().enumerate() {
-            let b = b as u64;
-            if (b as usize) < reg.data_count() {
-                if reg.data_node(b) != *node {
-                    reg.move_data(b, *node);
+            let bucket = b as u64;
+            if b < reg.data_count() {
+                if reg.data_node(bucket) != *node {
+                    reg.move_data(bucket, *node);
                 }
             } else {
-                reg.push_data(b, *node);
+                reg.push_data(bucket, *node);
             }
         }
         while reg.group_count() > up.parity.len() {
@@ -365,7 +367,9 @@ impl<T: Transport> NodeHost<T> {
                 Some(std::cmp::Reverse((deadline, _, _, _))) if *deadline <= now => {}
                 _ => return did,
             }
-            let std::cmp::Reverse((_, _, node, id)) = self.timers.pop().expect("peeked");
+            let Some(std::cmp::Reverse((_, _, node, id))) = self.timers.pop() else {
+                return did; // peeked non-empty just above
+            };
             if self.cancelled.remove(&(node, id)) {
                 continue; // tombstoned
             }

@@ -41,11 +41,14 @@ impl<F: GaloisField> RsCode<F> {
         // constants preserves the all-square-submatrices-nonsingular
         // property of Cauchy matrices, hence the code stays MDS.
         for i in 0..m {
-            let inv = F::inv(gamma.get(i, 0)).expect("cauchy entries are nonzero");
+            // Cauchy entries are nonzero, so inversion cannot fail; surface
+            // the impossible case as the decoder's singularity error rather
+            // than aborting.
+            let inv = F::inv(gamma.get(i, 0)).ok_or(RsError::SingularMatrix)?;
             gamma.scale_row(i, inv);
         }
         for j in 0..k {
-            let inv = F::inv(gamma.get(0, j)).expect("cauchy entries are nonzero");
+            let inv = F::inv(gamma.get(0, j)).ok_or(RsError::SingularMatrix)?;
             gamma.scale_col(j, inv);
         }
         Ok(RsCode { m, k, gamma })
@@ -95,7 +98,8 @@ impl<F: GaloisField> RsCode<F> {
                 expected: self.m,
             });
         }
-        let len = data[0].len();
+        // `data.len() == m ≥ 1` was just checked, so `first()` is `Some`.
+        let len = data.first().map_or(0, |d| d.len());
         self.check_len(len)?;
         if data.iter().any(|d| d.len() != len) {
             return Err(RsError::InconsistentShardLength);
@@ -189,7 +193,12 @@ impl<F: GaloisField> RsCode<F> {
                 expected: self.total_shards(),
             });
         }
-        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        let missing: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
         if missing.is_empty() {
             return Ok(());
         }
@@ -199,12 +208,13 @@ impl<F: GaloisField> RsCode<F> {
                 tolerated: self.k,
             });
         }
-        let len = shards
-            .iter()
-            .flatten()
-            .map(Vec::len)
-            .next()
-            .expect("at least m shards present");
+        // `missing.len() ≤ k < m + k`, so at least one shard is present.
+        let Some(len) = shards.iter().flatten().map(Vec::len).next() else {
+            return Err(RsError::TooManyErasures {
+                missing: missing.len(),
+                tolerated: self.k,
+            });
+        };
         self.check_len(len)?;
         if shards.iter().flatten().any(|s| s.len() != len) {
             return Err(RsError::InconsistentShardLength);
@@ -214,14 +224,23 @@ impl<F: GaloisField> RsCode<F> {
         // submatrix of [I | Γ] formed by m available shard columns.
         let missing_data: Vec<usize> = missing.iter().copied().filter(|&i| i < self.m).collect();
         if !missing_data.is_empty() {
-            let avail: Vec<usize> = (0..self.total_shards())
-                .filter(|&i| shards[i].is_some())
+            let avail: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_some())
+                .map(|(i, _)| i)
                 .take(self.m)
                 .collect();
-            debug_assert_eq!(avail.len(), self.m);
+            if avail.len() != self.m {
+                return Err(RsError::TooManyErasures {
+                    missing: missing.len(),
+                    tolerated: self.k,
+                });
+            }
             // A[r][t] = G[r][avail[t]]: the generator column of each chosen
             // shard; c_avail = d · A, hence d = c_avail · A⁻¹.
             let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
+                // lhrs-lint: allow(panic-freedom) reason="t < m == avail.len(), checked above; from_fn only calls with t < cols"
                 let col = avail[t];
                 if col < self.m {
                     if r == col {
@@ -238,10 +257,17 @@ impl<F: GaloisField> RsCode<F> {
                 let mut buf = vec![0u8; len];
                 for (t, &src) in avail.iter().enumerate() {
                     let c = inv.get(t, x);
-                    let shard = shards[src].as_deref().expect("available");
+                    let Some(shard) = shards.get(src).and_then(|s| s.as_deref()) else {
+                        return Err(RsError::TooManyErasures {
+                            missing: missing.len(),
+                            tolerated: self.k,
+                        });
+                    };
                     F::mul_add_slice(c, shard, &mut buf);
                 }
-                shards[x] = Some(buf);
+                if let Some(slot) = shards.get_mut(x) {
+                    *slot = Some(buf);
+                }
             }
         }
 
@@ -250,12 +276,21 @@ impl<F: GaloisField> RsCode<F> {
         for &x in missing.iter().filter(|&&i| i >= self.m) {
             let j = x - self.m;
             let mut buf = vec![0u8; len];
-            for (i, shard) in shards[..self.m].iter().enumerate() {
+            for (i, shard) in shards.iter().take(self.m).enumerate() {
                 let c = self.gamma.get(i, j);
-                let shard = shard.as_deref().expect("data complete after phase 1");
+                // Phase 1 restored every data shard, so this is always Some.
+                let Some(shard) = shard.as_deref() else {
+                    return Err(RsError::TooManyErasures {
+                        missing: missing.len(),
+                        tolerated: self.k,
+                    });
+                };
                 F::mul_add_slice(c, shard, &mut buf);
             }
-            shards[x] = Some(buf);
+            // Borrow of `shards` above has ended; write the parity back.
+            if let Some(slot) = shards.get_mut(x) {
+                *slot = Some(buf);
+            }
         }
         Ok(())
     }
@@ -291,17 +326,28 @@ impl<F: GaloisField> RsCode<F> {
                     expected: self.total_shards(),
                 });
             }
-            if std::mem::replace(&mut seen[idx], true) {
+            let dup = seen
+                .get_mut(idx)
+                .map(|s| std::mem::replace(s, true))
+                .unwrap_or(true);
+            if dup {
                 return Err(RsError::DuplicateShardIndex { index: idx });
             }
         }
-        let chosen = &available[..self.m];
-        let len = chosen[0].1.len();
+        // `available.len() ≥ m` was checked on entry.
+        let Some(chosen) = available.get(..self.m) else {
+            return Err(RsError::TooManyErasures {
+                missing: self.total_shards() - available.len(),
+                tolerated: self.k,
+            });
+        };
+        let len = chosen.first().map_or(0, |(_, s)| s.len());
         self.check_len(len)?;
         if chosen.iter().any(|(_, s)| s.len() != len) {
             return Err(RsError::InconsistentShardLength);
         }
         let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
+            // lhrs-lint: allow(panic-freedom) reason="t < m == chosen.len() by the get(..m) above; from_fn only calls with t < cols"
             let col = chosen[t].0;
             if col < self.m {
                 if r == col {
@@ -665,5 +711,50 @@ mod tests {
             code.encode(&[&a, &b]).unwrap_err(),
             RsError::InconsistentShardLength
         );
+    }
+
+    /// A group with `k` parities fed `k + 1` erasures must degrade with a
+    /// typed error, never panic: the recovery matrix is rank-deficient and
+    /// the decode path has to say so.
+    #[test]
+    fn k_plus_one_erasures_is_a_typed_error_not_a_panic() {
+        let code: RsCode<Gf8> = RsCode::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = code.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        // k = 2 tolerated; erase k + 1 = 3 shards (two data, one parity).
+        shards[0] = None;
+        shards[2] = None;
+        shards[5] = None;
+        match code.reconstruct(&mut shards) {
+            Err(RsError::TooManyErasures {
+                missing: 3,
+                tolerated: 2,
+            }) => {}
+            other => panic!("expected TooManyErasures, got {other:?}"),
+        }
+        // The survivors are untouched by the failed attempt.
+        assert_eq!(shards[1].as_deref(), Some(&data[1][..]));
+        assert_eq!(shards[3].as_deref(), Some(&data[3][..]));
+        assert_eq!(shards[4].as_deref(), Some(&parity[0][..]));
+    }
+
+    /// Same rule for the record-level degraded read: fewer than `m`
+    /// survivors is an error, not an abort.
+    #[test]
+    fn reconstruct_one_with_too_few_survivors_errors() {
+        let code: RsCode<Gf8> = RsCode::new(3, 2).unwrap();
+        let d = sample_data(3, 8);
+        let avail: Vec<(usize, &[u8])> = vec![(0, &d[0][..]), (1, &d[1][..])];
+        assert!(matches!(
+            code.reconstruct_one(2, &avail),
+            Err(RsError::TooManyErasures { .. })
+        ));
     }
 }

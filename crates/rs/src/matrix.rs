@@ -74,11 +74,18 @@ impl<F: GaloisField> Matrix<F> {
                 field_order: F::ORDER,
             });
         }
-        Ok(Self::from_fn(rows, cols, |r, c| {
-            let x = F::from_usize(r);
-            let y = F::from_usize(rows + c);
-            F::inv(F::add(x, y)).expect("distinct points imply nonzero sum")
-        }))
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let x = F::from_usize(r);
+                let y = F::from_usize(rows + c);
+                // Distinct points imply a nonzero sum; surface the
+                // impossible case as an error instead of aborting.
+                let v = F::inv(F::add(x, y)).ok_or(RsError::SingularMatrix)?;
+                m.set(r, c, v);
+            }
+        }
+        Ok(m)
     }
 
     /// Number of rows.
@@ -175,8 +182,9 @@ impl<F: GaloisField> Matrix<F> {
                 a.swap_rows(pivot, col);
                 inv.swap_rows(pivot, col);
             }
-            // Normalise the pivot row.
-            let pv = F::inv(a.get(col, col)).expect("pivot nonzero");
+            // Normalise the pivot row (the pivot was selected nonzero, so
+            // inversion cannot fail; degrade rather than abort regardless).
+            let pv = F::inv(a.get(col, col)).ok_or(RsError::SingularMatrix)?;
             a.scale_row(col, pv);
             inv.scale_row(col, pv);
             // Eliminate the column everywhere else.

@@ -1,0 +1,455 @@
+//! The four protocol-invariant checks.
+//!
+//! Each check takes source text (already independent of the filesystem so
+//! the seeded-violation fixtures can drive it directly) and returns
+//! [`Finding`]s. Escape hatches (`// lhrs-lint: allow(<check>)
+//! reason="..."`) are resolved here: a silenced finding is returned with
+//! `allowed = Some(reason)` so callers can still display the residue, and a
+//! directive with a missing/empty reason is itself a finding.
+
+use crate::source::{next_brace_block, tokenize, SourceModel, Tok};
+use crate::{Check, Finding};
+
+/// Resolve the escape hatch for a raw finding.
+fn apply_allow(model: &SourceModel, mut f: Finding) -> Finding {
+    if let Some(a) = model.allow_for(f.check.name(), f.line) {
+        match &a.reason {
+            Some(r) => f.allowed = Some(r.clone()),
+            None => {
+                f.message = format!(
+                    "{} (escape hatch present but reason=\"...\" is missing or empty; \
+                     a justification string is required)",
+                    f.message
+                );
+            }
+        }
+    }
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: panic-freedom audit
+// ---------------------------------------------------------------------------
+
+/// Deny `.unwrap()`, `.expect(...)`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!`, direct slice indexing `expr[...]`, and narrowing `as`
+/// casts in hot-path sources. Test-only code (`#[cfg(test)]` modules,
+/// `#[test]` fns) is exempt.
+pub fn check_panic_freedom(label: &str, source: &str) -> Vec<Finding> {
+    let model = SourceModel::parse(source);
+    let toks = tokenize(&model.masked);
+    let mut out = Vec::new();
+    let mut push = |offset: usize, message: String| {
+        let line = model.line_of(offset);
+        if model.line_in_test(line) {
+            return;
+        }
+        out.push(apply_allow(
+            &model,
+            Finding {
+                check: Check::PanicFreedom,
+                file: label.to_string(),
+                line,
+                message,
+                allowed: None,
+            },
+        ));
+    };
+
+    const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    const NARROW_CASTS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+    for (idx, tok) in toks.iter().enumerate() {
+        match tok {
+            Tok::Ident { text, offset } if text == "unwrap" || text == "expect" => {
+                let prev_dot = matches!(
+                    idx.checked_sub(1).map(|p| &toks[p]),
+                    Some(Tok::Punct { ch: b'.', .. })
+                );
+                let next_paren = matches!(toks.get(idx + 1), Some(Tok::Punct { ch: b'(', .. }));
+                if prev_dot && next_paren {
+                    push(
+                        *offset,
+                        format!(".{text}() panics on the error path; return a typed error instead"),
+                    );
+                }
+            }
+            Tok::Ident { text, offset } if PANIC_MACROS.contains(&text.as_str()) => {
+                if matches!(toks.get(idx + 1), Some(Tok::Punct { ch: b'!', .. })) {
+                    push(
+                        *offset,
+                        format!("{text}! aborts the actor; surface a degraded-mode event instead"),
+                    );
+                }
+            }
+            Tok::Ident { text, offset } if text == "as" => {
+                if let Some(Tok::Ident { text: ty, .. }) = toks.get(idx + 1) {
+                    if NARROW_CASTS.contains(&ty.as_str()) {
+                        push(
+                            *offset,
+                            format!("`as {ty}` silently truncates; use a checked conversion"),
+                        );
+                    }
+                }
+            }
+            Tok::Punct { ch: b'[', offset } => {
+                // Indexing when the previous token can end an expression:
+                // identifier, `)`, `]`, or `?`. (Attributes follow `#`,
+                // array types follow `:`/`&`/`<`/`(`, macros follow `!`.)
+                let is_index = match idx.checked_sub(1).map(|p| &toks[p]) {
+                    Some(Tok::Ident { text, .. }) => {
+                        // `impl Index<Range<usize>> for T` style or keyword
+                        // positions (`in`, `return`, ...) are not expressions.
+                        !matches!(
+                            text.as_str(),
+                            "in" | "return"
+                                | "break"
+                                | "if"
+                                | "else"
+                                | "match"
+                                | "mut"
+                                | "const"
+                                | "static"
+                                | "dyn"
+                                | "where"
+                                | "impl"
+                                | "for"
+                                | "let" // `let [a, b] = ...` slice patterns
+                        )
+                    }
+                    Some(Tok::Punct { ch: b')', .. }) | Some(Tok::Punct { ch: b']', .. }) => true,
+                    _ => false,
+                };
+                if is_index {
+                    push(*offset, "direct indexing panics out of bounds; use .get()/.get_mut() or split_at_checked".to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: wire-codec exhaustiveness
+// ---------------------------------------------------------------------------
+
+/// Extract variant names from `pub enum <name> { ... }` in `enum_src`.
+pub fn enum_variants(enum_name: &str, enum_src: &str) -> Option<Vec<String>> {
+    let model = SourceModel::parse(enum_src);
+    let needle = format!("enum {enum_name}");
+    let mut from = 0usize;
+    let pos = loop {
+        let p = model.masked[from..].find(&needle)? + from;
+        // Require a non-ident boundary after the name (`Msg` vs `MsgKind`).
+        let after = p + needle.len();
+        let boundary = model
+            .masked
+            .as_bytes()
+            .get(after)
+            .is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        if boundary {
+            break p;
+        }
+        from = after;
+    };
+    let (open, close) = next_brace_block(model.masked.as_bytes(), pos)?;
+    let body = &model.masked[open + 1..close];
+    let toks = tokenize(body);
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Punct { ch, .. } => match ch {
+                b'{' | b'(' | b'[' | b'<' => depth += 1,
+                b'}' | b')' | b']' | b'>' => depth -= 1,
+                _ => {}
+            },
+            // At enum-body depth 0 the only uppercase-initial identifiers
+            // are variant names (attribute contents sit inside `[...]`).
+            Tok::Ident { text, .. }
+                if depth == 0 && text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+            {
+                variants.push(text.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(variants)
+}
+
+/// Extract the body of `fn <name>` from `src` (masked).
+fn fn_body(src_masked: &str, name: &str) -> Option<(usize, String)> {
+    let needle = format!("fn {name}");
+    let mut from = 0usize;
+    loop {
+        let p = src_masked[from..].find(&needle)? + from;
+        let after = p + needle.len();
+        let b = src_masked.as_bytes().get(after);
+        if b.is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_')) {
+            let (open, close) = next_brace_block(src_masked.as_bytes(), after)?;
+            return Some((open, src_masked[open..=close].to_string()));
+        }
+        from = after;
+    }
+}
+
+/// Every variant of `enum_name` (defined in `enum_src`) must appear as
+/// `<enum_name>::<Variant>` inside BOTH `fn <encode_fn>` and
+/// `fn <decode_fn>` in `wire_src`.
+pub fn check_codec_exhaustiveness(
+    enum_name: &str,
+    enum_src: &str,
+    wire_label: &str,
+    wire_src: &str,
+    encode_fn: &str,
+    decode_fn: &str,
+) -> Vec<Finding> {
+    let model = SourceModel::parse(wire_src);
+    let mut out = Vec::new();
+    let Some(variants) = enum_variants(enum_name, enum_src) else {
+        out.push(Finding {
+            check: Check::CodecExhaustiveness,
+            file: wire_label.to_string(),
+            line: 1,
+            message: format!("could not locate `pub enum {enum_name}` to audit the codec against"),
+            allowed: None,
+        });
+        return out;
+    };
+    for (fn_name, role) in [(encode_fn, "encode"), (decode_fn, "decode")] {
+        let Some((open, body)) = fn_body(&model.masked, fn_name) else {
+            out.push(Finding {
+                check: Check::CodecExhaustiveness,
+                file: wire_label.to_string(),
+                line: 1,
+                message: format!(
+                    "`fn {fn_name}` not found: every `{enum_name}` variant needs a {role} arm"
+                ),
+                allowed: None,
+            });
+            continue;
+        };
+        let line = model.line_of(open);
+        let toks = tokenize(&body);
+        for v in &variants {
+            let mut present = false;
+            for (i, t) in toks.iter().enumerate() {
+                if let Tok::Ident { text, .. } = t {
+                    if text == v
+                        && i >= 3
+                        && matches!(&toks[i - 1], Tok::Punct { ch: b':', .. })
+                        && matches!(&toks[i - 2], Tok::Punct { ch: b':', .. })
+                        && matches!(&toks[i - 3], Tok::Ident { text: e, .. } if e == enum_name)
+                    {
+                        present = true;
+                        break;
+                    }
+                }
+            }
+            if !present {
+                out.push(apply_allow(
+                    &model,
+                    Finding {
+                        check: Check::CodecExhaustiveness,
+                        file: wire_label.to_string(),
+                        line,
+                        message: format!(
+                            "`{enum_name}::{v}` has no arm in `{fn_name}`: a peer speaking this \
+                             variant would hit an unknown-tag error at runtime"
+                        ),
+                        allowed: None,
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: config-knob coverage
+// ---------------------------------------------------------------------------
+
+/// `struct_fields` result: the struct body's byte span in the masked
+/// source plus each field's name and line number.
+pub type StructFields = (usize, usize, Vec<(String, usize)>);
+
+/// Field names of `pub struct <name> { ... }` in `src`.
+pub fn struct_fields(struct_name: &str, src: &str) -> Option<StructFields> {
+    let model = SourceModel::parse(src);
+    let needle = format!("struct {struct_name}");
+    let pos = model.masked.find(&needle)?;
+    let after = pos + needle.len();
+    if model
+        .masked
+        .as_bytes()
+        .get(after)
+        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+    {
+        return None;
+    }
+    let (open, close) = next_brace_block(model.masked.as_bytes(), after)?;
+    let body = &model.masked[open + 1..close];
+    let toks = tokenize(body);
+    let mut fields = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Punct { ch, .. } => match ch {
+                b'{' | b'(' | b'[' | b'<' => depth += 1,
+                b'}' | b')' | b']' | b'>' => depth -= 1,
+                _ => {}
+            },
+            Tok::Ident { text, offset } if depth == 0 && text != "pub" => {
+                // `name : Type ,` — take the ident, then skip to the
+                // field-separating comma at depth 0.
+                if matches!(toks.get(i + 1), Some(Tok::Punct { ch: b':', .. })) {
+                    fields.push((text.clone(), model.line_of(open + 1 + offset)));
+                    let mut d = 0i32;
+                    i += 1;
+                    while i < toks.len() {
+                        if let Tok::Punct { ch, .. } = &toks[i] {
+                            match ch {
+                                b'{' | b'(' | b'[' | b'<' => d += 1,
+                                b'}' | b')' | b']' | b'>' => d -= 1,
+                                b',' if d == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((model.line_of(open), model.line_of(close), fields))
+}
+
+/// Every `Config` field must be *read* somewhere: `.field` access in any
+/// workspace source outside the struct definition itself. `sources` is
+/// `(label, text)` for every file to search (including the defining file).
+pub fn check_config_knobs(
+    struct_name: &str,
+    def_label: &str,
+    def_src: &str,
+    sources: &[(String, String)],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some((def_start, def_end, fields)) = struct_fields(struct_name, def_src) else {
+        out.push(Finding {
+            check: Check::ConfigKnob,
+            file: def_label.to_string(),
+            line: 1,
+            message: format!("could not locate `pub struct {struct_name}`"),
+            allowed: None,
+        });
+        return out;
+    };
+    let def_model = SourceModel::parse(def_src);
+    for (field, fline) in &fields {
+        let mut used = false;
+        'files: for (label, text) in sources {
+            let model;
+            let m: &SourceModel = if label == def_label {
+                &def_model
+            } else {
+                model = SourceModel::parse(text);
+                &model
+            };
+            let toks = tokenize(&m.masked);
+            for (i, t) in toks.iter().enumerate() {
+                if let Tok::Ident { text: id, offset } = t {
+                    if id == field && i >= 1 && matches!(&toks[i - 1], Tok::Punct { ch: b'.', .. })
+                    {
+                        // Accesses inside the struct definition don't count
+                        // (there are none, but keep the rule tight).
+                        if label == def_label {
+                            let l = m.line_of(*offset);
+                            if l >= def_start && l <= def_end {
+                                continue;
+                            }
+                        }
+                        used = true;
+                        break 'files;
+                    }
+                }
+            }
+        }
+        if !used {
+            out.push(apply_allow(
+                &def_model,
+                Finding {
+                    check: Check::ConfigKnob,
+                    file: def_label.to_string(),
+                    line: *fline,
+                    message: format!(
+                        "`{struct_name}.{field}` is never read outside its definition: \
+                         a dead knob silently ignores operator intent"
+                    ),
+                    allowed: None,
+                },
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: test-attribute hygiene
+// ---------------------------------------------------------------------------
+
+/// `#[ignore]` needs a reason; `crates/net` tests must not synchronize with
+/// `sleep`. `in_net_tests` marks files whose test code is subject to the
+/// sleep rule (any file under `crates/net`).
+pub fn check_test_hygiene(label: &str, source: &str, in_net: bool) -> Vec<Finding> {
+    let model = SourceModel::parse(source);
+    let mut out = Vec::new();
+    let toks = tokenize(&model.masked);
+    for (i, t) in toks.iter().enumerate() {
+        if let Tok::Ident { text, offset } = t {
+            if text == "ignore"
+                && i >= 2
+                && matches!(&toks[i - 1], Tok::Punct { ch: b'[', .. })
+                && matches!(&toks[i - 2], Tok::Punct { ch: b'#', .. })
+                && matches!(toks.get(i + 1), Some(Tok::Punct { ch: b']', .. }))
+            {
+                let line = model.line_of(*offset);
+                out.push(apply_allow(
+                    &model,
+                    Finding {
+                        check: Check::TestHygiene,
+                        file: label.to_string(),
+                        line,
+                        message: "#[ignore] without a reason: use #[ignore = \"why\"] so the skip is auditable".to_string(),
+                        allowed: None,
+                    },
+                ));
+            }
+            if in_net && text == "sleep" {
+                let line = model.line_of(*offset);
+                let is_test_file = label.contains("/tests/");
+                if (is_test_file || model.line_in_test(line))
+                    && matches!(toks.get(i + 1), Some(Tok::Punct { ch: b'(', .. }))
+                {
+                    out.push(apply_allow(
+                        &model,
+                        Finding {
+                            check: Check::TestHygiene,
+                            file: label.to_string(),
+                            line,
+                            message: "sleep-based synchronization in a net test: poll a condition or use a channel/timeout instead".to_string(),
+                            allowed: None,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,251 @@
+//! lhrs-xtask: project-specific static analysis for the LH\*RS workspace.
+//!
+//! `cargo run -p lhrs-xtask -- lint` runs four checks that generic tooling
+//! (`clippy -D warnings`) cannot express because they encode *protocol*
+//! invariants, not language idioms:
+//!
+//! 1. **panic-freedom** — the actor hot paths (`core::{coordinator,
+//!    data_bucket, client}`, `rs::code`, `net::{frame, transport, host}`)
+//!    must not contain `.unwrap()`, `.expect(...)`, `panic!`/`unreachable!`
+//!    macros, direct slice indexing, or narrowing `as` casts. LH\*RS sells
+//!    k-availability; the protocol logic itself aborting on a malformed
+//!    frame or a lagging peer defeats the whole design.
+//! 2. **codec-exhaustiveness** — every `Msg` and `CoordEvent` variant must
+//!    have an arm in both the encode and decode halves of `core/src/wire.rs`
+//!    so a new protocol message cannot ship without wire coverage.
+//! 3. **config-knob** — every `Config` field must be read somewhere (dead
+//!    knobs silently ignore operator intent).
+//! 4. **test-hygiene** — no bare `#[ignore]`, no sleep-based
+//!    synchronization in `crates/net` tests.
+//!
+//! Escape hatch: `// lhrs-lint: allow(<check>) reason="..."` on the finding
+//! line or the line above. The reason string is mandatory and must be
+//! nonempty — an allow without a justification is itself a finding.
+
+#![forbid(unsafe_code)]
+
+pub mod checks;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which check produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Check {
+    /// Panic-freedom audit of the actor hot paths.
+    PanicFreedom,
+    /// Wire-codec exhaustiveness over `Msg`/`CoordEvent`.
+    CodecExhaustiveness,
+    /// Dead-knob detection on `Config`.
+    ConfigKnob,
+    /// Test-attribute hygiene.
+    TestHygiene,
+}
+
+impl Check {
+    /// The name used in `allow(<name>)` directives and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Check::PanicFreedom => "panic-freedom",
+            Check::CodecExhaustiveness => "codec-exhaustiveness",
+            Check::ConfigKnob => "config-knob",
+            Check::TestHygiene => "test-hygiene",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The check that fired.
+    pub check: Check,
+    /// File label (workspace-relative path).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// `Some(reason)` when silenced by a justified escape hatch.
+    pub allowed: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.check.name(),
+            self.message
+        )?;
+        if let Some(r) = &self.allowed {
+            write!(f, " (allowed: {r})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Hot-path modules governed by the panic-freedom audit
+/// (workspace-relative paths).
+pub const HOT_PATHS: [&str; 7] = [
+    "crates/core/src/coordinator.rs",
+    "crates/core/src/data_bucket.rs",
+    "crates/core/src/client.rs",
+    "crates/rs/src/code.rs",
+    "crates/net/src/frame.rs",
+    "crates/net/src/transport.rs",
+    "crates/net/src/host.rs",
+];
+
+/// Walk a directory tree collecting `.rs` files (sorted for determinism).
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // `target/` holds build products; `crates/xtask` is the lint
+            // itself (its sources and fixtures deliberately contain the
+            // patterns being hunted).
+            if name == "target" || name == ".git" || path.ends_with("crates/xtask") {
+                continue;
+            }
+            rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Load every workspace source as `(workspace-relative label, text)`.
+pub fn workspace_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    rs_files(root, &mut files);
+    files
+        .into_iter()
+        .filter_map(|p| {
+            let label = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            fs::read_to_string(&p).ok().map(|text| (label, text))
+        })
+        .collect()
+}
+
+/// Run every check over the workspace rooted at `root`.
+///
+/// Returns *all* findings, including allowed ones (callers filter on
+/// [`Finding::allowed`] to decide pass/fail).
+pub fn run_all(root: &Path) -> Vec<Finding> {
+    let sources = workspace_sources(root);
+    let get =
+        |label: &str| -> Option<&(String, String)> { sources.iter().find(|(l, _)| l == label) };
+    let mut findings = Vec::new();
+
+    // 1. Panic freedom over the hot paths.
+    for hp in HOT_PATHS {
+        if let Some((label, text)) = get(hp) {
+            findings.extend(checks::check_panic_freedom(label, text));
+        } else {
+            findings.push(Finding {
+                check: Check::PanicFreedom,
+                file: hp.to_string(),
+                line: 1,
+                message: "hot-path module listed in lhrs_xtask::HOT_PATHS is missing".to_string(),
+                allowed: None,
+            });
+        }
+    }
+
+    // 2. Codec exhaustiveness: Msg and CoordEvent against wire.rs.
+    if let Some((wire_label, wire_src)) = get("crates/core/src/wire.rs") {
+        for (enum_name, def, enc, dec) in [
+            ("Msg", "crates/core/src/msg.rs", "encode_msg", "decode_msg"),
+            (
+                "CoordEvent",
+                "crates/core/src/coordinator.rs",
+                "encode_coord_event",
+                "decode_coord_event",
+            ),
+        ] {
+            if let Some((_, enum_src)) = get(def) {
+                findings.extend(checks::check_codec_exhaustiveness(
+                    enum_name, enum_src, wire_label, wire_src, enc, dec,
+                ));
+            }
+        }
+    } else {
+        findings.push(Finding {
+            check: Check::CodecExhaustiveness,
+            file: "crates/core/src/wire.rs".to_string(),
+            line: 1,
+            message: "wire.rs missing".to_string(),
+            allowed: None,
+        });
+    }
+
+    // 3. Config-knob coverage.
+    if let Some((def_label, def_src)) = get("crates/core/src/config.rs") {
+        findings.extend(checks::check_config_knobs(
+            "Config", def_label, def_src, &sources,
+        ));
+    }
+
+    // 4. Test hygiene, workspace-wide.
+    for (label, text) in &sources {
+        let in_net = label.starts_with("crates/net/");
+        findings.extend(checks::check_test_hygiene(label, text, in_net));
+    }
+
+    findings
+}
+
+/// Format the `--fix-allow` output: one suggested escape-hatch comment per
+/// unallowed finding, TODO-annotated so the residue stays visible in review.
+pub fn fix_allow_report(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    let open: Vec<_> = findings.iter().filter(|f| f.allowed.is_none()).collect();
+    if open.is_empty() {
+        out.push_str("no unallowed findings; nothing to emit\n");
+        return out;
+    }
+    out.push_str(
+        "# lhrs-lint allowlist — paste each comment on the line above its finding\n\
+         # and replace the TODO with a real justification before merging.\n",
+    );
+    for f in open {
+        out.push_str(&format!(
+            "{}:{}:\n    // lhrs-lint: allow({}) reason=\"TODO: justify — {}\"\n",
+            f.file,
+            f.line,
+            f.check.name(),
+            f.message.replace('"', "'"),
+        ));
+    }
+    out
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! A token-level model of one Rust source file.
+//!
+//! The workspace is hermetic (no crates registry), so there is no `syn`;
+//! instead this module builds a *masked* copy of the source — identical
+//! byte-for-byte layout, but with comments, string literals, and char
+//! literals blanked out — so the checks can pattern-match tokens without
+//! being fooled by `"unwrap"` inside a string or an example in a doc
+//! comment. Alongside the mask it records:
+//!
+//! - `// lhrs-lint: allow(<check>) reason="..."` escape-hatch directives,
+//! - which lines fall inside `#[cfg(test)]` modules or `#[test]` functions
+//!   (the panic-freedom audit only governs production code).
+
+/// One parsed escape-hatch directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment sits on. The directive silences findings on
+    /// this line (trailing comment) and the next line (own-line comment).
+    pub line: usize,
+    /// The check name inside `allow(...)`.
+    pub check: String,
+    /// The justification string, if present and nonempty.
+    pub reason: Option<String>,
+}
+
+/// Masked view of a source file plus the side tables the checks need.
+pub struct SourceModel {
+    /// Original text (for excerpting in messages).
+    pub raw: String,
+    /// Same length as `raw`; comments/strings/chars replaced by spaces
+    /// (newlines preserved so offsets and line numbers agree).
+    pub masked: String,
+    /// Escape-hatch directives found in comments.
+    pub allows: Vec<AllowDirective>,
+    /// `in_test[line-1]` is true when the line is inside a `#[cfg(test)]`
+    /// module or a `#[test]` function body.
+    in_test: Vec<bool>,
+}
+
+impl SourceModel {
+    /// Lex `raw` into a model.
+    pub fn parse(raw: &str) -> SourceModel {
+        let (masked, comments) = mask(raw);
+        let allows = comments.iter().filter_map(parse_allow).collect();
+        let in_test = test_regions(&masked);
+        SourceModel {
+            raw: raw.to_string(),
+            masked,
+            allows,
+            in_test,
+        }
+    }
+
+    /// Is the (1-based) line inside test-only code?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.in_test
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.raw[..offset.min(self.raw.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// The allow directive (if any) covering `line` for `check`.
+    pub fn allow_for(&self, check: &str, line: usize) -> Option<&AllowDirective> {
+        self.allows
+            .iter()
+            .find(|a| a.check == check && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// A comment's text plus the 1-based line it starts on.
+struct Comment {
+    line: usize,
+    text: String,
+}
+
+/// Blank out comments, strings, and char literals; collect comment text.
+fn mask(raw: &str) -> (String, Vec<Comment>) {
+    let bytes = raw.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blank `out[a..b]`, preserving newlines.
+    fn blank(out: &mut [u8], a: usize, b: usize) {
+        for c in out.iter_mut().take(b).skip(a) {
+            if *c != b'\n' {
+                *c = b' ';
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                let start_line = line;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: raw[start..i].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: raw[start..i.min(raw.len())].to_string(),
+                });
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"..", r#".."#, br".."; skip the prefix to the quote.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'"' && bytes[i] != b'#' {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while i < bytes.len() && bytes[i] == b'#' {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                loop {
+                    if i >= bytes.len() {
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if bytes[i] == b'"' {
+                        let mut j = i + 1;
+                        let mut seen = 0usize;
+                        while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            i = j;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' && !prev_is_ident(bytes, i) => {
+                let start = i;
+                i += 2;
+                i = skip_char_literal_body(bytes, i);
+                blank(&mut out, start, i);
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // followed by a closing quote.
+                if is_char_literal(bytes, i) {
+                    let start = i;
+                    i += 1;
+                    i = skip_char_literal_body(bytes, i);
+                    blank(&mut out, start, i);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // `out` only ever swaps ASCII bytes for spaces, so it stays valid UTF-8.
+    (String::from_utf8_lossy(&out).into_owned(), comments)
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if prev_is_ident(bytes, i) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// After the opening quote of a char/byte literal: skip to past the close.
+fn skip_char_literal_body(bytes: &[u8], mut i: usize) -> usize {
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+        // \u{...}
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1).min(bytes.len());
+    }
+    // Single (possibly multi-byte) char then closing quote.
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    (i + 1).min(bytes.len())
+}
+
+/// `'x'` vs `'lifetime`: a char literal closes with `'` within a couple of
+/// chars (or after an escape); a lifetime never closes.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return false;
+    }
+    if bytes[j] == b'\\' {
+        return true;
+    }
+    // Skip one UTF-8 char.
+    j += 1;
+    while j < bytes.len() && (bytes[j] & 0xC0) == 0x80 {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'\''
+}
+
+/// Parse `// lhrs-lint: allow(<check>) reason="..."`.
+fn parse_allow(c: &Comment) -> Option<AllowDirective> {
+    let text = c.text.trim_start_matches('/').trim();
+    let rest = text.strip_prefix("lhrs-lint:")?.trim();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let check = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("reason=\"")
+        .and_then(|r| r.find('"').map(|end| r[..end].trim().to_string()))
+        .filter(|r| !r.is_empty());
+    Some(AllowDirective {
+        line: c.line,
+        check,
+        reason,
+    })
+}
+
+/// Mark lines covered by `#[cfg(test)] mod ... { }` blocks and
+/// `#[test] fn ... { }` bodies. Works on the masked text so braces inside
+/// strings cannot unbalance the match.
+fn test_regions(masked: &str) -> Vec<bool> {
+    let lines = masked.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut in_test = vec![false; lines];
+    let bytes = masked.as_bytes();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0usize;
+        while let Some(pos) = find_from(masked, marker, from) {
+            from = pos + marker.len();
+            // The attribute line itself is test-only too.
+            let start_line = line_at(bytes, pos);
+            if let Some((_open, close)) = next_brace_block(bytes, from) {
+                let end_line = line_at(bytes, close);
+                for l in in_test
+                    .iter_mut()
+                    .take(end_line.min(lines))
+                    .skip(start_line.saturating_sub(1))
+                {
+                    *l = true;
+                }
+            }
+        }
+    }
+    in_test
+}
+
+fn find_from(hay: &str, needle: &str, from: usize) -> Option<usize> {
+    hay.get(from..)?.find(needle).map(|p| p + from)
+}
+
+fn line_at(bytes: &[u8], pos: usize) -> usize {
+    bytes
+        .iter()
+        .take(pos.min(bytes.len()))
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// From `from`, find the next `{` and its matching `}` (byte offsets).
+pub fn next_brace_block(bytes: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut i = from;
+    while i < bytes.len() && bytes[i] != b'{' {
+        // A `;` before any `{` means the item has no body (e.g. a
+        // declaration) — do not leak into the next item's braces.
+        if bytes[i] == b';' {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= bytes.len() {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// A minimal token over the masked text: identifier or single punct byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier/keyword with its byte offset.
+    Ident { text: String, offset: usize },
+    /// One punctuation byte with its offset.
+    Punct { ch: u8, offset: usize },
+}
+
+impl Tok {
+    /// Byte offset of the token start.
+    pub fn offset(&self) -> usize {
+        match self {
+            Tok::Ident { offset, .. } | Tok::Punct { offset, .. } => *offset,
+        }
+    }
+}
+
+/// Tokenize masked text (whitespace dropped; numbers lex as idents, which is
+/// fine for the pattern checks here).
+pub fn tokenize(masked: &str) -> Vec<Tok> {
+    let bytes = masked.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphanumeric() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident {
+                text: masked[start..i].to_string(),
+                offset: start,
+            });
+        } else if c < 0x80 {
+            toks.push(Tok::Punct { ch: c, offset: i });
+            i += 1;
+        } else {
+            // Non-ASCII outside strings/comments: skip.
+            i += 1;
+        }
+    }
+    toks
+}

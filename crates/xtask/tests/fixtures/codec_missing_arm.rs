@@ -1,0 +1,24 @@
+//! A miniature codec where `Msg::Gamma` has an encode arm but no decode
+//! arm: the exhaustiveness check must fire exactly once.
+
+pub enum Msg {
+    Alpha { x: u64 },
+    Beta(Vec<u8>),
+    Gamma,
+}
+
+pub fn encode_msg(m: &Msg, out: &mut Vec<u8>) {
+    match m {
+        Msg::Alpha { x } => out.push(*x as u8),
+        Msg::Beta(b) => out.extend_from_slice(b),
+        Msg::Gamma => out.push(2),
+    }
+}
+
+pub fn decode_msg(buf: &[u8]) -> Option<Msg> {
+    match buf.first()? {
+        0 => Some(Msg::Alpha { x: 7 }),
+        1 => Some(Msg::Beta(buf[1..].to_vec())),
+        _ => None, // Msg dash Gamma is missing: seeded violation
+    }
+}

@@ -1,0 +1,12 @@
+//! A config struct with one live knob and one dead knob. The coverage
+//! check must flag `dead_knob` exactly once.
+
+pub struct Config {
+    pub live_knob: usize,
+    pub dead_knob: usize,
+    pub nested: Vec<(u32, u32)>,
+}
+
+pub fn consumer(cfg: &Config) -> usize {
+    cfg.live_knob + cfg.nested.len()
+}

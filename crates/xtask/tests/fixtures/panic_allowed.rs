@@ -1,0 +1,20 @@
+//! The same six banned patterns as `panic_violations.rs`, each silenced by
+//! a justified escape hatch — the lint must report ZERO unallowed findings
+//! here (and six allowed ones).
+
+pub fn allowed(opt: Option<u32>, buf: &[u8], n: u64) -> u32 {
+    // lhrs-lint: allow(panic-freedom) reason="fixture: directive on the line above"
+    let a = opt.unwrap();
+    let b = opt.expect("present"); // lhrs-lint: allow(panic-freedom) reason="fixture: trailing directive"
+    if buf.is_empty() {
+        // lhrs-lint: allow(panic-freedom) reason="fixture: macro site"
+        panic!("empty");
+    }
+    if n == 0 {
+        // lhrs-lint: allow(panic-freedom) reason="fixture: unreachable site"
+        unreachable!();
+    }
+    let c = buf[0]; // lhrs-lint: allow(panic-freedom) reason="fixture: index site"
+    let d = n as u32; // lhrs-lint: allow(panic-freedom) reason="fixture: cast site"
+    a + b + u32::from(c) + d
+}

@@ -1,0 +1,7 @@
+//! An escape hatch with no justification string: the directive must NOT
+//! silence the finding (one unallowed finding expected).
+
+pub fn bad(opt: Option<u32>) -> u32 {
+    // lhrs-lint: allow(panic-freedom)
+    opt.unwrap()
+}

@@ -1,0 +1,45 @@
+//! Seeded violations for the panic-freedom audit: exactly SIX findings,
+//! one per banned pattern. Everything else in this file is a decoy the
+//! check must NOT flag. (This fixture is never compiled; the lint
+//! self-tests feed it to the checker as text.)
+
+/// Doc-comment decoy with a code fence the lint must skip:
+/// ```
+/// let x: Option<u32> = None;
+/// x.unwrap(); // inside a doc comment — not a finding
+/// ```
+pub fn violations(opt: Option<u32>, buf: &[u8], n: u64) -> u32 {
+    let a = opt.unwrap(); // finding 1: unwrap
+    let b = opt.expect("present"); // finding 2: expect
+    if buf.is_empty() {
+        panic!("empty"); // finding 3: panic!
+    }
+    if n == 0 {
+        unreachable!(); // finding 4: unreachable!
+    }
+    let c = buf[0]; // finding 5: direct indexing
+    let d = n as u32; // finding 6: narrowing cast
+    a + b + u32::from(c) + d
+}
+
+pub fn decoys(opt: Option<u32>, n: u32) -> u64 {
+    let a = opt.unwrap_or(7); // unwrap_or: fine
+    let b = opt.unwrap_or_else(|| 9); // unwrap_or_else: fine
+    let s = "calling .unwrap() and buf[0] in a string is fine";
+    let v = vec![1u8, 2, 3]; // vec! macro bracket is not indexing
+    let arr: [u8; 4] = [0; 4]; // array type/literal is not indexing
+    let widened = n as u64; // widening cast: fine
+    let first = v.first().copied().unwrap_or(0);
+    u64::from(a + b) + s.len() as u64 + arr.len() as u64 + widened + u64::from(first)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(v[0], 1); // indexing in tests: fine
+        let x: Option<u8> = Some(3);
+        x.unwrap(); // unwrap in tests: fine
+    }
+}

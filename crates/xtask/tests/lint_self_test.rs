@@ -1,0 +1,219 @@
+//! The analyzer is itself tested: every check must fire on its seeded
+//! fixture (exactly once per planted violation), stay silent on the
+//! decoys, and honour the escape hatch.
+
+use std::path::Path;
+
+use lhrs_xtask::checks::{
+    check_codec_exhaustiveness, check_config_knobs, check_panic_freedom, check_test_hygiene,
+    enum_variants, struct_fields,
+};
+use lhrs_xtask::{fix_allow_report, run_all, Finding};
+
+const PANIC_VIOLATIONS: &str = include_str!("fixtures/panic_violations.rs");
+const PANIC_ALLOWED: &str = include_str!("fixtures/panic_allowed.rs");
+const PANIC_BAD_ALLOW: &str = include_str!("fixtures/panic_bad_allow.rs");
+const CODEC_MISSING: &str = include_str!("fixtures/codec_missing_arm.rs");
+const CONFIG_DEAD: &str = include_str!("fixtures/config_dead_knob.rs");
+const HYGIENE: &str = include_str!("fixtures/hygiene_violations.rs");
+
+fn unallowed(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.allowed.is_none()).collect()
+}
+
+#[test]
+fn panic_freedom_fires_once_per_seeded_violation() {
+    let findings = check_panic_freedom("fixtures/panic_violations.rs", PANIC_VIOLATIONS);
+    let open = unallowed(&findings);
+    let mut lines: Vec<usize> = open.iter().map(|f| f.line).collect();
+    lines.dedup();
+    assert_eq!(
+        open.len(),
+        6,
+        "expected exactly 6 findings (one per seeded pattern), got:\n{:#?}",
+        open
+    );
+    assert_eq!(lines.len(), 6, "each violation is on its own line");
+    for needle in [
+        ".unwrap()",
+        ".expect()",
+        "panic!",
+        "unreachable!",
+        "direct indexing",
+        "`as u32`",
+    ] {
+        assert_eq!(
+            open.iter().filter(|f| f.message.contains(needle)).count(),
+            1,
+            "expected exactly one `{needle}` finding"
+        );
+    }
+}
+
+#[test]
+fn escape_hatch_silences_with_justification() {
+    let findings = check_panic_freedom("fixtures/panic_allowed.rs", PANIC_ALLOWED);
+    let open = unallowed(&findings);
+    assert!(
+        open.is_empty(),
+        "justified allows must silence every finding, got:\n{:#?}",
+        open
+    );
+    assert_eq!(
+        findings.iter().filter(|f| f.allowed.is_some()).count(),
+        6,
+        "the six silenced findings are still reported as allowed residue"
+    );
+}
+
+#[test]
+fn escape_hatch_requires_nonempty_reason() {
+    let findings = check_panic_freedom("fixtures/panic_bad_allow.rs", PANIC_BAD_ALLOW);
+    let open = unallowed(&findings);
+    assert_eq!(open.len(), 1);
+    assert!(
+        open[0].message.contains("justification"),
+        "message should call out the missing reason: {}",
+        open[0].message
+    );
+}
+
+#[test]
+fn codec_check_finds_the_missing_decode_arm() {
+    let findings = check_codec_exhaustiveness(
+        "Msg",
+        CODEC_MISSING,
+        "fixtures/codec_missing_arm.rs",
+        CODEC_MISSING,
+        "encode_msg",
+        "decode_msg",
+    );
+    let open = unallowed(&findings);
+    assert_eq!(open.len(), 1, "exactly the seeded gap: {:#?}", open);
+    assert!(open[0].message.contains("Msg::Gamma"));
+    assert!(open[0].message.contains("decode_msg"));
+}
+
+#[test]
+fn codec_variant_extraction_sees_all_shapes() {
+    let vars = enum_variants("Msg", CODEC_MISSING).expect("enum found");
+    assert_eq!(vars, ["Alpha", "Beta", "Gamma"]);
+}
+
+#[test]
+fn config_check_flags_only_the_dead_knob() {
+    let sources = vec![(
+        "fixtures/config_dead_knob.rs".to_string(),
+        CONFIG_DEAD.to_string(),
+    )];
+    let findings = check_config_knobs(
+        "Config",
+        "fixtures/config_dead_knob.rs",
+        CONFIG_DEAD,
+        &sources,
+    );
+    let open = unallowed(&findings);
+    assert_eq!(open.len(), 1, "{:#?}", open);
+    assert!(open[0].message.contains("dead_knob"));
+
+    let (_, _, fields) = struct_fields("Config", CONFIG_DEAD).expect("struct found");
+    let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["live_knob", "dead_knob", "nested"]);
+}
+
+#[test]
+fn hygiene_check_fires_on_bare_ignore_and_test_sleep() {
+    let findings = check_test_hygiene(
+        "crates/net/src/fixture.rs",
+        HYGIENE,
+        /* in_net = */ true,
+    );
+    let open = unallowed(&findings);
+    assert_eq!(open.len(), 2, "{:#?}", open);
+    assert_eq!(
+        open.iter()
+            .filter(|f| f.message.contains("#[ignore]"))
+            .count(),
+        1
+    );
+    assert_eq!(
+        open.iter()
+            .filter(|f| f.message.contains("sleep-based"))
+            .count(),
+        1
+    );
+    // Outside crates/net the sleep rule does not apply; the bare #[ignore]
+    // still does.
+    let findings = check_test_hygiene("crates/core/src/fixture.rs", HYGIENE, false);
+    assert_eq!(unallowed(&findings).len(), 1);
+}
+
+#[test]
+fn fix_allow_report_lists_open_findings_with_todo_reasons() {
+    let findings = check_panic_freedom("fixtures/panic_violations.rs", PANIC_VIOLATIONS);
+    let report = fix_allow_report(&findings);
+    assert_eq!(
+        report.matches("lhrs-lint: allow(panic-freedom)").count(),
+        6,
+        "one suggested directive per open finding:\n{report}"
+    );
+    assert!(report.contains("TODO: justify"));
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+}
+
+/// The acceptance gate: the real tree carries zero unallowed findings.
+#[test]
+fn real_workspace_is_clean() {
+    let findings = run_all(workspace_root());
+    let open = unallowed(&findings);
+    assert!(
+        open.is_empty(),
+        "the workspace must lint clean; found:\n{}",
+        open.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Deleting one `Msg` arm from the real `wire.rs` encode half must make the
+/// codec check fail — this is the regression the lint exists to catch.
+#[test]
+fn deleting_a_real_encode_arm_breaks_the_codec_check() {
+    let root = workspace_root();
+    let msg_src = std::fs::read_to_string(root.join("crates/core/src/msg.rs")).expect("msg.rs");
+    let wire_src = std::fs::read_to_string(root.join("crates/core/src/wire.rs")).expect("wire.rs");
+
+    // Intact tree: no codec findings.
+    let clean = check_codec_exhaustiveness(
+        "Msg",
+        &msg_src,
+        "crates/core/src/wire.rs",
+        &wire_src,
+        "encode_msg",
+        "decode_msg",
+    );
+    assert!(unallowed(&clean).is_empty(), "{:#?}", clean);
+
+    // Drop the ForceMerge encode arm and re-run.
+    let sabotaged = wire_src.replace("Msg::ForceMerge => out.push(tag::FORCE_MERGE),", "");
+    assert_ne!(sabotaged, wire_src, "the arm we delete must exist");
+    let broken = check_codec_exhaustiveness(
+        "Msg",
+        &msg_src,
+        "crates/core/src/wire.rs",
+        &sabotaged,
+        "encode_msg",
+        "decode_msg",
+    );
+    let open = unallowed(&broken);
+    assert_eq!(open.len(), 1, "{:#?}", open);
+    assert!(open[0].message.contains("Msg::ForceMerge"));
+    assert!(open[0].message.contains("encode_msg"));
+}
