@@ -1,0 +1,134 @@
+//! The unified key-value client API.
+//!
+//! [`KvClient`] is the one trait every LH\*RS access path implements: the
+//! in-process simulated driver ([`crate::LhrsFile`]) and the networked
+//! client (`lhrs_net::client::NetClient`). Code written against it — the
+//! examples, load generators, drills — runs unchanged over the simulator
+//! or a real TCP cluster.
+//!
+//! Every operation returns an [`OpOutcome`], a self-describing result that
+//! folds the transport-specific error shapes (`Result<_, Error>` in the
+//! driver, timeout `Option`s on the network) into one enum.
+
+use crate::msg::{FilterSpec, OpResult};
+use crate::Key;
+
+/// The outcome of one key-value operation, shared by every [`KvClient`]
+/// implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A write (insert, update, or delete) committed.
+    Done,
+    /// Lookup result: the payload, or `None` for a definitive
+    /// unsuccessful search.
+    Value(Option<Vec<u8>>),
+    /// Scan result: all matching records, sorted by key.
+    Hits(Vec<(Key, Vec<u8>)>),
+    /// Insert rejected: the key already exists.
+    DuplicateKey,
+    /// Update or delete of a non-existent key.
+    NotFound,
+    /// The operation failed (unrecoverable group, timeout, ...).
+    Failed(String),
+}
+
+impl OpOutcome {
+    /// Whether the operation committed (`Done`, any `Value`, or `Hits`).
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            OpOutcome::Done | OpOutcome::Value(_) | OpOutcome::Hits(_)
+        )
+    }
+
+    /// The looked-up payload, if this is a successful `Value(Some(..))`.
+    pub fn into_value(self) -> Option<Vec<u8>> {
+        match self {
+            OpOutcome::Value(v) => v,
+            _ => None,
+        }
+    }
+
+    /// The scan hits, if this is a `Hits` outcome (empty otherwise).
+    pub fn into_hits(self) -> Vec<(Key, Vec<u8>)> {
+        match self {
+            OpOutcome::Hits(h) => h,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Map a protocol-level [`OpResult`] into the client-facing outcome.
+    pub fn from_result(result: OpResult) -> OpOutcome {
+        match result {
+            OpResult::Inserted | OpResult::Updated | OpResult::Deleted => OpOutcome::Done,
+            OpResult::DuplicateKey => OpOutcome::DuplicateKey,
+            OpResult::NotFound => OpOutcome::NotFound,
+            OpResult::Value(v) => OpOutcome::Value(v),
+            OpResult::ScanHits(h) => OpOutcome::Hits(h),
+            OpResult::Failed(e) => OpOutcome::Failed(e),
+        }
+    }
+}
+
+impl From<OpResult> for OpOutcome {
+    fn from(result: OpResult) -> OpOutcome {
+        OpOutcome::from_result(result)
+    }
+}
+
+/// The unified LH\*RS key-value client.
+///
+/// Implemented by [`crate::LhrsFile`] (operations run the discrete-event
+/// simulation to quiescence) and by `lhrs_net::client::NetClient`
+/// (operations block on a live TCP cluster up to its configured
+/// per-operation timeout).
+pub trait KvClient {
+    /// Insert a record.
+    fn insert(&mut self, key: Key, payload: Vec<u8>) -> OpOutcome;
+    /// Key search.
+    fn lookup(&mut self, key: Key) -> OpOutcome;
+    /// Replace the payload of an existing record.
+    fn update(&mut self, key: Key, payload: Vec<u8>) -> OpOutcome;
+    /// Delete a record.
+    fn delete(&mut self, key: Key) -> OpOutcome;
+    /// Parallel scan with a server-side filter.
+    fn scan(&mut self, filter: FilterSpec) -> OpOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_mapping_covers_every_result() {
+        assert_eq!(OpOutcome::from_result(OpResult::Inserted), OpOutcome::Done);
+        assert_eq!(OpOutcome::from_result(OpResult::Updated), OpOutcome::Done);
+        assert_eq!(OpOutcome::from_result(OpResult::Deleted), OpOutcome::Done);
+        assert_eq!(
+            OpOutcome::from_result(OpResult::DuplicateKey),
+            OpOutcome::DuplicateKey
+        );
+        assert_eq!(
+            OpOutcome::from_result(OpResult::NotFound),
+            OpOutcome::NotFound
+        );
+        assert_eq!(
+            OpOutcome::from_result(OpResult::Value(Some(b"x".to_vec()))),
+            OpOutcome::Value(Some(b"x".to_vec()))
+        );
+        assert!(OpOutcome::from_result(OpResult::ScanHits(Vec::new())).is_ok());
+        assert!(!OpOutcome::from_result(OpResult::Failed("e".into())).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(
+            OpOutcome::Value(Some(b"v".to_vec())).into_value(),
+            Some(b"v".to_vec())
+        );
+        assert_eq!(OpOutcome::Done.into_value(), None);
+        let hits = vec![(1u64, b"a".to_vec())];
+        assert_eq!(OpOutcome::Hits(hits.clone()).into_hits(), hits);
+        assert!(OpOutcome::NotFound.into_hits().is_empty());
+    }
+}

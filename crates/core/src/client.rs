@@ -5,6 +5,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use lhrs_lh::ClientImage;
+use lhrs_obs::Event as ObsEvent;
 use lhrs_sim::{Env, NodeId, TimerId};
 
 use crate::msg::{ClientOp, FilterSpec, Msg, OpId, OpResult, ReqKind};
@@ -25,6 +26,8 @@ struct Pending {
     /// unless an error reply arrives before the driver settles — the
     /// paper's 1-message insert cost model.
     optimistic: bool,
+    /// Sim time the request was first issued (op-latency histogram).
+    issued_at: u64,
 }
 
 /// Per-bucket scan reply: the bucket's level and its matching records.
@@ -130,6 +133,8 @@ impl Client {
                         env.cancel_timer(t);
                         self.timer_to_op.remove(&t);
                     }
+                    env.obs()
+                        .observe_us("op_latency", env.now().saturating_sub(p.issued_at));
                     self.results.push((op_id, result));
                 }
             }
@@ -201,6 +206,11 @@ impl Client {
                 let new_timer = env.set_timer(backoff);
                 self.timer_to_op.insert(new_timer, op_id);
                 self.retries += 1;
+                env.obs().incr("client_retries");
+                env.trace(ObsEvent::Retry {
+                    op: op_id,
+                    attempt: u64::from(attempts) + 1,
+                });
                 let me = env.me();
                 let Some(p) = self.pending.get_mut(&op_id) else {
                     return;
@@ -225,6 +235,7 @@ impl Client {
                 };
                 p.escalated = true;
                 self.escalations += 1;
+                env.obs().incr("client_escalations");
                 // Grace period for detection + degraded service + recovery.
                 let new_timer = env.set_timer(self.shared.cfg.client_timeout_us * 50);
                 p.timer = Some(new_timer);
@@ -318,6 +329,11 @@ impl Client {
         let new_timer = env.set_timer(self.shared.cfg.client_timeout_us * 50);
         self.timer_to_op.insert(new_timer, op_id);
         self.retries += 1;
+        env.obs().incr("client_retries");
+        env.trace(ObsEvent::Retry {
+            op: op_id,
+            attempt: u64::from(attempts) + 1,
+        });
         let Some(scan) = self.scans.get_mut(&op_id) else {
             return;
         };
@@ -394,6 +410,7 @@ impl Client {
                 attempts: 0,
                 escalated: false,
                 optimistic: !needs_reply,
+                issued_at: env.now(),
             },
         );
         env.send(

@@ -135,6 +135,11 @@ impl Default for Config {
 }
 
 impl Config {
+    /// Start building a validated configuration.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder::new()
+    }
+
     /// Validate parameter sanity; called by [`crate::LhrsFile::new`].
     pub(crate) fn validate(&self) -> Result<(), crate::Error> {
         if self.group_size == 0
@@ -197,6 +202,239 @@ impl Config {
     }
 }
 
+/// Upper bound on [`Config::record_len`] accepted by the builder: a whole
+/// bucket's shard transfer of maximal records must still fit a network
+/// frame with room to spare.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Why [`ConfigBuilder::build`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `group_size` below 2: a bucket group needs at least two data
+    /// columns for the record-group coding to be meaningful.
+    GroupSize(usize),
+    /// `initial_k` is 0: the paper's scheme requires at least one parity
+    /// bucket per group.
+    InitialK,
+    /// `record_len` outside `1..=`[`MAX_RECORD_LEN`].
+    RecordLen(usize),
+    /// `scale_thresholds` is not strictly increasing.
+    Thresholds,
+    /// Cross-field validation failed (field shard limit, symbol alignment,
+    /// pool sizing, timer sanity, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::GroupSize(got) => {
+                write!(f, "group_size must be ≥ 2 (got {got})")
+            }
+            ConfigError::InitialK => write!(f, "initial_k must be ≥ 1"),
+            ConfigError::RecordLen(got) => {
+                write!(f, "record_len must be in 1..={MAX_RECORD_LEN} (got {got})")
+            }
+            ConfigError::Thresholds => {
+                write!(f, "scale_thresholds must be strictly increasing")
+            }
+            ConfigError::Invalid(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validating constructor for [`Config`].
+///
+/// Starts from [`Config::default`], applies the setters, and checks the
+/// result once in [`ConfigBuilder::build`] — so an invalid combination is
+/// an explicit [`ConfigError`] at construction time, never a panic (or a
+/// silently ignored knob) later.
+///
+/// ```
+/// use lhrs_core::{Config, ConfigError};
+///
+/// let cfg = Config::builder()
+///     .group_size(4)
+///     .initial_k(2)
+///     .bucket_capacity(16)
+///     .scale_thresholds([8, 64])
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.initial_k, 2);
+///
+/// assert!(matches!(
+///     Config::builder().group_size(1).build(),
+///     Err(ConfigError::GroupSize(1))
+/// ));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConfigBuilder {
+    cfg: Config,
+}
+
+impl ConfigBuilder {
+    /// A builder seeded with [`Config::default`].
+    pub fn new() -> ConfigBuilder {
+        ConfigBuilder {
+            cfg: Config::default(),
+        }
+    }
+
+    /// Bucket-group size `m` (see [`Config::group_size`]).
+    pub fn group_size(mut self, m: usize) -> Self {
+        self.cfg.group_size = m;
+        self
+    }
+
+    /// Initial availability level `k` (see [`Config::initial_k`]).
+    pub fn initial_k(mut self, k: usize) -> Self {
+        self.cfg.initial_k = k;
+        self
+    }
+
+    /// Data-bucket capacity `b` (see [`Config::bucket_capacity`]).
+    pub fn bucket_capacity(mut self, b: usize) -> Self {
+        self.cfg.bucket_capacity = b;
+        self
+    }
+
+    /// Maximum record payload length (see [`Config::record_len`]).
+    pub fn record_len(mut self, len: usize) -> Self {
+        self.cfg.record_len = len;
+        self
+    }
+
+    /// Scalable-availability thresholds (see [`Config::scale_thresholds`]).
+    pub fn scale_thresholds(mut self, t: impl Into<Vec<u64>>) -> Self {
+        self.cfg.scale_thresholds = t.into();
+        self
+    }
+
+    /// How lagging groups catch up after a `k` increase.
+    pub fn upgrade_mode(mut self, mode: UpgradeMode) -> Self {
+        self.cfg.upgrade_mode = mode;
+        self
+    }
+
+    /// Whether parity buckets acknowledge Δ-commits.
+    pub fn ack_parity(mut self, on: bool) -> Self {
+        self.cfg.ack_parity = on;
+        self
+    }
+
+    /// Whether data buckets acknowledge writes to the client.
+    pub fn ack_writes(mut self, on: bool) -> Self {
+        self.cfg.ack_writes = on;
+        self
+    }
+
+    /// Galois field for the parity arithmetic.
+    pub fn field(mut self, field: GfField) -> Self {
+        self.cfg.field = field;
+        self
+    }
+
+    /// Scan termination protocol.
+    pub fn scan_termination(mut self, t: ScanTermination) -> Self {
+        self.cfg.scan_termination = t;
+        self
+    }
+
+    /// Client request timeout in µs.
+    pub fn client_timeout_us(mut self, us: u64) -> Self {
+        self.cfg.client_timeout_us = us;
+        self
+    }
+
+    /// Client retransmissions per operation before escalating.
+    pub fn client_retries(mut self, n: u32) -> Self {
+        self.cfg.client_retries = n;
+        self
+    }
+
+    /// Ceiling (µs) on the client's per-retry backoff delay.
+    pub fn retry_backoff_cap_us(mut self, us: u64) -> Self {
+        self.cfg.retry_backoff_cap_us = us;
+        self
+    }
+
+    /// Δ-commit retransmission interval in µs (reliable parity mode).
+    pub fn delta_retransmit_us(mut self, us: u64) -> Self {
+        self.cfg.delta_retransmit_us = us;
+        self
+    }
+
+    /// No-progress Δ retransmission rounds before giving up on a parity
+    /// bucket.
+    pub fn delta_retry_limit(mut self, n: u32) -> Self {
+        self.cfg.delta_retry_limit = n;
+        self
+    }
+
+    /// Coordinator probe timeout in µs.
+    pub fn probe_timeout_us(mut self, us: u64) -> Self {
+        self.cfg.probe_timeout_us = us;
+        self
+    }
+
+    /// Coordinator retransmission interval in µs.
+    pub fn coord_retransmit_us(mut self, us: u64) -> Self {
+        self.cfg.coord_retransmit_us = us;
+        self
+    }
+
+    /// Coordinator retransmission rounds before giving up.
+    pub fn coord_retries(mut self, n: u32) -> Self {
+        self.cfg.coord_retries = n;
+        self
+    }
+
+    /// Data-bucket replay-cache capacity.
+    pub fn replay_cache_cap(mut self, n: usize) -> Self {
+        self.cfg.replay_cache_cap = n;
+        self
+    }
+
+    /// Network latency model for the simulated multicomputer.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.cfg.latency = model;
+        self
+    }
+
+    /// Total simulated server pool.
+    pub fn node_pool(mut self, n: usize) -> Self {
+        self.cfg.node_pool = n;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    ///
+    /// # Errors
+    /// A [`ConfigError`] naming the first violated constraint.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.group_size < 2 {
+            return Err(ConfigError::GroupSize(cfg.group_size));
+        }
+        if cfg.initial_k == 0 {
+            return Err(ConfigError::InitialK);
+        }
+        if cfg.record_len == 0 || cfg.record_len > MAX_RECORD_LEN {
+            return Err(ConfigError::RecordLen(cfg.record_len));
+        }
+        if !cfg.scale_thresholds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(ConfigError::Thresholds);
+        }
+        match cfg.validate() {
+            Ok(()) => Ok(cfg),
+            Err(crate::Error::InvalidConfig(why)) => Err(ConfigError::Invalid(why)),
+            Err(other) => Err(ConfigError::Invalid(other.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,5 +489,78 @@ mod tests {
             ..Config::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_defaults_build() {
+        let cfg = Config::builder().build().unwrap();
+        assert_eq!(cfg.group_size, Config::default().group_size);
+    }
+
+    #[test]
+    fn builder_rejects_each_constraint() {
+        assert_eq!(
+            Config::builder().group_size(1).build().err(),
+            Some(ConfigError::GroupSize(1))
+        );
+        assert_eq!(
+            Config::builder().initial_k(0).build().err(),
+            Some(ConfigError::InitialK)
+        );
+        assert_eq!(
+            Config::builder().record_len(0).build().err(),
+            Some(ConfigError::RecordLen(0))
+        );
+        assert_eq!(
+            Config::builder().record_len(MAX_RECORD_LEN + 1).build().err(),
+            Some(ConfigError::RecordLen(MAX_RECORD_LEN + 1))
+        );
+        assert_eq!(
+            Config::builder().scale_thresholds([8, 8]).build().err(),
+            Some(ConfigError::Thresholds)
+        );
+        // Cross-field constraints still flow through `Config::validate`.
+        assert!(matches!(
+            Config::builder().group_size(250).initial_k(10).build(),
+            Err(ConfigError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn builder_applies_every_setter() {
+        let cfg = Config::builder()
+            .group_size(8)
+            .initial_k(2)
+            .bucket_capacity(64)
+            .record_len(128)
+            .scale_thresholds([32])
+            .upgrade_mode(UpgradeMode::Lazy)
+            .ack_parity(true)
+            .ack_writes(true)
+            .field(GfField::Gf16)
+            .scan_termination(ScanTermination::Probabilistic { silence_us: 500 })
+            .client_timeout_us(20_000)
+            .client_retries(5)
+            .retry_backoff_cap_us(320_000)
+            .delta_retransmit_us(9_000)
+            .delta_retry_limit(7)
+            .probe_timeout_us(6_000)
+            .coord_retransmit_us(9_000)
+            .coord_retries(4)
+            .replay_cache_cap(128)
+            .latency(LatencyModel::default())
+            .node_pool(1024)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.group_size, 8);
+        assert_eq!(cfg.initial_k, 2);
+        assert_eq!(cfg.bucket_capacity, 64);
+        assert_eq!(cfg.record_len, 128);
+        assert_eq!(cfg.scale_thresholds, vec![32]);
+        assert_eq!(cfg.upgrade_mode, UpgradeMode::Lazy);
+        assert!(cfg.ack_parity && cfg.ack_writes);
+        assert_eq!(cfg.field, GfField::Gf16);
+        assert_eq!(cfg.client_retries, 5);
+        assert_eq!(cfg.node_pool, 1024);
     }
 }

@@ -8,7 +8,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use lhrs_lh::FileState;
-use lhrs_sim::{Env, NodeId, TimerId};
+use lhrs_obs::Event as ObsEvent;
+use lhrs_sim::{Env, NodeId, Payload, TimerId};
 
 use crate::code::AnyCode;
 
@@ -338,6 +339,10 @@ impl Coordinator {
     /// coordinator drops the operation that tripped it and keeps serving;
     /// the event stream is the audit trail.
     fn invariant_violated(&mut self, env: &mut Env<'_, Msg>, context: &str) {
+        env.obs().incr("invariant_violations");
+        env.trace(ObsEvent::InvariantViolated {
+            context: context.to_string(),
+        });
         self.events.push((
             env.now(),
             CoordEvent::InvariantViolated {
@@ -377,6 +382,11 @@ impl Coordinator {
                     env.cancel_timer(ctx.timer);
                     self.timer_tokens.remove(&ctx.timer);
                     self.outstanding_splits = self.outstanding_splits.saturating_sub(1);
+                    env.obs().incr("splits_completed");
+                    env.trace(ObsEvent::SplitEnd {
+                        bucket: ctx.source,
+                        new_bucket: ctx.target,
+                    });
                     self.drain_queues(env);
                 }
             }
@@ -937,6 +947,10 @@ impl Coordinator {
                 attempts: 0,
             },
         );
+        env.obs().incr("splits_started");
+        env.trace(ObsEvent::SplitStart {
+            bucket: plan.source,
+        });
         self.events.push((
             env.now(),
             CoordEvent::Split {
@@ -1317,6 +1331,12 @@ impl Coordinator {
         ));
         if failed.len() > k_g {
             self.dead_groups.insert(group);
+            env.obs().incr("recoveries_failed");
+            env.trace(ObsEvent::RecoveryEnd {
+                group,
+                rebuilt: 0,
+                ok: false,
+            });
             self.events.push((
                 env.now(),
                 CoordEvent::GroupUnrecoverable {
@@ -1359,6 +1379,11 @@ impl Coordinator {
 
         // Kick off the rebuild: collect all surviving data columns plus as
         // many parity shards as there are failed data columns.
+        env.obs().incr("recoveries_started");
+        env.trace(ObsEvent::RecoveryStart {
+            group,
+            failed: failed.len() as u64,
+        });
         let token = self.token();
         let m = self.m();
         let existing = self.existing_cols(group);
@@ -1467,6 +1492,8 @@ impl Coordinator {
             return;
         };
         drop(reg);
+        env.obs().incr("degraded_reads");
+        env.trace(ObsEvent::DegradedRead { group });
         let token = self.token();
         env.send(pnode, Msg::FindRecord { key, token });
         let timer = env.set_timer(self.shared.cfg.coord_retransmit_us);
@@ -1725,6 +1752,7 @@ impl Coordinator {
         if self.pool.len() < rebuilt.len() {
             env.cancel_timer(ctx.timer);
             self.timer_tokens.remove(&ctx.timer);
+            env.obs().incr("recoveries_stalled");
             self.events.push((
                 env.now(),
                 CoordEvent::RecoveryStalled {
@@ -1811,10 +1839,23 @@ impl Coordinator {
             let Some(shard) = ctx.installs.remove(&install_token) else {
                 return;
             };
+            let bytes = ctx
+                .install_msgs
+                .get(&install_token)
+                .map_or(0, |(_, m)| m.size_bytes() as u64);
             ctx.install_msgs.remove(&install_token);
             let Some(&spare) = ctx.spares.get(&shard) else {
                 return;
             };
+            if matches!(ctx.purpose, Purpose::Repair) {
+                env.obs().incr("recovery_shards_rebuilt");
+                env.obs().add("recovery_bytes_moved", bytes);
+                env.trace(ObsEvent::RecoveryShard {
+                    group: ctx.group,
+                    shard: shard as u64,
+                    bytes,
+                });
+            }
             let m = self.shared.cfg.group_size;
             let mut reg = self.shared.registry.borrow_mut();
             let mut displaced = None;
@@ -1852,6 +1893,12 @@ impl Coordinator {
                     for &s in &ctx.rebuild {
                         self.failed.remove(&(ctx.group, s));
                     }
+                    env.obs().incr("recoveries_completed");
+                    env.trace(ObsEvent::RecoveryEnd {
+                        group: ctx.group,
+                        rebuilt: ctx.rebuild.len() as u64,
+                        ok: true,
+                    });
                     self.events.push((
                         env.now(),
                         CoordEvent::GroupRecovered {
@@ -1862,6 +1909,7 @@ impl Coordinator {
                     self.replay_queued(env, ctx.group);
                 }
                 Purpose::Upgrade => {
+                    env.obs().incr("group_upgrades");
                     if let Some(slot) = self.group_k.get_mut(crate::convert::to_index(ctx.group)) {
                         *slot = ctx.k;
                     }

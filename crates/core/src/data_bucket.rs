@@ -5,6 +5,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 
 use lhrs_lh::{a2_route, A2Outcome};
+use lhrs_obs::Event as ObsEvent;
 use lhrs_sim::{Env, NodeId, TimerId};
 
 use crate::msg::{DeltaEntry, Iam, KeyOp, Msg, OpId, OpResult, ReplayEntry, ReqKind, ShardContent};
@@ -845,6 +846,12 @@ impl DataBucket {
             key_op,
             delta_cell,
         };
+        env.obs().incr("deltas_emitted");
+        env.trace(ObsEvent::DeltaCommit {
+            bucket: self.bucket,
+            bytes: entry.delta_cell.len() as u64,
+            columns: parity_nodes.len() as u64,
+        });
         if ack_to.is_some() {
             self.unacked.insert(entry.seq, entry.clone());
             self.arm_retry(env);
@@ -873,6 +880,12 @@ impl DataBucket {
         if parity_nodes.is_empty() {
             return;
         }
+        env.obs().add("deltas_emitted", entries.len() as u64);
+        env.trace(ObsEvent::DeltaCommit {
+            bucket: self.bucket,
+            bytes: entries.iter().map(|e| e.delta_cell.len() as u64).sum(),
+            columns: parity_nodes.len() as u64,
+        });
         if ack_to.is_some() {
             for e in &entries {
                 self.unacked.insert(e.seq, e.clone());
@@ -924,6 +937,7 @@ impl DataBucket {
         }
         self.overflow_reported = true;
         self.last_report_size = len;
+        env.obs().incr("overflow_reports");
         let coord = self.shared.registry.borrow().coordinator;
         env.send(
             coord,

@@ -7,6 +7,7 @@
 //! message, failure, and recovery underneath is fully simulated and
 //! accounted.
 
+use lhrs_obs::{Clock, Metrics};
 use lhrs_sim::{NetStats, NodeId, Sim};
 
 use crate::code::AnyCode;
@@ -88,6 +89,9 @@ impl LhrsFile {
         let k = cfg.initial_k;
         let shared = Shared::new(cfg);
         let mut sim: Sim<Msg, Node> = Sim::new(latency);
+        // Logical-clock metrics: events are stamped with sim time, so
+        // latency histograms and recovery timelines are deterministic.
+        sim.set_metrics(Metrics::new(Clock::logical()));
         let total = shared.cfg.node_pool;
         let ids: Vec<NodeId> = (0..total)
             .map(|_| {
@@ -286,6 +290,15 @@ impl LhrsFile {
     }
 
     /// Insert/lookup via an explicit client id (any [`ClientOp`]).
+    /// Run `op` through client 0 and map its protocol result into the
+    /// [`crate::api::KvClient`] outcome shape.
+    fn outcome_of(&mut self, op: ClientOp) -> crate::api::OpOutcome {
+        match self.exec_on(0, op) {
+            Ok(result) => crate::api::OpOutcome::from_result(result),
+            Err(e) => crate::api::OpOutcome::Failed(e.to_string()),
+        }
+    }
+
     fn exec_on(&mut self, client: ClientId, op: ClientOp) -> Result<OpResult, Error> {
         let node = *self
             .clients
@@ -359,6 +372,15 @@ impl LhrsFile {
     /// Network statistics accumulated so far.
     pub fn stats(&self) -> &NetStats {
         self.sim.stats()
+    }
+
+    /// The observability handle: counters, latency histograms, and the
+    /// structured trace ring recorded by every actor in this file.
+    ///
+    /// [`Metrics`] is cheaply cloneable (`Arc` inside), so callers can hold
+    /// a copy across mutations of the file.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
     }
 
     /// Run `f` and return the message statistics it generated.
@@ -752,5 +774,35 @@ impl LhrsFile {
         let mut file = LhrsFile::new(cfg)?;
         file.insert_batch(records)?;
         Ok(file)
+    }
+}
+
+/// The unified client API over the simulated file: every operation runs
+/// through client 0 and drives the simulation to quiescence.
+impl crate::api::KvClient for LhrsFile {
+    fn insert(&mut self, key: Key, payload: Vec<u8>) -> crate::api::OpOutcome {
+        if let Err(e) = self.check_payload(&payload) {
+            return crate::api::OpOutcome::Failed(e.to_string());
+        }
+        self.outcome_of(ClientOp::Insert { key, payload })
+    }
+
+    fn lookup(&mut self, key: Key) -> crate::api::OpOutcome {
+        self.outcome_of(ClientOp::Lookup { key })
+    }
+
+    fn update(&mut self, key: Key, payload: Vec<u8>) -> crate::api::OpOutcome {
+        if let Err(e) = self.check_payload(&payload) {
+            return crate::api::OpOutcome::Failed(e.to_string());
+        }
+        self.outcome_of(ClientOp::Update { key, payload })
+    }
+
+    fn delete(&mut self, key: Key) -> crate::api::OpOutcome {
+        self.outcome_of(ClientOp::Delete { key })
+    }
+
+    fn scan(&mut self, filter: FilterSpec) -> crate::api::OpOutcome {
+        self.outcome_of(ClientOp::Scan { filter })
     }
 }

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod availability;
 pub mod client;
 pub mod code;
@@ -71,8 +72,11 @@ pub mod record;
 pub mod registry;
 pub mod wire;
 
+pub use api::{KvClient, OpOutcome};
 pub use code::GfField;
-pub use config::{Config, ScanTermination, UpgradeMode};
+pub use config::{
+    Config, ConfigBuilder, ConfigError, ScanTermination, UpgradeMode, MAX_RECORD_LEN,
+};
 pub use coordinator::CoordEvent;
 pub use error::Error;
 pub use file::{LhrsFile, RecoveryReport, StorageReport};

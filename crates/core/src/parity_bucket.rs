@@ -138,9 +138,12 @@ impl ParityBucket {
                     return;
                 }
                 let col = entry.col;
+                let mut applied = 0u64;
                 for ready in self.admit(entry) {
                     self.apply(ready);
+                    applied += 1;
                 }
+                env.obs().add("deltas_applied", applied);
                 if let Some(ack) = ack_to {
                     let upto = self.channels[col].next_seq;
                     env.send(ack, Msg::ParityAck { col, upto });
@@ -153,6 +156,7 @@ impl ParityBucket {
             } => {
                 debug_assert_eq!(group, self.group);
                 let mut cols = std::collections::BTreeSet::new();
+                let mut applied = 0u64;
                 for entry in entries {
                     if !self.sender_owns_column(from, entry.col) {
                         continue;
@@ -160,8 +164,10 @@ impl ParityBucket {
                     cols.insert(entry.col);
                     for ready in self.admit(entry) {
                         self.apply(ready);
+                        applied += 1;
                     }
                 }
+                env.obs().add("deltas_applied", applied);
                 if let Some(ack) = ack_to {
                     for col in cols {
                         let upto = self.channels[col].next_seq;

@@ -6,6 +6,7 @@ use lhrs_core::data_bucket::DataBucket;
 use lhrs_core::msg::{Msg, OpResult, ReqKind};
 use lhrs_core::registry::Shared;
 use lhrs_core::Config;
+use lhrs_obs::Metrics;
 use lhrs_sim::{Effect, Env, NodeId};
 
 const CAP: usize = 8;
@@ -28,7 +29,8 @@ fn test_bucket() -> DataBucket {
 fn drive(bucket: &mut DataBucket, client: NodeId, op_id: u64, kind: ReqKind) -> Option<OpResult> {
     let mut next_timer = 0u64;
     let mut effects: Vec<Effect<Msg>> = Vec::new();
-    let mut env = Env::external(NodeId(0), 0, &mut next_timer, &mut effects);
+    let metrics = Metrics::disabled();
+    let mut env = Env::external(NodeId(0), 0, &mut next_timer, &mut effects, &metrics);
     bucket.on_message(
         &mut env,
         client,

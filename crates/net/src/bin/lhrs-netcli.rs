@@ -8,6 +8,7 @@
 //! lhrs-netcli --config cluster.conf --node 1 load 100 200  # keys 200..=299
 //! lhrs-netcli --config cluster.conf --node 1 verify 100    # re-read them
 //! lhrs-netcli --config cluster.conf --node 1 status
+//! lhrs-netcli --config cluster.conf --node 1 stats 0       # STATS from node 0
 //! ```
 //!
 //! The process hosts the spec's client node (binding its listener so
@@ -23,8 +24,10 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use lhrs_net::client::NetClient;
 use lhrs_net::cluster::{ClusterSpec, Role};
+use lhrs_net::frame::{read_frame, write_frame, FrameType};
 use lhrs_net::host::NodeHost;
 use lhrs_net::transport::TcpTransport;
+use lhrs_sim::NodeId;
 
 /// Generous per-operation deadline: the first operation after a bucket
 /// failure rides through suspect-escalation, probing, and a full shard
@@ -35,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: lhrs-netcli --config <cluster.conf> --node <id> \
          (insert <key> <value> | lookup <key> | delete <key> | \
-         load <n> [start] | verify <n> [start] | status)"
+         load <n> [start] | verify <n> [start] | status | stats [node])"
     );
     exit(2);
 }
@@ -80,6 +83,43 @@ fn main() {
         Some(n) if n.role == Role::Client => {}
         Some(_) => fail(&format!("node {node} is not a client in the spec")),
         None => fail(&format!("node {node} not in the spec")),
+    }
+
+    // `stats` is a raw request/response frame exchange — no hosted client
+    // node, no registry sync, works even while the cluster is mid-recovery.
+    if rest[0] == "stats" {
+        let target: u32 = match rest.get(1) {
+            Some(s) => s.parse().unwrap_or_else(|_| usage()),
+            None => 0,
+        };
+        if target as usize >= spec.nodes.len() {
+            fail(&format!("node {target} not in the spec"));
+        }
+        let addr = spec.addr_of(target);
+        let mut stream = std::net::TcpStream::connect(addr)
+            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+        let _ = stream.set_read_timeout(Some(OP_TIMEOUT));
+        write_frame(
+            &mut stream,
+            FrameType::StatsPull,
+            NodeId(node),
+            NodeId(target),
+            &[],
+        )
+        .and_then(|()| std::io::Write::flush(&mut stream))
+        .unwrap_or_else(|e| fail(&format!("cannot send StatsPull: {e}")));
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(f)) if f.ftype == FrameType::StatsReply => {
+                    print!("{}", String::from_utf8_lossy(&f.payload));
+                    return;
+                }
+                // A registry broadcast may race ahead of the reply; skip it.
+                Ok(Some(_)) => continue,
+                Ok(None) => fail("peer closed before replying to StatsPull"),
+                Err(e) => fail(&format!("bad frame while waiting for stats: {e}")),
+            }
+        }
     }
 
     let local = vec![(node, spec.addr_of(node).to_string())];

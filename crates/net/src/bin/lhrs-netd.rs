@@ -5,33 +5,65 @@
 //! lhrs-netd --config cluster.conf --nodes 0          # the coordinator
 //! lhrs-netd --config cluster.conf --nodes 2          # one bucket
 //! lhrs-netd --config cluster.conf --nodes 4,5,6      # several nodes
+//! lhrs-netd --config cluster.conf --nodes 0 --trace-dump coord.jsonl
 //! ```
 //!
 //! The process binds one TCP listener per hosted node, builds the node
 //! actors from the shared cluster spec, and runs the host loop until
 //! killed.
+//!
+//! Every `lhrs-netd` process records wall-clock metrics and a structured
+//! trace ring. The live counters are served over the wire: send the
+//! process a `StatsPull` frame (`lhrs-netcli ... stats <node>`) and it
+//! answers with a Prometheus text snapshot on the same connection. With
+//! `--trace-dump <path>` the trace ring is additionally flushed to `path`
+//! as JSONL twice a second (write-to-temp + rename), so the last pre-kill
+//! timeline survives even a SIGKILL during a failure drill.
 
 use std::collections::HashMap;
 use std::process::exit;
 use std::sync::mpsc;
+use std::time::Duration;
 
 use lhrs_net::cluster::ClusterSpec;
 use lhrs_net::host::NodeHost;
 use lhrs_net::transport::TcpTransport;
+use lhrs_obs::{Clock, Metrics};
 
 fn usage() -> ! {
-    eprintln!("usage: lhrs-netd --config <cluster.conf> --nodes <id[,id...]> [--verbose]");
+    eprintln!(
+        "usage: lhrs-netd --config <cluster.conf> --nodes <id[,id...]> \
+         [--trace-dump <path>] [--verbose]"
+    );
     exit(2);
+}
+
+/// Periodically flush the trace ring to `path` as JSONL. Writes go to a
+/// sibling temp file first and are renamed into place, so a reader (or a
+/// kill) never sees a half-written dump.
+fn spawn_trace_dumper(metrics: Metrics, path: String) {
+    std::thread::spawn(move || {
+        let tmp = format!("{path}.tmp");
+        loop {
+            std::thread::sleep(Duration::from_millis(500));
+            let jsonl = metrics.trace_jsonl();
+            if std::fs::write(&tmp, jsonl.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    });
 }
 
 fn main() {
     let mut config: Option<String> = None;
     let mut nodes: Vec<u32> = Vec::new();
+    let mut trace_dump: Option<String> = None;
     let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config = args.next(),
+            "--trace-dump" => trace_dump = args.next(),
             "--verbose" => verbose = true,
             "--nodes" => {
                 let list = args.next().unwrap_or_else(|| usage());
@@ -71,22 +103,29 @@ fn main() {
         }
     }
 
+    let metrics = Metrics::new(Clock::wall());
+    if let Some(path) = trace_dump {
+        spawn_trace_dumper(metrics.clone(), path);
+    }
+
     let local: Vec<(u32, String)> = nodes
         .iter()
         .map(|&id| (id, spec.addr_of(id).to_string()))
         .collect();
     let peers: HashMap<u32, String> = spec.addr_map().into_iter().collect();
     let (tx, rx) = mpsc::channel();
-    let transport = match TcpTransport::start(&local, peers, tx.clone()) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("lhrs-netd: cannot bind: {e}");
-            exit(1);
-        }
-    };
+    let transport =
+        match TcpTransport::start_with_metrics(&local, peers, tx.clone(), metrics.clone()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("lhrs-netd: cannot bind: {e}");
+                exit(1);
+            }
+        };
 
     let shared = spec.build_shared();
     let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
+    host.set_metrics(metrics);
     for &id in &nodes {
         host.add_node(id, spec.build_node(&shared, id));
     }

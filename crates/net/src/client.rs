@@ -8,10 +8,16 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use lhrs_core::msg::{ClientOp, Msg, OpId, OpResult};
+use lhrs_core::api::{KvClient, OpOutcome};
+use lhrs_core::msg::{ClientOp, FilterSpec, Msg, OpId, OpResult};
 
 use crate::host::NodeHost;
 use crate::transport::Transport;
+
+/// Default per-operation deadline for the [`KvClient`] trait methods:
+/// generous enough to ride through suspect-escalation, probing, and a full
+/// shard recovery. Override with [`NetClient::set_op_timeout`].
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A synchronous client over a node host.
 pub struct NetClient<T: Transport> {
@@ -19,6 +25,7 @@ pub struct NetClient<T: Transport> {
     client: u32,
     next_op: OpId,
     results: HashMap<OpId, OpResult>,
+    op_timeout: Duration,
 }
 
 impl<T: Transport> NetClient<T> {
@@ -29,7 +36,13 @@ impl<T: Transport> NetClient<T> {
             client,
             next_op: first_op.max(1),
             results: HashMap::new(),
+            op_timeout: DEFAULT_OP_TIMEOUT,
         }
+    }
+
+    /// Set the per-operation deadline used by the [`KvClient`] methods.
+    pub fn set_op_timeout(&mut self, timeout: Duration) {
+        self.op_timeout = timeout;
     }
 
     /// The underlying host (to inspect the registry or stats).
@@ -111,6 +124,24 @@ impl<T: Transport> NetClient<T> {
         }
     }
 
+    /// Replace the payload of an existing record; `Some(true)` updated,
+    /// `Some(false)` not found.
+    pub fn update(&mut self, key: u64, payload: Vec<u8>, timeout: Duration) -> Option<bool> {
+        match self.exec(ClientOp::Update { key, payload }, timeout)? {
+            OpResult::Updated => Some(true),
+            OpResult::NotFound => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Parallel scan with a server-side filter; hits sorted by key.
+    pub fn scan(&mut self, filter: FilterSpec, timeout: Duration) -> Option<Vec<(u64, Vec<u8>)>> {
+        match self.exec(ClientOp::Scan { filter }, timeout)? {
+            OpResult::ScanHits(hits) => Some(hits),
+            _ => None,
+        }
+    }
+
     /// Number of data buckets in the local allocation-table snapshot.
     pub fn bucket_count(&self) -> usize {
         self.host.shared().registry.borrow().data_count()
@@ -119,5 +150,38 @@ impl<T: Transport> NetClient<T> {
     /// Number of parity groups in the local allocation-table snapshot.
     pub fn group_count(&self) -> usize {
         self.host.shared().registry.borrow().group_count()
+    }
+
+    /// Run `op` with the configured deadline, folding a timeout into the
+    /// [`OpOutcome`] shape.
+    fn outcome_of(&mut self, op: ClientOp) -> OpOutcome {
+        match self.exec(op, self.op_timeout) {
+            Some(result) => OpOutcome::from_result(result),
+            None => OpOutcome::Failed("operation timed out".into()),
+        }
+    }
+}
+
+/// The unified client API over a live cluster: each operation blocks up to
+/// the configured per-operation timeout ([`NetClient::set_op_timeout`]).
+impl<T: Transport> KvClient for NetClient<T> {
+    fn insert(&mut self, key: u64, payload: Vec<u8>) -> OpOutcome {
+        self.outcome_of(ClientOp::Insert { key, payload })
+    }
+
+    fn lookup(&mut self, key: u64) -> OpOutcome {
+        self.outcome_of(ClientOp::Lookup { key })
+    }
+
+    fn update(&mut self, key: u64, payload: Vec<u8>) -> OpOutcome {
+        self.outcome_of(ClientOp::Update { key, payload })
+    }
+
+    fn delete(&mut self, key: u64) -> OpOutcome {
+        self.outcome_of(ClientOp::Delete { key })
+    }
+
+    fn scan(&mut self, filter: FilterSpec) -> OpOutcome {
+        self.outcome_of(ClientOp::Scan { filter })
     }
 }

@@ -27,6 +27,14 @@ pub enum FrameType {
     Registry,
     /// A request for the current allocation table (empty payload).
     RegistryPull,
+    /// The `STATS` command: ask the receiving process for a metrics
+    /// snapshot (empty payload). Answered on the same connection with a
+    /// [`FrameType::StatsReply`] — a plain request/response exchange, so
+    /// operator tooling needs no listener of its own.
+    StatsPull,
+    /// A metrics snapshot in Prometheus text exposition format (UTF-8
+    /// payload).
+    StatsReply,
 }
 
 impl FrameType {
@@ -35,6 +43,8 @@ impl FrameType {
             FrameType::Msg => 0,
             FrameType::Registry => 1,
             FrameType::RegistryPull => 2,
+            FrameType::StatsPull => 3,
+            FrameType::StatsReply => 4,
         }
     }
 
@@ -43,6 +53,8 @@ impl FrameType {
             0 => Some(FrameType::Msg),
             1 => Some(FrameType::Registry),
             2 => Some(FrameType::RegistryPull),
+            3 => Some(FrameType::StatsPull),
+            4 => Some(FrameType::StatsReply),
             _ => None,
         }
     }

@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 use lhrs_core::msg::Msg;
 use lhrs_core::node::Node;
 use lhrs_core::registry::SharedHandle;
-use lhrs_sim::{Actor, Effect, Env, NodeId, TimerId};
+use lhrs_obs::{Event as ObsEvent, Metrics};
+use lhrs_sim::{Actor, Effect, Env, NodeId, Payload, TimerId};
 
 use crate::frame::RegistryUpdate;
 use crate::transport::{HostEvent, Transport};
@@ -57,6 +58,10 @@ pub struct NodeHost<T: Transport> {
     shutdown: bool,
     /// Dump every dispatched message to stderr (`LHRS_NET_TRACE=1`).
     trace: bool,
+    /// Observability handle shared with every [`Env`] this host builds
+    /// (and usually with the transport). Disabled unless installed via
+    /// [`NodeHost::set_metrics`].
+    metrics: Metrics,
 }
 
 impl<T: Transport> NodeHost<T> {
@@ -89,7 +94,22 @@ impl<T: Transport> NodeHost<T> {
             seen_version: None,
             shutdown: false,
             trace: std::env::var_os("LHRS_NET_TRACE").is_some(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Install an observability handle. Hosted actors see it through
+    /// [`Env::obs`] exactly as simulated actors do; the host additionally
+    /// tallies `msgs_recv{kind}`, timer fires, and registry traffic into
+    /// it. Share the same clone with the transport so one snapshot covers
+    /// the whole process.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The installed observability handle (disabled by default).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Host a node. Adding the coordinator makes this host authoritative
@@ -173,7 +193,19 @@ impl<T: Transport> NodeHost<T> {
         let mut effects: Vec<Effect<Msg>> = Vec::new();
         match self.nodes.get_mut(&to.0) {
             Some(node) => {
-                let mut env = Env::external(to, now, &mut self.next_timer, &mut effects);
+                self.metrics.incr_kind("msgs_recv", msg.kind());
+                if self.metrics.msg_trace() {
+                    self.metrics.trace(
+                        now,
+                        ObsEvent::MsgRecv {
+                            kind: msg.kind(),
+                            from: from.0,
+                            to: to.0,
+                        },
+                    );
+                }
+                let mut env =
+                    Env::external(to, now, &mut self.next_timer, &mut effects, &self.metrics);
                 node.on_message(&mut env, from, msg);
             }
             None => return, // late frame for a node we do not host
@@ -187,8 +219,14 @@ impl<T: Transport> NodeHost<T> {
         let mut effects: Vec<Effect<Msg>> = Vec::new();
         match self.nodes.get_mut(&node_id) {
             Some(node) => {
-                let mut env =
-                    Env::external(NodeId(node_id), now, &mut self.next_timer, &mut effects);
+                self.metrics.incr("host_timer_fires");
+                let mut env = Env::external(
+                    NodeId(node_id),
+                    now,
+                    &mut self.next_timer,
+                    &mut effects,
+                    &self.metrics,
+                );
                 node.on_timer(&mut env, timer);
             }
             None => return,
@@ -270,6 +308,7 @@ impl<T: Transport> NodeHost<T> {
         }
         self.reg_version += 1;
         snap.version = self.reg_version;
+        self.metrics.incr("registry_broadcasts");
         self.transport.broadcast_registry(snap.coordinator, &snap);
         self.last_broadcast_at = now;
         self.last_snapshot = Some(snap);
@@ -304,6 +343,7 @@ impl<T: Transport> NodeHost<T> {
             }
         }
         self.seen_version = Some(up.version);
+        self.metrics.incr("registry_updates_applied");
         let mut reg = self.shared.registry.borrow_mut();
         reg.coordinator = up.coordinator;
         while reg.data_count() > up.data.len() {

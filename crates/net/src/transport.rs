@@ -17,9 +17,10 @@ use std::time::Duration;
 
 use lhrs_core::msg::Msg;
 use lhrs_core::wire::{decode_msg, encode_msg};
+use lhrs_obs::{Event as ObsEvent, Metrics};
 use lhrs_sim::NodeId;
 
-use crate::frame::{encode_frame, read_frame, FrameType, RegistryUpdate};
+use crate::frame::{encode_frame, read_frame, write_frame, FrameType, RegistryUpdate};
 
 /// An inbound event delivered to a node host.
 #[derive(Debug)]
@@ -92,6 +93,9 @@ pub struct TcpTransport {
     /// Addresses with unflushed writes.
     dirty: HashSet<String>,
     stats: TransportStats,
+    /// Observability handle; clones live in every reader thread, which is
+    /// also what lets those threads answer `STATS` pulls in place.
+    obs: Metrics,
 }
 
 /// How long an outbound connect may take before the send is dropped.
@@ -106,10 +110,24 @@ impl TcpTransport {
         peers: HashMap<u32, String>,
         tx: Sender<HostEvent>,
     ) -> std::io::Result<TcpTransport> {
+        TcpTransport::start_with_metrics(local, peers, tx, Metrics::disabled())
+    }
+
+    /// Like [`TcpTransport::start`], with an observability handle. The
+    /// transport tallies frame/byte/drop/reconnect counters into it, and
+    /// every reader thread answers inbound [`FrameType::StatsPull`] frames
+    /// with a Prometheus snapshot of it — the `STATS` command.
+    pub fn start_with_metrics(
+        local: &[(u32, String)],
+        peers: HashMap<u32, String>,
+        tx: Sender<HostEvent>,
+        obs: Metrics,
+    ) -> std::io::Result<TcpTransport> {
         for (_, addr) in local {
             let listener = TcpListener::bind(addr)?;
             let tx = tx.clone();
-            std::thread::spawn(move || accept_loop(listener, tx));
+            let obs = obs.clone();
+            std::thread::spawn(move || accept_loop(listener, tx, obs));
         }
         Ok(TcpTransport {
             peers,
@@ -117,6 +135,7 @@ impl TcpTransport {
             conns: HashMap::new(),
             dirty: HashSet::new(),
             stats: TransportStats::default(),
+            obs,
         })
     }
 
@@ -150,6 +169,7 @@ impl TcpTransport {
                         let _ = stream.set_nodelay(true);
                         if was_connected {
                             self.stats.reconnects += 1;
+                            self.obs.incr("net_reconnects");
                         }
                         self.conns.insert(addr.to_string(), BufWriter::new(stream));
                     }
@@ -164,6 +184,7 @@ impl TcpTransport {
             if ok {
                 self.dirty.insert(addr.to_string());
                 self.stats.sent_bytes += bytes.len() as u64;
+                self.obs.add("net_sent_bytes", bytes.len() as u64);
                 return true;
             }
             // Broken pipe: drop the connection and retry once fresh.
@@ -176,11 +197,14 @@ impl TcpTransport {
     fn send_frame(&mut self, ftype: FrameType, from: NodeId, to: NodeId, payload: &[u8]) {
         let Some(addr) = self.peers.get(&to.0).cloned() else {
             self.stats.dropped += 1;
+            self.obs.incr("net_send_drops");
             return;
         };
         let bytes = encode_frame(ftype, from, to, payload);
+        self.obs.incr("net_frames_sent");
         if !self.write_to(&addr, &bytes) {
             self.stats.dropped += 1;
+            self.obs.incr("net_send_drops");
         }
     }
 }
@@ -202,22 +226,31 @@ fn conn_is_stale(stream: &TcpStream) -> bool {
     stale
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<HostEvent>) {
+fn accept_loop(listener: TcpListener, tx: Sender<HostEvent>, obs: Metrics) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             return;
         };
         let tx = tx.clone();
-        std::thread::spawn(move || reader_loop(stream, tx));
+        let obs = obs.clone();
+        std::thread::spawn(move || reader_loop(stream, tx, obs));
     }
 }
 
-fn reader_loop(mut stream: TcpStream, tx: Sender<HostEvent>) {
+fn reader_loop(mut stream: TcpStream, tx: Sender<HostEvent>, obs: Metrics) {
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
+            Ok(None) => return,
+            Err(_) => {
+                obs.incr("net_decode_errors");
+                obs.trace_now(ObsEvent::DecodeError {
+                    context: "inbound frame".to_string(),
+                });
+                return;
+            }
         };
+        obs.incr("net_frames_recv");
         let event = match frame.ftype {
             FrameType::Msg => match decode_msg(&frame.payload) {
                 Ok(msg) => HostEvent::Deliver {
@@ -225,13 +258,50 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<HostEvent>) {
                     to: frame.to,
                     msg,
                 },
-                Err(_) => continue, // defensive: skip undecodable frames
+                Err(_) => {
+                    // Defensive: skip undecodable frames.
+                    obs.incr("net_decode_errors");
+                    obs.trace_now(ObsEvent::DecodeError {
+                        context: "message payload".to_string(),
+                    });
+                    continue;
+                }
             },
             FrameType::Registry => match RegistryUpdate::decode(&frame.payload) {
                 Ok(up) => HostEvent::Registry(up),
-                Err(_) => continue,
+                Err(_) => {
+                    obs.incr("net_decode_errors");
+                    obs.trace_now(ObsEvent::DecodeError {
+                        context: "registry payload".to_string(),
+                    });
+                    continue;
+                }
             },
             FrameType::RegistryPull => HostEvent::RegistryPull { from: frame.from },
+            FrameType::StatsPull => {
+                // The `STATS` command: answered right here on the same
+                // connection so operator tooling (`lhrs-netcli stats`)
+                // needs no listener and gets a reply even while the host
+                // loop is busy. `Metrics` is thread-safe by construction.
+                obs.incr("net_stats_pulls");
+                let snapshot = obs.render_prometheus();
+                if write_frame(
+                    &mut stream,
+                    FrameType::StatsReply,
+                    frame.to,
+                    frame.from,
+                    snapshot.as_bytes(),
+                )
+                .and_then(|_| stream.flush())
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            // A reply frame is only meaningful to the puller, which reads
+            // its connection directly; a host receiving one ignores it.
+            FrameType::StatsReply => continue,
         };
         if tx.send(event).is_err() {
             return; // host gone
@@ -355,15 +425,23 @@ pub struct LoopbackTransport {
     net: LoopbackNet,
     local: HashSet<u32>,
     stats: TransportStats,
+    obs: Metrics,
 }
 
 impl LoopbackTransport {
     /// A transport for the host carrying `local` nodes.
     pub fn new(net: LoopbackNet, local: &[u32]) -> Self {
+        LoopbackTransport::with_metrics(net, local, Metrics::disabled())
+    }
+
+    /// Like [`LoopbackTransport::new`], tallying the same frame counters a
+    /// [`TcpTransport`] would into `obs`.
+    pub fn with_metrics(net: LoopbackNet, local: &[u32], obs: Metrics) -> Self {
         LoopbackTransport {
             net,
             local: local.iter().copied().collect(),
             stats: TransportStats::default(),
+            obs,
         }
     }
 }
@@ -375,15 +453,19 @@ impl Transport for LoopbackTransport {
         // original value.
         let bytes = encode_msg(msg);
         self.stats.sent_bytes += bytes.len() as u64;
+        self.obs.incr("net_frames_sent");
+        self.obs.add("net_sent_bytes", bytes.len() as u64);
         // A message our own codec cannot re-decode would also be
         // undeliverable over TCP: count it as a drop (the sender's retry
         // machinery handles it) instead of aborting the host.
         let Ok(msg) = decode_msg(&bytes) else {
             self.stats.dropped += 1;
+            self.obs.incr("net_decode_errors");
             return;
         };
         if !self.net.send(to.0, HostEvent::Deliver { from, to, msg }) {
             self.stats.dropped += 1;
+            self.obs.incr("net_send_drops");
         }
     }
 

@@ -4,8 +4,15 @@
 //! wire codec. Exercises growth through splits, a bucket-host kill, and
 //! coordinator-driven recovery — the same protocol path the TCP demo
 //! takes, without the kernel in the way.
+//!
+//! Every host shares one wall-clock [`Metrics`] registry, so the drill
+//! asserts the recovery through the same observability API the simulator
+//! drills use, and leaves `bench_out/recovery_report.json` +
+//! `bench_out/loopback_stats.prom` behind as machine-readable artifacts
+//! (CI scrapes and uploads them).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -15,6 +22,7 @@ use lhrs_net::client::NetClient;
 use lhrs_net::cluster::{ClusterSpec, NodeSpec, Role};
 use lhrs_net::host::NodeHost;
 use lhrs_net::transport::{HostEvent, LoopbackNet, LoopbackTransport};
+use lhrs_obs::{parse_prometheus, Clock, Metrics, RecoveryReport};
 
 const RECORDS: u64 = 80;
 const OP_TIMEOUT: Duration = Duration::from_secs(20);
@@ -60,17 +68,19 @@ struct ServerHost {
     thread: JoinHandle<()>,
 }
 
-fn spawn_server(spec: &ClusterSpec, net: &LoopbackNet, id: u32) -> ServerHost {
+fn spawn_server(spec: &ClusterSpec, net: &LoopbackNet, id: u32, metrics: &Metrics) -> ServerHost {
     let (tx, rx) = mpsc::channel();
     net.register(&[id], tx.clone());
     let spec = spec.clone();
     let net = net.clone();
     let thread_tx = tx.clone();
+    let metrics = metrics.clone();
     let thread = std::thread::spawn(move || {
         // Each process builds its own (non-`Send`) shared state in-thread.
         let shared = spec.build_shared();
         let transport = LoopbackTransport::new(net, &[id]);
         let mut host = NodeHost::new(shared.clone(), transport, thread_tx, rx);
+        host.set_metrics(metrics);
         host.add_node(id, spec.build_node(&shared, id));
         host.run();
     });
@@ -85,10 +95,13 @@ fn payload_for(key: u64) -> Vec<u8> {
 fn cluster_grows_and_recovers_over_loopback() {
     let spec = test_spec();
     let net = LoopbackNet::new();
+    // One registry shared by every "process": the aggregate cluster view
+    // an operator would assemble by scraping each node's STATS endpoint.
+    let metrics = Metrics::new(Clock::wall());
 
     let mut servers: Vec<ServerHost> = std::iter::once(0)
         .chain(spec.server_ids())
-        .map(|id| spawn_server(&spec, &net, id))
+        .map(|id| spawn_server(&spec, &net, id, &metrics))
         .collect();
 
     // The client runs on the test thread.
@@ -97,6 +110,7 @@ fn cluster_grows_and_recovers_over_loopback() {
     let shared = spec.build_shared();
     let transport = LoopbackTransport::new(net.clone(), &[1]);
     let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
+    host.set_metrics(metrics.clone());
     host.add_node(1, spec.build_node(&shared, 1));
     let mut client = NetClient::new(host, 1, 1);
 
@@ -184,6 +198,50 @@ fn cluster_grows_and_recovers_over_loopback() {
         !reg_nodes.contains_key(&2),
         "bucket 0 should have moved off the killed node"
     );
+
+    // The recovery is fully visible through the Metrics API: exactly
+    // k = 1 node was killed, so exactly one shard was rebuilt.
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.counter("recovery_shards_rebuilt", ""),
+        1,
+        "killing one node of a k = 1 group rebuilds exactly one shard"
+    );
+    assert!(snap.counter("recoveries_completed", "") >= 1);
+    assert_eq!(snap.counter("recoveries_failed", ""), 0);
+    assert!(snap.counter("recovery_bytes_moved", "") > 0);
+    assert!(snap.counter("splits_completed", "") >= 1, "the file grew");
+
+    // The Prometheus rendering must round-trip and carry a rich counter
+    // set (the netd STATS acceptance bar: ≥ 10 distinct series).
+    let prom = metrics.render_prometheus();
+    let parsed = parse_prometheus(&prom);
+    let distinct: std::collections::HashSet<&str> = parsed
+        .iter()
+        .map(|(series, _)| series.split('{').next().unwrap_or(series))
+        .collect();
+    assert!(
+        distinct.len() >= 10,
+        "expected ≥ 10 distinct counter series, got {}: {:?}",
+        distinct.len(),
+        distinct
+    );
+    assert!(parsed
+        .iter()
+        .any(|(s, v)| s == "lhrs_recovery_shards_rebuilt_total" && *v == 1));
+
+    // Leave the machine-readable artifacts behind for CI to scrape.
+    let out_dir = std::env::var_os("LHRS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../bench_out"));
+    std::fs::create_dir_all(&out_dir).expect("create bench_out");
+    let report = RecoveryReport::from_metrics("loopback_cluster", &metrics);
+    assert_eq!(report.shards_rebuilt, 1);
+    assert_eq!(report.clock, "wall-us");
+    assert!(report.duration_us > 0, "wall-clock recovery takes time");
+    std::fs::write(out_dir.join("recovery_report.json"), report.to_json())
+        .expect("write recovery_report.json");
+    std::fs::write(out_dir.join("loopback_stats.prom"), &prom).expect("write loopback_stats.prom");
 
     for s in &servers {
         let _ = s.tx.send(HostEvent::Shutdown);

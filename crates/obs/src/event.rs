@@ -1,0 +1,314 @@
+//! The structured trace-event taxonomy shared by the simulator and the TCP
+//! runtime, plus a dependency-free JSONL encoding of it.
+
+/// One structured observation emitted by an actor hot path.
+///
+/// Node identifiers are carried as raw `u32`s (the payload of
+/// `lhrs_sim::NodeId`) so this crate stays dependency-free and usable from
+/// every layer of the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A protocol message left a node.
+    MsgSent {
+        /// Message kind label (`Payload::kind()`).
+        kind: &'static str,
+        /// Sending node.
+        from: u32,
+        /// Destination node.
+        to: u32,
+        /// Encoded payload size.
+        bytes: u64,
+    },
+    /// A protocol message was delivered to a node.
+    MsgRecv {
+        /// Message kind label (`Payload::kind()`).
+        kind: &'static str,
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+    },
+    /// A client re-sent an operation after a timeout.
+    Retry {
+        /// The operation id being retried.
+        op: u64,
+        /// Retry attempt number (1 = first resend).
+        attempt: u64,
+    },
+    /// A bucket split began (coordinator issued `DoSplit`).
+    SplitStart {
+        /// The bucket being split.
+        bucket: u64,
+    },
+    /// A bucket split completed (coordinator saw `SplitDone`).
+    SplitEnd {
+        /// The bucket that split.
+        bucket: u64,
+        /// The new sibling bucket created by the split.
+        new_bucket: u64,
+    },
+    /// A data bucket committed a Δ to its parity group.
+    DeltaCommit {
+        /// The emitting data bucket.
+        bucket: u64,
+        /// Δ payload bytes pushed to parity.
+        bytes: u64,
+        /// Number of parity columns addressed (k).
+        columns: u64,
+    },
+    /// Group recovery started (failure confirmed, spares allocated).
+    RecoveryStart {
+        /// The bucket group being recovered.
+        group: u64,
+        /// Number of failed shards being rebuilt.
+        failed: u64,
+    },
+    /// One shard finished rebuilding onto its spare.
+    RecoveryShard {
+        /// The bucket group.
+        group: u64,
+        /// Shard index inside the group (data column or m+parity column).
+        shard: u64,
+        /// Bytes installed on the spare.
+        bytes: u64,
+    },
+    /// Group recovery finished.
+    RecoveryEnd {
+        /// The bucket group.
+        group: u64,
+        /// Shards rebuilt during this recovery.
+        rebuilt: u64,
+        /// `false` when the group was declared unrecoverable.
+        ok: bool,
+    },
+    /// A read was served through parity decoding while data buckets were
+    /// down — the user-visible availability event.
+    DegradedRead {
+        /// The bucket group that served the read.
+        group: u64,
+    },
+    /// A protocol invariant was violated; the actor degraded instead of
+    /// aborting.
+    InvariantViolated {
+        /// Human-readable context (mirrors `CoordEvent::InvariantViolated`).
+        context: String,
+    },
+    /// The networked runtime failed to decode an inbound frame or message.
+    DecodeError {
+        /// What failed to decode.
+        context: String,
+    },
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event {
+    /// Stable label for the event type (used as the JSON `"type"` field and
+    /// in per-event-type counters).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::MsgSent { .. } => "msg_sent",
+            Event::MsgRecv { .. } => "msg_recv",
+            Event::Retry { .. } => "retry",
+            Event::SplitStart { .. } => "split_start",
+            Event::SplitEnd { .. } => "split_end",
+            Event::DeltaCommit { .. } => "delta_commit",
+            Event::RecoveryStart { .. } => "recovery_start",
+            Event::RecoveryShard { .. } => "recovery_shard",
+            Event::RecoveryEnd { .. } => "recovery_end",
+            Event::DegradedRead { .. } => "degraded_read",
+            Event::InvariantViolated { .. } => "invariant_violated",
+            Event::DecodeError { .. } => "decode_error",
+        }
+    }
+
+    /// Append this event's fields as JSON key/value pairs (no surrounding
+    /// braces; the caller owns the object envelope).
+    pub(crate) fn write_json_fields(&self, out: &mut String) {
+        match self {
+            Event::MsgSent {
+                kind,
+                from,
+                to,
+                bytes,
+            } => {
+                out.push_str(&format!(
+                    "\"kind\":\"{kind}\",\"from\":{from},\"to\":{to},\"bytes\":{bytes}"
+                ));
+            }
+            Event::MsgRecv { kind, from, to } => {
+                out.push_str(&format!("\"kind\":\"{kind}\",\"from\":{from},\"to\":{to}"));
+            }
+            Event::Retry { op, attempt } => {
+                out.push_str(&format!("\"op\":{op},\"attempt\":{attempt}"));
+            }
+            Event::SplitStart { bucket } => {
+                out.push_str(&format!("\"bucket\":{bucket}"));
+            }
+            Event::SplitEnd { bucket, new_bucket } => {
+                out.push_str(&format!("\"bucket\":{bucket},\"new_bucket\":{new_bucket}"));
+            }
+            Event::DeltaCommit {
+                bucket,
+                bytes,
+                columns,
+            } => {
+                out.push_str(&format!(
+                    "\"bucket\":{bucket},\"bytes\":{bytes},\"columns\":{columns}"
+                ));
+            }
+            Event::RecoveryStart { group, failed } => {
+                out.push_str(&format!("\"group\":{group},\"failed\":{failed}"));
+            }
+            Event::RecoveryShard {
+                group,
+                shard,
+                bytes,
+            } => {
+                out.push_str(&format!(
+                    "\"group\":{group},\"shard\":{shard},\"bytes\":{bytes}"
+                ));
+            }
+            Event::RecoveryEnd { group, rebuilt, ok } => {
+                out.push_str(&format!(
+                    "\"group\":{group},\"rebuilt\":{rebuilt},\"ok\":{ok}"
+                ));
+            }
+            Event::DegradedRead { group } => {
+                out.push_str(&format!("\"group\":{group}"));
+            }
+            Event::InvariantViolated { context } | Event::DecodeError { context } => {
+                out.push_str("\"context\":");
+                push_json_str(out, context);
+            }
+        }
+    }
+}
+
+/// An [`Event`] stamped with a timestamp and a global push sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Timestamp in microseconds: logical sim time or wall time since host
+    /// start, depending on the recording [`crate::Clock`].
+    pub at_us: u64,
+    /// Global push index (monotone across ring wraparound).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"at_us\":{},\"seq\":{},\"type\":\"{}\",",
+            self.at_us,
+            self.seq,
+            self.event.kind()
+        ));
+        self.event.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_of_context_strings() {
+        let ev = TimedEvent {
+            at_us: 7,
+            seq: 0,
+            event: Event::InvariantViolated {
+                context: "quote \" backslash \\ newline \n ctrl \u{1}".to_string(),
+            },
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\u0001"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn every_event_renders_valid_envelope() {
+        let events = [
+            Event::MsgSent {
+                kind: "insert",
+                from: 1,
+                to: 2,
+                bytes: 64,
+            },
+            Event::MsgRecv {
+                kind: "insert",
+                from: 1,
+                to: 2,
+            },
+            Event::Retry { op: 9, attempt: 1 },
+            Event::SplitStart { bucket: 0 },
+            Event::SplitEnd {
+                bucket: 0,
+                new_bucket: 4,
+            },
+            Event::DeltaCommit {
+                bucket: 2,
+                bytes: 132,
+                columns: 2,
+            },
+            Event::RecoveryStart {
+                group: 0,
+                failed: 2,
+            },
+            Event::RecoveryShard {
+                group: 0,
+                shard: 1,
+                bytes: 4096,
+            },
+            Event::RecoveryEnd {
+                group: 0,
+                rebuilt: 2,
+                ok: true,
+            },
+            Event::DegradedRead { group: 0 },
+            Event::InvariantViolated {
+                context: "x".into(),
+            },
+            Event::DecodeError {
+                context: "frame".into(),
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            let t = TimedEvent {
+                at_us: i as u64,
+                seq: i as u64,
+                event,
+            };
+            let json = t.to_json();
+            assert!(
+                json.contains(&format!("\"type\":\"{}\"", t.event.kind())),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! lhrs-obs: the workspace-wide observability layer.
+//!
+//! One [`Metrics`] handle carries three instruments:
+//!
+//! - **counters** — cheap saturating [`AtomicU64`]s, optionally labeled
+//!   (e.g. `msgs_sent{kind="insert"}`);
+//! - **histograms** — fixed power-of-two-bucket latency histograms
+//!   ([`Histogram`]);
+//! - **a trace log** — a bounded ring buffer of structured [`Event`]s
+//!   ([`TraceLog`]), each stamped with a timestamp.
+//!
+//! The same handle is threaded through `lhrs_sim::Env` (so every actor is
+//! instrumented identically in the simulator and over TCP) and cloned into
+//! hosts and transports; clones share state. Timestamps come from the
+//! [`Clock`] seam: `Clock::Logical` defers to caller-supplied sim time,
+//! `Clock::wall()` measures microseconds since an epoch `Instant`.
+//!
+//! `Metrics::disabled()` is a no-op handle: every operation short-circuits
+//! on a `None` inner pointer, so instrumentation costs ~one branch when
+//! observability is off.
+//!
+//! Snapshots render to Prometheus text exposition format
+//! ([`Snapshot::render_prometheus`]) and the trace log to JSONL; a derived
+//! [`RecoveryReport`] condenses a drill run into the paper's recovery
+//! metrics (shards rebuilt, bytes moved, duration, messages by type).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod report;
+mod trace;
+
+pub use event::{Event, TimedEvent};
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_US};
+pub use report::RecoveryReport;
+pub use trace::{TraceLog, DEFAULT_TRACE_CAPACITY};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Counter key: `(name, label)`; unlabeled counters use `label = ""`.
+type Key = (&'static str, &'static str);
+
+/// The timestamp source for trace events recorded without an explicit
+/// caller-supplied time.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Logical time: the recording site supplies timestamps (simulated
+    /// microseconds). [`Clock::now_us`] reads 0.
+    Logical,
+    /// Wall time: microseconds elapsed since the contained epoch.
+    Wall(Instant),
+}
+
+impl Clock {
+    /// A wall clock anchored at "now".
+    pub fn wall() -> Clock {
+        Clock::Wall(Instant::now())
+    }
+
+    /// The logical (caller-timestamped) clock.
+    pub fn logical() -> Clock {
+        Clock::Logical
+    }
+
+    /// Microseconds on this clock: elapsed-since-epoch for wall clocks,
+    /// 0 for the logical clock (logical sites pass their own `now`).
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Logical => 0,
+            Clock::Wall(epoch) => u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Stable label for reports ("logical-us" / "wall-us").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Clock::Logical => "logical-us",
+            Clock::Wall(_) => "wall-us",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Clock,
+    counters: Mutex<BTreeMap<Key, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    trace: TraceLog,
+    /// When false (the default), `MsgSent`/`MsgRecv` trace *events* are
+    /// suppressed (the counters still run) so per-message noise cannot
+    /// wash recovery timelines out of the bounded ring.
+    trace_msgs: AtomicBool,
+}
+
+/// Recover from mutex poisoning: registry maps hold plain data with no
+/// cross-panic invariants, and the observer must never abort the observed
+/// system.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn saturating_add(cell: &AtomicU64, delta: u64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_add(delta))
+    });
+}
+
+/// A cloneable, thread-safe observability handle. Clones share state;
+/// [`Metrics::disabled`] handles do nothing.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Metrics {
+    /// The default handle is **disabled** — instrumentation is opt-in.
+    fn default() -> Self {
+        Metrics::disabled()
+    }
+}
+
+impl Metrics {
+    /// An enabled registry using `clock` for implicit timestamps and the
+    /// default trace capacity.
+    pub fn new(clock: Clock) -> Metrics {
+        Metrics::with_trace_capacity(clock, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled registry with an explicit trace-ring capacity.
+    pub fn with_trace_capacity(clock: Clock, capacity: usize) -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(Inner {
+                clock,
+                counters: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                trace: TraceLog::with_capacity(capacity),
+                trace_msgs: AtomicBool::new(false),
+            })),
+        }
+    }
+
+    /// The no-op handle: every operation returns immediately.
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Current time on the registry's [`Clock`] (0 when disabled or
+    /// logical).
+    pub fn now_us(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_us())
+    }
+
+    /// The clock label ("logical-us"/"wall-us"; "disabled" for the no-op
+    /// handle).
+    pub fn clock_label(&self) -> &'static str {
+        self.inner.as_ref().map_or("disabled", |i| i.clock.label())
+    }
+
+    /// Opt into recording `MsgSent`/`MsgRecv` **trace events** (their
+    /// counters always run). Off by default so bulk traffic cannot evict
+    /// recovery timelines from the bounded ring.
+    pub fn set_msg_trace(&self, enabled: bool) {
+        if let Some(inner) = &self.inner {
+            inner.trace_msgs.store(enabled, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether per-message trace events are being recorded.
+    pub fn msg_trace(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.trace_msgs.load(Ordering::Relaxed))
+    }
+
+    fn counter_cell(&self, name: &'static str, label: &'static str) -> Option<Arc<AtomicU64>> {
+        let inner = self.inner.as_ref()?;
+        let mut map = lock_or_recover(&inner.counters);
+        Some(Arc::clone(
+            map.entry((name, label)).or_insert_with(Default::default),
+        ))
+    }
+
+    /// Add 1 to the unlabeled counter `name`.
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Add `delta` to the unlabeled counter `name` (saturating).
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if let Some(cell) = self.counter_cell(name, "") {
+            saturating_add(&cell, delta);
+        }
+    }
+
+    /// Add 1 to the labeled counter `name{kind=label}`.
+    pub fn incr_kind(&self, name: &'static str, label: &'static str) {
+        self.add_kind(name, label, 1);
+    }
+
+    /// Add `delta` to the labeled counter `name{kind=label}` (saturating).
+    pub fn add_kind(&self, name: &'static str, label: &'static str, delta: u64) {
+        if let Some(cell) = self.counter_cell(name, label) {
+            saturating_add(&cell, delta);
+        }
+    }
+
+    /// Read the unlabeled counter `name` (0 if never touched or disabled).
+    pub fn counter(&self, name: &'static str) -> u64 {
+        self.counter_kind(name, "")
+    }
+
+    /// Read the labeled counter `name{kind=label}`.
+    pub fn counter_kind(&self, name: &'static str, label: &'static str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let map = lock_or_recover(&inner.counters);
+        map.get(&(name, label))
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all labels of counter `name` (including the unlabeled cell).
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let map = lock_or_recover(&inner.counters);
+        map.iter()
+            .filter(|((n, _), _)| *n == name)
+            .fold(0u64, |acc, (_, c)| {
+                acc.saturating_add(c.load(Ordering::Relaxed))
+            })
+    }
+
+    /// Record one latency observation into histogram `name`.
+    pub fn observe_us(&self, name: &'static str, value_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        let hist = {
+            let mut map = lock_or_recover(&inner.hists);
+            Arc::clone(map.entry(name).or_insert_with(Default::default))
+        };
+        hist.observe(value_us);
+    }
+
+    /// Snapshot histogram `name`, if it has ever been observed.
+    pub fn histogram(&self, name: &'static str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let map = lock_or_recover(&inner.hists);
+        map.get(name).map(|h| h.snapshot())
+    }
+
+    /// Record a trace event stamped with the caller's timestamp (simulated
+    /// or wall µs). Also bumps the `events{kind=<event type>}` counter.
+    pub fn trace(&self, at_us: u64, event: Event) {
+        let Some(inner) = &self.inner else { return };
+        if matches!(event, Event::MsgSent { .. } | Event::MsgRecv { .. })
+            && !inner.trace_msgs.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        self.incr_kind("events", event.kind());
+        inner.trace.push(at_us, event);
+    }
+
+    /// Record a trace event stamped by the registry's own [`Clock`] — for
+    /// recording sites without access to an actor environment (transport
+    /// reader threads, host loops).
+    pub fn trace_now(&self, event: Event) {
+        self.trace(self.now_us(), event);
+    }
+
+    /// The retained trace events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.trace.events())
+    }
+
+    /// The trace log (for capacity/drop introspection), when enabled.
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.inner.as_ref().map(|i| &i.trace)
+    }
+
+    /// Render the retained trace as JSONL (empty string when disabled).
+    pub fn trace_jsonl(&self) -> String {
+        self.inner
+            .as_ref()
+            .map_or_else(String::new, |i| i.trace.to_jsonl())
+    }
+
+    /// A point-in-time copy of every counter and histogram.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = {
+            let map = lock_or_recover(&inner.counters);
+            map.iter()
+                .map(|((name, label), cell)| CounterSample {
+                    name: (*name).to_string(),
+                    label: (*label).to_string(),
+                    value: cell.load(Ordering::Relaxed),
+                })
+                .collect()
+        };
+        let histograms = {
+            let map = lock_or_recover(&inner.hists);
+            map.iter()
+                .map(|(name, h)| ((*name).to_string(), h.snapshot()))
+                .collect()
+        };
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Shorthand: render the current [`Snapshot`] as Prometheus text.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// One counter reading inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Counter name (e.g. `msgs_sent`).
+    pub name: String,
+    /// `kind` label value; empty for unlabeled counters.
+    pub label: String,
+    /// The reading.
+    pub value: u64,
+}
+
+/// A point-in-time copy of a [`Metrics`] registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counters, sorted by (name, label).
+    pub counters: Vec<CounterSample>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Read one counter back out of the snapshot (`label = ""` for
+    /// unlabeled).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.label == label)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Render in Prometheus text exposition format. Counter names gain the
+    /// `lhrs_` prefix and `_total` suffix; labeled counters render a
+    /// `kind` label.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.counters.len() + 1));
+        let mut last_name = "";
+        for c in &self.counters {
+            if c.name != last_name {
+                out.push_str(&format!("# TYPE lhrs_{}_total counter\n", c.name));
+                last_name = &c.name;
+            }
+            if c.label.is_empty() {
+                out.push_str(&format!("lhrs_{}_total {}\n", c.name, c.value));
+            } else {
+                out.push_str(&format!(
+                    "lhrs_{}_total{{kind=\"{}\"}} {}\n",
+                    c.name, c.label, c.value
+                ));
+            }
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE lhrs_{name}_us histogram\n"));
+            let mut cum = 0u64;
+            for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cum = cum.saturating_add(h.counts.get(i).copied().unwrap_or(0));
+                out.push_str(&format!("lhrs_{name}_us_bucket{{le=\"{bound}\"}} {cum}\n"));
+            }
+            out.push_str(&format!(
+                "lhrs_{name}_us_bucket{{le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            out.push_str(&format!("lhrs_{name}_us_sum {}\n", h.sum_us));
+            out.push_str(&format!("lhrs_{name}_us_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Parse a Prometheus text snapshot back into `(series, value)` pairs,
+/// where `series` is the full sample name including any label set (e.g.
+/// `lhrs_msgs_sent_total{kind="insert"}`). Comment and malformed lines are
+/// skipped — the scraper side of the [`Snapshot::render_prometheus`] seam,
+/// used by `lhrs-netcli stats`, drill assertions, and CI.
+pub fn parse_prometheus(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.trim().parse::<u64>() else {
+            continue;
+        };
+        out.push((series.trim().to_string(), value));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let m = Metrics::disabled();
+        m.incr("x");
+        m.add_kind("msgs_sent", "insert", 5);
+        m.observe_us("op_latency", 42);
+        m.trace(1, Event::SplitStart { bucket: 0 });
+        assert!(!m.is_enabled());
+        assert_eq!(m.counter("x"), 0);
+        assert_eq!(m.counter_kind("msgs_sent", "insert"), 0);
+        assert!(m.histogram("op_latency").is_none());
+        assert!(m.events().is_empty());
+        assert_eq!(m.snapshot(), Snapshot::default());
+        assert_eq!(m.render_prometheus(), "");
+        assert_eq!(m.now_us(), 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Metrics::new(Clock::logical());
+        let b = a.clone();
+        a.incr("hits");
+        b.add("hits", 2);
+        assert_eq!(a.counter("hits"), 3);
+        b.trace(9, Event::DegradedRead { group: 1 });
+        assert_eq!(a.events().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        // The registry is hammered from the host loop, the TCP reader
+        // threads, and STATS pulls at once; totals must stay exact.
+        const THREADS: usize = 8;
+        const ROUNDS: u64 = 1_000;
+        let m = Metrics::new(Clock::logical());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    let kind = if t % 2 == 0 { "insert" } else { "lookup" };
+                    for i in 0..ROUNDS {
+                        m.incr_kind("msgs_sent", kind);
+                        m.observe_us("op_latency", i);
+                        m.trace(i, Event::DegradedRead { group: t as u64 });
+                        // Concurrent readers must never see torn state.
+                        if i % 251 == 0 {
+                            let _ = m.snapshot();
+                            let _ = m.render_prometheus();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        assert_eq!(m.counter_total("msgs_sent"), THREADS as u64 * ROUNDS);
+        assert_eq!(m.counter_kind("msgs_sent", "insert"), 4 * ROUNDS);
+        assert_eq!(m.counter_kind("msgs_sent", "lookup"), 4 * ROUNDS);
+        let snap = m.snapshot();
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "op_latency")
+            .expect("histogram recorded");
+        assert_eq!(hist.count, THREADS as u64 * ROUNDS);
+        if let Some(log) = m.trace_log() {
+            assert_eq!(log.pushed(), THREADS as u64 * ROUNDS);
+        }
+    }
+
+    #[test]
+    fn labeled_counters_and_totals() {
+        let m = Metrics::new(Clock::logical());
+        m.incr_kind("msgs_sent", "insert");
+        m.incr_kind("msgs_sent", "insert");
+        m.incr_kind("msgs_sent", "lookup");
+        assert_eq!(m.counter_kind("msgs_sent", "insert"), 2);
+        assert_eq!(m.counter_kind("msgs_sent", "lookup"), 1);
+        assert_eq!(m.counter_total("msgs_sent"), 3);
+        assert_eq!(m.counter_kind("msgs_sent", "delete"), 0);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let m = Metrics::new(Clock::logical());
+        m.add("big", u64::MAX - 1);
+        m.add("big", 5);
+        assert_eq!(m.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn msg_trace_events_are_gated_but_counters_are_not() {
+        let m = Metrics::new(Clock::logical());
+        m.trace(
+            1,
+            Event::MsgSent {
+                kind: "insert",
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+        );
+        assert!(m.events().is_empty(), "msg events gated off by default");
+        m.set_msg_trace(true);
+        m.trace(
+            2,
+            Event::MsgSent {
+                kind: "insert",
+                from: 0,
+                to: 1,
+                bytes: 8,
+            },
+        );
+        assert_eq!(m.events().len(), 1);
+        // Non-msg events always pass the gate.
+        m.set_msg_trace(false);
+        m.trace(
+            3,
+            Event::RecoveryStart {
+                group: 0,
+                failed: 1,
+            },
+        );
+        assert_eq!(m.events().len(), 2);
+    }
+
+    #[test]
+    fn prometheus_roundtrip_through_parser() {
+        let m = Metrics::new(Clock::logical());
+        m.incr_kind("msgs_sent", "insert");
+        m.add("recovery_shards_rebuilt", 2);
+        m.observe_us("op_latency", 3);
+        let text = m.render_prometheus();
+        let parsed = parse_prometheus(&text);
+        let get = |series: &str| {
+            parsed
+                .iter()
+                .find(|(s, _)| s == series)
+                .map(|(_, v)| *v)
+                .unwrap_or(u64::MAX)
+        };
+        assert_eq!(get("lhrs_msgs_sent_total{kind=\"insert\"}"), 1);
+        assert_eq!(get("lhrs_recovery_shards_rebuilt_total"), 2);
+        assert_eq!(get("lhrs_op_latency_us_count"), 1);
+        assert_eq!(get("lhrs_op_latency_us_bucket{le=\"4\"}"), 1);
+        assert_eq!(get("lhrs_op_latency_us_bucket{le=\"1\"}"), 0);
+    }
+
+    #[test]
+    fn snapshot_counter_lookup() {
+        let m = Metrics::new(Clock::logical());
+        m.incr_kind("events", "split_start");
+        m.incr("deltas_applied");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("events", "split_start"), 1);
+        assert_eq!(snap.counter("deltas_applied", ""), 1);
+        assert_eq!(snap.counter("missing", ""), 0);
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let m = Metrics::new(Clock::wall());
+        let a = m.now_us();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(m.now_us() > a);
+        assert_eq!(m.clock_label(), "wall-us");
+    }
+}

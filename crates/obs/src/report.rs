@@ -1,0 +1,170 @@
+//! Machine-readable recovery reports: condense one drill run into the
+//! paper's recovery metrics (shards rebuilt, bytes moved, duration,
+//! messages by type), ready to land in `bench_out/` as JSON.
+
+use crate::event::Event;
+use crate::Metrics;
+
+/// A derived summary of the recovery work one [`Metrics`] registry saw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// What produced the numbers (drill name).
+    pub scenario: String,
+    /// Timestamp domain of `duration_us` ("logical-us" or "wall-us").
+    pub clock: &'static str,
+    /// Recoveries started (`recovery_start` events).
+    pub recoveries_started: u64,
+    /// Recoveries that completed successfully.
+    pub recoveries_completed: u64,
+    /// Total shards rebuilt onto spares.
+    pub shards_rebuilt: u64,
+    /// Bytes installed on spares during rebuilds.
+    pub bytes_moved: u64,
+    /// Reads served through parity decoding while servers were down.
+    pub degraded_reads: u64,
+    /// Client retries observed.
+    pub retries: u64,
+    /// First `RecoveryStart` → last `RecoveryEnd` span in the trace
+    /// (0 when the trace saw no complete recovery).
+    pub duration_us: u64,
+    /// `msgs_sent` counter per message kind, sorted by kind.
+    pub messages_by_kind: Vec<(String, u64)>,
+    /// Sum over `messages_by_kind`.
+    pub total_messages: u64,
+}
+
+impl RecoveryReport {
+    /// Derive a report from the counters and retained trace of `metrics`.
+    pub fn from_metrics(scenario: &str, metrics: &Metrics) -> RecoveryReport {
+        let snap = metrics.snapshot();
+        let mut messages_by_kind: Vec<(String, u64)> = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "msgs_sent" && !c.label.is_empty())
+            .map(|c| (c.label.clone(), c.value))
+            .collect();
+        messages_by_kind.sort();
+        let total_messages = messages_by_kind
+            .iter()
+            .fold(0u64, |acc, (_, v)| acc.saturating_add(*v));
+
+        let mut first_start = None;
+        let mut last_end = None;
+        for ev in metrics.events() {
+            match ev.event {
+                Event::RecoveryStart { .. } => {
+                    first_start.get_or_insert(ev.at_us);
+                }
+                Event::RecoveryEnd { .. } => last_end = Some(ev.at_us),
+                _ => {}
+            }
+        }
+        let duration_us = match (first_start, last_end) {
+            (Some(s), Some(e)) if e >= s => e - s,
+            _ => 0,
+        };
+
+        RecoveryReport {
+            scenario: scenario.to_string(),
+            clock: metrics.clock_label(),
+            recoveries_started: metrics.counter("recoveries_started"),
+            recoveries_completed: metrics.counter("recoveries_completed"),
+            shards_rebuilt: metrics.counter("recovery_shards_rebuilt"),
+            bytes_moved: metrics.counter("recovery_bytes_moved"),
+            degraded_reads: metrics.counter("degraded_reads"),
+            retries: metrics.counter("client_retries"),
+            duration_us,
+            messages_by_kind,
+            total_messages,
+        }
+    }
+
+    /// Render as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n",
+            self.scenario.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        out.push_str(&format!("  \"clock\": \"{}\",\n", self.clock));
+        out.push_str(&format!(
+            "  \"recoveries_started\": {},\n",
+            self.recoveries_started
+        ));
+        out.push_str(&format!(
+            "  \"recoveries_completed\": {},\n",
+            self.recoveries_completed
+        ));
+        out.push_str(&format!("  \"shards_rebuilt\": {},\n", self.shards_rebuilt));
+        out.push_str(&format!("  \"bytes_moved\": {},\n", self.bytes_moved));
+        out.push_str(&format!("  \"degraded_reads\": {},\n", self.degraded_reads));
+        out.push_str(&format!("  \"retries\": {},\n", self.retries));
+        out.push_str(&format!("  \"duration_us\": {},\n", self.duration_us));
+        out.push_str("  \"messages_by_kind\": {");
+        for (i, (kind, v)) in self.messages_by_kind.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{kind}\": {v}"));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"total_messages\": {}\n", self.total_messages));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Clock;
+
+    #[test]
+    fn report_derives_from_counters_and_trace() {
+        let m = Metrics::new(Clock::logical());
+        m.incr("recoveries_started");
+        m.incr("recoveries_completed");
+        m.add("recovery_shards_rebuilt", 2);
+        m.add("recovery_bytes_moved", 8192);
+        m.incr("degraded_reads");
+        m.incr_kind("msgs_sent", "insert");
+        m.add_kind("msgs_sent", "parity-delta", 3);
+        m.trace(
+            1_000,
+            Event::RecoveryStart {
+                group: 0,
+                failed: 2,
+            },
+        );
+        m.trace(
+            5_500,
+            Event::RecoveryEnd {
+                group: 0,
+                rebuilt: 2,
+                ok: true,
+            },
+        );
+        let r = RecoveryReport::from_metrics("unit", &m);
+        assert_eq!(r.recoveries_started, 1);
+        assert_eq!(r.shards_rebuilt, 2);
+        assert_eq!(r.bytes_moved, 8192);
+        assert_eq!(r.duration_us, 4_500);
+        assert_eq!(r.total_messages, 4);
+        assert_eq!(r.clock, "logical-us");
+        let json = r.to_json();
+        assert!(json.contains("\"shards_rebuilt\": 2"));
+        assert!(json.contains("\"parity-delta\": 3"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_metrics_yield_a_zero_report() {
+        let m = Metrics::disabled();
+        let r = RecoveryReport::from_metrics("empty", &m);
+        assert_eq!(r.shards_rebuilt, 0);
+        assert_eq!(r.duration_us, 0);
+        assert!(r.messages_by_kind.is_empty());
+        assert!(r.to_json().contains("\"messages_by_kind\": {}"));
+    }
+}

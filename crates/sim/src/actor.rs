@@ -1,6 +1,8 @@
 //! The [`Actor`] trait and the [`Env`] handle actors use to talk to the
 //! simulated network.
 
+use lhrs_obs::{Event, Metrics};
+
 use crate::engine::NodeId;
 use crate::Payload;
 
@@ -69,6 +71,7 @@ pub struct Env<'a, M: Payload> {
     pub(crate) now: u64,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) obs: &'a Metrics,
 }
 
 impl<'a, M: Payload> Env<'a, M> {
@@ -85,17 +88,25 @@ impl<'a, M: Payload> Env<'a, M> {
     /// simulator's: effects are buffered (never applied re-entrantly), timer
     /// ids are unique per host, and `now()` is stable for the whole handler
     /// invocation.
+    ///
+    /// `obs` is the host's observability handle; the environment records
+    /// `msgs_sent` counters (and, when enabled, `MsgSent` trace events)
+    /// into it exactly as the simulator does, so instrumentation emitted
+    /// by actor code behaves identically under both runtimes. Pass a
+    /// reference to [`Metrics::disabled`] to opt out.
     pub fn external(
         me: NodeId,
         now: u64,
         next_timer: &'a mut u64,
         effects: &'a mut Vec<Effect<M>>,
+        obs: &'a Metrics,
     ) -> Self {
         Env {
             me,
             now,
             next_timer,
             effects,
+            obs,
         }
     }
 
@@ -109,16 +120,49 @@ impl<'a, M: Payload> Env<'a, M> {
         self.now
     }
 
-    /// Send a unicast message to `to` (counted once in [`crate::NetStats`]).
+    /// The observability handle shared by every node of this runtime.
+    /// Counters and trace events recorded through it are visible from the
+    /// driver's [`Metrics`] clone (a disabled handle makes this a no-op).
+    pub fn obs(&self) -> &Metrics {
+        self.obs
+    }
+
+    /// Record a structured trace event stamped with this handler's `now()`
+    /// — the single call actors use in both the simulator (logical µs) and
+    /// the TCP runtime (wall µs since host start).
+    pub fn trace(&self, event: Event) {
+        self.obs.trace(self.now, event);
+    }
+
+    /// Send a unicast message to `to` (counted once in [`crate::NetStats`]
+    /// and in the `msgs_sent{kind}` counter).
     pub fn send(&mut self, to: NodeId, msg: M) {
+        let bytes = msg.size_bytes() as u64;
+        self.obs.incr_kind("msgs_sent", msg.kind());
+        self.obs.add("msgs_sent_bytes", bytes);
+        if self.obs.msg_trace() {
+            self.obs.trace(
+                self.now,
+                Event::MsgSent {
+                    kind: msg.kind(),
+                    from: self.me.0,
+                    to: to.0,
+                    bytes,
+                },
+            );
+        }
         self.effects.push(Effect::Send { to, msg });
     }
 
     /// Send one multicast message to all `to` nodes. Tallied as a single
     /// multicast plus one delivery per recipient, matching how the LH\*
-    /// papers cost scans on multicast-capable networks.
+    /// papers cost scans on multicast-capable networks; the `msgs_sent`
+    /// counter tallies one send per recipient.
     pub fn multicast(&mut self, to: impl IntoIterator<Item = NodeId>, msg: M) {
         let to: Vec<NodeId> = to.into_iter().collect();
+        self.obs.add_kind("msgs_sent", msg.kind(), to.len() as u64);
+        self.obs
+            .add("msgs_sent_bytes", (msg.size_bytes() * to.len()) as u64);
         self.effects.push(Effect::Multicast { to, msg });
     }
 

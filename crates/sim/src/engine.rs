@@ -4,6 +4,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use lhrs_obs::{Event as ObsEvent, Metrics};
+
 use crate::actor::{Actor, Effect, Env, TimerId};
 use crate::faults::FaultOutcome;
 use crate::{FaultPlan, LatencyModel, NetStats, Payload};
@@ -83,6 +85,9 @@ pub struct Sim<M: Payload, A: Actor<M>> {
     channel_clock: std::collections::HashMap<(NodeId, NodeId), u64>,
     /// Per-node "busy until" clock for the serial service-time model.
     node_free_at: Vec<u64>,
+    /// Observability handle shared with every [`Env`] this engine builds.
+    /// Disabled by default; install one via [`Sim::set_metrics`].
+    metrics: Metrics,
 }
 
 impl<M: Payload, A: Actor<M>> Sim<M, A> {
@@ -102,7 +107,22 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
             stats: NetStats::default(),
             channel_clock: std::collections::HashMap::new(),
             node_free_at: Vec::new(),
+            metrics: Metrics::disabled(),
         }
+    }
+
+    /// Install an observability handle. Every subsequent handler invocation
+    /// sees it through [`Env::obs`], `msgs_sent`/`msgs_recv` counters run
+    /// at the engine's send/deliver choke points, and the caller keeps a
+    /// shared clone to read counters and traces from.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// The installed observability handle (disabled unless
+    /// [`Sim::set_metrics`] was called).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Add a node running `actor`; returns its id (dense, in creation
@@ -254,6 +274,17 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
                     return true;
                 }
                 self.node_free_at[idx] = ev.time + self.latency.service_us;
+                self.metrics.incr_kind("msgs_recv", msg.kind());
+                if self.metrics.msg_trace() {
+                    self.metrics.trace(
+                        self.now,
+                        ObsEvent::MsgRecv {
+                            kind: msg.kind(),
+                            from: from.0,
+                            to: ev.node.0,
+                        },
+                    );
+                }
                 self.dispatch(ev.node, |actor, env| actor.on_message(env, from, msg));
             }
             EventKind::Timer { id } => {
@@ -311,6 +342,7 @@ impl<M: Payload, A: Actor<M>> Sim<M, A> {
                 now: self.now,
                 next_timer: &mut self.next_timer,
                 effects: &mut effects,
+                obs: &self.metrics,
             };
             f(&mut actor, &mut env);
         }

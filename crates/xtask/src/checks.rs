@@ -1,4 +1,4 @@
-//! The four protocol-invariant checks.
+//! The five protocol-invariant checks.
 //!
 //! Each check takes source text (already independent of the filesystem so
 //! the seeded-violation fixtures can drive it directly) and returns
@@ -331,16 +331,51 @@ pub fn struct_fields(struct_name: &str, src: &str) -> Option<StructFields> {
     Some((model.line_of(open), model.line_of(close), fields))
 }
 
+/// Line spans (inclusive) of every `impl <type_name>` block in `src` —
+/// used to exclude a builder's fluent setters from knob-coverage: a
+/// `self.cfg.field = v` write inside `impl ConfigBuilder` stores operator
+/// intent, it does not *honor* it, so it must not count as a read.
+pub fn impl_block_spans(type_name: &str, src: &str) -> Vec<(usize, usize)> {
+    let model = SourceModel::parse(src);
+    let needle = format!("impl {type_name}");
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = model.masked[from..].find(&needle) {
+        let pos = from + rel;
+        let after = pos + needle.len();
+        from = after;
+        // Reject identifier continuations (`impl ConfigBuilderExt`).
+        if model
+            .masked
+            .as_bytes()
+            .get(after)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            continue;
+        }
+        if let Some((open, close)) = next_brace_block(model.masked.as_bytes(), after) {
+            spans.push((model.line_of(open), model.line_of(close)));
+        }
+    }
+    spans
+}
+
 /// Every `Config` field must be *read* somewhere: `.field` access in any
 /// workspace source outside the struct definition itself. `sources` is
 /// `(label, text)` for every file to search (including the defining file).
+/// `builder_name` names a fluent-builder type in the defining file whose
+/// `impl` blocks are excluded from counting as reads (see
+/// [`impl_block_spans`]).
 pub fn check_config_knobs(
     struct_name: &str,
     def_label: &str,
     def_src: &str,
     sources: &[(String, String)],
+    builder_name: Option<&str>,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
+    let builder_spans: Vec<(usize, usize)> =
+        builder_name.map_or_else(Vec::new, |b| impl_block_spans(b, def_src));
     let Some((def_start, def_end, fields)) = struct_fields(struct_name, def_src) else {
         out.push(Finding {
             check: Check::ConfigKnob,
@@ -368,10 +403,14 @@ pub fn check_config_knobs(
                     if id == field && i >= 1 && matches!(&toks[i - 1], Tok::Punct { ch: b'.', .. })
                     {
                         // Accesses inside the struct definition don't count
-                        // (there are none, but keep the rule tight).
+                        // (there are none, but keep the rule tight), and
+                        // neither do the builder's own setters/validators.
                         if label == def_label {
                             let l = m.line_of(*offset);
                             if l >= def_start && l <= def_end {
+                                continue;
+                            }
+                            if builder_spans.iter().any(|(s, e)| l >= *s && l <= *e) {
                                 continue;
                             }
                         }
@@ -449,6 +488,122 @@ pub fn check_test_hygiene(label: &str, source: &str, in_net: bool) -> Vec<Findin
                     ));
                 }
             }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 5: observability coverage
+// ---------------------------------------------------------------------------
+
+/// One required instrumentation site: `(file label, file text if found,
+/// needle that must appear in the raw text, what the site does)`.
+pub type ObsSite<'a> = (&'a str, Option<&'a str>, &'a str, &'a str);
+
+/// The message counters are driven by `Payload::kind()`, so coverage has
+/// two halves:
+///
+/// 1. Every variant of `enum_name` must have its own arm in `fn kind` —
+///    Rust's match exhaustiveness is satisfied by a `_ =>` wildcard, which
+///    would silently collapse new protocol messages into one counter
+///    bucket and hide them from the per-kind `msgs_sent`/`msgs_recv`
+///    series and the recovery timeline.
+/// 2. The counter call sites themselves (`sites`) must still exist: the
+///    simulator send/step paths and the TCP host dispatch each increment
+///    the counters, and deleting any one of them silently blinds every
+///    drill assertion built on the metrics.
+pub fn check_obs_coverage(
+    enum_name: &str,
+    enum_src: &str,
+    kind_label: &str,
+    kind_src: &str,
+    sites: &[ObsSite<'_>],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Half 1: per-variant kind labels.
+    let model = SourceModel::parse(kind_src);
+    match enum_variants(enum_name, enum_src) {
+        None => out.push(Finding {
+            check: Check::ObsCoverage,
+            file: kind_label.to_string(),
+            line: 1,
+            message: format!("could not locate `pub enum {enum_name}` to audit kind labels"),
+            allowed: None,
+        }),
+        Some(variants) => match fn_body(&model.masked, "kind") {
+            None => out.push(Finding {
+                check: Check::ObsCoverage,
+                file: kind_label.to_string(),
+                line: 1,
+                message: format!(
+                    "`fn kind` not found: `{enum_name}` needs per-variant counter labels"
+                ),
+                allowed: None,
+            }),
+            Some((open, body)) => {
+                let line = model.line_of(open);
+                let toks = tokenize(&body);
+                for v in &variants {
+                    let mut present = false;
+                    for (i, t) in toks.iter().enumerate() {
+                        if let Tok::Ident { text, .. } = t {
+                            if text == v
+                                && i >= 3
+                                && matches!(&toks[i - 1], Tok::Punct { ch: b':', .. })
+                                && matches!(&toks[i - 2], Tok::Punct { ch: b':', .. })
+                                && matches!(&toks[i - 3], Tok::Ident { text: e, .. } if e == enum_name)
+                            {
+                                present = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !present {
+                        out.push(apply_allow(
+                            &model,
+                            Finding {
+                                check: Check::ObsCoverage,
+                                file: kind_label.to_string(),
+                                line,
+                                message: format!(
+                                    "`{enum_name}::{v}` has no arm in `fn kind`: a wildcard label \
+                                     collapses this message into one counter bucket, hiding it \
+                                     from `msgs_sent`/`msgs_recv` and the recovery timeline"
+                                ),
+                                allowed: None,
+                            },
+                        ));
+                    }
+                }
+            }
+        },
+    }
+
+    // Half 2: the counter call sites. Raw-text search on purpose — the
+    // needles are string literals (`incr_kind("msgs_sent"`), which the
+    // masked source erases.
+    for (label, text, needle, role) in sites {
+        match text {
+            None => out.push(Finding {
+                check: Check::ObsCoverage,
+                file: (*label).to_string(),
+                line: 1,
+                message: format!("instrumentation site missing: file not found ({role})"),
+                allowed: None,
+            }),
+            Some(text) if !text.contains(needle) => out.push(Finding {
+                check: Check::ObsCoverage,
+                file: (*label).to_string(),
+                line: 1,
+                message: format!(
+                    "instrumentation site `{needle}...)` is gone: {role} no longer feeds the \
+                     message counters, blinding every drill assertion built on the metrics"
+                ),
+                allowed: None,
+            }),
+            Some(_) => {}
         }
     }
     out

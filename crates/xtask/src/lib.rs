@@ -1,6 +1,6 @@
 //! lhrs-xtask: project-specific static analysis for the LH\*RS workspace.
 //!
-//! `cargo run -p lhrs-xtask -- lint` runs four checks that generic tooling
+//! `cargo run -p lhrs-xtask -- lint` runs five checks that generic tooling
 //! (`clippy -D warnings`) cannot express because they encode *protocol*
 //! invariants, not language idioms:
 //!
@@ -17,6 +17,10 @@
 //!    knobs silently ignore operator intent).
 //! 4. **test-hygiene** — no bare `#[ignore]`, no sleep-based
 //!    synchronization in `crates/net` tests.
+//! 5. **obs-coverage** — every `Msg` variant must carry its own `fn kind`
+//!    label (a `_ =>` wildcard would collapse new protocol messages into
+//!    one counter bucket), and the `msgs_sent`/`msgs_recv` counter sites
+//!    in the simulator and the TCP host must stay in place.
 //!
 //! Escape hatch: `// lhrs-lint: allow(<check>) reason="..."` on the finding
 //! line or the line above. The reason string is mandatory and must be
@@ -42,6 +46,8 @@ pub enum Check {
     ConfigKnob,
     /// Test-attribute hygiene.
     TestHygiene,
+    /// Observability coverage over `Msg` kinds and counter sites.
+    ObsCoverage,
 }
 
 impl Check {
@@ -52,6 +58,7 @@ impl Check {
             Check::CodecExhaustiveness => "codec-exhaustiveness",
             Check::ConfigKnob => "config-knob",
             Check::TestHygiene => "test-hygiene",
+            Check::ObsCoverage => "obs-coverage",
         }
     }
 }
@@ -192,10 +199,16 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
         });
     }
 
-    // 3. Config-knob coverage.
+    // 3. Config-knob coverage. The `ConfigBuilder` impl is excluded: its
+    // setters *store* every knob, which must not count as the knob being
+    // honored anywhere.
     if let Some((def_label, def_src)) = get("crates/core/src/config.rs") {
         findings.extend(checks::check_config_knobs(
-            "Config", def_label, def_src, &sources,
+            "Config",
+            def_label,
+            def_src,
+            &sources,
+            Some("ConfigBuilder"),
         ));
     }
 
@@ -205,8 +218,57 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
         findings.extend(checks::check_test_hygiene(label, text, in_net));
     }
 
+    // 5. Observability coverage: per-variant kind labels on `Msg`, and the
+    // counter call sites that feed `msgs_sent`/`msgs_recv`.
+    if let Some((msg_label, msg_src)) = get("crates/core/src/msg.rs") {
+        let site = |label: &'static str| (label, get(label).map(|(_, t)| t.as_str()));
+        let sites: Vec<checks::ObsSite<'_>> = OBS_SITES
+            .iter()
+            .map(|(label, needle, role)| {
+                let (label, text) = site(label);
+                (label, text, *needle, *role)
+            })
+            .collect();
+        findings.extend(checks::check_obs_coverage(
+            "Msg", msg_src, msg_label, msg_src, &sites,
+        ));
+    } else {
+        findings.push(Finding {
+            check: Check::ObsCoverage,
+            file: "crates/core/src/msg.rs".to_string(),
+            line: 1,
+            message: "msg.rs missing".to_string(),
+            allowed: None,
+        });
+    }
+
     findings
 }
+
+/// The counter call sites the obs-coverage check pins down: deleting any
+/// one silently blinds the drill assertions built on the metrics.
+pub const OBS_SITES: [(&str, &str, &str); 4] = [
+    (
+        "crates/sim/src/actor.rs",
+        "incr_kind(\"msgs_sent\"",
+        "Env::send",
+    ),
+    (
+        "crates/sim/src/actor.rs",
+        "add_kind(\"msgs_sent\"",
+        "Env::multicast",
+    ),
+    (
+        "crates/sim/src/engine.rs",
+        "incr_kind(\"msgs_recv\"",
+        "Sim::step",
+    ),
+    (
+        "crates/net/src/host.rs",
+        "incr_kind(\"msgs_recv\"",
+        "NodeHost dispatch",
+    ),
+];
 
 /// Format the `--fix-allow` output: one suggested escape-hatch comment per
 /// unallowed finding, TODO-annotated so the residue stays visible in review.

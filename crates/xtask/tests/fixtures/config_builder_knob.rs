@@ -1,0 +1,36 @@
+//! A config struct with a fluent builder. `builder_only_knob` is written
+//! by a builder setter (and read by the builder's validator) but honored
+//! nowhere else — with the builder excluded, the coverage check must still
+//! flag it as dead.
+
+pub struct Config {
+    pub live_knob: usize,
+    pub builder_only_knob: usize,
+}
+
+pub struct ConfigBuilder {
+    cfg: Config,
+}
+
+impl ConfigBuilder {
+    pub fn live_knob(mut self, v: usize) -> Self {
+        self.cfg.live_knob = v;
+        self
+    }
+
+    pub fn builder_only_knob(mut self, v: usize) -> Self {
+        self.cfg.builder_only_knob = v;
+        self
+    }
+
+    pub fn build(self) -> Result<Config, String> {
+        if self.cfg.builder_only_knob == 0 {
+            return Err("builder_only_knob must be nonzero".to_string());
+        }
+        Ok(self.cfg)
+    }
+}
+
+pub fn consumer(cfg: &Config) -> usize {
+    cfg.live_knob
+}

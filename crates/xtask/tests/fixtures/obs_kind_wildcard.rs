@@ -1,0 +1,18 @@
+//! A message enum whose `fn kind` hides one variant behind a wildcard —
+//! the obs-coverage check must flag `Msg::Gamma` exactly once.
+
+pub enum Msg {
+    Alpha,
+    Beta { x: u8 },
+    Gamma(u32),
+}
+
+impl Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Alpha => "alpha",
+            Msg::Beta { .. } => "beta",
+            _ => "other",
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! cargo run --release --example user_profiles
 //! ```
 
-use lhrs_core::{Config, FilterSpec, LhrsFile};
 use lhrs_lh::scramble;
+use lhrs_repro::prelude::*;
 use lhrs_testkit::Rng;
 
 /// A fixed-layout profile record (a real system would use serde here; the
@@ -29,17 +29,34 @@ fn decode_handle(payload: &[u8]) -> String {
     String::from_utf8_lossy(&payload[hstart..]).into_owned()
 }
 
+/// Profile edits through the unified [`KvClient`] trait: transport-agnostic
+/// application code (works over `LhrsFile` and `NetClient` alike).
+fn edit_profiles<C: KvClient>(store: &mut C, rng: &mut Rng, users: u64, countries: &[&str]) {
+    for uid in (0..users).step_by(10) {
+        let country = countries[(uid % 5) as usize];
+        let profile = encode_profile(
+            uid,
+            rng.range(18, 90) as u8,
+            country,
+            &format!("user_{uid}_v2"),
+        );
+        assert!(store.update(scramble(uid), profile).is_ok(), "update");
+    }
+}
+
 fn main() {
-    let mut file = LhrsFile::new(Config {
-        group_size: 4,
-        initial_k: 1,
+    // The builder validates the configuration as a whole (field limits,
+    // threshold monotonicity, pool sizing) before any node exists.
+    let cfg = Config::builder()
+        .group_size(4)
+        .initial_k(1)
         // Grow availability as the user base grows.
-        scale_thresholds: vec![64, 512],
-        bucket_capacity: 64,
-        record_len: 96,
-        ..Config::default()
-    })
-    .expect("config");
+        .scale_thresholds([64, 512])
+        .bucket_capacity(64)
+        .record_len(96)
+        .build()
+        .expect("config");
+    let mut file = LhrsFile::new(cfg).expect("file");
     let mut rng = Rng::new(7);
     let countries = ["se", "fr", "us", "jp", "br"];
 
@@ -62,16 +79,7 @@ fn main() {
     );
 
     // Profile edits: cheap Δ-commits to parity, 1 + k messages each.
-    for uid in (0..users).step_by(10) {
-        let country = countries[(uid % 5) as usize];
-        let profile = encode_profile(
-            uid,
-            rng.range(18, 90) as u8,
-            country,
-            &format!("user_{uid}_v2"),
-        );
-        file.update(scramble(uid), profile).expect("update");
-    }
+    edit_profiles(&mut file, &mut rng, users, &countries);
 
     // Account deletions.
     for uid in (0..users).step_by(97) {
@@ -110,5 +118,15 @@ fn main() {
     println!(
         "storage: {} data B + {} parity B (overhead {:.2}), load factor {:.2}",
         r.data_bytes, r.parity_bytes, r.storage_overhead, r.load_factor
+    );
+
+    // The observability layer kept score the whole time.
+    let snap = file.metrics().snapshot();
+    println!(
+        "observed: {} splits, {} Δ-commits, {} degraded reads, {} shard(s) rebuilt",
+        snap.counter("splits_completed", ""),
+        snap.counter("deltas_emitted", ""),
+        snap.counter("degraded_reads", ""),
+        snap.counter("recovery_shards_rebuilt", ""),
     );
 }
