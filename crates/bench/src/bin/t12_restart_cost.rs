@@ -1,0 +1,6 @@
+fn main() {
+    lhrs_bench::emit(
+        "t12_restart_cost",
+        &lhrs_bench::experiments::t12_restart_cost::run(),
+    );
+}

@@ -7,6 +7,7 @@ pub mod f3_scalable_availability;
 pub mod f4_split_throughput;
 pub mod t10_fault_overhead;
 pub mod t11_net_throughput;
+pub mod t12_restart_cost;
 pub mod t1_storage_overhead;
 pub mod t2_search_cost;
 pub mod t3_insert_cost;
@@ -38,5 +39,6 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("t9_grouping_ablation", t9_grouping_ablation::run),
         ("t10_fault_overhead", t10_fault_overhead::run),
         ("t11_net_throughput", t11_net_throughput::run),
+        ("t12_restart_cost", t12_restart_cost::run),
     ]
 }

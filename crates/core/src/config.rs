@@ -33,6 +33,45 @@ pub enum ScanTermination {
     },
 }
 
+/// When the durable bucket store issues `fsync` on its write-ahead log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record. Safest, slowest.
+    Always,
+    /// Sync once per message batch (the default): an OS crash can lose the
+    /// tail of the current batch, a process crash loses nothing.
+    #[default]
+    Batch,
+    /// Never sync explicitly; leave flushing to the OS. Fastest, loses the
+    /// page-cache tail on power failure — fine for experiments.
+    Never,
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        })
+    }
+}
+
+impl std::str::FromStr for FsyncPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::Batch),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (expected always|batch|never)"
+            )),
+        }
+    }
+}
+
 /// Configuration of an LH\*RS file.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -99,6 +138,18 @@ pub struct Config {
     /// this bound; must be ≥ 1. Size it above `clients × in-flight ops` so
     /// a retried write still finds its first execution's result.
     pub replay_cache_cap: usize,
+    /// Snapshot interval for durable buckets: after this many write-ahead
+    /// log appends since the last snapshot, a bucket writes a fresh
+    /// snapshot and truncates its log. 0 disables periodic snapshots
+    /// (structural events — splits, merges, installs — still snapshot).
+    /// Ignored when no [`crate::storage::BucketStore`] is attached.
+    pub wal_snapshot_every: u64,
+    /// Per-column Δ-commit history retained by each parity bucket, used to
+    /// serve Δ-suffix catch-up to restarting data buckets. A restart whose
+    /// gap exceeds this cap falls back to a full RS rebuild.
+    pub delta_history_cap: usize,
+    /// When the durable store fsyncs its write-ahead log.
+    pub wal_fsync: FsyncPolicy,
     /// Network latency model for the simulated multicomputer.
     pub latency: LatencyModel,
     /// Total simulated server pool (data + parity + spares). The file
@@ -128,6 +179,9 @@ impl Default for Config {
             coord_retransmit_us: 8_000,
             coord_retries: 10,
             replay_cache_cap: 4096,
+            wal_snapshot_every: 1024,
+            delta_history_cap: 4096,
+            wal_fsync: FsyncPolicy::default(),
             latency: LatencyModel::default(),
             node_pool: 512,
         }
@@ -175,6 +229,11 @@ impl Config {
         if self.replay_cache_cap == 0 {
             return Err(crate::Error::InvalidConfig(
                 "replay_cache_cap must be ≥ 1".into(),
+            ));
+        }
+        if self.delta_history_cap == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "delta_history_cap must be ≥ 1".into(),
             ));
         }
         if self.retry_backoff_cap_us < self.client_timeout_us {
@@ -397,6 +456,24 @@ impl ConfigBuilder {
         self
     }
 
+    /// Snapshot interval (appends) for durable buckets; 0 disables.
+    pub fn wal_snapshot_every(mut self, n: u64) -> Self {
+        self.cfg.wal_snapshot_every = n;
+        self
+    }
+
+    /// Per-column Δ-commit history cap at parity buckets.
+    pub fn delta_history_cap(mut self, n: usize) -> Self {
+        self.cfg.delta_history_cap = n;
+        self
+    }
+
+    /// Fsync policy for the durable store's write-ahead log.
+    pub fn wal_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.cfg.wal_fsync = policy;
+        self
+    }
+
     /// Network latency model for the simulated multicomputer.
     pub fn latency(mut self, model: LatencyModel) -> Self {
         self.cfg.latency = model;
@@ -512,7 +589,10 @@ mod tests {
             Some(ConfigError::RecordLen(0))
         );
         assert_eq!(
-            Config::builder().record_len(MAX_RECORD_LEN + 1).build().err(),
+            Config::builder()
+                .record_len(MAX_RECORD_LEN + 1)
+                .build()
+                .err(),
             Some(ConfigError::RecordLen(MAX_RECORD_LEN + 1))
         );
         assert_eq!(
@@ -548,6 +628,9 @@ mod tests {
             .coord_retransmit_us(9_000)
             .coord_retries(4)
             .replay_cache_cap(128)
+            .wal_snapshot_every(256)
+            .delta_history_cap(512)
+            .wal_fsync(FsyncPolicy::Never)
             .latency(LatencyModel::default())
             .node_pool(1024)
             .build()
@@ -561,6 +644,26 @@ mod tests {
         assert!(cfg.ack_parity && cfg.ack_writes);
         assert_eq!(cfg.field, GfField::Gf16);
         assert_eq!(cfg.client_retries, 5);
+        assert_eq!(cfg.wal_snapshot_every, 256);
+        assert_eq!(cfg.delta_history_cap, 512);
+        assert_eq!(cfg.wal_fsync, FsyncPolicy::Never);
         assert_eq!(cfg.node_pool, 1024);
+    }
+
+    #[test]
+    fn fsync_policy_round_trips_through_strings() {
+        for p in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+            assert_eq!(p.to_string().parse::<FsyncPolicy>(), Ok(p));
+        }
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
+    }
+
+    #[test]
+    fn zero_delta_history_cap_rejected() {
+        let c = Config {
+            delta_history_cap: 0,
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
     }
 }

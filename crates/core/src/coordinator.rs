@@ -97,6 +97,16 @@ pub enum CoordEvent {
         /// Where the violation was detected (static context string).
         context: String,
     },
+    /// A restarted data bucket was re-admitted after replaying its local
+    /// store and catching up on the Δ-suffix it missed — the cheap
+    /// recovery path that avoids a full RS rebuild.
+    BucketRestarted {
+        /// The bucket.
+        bucket: u64,
+        /// Δ-suffix entries it had to catch up (0 = it was already
+        /// current).
+        suffix_len: u64,
+    },
 }
 
 /// Outstanding liveness probe for one node.
@@ -207,6 +217,32 @@ struct MergeCtx {
     attempts: u32,
 }
 
+/// Outstanding Δ-suffix catch-up handshake for one restarted data bucket.
+struct SuffixCtx {
+    group: u64,
+    col: usize,
+    bucket: u64,
+    /// The restarting node: `SuffixPull` target, `OwnershipAck` (or
+    /// `Retire`) recipient.
+    node: NodeId,
+    /// The Δ-stream position the bucket replayed from its local store.
+    from_seq: u64,
+    /// Parity answers so far, keyed by the answering parity node.
+    infos: HashMap<NodeId, SuffixReply>,
+    /// Answers needed (the group's parity count when the pull went out).
+    expected: usize,
+    timer: TimerId,
+    attempts: u32,
+}
+
+/// One parity bucket's answer to a `SuffixPull`.
+#[derive(Clone, Copy)]
+struct SuffixReply {
+    next_seq: u64,
+    covered: bool,
+    bytes: u64,
+}
+
 /// File-state recovery scan in progress.
 struct StateRecCtx {
     expected: usize,
@@ -238,6 +274,8 @@ pub struct Coordinator {
     checks: HashMap<u64, GroupCheckCtx>,
     recoveries: HashMap<u64, RecoveryCtx>,
     degraded: HashMap<u64, DegradedCtx>,
+    /// Δ-suffix catch-up handshakes in flight, keyed by token.
+    suffixes: HashMap<u64, SuffixCtx>,
     /// Tokens owned by timers.
     timer_tokens: HashMap<TimerId, u64>,
     /// group → ops parked until the group heals.
@@ -285,6 +323,7 @@ impl Coordinator {
             checks: HashMap::new(),
             recoveries: HashMap::new(),
             degraded: HashMap::new(),
+            suffixes: HashMap::new(),
             timer_tokens: HashMap::new(),
             queued_ops: HashMap::new(),
             checking_groups: HashSet::new(),
@@ -313,6 +352,7 @@ impl Coordinator {
             || !self.checks.is_empty()
             || !self.recoveries.is_empty()
             || !self.degraded.is_empty()
+            || !self.suffixes.is_empty()
             || !self.upgrade_queue.is_empty()
             || self.deferred_splits > 0
     }
@@ -483,6 +523,17 @@ impl Coordinator {
                     }
                 }
             }
+            Msg::RestartReport { bucket, delta_seq } => {
+                self.handle_restart_report(env, from, bucket, delta_seq)
+            }
+            Msg::SuffixInfo {
+                bucket,
+                col: _,
+                next_seq,
+                covered,
+                count: _,
+                bytes,
+            } => self.handle_suffix_info(env, from, bucket, next_seq, covered, bytes),
             Msg::ParityAck { .. } => {}
             other => {
                 debug_assert!(false, "coordinator got {:?}", other);
@@ -571,6 +622,11 @@ impl Coordinator {
 
         if self.degraded.contains_key(&token) {
             self.retry_degraded(env, token);
+            return;
+        }
+
+        if self.suffixes.contains_key(&token) {
+            self.retry_suffix(env, token);
         }
     }
 
@@ -1458,6 +1514,240 @@ impl Coordinator {
                     kind,
                 },
             );
+        }
+    }
+
+    // ----- restart (Δ-suffix) recovery -----
+
+    /// A data bucket replayed its local store and asks to resume its column
+    /// at `delta_seq`. Cheap path: confirm every parity channel for that
+    /// column stands at one common watermark `R ≥ delta_seq` and have the
+    /// parity buckets ship the missed Δ-suffix `[delta_seq, R)`. Anything
+    /// murkier — displaced bucket, busy or dead group, divergent parity
+    /// watermarks, truncated history — falls back to the full RS rebuild;
+    /// correctness never depends on the suffix path.
+    fn handle_restart_report(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        from: NodeId,
+        bucket: u64,
+        delta_seq: u64,
+    ) {
+        let m = self.m() as u64;
+        let group = bucket / m;
+        let col = crate::convert::to_index(bucket % m);
+        let reg = self.shared.registry.borrow();
+        let still_owner =
+            crate::convert::to_index(bucket) < reg.data_count() && reg.data_node(bucket) == from;
+        let parity: Vec<NodeId> = reg.parity_nodes(group).to_vec();
+        drop(reg);
+        if !still_owner {
+            // Recreated elsewhere meanwhile: demote to a hot spare — the
+            // same path as a plain CheckOwnership miss, including the
+            // double-pooling guard.
+            env.send(from, Msg::Retire);
+            if !self.pool.contains(&from) {
+                self.pool.push(from);
+            }
+            return;
+        }
+        if self.suffixes.values().any(|c| c.bucket == bucket) {
+            return; // duplicated report: handshake already running
+        }
+        let group_busy = self.dead_groups.contains(&group)
+            || self.checking_groups.contains(&group)
+            || self.recoveries.values().any(|r| r.group == group)
+            || self.degraded.values().any(|d| d.group == group);
+        if group_busy {
+            // Racing the failure machinery would certify a resume point the
+            // rebuild is about to invalidate.
+            self.restart_fallback(env, bucket, group, col, from);
+            return;
+        }
+        if parity.is_empty() {
+            // k = 0: no parity stream to reconcile with — the local log is
+            // the only copy and it is authoritative.
+            self.failed.remove(&(group, col));
+            env.send(from, Msg::OwnershipAck);
+            env.obs().incr("restart_recoveries");
+            self.events.push((
+                env.now(),
+                CoordEvent::BucketRestarted {
+                    bucket,
+                    suffix_len: 0,
+                },
+            ));
+            return;
+        }
+        let token = self.token();
+        for pn in &parity {
+            env.send(
+                *pn,
+                Msg::SuffixPull {
+                    group,
+                    col,
+                    from_seq: delta_seq,
+                    target: from,
+                },
+            );
+        }
+        let timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+        self.timer_tokens.insert(timer, token);
+        self.suffixes.insert(
+            token,
+            SuffixCtx {
+                group,
+                col,
+                bucket,
+                node: from,
+                from_seq: delta_seq,
+                infos: HashMap::new(),
+                expected: parity.len(),
+                timer,
+                attempts: 0,
+            },
+        );
+    }
+
+    /// One parity bucket answered a `SuffixPull`. Once all `k` are in, the
+    /// resume point is certified iff every parity channel reports the same
+    /// watermark `R`, the bucket is at or behind it, and (when behind) at
+    /// least one parity bucket's history covered the gap.
+    fn handle_suffix_info(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        from: NodeId,
+        bucket: u64,
+        next_seq: u64,
+        covered: bool,
+        bytes: u64,
+    ) {
+        let Some(token) = self
+            .suffixes
+            .iter()
+            .find(|(_, c)| c.bucket == bucket)
+            .map(|(t, _)| *t)
+        else {
+            return; // stale answer for a settled handshake
+        };
+        let done = {
+            let Some(ctx) = self.suffixes.get_mut(&token) else {
+                return;
+            };
+            ctx.infos.insert(
+                from,
+                SuffixReply {
+                    next_seq,
+                    covered,
+                    bytes,
+                },
+            );
+            ctx.infos.len() >= ctx.expected
+        };
+        if !done {
+            return;
+        }
+        let Some(ctx) = self.suffixes.remove(&token) else {
+            return;
+        };
+        env.cancel_timer(ctx.timer);
+        self.timer_tokens.remove(&ctx.timer);
+        let mut seqs = ctx.infos.values().map(|r| r.next_seq);
+        let r0 = seqs.next().unwrap_or(ctx.from_seq);
+        let all_equal = seqs.all(|s| s == r0);
+        let any_covered = ctx.infos.values().any(|r| r.covered);
+        let ok = all_equal && ctx.from_seq <= r0 && (ctx.from_seq == r0 || any_covered);
+        if !ok {
+            self.restart_fallback(env, ctx.bucket, ctx.group, ctx.col, ctx.node);
+            return;
+        }
+        self.failed.remove(&(ctx.group, ctx.col));
+        env.send(ctx.node, Msg::OwnershipAck);
+        let moved: u64 = ctx.infos.values().map(|r| r.bytes).sum();
+        env.obs().incr("restart_recoveries");
+        env.obs().add("recovery_bytes_moved", moved);
+        self.events.push((
+            env.now(),
+            CoordEvent::BucketRestarted {
+                bucket: ctx.bucket,
+                suffix_len: r0 - ctx.from_seq,
+            },
+        ));
+        self.drain_queues(env);
+    }
+
+    /// Re-pull the parity answers still missing; after `coord_retries`
+    /// silent rounds the handshake gives up and falls back.
+    fn retry_suffix(&mut self, env: &mut Env<'_, Msg>, token: u64) {
+        let retries = self.shared.cfg.coord_retries;
+        let give_up = match self.suffixes.get_mut(&token) {
+            Some(ctx) => {
+                ctx.attempts += 1;
+                ctx.attempts > retries
+            }
+            None => return,
+        };
+        if give_up {
+            let Some(ctx) = self.suffixes.remove(&token) else {
+                return;
+            };
+            self.restart_fallback(env, ctx.bucket, ctx.group, ctx.col, ctx.node);
+            return;
+        }
+        let Some(ctx) = self.suffixes.get(&token) else {
+            return;
+        };
+        let reg = self.shared.registry.borrow();
+        let sends: Vec<(NodeId, Msg)> = reg
+            .parity_nodes(ctx.group)
+            .iter()
+            .filter(|pn| !ctx.infos.contains_key(pn))
+            .map(|pn| {
+                (
+                    *pn,
+                    Msg::SuffixPull {
+                        group: ctx.group,
+                        col: ctx.col,
+                        from_seq: ctx.from_seq,
+                        target: ctx.node,
+                    },
+                )
+            })
+            .collect();
+        drop(reg);
+        for (node, msg) in sends {
+            env.send(node, msg);
+        }
+        let timer = env.set_timer(self.shared.cfg.probe_timeout_us);
+        self.timer_tokens.insert(timer, token);
+        if let Some(ctx) = self.suffixes.get_mut(&token) {
+            ctx.timer = timer;
+        }
+    }
+
+    /// Give up on the Δ-suffix path for `bucket`: demote the restarted node
+    /// to a hot spare and let the standard audit → RS-rebuild machinery
+    /// recreate the bucket from the group's survivors.
+    fn restart_fallback(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        bucket: u64,
+        group: u64,
+        col: usize,
+        node: NodeId,
+    ) {
+        env.obs().incr("restart_fallbacks");
+        env.trace(ObsEvent::RestartFallback { bucket });
+        env.send(node, Msg::Retire);
+        if !self.pool.contains(&node) {
+            self.pool.push(node);
+        }
+        self.failed.insert((group, col));
+        let audit_clear = !self.checking_groups.contains(&group)
+            && !self.dead_groups.contains(&group)
+            && !self.recoveries.values().any(|r| r.group == group);
+        if audit_clear {
+            self.start_group_check(env, group);
         }
     }
 

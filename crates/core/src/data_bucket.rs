@@ -9,8 +9,9 @@ use lhrs_obs::Event as ObsEvent;
 use lhrs_sim::{Env, NodeId, TimerId};
 
 use crate::msg::{DeltaEntry, Iam, KeyOp, Msg, OpId, OpResult, ReplayEntry, ReqKind, ShardContent};
-use crate::record::{cell_delta, encode_cell, Record};
+use crate::record::{cell_delta, decode_cell, encode_cell, Record};
 use crate::registry::SharedHandle;
+use crate::storage::{self, BucketStore, WalOp};
 use crate::{Key, Rank};
 
 /// A primary (data) bucket of the LH\*RS file.
@@ -59,6 +60,20 @@ pub struct DataBucket {
     last_split: Option<(u64, Vec<Record>, Vec<ReplayEntry>)>,
     /// Last merge shipment `(source, new_level, movers, replay)`, ditto.
     last_merge: Option<(u64, u8, Vec<Record>, Vec<ReplayEntry>)>,
+    /// Durable store, when the file runs with persistence.
+    store: Option<Box<dyn BucketStore>>,
+    /// Set by local-store recovery: the boot `SelfReport` should offer the
+    /// coordinator a Δ-suffix catch-up instead of a plain ownership check.
+    report_restart: bool,
+    /// Between `RestartReport` and resumption: only catch-up traffic is
+    /// processed, everything else is held in `held`.
+    catching_up: bool,
+    /// Messages deferred while catching up, replayed on resumption.
+    held: Vec<(NodeId, Msg)>,
+    /// Δ-suffixes received from distinct parity buckets this catch-up.
+    suffixes_seen: usize,
+    /// Whether the coordinator confirmed ownership this catch-up.
+    got_ack: bool,
 }
 
 impl DataBucket {
@@ -84,6 +99,12 @@ impl DataBucket {
             replay_order: VecDeque::new(),
             last_split: None,
             last_merge: None,
+            store: None,
+            report_restart: false,
+            catching_up: false,
+            held: Vec::new(),
+            suffixes_seen: 0,
+            got_ack: false,
         }
     }
 
@@ -147,8 +168,153 @@ impl DataBucket {
         self.records.values().map(|r| r.payload.len()).sum()
     }
 
+    /// Attach a durable store; subsequent commits are logged to it.
+    pub fn attach_store(&mut self, store: Box<dyn BucketStore>) {
+        self.store = Some(store);
+    }
+
+    /// Whether a durable store is attached (driver/test introspection).
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Current Δ-stream position (next sequence to emit).
+    pub fn delta_seq(&self) -> u64 {
+        self.delta_seq
+    }
+
+    /// Flag set by [`crate::storage::recover`]: the boot `SelfReport`
+    /// offers the coordinator a Δ-suffix catch-up.
+    pub(crate) fn mark_restarted(&mut self) {
+        self.report_restart = true;
+    }
+
+    /// Flush the store's buffered appends (the once-per-batch hook behind
+    /// [`crate::FsyncPolicy::Batch`]).
+    pub fn sync_store(&mut self) {
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.sync();
+        }
+    }
+
+    /// Erase and drop the store (the node was retired; the logical bucket
+    /// lives elsewhere now and this copy must not resurrect).
+    pub(crate) fn reset_store(&mut self) {
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.reset();
+        }
+        self.store = None;
+    }
+
+    /// This bucket's full state as shipped in recovery transfers.
+    fn content(&self) -> ShardContent {
+        ShardContent::Data {
+            level: self.level,
+            next_rank: self.next_rank,
+            delta_seq: self.delta_seq,
+            records: self
+                .records
+                .iter()
+                .map(|(r, rec)| (*r, rec.key, rec.payload.clone()))
+                .collect(),
+        }
+    }
+
+    /// Write a snapshot and truncate the log (no-op without a store).
+    /// Returns whether a snapshot was written.
+    pub(crate) fn snapshot_now(&mut self) -> bool {
+        if self.store.is_none() {
+            return false;
+        }
+        let state = storage::encode_data_snapshot(self.bucket, &self.content());
+        match self.store.as_mut() {
+            Some(store) => store.snapshot(&state).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Snapshot with observability (structural events and the periodic
+    /// policy both land here).
+    fn snapshot_obs(&mut self, env: &mut Env<'_, Msg>) {
+        if self.snapshot_now() {
+            env.obs().incr("wal_snapshots");
+        }
+    }
+
+    /// Append one op to the store, then snapshot if the policy says so.
+    fn log_op(&mut self, env: &mut Env<'_, Msg>, op: &WalOp) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let buf = storage::encode_op(op);
+        match store.append(&buf) {
+            Ok(()) => {
+                env.obs().incr("wal_appends");
+                env.obs().add("wal_bytes", buf.len() as u64);
+            }
+            Err(_) => {
+                // A failing disk must not take the bucket down with it: the
+                // RAM copy stays authoritative, the next restart falls back
+                // to the full RS rebuild.
+                env.obs().incr("wal_errors");
+                return;
+            }
+        }
+        let every = self.shared.cfg.wal_snapshot_every;
+        if every > 0 && store.appended_since_snapshot() >= every {
+            self.snapshot_obs(env);
+        }
+    }
+
+    /// Log the committed record at `rank` (insert or update).
+    fn log_set(&mut self, env: &mut Env<'_, Msg>, rank: Rank, key: Key) {
+        if self.store.is_none() {
+            return;
+        }
+        let Some(payload) = self.records.get(&rank).map(|r| r.payload.clone()) else {
+            return;
+        };
+        let op = WalOp::Set {
+            rank,
+            key,
+            payload,
+            delta_seq: self.delta_seq,
+        };
+        self.log_op(env, &op);
+    }
+
+    /// Log the committed delete of `rank`.
+    fn log_del(&mut self, env: &mut Env<'_, Msg>, rank: Rank, key: Key) {
+        if self.store.is_none() {
+            return;
+        }
+        let op = WalOp::Del {
+            rank,
+            key,
+            delta_seq: self.delta_seq,
+        };
+        self.log_op(env, &op);
+    }
+
     /// Main message handler, called from the node dispatcher.
     pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
+        // While catching up after a local-store restart, only catch-up and
+        // liveness traffic flows; everything else is deferred so no write
+        // can commit at a Δ-sequence the parity group already assigned.
+        if self.catching_up {
+            match &msg {
+                Msg::DeltaSuffix { .. }
+                | Msg::OwnershipAck
+                | Msg::ParityAck { .. }
+                | Msg::Probe { .. }
+                | Msg::StateQuery
+                | Msg::SelfReport => {}
+                _ => {
+                    self.held.push((from, msg));
+                    return;
+                }
+            }
+        }
         match msg {
             Msg::Req {
                 op_id,
@@ -258,16 +424,7 @@ impl DataBucket {
                 }
             }
             Msg::TransferShard { token } => {
-                let content = ShardContent::Data {
-                    level: self.level,
-                    next_rank: self.next_rank,
-                    delta_seq: self.delta_seq,
-                    records: self
-                        .records
-                        .iter()
-                        .map(|(r, rec)| (*r, rec.key, rec.payload.clone()))
-                        .collect(),
-                };
+                let content = self.content();
                 env.send(
                     from,
                     Msg::ShardData {
@@ -316,15 +473,38 @@ impl DataBucket {
                 // serving (the coordinator may have recreated this bucket
                 // on a spare meanwhile).
                 let coord = self.shared.registry.borrow().coordinator;
-                env.send(
-                    coord,
-                    Msg::CheckOwnership {
-                        bucket: Some(self.bucket),
-                        parity: None,
-                    },
-                );
+                if self.report_restart {
+                    // Recovered from the local store: offer the Δ-suffix
+                    // handshake. No write is served until the coordinator
+                    // accepts (OwnershipAck) and every parity bucket has
+                    // sent its suffix — otherwise a fresh commit could
+                    // reuse a Δ-sequence the parity group already applied.
+                    self.report_restart = false;
+                    self.catching_up = true;
+                    self.suffixes_seen = 0;
+                    self.got_ack = false;
+                    env.send(
+                        coord,
+                        Msg::RestartReport {
+                            bucket: self.bucket,
+                            delta_seq: self.delta_seq,
+                        },
+                    );
+                } else {
+                    env.send(
+                        coord,
+                        Msg::CheckOwnership {
+                            bucket: Some(self.bucket),
+                            parity: None,
+                        },
+                    );
+                }
             }
             Msg::OwnershipAck => {
+                if self.catching_up {
+                    self.got_ack = true;
+                    self.try_resume(env);
+                }
                 // Still the owner: resume serving. A crash dropped this
                 // node's timers, so restart retransmission of any Δs that
                 // were still unacknowledged.
@@ -336,6 +516,12 @@ impl DataBucket {
                     self.retry_timer = Some(env.set_timer(self.shared.cfg.delta_retransmit_us));
                 }
             }
+            Msg::DeltaSuffix {
+                col,
+                from_seq: _,
+                entries,
+                complete,
+            } => self.handle_suffix(env, col, entries, complete),
             Msg::ParityAck { col, upto } => self.handle_parity_ack(env, from, col, upto),
             Msg::InitData { bucket, .. } if bucket == self.bucket => {
                 // Duplicated provisioning order: already initialised.
@@ -549,6 +735,7 @@ impl DataBucket {
                             self.by_key.insert(key, rank);
                             self.records.insert(rank, Record { key, payload });
                             self.emit_delta(env, rank, KeyOp::Add(key), cell);
+                            self.log_set(env, rank, key);
                             self.maybe_report_overflow(env);
                             OpResult::Inserted
                         };
@@ -573,6 +760,7 @@ impl DataBucket {
                                 rec.payload = new_payload;
                                 let delta = cell_delta(&old_cell, &new_cell);
                                 self.emit_delta(env, rank, KeyOp::Keep, delta);
+                                self.log_set(env, rank, key);
                                 OpResult::Updated
                             }
                         };
@@ -590,6 +778,7 @@ impl DataBucket {
                                 self.free_ranks.push(Reverse(rank));
                                 let cell = encode_cell(&rec.payload, self.shared.cfg.cell_len());
                                 self.emit_delta(env, rank, KeyOp::Remove(key), cell);
+                                self.log_del(env, rank, key);
                                 OpResult::Deleted
                             }
                         };
@@ -702,6 +891,8 @@ impl DataBucket {
         );
         // A split may leave this bucket still over capacity (skewed keys).
         self.maybe_report_overflow(env);
+        // Structural change: snapshot rather than log the bulk removal.
+        self.snapshot_obs(env);
     }
 
     /// Receive records moved in by a split or merge: assign fresh ranks and
@@ -739,6 +930,8 @@ impl DataBucket {
         if check_overflow {
             self.maybe_report_overflow(env);
         }
+        // Structural change: snapshot rather than log the bulk arrival.
+        self.snapshot_obs(env);
     }
 
     /// Execute a merge ordered by the coordinator: this bucket (the last
@@ -946,6 +1139,114 @@ impl DataBucket {
                 size: len,
             },
         );
+    }
+
+    /// Apply a Δ-suffix from one parity bucket: re-commit the ops this
+    /// bucket lost between its log tail and the parity group's watermark.
+    /// All `k` parity buckets ship the same column stream, so entries are
+    /// applied exactly once by sequence (`seq == delta_seq` applies,
+    /// anything older is a duplicate from another parity bucket).
+    fn handle_suffix(
+        &mut self,
+        env: &mut Env<'_, Msg>,
+        col: usize,
+        entries: Vec<DeltaEntry>,
+        complete: bool,
+    ) {
+        if col != self.col() || !self.catching_up {
+            return; // stale suffix addressed to a previous tenant
+        }
+        let cell_len = self.shared.cfg.cell_len();
+        let mut applied = 0u64;
+        let mut bytes = 0u64;
+        for entry in entries {
+            if entry.seq != self.delta_seq {
+                continue; // duplicate (another parity's copy) or stale
+            }
+            bytes += entry.delta_cell.len() as u64;
+            match entry.key_op {
+                KeyOp::Add(key) => {
+                    // The Δ of an Add is the full cell (old was zero).
+                    let Some(payload) = decode_cell(&entry.delta_cell) else {
+                        continue; // undecodable cell: leave the gap to the fallback
+                    };
+                    self.by_key.insert(key, entry.rank);
+                    self.records.insert(entry.rank, Record { key, payload });
+                    self.next_rank = self.next_rank.max(entry.rank.saturating_add(1));
+                    self.delta_seq = entry.seq + 1;
+                    self.log_set(env, entry.rank, key);
+                }
+                KeyOp::Remove(key) => {
+                    self.records.remove(&entry.rank);
+                    self.by_key.remove(&key);
+                    self.delta_seq = entry.seq + 1;
+                    self.log_del(env, entry.rank, key);
+                }
+                KeyOp::Keep => {
+                    let Some(rec) = self.records.get_mut(&entry.rank) else {
+                        continue;
+                    };
+                    let old_cell = encode_cell(&rec.payload, cell_len);
+                    let new_cell = cell_delta(&old_cell, &entry.delta_cell);
+                    let Some(payload) = decode_cell(&new_cell) else {
+                        continue;
+                    };
+                    let key = rec.key;
+                    rec.payload = payload;
+                    self.delta_seq = entry.seq + 1;
+                    self.log_set(env, entry.rank, key);
+                }
+            }
+            applied += 1;
+        }
+        if applied > 0 {
+            env.obs().add("restart_suffix_entries", applied);
+            env.obs().add("restart_suffix_bytes", bytes);
+            env.trace(ObsEvent::RestartSuffix {
+                bucket: self.bucket,
+                entries: applied,
+                bytes,
+            });
+        }
+        // Count the reply regardless of content: an up-to-date bucket gets
+        // k empty-but-complete suffixes. Incomplete replies still count —
+        // the coordinator Retires us instead of acking in that case.
+        let _ = complete;
+        self.suffixes_seen += 1;
+        self.try_resume(env);
+    }
+
+    /// Leave catch-up mode once the coordinator acked ownership and every
+    /// parity bucket answered; replay everything held meanwhile.
+    fn try_resume(&mut self, env: &mut Env<'_, Msg>) {
+        if !self.catching_up || !self.got_ack {
+            return;
+        }
+        let k = self.shared.registry.borrow().group_k(self.group());
+        if self.suffixes_seen < k {
+            return;
+        }
+        self.catching_up = false;
+        // The whole group stands at delta_seq now: nothing is in flight.
+        self.unacked.clear();
+        self.parity_acked.clear();
+        self.ensure_acked_slots(k);
+        for slot in self.parity_acked.iter_mut() {
+            *slot = self.delta_seq;
+        }
+        self.last_min_acked = self.delta_seq;
+        // Suffix entries may have re-filled ranks the snapshot had free.
+        self.free_ranks.clear();
+        for r in 0..self.next_rank {
+            if !self.records.contains_key(&r) {
+                self.free_ranks.push(Reverse(r));
+            }
+        }
+        self.snapshot_obs(env);
+        let held = std::mem::take(&mut self.held);
+        for (f, m) in held {
+            self.on_message(env, f, m);
+        }
     }
 
     /// The insert counter (exposed for tests and recovery assertions).

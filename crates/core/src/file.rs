@@ -20,6 +20,7 @@ use crate::node::Node;
 use crate::parity_bucket::ParityBucket;
 use crate::record::encode_cell;
 use crate::registry::{Shared, SharedHandle};
+use crate::storage::{self, StoreError, StoreFactory, StoreId};
 use crate::{Config, Error, Key};
 
 /// Index of a client created by [`LhrsFile::add_client`]; the file always
@@ -524,6 +525,97 @@ impl LhrsFile {
         self.sim.send_external(node, Msg::SelfReport);
         self.sim.run_until_idle();
         self.shared.registry.borrow().data_node(bucket) == node && !self.sim.actor(node).is_blank()
+    }
+
+    // ----- durable-store drills -----
+
+    /// Install a [`StoreFactory`]: every bucket initialised from now on
+    /// logs its committed ops to a per-shard store, and every *live* bucket
+    /// already in the file gets a store attached and seeded with a snapshot
+    /// of its current state. Pair with [`storage::MemHub`] for
+    /// deterministic disk-survives/disk-lost drills.
+    pub fn install_store_factory(&mut self, factory: StoreFactory) {
+        self.shared.set_store_factory(factory);
+        let reg = self.shared.registry.borrow();
+        let data: Vec<(u64, NodeId)> = (0..reg.data_count() as u64)
+            .map(|b| (b, reg.data_node(b)))
+            .collect();
+        let parity: Vec<(u64, usize, NodeId)> = (0..reg.group_count() as u64)
+            .flat_map(|g| {
+                reg.parity_nodes(g)
+                    .iter()
+                    .enumerate()
+                    .map(move |(q, n)| (g, q, *n))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        drop(reg);
+        for (bucket, node) in data {
+            if self.sim.is_crashed(node) {
+                continue;
+            }
+            let id = StoreId::Data { bucket };
+            if let Some(mut store) = self.shared.make_store(node, &id) {
+                let _ = store.reset();
+                let d = self.sim.actor_mut(node).as_data_mut();
+                d.attach_store(store);
+                d.snapshot_now();
+            }
+        }
+        for (group, index, node) in parity {
+            if self.sim.is_crashed(node) {
+                continue;
+            }
+            let id = StoreId::Parity { group, index };
+            if let Some(mut store) = self.shared.make_store(node, &id) {
+                let _ = store.reset();
+                let p = self.sim.actor_mut(node).as_parity_mut();
+                p.attach_store(store);
+                p.snapshot_now();
+            }
+        }
+    }
+
+    /// Bring back the node that was crashed while carrying data bucket
+    /// `bucket`, with its *memory lost* but its durable store intact: the
+    /// bucket is rebuilt from its local snapshot + WAL, then runs the
+    /// Δ-suffix handshake with the coordinator to catch up on whatever it
+    /// missed while down. Returns `true` if it resumed as the owner.
+    ///
+    /// # Errors
+    /// [`StoreError`] when no store factory is installed, the factory
+    /// declines (disk lost), or the store cannot seed a bucket — the
+    /// caller's fallback is the full RS rebuild via
+    /// [`LhrsFile::check_group`].
+    ///
+    /// # Panics
+    /// Panics if no such crash was injected.
+    pub fn restart_data_bucket_from_store(&mut self, bucket: u64) -> Result<bool, StoreError> {
+        let pos = self
+            .crashed_log
+            .iter()
+            .position(|(_, s)| *s == CrashedShard::Data(bucket))
+            .expect("no crashed node recorded for this bucket");
+        let (node, _) = self.crashed_log[pos];
+        let store = self
+            .shared
+            .make_store(node, &StoreId::Data { bucket })
+            .ok_or_else(|| StoreError::Io("no durable store for this bucket".into()))?;
+        let recovered = storage::recover(&self.shared, store)?;
+        self.crashed_log.remove(pos);
+        self.metrics().trace(
+            self.sim.now(),
+            lhrs_obs::Event::WalReplay {
+                bucket,
+                ops: recovered.ops_replayed,
+                bytes: recovered.bytes_replayed,
+            },
+        );
+        self.sim.replace(node, recovered.node);
+        self.sim.send_external(node, Msg::SelfReport);
+        self.sim.run_until_idle();
+        Ok(self.shared.registry.borrow().data_node(bucket) == node
+            && !self.sim.actor(node).is_blank())
     }
 
     /// Audit a group's liveness and recover any failed shards; returns what

@@ -70,12 +70,13 @@ pub mod node;
 pub mod parity_bucket;
 pub mod record;
 pub mod registry;
+pub mod storage;
 pub mod wire;
 
 pub use api::{KvClient, OpOutcome};
 pub use code::GfField;
 pub use config::{
-    Config, ConfigBuilder, ConfigError, ScanTermination, UpgradeMode, MAX_RECORD_LEN,
+    Config, ConfigBuilder, ConfigError, FsyncPolicy, ScanTermination, UpgradeMode, MAX_RECORD_LEN,
 };
 pub use coordinator::CoordEvent;
 pub use error::Error;

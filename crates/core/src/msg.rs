@@ -529,6 +529,58 @@ pub enum Msg {
     /// Coordinator → restarted node: the claim holds; resume serving. (A
     /// displaced node gets `Retire` instead.)
     OwnershipAck,
+    /// Restarted data bucket → coordinator: "my local log replayed to
+    /// Δ-sequence `delta_seq`; may I catch up with a Δ-suffix instead of a
+    /// full rebuild?" Sent instead of [`Msg::CheckOwnership`] when the node
+    /// recovered state from a durable store.
+    RestartReport {
+        /// The bucket the node claims.
+        bucket: u64,
+        /// First Δ-sequence the node has *not* applied locally.
+        delta_seq: u64,
+    },
+    /// Coordinator → parity bucket: send the restarting data bucket the
+    /// Δ-suffix of column `col` from `from_seq` onward, and report coverage
+    /// back to the coordinator.
+    SuffixPull {
+        /// The group being caught up.
+        group: u64,
+        /// The restarting data column.
+        col: usize,
+        /// First sequence number the restarting bucket is missing.
+        from_seq: u64,
+        /// The restarting data bucket's node.
+        target: NodeId,
+    },
+    /// Parity bucket → restarting data bucket: the missed Δ-suffix of its
+    /// own column (`complete` = the history covered the whole gap).
+    DeltaSuffix {
+        /// The data column being caught up.
+        col: usize,
+        /// Echo of the requested start sequence.
+        from_seq: u64,
+        /// Entries `[from_seq, next_seq)` in order; empty when not covered.
+        entries: Vec<DeltaEntry>,
+        /// Whether the history covered the whole `[from_seq, next_seq)` gap.
+        complete: bool,
+    },
+    /// Parity bucket → coordinator: coverage report for a
+    /// [`Msg::SuffixPull`], so the coordinator can decide Δ-suffix
+    /// acceptance vs. full-rebuild fallback.
+    SuffixInfo {
+        /// The restarting bucket.
+        bucket: u64,
+        /// Its column.
+        col: usize,
+        /// This parity bucket's next expected sequence for the column.
+        next_seq: u64,
+        /// Whether this parity bucket could serve the whole suffix.
+        covered: bool,
+        /// Entries shipped in the matching [`Msg::DeltaSuffix`].
+        count: u64,
+        /// Payload bytes shipped in the matching [`Msg::DeltaSuffix`].
+        bytes: u64,
+    },
     /// Driver-injected: audit a whole group's liveness and recover any
     /// failed shards (how parity-bucket failures, invisible to clients, get
     /// detected in the drills).
@@ -589,6 +641,10 @@ impl lhrs_sim::Payload for Msg {
             Msg::SelfReport => "self-report",
             Msg::CheckOwnership { .. } => "check-ownership",
             Msg::OwnershipAck => "ownership-ack",
+            Msg::RestartReport { .. } => "restart-report",
+            Msg::SuffixPull { .. } => "suffix-pull",
+            Msg::DeltaSuffix { .. } => "delta-suffix",
+            Msg::SuffixInfo { .. } => "suffix-info",
             Msg::CheckGroup { .. } => "check-group",
             Msg::RecoverFileState => "recover-file-state",
             Msg::StateQuery => "state-query",
@@ -658,6 +714,15 @@ impl lhrs_sim::Payload for Msg {
             Msg::SelfReport => 0,
             Msg::CheckOwnership { .. } => 20,
             Msg::OwnershipAck => 4,
+            Msg::RestartReport { .. } => 16,
+            Msg::SuffixPull { .. } => 28,
+            Msg::DeltaSuffix { entries, .. } => {
+                16 + entries
+                    .iter()
+                    .map(|e| 32 + e.delta_cell.len())
+                    .sum::<usize>()
+            }
+            Msg::SuffixInfo { .. } => 40,
             Msg::CheckGroup { .. } => 8,
             Msg::RecoverFileState => 0,
             Msg::StateQuery => 4,

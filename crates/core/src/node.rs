@@ -9,8 +9,13 @@ use crate::data_bucket::DataBucket;
 use crate::msg::{Msg, ShardContent};
 use crate::parity_bucket::ParityBucket;
 use crate::registry::SharedHandle;
+use crate::storage::StoreId;
 
 /// A node of the LH\*RS multicomputer.
+// A Node is heap-allocated once per hosted actor, never moved in bulk;
+// the variant size spread (DataBucket's in-memory records dominate) is
+// not worth an indirection on every dispatch.
+#[allow(clippy::large_enum_variant)]
 pub enum Node {
     /// Unallocated pool node / hot spare. Buffers any early messages (a
     /// race possible only under extreme latency models) and replays them
@@ -73,8 +78,24 @@ impl Node {
         }
     }
 
+    /// Mutable data-bucket access.
+    pub fn as_data_mut(&mut self) -> &mut DataBucket {
+        match self {
+            Node::Data(d) => d,
+            _ => panic!("node is not a data bucket"),
+        }
+    }
+
     /// Access a parity bucket (panics otherwise).
     pub fn as_parity(&self) -> &ParityBucket {
+        match self {
+            Node::Parity(p) => p,
+            _ => panic!("node is not a parity bucket"),
+        }
+    }
+
+    /// Mutable parity-bucket access.
+    pub fn as_parity_mut(&mut self) -> &mut ParityBucket {
         match self {
             Node::Parity(p) => p,
             _ => panic!("node is not a parity bucket"),
@@ -103,14 +124,14 @@ impl Node {
             } => {
                 let mut d = DataBucket::new(shared.clone(), bucket, level);
                 d.resume_delta_seq(delta_seq);
+                Node::attach_data_store(shared, env.me(), &mut d);
                 Some(Node::Data(d))
             }
-            Msg::InitParity { group, index, k } => Some(Node::Parity(ParityBucket::new(
-                shared.clone(),
-                group,
-                index,
-                k,
-            ))),
+            Msg::InitParity { group, index, k } => {
+                let mut p = ParityBucket::new(shared.clone(), group, index, k);
+                Node::attach_parity_store(shared, env.me(), &mut p);
+                Some(Node::Parity(p))
+            }
             Msg::Install {
                 group,
                 bucket,
@@ -125,23 +146,29 @@ impl Node {
                         next_rank,
                         delta_seq,
                         records,
-                    } => Node::Data(DataBucket::from_content(
-                        shared.clone(),
-                        bucket.expect("data install carries a bucket number"),
-                        level,
-                        next_rank,
-                        delta_seq,
-                        records,
-                    )),
+                    } => {
+                        let mut d = DataBucket::from_content(
+                            shared.clone(),
+                            bucket.expect("data install carries a bucket number"),
+                            level,
+                            next_rank,
+                            delta_seq,
+                            records,
+                        );
+                        Node::attach_data_store(shared, env.me(), &mut d);
+                        Node::Data(d)
+                    }
                     ShardContent::Parity { records, col_seqs } => {
-                        Node::Parity(ParityBucket::from_content(
+                        let mut p = ParityBucket::from_content(
                             shared.clone(),
                             group,
                             index.expect("parity install carries an index"),
                             k,
                             records,
                             col_seqs,
-                        ))
+                        );
+                        Node::attach_parity_store(shared, env.me(), &mut p);
+                        Node::Parity(p)
                     }
                 };
                 env.send(from, Msg::InstallAck { token });
@@ -153,6 +180,59 @@ impl Node {
             }
         }
     }
+
+    /// Attach (and seed) a durable store to a freshly initialised data
+    /// bucket. The RAM content just installed is authoritative: any stale
+    /// incarnation on the "disk" is erased before the seeding snapshot.
+    fn attach_data_store(shared: &SharedHandle, me: NodeId, d: &mut DataBucket) {
+        let id = StoreId::Data { bucket: d.bucket };
+        if let Some(mut store) = shared.make_store(me, &id) {
+            let _ = store.reset();
+            d.attach_store(store);
+            d.snapshot_now();
+        }
+    }
+
+    /// Ditto for a freshly initialised parity bucket.
+    fn attach_parity_store(shared: &SharedHandle, me: NodeId, p: &mut ParityBucket) {
+        let id = StoreId::Parity {
+            group: p.group,
+            index: p.index,
+        };
+        if let Some(mut store) = shared.make_store(me, &id) {
+            let _ = store.reset();
+            p.attach_store(store);
+            p.snapshot_now();
+        }
+    }
+
+    /// Attach (and seed) a durable store to a node whose bucket was built
+    /// directly by a driver (initial cluster layout) rather than through
+    /// an `Init`/`Install` message. No-op for blanks, clients, the
+    /// coordinator, or when the factory declines.
+    pub fn attach_fresh_store(&mut self, me: NodeId) {
+        match self {
+            Node::Data(d) => {
+                let shared = d.shared_handle();
+                Node::attach_data_store(&shared, me, d);
+            }
+            Node::Parity(p) => {
+                let shared = p.shared_handle();
+                Node::attach_parity_store(&shared, me, p);
+            }
+            _ => {}
+        }
+    }
+
+    /// Flush the attached store's buffered appends, if any — the
+    /// once-per-batch hook behind [`crate::FsyncPolicy::Batch`].
+    pub fn sync_store(&mut self) {
+        match self {
+            Node::Data(d) => d.sync_store(),
+            Node::Parity(p) => p.sync_store(),
+            _ => {}
+        }
+    }
 }
 
 impl Actor<Msg> for Node {
@@ -161,8 +241,16 @@ impl Actor<Msg> for Node {
         if matches!(msg, Msg::Retire) {
             let shared = match self {
                 Node::Blank { shared, .. } => shared.clone(),
-                Node::Data(d) => d.shared_handle(),
-                Node::Parity(p) => p.shared_handle(),
+                Node::Data(d) => {
+                    // The logical bucket is moving elsewhere: wipe the local
+                    // log so a later restart cannot resurrect a stale copy.
+                    d.reset_store();
+                    d.shared_handle()
+                }
+                Node::Parity(p) => {
+                    p.reset_store();
+                    p.shared_handle()
+                }
                 Node::Client(_) | Node::Coordinator(_) => {
                     debug_assert!(false, "clients/coordinator are never retired");
                     return;

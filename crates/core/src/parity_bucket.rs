@@ -1,13 +1,14 @@
 //! The parity-bucket server: Reed–Solomon parity records, Δ-commits, and
 //! shard transfer for recovery.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use lhrs_sim::{Env, NodeId};
 
 use crate::msg::{DeltaEntry, KeyOp, Msg, ShardContent};
 use crate::record::cell_is_zero;
 use crate::registry::SharedHandle;
+use crate::storage::{self, BucketStore, WalOp};
 use crate::{Key, Rank};
 
 /// One parity record: the member keys of the record group (by column) and
@@ -56,6 +57,12 @@ pub struct ParityBucket {
     /// record size, so the overhead is inconsequential (as the paper
     /// argues).
     key_index: HashMap<Key, Rank>,
+    /// Per data column: recently applied Δs (bounded by
+    /// `delta_history_cap`), kept to serve Δ-suffix catch-up to restarting
+    /// data buckets. Contiguous with `channels[col].next_seq` at the back.
+    history: Vec<VecDeque<DeltaEntry>>,
+    /// Durable store, when the file runs with persistence.
+    store: Option<Box<dyn BucketStore>>,
 }
 
 impl ParityBucket {
@@ -73,6 +80,8 @@ impl ParityBucket {
             records: BTreeMap::new(),
             channels: vec![ColChannel::default(); m],
             key_index: HashMap::new(),
+            history: vec![VecDeque::new(); m],
+            store: None,
         }
     }
 
@@ -125,6 +134,116 @@ impl ParityBucket {
         self.shared.clone()
     }
 
+    /// Attach a durable store; subsequent Δ-commits are logged to it.
+    pub fn attach_store(&mut self, store: Box<dyn BucketStore>) {
+        self.store = Some(store);
+    }
+
+    /// Whether a durable store is attached (driver/test introspection).
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Flush the store's buffered appends (the once-per-batch hook behind
+    /// [`crate::FsyncPolicy::Batch`]).
+    pub fn sync_store(&mut self) {
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.sync();
+        }
+    }
+
+    /// Erase and drop the store (the node was retired; the logical parity
+    /// column lives elsewhere now and this copy must not resurrect).
+    pub(crate) fn reset_store(&mut self) {
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.reset();
+        }
+        self.store = None;
+    }
+
+    /// This bucket's full state as shipped in recovery transfers.
+    fn content(&self) -> ShardContent {
+        ShardContent::Parity {
+            records: self
+                .records
+                .iter()
+                .map(|(r, rec)| (*r, rec.keys.clone(), rec.cell.clone()))
+                .collect(),
+            col_seqs: self.channels.iter().map(|c| c.next_seq).collect(),
+        }
+    }
+
+    /// Write a snapshot and truncate the log (no-op without a store).
+    /// Returns whether a snapshot was written.
+    pub(crate) fn snapshot_now(&mut self) -> bool {
+        if self.store.is_none() {
+            return false;
+        }
+        let state =
+            storage::encode_parity_snapshot(self.group, self.index, self.k, &self.content());
+        match self.store.as_mut() {
+            Some(store) => store.snapshot(&state).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Snapshot with observability (the periodic policy lands here).
+    fn snapshot_obs(&mut self, env: &mut Env<'_, Msg>) {
+        if self.snapshot_now() {
+            env.obs().incr("wal_snapshots");
+        }
+    }
+
+    /// Log one applied Δ to the store, then snapshot if the policy says so.
+    fn log_delta(&mut self, env: &mut Env<'_, Msg>, entry: &DeltaEntry) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        let buf = storage::encode_op(&WalOp::Delta(entry.clone()));
+        match store.append(&buf) {
+            Ok(()) => {
+                env.obs().incr("wal_appends");
+                env.obs().add("wal_bytes", buf.len() as u64);
+            }
+            Err(_) => {
+                // A failing disk must not take the bucket down with it: the
+                // RAM copy stays authoritative, the next restart falls back
+                // to the full RS rebuild.
+                env.obs().incr("wal_errors");
+                return;
+            }
+        }
+        let every = self.shared.cfg.wal_snapshot_every;
+        if every > 0 && store.appended_since_snapshot() >= every {
+            self.snapshot_obs(env);
+        }
+    }
+
+    /// Remember an applied Δ in the bounded per-column history — the window
+    /// this bucket can serve as a Δ-suffix to a restarting data bucket.
+    /// Applies happen strictly in column order, so each deque is contiguous
+    /// and ends exactly at `channels[col].next_seq`.
+    fn remember(&mut self, entry: DeltaEntry) {
+        let cap = self.shared.cfg.delta_history_cap;
+        let Some(hist) = self.history.get_mut(entry.col) else {
+            return;
+        };
+        hist.push_back(entry);
+        while hist.len() > cap {
+            hist.pop_front();
+        }
+    }
+
+    /// Admit + apply one Δ during store replay. No re-logging (the entry
+    /// came *from* the log); history is maintained so a restarted parity
+    /// bucket can still serve suffixes over its replayed window.
+    pub(crate) fn replay_entry(&mut self, entry: DeltaEntry) {
+        for ready in self.admit(entry) {
+            self.remember(ready.clone());
+            self.apply(ready);
+        }
+    }
+
     /// Main message handler.
     pub fn on_message(&mut self, env: &mut Env<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
@@ -140,6 +259,8 @@ impl ParityBucket {
                 let col = entry.col;
                 let mut applied = 0u64;
                 for ready in self.admit(entry) {
+                    self.log_delta(env, &ready);
+                    self.remember(ready.clone());
                     self.apply(ready);
                     applied += 1;
                 }
@@ -163,6 +284,8 @@ impl ParityBucket {
                     }
                     cols.insert(entry.col);
                     for ready in self.admit(entry) {
+                        self.log_delta(env, &ready);
+                        self.remember(ready.clone());
                         self.apply(ready);
                         applied += 1;
                     }
@@ -188,20 +311,58 @@ impl ParityBucket {
             }
             Msg::TransferShard { token } => {
                 let m = self.shared.cfg.group_size;
-                let content = ShardContent::Parity {
-                    records: self
-                        .records
-                        .iter()
-                        .map(|(r, rec)| (*r, rec.keys.clone(), rec.cell.clone()))
-                        .collect(),
-                    col_seqs: self.channels.iter().map(|c| c.next_seq).collect(),
-                };
                 env.send(
                     from,
                     Msg::ShardData {
                         token,
                         shard: m + self.index,
-                        content,
+                        content: self.content(),
+                    },
+                );
+            }
+            Msg::SuffixPull {
+                group,
+                col,
+                from_seq,
+                target,
+            } => {
+                debug_assert_eq!(group, self.group);
+                let next = self.channels.get(col).map(|c| c.next_seq).unwrap_or(0);
+                // The history deque for a column is contiguous and ends at
+                // `next`, so the suffix [from_seq, next) is servable iff its
+                // filtered view starts exactly at `from_seq`.
+                let entries: Vec<DeltaEntry> = self
+                    .history
+                    .get(col)
+                    .map(|h| h.iter().filter(|e| e.seq >= from_seq).cloned().collect())
+                    .unwrap_or_default();
+                let complete = if from_seq >= next {
+                    from_seq == next // nothing missed (or the puller is ahead: not ours to cover)
+                } else {
+                    entries.first().map(|e| e.seq) == Some(from_seq)
+                };
+                let entries = if complete { entries } else { Vec::new() };
+                let count = entries.len() as u64;
+                let bytes: u64 = entries.iter().map(|e| e.delta_cell.len() as u64).sum();
+                let m = self.shared.cfg.group_size as u64;
+                env.send(
+                    target,
+                    Msg::DeltaSuffix {
+                        col,
+                        from_seq,
+                        entries,
+                        complete,
+                    },
+                );
+                env.send(
+                    from,
+                    Msg::SuffixInfo {
+                        bucket: self.group * m + col as u64,
+                        col,
+                        next_seq: next,
+                        covered: complete,
+                        count,
+                        bytes,
                     },
                 );
             }

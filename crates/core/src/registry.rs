@@ -25,6 +25,10 @@ pub struct Shared {
     pub registry: RefCell<Registry>,
     /// File configuration (immutable after creation).
     pub cfg: Config,
+    /// Optional durable-store factory: when set, buckets attach a
+    /// [`crate::storage::BucketStore`] on initialisation and log committed
+    /// ops to it. `None` = the paper's RAM-only multicomputer.
+    store_factory: RefCell<Option<crate::storage::StoreFactory>>,
 }
 
 /// Cheap clonable handle.
@@ -142,7 +146,26 @@ impl Shared {
         Rc::new(Shared {
             registry: RefCell::new(Registry::default()),
             cfg,
+            store_factory: RefCell::new(None),
         })
+    }
+
+    /// Install a durable-store factory; buckets initialised afterwards
+    /// attach a store for their own identity.
+    pub fn set_store_factory(&self, factory: crate::storage::StoreFactory) {
+        *self.store_factory.borrow_mut() = Some(factory);
+    }
+
+    /// Build a store for `(node, id)` via the installed factory, if any.
+    /// The factory itself may decline (e.g. a simulated node whose "disk"
+    /// was destroyed), which also yields `None`.
+    pub fn make_store(
+        &self,
+        node: NodeId,
+        id: &crate::storage::StoreId,
+    ) -> Option<Box<dyn crate::storage::BucketStore>> {
+        let factory = self.store_factory.borrow();
+        factory.as_ref().and_then(|f| f(node, id))
     }
 }
 

@@ -1,0 +1,663 @@
+//! The durable-bucket seam: a [`BucketStore`] trait buckets log committed
+//! operations to, plus the replay path that rebuilds a bucket from its
+//! local store after a process crash.
+//!
+//! The paper's LH\*RS multicomputer is RAM-only: a killed bucket is gone
+//! and costs a full k-out-of-m+k Reed–Solomon rebuild over the network.
+//! The cheapest "repair symbol" of all, though, is the node's own disk
+//! (the locality argument of the storage-codes literature). With a store
+//! attached, a restarting bucket replays its snapshot + write-ahead log
+//! locally and only fetches the short Δ-suffix it missed from its parity
+//! group — the coordinator falls back to the full rebuild when the disk
+//! is lost or the suffix has been truncated away.
+//!
+//! This module is deliberately I/O-free: the file-backed implementation
+//! lives in the zero-dep `lhrs-wal` crate, and [`MemStore`] provides a
+//! deterministic in-memory "disk" for the simulator drills.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use lhrs_sim::NodeId;
+
+use crate::data_bucket::DataBucket;
+use crate::msg::{DeltaEntry, ShardContent};
+use crate::node::Node;
+use crate::parity_bucket::ParityBucket;
+use crate::registry::SharedHandle;
+use crate::wire::{self, Reader};
+use crate::{Key, Rank};
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying medium failed (filesystem error, out of space, ...).
+    Io(String),
+    /// The stored bytes are not a valid snapshot/log (decode failure past
+    /// the CRC layer, missing snapshot, wrong role). The store cannot seed
+    /// a bucket; recovery must fall back to the RS rebuild.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(why) => write!(f, "store I/O error: {why}"),
+            StoreError::Corrupt(why) => write!(f, "store corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// What the replay found at the end of the log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TailState {
+    /// The log ended exactly at a record boundary.
+    #[default]
+    Clean,
+    /// The last record was cut short mid-write (torn write): treated as a
+    /// clean EOF, the partial record is discarded.
+    Torn {
+        /// Bytes of the partial record dropped.
+        bytes_dropped: u64,
+    },
+    /// A record failed its integrity check; the clean prefix before it was
+    /// replayed, everything from the bad record on was discarded.
+    Corrupt {
+        /// What failed (CRC mismatch, oversized length claim, ...).
+        context: String,
+        /// Bytes discarded from the bad record to the end of the log.
+        bytes_dropped: u64,
+    },
+}
+
+/// Result of [`BucketStore::replay`]: the latest snapshot plus every op
+/// logged after it, in append order.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The latest snapshot state, if one was ever written.
+    pub snapshot: Option<Vec<u8>>,
+    /// Ops appended after that snapshot, oldest first.
+    pub ops: Vec<Vec<u8>>,
+    /// What the end of the log looked like.
+    pub tail: TailState,
+}
+
+/// A per-bucket durable store: append-only op log + latest-state snapshot.
+///
+/// Implementations must make `snapshot` atomic (write-tmp + rename in the
+/// file-backed store) and must treat a torn log tail as clean EOF on
+/// replay — a crash mid-append may never poison the prefix.
+pub trait BucketStore {
+    /// Append one encoded op to the log.
+    fn append(&mut self, op: &[u8]) -> Result<(), StoreError>;
+    /// Atomically replace the snapshot with `state` and truncate the log.
+    fn snapshot(&mut self, state: &[u8]) -> Result<(), StoreError>;
+    /// Read back the snapshot and the logged ops.
+    fn replay(&mut self) -> Result<Replay, StoreError>;
+    /// Erase everything (bucket retired or reassigned).
+    fn reset(&mut self) -> Result<(), StoreError>;
+    /// Ops appended since the last snapshot (drives the snapshot policy).
+    fn appended_since_snapshot(&self) -> u64;
+    /// Current log size in bytes (post-snapshot suffix only).
+    fn wal_bytes(&self) -> u64;
+    /// Flush buffered appends to the medium (fsync-policy hook; a no-op
+    /// for memory-backed stores).
+    fn sync(&mut self) -> Result<(), StoreError>;
+}
+
+/// The durable identity a store is keyed by: logical shard, not node —
+/// the disk follows the bucket through restarts.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StoreId {
+    /// Data bucket `bucket`.
+    Data {
+        /// The bucket number.
+        bucket: u64,
+    },
+    /// Parity column `index` of bucket group `group`.
+    Parity {
+        /// The bucket group.
+        group: u64,
+        /// The parity column index.
+        index: usize,
+    },
+}
+
+/// Builds (or declines to build) a store for a shard landing on a node.
+/// Returning `None` models a node without a usable disk.
+pub type StoreFactory = Rc<dyn Fn(NodeId, &StoreId) -> Option<Box<dyn BucketStore>>>;
+
+// ----- op codec -----
+
+/// One logged bucket operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Data bucket: a record was inserted or updated at `rank`.
+    Set {
+        /// The record's rank.
+        rank: Rank,
+        /// The record's key.
+        key: Key,
+        /// The committed payload.
+        payload: Vec<u8>,
+        /// The bucket's Δ-stream position *after* this commit.
+        delta_seq: u64,
+    },
+    /// Data bucket: the record at `rank` was deleted.
+    Del {
+        /// The deleted record's rank.
+        rank: Rank,
+        /// Its key.
+        key: Key,
+        /// The bucket's Δ-stream position *after* this commit.
+        delta_seq: u64,
+    },
+    /// Parity bucket: a Δ-commit was applied in column order.
+    Delta(DeltaEntry),
+}
+
+const OP_SET: u8 = 1;
+const OP_DEL: u8 = 2;
+const OP_DELTA: u8 = 3;
+
+/// Encode a [`WalOp`] (integrity framing is the store's job, not ours).
+pub fn encode_op(op: &WalOp) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match op {
+        WalOp::Set {
+            rank,
+            key,
+            payload,
+            delta_seq,
+        } => {
+            out.push(OP_SET);
+            wire::put_varint(&mut out, *rank);
+            wire::put_varint(&mut out, *key);
+            wire::put_bytes(&mut out, payload);
+            wire::put_varint(&mut out, *delta_seq);
+        }
+        WalOp::Del {
+            rank,
+            key,
+            delta_seq,
+        } => {
+            out.push(OP_DEL);
+            wire::put_varint(&mut out, *rank);
+            wire::put_varint(&mut out, *key);
+            wire::put_varint(&mut out, *delta_seq);
+        }
+        WalOp::Delta(entry) => {
+            out.push(OP_DELTA);
+            wire::put_delta_entry(&mut out, entry);
+        }
+    }
+    out
+}
+
+/// Decode a [`WalOp`]; the whole buffer must be consumed.
+pub fn decode_op(buf: &[u8]) -> Result<WalOp, StoreError> {
+    let corrupt = |e: wire::WireError| StoreError::Corrupt(format!("wal op: {e}"));
+    let mut r = Reader::new(buf);
+    let op = match r.u8().map_err(corrupt)? {
+        OP_SET => WalOp::Set {
+            rank: r.varint().map_err(corrupt)?,
+            key: r.varint().map_err(corrupt)?,
+            payload: r.bytes("wal payload").map_err(corrupt)?,
+            delta_seq: r.varint().map_err(corrupt)?,
+        },
+        OP_DEL => WalOp::Del {
+            rank: r.varint().map_err(corrupt)?,
+            key: r.varint().map_err(corrupt)?,
+            delta_seq: r.varint().map_err(corrupt)?,
+        },
+        OP_DELTA => WalOp::Delta(wire::get_delta_entry(&mut r).map_err(corrupt)?),
+        t => return Err(StoreError::Corrupt(format!("unknown wal op tag {t}"))),
+    };
+    r.finish().map_err(corrupt)?;
+    Ok(op)
+}
+
+// ----- snapshot codec -----
+
+const SNAP_VERSION: u8 = 1;
+const SNAP_DATA: u8 = 0;
+const SNAP_PARITY: u8 = 1;
+
+/// Encode a data bucket's snapshot state.
+pub(crate) fn encode_data_snapshot(bucket: u64, content: &ShardContent) -> Vec<u8> {
+    let mut out = vec![SNAP_VERSION, SNAP_DATA];
+    wire::put_varint(&mut out, bucket);
+    wire::put_shard_content(&mut out, content);
+    out
+}
+
+/// Encode a parity bucket's snapshot state.
+pub(crate) fn encode_parity_snapshot(
+    group: u64,
+    index: usize,
+    k: usize,
+    content: &ShardContent,
+) -> Vec<u8> {
+    let mut out = vec![SNAP_VERSION, SNAP_PARITY];
+    wire::put_varint(&mut out, group);
+    wire::put_varint(&mut out, index as u64);
+    wire::put_varint(&mut out, k as u64);
+    wire::put_shard_content(&mut out, content);
+    out
+}
+
+/// A decoded bucket snapshot.
+enum Snapshot {
+    Data {
+        bucket: u64,
+        content: ShardContent,
+    },
+    Parity {
+        group: u64,
+        index: usize,
+        k: usize,
+        content: ShardContent,
+    },
+}
+
+fn decode_snapshot(buf: &[u8]) -> Result<Snapshot, StoreError> {
+    let corrupt = |e: wire::WireError| StoreError::Corrupt(format!("snapshot: {e}"));
+    let usize_of = |v: u64| {
+        usize::try_from(v).map_err(|_| StoreError::Corrupt(format!("snapshot index {v} overflows")))
+    };
+    let mut r = Reader::new(buf);
+    let version = r.u8().map_err(corrupt)?;
+    if version != SNAP_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "snapshot version {version} (expected {SNAP_VERSION})"
+        )));
+    }
+    let snap = match r.u8().map_err(corrupt)? {
+        SNAP_DATA => Snapshot::Data {
+            bucket: r.varint().map_err(corrupt)?,
+            content: wire::get_shard_content(&mut r).map_err(corrupt)?,
+        },
+        SNAP_PARITY => Snapshot::Parity {
+            group: r.varint().map_err(corrupt)?,
+            index: usize_of(r.varint().map_err(corrupt)?)?,
+            k: usize_of(r.varint().map_err(corrupt)?)?,
+            content: wire::get_shard_content(&mut r).map_err(corrupt)?,
+        },
+        t => return Err(StoreError::Corrupt(format!("unknown snapshot role {t}"))),
+    };
+    r.finish().map_err(corrupt)?;
+    Ok(snap)
+}
+
+// ----- recovery -----
+
+/// A bucket rebuilt from its local store by [`recover`].
+pub struct Recovered {
+    /// The reconstructed node, store re-attached, flagged to send
+    /// [`crate::msg::Msg::RestartReport`] on its boot `SelfReport`.
+    pub node: Node,
+    /// The durable identity the store claimed.
+    pub store_id: StoreId,
+    /// Logged ops replayed on top of the snapshot.
+    pub ops_replayed: u64,
+    /// Bytes of logged ops replayed.
+    pub bytes_replayed: u64,
+    /// What the log tail looked like.
+    pub tail: TailState,
+}
+
+/// Rebuild a bucket from its durable store: decode the snapshot, fold the
+/// logged op suffix over it, and hand back a node ready to be hosted.
+///
+/// A torn or corrupt log *tail* is survivable (the clean prefix is state
+/// the rest of the file may have moved past anyway — the Δ-suffix
+/// handshake reconciles it). A missing or undecodable *snapshot* is not:
+/// that store cannot seed a bucket and the caller must fall back to the
+/// full RS rebuild.
+pub fn recover(
+    shared: &SharedHandle,
+    mut store: Box<dyn BucketStore>,
+) -> Result<Recovered, StoreError> {
+    let replay = store.replay()?;
+    let snap_buf = replay
+        .snapshot
+        .ok_or_else(|| StoreError::Corrupt("store has no snapshot".into()))?;
+    let mut ops_replayed = 0u64;
+    let mut bytes_replayed = 0u64;
+    let node = match decode_snapshot(&snap_buf)? {
+        Snapshot::Data { bucket, content } => {
+            let ShardContent::Data {
+                level,
+                next_rank,
+                delta_seq,
+                records,
+            } = content
+            else {
+                return Err(StoreError::Corrupt(
+                    "data snapshot holds parity content".into(),
+                ));
+            };
+            let mut map: BTreeMap<Rank, (Key, Vec<u8>)> = records
+                .into_iter()
+                .map(|(rank, key, payload)| (rank, (key, payload)))
+                .collect();
+            let mut next_rank = next_rank;
+            let mut delta_seq = delta_seq;
+            for buf in &replay.ops {
+                match decode_op(buf)? {
+                    WalOp::Set {
+                        rank,
+                        key,
+                        payload,
+                        delta_seq: seq,
+                    } => {
+                        map.insert(rank, (key, payload));
+                        next_rank = next_rank.max(rank.saturating_add(1));
+                        delta_seq = delta_seq.max(seq);
+                    }
+                    WalOp::Del {
+                        rank,
+                        delta_seq: seq,
+                        ..
+                    } => {
+                        map.remove(&rank);
+                        delta_seq = delta_seq.max(seq);
+                    }
+                    WalOp::Delta(_) => {
+                        return Err(StoreError::Corrupt(
+                            "data store logged a parity delta".into(),
+                        ));
+                    }
+                }
+                ops_replayed += 1;
+                bytes_replayed += buf.len() as u64;
+            }
+            let records: Vec<(Rank, Key, Vec<u8>)> = map
+                .into_iter()
+                .map(|(rank, (key, payload))| (rank, key, payload))
+                .collect();
+            let mut d = DataBucket::from_content(
+                shared.clone(),
+                bucket,
+                level,
+                next_rank,
+                delta_seq,
+                records,
+            );
+            d.mark_restarted();
+            d.attach_store(store);
+            d.snapshot_now();
+            Node::Data(d)
+        }
+        Snapshot::Parity {
+            group,
+            index,
+            k,
+            content,
+        } => {
+            let ShardContent::Parity { records, col_seqs } = content else {
+                return Err(StoreError::Corrupt(
+                    "parity snapshot holds data content".into(),
+                ));
+            };
+            let mut p =
+                ParityBucket::from_content(shared.clone(), group, index, k, records, col_seqs);
+            for buf in &replay.ops {
+                match decode_op(buf)? {
+                    WalOp::Delta(entry) => p.replay_entry(entry),
+                    WalOp::Set { .. } | WalOp::Del { .. } => {
+                        return Err(StoreError::Corrupt("parity store logged a data op".into()));
+                    }
+                }
+                ops_replayed += 1;
+                bytes_replayed += buf.len() as u64;
+            }
+            p.attach_store(store);
+            p.snapshot_now();
+            Node::Parity(p)
+        }
+    };
+    let store_id = match &node {
+        Node::Data(d) => StoreId::Data { bucket: d.bucket },
+        Node::Parity(p) => StoreId::Parity {
+            group: p.group,
+            index: p.index,
+        },
+        _ => {
+            return Err(StoreError::Corrupt(
+                "recovered node has no storage role".into(),
+            ))
+        }
+    };
+    Ok(Recovered {
+        node,
+        store_id,
+        ops_replayed,
+        bytes_replayed,
+        tail: replay.tail,
+    })
+}
+
+// ----- in-memory store for the simulator drills -----
+
+#[derive(Default)]
+struct MemInner {
+    snapshot: Option<Vec<u8>>,
+    ops: Vec<Vec<u8>>,
+    bytes: u64,
+}
+
+/// A handle to one simulated "disk": survives the bucket's crash so a
+/// drill can reopen it, chop its tail, or destroy it.
+#[derive(Clone, Default)]
+pub struct MemDisk {
+    inner: Rc<RefCell<MemInner>>,
+}
+
+impl MemDisk {
+    /// Number of ops currently logged after the snapshot.
+    pub fn ops_len(&self) -> usize {
+        self.inner.borrow().ops.len()
+    }
+
+    /// Keep only the first `keep` logged ops (simulates losing the log
+    /// tail — e.g. an unsynced page cache at power loss).
+    pub fn truncate_ops(&self, keep: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.ops.truncate(keep);
+        inner.bytes = inner.ops.iter().map(|o| o.len() as u64).sum();
+    }
+
+    /// Open a store view onto this disk.
+    pub fn open(&self) -> Box<dyn BucketStore> {
+        Box::new(MemStore { disk: self.clone() })
+    }
+}
+
+/// [`BucketStore`] over a [`MemDisk`].
+pub struct MemStore {
+    disk: MemDisk,
+}
+
+impl BucketStore for MemStore {
+    fn append(&mut self, op: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.disk.inner.borrow_mut();
+        inner.bytes += op.len() as u64;
+        inner.ops.push(op.to_vec());
+        Ok(())
+    }
+
+    fn snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
+        let mut inner = self.disk.inner.borrow_mut();
+        inner.snapshot = Some(state.to_vec());
+        inner.ops.clear();
+        inner.bytes = 0;
+        Ok(())
+    }
+
+    fn replay(&mut self) -> Result<Replay, StoreError> {
+        let inner = self.disk.inner.borrow();
+        Ok(Replay {
+            snapshot: inner.snapshot.clone(),
+            ops: inner.ops.clone(),
+            tail: TailState::Clean,
+        })
+    }
+
+    fn reset(&mut self) -> Result<(), StoreError> {
+        let mut inner = self.disk.inner.borrow_mut();
+        inner.snapshot = None;
+        inner.ops.clear();
+        inner.bytes = 0;
+        Ok(())
+    }
+
+    fn appended_since_snapshot(&self) -> u64 {
+        self.disk.inner.borrow().ops.len() as u64
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.disk.inner.borrow().bytes
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// A fleet of [`MemDisk`]s keyed by [`StoreId`], with a [`StoreFactory`]
+/// view for [`crate::registry::Shared::set_store_factory`]. Disks follow
+/// the logical shard, not the node, exactly like a reattached volume.
+#[derive(Clone, Default)]
+pub struct MemHub {
+    disks: Rc<RefCell<HashMap<StoreId, MemDisk>>>,
+    dead: Rc<RefCell<HashSet<StoreId>>>,
+}
+
+impl MemHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The factory view: creates a disk per store id on first use, and
+    /// declines for ids that were [`MemHub::destroy`]ed.
+    pub fn factory(&self) -> StoreFactory {
+        let hub = self.clone();
+        Rc::new(move |_node, id| {
+            if hub.dead.borrow().contains(id) {
+                return None;
+            }
+            let disk = hub
+                .disks
+                .borrow_mut()
+                .entry(id.clone())
+                .or_default()
+                .clone();
+            Some(disk.open())
+        })
+    }
+
+    /// The disk behind `id`, if one was ever created.
+    pub fn disk(&self, id: &StoreId) -> Option<MemDisk> {
+        self.disks.borrow().get(id).cloned()
+    }
+
+    /// Destroy the disk behind `id`: its contents are gone and the factory
+    /// declines to recreate it (the disk-lost drill arm).
+    pub fn destroy(&self, id: &StoreId) {
+        self.disks.borrow_mut().remove(id);
+        self.dead.borrow_mut().insert(id.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::KeyOp;
+
+    #[test]
+    fn wal_op_roundtrip() {
+        let ops = [
+            WalOp::Set {
+                rank: 3,
+                key: 77,
+                payload: vec![1, 2, 3],
+                delta_seq: 9,
+            },
+            WalOp::Del {
+                rank: 3,
+                key: 77,
+                delta_seq: 10,
+            },
+            WalOp::Delta(DeltaEntry {
+                seq: 4,
+                rank: 1,
+                col: 2,
+                key_op: KeyOp::Add(5),
+                delta_cell: vec![0, 9],
+            }),
+        ];
+        for op in &ops {
+            assert_eq!(&decode_op(&encode_op(op)).unwrap(), op, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn decode_op_rejects_garbage_and_trailing() {
+        assert!(decode_op(&[]).is_err());
+        assert!(decode_op(&[99]).is_err());
+        let mut buf = encode_op(&WalOp::Del {
+            rank: 0,
+            key: 0,
+            delta_seq: 0,
+        });
+        buf.push(7);
+        assert!(decode_op(&buf).is_err());
+    }
+
+    #[test]
+    fn snapshot_codec_rejects_bad_version_and_role() {
+        let content = ShardContent::Data {
+            level: 0,
+            next_rank: 0,
+            delta_seq: 0,
+            records: Vec::new(),
+        };
+        let mut buf = encode_data_snapshot(3, &content);
+        assert!(decode_snapshot(&buf).is_ok());
+        buf[0] = 9;
+        assert!(matches!(decode_snapshot(&buf), Err(StoreError::Corrupt(_))));
+        buf[0] = SNAP_VERSION;
+        buf[1] = 7;
+        assert!(decode_snapshot(&buf).is_err());
+    }
+
+    #[test]
+    fn mem_disk_survives_and_truncates() {
+        let hub = MemHub::new();
+        let id = StoreId::Data { bucket: 0 };
+        let factory = hub.factory();
+        let mut store = factory(NodeId(1), &id).unwrap();
+        store.snapshot(b"snap").unwrap();
+        store.append(b"a").unwrap();
+        store.append(b"bb").unwrap();
+        assert_eq!(store.appended_since_snapshot(), 2);
+        assert_eq!(store.wal_bytes(), 3);
+        drop(store);
+
+        // Chop the tail, reopen "after the crash".
+        hub.disk(&id).unwrap().truncate_ops(1);
+        let mut store = factory(NodeId(2), &id).unwrap();
+        let rep = store.replay().unwrap();
+        assert_eq!(rep.snapshot.as_deref(), Some(&b"snap"[..]));
+        assert_eq!(rep.ops, vec![b"a".to_vec()]);
+        assert_eq!(rep.tail, TailState::Clean);
+
+        hub.destroy(&id);
+        assert!(factory(NodeId(2), &id).is_none());
+    }
+}

@@ -173,6 +173,14 @@ pub mod tag {
     pub const STATE_QUERY: u8 = 36;
     /// `Msg::StateReply`
     pub const STATE_REPLY: u8 = 37;
+    /// `Msg::RestartReport`
+    pub const RESTART_REPORT: u8 = 38;
+    /// `Msg::SuffixPull`
+    pub const SUFFIX_PULL: u8 = 39;
+    /// `Msg::DeltaSuffix`
+    pub const DELTA_SUFFIX: u8 = 40;
+    /// `Msg::SuffixInfo`
+    pub const SUFFIX_INFO: u8 = 41;
 }
 
 /// Tag table for [`CoordEvent`](crate::coordinator::CoordEvent) — a
@@ -199,6 +207,8 @@ pub mod etag {
     pub const RECOVERY_STALLED: u8 = 9;
     /// `CoordEvent::InvariantViolated`
     pub const INVARIANT_VIOLATED: u8 = 10;
+    /// `CoordEvent::BucketRestarted`
+    pub const BUCKET_RESTARTED: u8 = 11;
 }
 
 // ----- encoding primitives -----
@@ -594,7 +604,7 @@ fn get_key_op(r: &mut Reader<'_>) -> Result<KeyOp, WireError> {
     }
 }
 
-fn put_delta_entry(out: &mut Vec<u8>, e: &DeltaEntry) {
+pub(crate) fn put_delta_entry(out: &mut Vec<u8>, e: &DeltaEntry) {
     put_varint(out, e.seq);
     put_varint(out, e.rank);
     put_varint(out, e.col as u64);
@@ -602,7 +612,7 @@ fn put_delta_entry(out: &mut Vec<u8>, e: &DeltaEntry) {
     put_bytes(out, &e.delta_cell);
 }
 
-fn get_delta_entry(r: &mut Reader<'_>) -> Result<DeltaEntry, WireError> {
+pub(crate) fn get_delta_entry(r: &mut Reader<'_>) -> Result<DeltaEntry, WireError> {
     Ok(DeltaEntry {
         seq: r.varint()?,
         rank: r.varint()?,
@@ -664,7 +674,7 @@ fn get_replay_list(r: &mut Reader<'_>) -> Result<Vec<ReplayEntry>, WireError> {
     Ok(replay)
 }
 
-fn put_shard_content(out: &mut Vec<u8>, c: &ShardContent) {
+pub(crate) fn put_shard_content(out: &mut Vec<u8>, c: &ShardContent) {
     match c {
         ShardContent::Data {
             level,
@@ -702,7 +712,7 @@ fn put_shard_content(out: &mut Vec<u8>, c: &ShardContent) {
     }
 }
 
-fn get_shard_content(r: &mut Reader<'_>) -> Result<ShardContent, WireError> {
+pub(crate) fn get_shard_content(r: &mut Reader<'_>) -> Result<ShardContent, WireError> {
     match r.u8()? {
         0 => {
             let level = r.u8()?;
@@ -1008,6 +1018,54 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             }
         }
         Msg::OwnershipAck => out.push(tag::OWNERSHIP_ACK),
+        Msg::RestartReport { bucket, delta_seq } => {
+            out.push(tag::RESTART_REPORT);
+            put_varint(&mut out, *bucket);
+            put_varint(&mut out, *delta_seq);
+        }
+        Msg::SuffixPull {
+            group,
+            col,
+            from_seq,
+            target,
+        } => {
+            out.push(tag::SUFFIX_PULL);
+            put_varint(&mut out, *group);
+            put_varint(&mut out, *col as u64);
+            put_varint(&mut out, *from_seq);
+            put_node(&mut out, *target);
+        }
+        Msg::DeltaSuffix {
+            col,
+            from_seq,
+            entries,
+            complete,
+        } => {
+            out.push(tag::DELTA_SUFFIX);
+            put_varint(&mut out, *col as u64);
+            put_varint(&mut out, *from_seq);
+            put_varint(&mut out, entries.len() as u64);
+            for e in entries {
+                put_delta_entry(&mut out, e);
+            }
+            out.push(u8::from(*complete));
+        }
+        Msg::SuffixInfo {
+            bucket,
+            col,
+            next_seq,
+            covered,
+            count,
+            bytes,
+        } => {
+            out.push(tag::SUFFIX_INFO);
+            put_varint(&mut out, *bucket);
+            put_varint(&mut out, *col as u64);
+            put_varint(&mut out, *next_seq);
+            out.push(u8::from(*covered));
+            put_varint(&mut out, *count);
+            put_varint(&mut out, *bytes);
+        }
         Msg::CheckGroup { group } => {
             out.push(tag::CHECK_GROUP);
             put_varint(&mut out, *group);
@@ -1206,6 +1264,39 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
             Msg::CheckOwnership { bucket, parity }
         }
         tag::OWNERSHIP_ACK => Msg::OwnershipAck,
+        tag::RESTART_REPORT => Msg::RestartReport {
+            bucket: r.varint()?,
+            delta_seq: r.varint()?,
+        },
+        tag::SUFFIX_PULL => Msg::SuffixPull {
+            group: r.varint()?,
+            col: varint_usize(&mut r, "suffix column")?,
+            from_seq: r.varint()?,
+            target: r.node()?,
+        },
+        tag::DELTA_SUFFIX => {
+            let col = varint_usize(&mut r, "suffix column")?;
+            let from_seq = r.varint()?;
+            let n = r.len("delta suffix")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(get_delta_entry(&mut r)?);
+            }
+            Msg::DeltaSuffix {
+                col,
+                from_seq,
+                entries,
+                complete: r.u8()? != 0,
+            }
+        }
+        tag::SUFFIX_INFO => Msg::SuffixInfo {
+            bucket: r.varint()?,
+            col: varint_usize(&mut r, "suffix column")?,
+            next_seq: r.varint()?,
+            covered: r.u8()? != 0,
+            count: r.varint()?,
+            bytes: r.varint()?,
+        },
         tag::CHECK_GROUP => Msg::CheckGroup { group: r.varint()? },
         tag::RECOVER_FILE_STATE => Msg::RecoverFileState,
         tag::STATE_QUERY => Msg::StateQuery,
@@ -1298,6 +1389,11 @@ pub fn encode_coord_event(ev: &CoordEvent) -> Vec<u8> {
             out.push(etag::INVARIANT_VIOLATED);
             put_bytes(&mut out, context.as_bytes());
         }
+        CoordEvent::BucketRestarted { bucket, suffix_len } => {
+            out.push(etag::BUCKET_RESTARTED);
+            put_varint(&mut out, *bucket);
+            put_varint(&mut out, *suffix_len);
+        }
     }
     out
 }
@@ -1367,6 +1463,10 @@ pub fn decode_coord_event(buf: &[u8]) -> Result<CoordEvent, WireError> {
         etag::INVARIANT_VIOLATED => CoordEvent::InvariantViolated {
             context: String::from_utf8(r.bytes("event context")?)
                 .map_err(|_| WireError::BadUtf8)?,
+        },
+        etag::BUCKET_RESTARTED => CoordEvent::BucketRestarted {
+            bucket: r.varint()?,
+            suffix_len: r.varint()?,
         },
         _ => {
             return Err(WireError::UnknownTag {
@@ -1505,6 +1605,53 @@ mod tests {
     }
 
     #[test]
+    fn restart_suffix_messages_roundtrip() {
+        let entry = DeltaEntry {
+            seq: 9,
+            rank: 4,
+            col: 2,
+            key_op: KeyOp::Keep,
+            delta_cell: vec![1, 2, 3],
+        };
+        let msgs = [
+            Msg::RestartReport {
+                bucket: 6,
+                delta_seq: 41,
+            },
+            Msg::SuffixPull {
+                group: 1,
+                col: 2,
+                from_seq: 41,
+                target: lhrs_sim::NodeId(9),
+            },
+            Msg::DeltaSuffix {
+                col: 2,
+                from_seq: 41,
+                entries: vec![entry.clone(), entry],
+                complete: true,
+            },
+            Msg::DeltaSuffix {
+                col: 0,
+                from_seq: 0,
+                entries: Vec::new(),
+                complete: false,
+            },
+            Msg::SuffixInfo {
+                bucket: 6,
+                col: 2,
+                next_seq: 43,
+                covered: true,
+                count: 2,
+                bytes: 6,
+            },
+        ];
+        for m in &msgs {
+            let buf = encode_msg(m);
+            assert_eq!(&decode_msg(&buf).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
     fn coord_event_roundtrip_all_variants() {
         let events = [
             CoordEvent::Split {
@@ -1538,6 +1685,10 @@ mod tests {
             },
             CoordEvent::InvariantViolated {
                 context: "find-record reply missing the searched key".to_string(),
+            },
+            CoordEvent::BucketRestarted {
+                bucket: 5,
+                suffix_len: 17,
             },
         ];
         for ev in &events {

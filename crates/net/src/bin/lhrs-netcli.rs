@@ -34,6 +34,10 @@ use lhrs_sim::NodeId;
 /// recovery before its retry succeeds.
 const OP_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Deadline for the raw `stats` TCP connect: an unreachable node must fail
+/// the command quickly, not leave it blocked in the kernel's connect queue.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 fn usage() -> ! {
     eprintln!(
         "usage: lhrs-netcli --config <cluster.conf> --node <id> \
@@ -96,9 +100,22 @@ fn main() {
             fail(&format!("node {target} not in the spec"));
         }
         let addr = spec.addr_of(target);
-        let mut stream = std::net::TcpStream::connect(addr)
-            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+        // A bounded connect: `TcpStream::connect` alone can block for the
+        // kernel's SYN-retry budget (minutes) when the node is unreachable.
+        let resolved: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(addr)
+            .unwrap_or_else(|e| fail(&format!("cannot resolve {addr}: {e}")))
+            .collect();
+        let mut stream = resolved
+            .iter()
+            .find_map(|sa| std::net::TcpStream::connect_timeout(sa, CONNECT_TIMEOUT).ok())
+            .unwrap_or_else(|| {
+                fail(&format!(
+                    "cannot connect to {addr} within {}s (node down?)",
+                    CONNECT_TIMEOUT.as_secs()
+                ))
+            });
         let _ = stream.set_read_timeout(Some(OP_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(OP_TIMEOUT));
         write_frame(
             &mut stream,
             FrameType::StatsPull,

@@ -6,51 +6,74 @@
 //! lhrs-netd --config cluster.conf --nodes 2          # one bucket
 //! lhrs-netd --config cluster.conf --nodes 4,5,6      # several nodes
 //! lhrs-netd --config cluster.conf --nodes 0 --trace-dump coord.jsonl
+//! lhrs-netd --config cluster.conf --nodes 2 --data-dir /var/lhrs
 //! ```
 //!
 //! The process binds one TCP listener per hosted node, builds the node
 //! actors from the shared cluster spec, and runs the host loop until
 //! killed.
 //!
+//! With `--data-dir <root>` every hosted bucket is durable: commits land in
+//! a per-shard write-ahead log under `<root>/node-<id>/` (fsync cadence set
+//! by the spec's `wal_fsync` knob). On boot, a node whose shard directory
+//! holds a usable snapshot is rebuilt from it — snapshot decode plus log
+//! replay — and announces itself to the coordinator, which tops it up with
+//! the Δ-suffix it missed while down instead of a full Reed–Solomon
+//! rebuild. An unreadable store just boots blank and the classic recovery
+//! path takes over.
+//!
 //! Every `lhrs-netd` process records wall-clock metrics and a structured
 //! trace ring. The live counters are served over the wire: send the
 //! process a `StatsPull` frame (`lhrs-netcli ... stats <node>`) and it
 //! answers with a Prometheus text snapshot on the same connection. With
 //! `--trace-dump <path>` the trace ring is additionally flushed to `path`
-//! as JSONL twice a second (write-to-temp + rename), so the last pre-kill
-//! timeline survives even a SIGKILL during a failure drill.
+//! as JSONL twice a second (write-to-temp + fsync + rename), so the last
+//! pre-kill timeline survives even a SIGKILL during a failure drill; a
+//! final dump is written on clean shutdown.
 
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
 use std::process::exit;
 use std::sync::mpsc;
 use std::time::Duration;
 
+use lhrs_core::msg::Msg;
 use lhrs_net::cluster::ClusterSpec;
+use lhrs_net::durable::{blank_node, durable_boot, wal_factory, DurableBoot};
 use lhrs_net::host::NodeHost;
 use lhrs_net::transport::TcpTransport;
 use lhrs_obs::{Clock, Metrics};
+use lhrs_sim::NodeId;
 
 fn usage() -> ! {
     eprintln!(
         "usage: lhrs-netd --config <cluster.conf> --nodes <id[,id...]> \
-         [--trace-dump <path>] [--verbose]"
+         [--data-dir <root>] [--trace-dump <path>] [--verbose]"
     );
     exit(2);
 }
 
-/// Periodically flush the trace ring to `path` as JSONL. Writes go to a
-/// sibling temp file first and are renamed into place, so a reader (or a
-/// kill) never sees a half-written dump.
+/// One atomic, durable trace dump: write a sibling temp file, fsync it,
+/// rename into place. A reader (or a kill at any instant) sees either the
+/// previous complete dump or this one — never a torn file, and never an
+/// empty rename target whose bytes were still in the page cache.
+fn dump_trace(metrics: &Metrics, path: &str) {
+    let tmp = format!("{path}.tmp");
+    let written = std::fs::File::create(&tmp).and_then(|mut f| {
+        f.write_all(metrics.trace_jsonl().as_bytes())?;
+        f.sync_all()
+    });
+    if written.is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Periodically flush the trace ring to `path` as JSONL.
 fn spawn_trace_dumper(metrics: Metrics, path: String) {
-    std::thread::spawn(move || {
-        let tmp = format!("{path}.tmp");
-        loop {
-            std::thread::sleep(Duration::from_millis(500));
-            let jsonl = metrics.trace_jsonl();
-            if std::fs::write(&tmp, jsonl.as_bytes()).is_ok() {
-                let _ = std::fs::rename(&tmp, &path);
-            }
-        }
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_millis(500));
+        dump_trace(&metrics, &path);
     });
 }
 
@@ -58,12 +81,14 @@ fn main() {
     let mut config: Option<String> = None;
     let mut nodes: Vec<u32> = Vec::new();
     let mut trace_dump: Option<String> = None;
+    let mut data_dir: Option<String> = None;
     let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config = args.next(),
             "--trace-dump" => trace_dump = args.next(),
+            "--data-dir" => data_dir = args.next(),
             "--verbose" => verbose = true,
             "--nodes" => {
                 let list = args.next().unwrap_or_else(|| usage());
@@ -104,8 +129,8 @@ fn main() {
     }
 
     let metrics = Metrics::new(Clock::wall());
-    if let Some(path) = trace_dump {
-        spawn_trace_dumper(metrics.clone(), path);
+    if let Some(path) = &trace_dump {
+        spawn_trace_dumper(metrics.clone(), path.clone());
     }
 
     let local: Vec<(u32, String)> = nodes
@@ -124,10 +149,44 @@ fn main() {
         };
 
     let shared = spec.build_shared();
+    let data_root = data_dir.map(PathBuf::from);
+    if let Some(root) = &data_root {
+        shared.set_store_factory(wal_factory(root.clone(), spec.cfg.wal_fsync));
+    }
+
     let mut host = NodeHost::new(shared.clone(), transport, tx, rx);
-    host.set_metrics(metrics);
+    host.set_metrics(metrics.clone());
+    let mut recovered: Vec<u32> = Vec::new();
     for &id in &nodes {
-        host.add_node(id, spec.build_node(&shared, id));
+        let node = match &data_root {
+            Some(root) => match durable_boot(&shared, root, id, spec.cfg.wal_fsync, &metrics) {
+                DurableBoot::Recovered(node) => {
+                    eprintln!("lhrs-netd: node {id}: resurrected from its WAL");
+                    recovered.push(id);
+                    node
+                }
+                DurableBoot::Blank => {
+                    eprintln!(
+                        "lhrs-netd: node {id}: durable root holds no usable store; \
+                         booting blank (coordinator-driven rebuild)"
+                    );
+                    blank_node(&shared)
+                }
+                DurableBoot::Fresh => {
+                    let mut node = spec.build_node(&shared, id);
+                    node.attach_fresh_store(NodeId(id));
+                    node
+                }
+            },
+            None => spec.build_node(&shared, id),
+        };
+        host.add_node(id, node);
+    }
+    // A resurrected bucket reports in immediately: the boot `SelfReport`
+    // carries its replayed Δ-position and the coordinator answers with the
+    // missed suffix (or demotes it if the suffix is uncoverable).
+    for &id in &recovered {
+        host.inject(id, Msg::SelfReport);
     }
     eprintln!(
         "lhrs-netd: hosting nodes {nodes:?} ({})",
@@ -140,7 +199,7 @@ fn main() {
     if verbose && nodes.contains(&0) {
         // Coordinator host: narrate structural events as they happen.
         let mut seen = 0usize;
-        loop {
+        while !host.is_shutdown() {
             host.poll(std::time::Duration::from_millis(50));
             let events = &host.node(0).as_coordinator().events;
             for (t, ev) in &events[seen..] {
@@ -148,6 +207,12 @@ fn main() {
             }
             seen = events.len();
         }
+    } else {
+        host.run();
     }
-    host.run();
+    // Clean shutdown: one final durable dump so the trace file reflects the
+    // whole run, not just the last 500 ms tick.
+    if let Some(path) = &trace_dump {
+        dump_trace(host.metrics(), path);
+    }
 }

@@ -132,6 +132,9 @@ impl ClusterSpec {
             ("coord_retransmit_us", c.coord_retransmit_us.to_string()),
             ("coord_retries", c.coord_retries.to_string()),
             ("replay_cache_cap", c.replay_cache_cap.to_string()),
+            ("wal_snapshot_every", c.wal_snapshot_every.to_string()),
+            ("delta_history_cap", c.delta_history_cap.to_string()),
+            ("wal_fsync", c.wal_fsync.to_string()),
         ] {
             out.push_str(&format!("config {key} {val}\n"));
         }
@@ -271,6 +274,9 @@ fn apply_config(cfg: &mut Config, key: &str, val: &str) -> Result<(), String> {
         "coord_retransmit_us" => cfg.coord_retransmit_us = p(key, val)?,
         "coord_retries" => cfg.coord_retries = p(key, val)?,
         "replay_cache_cap" => cfg.replay_cache_cap = p(key, val)?,
+        "wal_snapshot_every" => cfg.wal_snapshot_every = p(key, val)?,
+        "delta_history_cap" => cfg.delta_history_cap = p(key, val)?,
+        "wal_fsync" => cfg.wal_fsync = p(key, val)?,
         other => return Err(format!("unknown config key {other:?}")),
     }
     Ok(())
@@ -314,6 +320,19 @@ node 5 127.0.0.1:7005
         assert_eq!(spec.nodes, again.nodes);
         assert_eq!(spec.cfg.group_size, again.cfg.group_size);
         assert_eq!(spec.cfg.replay_cache_cap, again.cfg.replay_cache_cap);
+        assert_eq!(spec.cfg.wal_snapshot_every, again.cfg.wal_snapshot_every);
+        assert_eq!(spec.cfg.delta_history_cap, again.cfg.delta_history_cap);
+        assert_eq!(spec.cfg.wal_fsync, again.cfg.wal_fsync);
+    }
+
+    #[test]
+    fn wal_knobs_parse() {
+        let text = format!("{SPEC}config wal_snapshot_every 16\nconfig delta_history_cap 64\nconfig wal_fsync always\n");
+        let spec = ClusterSpec::parse(&text).unwrap();
+        assert_eq!(spec.cfg.wal_snapshot_every, 16);
+        assert_eq!(spec.cfg.delta_history_cap, 64);
+        assert_eq!(spec.cfg.wal_fsync, lhrs_core::FsyncPolicy::Always);
+        assert!(ClusterSpec::parse(&format!("{SPEC}config wal_fsync sometimes\n")).is_err());
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Durable-boot plumbing shared by `lhrs-netd` and the restart drills:
+//! where a node's write-ahead logs live on disk, the [`StoreFactory`] that
+//! opens them, and the boot-time resurrection of a data bucket from a
+//! surviving store.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use lhrs_core::node::Node;
+use lhrs_core::registry::SharedHandle;
+use lhrs_core::storage::{self, BucketStore, StoreFactory};
+use lhrs_core::FsyncPolicy;
+use lhrs_obs::{Event, Metrics};
+use lhrs_wal::FileWal;
+
+/// The durable root for one hosted node's shards: `<root>/node-<id>`.
+pub fn node_root(root: &Path, id: u32) -> PathBuf {
+    root.join(format!("node-{id}"))
+}
+
+/// A [`StoreFactory`] giving every (node, shard) pair its own directory
+/// under `root`, so one machine can host several nodes without their logs
+/// colliding. Declines (modelling a dead disk) when the directory cannot
+/// be opened.
+pub fn wal_factory(root: PathBuf, fsync: FsyncPolicy) -> StoreFactory {
+    Rc::new(move |node, id| {
+        let dir = lhrs_wal::store_dir(&node_root(&root, node.0), id);
+        FileWal::open(dir, fsync)
+            .ok()
+            .map(|w| Box::new(w) as Box<dyn BucketStore>)
+    })
+}
+
+/// What a durable host should boot node `id` as.
+// One value per boot decision; the Recovered(Node) payload's size is
+// irrelevant at this frequency.
+#[allow(clippy::large_enum_variant)]
+pub enum DurableBoot {
+    /// A usable store was found: host this resurrected node and announce
+    /// the restart (`Msg::SelfReport`) so the coordinator tops it up with
+    /// the missed Δ-suffix.
+    Recovered(Node),
+    /// The node's durable root exists but holds no usable data-shard
+    /// store — this is a *restart* whose state is gone (wiped disk,
+    /// damaged snapshot, or a parity column, which is never resurrected).
+    /// The node must boot blank: rebuilding the spec's initial shard here
+    /// would fabricate an empty bucket that answers lookups with
+    /// authoritative misses for acked records. Blank, it stays silent and
+    /// the coordinator's probe timeout routes the shard through the full
+    /// RS rebuild.
+    Blank,
+    /// No durable root at all: a genuine first boot. Build the spec's
+    /// initial node and seed a fresh store. (An operator re-pointing a
+    /// restarted node at a brand-new empty root is indistinguishable from
+    /// this — mount the old disk, even if wiped, so the root exists.)
+    Fresh,
+}
+
+/// A blank (pool/spare) node over `shared` — the [`DurableBoot::Blank`]
+/// outcome.
+pub fn blank_node(shared: &SharedHandle) -> Node {
+    Node::Blank {
+        shared: shared.clone(),
+        pending: Vec::new(),
+    }
+}
+
+/// Decide how to boot node `id` under durable root `root`.
+pub fn durable_boot(
+    shared: &SharedHandle,
+    root: &Path,
+    id: u32,
+    fsync: FsyncPolicy,
+    metrics: &Metrics,
+) -> DurableBoot {
+    if !node_root(root, id).is_dir() {
+        return DurableBoot::Fresh;
+    }
+    match recover_node(shared, root, id, fsync, metrics) {
+        Some(node) => DurableBoot::Recovered(node),
+        None => DurableBoot::Blank,
+    }
+}
+
+/// Try to rebuild node `id` from a surviving data-shard store under its
+/// durable root. Returns the recovered node if a usable snapshot was
+/// found; any failure (no directory, no snapshot, damaged snapshot) means
+/// a blank boot and the classic recovery path. A successful replay is
+/// traced as [`Event::WalReplay`]; an unusable store bumps `wal_errors`.
+///
+/// Only *data* shards are resurrected here: a restarted data bucket is
+/// reconciled by the coordinator's Δ-suffix handshake, but there is no
+/// such handshake for parity columns, and serving stale parity would
+/// silently corrupt later decodes. Stale parity state is erased on the
+/// next `InitParity`/`Install` instead.
+pub fn recover_node(
+    shared: &SharedHandle,
+    root: &Path,
+    id: u32,
+    fsync: FsyncPolicy,
+    metrics: &Metrics,
+) -> Option<Node> {
+    let dir = node_root(root, id);
+    let entries = std::fs::read_dir(&dir).ok()?;
+    for entry in entries.flatten() {
+        let shard_dir = entry.path();
+        let name = entry.file_name();
+        if !name.to_string_lossy().starts_with("data-") || !FileWal::has_state(&shard_dir) {
+            continue;
+        }
+        let Ok(wal) = FileWal::open(shard_dir.clone(), fsync) else {
+            continue;
+        };
+        match storage::recover(shared, Box::new(wal)) {
+            Ok(rec) => {
+                if let Node::Data(d) = &rec.node {
+                    metrics.trace(
+                        0,
+                        Event::WalReplay {
+                            bucket: d.bucket,
+                            ops: rec.ops_replayed,
+                            bytes: rec.bytes_replayed,
+                        },
+                    );
+                }
+                return Some(rec.node);
+            }
+            Err(e) => {
+                metrics.incr("wal_errors");
+                eprintln!(
+                    "lhrs-net: node {id}: store {} unusable ({e}); booting blank",
+                    shard_dir.display()
+                );
+            }
+        }
+    }
+    None
+}

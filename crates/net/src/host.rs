@@ -467,7 +467,20 @@ impl<T: Transport> NodeHost<T> {
         did |= self.fire_due_timers();
         did |= self.drain_local();
         self.heartbeat();
+        if did {
+            self.sync_stores();
+        }
         did
+    }
+
+    /// Flush every hosted node's durable store: the
+    /// [`lhrs_core::FsyncPolicy::Batch`] semantic is one fsync per poll
+    /// batch, however many appends the batch carried. A no-op for nodes
+    /// without a store or with nothing buffered.
+    fn sync_stores(&mut self) {
+        for node in self.nodes.values_mut() {
+            node.sync_store();
+        }
     }
 
     /// Authoritative side: periodic table rebroadcast, healing peers that

@@ -35,6 +35,7 @@
 pub mod client;
 pub mod cluster;
 pub mod demo;
+pub mod durable;
 pub mod frame;
 pub mod host;
 pub mod transport;

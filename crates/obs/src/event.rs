@@ -98,6 +98,34 @@ pub enum Event {
         /// What failed to decode.
         context: String,
     },
+    /// A bucket rebuilt itself from its local snapshot + write-ahead log
+    /// after a process restart.
+    WalReplay {
+        /// The replayed shard: the data bucket number, or `m + index` for
+        /// parity column `index` (the shard-index convention of recovery).
+        bucket: u64,
+        /// Logged ops folded over the snapshot.
+        ops: u64,
+        /// Bytes of logged ops replayed.
+        bytes: u64,
+    },
+    /// A restarted data bucket caught up via a Δ-suffix from its parity
+    /// group instead of a full RS rebuild.
+    RestartSuffix {
+        /// The catching-up data bucket.
+        bucket: u64,
+        /// Suffix entries applied.
+        entries: u64,
+        /// Suffix payload bytes applied.
+        bytes: u64,
+    },
+    /// A restart could not be served by Δ-suffix catch-up (divergent parity
+    /// watermarks, truncated history, or a busy group): the coordinator
+    /// fell back to the full RS rebuild.
+    RestartFallback {
+        /// The data bucket that fell back.
+        bucket: u64,
+    },
 }
 
 /// Append a JSON string literal (with escaping) to `out`.
@@ -136,6 +164,9 @@ impl Event {
             Event::DegradedRead { .. } => "degraded_read",
             Event::InvariantViolated { .. } => "invariant_violated",
             Event::DecodeError { .. } => "decode_error",
+            Event::WalReplay { .. } => "wal_replay",
+            Event::RestartSuffix { .. } => "restart_suffix",
+            Event::RestartFallback { .. } => "restart_fallback",
         }
     }
 
@@ -197,6 +228,23 @@ impl Event {
             Event::InvariantViolated { context } | Event::DecodeError { context } => {
                 out.push_str("\"context\":");
                 push_json_str(out, context);
+            }
+            Event::WalReplay { bucket, ops, bytes } => {
+                out.push_str(&format!(
+                    "\"bucket\":{bucket},\"ops\":{ops},\"bytes\":{bytes}"
+                ));
+            }
+            Event::RestartSuffix {
+                bucket,
+                entries,
+                bytes,
+            } => {
+                out.push_str(&format!(
+                    "\"bucket\":{bucket},\"entries\":{entries},\"bytes\":{bytes}"
+                ));
+            }
+            Event::RestartFallback { bucket } => {
+                out.push_str(&format!("\"bucket\":{bucket}"));
             }
         }
     }
@@ -297,6 +345,17 @@ mod tests {
             Event::DecodeError {
                 context: "frame".into(),
             },
+            Event::WalReplay {
+                bucket: 3,
+                ops: 12,
+                bytes: 400,
+            },
+            Event::RestartSuffix {
+                bucket: 3,
+                entries: 5,
+                bytes: 160,
+            },
+            Event::RestartFallback { bucket: 3 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let t = TimedEvent {

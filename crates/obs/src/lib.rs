@@ -34,7 +34,7 @@ mod trace;
 
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_BOUNDS_US};
-pub use report::RecoveryReport;
+pub use report::{RecoveryReport, RestartReport};
 pub use trace::{TraceLog, DEFAULT_TRACE_CAPACITY};
 
 use std::collections::BTreeMap;

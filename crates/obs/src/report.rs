@@ -115,6 +115,109 @@ impl RecoveryReport {
     }
 }
 
+/// A derived summary of one restart drill: how a rebooted bucket got its
+/// state back (local WAL replay + Δ-suffix vs full RS rebuild) and what it
+/// cost in bytes and messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestartReport {
+    /// What produced the numbers (drill arm name).
+    pub scenario: String,
+    /// Timestamp domain of trace timestamps ("logical-us" or "wall-us").
+    pub clock: &'static str,
+    /// WAL records appended during the run.
+    pub wal_appends: u64,
+    /// WAL payload bytes appended.
+    pub wal_bytes: u64,
+    /// Snapshots taken (seeding, periodic, and structural).
+    pub wal_snapshots: u64,
+    /// WAL append/snapshot errors swallowed by the degrade-don't-abort rule.
+    pub wal_errors: u64,
+    /// Restarts that completed via log replay + Δ-suffix catch-up.
+    pub restart_recoveries: u64,
+    /// Restarts that fell back to the full RS rebuild path.
+    pub restart_fallbacks: u64,
+    /// Δ-suffix entries applied by catching-up buckets.
+    pub suffix_entries: u64,
+    /// Δ-suffix payload bytes applied.
+    pub suffix_bytes: u64,
+    /// Bytes moved over the network for recovery (suffix pulls and shard
+    /// installs both land here — the experiment's headline cost).
+    pub recovery_bytes_moved: u64,
+    /// Shards rebuilt through the full RS decode path.
+    pub recovery_shards_rebuilt: u64,
+    /// Ops folded over local snapshots during WAL replay (trace-derived).
+    pub replay_ops: u64,
+    /// Bytes of logged ops replayed locally (trace-derived).
+    pub replay_bytes: u64,
+}
+
+impl RestartReport {
+    /// Derive a report from the counters and retained trace of `metrics`.
+    pub fn from_metrics(scenario: &str, metrics: &Metrics) -> RestartReport {
+        let mut replay_ops = 0u64;
+        let mut replay_bytes = 0u64;
+        for ev in metrics.events() {
+            if let Event::WalReplay { ops, bytes, .. } = ev.event {
+                replay_ops = replay_ops.saturating_add(ops);
+                replay_bytes = replay_bytes.saturating_add(bytes);
+            }
+        }
+        RestartReport {
+            scenario: scenario.to_string(),
+            clock: metrics.clock_label(),
+            wal_appends: metrics.counter("wal_appends"),
+            wal_bytes: metrics.counter("wal_bytes"),
+            wal_snapshots: metrics.counter("wal_snapshots"),
+            wal_errors: metrics.counter("wal_errors"),
+            restart_recoveries: metrics.counter("restart_recoveries"),
+            restart_fallbacks: metrics.counter("restart_fallbacks"),
+            suffix_entries: metrics.counter("restart_suffix_entries"),
+            suffix_bytes: metrics.counter("restart_suffix_bytes"),
+            recovery_bytes_moved: metrics.counter("recovery_bytes_moved"),
+            recovery_shards_rebuilt: metrics.counter("recovery_shards_rebuilt"),
+            replay_ops,
+            replay_bytes,
+        }
+    }
+
+    /// Render as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"scenario\": \"{}\",\n",
+            self.scenario.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+        out.push_str(&format!("  \"clock\": \"{}\",\n", self.clock));
+        out.push_str(&format!("  \"wal_appends\": {},\n", self.wal_appends));
+        out.push_str(&format!("  \"wal_bytes\": {},\n", self.wal_bytes));
+        out.push_str(&format!("  \"wal_snapshots\": {},\n", self.wal_snapshots));
+        out.push_str(&format!("  \"wal_errors\": {},\n", self.wal_errors));
+        out.push_str(&format!(
+            "  \"restart_recoveries\": {},\n",
+            self.restart_recoveries
+        ));
+        out.push_str(&format!(
+            "  \"restart_fallbacks\": {},\n",
+            self.restart_fallbacks
+        ));
+        out.push_str(&format!("  \"suffix_entries\": {},\n", self.suffix_entries));
+        out.push_str(&format!("  \"suffix_bytes\": {},\n", self.suffix_bytes));
+        out.push_str(&format!(
+            "  \"recovery_bytes_moved\": {},\n",
+            self.recovery_bytes_moved
+        ));
+        out.push_str(&format!(
+            "  \"recovery_shards_rebuilt\": {},\n",
+            self.recovery_shards_rebuilt
+        ));
+        out.push_str(&format!("  \"replay_ops\": {},\n", self.replay_ops));
+        out.push_str(&format!("  \"replay_bytes\": {}\n", self.replay_bytes));
+        out.push_str("}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +258,45 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"shards_rebuilt\": 2"));
         assert!(json.contains("\"parity-delta\": 3"));
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn restart_report_derives_from_counters_and_trace() {
+        let m = Metrics::new(Clock::logical());
+        m.add("wal_appends", 40);
+        m.add("wal_bytes", 1600);
+        m.add("wal_snapshots", 3);
+        m.incr("restart_recoveries");
+        m.add("restart_suffix_entries", 5);
+        m.add("restart_suffix_bytes", 160);
+        m.add("recovery_bytes_moved", 160);
+        m.trace(
+            100,
+            Event::WalReplay {
+                bucket: 2,
+                ops: 12,
+                bytes: 480,
+            },
+        );
+        m.trace(
+            150,
+            Event::WalReplay {
+                bucket: 6,
+                ops: 3,
+                bytes: 96,
+            },
+        );
+        let r = RestartReport::from_metrics("disk-survives", &m);
+        assert_eq!(r.wal_appends, 40);
+        assert_eq!(r.restart_recoveries, 1);
+        assert_eq!(r.restart_fallbacks, 0);
+        assert_eq!(r.suffix_entries, 5);
+        assert_eq!(r.replay_ops, 15);
+        assert_eq!(r.replay_bytes, 576);
+        let json = r.to_json();
+        assert!(json.contains("\"restart_recoveries\": 1"));
+        assert!(json.contains("\"replay_ops\": 15"));
         assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
     }
 

@@ -1,0 +1,172 @@
+//! Crash-shaped damage drills for [`lhrs_wal::FileWal`]: every byte prefix
+//! of a real log, and random bit flips anywhere in it, must yield either a
+//! clean replay of a prefix of the appended ops or a structured error —
+//! never a panic, and never fabricated ops.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lhrs_core::storage::{BucketStore, TailState};
+use lhrs_core::FsyncPolicy;
+use lhrs_testkit::{cases, Rng};
+use lhrs_wal::FileWal;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!("lhrs-walfx-{tag}-{}-{n}", std::process::id()))
+}
+
+/// Deterministic op payload for index `i` (length varies to exercise the
+/// varint framing).
+fn op(i: u64) -> Vec<u8> {
+    let mut v = format!("op-{i}-").into_bytes();
+    v.extend(std::iter::repeat_n(i as u8, (i % 23) as usize));
+    v
+}
+
+/// Build a store with a snapshot and `n` logged ops; return its dir and
+/// the segment path (single-segment by construction).
+fn seed_store(tag: &str, n: u64) -> (PathBuf, PathBuf) {
+    let dir = temp_dir(tag);
+    let mut wal = FileWal::open(dir.clone(), FsyncPolicy::Never).unwrap();
+    wal.snapshot(b"snapshot-state").unwrap();
+    for i in 0..n {
+        wal.append(&op(i)).unwrap();
+    }
+    wal.sync().unwrap();
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .map(|f| f.to_string_lossy().starts_with("wal-"))
+                .unwrap_or(false)
+        })
+        .expect("seeded store has a segment");
+    (dir, seg)
+}
+
+/// Reopen the store and check the contract: the snapshot survives and the
+/// replayed ops are exactly a prefix of what was appended. A cut landing
+/// precisely on a frame boundary is indistinguishable from a clean
+/// shutdown after fewer ops — by design: the Δ-suffix handshake, not the
+/// log format, reconciles a replayed state that is behind the parity
+/// group. Anywhere else the damage must be visible as a non-clean tail.
+fn check_replay(dir: &PathBuf, n: u64, mid_frame_cut: bool) {
+    let mut wal = FileWal::open(dir.clone(), FsyncPolicy::Never).expect("open repairs damage");
+    let replay = wal.replay().expect("repaired store must replay");
+    assert_eq!(replay.snapshot.as_deref(), Some(&b"snapshot-state"[..]));
+    assert!(replay.ops.len() as u64 <= n, "no fabricated ops");
+    for (i, got) in replay.ops.iter().enumerate() {
+        assert_eq!(got, &op(i as u64), "replayed op {i} must match");
+    }
+    if mid_frame_cut {
+        assert!(
+            !matches!(replay.tail, TailState::Clean),
+            "a mid-frame cut must surface as a torn or corrupt tail"
+        );
+    }
+    // The reopened store must accept new appends and replay them.
+    let boundary = replay.ops.len() as u64;
+    wal.append(&op(boundary)).unwrap();
+    let again = wal.replay().unwrap();
+    assert_eq!(again.ops.len() as u64, boundary + 1);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A kill can land mid-write at any byte: every prefix of the segment must
+/// reopen to a clean prefix of the ops.
+#[test]
+fn every_truncation_point_replays_a_clean_prefix() {
+    const N: u64 = 12;
+    let (dir, seg) = seed_store("trunc-probe", N);
+    let full = std::fs::read(&seg).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Clean frame boundaries: after the 4-byte magic, each frame is a
+    // 1-byte length varint (all seeded ops are < 128 B), a 4-byte CRC, and
+    // the payload. Cuts exactly here mimic a clean shutdown.
+    let mut boundaries = std::collections::BTreeSet::new();
+    let mut pos = 4usize;
+    boundaries.insert(pos);
+    while pos < full.len() {
+        pos += 1 + 4 + full[pos] as usize;
+        boundaries.insert(pos);
+    }
+
+    for cut in 0..=full.len() {
+        let dir = temp_dir("trunc");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("SNAPSHOT"), {
+            // Re-seed the snapshot file verbatim from a pristine store so
+            // only the segment is damaged.
+            let (src, _) = seed_store("trunc-snap", 0);
+            let bytes = std::fs::read(src.join("SNAPSHOT")).unwrap();
+            let _ = std::fs::remove_dir_all(&src);
+            bytes
+        })
+        .unwrap();
+        std::fs::write(seg.file_name().map(|f| dir.join(f)).unwrap(), &full[..cut]).unwrap();
+        check_replay(&dir, N, !boundaries.contains(&cut));
+    }
+}
+
+/// Seeded random bit flips anywhere in the segment: the CRC must catch the
+/// damage — replay stops at the corrupt frame with everything before it
+/// intact, and nothing panics.
+#[test]
+fn random_bit_flips_never_panic_and_never_fabricate() {
+    cases("wal-bit-flips", 64, |rng: &mut Rng| {
+        const N: u64 = 10;
+        let (dir, seg) = seed_store("flip", N);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let flips = rng.range_usize(1, 4);
+        for _ in 0..flips {
+            let at = rng.below(bytes.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            if let Some(b) = bytes.get_mut(at) {
+                *b ^= 1u8 << bit;
+            }
+        }
+        std::fs::write(&seg, &bytes).unwrap();
+        check_replay(&dir, N, false);
+    });
+}
+
+/// Flipping a bit inside the SNAPSHOT file must surface as a structured
+/// corrupt error from `replay` — a damaged foundation must never seed a
+/// bucket (the caller falls back to the full RS rebuild).
+#[test]
+fn snapshot_bit_flips_are_refused_not_replayed() {
+    cases("wal-snap-flips", 32, |rng: &mut Rng| {
+        let (dir, _seg) = seed_store("snapflip", 4);
+        let snap = dir.join("SNAPSHOT");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let at = rng.below(bytes.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        if let Some(b) = bytes.get_mut(at) {
+            *b ^= 1u8 << bit;
+        }
+        std::fs::write(&snap, &bytes).unwrap();
+        match FileWal::open(dir.clone(), FsyncPolicy::Never) {
+            Ok(mut wal) => match wal.replay() {
+                // The flip landed somewhere the frame survives bit-for-bit
+                // semantics (it cannot: CRC covers the payload and the
+                // magic/length are checked) — or it was caught. Either way
+                // the payload must be pristine if accepted.
+                Ok(r) => assert_eq!(r.snapshot.as_deref(), Some(&b"snapshot-state"[..])),
+                Err(e) => {
+                    let msg = format!("{e}");
+                    assert!(!msg.is_empty(), "error must carry context");
+                }
+            },
+            Err(e) => {
+                let msg = format!("{e}");
+                assert!(!msg.is_empty(), "error must carry context");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+}

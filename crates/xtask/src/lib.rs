@@ -97,14 +97,16 @@ impl fmt::Display for Finding {
 
 /// Hot-path modules governed by the panic-freedom audit
 /// (workspace-relative paths).
-pub const HOT_PATHS: [&str; 7] = [
+pub const HOT_PATHS: [&str; 9] = [
     "crates/core/src/coordinator.rs",
     "crates/core/src/data_bucket.rs",
     "crates/core/src/client.rs",
+    "crates/core/src/storage.rs",
     "crates/rs/src/code.rs",
     "crates/net/src/frame.rs",
     "crates/net/src/transport.rs",
     "crates/net/src/host.rs",
+    "crates/wal/src/lib.rs",
 ];
 
 /// Walk a directory tree collecting `.rs` files (sorted for determinism).
