@@ -534,6 +534,7 @@ impl Coordinator {
                 count: _,
                 bytes,
             } => self.handle_suffix_info(env, from, bucket, next_seq, covered, bytes),
+            Msg::RestartAbort { bucket } => self.handle_restart_abort(env, from, bucket),
             Msg::ParityAck { .. } => {}
             other => {
                 debug_assert!(false, "coordinator got {:?}", other);
@@ -1722,6 +1723,45 @@ impl Coordinator {
         self.timer_tokens.insert(timer, token);
         if let Some(ctx) = self.suffixes.get_mut(&token) {
             ctx.timer = timer;
+        }
+    }
+
+    /// The restarted bucket itself gave up on the Δ-suffix catch-up: it
+    /// could not apply a shipped suffix entry, or its watchdog expired with
+    /// the handshake wedged. Same outcome as a coordinator-side give-up —
+    /// cancel any handshake still in flight and demote the node into the
+    /// full RS rebuild. An abort can also arrive *after* certification
+    /// (the undecodable suffix raced the `OwnershipAck`); the bucket
+    /// ignores that ack, so the fallback here is still the only path back
+    /// to a serving replica.
+    fn handle_restart_abort(&mut self, env: &mut Env<'_, Msg>, from: NodeId, bucket: u64) {
+        let token = self
+            .suffixes
+            .iter()
+            .find(|(_, c)| c.bucket == bucket && c.node == from)
+            .map(|(t, _)| *t);
+        if let Some(token) = token {
+            if let Some(ctx) = self.suffixes.remove(&token) {
+                env.cancel_timer(ctx.timer);
+                self.timer_tokens.remove(&ctx.timer);
+            }
+        }
+        let m = self.m() as u64;
+        let group = bucket / m;
+        let col = crate::convert::to_index(bucket % m);
+        let reg = self.shared.registry.borrow();
+        let still_owner =
+            crate::convert::to_index(bucket) < reg.data_count() && reg.data_node(bucket) == from;
+        drop(reg);
+        if still_owner {
+            self.restart_fallback(env, bucket, group, col, from);
+        } else {
+            // Displaced meanwhile: the bucket already lives elsewhere; just
+            // demote the reporter (with the double-pooling guard).
+            env.send(from, Msg::Retire);
+            if !self.pool.contains(&from) {
+                self.pool.push(from);
+            }
         }
     }
 

@@ -74,6 +74,14 @@ pub struct DataBucket {
     suffixes_seen: usize,
     /// Whether the coordinator confirmed ownership this catch-up.
     got_ack: bool,
+    /// Watchdog armed while catching up: if the handshake never completes
+    /// (a suffix or the ack lost for good), the bucket gives up instead of
+    /// deferring traffic forever.
+    catchup_timer: Option<TimerId>,
+    /// The catch-up was aborted (inapplicable suffix or watchdog expiry):
+    /// the bucket is waiting for the coordinator's `Retire` and must not
+    /// resume, whatever still arrives.
+    catchup_failed: bool,
 }
 
 impl DataBucket {
@@ -105,6 +113,8 @@ impl DataBucket {
             held: Vec::new(),
             suffixes_seen: 0,
             got_ack: false,
+            catchup_timer: None,
+            catchup_failed: false,
         }
     }
 
@@ -193,12 +203,19 @@ impl DataBucket {
     /// [`crate::FsyncPolicy::Batch`]).
     pub fn sync_store(&mut self) {
         if let Some(store) = self.store.as_mut() {
-            let _ = store.sync();
+            if store.sync().is_err() {
+                // Buffered appends may be gone: the log has a silent hole
+                // and must never be replayed.
+                self.reset_store();
+            }
         }
     }
 
-    /// Erase and drop the store (the node was retired; the logical bucket
-    /// lives elsewhere now and this copy must not resurrect).
+    /// Erase and drop the store — on retirement (the logical bucket lives
+    /// elsewhere now) and on any write failure (the log is holey or its
+    /// base is stale). Either way this copy must not resurrect: erasing
+    /// the snapshot makes `has_state`/`recover` fail, so the next boot
+    /// goes Blank and through the full RS rebuild.
     pub(crate) fn reset_store(&mut self) {
         if let Some(store) = self.store.as_mut() {
             let _ = store.reset();
@@ -227,17 +244,28 @@ impl DataBucket {
             return false;
         }
         let state = storage::encode_data_snapshot(self.bucket, &self.content());
-        match self.store.as_mut() {
+        let ok = match self.store.as_mut() {
             Some(store) => store.snapshot(&state).is_ok(),
             None => false,
+        };
+        if !ok {
+            // The log's base no longer matches RAM (e.g. the post-split
+            // bulk removal was never snapshotted); replaying it would
+            // resurrect diverged state that the Δ-suffix handshake could
+            // then certify. Poison the store instead.
+            self.reset_store();
         }
+        ok
     }
 
     /// Snapshot with observability (structural events and the periodic
     /// policy both land here).
     fn snapshot_obs(&mut self, env: &mut Env<'_, Msg>) {
+        let had_store = self.store.is_some();
         if self.snapshot_now() {
             env.obs().incr("wal_snapshots");
+        } else if had_store {
+            env.obs().incr("wal_errors");
         }
     }
 
@@ -254,9 +282,12 @@ impl DataBucket {
             }
             Err(_) => {
                 // A failing disk must not take the bucket down with it: the
-                // RAM copy stays authoritative, the next restart falls back
-                // to the full RS rebuild.
+                // RAM copy stays authoritative and keeps serving. But the
+                // log now has a silent hole, so it must never be replayed —
+                // poison the store so the next boot goes through the full
+                // RS rebuild instead.
                 env.obs().incr("wal_errors");
+                self.reset_store();
                 return;
             }
         }
@@ -310,7 +341,11 @@ impl DataBucket {
                 | Msg::StateQuery
                 | Msg::SelfReport => {}
                 _ => {
-                    self.held.push((from, msg));
+                    // After an abort nothing is replayed — the coordinator's
+                    // Retire is coming and held traffic would be stale.
+                    if !self.catchup_failed {
+                        self.held.push((from, msg));
+                    }
                     return;
                 }
             }
@@ -481,8 +516,10 @@ impl DataBucket {
                     // reuse a Δ-sequence the parity group already applied.
                     self.report_restart = false;
                     self.catching_up = true;
+                    self.catchup_failed = false;
                     self.suffixes_seen = 0;
                     self.got_ack = false;
+                    self.arm_catchup_watchdog(env);
                     env.send(
                         coord,
                         Msg::RestartReport {
@@ -501,6 +538,13 @@ impl DataBucket {
                 }
             }
             Msg::OwnershipAck => {
+                if self.catchup_failed {
+                    // A certification racing our abort: the coordinator
+                    // will process the abort and Retire us — resuming now
+                    // would serve from the diverged replica it certifies
+                    // against.
+                    return;
+                }
                 if self.catching_up {
                     self.got_ack = true;
                     self.try_resume(env);
@@ -540,8 +584,20 @@ impl DataBucket {
         }
     }
 
-    /// Timer callback: retransmit unacknowledged Δs (reliable mode).
+    /// Timer callback: the catch-up watchdog, or retransmission of
+    /// unacknowledged Δs (reliable mode).
     pub fn on_timer(&mut self, env: &mut Env<'_, Msg>, timer: TimerId) {
+        if self.catchup_timer == Some(timer) {
+            self.catchup_timer = None;
+            if self.catching_up && !self.catchup_failed {
+                // The Δ-suffix handshake wedged: a suffix or the ack never
+                // arrived, and this bucket has been deferring all traffic
+                // while still answering probes — invisible to everyone.
+                // Give up and route through the full RS rebuild.
+                self.abort_catchup(env);
+            }
+            return;
+        }
         if self.retry_timer != Some(timer) {
             return; // stale timer from a cancelled round
         }
@@ -1153,7 +1209,7 @@ impl DataBucket {
         entries: Vec<DeltaEntry>,
         complete: bool,
     ) {
-        if col != self.col() || !self.catching_up {
+        if col != self.col() || !self.catching_up || self.catchup_failed {
             return; // stale suffix addressed to a previous tenant
         }
         let cell_len = self.shared.cfg.cell_len();
@@ -1164,38 +1220,55 @@ impl DataBucket {
                 continue; // duplicate (another parity's copy) or stale
             }
             bytes += entry.delta_cell.len() as u64;
-            match entry.key_op {
+            let entry_ok = match entry.key_op {
                 KeyOp::Add(key) => {
                     // The Δ of an Add is the full cell (old was zero).
-                    let Some(payload) = decode_cell(&entry.delta_cell) else {
-                        continue; // undecodable cell: leave the gap to the fallback
-                    };
-                    self.by_key.insert(key, entry.rank);
-                    self.records.insert(entry.rank, Record { key, payload });
-                    self.next_rank = self.next_rank.max(entry.rank.saturating_add(1));
-                    self.delta_seq = entry.seq + 1;
-                    self.log_set(env, entry.rank, key);
+                    match decode_cell(&entry.delta_cell) {
+                        None => false,
+                        Some(payload) => {
+                            self.by_key.insert(key, entry.rank);
+                            self.records.insert(entry.rank, Record { key, payload });
+                            self.next_rank = self.next_rank.max(entry.rank.saturating_add(1));
+                            self.delta_seq = entry.seq + 1;
+                            self.log_set(env, entry.rank, key);
+                            true
+                        }
+                    }
                 }
                 KeyOp::Remove(key) => {
                     self.records.remove(&entry.rank);
                     self.by_key.remove(&key);
                     self.delta_seq = entry.seq + 1;
                     self.log_del(env, entry.rank, key);
+                    true
                 }
-                KeyOp::Keep => {
-                    let Some(rec) = self.records.get_mut(&entry.rank) else {
-                        continue;
-                    };
-                    let old_cell = encode_cell(&rec.payload, cell_len);
-                    let new_cell = cell_delta(&old_cell, &entry.delta_cell);
-                    let Some(payload) = decode_cell(&new_cell) else {
-                        continue;
-                    };
-                    let key = rec.key;
-                    rec.payload = payload;
-                    self.delta_seq = entry.seq + 1;
-                    self.log_set(env, entry.rank, key);
-                }
+                KeyOp::Keep => match self.records.get_mut(&entry.rank) {
+                    None => false,
+                    Some(rec) => {
+                        let old_cell = encode_cell(&rec.payload, cell_len);
+                        let new_cell = cell_delta(&old_cell, &entry.delta_cell);
+                        match decode_cell(&new_cell) {
+                            None => false,
+                            Some(payload) => {
+                                let key = rec.key;
+                                rec.payload = payload;
+                                self.delta_seq = entry.seq + 1;
+                                self.log_set(env, entry.rank, key);
+                                true
+                            }
+                        }
+                    }
+                },
+            };
+            if !entry_ok {
+                // The entry at exactly the resume point cannot be applied
+                // (undecodable cell, or a Keep for a record this replica
+                // never had): the certified watermark is unreachable, and
+                // resuming below it would re-emit Δ-sequences the parity
+                // group already consumed — permanent divergence. Give the
+                // bucket up to the full RS rebuild instead.
+                self.abort_catchup(env);
+                return;
             }
             applied += 1;
         }
@@ -1216,10 +1289,50 @@ impl DataBucket {
         self.try_resume(env);
     }
 
+    /// How long a catch-up may stay wedged before the bucket gives up: the
+    /// coordinator's full retry budget plus slack, so the bucket never
+    /// aborts a handshake the coordinator is still driving.
+    fn catchup_deadline_us(&self) -> u64 {
+        self.shared
+            .cfg
+            .probe_timeout_us
+            .saturating_mul(u64::from(self.shared.cfg.coord_retries).saturating_add(2))
+    }
+
+    /// (Re)arm the catch-up watchdog.
+    fn arm_catchup_watchdog(&mut self, env: &mut Env<'_, Msg>) {
+        if let Some(t) = self.catchup_timer.take() {
+            env.cancel_timer(t);
+        }
+        self.catchup_timer = Some(env.set_timer(self.catchup_deadline_us()));
+    }
+
+    /// Give up on the Δ-suffix catch-up: the local replica cannot reach the
+    /// certified watermark (inapplicable suffix entry) or the handshake
+    /// wedged past the watchdog. Drop everything held, poison the store so
+    /// no later boot replays this diverged state, and ask the coordinator
+    /// to demote this node into the full RS rebuild.
+    fn abort_catchup(&mut self, env: &mut Env<'_, Msg>) {
+        self.catchup_failed = true;
+        self.held.clear();
+        if let Some(t) = self.catchup_timer.take() {
+            env.cancel_timer(t);
+        }
+        self.reset_store();
+        env.obs().incr("restart_aborts");
+        let coord = self.shared.registry.borrow().coordinator;
+        env.send(
+            coord,
+            Msg::RestartAbort {
+                bucket: self.bucket,
+            },
+        );
+    }
+
     /// Leave catch-up mode once the coordinator acked ownership and every
     /// parity bucket answered; replay everything held meanwhile.
     fn try_resume(&mut self, env: &mut Env<'_, Msg>) {
-        if !self.catching_up || !self.got_ack {
+        if !self.catching_up || self.catchup_failed || !self.got_ack {
             return;
         }
         let k = self.shared.registry.borrow().group_k(self.group());
@@ -1227,6 +1340,9 @@ impl DataBucket {
             return;
         }
         self.catching_up = false;
+        if let Some(t) = self.catchup_timer.take() {
+            env.cancel_timer(t);
+        }
         // The whole group stands at delta_seq now: nothing is in flight.
         self.unacked.clear();
         self.parity_acked.clear();

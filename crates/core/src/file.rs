@@ -498,6 +498,16 @@ impl LhrsFile {
         self.crashed_log.push((node, CrashedShard::Data(bucket)));
     }
 
+    /// Drill hook: corrupt the retained Δ-history of data column `col` on
+    /// parity bucket `index` of `group`. Pair with a data-bucket restart to
+    /// drive the catch-up abort path: the shipped suffix arrives
+    /// undecodable and the bucket must give itself up to the full RS
+    /// rebuild rather than resume below the certified watermark.
+    pub fn corrupt_parity_history(&mut self, group: u64, index: usize, col: usize) {
+        let node = self.shared.registry.borrow().parity_nodes(group)[index];
+        self.sim.actor_mut(node).as_parity_mut().corrupt_history(col);
+    }
+
     /// Crash parity bucket `index` of `group`.
     pub fn crash_parity_bucket(&mut self, group: u64, index: usize) {
         let node = self.shared.registry.borrow().parity_nodes(group)[index];

@@ -581,6 +581,14 @@ pub enum Msg {
         /// Payload bytes shipped in the matching [`Msg::DeltaSuffix`].
         bytes: u64,
     },
+    /// Restarting data bucket → coordinator: the catch-up failed locally —
+    /// a shipped Δ-suffix entry could not be applied, or the handshake
+    /// wedged past the bucket's watchdog. The local replica is unusable;
+    /// demote it and recreate the bucket through the full RS rebuild.
+    RestartAbort {
+        /// The bucket giving up on the Δ-suffix path.
+        bucket: u64,
+    },
     /// Driver-injected: audit a whole group's liveness and recover any
     /// failed shards (how parity-bucket failures, invisible to clients, get
     /// detected in the drills).
@@ -645,6 +653,7 @@ impl lhrs_sim::Payload for Msg {
             Msg::SuffixPull { .. } => "suffix-pull",
             Msg::DeltaSuffix { .. } => "delta-suffix",
             Msg::SuffixInfo { .. } => "suffix-info",
+            Msg::RestartAbort { .. } => "restart-abort",
             Msg::CheckGroup { .. } => "check-group",
             Msg::RecoverFileState => "recover-file-state",
             Msg::StateQuery => "state-query",
@@ -723,6 +732,7 @@ impl lhrs_sim::Payload for Msg {
                     .sum::<usize>()
             }
             Msg::SuffixInfo { .. } => 40,
+            Msg::RestartAbort { .. } => 12,
             Msg::CheckGroup { .. } => 8,
             Msg::RecoverFileState => 0,
             Msg::StateQuery => 4,

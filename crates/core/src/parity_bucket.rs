@@ -148,12 +148,17 @@ impl ParityBucket {
     /// [`crate::FsyncPolicy::Batch`]).
     pub fn sync_store(&mut self) {
         if let Some(store) = self.store.as_mut() {
-            let _ = store.sync();
+            if store.sync().is_err() {
+                // Buffered appends may be gone: the log has a silent hole
+                // and must never be replayed.
+                self.reset_store();
+            }
         }
     }
 
-    /// Erase and drop the store (the node was retired; the logical parity
-    /// column lives elsewhere now and this copy must not resurrect).
+    /// Erase and drop the store — on retirement (the logical parity column
+    /// lives elsewhere now) and on any write failure (the log is holey or
+    /// its base is stale). Either way this copy must not resurrect.
     pub(crate) fn reset_store(&mut self) {
         if let Some(store) = self.store.as_mut() {
             let _ = store.reset();
@@ -181,16 +186,25 @@ impl ParityBucket {
         }
         let state =
             storage::encode_parity_snapshot(self.group, self.index, self.k, &self.content());
-        match self.store.as_mut() {
+        let ok = match self.store.as_mut() {
             Some(store) => store.snapshot(&state).is_ok(),
             None => false,
+        };
+        if !ok {
+            // The log's base no longer matches RAM; replaying it would
+            // resurrect diverged state. Poison the store instead.
+            self.reset_store();
         }
+        ok
     }
 
     /// Snapshot with observability (the periodic policy lands here).
     fn snapshot_obs(&mut self, env: &mut Env<'_, Msg>) {
+        let had_store = self.store.is_some();
         if self.snapshot_now() {
             env.obs().incr("wal_snapshots");
+        } else if had_store {
+            env.obs().incr("wal_errors");
         }
     }
 
@@ -207,9 +221,11 @@ impl ParityBucket {
             }
             Err(_) => {
                 // A failing disk must not take the bucket down with it: the
-                // RAM copy stays authoritative, the next restart falls back
-                // to the full RS rebuild.
+                // RAM copy stays authoritative and keeps serving. But the
+                // log now has a silent hole, so it must never be replayed —
+                // poison the store so the next boot starts from nothing.
                 env.obs().incr("wal_errors");
+                self.reset_store();
                 return;
             }
         }
@@ -231,6 +247,21 @@ impl ParityBucket {
         hist.push_back(entry);
         while hist.len() > cap {
             hist.pop_front();
+        }
+    }
+
+    /// Drill hook: overwrite every retained history entry of column `col`
+    /// with an undecodable delta cell (all 0xFF — the cell's length prefix
+    /// then exceeds the cell), modelling a parity host whose suffix window
+    /// rotted. The applied parity itself is untouched; only the catch-up
+    /// service is poisoned, which is what the abort path must survive.
+    pub(crate) fn corrupt_history(&mut self, col: usize) {
+        if let Some(hist) = self.history.get_mut(col) {
+            for e in hist.iter_mut() {
+                for b in e.delta_cell.iter_mut() {
+                    *b = 0xFF;
+                }
+            }
         }
     }
 

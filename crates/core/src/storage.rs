@@ -448,6 +448,8 @@ struct MemInner {
     snapshot: Option<Vec<u8>>,
     ops: Vec<Vec<u8>>,
     bytes: u64,
+    /// Fault injection: every append/snapshot fails (a dying disk).
+    failing: bool,
 }
 
 /// A handle to one simulated "disk": survives the bucket's crash so a
@@ -471,6 +473,18 @@ impl MemDisk {
         inner.bytes = inner.ops.iter().map(|o| o.len() as u64).sum();
     }
 
+    /// Make every subsequent append/snapshot fail (a dying disk — the
+    /// store-poisoning drill). `reset` still works: erasing a bad disk's
+    /// metadata is modelled as always possible.
+    pub fn fail_writes(&self, failing: bool) {
+        self.inner.borrow_mut().failing = failing;
+    }
+
+    /// Whether the disk currently holds a snapshot (poisoning erases it).
+    pub fn has_snapshot(&self) -> bool {
+        self.inner.borrow().snapshot.is_some()
+    }
+
     /// Open a store view onto this disk.
     pub fn open(&self) -> Box<dyn BucketStore> {
         Box::new(MemStore { disk: self.clone() })
@@ -485,6 +499,9 @@ pub struct MemStore {
 impl BucketStore for MemStore {
     fn append(&mut self, op: &[u8]) -> Result<(), StoreError> {
         let mut inner = self.disk.inner.borrow_mut();
+        if inner.failing {
+            return Err(StoreError::Io("injected append failure".into()));
+        }
         inner.bytes += op.len() as u64;
         inner.ops.push(op.to_vec());
         Ok(())
@@ -492,6 +509,9 @@ impl BucketStore for MemStore {
 
     fn snapshot(&mut self, state: &[u8]) -> Result<(), StoreError> {
         let mut inner = self.disk.inner.borrow_mut();
+        if inner.failing {
+            return Err(StoreError::Io("injected snapshot failure".into()));
+        }
         inner.snapshot = Some(state.to_vec());
         inner.ops.clear();
         inner.bytes = 0;

@@ -181,6 +181,8 @@ pub mod tag {
     pub const DELTA_SUFFIX: u8 = 40;
     /// `Msg::SuffixInfo`
     pub const SUFFIX_INFO: u8 = 41;
+    /// `Msg::RestartAbort`
+    pub const RESTART_ABORT: u8 = 42;
 }
 
 /// Tag table for [`CoordEvent`](crate::coordinator::CoordEvent) — a
@@ -1066,6 +1068,10 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             put_varint(&mut out, *count);
             put_varint(&mut out, *bytes);
         }
+        Msg::RestartAbort { bucket } => {
+            out.push(tag::RESTART_ABORT);
+            put_varint(&mut out, *bucket);
+        }
         Msg::CheckGroup { group } => {
             out.push(tag::CHECK_GROUP);
             put_varint(&mut out, *group);
@@ -1297,6 +1303,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
             count: r.varint()?,
             bytes: r.varint()?,
         },
+        tag::RESTART_ABORT => Msg::RestartAbort { bucket: r.varint()? },
         tag::CHECK_GROUP => Msg::CheckGroup { group: r.varint()? },
         tag::RECOVER_FILE_STATE => Msg::RecoverFileState,
         tag::STATE_QUERY => Msg::StateQuery,
@@ -1644,6 +1651,7 @@ mod tests {
                 count: 2,
                 bytes: 6,
             },
+            Msg::RestartAbort { bucket: 6 },
         ];
         for m in &msgs {
             let buf = encode_msg(m);

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use lhrs_core::storage::{MemHub, StoreId};
-use lhrs_core::{Config, LhrsFile};
+use lhrs_core::{Config, FaultPlan, LhrsFile, Partition};
 use lhrs_obs::RestartReport;
 use lhrs_sim::LatencyModel;
 
@@ -201,6 +201,126 @@ fn truncated_history_falls_back_to_full_rebuild() {
         "fallback must trigger the RS rebuild"
     );
 
+    assert_no_acked_loss(&mut file, &oracle);
+}
+
+/// A store whose writes start failing must be *poisoned* — the snapshot
+/// erased and the store detached — so the next boot cannot silently
+/// replay the holey log as if it were complete. The crashed shard routes
+/// through the full RS rebuild instead, with zero acked loss (the RAM
+/// state stayed authoritative while the node lived).
+#[test]
+fn failing_store_is_poisoned_and_rebuilt() {
+    let mut file = LhrsFile::new(restart_cfg()).unwrap();
+    let hub = MemHub::new();
+    file.install_store_factory(hub.factory());
+    let mut oracle = load(&mut file, LOAD);
+
+    let disk = hub
+        .disk(&StoreId::Data { bucket: 0 })
+        .expect("bucket 0 has a disk");
+    assert!(disk.has_snapshot(), "seeded store starts with a snapshot");
+    disk.fail_writes(true);
+    for key in LOAD..LOAD + 40 {
+        file.insert(key, payload(key)).unwrap();
+        oracle.insert(key, payload(key));
+    }
+    let report = RestartReport::from_metrics("poisoning", file.metrics());
+    assert!(report.wal_errors > 0, "some write must have hit bucket 0");
+    assert!(
+        !disk.has_snapshot(),
+        "the first failed write must erase the snapshot"
+    );
+
+    file.crash_data_bucket(0);
+    disk.fail_writes(false);
+    assert!(
+        file.restart_data_bucket_from_store(0).is_err(),
+        "a poisoned store must refuse to resurrect"
+    );
+    let rec = file.check_group(0);
+    assert!(rec.recovered, "group must recover: {rec:?}");
+
+    let report = RestartReport::from_metrics("poisoning", file.metrics());
+    assert_eq!(report.restart_recoveries, 0, "{report:?}");
+    assert!(report.recovery_shards_rebuilt >= 1, "{report:?}");
+    assert_no_acked_loss(&mut file, &oracle);
+}
+
+/// The Δ-suffix handshake can wedge: if the boot `RestartReport` is lost,
+/// the restarted bucket would sit catching-up forever — deferring all
+/// traffic while still answering probes, so no audit ever notices. The
+/// catch-up watchdog must abort the handshake and hand the shard to the
+/// full RS rebuild.
+#[test]
+fn wedged_catchup_aborts_to_full_rebuild() {
+    let mut file = LhrsFile::new(restart_cfg()).unwrap();
+    let hub = MemHub::new();
+    file.install_store_factory(hub.factory());
+    let oracle = load(&mut file, LOAD);
+
+    let node = file.data_node_id(0);
+    file.crash_data_bucket(0);
+    hub.disk(&StoreId::Data { bucket: 0 })
+        .expect("bucket 0 has a disk")
+        .truncate_ops(0);
+
+    // Swallow the boot `RestartReport`: the node is partitioned for the
+    // first instant after its restart, and neither side retransmits the
+    // report — without the watchdog the handshake never completes.
+    let now = file.now_us();
+    file.set_fault_plan(
+        FaultPlan::new(7).partition(Partition::new(vec![node], now, now + 1_000)),
+    );
+    // Ownership result is irrelevant here: after the fallback the rebuilt
+    // bucket may even land back on the same (pooled) node.
+    let _ = file.restart_data_bucket_from_store(0).unwrap();
+    file.clear_fault_plan();
+
+    let report = RestartReport::from_metrics("wedged-catchup", file.metrics());
+    assert_eq!(report.restart_recoveries, 0, "{report:?}");
+    assert_eq!(report.restart_aborts, 1, "the watchdog must fire: {report:?}");
+    assert_eq!(report.restart_fallbacks, 1, "{report:?}");
+    assert!(
+        report.recovery_shards_rebuilt >= 1,
+        "abort must end in the RS rebuild: {report:?}"
+    );
+    assert_no_acked_loss(&mut file, &oracle);
+}
+
+/// A Δ-suffix entry that cannot be applied must abort the catch-up: the
+/// bucket must not skip it and resume below the watermark the coordinator
+/// certified (acked records committed past the skipped entry would
+/// vanish). Both parity histories are mangled so whichever suffix arrives
+/// first is undecodable.
+#[test]
+fn undecodable_suffix_aborts_catchup() {
+    let mut file = LhrsFile::new(restart_cfg()).unwrap();
+    let hub = MemHub::new();
+    file.install_store_factory(hub.factory());
+    let oracle = load(&mut file, LOAD);
+
+    file.crash_data_bucket(0);
+    hub.disk(&StoreId::Data { bucket: 0 })
+        .expect("bucket 0 has a disk")
+        .truncate_ops(0);
+    for q in 0..2 {
+        file.corrupt_parity_history(0, q, 0);
+    }
+
+    let _ = file.restart_data_bucket_from_store(0).unwrap();
+
+    let report = RestartReport::from_metrics("corrupt-suffix", file.metrics());
+    assert_eq!(report.restart_aborts, 1, "{report:?}");
+    assert_eq!(report.restart_fallbacks, 1, "{report:?}");
+    assert!(
+        report.recovery_shards_rebuilt >= 1,
+        "abort must end in the RS rebuild: {report:?}"
+    );
+    // `restart_recoveries` is deliberately not asserted: the coordinator
+    // may certify (both SuffixInfos precede the abort in FIFO order)
+    // before the RestartAbort lands — the bucket ignores that ack and the
+    // coordinator still falls back. Correctness is the rebuild + no loss.
     assert_no_acked_loss(&mut file, &oracle);
 }
 

@@ -102,12 +102,23 @@ pub fn recover_node(
 ) -> Option<Node> {
     let dir = node_root(root, id);
     let entries = std::fs::read_dir(&dir).ok()?;
-    for entry in entries.flatten() {
-        let shard_dir = entry.path();
-        let name = entry.file_name();
-        if !name.to_string_lossy().starts_with("data-") || !FileWal::has_state(&shard_dir) {
-            continue;
-        }
+    // A node killed before a Retire could wipe a previous tenancy's store
+    // may hold several stores with state, and read_dir order is
+    // unspecified. The current tenancy is the one written to last, so rank
+    // candidates newest-snapshot-first and take the first that recovers
+    // (path order breaks mtime ties deterministically).
+    let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = entries
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("data-"))
+        .map(|e| e.path())
+        .filter(|p| FileWal::has_state(p))
+        .map(|p| {
+            let mtime = FileWal::state_mtime(&p).unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            (mtime, p)
+        })
+        .collect();
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    for (_, shard_dir) in candidates {
         let Ok(wal) = FileWal::open(shard_dir.clone(), fsync) else {
             continue;
         };

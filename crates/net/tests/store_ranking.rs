@@ -1,0 +1,116 @@
+//! `recover_node` must resurrect the *current* tenancy when a node's
+//! durable root holds several data-shard stores with state — a host
+//! killed before a `Retire` could wipe a previous tenancy's directory
+//! leaves the old store behind, and `read_dir` order is unspecified.
+//! Candidates are ranked newest-snapshot-first; an unusable newest store
+//! falls through to the next-newest instead of forcing a blank boot.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+use lhrs_core::data_bucket::DataBucket;
+use lhrs_core::node::Node;
+use lhrs_core::registry::{Shared, SharedHandle};
+use lhrs_core::{Config, FsyncPolicy};
+use lhrs_net::durable::{node_root, recover_node, wal_factory};
+use lhrs_obs::{Clock, Metrics};
+use lhrs_sim::NodeId;
+
+const NODE: u32 = 7;
+
+fn build_shared(root: &Path) -> SharedHandle {
+    let cfg = Config {
+        group_size: 2,
+        initial_k: 1,
+        bucket_capacity: 24,
+        record_len: 32,
+        wal_snapshot_every: 0,
+        wal_fsync: FsyncPolicy::Never,
+        ..Config::default()
+    };
+    let shared = Shared::new(cfg);
+    shared.set_store_factory(wal_factory(root.to_path_buf(), FsyncPolicy::Never));
+    shared
+}
+
+/// Seed a snapshot-bearing store for `bucket` under node `NODE`'s root,
+/// exactly as a driver-built initial layout would.
+fn seed(shared: &SharedHandle, bucket: u64) {
+    let mut node = Node::Data(DataBucket::new(shared.clone(), bucket, 1));
+    node.attach_fresh_store(NodeId(NODE));
+}
+
+fn snapshot_path(root: &Path, bucket: u64) -> PathBuf {
+    node_root(root, NODE)
+        .join(format!("data-{bucket}"))
+        .join("SNAPSHOT")
+}
+
+/// Pin the snapshot's mtime so the test controls the ranking order
+/// deterministically (no wall-clock races).
+fn set_snapshot_age(root: &Path, bucket: u64, age: Duration) {
+    let snap = snapshot_path(root, bucket);
+    let f = std::fs::File::options()
+        .write(true)
+        .open(&snap)
+        .expect("seeded store must have a snapshot");
+    f.set_modified(SystemTime::UNIX_EPOCH + age).unwrap();
+}
+
+fn recovered_bucket(shared: &SharedHandle, root: &Path) -> Option<u64> {
+    let metrics = Metrics::new(Clock::wall());
+    match recover_node(shared, root, NODE, FsyncPolicy::Never, &metrics)? {
+        Node::Data(d) => Some(d.bucket),
+        _ => None,
+    }
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("lhrs-rank-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+#[test]
+fn recover_node_prefers_newest_snapshot() {
+    let root = temp_root("newest");
+    let shared = build_shared(&root);
+    seed(&shared, 1);
+    seed(&shared, 2);
+    // data-1 is the stale tenancy. The path-order tie-break alone would
+    // pick data-1, so recovering bucket 2 proves the mtime ranking.
+    set_snapshot_age(&root, 1, Duration::from_secs(1_000));
+    set_snapshot_age(&root, 2, Duration::from_secs(2_000));
+    assert_eq!(recovered_bucket(&shared, &root), Some(2));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recover_node_mtime_beats_path_order() {
+    let root = temp_root("flip");
+    let shared = build_shared(&root);
+    seed(&shared, 1);
+    seed(&shared, 2);
+    // Flipped ages: data-2 is the stale tenancy, data-1 the newest.
+    set_snapshot_age(&root, 1, Duration::from_secs(2_000));
+    set_snapshot_age(&root, 2, Duration::from_secs(1_000));
+    assert_eq!(recovered_bucket(&shared, &root), Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recover_node_damaged_newest_falls_through() {
+    let root = temp_root("damaged");
+    let shared = build_shared(&root);
+    seed(&shared, 1);
+    seed(&shared, 2);
+    // Mangle the newest snapshot in place: the store still *has* state
+    // (so it is ranked and tried first) but cannot be decoded, and the
+    // ranking must fall through to the older usable store rather than
+    // boot blank.
+    std::fs::write(snapshot_path(&root, 2), b"not a snapshot").unwrap();
+    set_snapshot_age(&root, 1, Duration::from_secs(1_000));
+    set_snapshot_age(&root, 2, Duration::from_secs(2_000));
+    assert_eq!(recovered_bucket(&shared, &root), Some(1));
+    let _ = std::fs::remove_dir_all(&root);
+}

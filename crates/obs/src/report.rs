@@ -136,6 +136,9 @@ pub struct RestartReport {
     pub restart_recoveries: u64,
     /// Restarts that fell back to the full RS rebuild path.
     pub restart_fallbacks: u64,
+    /// Catch-ups the restarting bucket itself aborted (inapplicable
+    /// Δ-suffix entry, or a wedged handshake past its watchdog).
+    pub restart_aborts: u64,
     /// Δ-suffix entries applied by catching-up buckets.
     pub suffix_entries: u64,
     /// Δ-suffix payload bytes applied.
@@ -171,6 +174,7 @@ impl RestartReport {
             wal_errors: metrics.counter("wal_errors"),
             restart_recoveries: metrics.counter("restart_recoveries"),
             restart_fallbacks: metrics.counter("restart_fallbacks"),
+            restart_aborts: metrics.counter("restart_aborts"),
             suffix_entries: metrics.counter("restart_suffix_entries"),
             suffix_bytes: metrics.counter("restart_suffix_bytes"),
             recovery_bytes_moved: metrics.counter("recovery_bytes_moved"),
@@ -201,6 +205,7 @@ impl RestartReport {
             "  \"restart_fallbacks\": {},\n",
             self.restart_fallbacks
         ));
+        out.push_str(&format!("  \"restart_aborts\": {},\n", self.restart_aborts));
         out.push_str(&format!("  \"suffix_entries\": {},\n", self.suffix_entries));
         out.push_str(&format!("  \"suffix_bytes\": {},\n", self.suffix_bytes));
         out.push_str(&format!(

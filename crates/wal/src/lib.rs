@@ -385,6 +385,12 @@ impl FileWal {
         dir.join("SNAPSHOT").is_file()
     }
 
+    /// Modification time of `dir`'s snapshot, if one exists — lets a host
+    /// with several surviving stores rank them newest-first.
+    pub fn state_mtime(dir: &Path) -> Option<std::time::SystemTime> {
+        fs::metadata(dir.join("SNAPSHOT")).ok()?.modified().ok()
+    }
+
     fn rotate(&mut self) -> Result<(), StoreError> {
         if !matches!(self.fsync, FsyncPolicy::Never) {
             self.seg
