@@ -483,9 +483,19 @@ impl Coordinator {
                     self.timer_tokens.remove(&ctx.timer);
                     let pairs: Vec<(u64, u8)> = ctx.replies.into_iter().collect();
                     let (n, i) = recompute_state(&pairs);
-                    self.state = FileState::from_parts(n, i, 1);
-                    self.events
-                        .push((env.now(), CoordEvent::StateRecovered { n, i }));
+                    match FileState::from_parts(n, i, 1) {
+                        Some(state) => {
+                            self.state = state;
+                            self.events
+                                .push((env.now(), CoordEvent::StateRecovered { n, i }));
+                        }
+                        None => {
+                            // The survivors' reports recompose into an
+                            // impossible (n, i); keep the current state and
+                            // leave an audit trail rather than install it.
+                            self.invariant_violated(env, "recovered file state inconsistent");
+                        }
+                    }
                 }
             }
             Msg::CheckOwnership { bucket, parity } => {

@@ -505,7 +505,10 @@ impl LhrsFile {
     /// rebuild rather than resume below the certified watermark.
     pub fn corrupt_parity_history(&mut self, group: u64, index: usize, col: usize) {
         let node = self.shared.registry.borrow().parity_nodes(group)[index];
-        self.sim.actor_mut(node).as_parity_mut().corrupt_history(col);
+        self.sim
+            .actor_mut(node)
+            .as_parity_mut()
+            .corrupt_history(col);
     }
 
     /// Crash parity bucket `index` of `group`.

@@ -63,10 +63,14 @@ pub fn cell_is_zero(cell: &[u8]) -> bool {
 }
 
 /// `a ⊕ b` for two cells (the Δ of an update, or of an insert/delete
-/// against the implicit zero cell).
+/// against the implicit zero cell). Routed through the GF kernel so the
+/// Δ-path exercises the same (vectorised, prefix-degrading) XOR the parity
+/// encode path uses; mismatched lengths degrade to the common prefix.
 pub fn cell_delta(a: &[u8], b: &[u8]) -> Vec<u8> {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x ^ y).collect()
+    let mut out = a.get(..a.len().min(b.len())).unwrap_or(a).to_vec();
+    lhrs_gf::add_slice(b, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -1303,7 +1303,9 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
             count: r.varint()?,
             bytes: r.varint()?,
         },
-        tag::RESTART_ABORT => Msg::RestartAbort { bucket: r.varint()? },
+        tag::RESTART_ABORT => Msg::RestartAbort {
+            bucket: r.varint()?,
+        },
         tag::CHECK_GROUP => Msg::CheckGroup { group: r.varint()? },
         tag::RECOVER_FILE_STATE => Msg::RecoverFileState,
         tag::STATE_QUERY => Msg::StateQuery,

@@ -269,9 +269,7 @@ fn wedged_catchup_aborts_to_full_rebuild() {
     // first instant after its restart, and neither side retransmits the
     // report — without the watchdog the handshake never completes.
     let now = file.now_us();
-    file.set_fault_plan(
-        FaultPlan::new(7).partition(Partition::new(vec![node], now, now + 1_000)),
-    );
+    file.set_fault_plan(FaultPlan::new(7).partition(Partition::new(vec![node], now, now + 1_000)));
     // Ownership result is irrelevant here: after the fallback the rebuilt
     // bucket may even land back on the same (pooled) node.
     let _ = file.restart_data_bucket_from_store(0).unwrap();
@@ -279,7 +277,10 @@ fn wedged_catchup_aborts_to_full_rebuild() {
 
     let report = RestartReport::from_metrics("wedged-catchup", file.metrics());
     assert_eq!(report.restart_recoveries, 0, "{report:?}");
-    assert_eq!(report.restart_aborts, 1, "the watchdog must fire: {report:?}");
+    assert_eq!(
+        report.restart_aborts, 1,
+        "the watchdog must fire: {report:?}"
+    );
     assert_eq!(report.restart_fallbacks, 1, "{report:?}");
     assert!(
         report.recovery_shards_rebuilt >= 1,

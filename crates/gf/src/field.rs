@@ -73,12 +73,14 @@ pub trait GaloisField: Copy + Clone + Debug + Default + Send + Sync + 'static {
         if e == 0 {
             return Self::one();
         }
-        if a == Self::zero() {
+        let Some(la) = Self::log(a) else {
+            // log is None exactly for zero, and 0^e = 0 for e > 0.
             return Self::zero();
-        }
-        let la = Self::log(a).expect("nonzero");
-        let l = (la as u64 * e as u64) % (Self::ORDER as u64 - 1);
-        Self::exp(l as u32)
+        };
+        let l = (u64::from(la) * u64::from(e)) % (u64::from(Self::ORDER) - 1);
+        // l < ORDER - 1 <= u32::MAX after the modulo, so the conversion is
+        // total; fall back to the zero exponent rather than aborting.
+        Self::exp(u32::try_from(l).unwrap_or(0))
     }
 
     /// Lossy conversion from `usize` (truncates to field width). Used to
@@ -90,17 +92,17 @@ pub trait GaloisField: Copy + Clone + Debug + Default + Send + Sync + 'static {
 
     /// `dst = c * src`, symbol-wise over packed buffers.
     ///
-    /// # Panics
-    /// Panics if `src.len() != dst.len()` or the length is not a multiple of
-    /// the symbol size.
+    /// Kernels never panic: mismatched or non-symbol-aligned lengths degrade
+    /// to the longest symbol-aligned common prefix, leaving any excess
+    /// untouched. Callers that need strict lengths (the Reed–Solomon layer)
+    /// validate at their own boundary; a bad buffer from a remote peer must
+    /// surface as a verify error, not abort the bucket actor.
     fn mul_slice(c: Self::Elem, src: &[u8], dst: &mut [u8]);
 
     /// `dst ^= c * src`, symbol-wise over packed buffers — the inner loop of
     /// Reed–Solomon encoding and of LH\*RS parity Δ-commits.
     ///
-    /// # Panics
-    /// Panics if `src.len() != dst.len()` or the length is not a multiple of
-    /// the symbol size.
+    /// Same prefix-degrade contract as [`GaloisField::mul_slice`].
     fn mul_add_slice(c: Self::Elem, src: &[u8], dst: &mut [u8]);
 }
 
@@ -110,17 +112,23 @@ pub trait GaloisField: Copy + Clone + Debug + Default + Send + Sync + 'static {
 /// column, i.e. the XOR fast path that makes LH\*RS's first parity bucket as
 /// cheap as LH\*g's.
 ///
-/// # Panics
-/// Panics if the slices have different lengths.
+/// Mismatched lengths degrade to the common prefix (the extra suffix of the
+/// longer buffer is left untouched) instead of aborting: a length bug in a
+/// caller must surface as a decode/verify error on that one operation, not
+/// as a killed bucket actor that the coordinator then has to rebuild.
 pub fn add_slice(src: &[u8], dst: &mut [u8]) {
-    assert_eq!(src.len(), dst.len(), "add_slice length mismatch");
+    let n = src.len().min(dst.len());
+    let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+        return;
+    };
     // Process word-sized chunks; the compiler vectorizes this loop.
     let mut s8 = src.chunks_exact(8);
     let mut d8 = dst.chunks_exact_mut(8);
     for (s, d) in (&mut s8).zip(&mut d8) {
-        let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
-        let dv = u64::from_ne_bytes(d[..8].try_into().expect("chunk of 8"));
-        d.copy_from_slice(&(sv ^ dv).to_ne_bytes());
+        if let (Ok(sv), Ok(dv)) = (<[u8; 8]>::try_from(s), <[u8; 8]>::try_from(&*d)) {
+            let v = u64::from_ne_bytes(sv) ^ u64::from_ne_bytes(dv);
+            d.copy_from_slice(&v.to_ne_bytes());
+        }
     }
     for (s, d) in s8.remainder().iter().zip(d8.into_remainder()) {
         *d ^= s;
@@ -153,9 +161,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn add_slice_rejects_mismatched_lengths() {
-        let mut dst = [0u8; 3];
+    fn add_slice_length_mismatch_degrades_to_common_prefix() {
+        // Longer dst: only the prefix is XORed, the suffix is untouched.
+        let mut dst = [10u8, 20, 30, 40];
         add_slice(&[1, 2], &mut dst);
+        assert_eq!(dst, [11, 22, 30, 40]);
+        // Longer src: dst is XORed with the matching prefix of src.
+        let mut dst = [10u8, 20];
+        add_slice(&[1, 2, 3, 4, 5, 6, 7, 8, 9], &mut dst);
+        assert_eq!(dst, [11, 22]);
+        // Word-sized src against a sub-word dst still covers the prefix.
+        let mut dst = [0xffu8; 3];
+        add_slice(&[1u8; 16], &mut dst);
+        assert_eq!(dst, [0xfe; 3]);
     }
 }

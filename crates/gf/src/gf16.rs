@@ -5,7 +5,8 @@
 //! The log/antilog tables total ~512 KiB, too large for comfortable `const`
 //! evaluation, so they are built once on first use behind a
 //! [`std::sync::OnceLock`]. Packed buffers carry one symbol per
-//! little-endian byte pair and must have even length.
+//! little-endian byte pair; the slice kernels operate on the longest even
+//! common prefix of their buffers (see [`GaloisField::mul_slice`]).
 
 use std::sync::OnceLock;
 
@@ -21,21 +22,45 @@ struct Tables {
     log: Vec<u16>,
 }
 
+impl Tables {
+    /// Antilog lookup that degrades to 0 (never a valid α^i) instead of
+    /// aborting the calling actor if an index is somehow out of range.
+    #[inline]
+    fn exp_at(&self, i: usize) -> u16 {
+        self.exp.get(i).copied().unwrap_or(0)
+    }
+
+    /// Log lookup; the sentinel 0 comes back for the (excluded) zero symbol.
+    #[inline]
+    fn log16(&self, a: u16) -> u16 {
+        self.log.get(usize::from(a)).copied().unwrap_or(0)
+    }
+}
+
 fn tables() -> &'static Tables {
     static TABLES: OnceLock<Tables> = OnceLock::new();
     TABLES.get_or_init(|| {
         let mut exp = vec![0u16; 2 * 65535];
         let mut log = vec![0u16; 65536];
+        // Invariant: x < 0x10000 at the top of every iteration, so the
+        // narrowing conversion below is total.
         let mut x: u32 = 1;
         for i in 0..65535usize {
-            exp[i] = x as u16;
-            exp[i + 65535] = x as u16;
-            log[x as usize] = i as u16;
-            x <<= 1;
+            let sym = u16::try_from(x).unwrap_or(0);
+            if let Some(e) = exp.get_mut(i) {
+                *e = sym;
+            }
+            if let Some(e) = exp.get_mut(i.wrapping_add(65535)) {
+                *e = sym;
+            }
+            if let Some(l) = log.get_mut(usize::from(sym)) {
+                *l = u16::try_from(i).unwrap_or(0);
+            }
+            x = x.wrapping_shl(1);
             if x & 0x10000 != 0 {
                 x ^= POLY;
             }
-            x &= MASK | 0x10000;
+            x &= MASK;
         }
         debug_assert_eq!(x, 1, "α must have order 65535");
         Tables { exp, log }
@@ -74,7 +99,8 @@ impl GaloisField for Gf16 {
             return 0;
         }
         let t = tables();
-        t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+        // log(a) + log(b) <= 2 * 65534, inside the doubled antilog table.
+        t.exp_at(usize::from(t.log16(a)).wrapping_add(usize::from(t.log16(b))))
     }
 
     #[inline]
@@ -83,12 +109,13 @@ impl GaloisField for Gf16 {
             return None;
         }
         let t = tables();
-        Some(t.exp[65535 - t.log[a as usize] as usize])
+        // log(a) <= 65534, so the subtraction cannot underflow.
+        Some(t.exp_at(65535usize.wrapping_sub(usize::from(t.log16(a)))))
     }
 
     #[inline]
     fn exp(i: u32) -> u16 {
-        tables().exp[(i % 65535) as usize]
+        tables().exp_at(usize::try_from(i % 65535).unwrap_or(0))
     }
 
     #[inline]
@@ -96,35 +123,41 @@ impl GaloisField for Gf16 {
         if a == 0 {
             None
         } else {
-            Some(tables().log[a as usize] as u32)
+            Some(u32::from(tables().log16(a)))
         }
     }
 
     #[inline]
     fn from_usize(x: usize) -> u16 {
-        x as u16
+        // Truncation to the field width is this method's documented contract.
+        u16::try_from(x & 0xFFFF).unwrap_or(0)
     }
 
     #[inline]
     fn to_usize(a: u16) -> usize {
-        a as usize
+        usize::from(a)
     }
 
     fn mul_slice(c: u16, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
-        assert_eq!(src.len() % 2, 0, "GF(2^16) buffers must have even length");
+        let n = src.len().min(dst.len()) & !1;
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
         match c {
             0 => dst.fill(0),
             1 => dst.copy_from_slice(src),
             _ => {
                 let t = tables();
-                let lc = t.log[c as usize] as usize;
+                let lc = usize::from(t.log16(c));
                 for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
-                    let sv = u16::from_le_bytes([s[0], s[1]]);
+                    let Ok(sa) = <[u8; 2]>::try_from(s) else {
+                        continue;
+                    };
+                    let sv = u16::from_le_bytes(sa);
                     let prod = if sv == 0 {
                         0
                     } else {
-                        t.exp[lc + t.log[sv as usize] as usize]
+                        t.exp_at(lc.wrapping_add(usize::from(t.log16(sv))))
                     };
                     d.copy_from_slice(&prod.to_le_bytes());
                 }
@@ -133,19 +166,25 @@ impl GaloisField for Gf16 {
     }
 
     fn mul_add_slice(c: u16, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
-        assert_eq!(src.len() % 2, 0, "GF(2^16) buffers must have even length");
+        let n = src.len().min(dst.len()) & !1;
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
         match c {
             0 => {}
             1 => crate::field::add_slice(src, dst),
             _ => {
                 let t = tables();
-                let lc = t.log[c as usize] as usize;
+                let lc = usize::from(t.log16(c));
                 for (s, d) in src.chunks_exact(2).zip(dst.chunks_exact_mut(2)) {
-                    let sv = u16::from_le_bytes([s[0], s[1]]);
+                    let (Ok(sa), Ok(da)) = (<[u8; 2]>::try_from(s), <[u8; 2]>::try_from(&*d))
+                    else {
+                        continue;
+                    };
+                    let sv = u16::from_le_bytes(sa);
                     if sv != 0 {
-                        let prod = t.exp[lc + t.log[sv as usize] as usize];
-                        let dv = u16::from_le_bytes([d[0], d[1]]) ^ prod;
+                        let prod = t.exp_at(lc.wrapping_add(usize::from(t.log16(sv))));
+                        let dv = u16::from_le_bytes(da) ^ prod;
                         d.copy_from_slice(&dv.to_le_bytes());
                     }
                 }
@@ -217,9 +256,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "even length")]
-    fn odd_length_buffers_rejected() {
-        let mut dst = [0u8; 3];
-        Gf16::mul_slice(2, &[1, 2, 3], &mut dst);
+    fn odd_or_mismatched_buffers_degrade_to_even_prefix() {
+        // Odd length: the trailing byte is a partial symbol and is ignored.
+        let mut dst = [0xAAu8; 3];
+        Gf16::mul_slice(2, &[1, 0, 3], &mut dst);
+        let expect = Gf16::mul(2, 1).to_le_bytes();
+        assert_eq!(dst, [expect[0], expect[1], 0xAA]);
+
+        // Mismatched lengths: only the even common prefix is accumulated.
+        let mut acc = [0u8; 4];
+        Gf16::mul_add_slice(1, &[7, 0, 9, 0, 11, 0], &mut acc);
+        assert_eq!(acc, [7, 0, 9, 0]);
     }
 }

@@ -69,6 +69,35 @@ const fn build_pair_mul() -> [[u8; 256]; 16] {
     t
 }
 
+/// Zero table for the (unreachable) out-of-range multiplier fallback.
+static ZERO_PAIR: [u8; 256] = [0; 256];
+
+/// Antilog lookup that degrades to 0 (never a valid α^i) instead of
+/// aborting the calling actor if an index is somehow out of range.
+#[inline]
+fn exp_at(i: usize) -> u8 {
+    EXP.get(i).copied().unwrap_or(0)
+}
+
+/// Log lookup as a ready-to-index `usize`; the multiplier is masked to the
+/// low nibble so the lookup is total.
+#[inline]
+fn log_of(a: u8) -> usize {
+    usize::from(LOG.get(usize::from(a & 0x0F)).copied().unwrap_or(0))
+}
+
+/// The 256-entry packed-pair table for multiplier `c` (masked to a nibble).
+#[inline]
+fn pair_table(c: u8) -> &'static [u8; 256] {
+    PAIR_MUL.get(usize::from(c & 0x0F)).unwrap_or(&ZERO_PAIR)
+}
+
+/// One packed-byte multiply; a `u8` always indexes a 256-entry table.
+#[inline]
+fn pair_mul_at(t: &[u8; 256], s: u8) -> u8 {
+    t.get(usize::from(s)).copied().unwrap_or(0)
+}
+
 /// Marker type implementing [`GaloisField`] for GF(2^4).
 ///
 /// Elements are stored in the low nibble of a `u8`; the high nibble must be
@@ -102,7 +131,12 @@ impl GaloisField for Gf4 {
     #[inline]
     fn mul(a: u8, b: u8) -> u8 {
         debug_assert!(a < 16 && b < 16);
-        scalar_mul(a, b)
+        if a == 0 || b == 0 {
+            0
+        } else {
+            // log(a) + log(b) <= 28, inside the doubled antilog table.
+            exp_at(log_of(a).wrapping_add(log_of(b)))
+        }
     }
 
     #[inline]
@@ -111,13 +145,14 @@ impl GaloisField for Gf4 {
         if a == 0 {
             None
         } else {
-            Some(EXP[(15 - LOG[a as usize]) as usize])
+            // log(a) <= 14, so the subtraction cannot underflow.
+            Some(exp_at(15usize.wrapping_sub(log_of(a))))
         }
     }
 
     #[inline]
     fn exp(i: u32) -> u8 {
-        EXP[(i % 15) as usize]
+        exp_at(usize::try_from(i % 15).unwrap_or(0))
     }
 
     #[inline]
@@ -126,39 +161,46 @@ impl GaloisField for Gf4 {
         if a == 0 {
             None
         } else {
-            Some(LOG[a as usize] as u32)
+            Some(u32::try_from(log_of(a)).unwrap_or(0))
         }
     }
 
     #[inline]
     fn from_usize(x: usize) -> u8 {
-        (x & 0x0F) as u8
+        // Truncation to the field width is this method's documented contract.
+        u8::try_from(x & 0x0F).unwrap_or(0)
     }
 
     #[inline]
     fn to_usize(a: u8) -> usize {
-        a as usize
+        usize::from(a)
     }
 
     fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
         debug_assert!(c < 16);
-        let t = &PAIR_MUL[c as usize];
+        let n = src.len().min(dst.len());
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
+        let t = pair_table(c);
         for (s, d) in src.iter().zip(dst.iter_mut()) {
-            *d = t[*s as usize];
+            *d = pair_mul_at(t, *s);
         }
     }
 
     fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
         debug_assert!(c < 16);
+        let n = src.len().min(dst.len());
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
         match c {
             0 => {}
             1 => crate::field::add_slice(src, dst),
             _ => {
-                let t = &PAIR_MUL[c as usize];
+                let t = pair_table(c);
                 for (s, d) in src.iter().zip(dst.iter_mut()) {
-                    *d ^= t[*s as usize];
+                    *d ^= pair_mul_at(t, *s);
                 }
             }
         }

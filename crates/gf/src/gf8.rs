@@ -51,6 +51,20 @@ const fn build_log() -> [u16; 256] {
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Gf8;
 
+/// Antilog lookup that degrades to 0 (never a valid α^i) instead of
+/// aborting the calling actor if an index is somehow out of range.
+#[inline]
+fn exp_at(i: usize) -> u8 {
+    EXP.get(i).copied().unwrap_or(0)
+}
+
+/// Log lookup as a ready-to-index `usize`; the sentinel 0 comes back for
+/// the (caller-excluded) zero symbol.
+#[inline]
+fn log_of(a: u8) -> usize {
+    usize::from(LOG.get(usize::from(a)).copied().unwrap_or(0))
+}
+
 impl Gf8 {
     /// Build the two 16-entry split tables for multiplier `c`: products of
     /// `c` with the low nibble values and with the high nibble values. One
@@ -59,11 +73,20 @@ impl Gf8 {
     fn split_tables(c: u8) -> ([u8; 16], [u8; 16]) {
         let mut lo = [0u8; 16];
         let mut hi = [0u8; 16];
-        for x in 0..16u8 {
-            lo[x as usize] = <Gf8 as GaloisField>::mul(c, x);
-            hi[x as usize] = <Gf8 as GaloisField>::mul(c, x << 4);
+        for (x, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            let xv = u8::try_from(x).unwrap_or(0);
+            *l = <Gf8 as GaloisField>::mul(c, xv);
+            *h = <Gf8 as GaloisField>::mul(c, xv.wrapping_shl(4));
         }
         (lo, hi)
+    }
+
+    /// One byte multiply via prebuilt split tables (both tables have 16
+    /// entries, and a nibble is always < 16).
+    #[inline]
+    fn split_mul(lo: &[u8; 16], hi: &[u8; 16], s: u8) -> u8 {
+        lo.get(usize::from(s & 0x0F)).copied().unwrap_or(0)
+            ^ hi.get(usize::from(s >> 4)).copied().unwrap_or(0)
     }
 }
 
@@ -94,7 +117,8 @@ impl GaloisField for Gf8 {
         if a == 0 || b == 0 {
             0
         } else {
-            EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+            // log(a) + log(b) <= 508, inside the doubled antilog table.
+            exp_at(log_of(a).wrapping_add(log_of(b)))
         }
     }
 
@@ -103,13 +127,14 @@ impl GaloisField for Gf8 {
         if a == 0 {
             None
         } else {
-            Some(EXP[255 - LOG[a as usize] as usize])
+            // log(a) <= 254, so the subtraction cannot underflow.
+            Some(exp_at(255usize.wrapping_sub(log_of(a))))
         }
     }
 
     #[inline]
     fn exp(i: u32) -> u8 {
-        EXP[(i % 255) as usize]
+        exp_at(usize::try_from(i % 255).unwrap_or(0))
     }
 
     #[inline]
@@ -117,43 +142,50 @@ impl GaloisField for Gf8 {
         if a == 0 {
             None
         } else {
-            Some(LOG[a as usize] as u32)
+            Some(u32::try_from(log_of(a)).unwrap_or(0))
         }
     }
 
     #[inline]
     fn from_usize(x: usize) -> u8 {
-        x as u8
+        // Truncation to the field width is this method's documented contract.
+        u8::try_from(x & 0xFF).unwrap_or(0)
     }
 
     #[inline]
     fn to_usize(a: u8) -> usize {
-        a as usize
+        usize::from(a)
     }
 
     fn mul_slice(c: u8, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+        let n = src.len().min(dst.len());
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
         match c {
             0 => dst.fill(0),
             1 => dst.copy_from_slice(src),
             _ => {
                 let (lo, hi) = Self::split_tables(c);
                 for (s, d) in src.iter().zip(dst.iter_mut()) {
-                    *d = lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+                    *d = Self::split_mul(&lo, &hi, *s);
                 }
             }
         }
     }
 
     fn mul_add_slice(c: u8, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(src.len(), dst.len(), "mul_add_slice length mismatch");
+        let n = src.len().min(dst.len());
+        let (Some(src), Some(dst)) = (src.get(..n), dst.get_mut(..n)) else {
+            return;
+        };
         match c {
             0 => {}
             1 => crate::field::add_slice(src, dst),
             _ => {
                 let (lo, hi) = Self::split_tables(c);
                 for (s, d) in src.iter().zip(dst.iter_mut()) {
-                    *d ^= lo[(s & 0x0F) as usize] ^ hi[(s >> 4) as usize];
+                    *d ^= Self::split_mul(&lo, &hi, *s);
                 }
             }
         }
@@ -230,9 +262,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "length mismatch")]
-    fn mul_slice_rejects_mismatched_lengths() {
-        let mut dst = [0u8; 4];
+    fn mul_slice_length_mismatch_degrades_to_common_prefix() {
+        let mut dst = [0xAAu8; 4];
         Gf8::mul_slice(3, &[1, 2, 3], &mut dst);
+        assert_eq!(
+            dst,
+            [Gf8::mul(3, 1), Gf8::mul(3, 2), Gf8::mul(3, 3), 0xAA],
+            "prefix multiplied, surplus dst untouched"
+        );
+
+        let mut acc = [1u8, 1];
+        Gf8::mul_add_slice(2, &[5, 6, 7, 8], &mut acc);
+        assert_eq!(acc, [1 ^ Gf8::mul(2, 5), 1 ^ Gf8::mul(2, 6)]);
     }
 }

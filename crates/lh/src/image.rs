@@ -35,10 +35,26 @@ pub struct ClientImage {
 }
 
 impl ClientImage {
-    /// A brand-new client: `n' = 0`, `i' = 0` — the worst-case image.
+    /// A brand-new client: `n' = 0`, `i' = 0` — the worst-case image. A
+    /// zero `n0` is clamped to 1.
     pub fn new(n0: u64) -> Self {
-        assert!(n0 >= 1);
-        ClientImage { n: 0, i: 0, n0 }
+        debug_assert!(n0 >= 1);
+        ClientImage {
+            n: 0,
+            i: 0,
+            n0: n0.max(1),
+        }
+    }
+
+    /// `2^lvl · N`, saturating — a corrupt level in an IAM must not wrap
+    /// the implied bucket count (same rule as `FileState`).
+    fn boundary_at(&self, lvl: u8) -> u64 {
+        if lvl >= 64 {
+            u64::MAX
+        } else {
+            // The shift amount is < 64 here, so wrapping_shl is exact.
+            self.n0.saturating_mul(1u64.wrapping_shl(u32::from(lvl)))
+        }
     }
 
     /// Image split pointer `n'`.
@@ -51,9 +67,9 @@ impl ClientImage {
         self.i
     }
 
-    /// Number of buckets the client believes exist.
+    /// Number of buckets the client believes exist (saturating).
     pub fn bucket_count(&self) -> u64 {
-        self.n + (1u64 << self.i) * self.n0
+        self.n.saturating_add(self.boundary_at(self.i))
     }
 
     /// **A1 over the image**: the bucket this client sends a request for
@@ -61,7 +77,7 @@ impl ClientImage {
     pub fn address(&self, key: u64) -> u64 {
         let a = h(self.i, self.n0, key);
         if a < self.n {
-            h(self.i + 1, self.n0, key)
+            h(self.i.saturating_add(1), self.n0, key)
         } else {
             a
         }
@@ -74,13 +90,14 @@ impl ClientImage {
         if j == 0 {
             return; // a level-0 bucket proves nothing beyond the initial state
         }
-        let i_min = j - 1;
-        let span = (1u64 << i_min) * self.n0;
-        let mut n_min = (a % span) + 1;
+        let i_min = j.saturating_sub(1);
+        // n0 >= 1 keeps the span nonzero, so the modulo below is total.
+        let span = self.boundary_at(i_min);
+        let mut n_min = (a % span.max(1)).saturating_add(1);
         let mut i_new = i_min;
         if n_min >= span {
             n_min = 0;
-            i_new += 1;
+            i_new = i_new.saturating_add(1);
         }
         // Forward-only: lexicographic max on (level, pointer).
         if (i_new, n_min) > (self.i, self.n) {
@@ -94,13 +111,12 @@ impl ClientImage {
     /// messages so servers can propagate them to buckets the image does not
     /// know about, exactly once.
     ///
-    /// # Panics
-    /// Panics if `m` is outside the image's bucket range.
+    /// Total: a bucket outside the image's range degrades to `i' + 1` (the
+    /// level it would have) instead of aborting; debug builds still trap.
     pub fn level_of(&self, m: u64) -> u8 {
-        assert!(m < self.bucket_count(), "bucket {m} not in image");
-        let boundary = (1u64 << self.i) * self.n0;
-        if m < self.n || m >= boundary {
-            self.i + 1
+        debug_assert!(m < self.bucket_count(), "bucket {m} not in image");
+        if m < self.n || m >= self.boundary_at(self.i) {
+            self.i.saturating_add(1)
         } else {
             self.i
         }
@@ -115,10 +131,10 @@ impl ClientImage {
             if self.i == 0 {
                 return false;
             }
-            self.i -= 1;
-            self.n = (1u64 << self.i) * self.n0;
+            self.i = self.i.saturating_sub(1);
+            self.n = self.boundary_at(self.i);
         }
-        self.n -= 1;
+        self.n = self.n.saturating_sub(1);
         true
     }
 

@@ -64,7 +64,15 @@ pub use table::LhTable;
 /// distributed should be pre-scrambled (see [`scramble`]).
 #[inline]
 pub fn h(l: u8, n0: u64, key: u64) -> u64 {
-    key % ((1u64 << l) * n0)
+    // Total for any (l, n0): the span saturates instead of wrapping, and a
+    // degenerate zero span (n0 == 0) is clamped so the modulo is defined.
+    let span = if l >= 64 {
+        u64::MAX
+    } else {
+        // Shift amount < 64 here, so wrapping_shl is exact.
+        1u64.wrapping_shl(u32::from(l)).saturating_mul(n0)
+    };
+    key % span.max(1)
 }
 
 /// A fast 64-bit mixing function (SplitMix64 finaliser) for clients whose

@@ -32,7 +32,7 @@ pub fn a2_route(m: u64, j: u8, key: u64, n0: u64) -> A2Outcome {
     }
     let mut target = a1;
     if j > 0 {
-        let a2 = h(j - 1, n0, key);
+        let a2 = h(j.saturating_sub(1), n0, key);
         if a2 > m && a2 < target {
             target = a2;
         }

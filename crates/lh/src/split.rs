@@ -37,7 +37,7 @@ pub fn partition_keys(
     let mut go = Vec::new();
     for k in keys {
         debug_assert_eq!(
-            h(plan.new_level - 1, plan.n0, k),
+            h(plan.new_level.saturating_sub(1), plan.n0, k),
             plan.source,
             "key {k} was not resident in the splitting bucket"
         );

@@ -29,18 +29,42 @@ pub struct FileState {
 }
 
 impl FileState {
-    /// A fresh file of `n0 ≥ 1` buckets (`n = 0`, `i = 0`).
+    /// A fresh file of `n0 ≥ 1` buckets (`n = 0`, `i = 0`). A zero `n0` is
+    /// clamped to 1 (an LH\* file always has at least one bucket).
     pub fn new(n0: u64) -> Self {
-        assert!(n0 >= 1, "initial bucket count must be at least 1");
-        FileState { n: 0, i: 0, n0 }
+        debug_assert!(n0 >= 1, "initial bucket count must be at least 1");
+        FileState {
+            n: 0,
+            i: 0,
+            n0: n0.max(1),
+        }
     }
 
     /// Reconstruct a state from raw `(n, i, n0)` — used by file-state
-    /// recovery.
-    pub fn from_parts(n: u64, i: u8, n0: u64) -> Self {
-        assert!(n0 >= 1);
-        assert!(n < (1u64 << i) * n0, "split pointer out of range");
-        FileState { n, i, n0 }
+    /// recovery. The parts come off the wire (recomputed from per-bucket
+    /// levels reported by survivors), so inconsistent values must surface
+    /// as `None` for the caller to handle, never abort the coordinator.
+    pub fn from_parts(n: u64, i: u8, n0: u64) -> Option<Self> {
+        if n0 == 0 {
+            return None;
+        }
+        let s = FileState { n, i, n0 };
+        if n >= s.boundary() {
+            return None; // split pointer out of range
+        }
+        Some(s)
+    }
+
+    /// `2^i · N`, the number of buckets the file had when level `i` began.
+    /// Saturates instead of overflowing so a corrupt level cannot wrap
+    /// into a tiny (and thus wrongly-addressing) bucket count.
+    fn boundary(&self) -> u64 {
+        if self.i >= 64 {
+            u64::MAX
+        } else {
+            // The shift amount is < 64 here, so wrapping_shl is exact.
+            self.n0.saturating_mul(1u64.wrapping_shl(u32::from(self.i)))
+        }
     }
 
     /// Split pointer `n`: the next bucket to split.
@@ -58,9 +82,9 @@ impl FileState {
         self.n0
     }
 
-    /// Total number of buckets `M = n + 2^i · N`.
+    /// Total number of buckets `M = n + 2^i · N` (saturating).
     pub fn bucket_count(&self) -> u64 {
-        self.n + (1u64 << self.i) * self.n0
+        self.n.saturating_add(self.boundary())
     }
 
     /// **Algorithm A1** — the correct address of `key` under this state:
@@ -71,7 +95,7 @@ impl FileState {
     pub fn address(&self, key: u64) -> u64 {
         let a = h(self.i, self.n0, key);
         if a < self.n {
-            h(self.i + 1, self.n0, key)
+            h(self.i.saturating_add(1), self.n0, key)
         } else {
             a
         }
@@ -79,13 +103,14 @@ impl FileState {
 
     /// The level `j_m` of bucket `m` under this state.
     ///
-    /// # Panics
-    /// Panics if `m` is not an existing bucket.
+    /// Total: a bucket number beyond the file (a stale or corrupt wire
+    /// value) degrades to the level it *would* have (`i + 1`, the level of
+    /// every bucket past the boundary) instead of aborting — debug builds
+    /// still trap on the misuse.
     pub fn level_of(&self, m: u64) -> u8 {
-        assert!(m < self.bucket_count(), "bucket {m} does not exist");
-        let boundary = (1u64 << self.i) * self.n0;
-        if m < self.n || m >= boundary {
-            self.i + 1
+        debug_assert!(m < self.bucket_count(), "bucket {m} does not exist");
+        if m < self.n || m >= self.boundary() {
+            self.i.saturating_add(1)
         } else {
             self.i
         }
@@ -95,13 +120,13 @@ impl FileState {
     /// splits, where movers go, the new level) and advances `(n, i)`.
     pub fn split(&mut self) -> SplitPlan {
         let source = self.n;
-        let boundary = (1u64 << self.i) * self.n0;
-        let target = source + boundary;
-        let new_level = self.i + 1;
-        self.n += 1;
+        let boundary = self.boundary();
+        let target = source.saturating_add(boundary);
+        let new_level = self.i.saturating_add(1);
+        self.n = self.n.saturating_add(1);
         if self.n == boundary {
             self.n = 0;
-            self.i += 1;
+            self.i = self.i.saturating_add(1);
         }
         SplitPlan {
             source,
@@ -120,15 +145,14 @@ impl FileState {
             if self.i == 0 {
                 return None;
             }
-            self.i -= 1;
-            self.n = (1u64 << self.i) * self.n0;
+            self.i = self.i.saturating_sub(1);
+            self.n = self.boundary();
         }
-        self.n -= 1;
-        let boundary = (1u64 << self.i) * self.n0;
+        self.n = self.n.saturating_sub(1);
         Some(SplitPlan {
             source: self.n,
-            target: self.n + boundary,
-            new_level: self.i + 1,
+            target: self.n.saturating_add(self.boundary()),
+            new_level: self.i.saturating_add(1),
             n0: self.n0,
         })
     }
@@ -216,10 +240,33 @@ mod tests {
         assert_eq!(s.level_of(5), 3);
     }
 
+    /// Release semantics: a nonexistent bucket degrades to level `i + 1`
+    /// (what it would have once created) instead of aborting. Debug builds
+    /// trap via `debug_assert!`, so this can only be asserted with debug
+    /// assertions compiled out.
     #[test]
-    #[should_panic(expected = "does not exist")]
-    fn level_of_unknown_bucket_panics() {
-        FileState::new(1).level_of(1);
+    #[cfg(not(debug_assertions))]
+    fn level_of_unknown_bucket_degrades() {
+        assert_eq!(FileState::new(1).level_of(1), 1);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_wire_values() {
+        assert!(FileState::from_parts(0, 0, 0).is_none(), "zero n0");
+        assert!(
+            FileState::from_parts(2, 1, 1).is_none(),
+            "split pointer at/past the boundary"
+        );
+        assert!(
+            FileState::from_parts(7, 200, 1).is_some(),
+            "huge level is consistent"
+        );
+        let s = FileState::from_parts(1, 1, 1).expect("valid state");
+        assert_eq!(s.bucket_count(), 3);
+        // A corrupt (maximal) level saturates instead of wrapping.
+        let s = FileState::from_parts(5, 255, 3).expect("saturating boundary");
+        assert_eq!(s.bucket_count(), u64::MAX);
+        assert_eq!(s.level_of(s.bucket_count().saturating_sub(1)), 255);
     }
 
     #[test]

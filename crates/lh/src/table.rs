@@ -36,15 +36,23 @@ pub struct LhTable<V> {
 
 impl<V> LhTable<V> {
     /// Create a table with the given per-bucket split threshold (`b` in the
-    /// paper's notation — bucket capacity).
+    /// paper's notation — bucket capacity). A zero threshold is clamped
+    /// to 1.
     pub fn new(split_threshold: usize) -> Self {
-        assert!(split_threshold >= 1);
+        debug_assert!(split_threshold >= 1);
         LhTable {
             state: FileState::new(1),
             buckets: vec![Vec::new()],
             len: 0,
-            split_threshold,
+            split_threshold: split_threshold.max(1),
         }
+    }
+
+    /// The bucket slot for `key`. The table invariant
+    /// (`buckets.len() == state.bucket_count()`) keeps this in range; the
+    /// conversion saturates rather than truncating on narrow hosts.
+    fn slot(&self, key: u64) -> usize {
+        usize::try_from(self.state.address(key)).unwrap_or(usize::MAX)
     }
 
     /// Number of records stored.
@@ -69,18 +77,22 @@ impl<V> LhTable<V> {
 
     /// Insert or replace; returns the previous value if the key existed.
     pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
-        let a = self.state.address(key) as usize;
-        let bucket = &mut self.buckets[a];
+        let a = self.slot(key);
+        let Some(bucket) = self.buckets.get_mut(a) else {
+            debug_assert!(false, "A1 addressed a nonexistent bucket");
+            return None;
+        };
         for slot in bucket.iter_mut() {
             if slot.0 == key {
                 return Some(std::mem::replace(&mut slot.1, value));
             }
         }
         bucket.push((key, value));
-        self.len += 1;
+        let overflow = bucket.len() > self.split_threshold;
+        self.len = self.len.saturating_add(1);
         // Uncontrolled split policy: split whenever the *inserted-into*
         // bucket overflows (the overflow report of the paper).
-        if self.buckets[a].len() > self.split_threshold {
+        if overflow {
             self.split_once();
         }
         None
@@ -88,8 +100,8 @@ impl<V> LhTable<V> {
 
     /// Look up a key.
     pub fn get(&self, key: u64) -> Option<&V> {
-        let a = self.state.address(key) as usize;
-        self.buckets[a]
+        self.buckets
+            .get(self.slot(key))?
             .iter()
             .find(|(k, _)| *k == key)
             .map(|(_, v)| v)
@@ -97,11 +109,11 @@ impl<V> LhTable<V> {
 
     /// Remove a key, returning its value.
     pub fn remove(&mut self, key: u64) -> Option<V> {
-        let a = self.state.address(key) as usize;
-        let bucket = &mut self.buckets[a];
+        let a = self.slot(key);
+        let bucket = self.buckets.get_mut(a)?;
         let pos = bucket.iter().position(|(k, _)| *k == key)?;
         let (_, v) = bucket.swap_remove(pos);
-        self.len -= 1;
+        self.len = self.len.saturating_sub(1);
         Some(v)
     }
 
@@ -129,9 +141,19 @@ impl<V> LhTable<V> {
         let Some(plan) = self.state.merge() else {
             return false;
         };
-        debug_assert_eq!(plan.target as usize, self.buckets.len() - 1);
-        let movers = self.buckets.pop().expect("target bucket exists");
-        self.buckets[plan.source as usize].extend(movers);
+        debug_assert_eq!(
+            Some(plan.target),
+            u64::try_from(self.buckets.len())
+                .ok()
+                .map(|l| l.saturating_sub(1))
+        );
+        let Some(movers) = self.buckets.pop() else {
+            return false;
+        };
+        let source = usize::try_from(plan.source).unwrap_or(usize::MAX);
+        if let Some(bucket) = self.buckets.get_mut(source) {
+            bucket.extend(movers);
+        }
         true
     }
 
@@ -139,8 +161,14 @@ impl<V> LhTable<V> {
     /// pointer, which is generally *not* the overflowing bucket).
     fn split_once(&mut self) {
         let plan = self.state.split();
-        debug_assert_eq!(plan.target as usize, self.buckets.len());
-        let source = std::mem::take(&mut self.buckets[plan.source as usize]);
+        debug_assert_eq!(Some(plan.target), u64::try_from(self.buckets.len()).ok());
+        let slot = usize::try_from(plan.source).unwrap_or(usize::MAX);
+        let Some(bucket) = self.buckets.get_mut(slot) else {
+            debug_assert!(false, "split source bucket missing");
+            self.buckets.push(Vec::new());
+            return;
+        };
+        let source = std::mem::take(bucket);
         let keys = source.iter().map(|(k, _)| *k);
         let (_stay, movers) = partition_keys(&plan, keys);
         let mover_set: std::collections::HashSet<u64> = movers.into_iter().collect();
@@ -153,7 +181,9 @@ impl<V> LhTable<V> {
                 stay_records.push((k, v));
             }
         }
-        self.buckets[plan.source as usize] = stay_records;
+        if let Some(bucket) = self.buckets.get_mut(slot) {
+            *bucket = stay_records;
+        }
         self.buckets.push(move_records);
     }
 }

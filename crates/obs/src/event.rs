@@ -300,6 +300,51 @@ mod tests {
     }
 
     #[test]
+    fn recovery_and_wal_kinds_reach_the_json_type_field() {
+        // The kill drills gate on these per-event-type series; pin the
+        // labels all the way through the serialization path so a renamed
+        // variant cannot silently break every drill built on them.
+        let cases = [
+            (
+                Event::RecoveryStart {
+                    group: 3,
+                    failed: 1,
+                },
+                "recovery_start",
+            ),
+            (
+                Event::RecoveryEnd {
+                    group: 3,
+                    rebuilt: 1,
+                    ok: true,
+                },
+                "recovery_end",
+            ),
+            (
+                Event::WalReplay {
+                    bucket: 0,
+                    ops: 9,
+                    bytes: 128,
+                },
+                "wal_replay",
+            ),
+        ];
+        for (event, kind) in cases {
+            assert_eq!(event.kind(), kind);
+            let json = TimedEvent {
+                at_us: 1,
+                seq: 0,
+                event,
+            }
+            .to_json();
+            assert!(
+                json.contains(&format!("\"type\":\"{kind}\"")),
+                "label missing from envelope: {json}"
+            );
+        }
+    }
+
+    #[test]
     fn every_event_renders_valid_envelope() {
         let events = [
             Event::MsgSent {

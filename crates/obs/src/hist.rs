@@ -35,7 +35,7 @@ impl Histogram {
         let idx = BUCKET_BOUNDS_US
             .iter()
             .position(|b| value_us <= *b)
-            .unwrap_or(NBUCKETS - 1);
+            .unwrap_or(NBUCKETS.saturating_sub(1));
         if let Some(cell) = self.counts.get(idx) {
             saturating_incr(cell, 1);
         }

@@ -364,7 +364,8 @@ impl Snapshot {
     /// `lhrs_` prefix and `_total` suffix; labeled counters render a
     /// `kind` label.
     pub fn render_prometheus(&self) -> String {
-        let mut out = String::with_capacity(64 * (self.counters.len() + 1));
+        let mut out =
+            String::with_capacity(self.counters.len().saturating_add(1).saturating_mul(64));
         let mut last_name = "";
         for c in &self.counters {
             if c.name != last_name {

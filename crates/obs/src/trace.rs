@@ -58,7 +58,9 @@ impl TraceLog {
             if let Some(slot) = ring.buf.get_mut(head) {
                 *slot = ev;
             }
-            ring.head = (head + 1) % self.capacity;
+            // head < capacity <= usize::MAX, so the increment cannot wrap;
+            // the modulo keeps the cursor in range either way.
+            ring.head = head.wrapping_add(1) % self.capacity;
             ring.dropped = ring.dropped.saturating_add(1);
         }
     }

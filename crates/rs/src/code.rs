@@ -165,9 +165,12 @@ impl<F: GaloisField> RsCode<F> {
     /// For `parity_index == 0` the coefficient is 1, so the commit is a pure
     /// XOR — the LH\*g-compatible fast path.
     ///
-    /// # Panics
-    /// Panics if `delta.len() != parity.len()` (caller pads to the parity
-    /// record length) or indices are out of range.
+    /// Out-of-range indices make the call a no-op and mismatched buffer
+    /// lengths degrade to the common prefix (see
+    /// [`GaloisField::mul_add_slice`]): a malformed Δ from a remote data
+    /// bucket must surface as a parity divergence caught by scans, not
+    /// abort the parity actor — an abort here looks exactly like a killed
+    /// bucket and triggers a needless group recovery.
     pub fn apply_delta(
         &self,
         data_index: usize,
@@ -175,7 +178,9 @@ impl<F: GaloisField> RsCode<F> {
         delta: &[u8],
         parity: &mut [u8],
     ) {
-        assert!(data_index < self.m && parity_index < self.k);
+        if data_index >= self.m || parity_index >= self.k {
+            return;
+        }
         F::mul_add_slice(self.coeff(data_index, parity_index), delta, parity);
     }
 
@@ -239,9 +244,11 @@ impl<F: GaloisField> RsCode<F> {
             }
             // A[r][t] = G[r][avail[t]]: the generator column of each chosen
             // shard; c_avail = d · A, hence d = c_avail · A⁻¹.
+            // t < m == avail.len() (checked above); an impossible miss
+            // degrades to column 0, making the matrix singular and the
+            // decode fail cleanly instead of aborting the actor.
             let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
-                // lhrs-lint: allow(panic-freedom) reason="t < m == avail.len(), checked above; from_fn only calls with t < cols"
-                let col = avail[t];
+                let col = avail.get(t).copied().unwrap_or(0);
                 if col < self.m {
                     if r == col {
                         F::one()
@@ -249,7 +256,7 @@ impl<F: GaloisField> RsCode<F> {
                         F::zero()
                     }
                 } else {
-                    self.gamma.get(r, col - self.m)
+                    self.gamma.get(r, col.saturating_sub(self.m))
                 }
             });
             let inv = a.inverse()?;
@@ -346,9 +353,10 @@ impl<F: GaloisField> RsCode<F> {
         if chosen.iter().any(|(_, s)| s.len() != len) {
             return Err(RsError::InconsistentShardLength);
         }
+        // t < m == chosen.len() (by the get(..m) above); an impossible miss
+        // degrades to column 0 — singular matrix, clean decode error.
         let a = Matrix::<F>::from_fn(self.m, self.m, |r, t| {
-            // lhrs-lint: allow(panic-freedom) reason="t < m == chosen.len() by the get(..m) above; from_fn only calls with t < cols"
-            let col = chosen[t].0;
+            let col = chosen.get(t).map_or(0, |c| c.0);
             if col < self.m {
                 if r == col {
                     F::one()
@@ -356,7 +364,7 @@ impl<F: GaloisField> RsCode<F> {
                     F::zero()
                 }
             } else {
-                self.gamma.get(r, col - self.m)
+                self.gamma.get(r, col.saturating_sub(self.m))
             }
         });
         let inv = a.inverse()?;
@@ -756,5 +764,28 @@ mod tests {
             code.reconstruct_one(2, &avail),
             Err(RsError::TooManyErasures { .. })
         ));
+    }
+
+    /// A malformed Δ-commit (out-of-range indices or a short buffer) must
+    /// degrade instead of aborting the parity actor: bad indices are a
+    /// no-op, and a short delta only touches the common prefix.
+    #[test]
+    fn apply_delta_out_of_range_degrades_instead_of_aborting() {
+        let code: RsCode<Gf8> = RsCode::new(3, 2).unwrap();
+        let before = [7u8, 8, 9, 10];
+
+        let mut parity = before;
+        code.apply_delta(3, 0, &[1, 2, 3, 4], &mut parity);
+        assert_eq!(parity, before, "data_index >= m is a no-op");
+
+        let mut parity = before;
+        code.apply_delta(0, 2, &[1, 2, 3, 4], &mut parity);
+        assert_eq!(parity, before, "parity_index >= k is a no-op");
+
+        // Short delta: parity_index 0 has coefficient 1 (pure XOR), so only
+        // the two-byte prefix changes.
+        let mut parity = before;
+        code.apply_delta(1, 0, &[0xFF, 0xFF], &mut parity);
+        assert_eq!(parity, [7 ^ 0xFF, 8 ^ 0xFF, 9, 10]);
     }
 }

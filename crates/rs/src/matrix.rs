@@ -36,7 +36,7 @@ impl<F: GaloisField> Matrix<F> {
         Matrix {
             rows,
             cols,
-            data: vec![F::zero(); rows * cols],
+            data: vec![F::zero(); rows.saturating_mul(cols)],
         }
     }
 
@@ -67,7 +67,7 @@ impl<F: GaloisField> Matrix<F> {
     /// # Errors
     /// [`RsError::InvalidParameters`] if `rows + cols > 2^f`.
     pub fn cauchy(rows: usize, cols: usize) -> Result<Self, RsError> {
-        if rows + cols > F::ORDER as usize {
+        if rows.saturating_add(cols) > usize::try_from(F::ORDER).unwrap_or(usize::MAX) {
             return Err(RsError::InvalidParameters {
                 m: rows,
                 k: cols,
@@ -78,7 +78,7 @@ impl<F: GaloisField> Matrix<F> {
         for r in 0..rows {
             for c in 0..cols {
                 let x = F::from_usize(r);
-                let y = F::from_usize(rows + c);
+                let y = F::from_usize(rows.saturating_add(c));
                 // Distinct points imply a nonzero sum; surface the
                 // impossible case as an error instead of aborting.
                 let v = F::inv(F::add(x, y)).ok_or(RsError::SingularMatrix)?;
@@ -98,23 +98,33 @@ impl<F: GaloisField> Matrix<F> {
         self.cols
     }
 
-    /// Element at `(r, c)`.
+    /// Element at `(r, c)`; out-of-range coordinates degrade to the field
+    /// zero (debug builds still trap) so a bookkeeping bug in a caller
+    /// corrupts one symbol instead of killing the bucket actor.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> F::Elem {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c]
+        self.data
+            .get(r.saturating_mul(self.cols).saturating_add(c))
+            .copied()
+            .unwrap_or_else(F::zero)
     }
 
-    /// Set element at `(r, c)`.
+    /// Set element at `(r, c)`; out-of-range coordinates are ignored.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: F::Elem) {
         debug_assert!(r < self.rows && c < self.cols);
-        self.data[r * self.cols + c] = v;
+        let idx = r.saturating_mul(self.cols).saturating_add(c);
+        if let Some(e) = self.data.get_mut(idx) {
+            *e = v;
+        }
     }
 
-    /// Row `r` as a slice.
+    /// Row `r` as a slice (empty for an out-of-range row).
     pub fn row(&self, r: usize) -> &[F::Elem] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        let start = r.saturating_mul(self.cols);
+        let end = start.saturating_add(self.cols);
+        self.data.get(start..end).unwrap_or(&[])
     }
 
     /// Matrix product `self · rhs`.
@@ -157,7 +167,9 @@ impl<F: GaloisField> Matrix<F> {
     /// The submatrix formed by the given rows (in the given order), keeping
     /// all columns.
     pub fn select_rows(&self, rows: &[usize]) -> Matrix<F> {
-        Matrix::from_fn(rows.len(), self.cols, |r, c| self.get(rows[r], c))
+        Matrix::from_fn(rows.len(), self.cols, |r, c| {
+            self.get(rows.get(r).copied().unwrap_or(0), c)
+        })
     }
 
     /// Inverse by Gauss–Jordan elimination with partial pivoting (any

@@ -271,6 +271,32 @@ fn segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
     Ok(segs)
 }
 
+/// Ordered IO-event probe, test builds only. `MemDisk` (the simulated
+/// store the kill drills run against) has no directory model, so the
+/// "rename/create is durable-ordered" property of `FileWal` cannot be
+/// crash-injected there; instead every durability-relevant IO step records
+/// an event here and the tests assert the order directly. This checks the
+/// sequence of calls, not the kernel's behaviour — an honest but weaker
+/// guarantee than a crash test.
+#[cfg(test)]
+mod probe {
+    use std::cell::RefCell;
+    thread_local! {
+        static EVENTS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+    pub fn record(ev: &'static str) {
+        EVENTS.with(|e| e.borrow_mut().push(ev));
+    }
+    pub fn take() -> Vec<&'static str> {
+        EVENTS.with(|e| e.borrow_mut().drain(..).collect())
+    }
+}
+
+#[cfg(not(test))]
+mod probe {
+    pub fn record(_ev: &'static str) {}
+}
+
 fn create_segment(dir: &Path, seq: u64) -> Result<File, StoreError> {
     let path = dir.join(format!("wal-{seq}.log"));
     let mut f = OpenOptions::new()
@@ -281,6 +307,7 @@ fn create_segment(dir: &Path, seq: u64) -> Result<File, StoreError> {
         .map_err(|e| io_err("create segment", &e))?;
     f.write_all(SEG_MAGIC)
         .map_err(|e| io_err("write segment magic", &e))?;
+    probe::record("segment_create");
     Ok(f)
 }
 
@@ -290,6 +317,7 @@ fn sync_dir(dir: &Path) {
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
+    probe::record("sync_dir");
 }
 
 impl FileWal {
@@ -396,10 +424,17 @@ impl FileWal {
             self.seg
                 .sync_data()
                 .map_err(|e| io_err("sync on rotation", &e))?;
+            probe::record("segment_sync");
         }
         self.seg_seq += 1;
         self.seg = create_segment(&self.dir, self.seg_seq)?;
         self.seg_len = SEG_MAGIC.len() as u64;
+        // The new segment's directory entry must survive a crash before
+        // anything is appended to it: ops written to a file the directory
+        // has forgotten are lost without any torn-tail evidence.
+        if !matches!(self.fsync, FsyncPolicy::Never) {
+            sync_dir(&self.dir);
+        }
         Ok(())
     }
 }
@@ -436,8 +471,10 @@ impl BucketStore for FileWal {
             f.write_all(&buf)
                 .map_err(|e| io_err("write snapshot", &e))?;
             f.sync_all().map_err(|e| io_err("sync snapshot", &e))?;
+            probe::record("snapshot_tmp_fsync");
         }
         fs::rename(&tmp, self.dir.join("SNAPSHOT")).map_err(|e| io_err("rename snapshot", &e))?;
+        probe::record("snapshot_rename");
         sync_dir(&self.dir);
         // The log is now redundant: unlink every segment and start fresh.
         for (_, path) in segments(&self.dir)? {
@@ -447,6 +484,7 @@ impl BucketStore for FileWal {
         self.seg_seq += 1;
         self.seg = create_segment(&self.dir, self.seg_seq)?;
         self.seg_len = SEG_MAGIC.len() as u64;
+        sync_dir(&self.dir);
         self.appended = 0;
         self.op_bytes = 0;
         self.tail = TailState::Clean;
@@ -504,6 +542,7 @@ impl BucketStore for FileWal {
         self.seg_seq = 0;
         self.seg = create_segment(&self.dir, 0)?;
         self.seg_len = SEG_MAGIC.len() as u64;
+        sync_dir(&self.dir);
         self.appended = 0;
         self.op_bytes = 0;
         self.tail = TailState::Clean;
@@ -712,6 +751,59 @@ mod tests {
         let rep = w.replay().unwrap();
         assert!(rep.snapshot.is_none());
         assert!(rep.ops.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_and_snapshot_rename_are_durable_ordered() {
+        // `MemDisk` has no directory model, so this asserts the *sequence*
+        // of durability-relevant IO calls via the probe (crate docs on
+        // `mod probe`): the old segment's data reaches disk before the new
+        // segment's directory entry exists, and that entry is itself
+        // sync_dir'd before any op can land in the new file; a snapshot
+        // fsyncs the tmp file before the rename and sync_dirs after it.
+        let dir = temp_dir("ordered");
+        let mut w = FileWal::open(&dir, FsyncPolicy::Always)
+            .unwrap()
+            .with_segment_cap(64);
+        let _ = probe::take(); // discard open()'s events
+
+        while segments(&dir).unwrap().len() < 2 {
+            w.append(&[7u8; 8]).unwrap();
+        }
+        let ev = probe::take();
+        let pos = |needle: &str| {
+            ev.iter()
+                .position(|e| *e == needle)
+                .unwrap_or_else(|| panic!("{needle} missing from {ev:?}"))
+        };
+        assert!(
+            pos("segment_sync") < pos("segment_create"),
+            "old segment data must be durable before the new entry: {ev:?}"
+        );
+        assert!(
+            pos("segment_create") < pos("sync_dir"),
+            "the new entry must be sync_dir'd: {ev:?}"
+        );
+
+        w.snapshot(b"state").unwrap();
+        let ev = probe::take();
+        let pos = |needle: &str| {
+            ev.iter()
+                .position(|e| *e == needle)
+                .unwrap_or_else(|| panic!("{needle} missing from {ev:?}"))
+        };
+        assert!(pos("snapshot_tmp_fsync") < pos("snapshot_rename"), "{ev:?}");
+        assert!(pos("snapshot_rename") < pos("sync_dir"), "{ev:?}");
+        let trailing_create = ev
+            .iter()
+            .rposition(|e| *e == "segment_create")
+            .unwrap_or_else(|| panic!("no segment_create in {ev:?}"));
+        assert!(
+            ev.get(trailing_create..)
+                .is_some_and(|rest| rest.contains(&"sync_dir")),
+            "the fresh segment after a snapshot must be sync_dir'd: {ev:?}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

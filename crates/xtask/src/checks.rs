@@ -52,6 +52,7 @@ pub fn check_panic_freedom(label: &str, source: &str) -> Vec<Finding> {
                 line,
                 message,
                 allowed: None,
+                chain: Vec::new(),
             },
         ));
     };
@@ -216,6 +217,7 @@ pub fn check_codec_exhaustiveness(
             line: 1,
             message: format!("could not locate `pub enum {enum_name}` to audit the codec against"),
             allowed: None,
+            chain: Vec::new(),
         });
         return out;
     };
@@ -229,6 +231,7 @@ pub fn check_codec_exhaustiveness(
                     "`fn {fn_name}` not found: every `{enum_name}` variant needs a {role} arm"
                 ),
                 allowed: None,
+                chain: Vec::new(),
             });
             continue;
         };
@@ -261,6 +264,7 @@ pub fn check_codec_exhaustiveness(
                              variant would hit an unknown-tag error at runtime"
                         ),
                         allowed: None,
+                        chain: Vec::new(),
                     },
                 ));
             }
@@ -383,6 +387,7 @@ pub fn check_config_knobs(
             line: 1,
             message: format!("could not locate `pub struct {struct_name}`"),
             allowed: None,
+            chain: Vec::new(),
         });
         return out;
     };
@@ -432,6 +437,7 @@ pub fn check_config_knobs(
                          a dead knob silently ignores operator intent"
                     ),
                     allowed: None,
+                    chain: Vec::new(),
                 },
             ));
         }
@@ -467,6 +473,7 @@ pub fn check_test_hygiene(label: &str, source: &str, in_net: bool) -> Vec<Findin
                         line,
                         message: "#[ignore] without a reason: use #[ignore = \"why\"] so the skip is auditable".to_string(),
                         allowed: None,
+                        chain: Vec::new(),
                     },
                 ));
             }
@@ -484,6 +491,7 @@ pub fn check_test_hygiene(label: &str, source: &str, in_net: bool) -> Vec<Findin
                             line,
                             message: "sleep-based synchronization in a net test: poll a condition or use a channel/timeout instead".to_string(),
                             allowed: None,
+                            chain: Vec::new(),
                         },
                     ));
                 }
@@ -531,6 +539,7 @@ pub fn check_obs_coverage(
             line: 1,
             message: format!("could not locate `pub enum {enum_name}` to audit kind labels"),
             allowed: None,
+            chain: Vec::new(),
         }),
         Some(variants) => match fn_body(&model.masked, "kind") {
             None => out.push(Finding {
@@ -541,6 +550,7 @@ pub fn check_obs_coverage(
                     "`fn kind` not found: `{enum_name}` needs per-variant counter labels"
                 ),
                 allowed: None,
+                chain: Vec::new(),
             }),
             Some((open, body)) => {
                 let line = model.line_of(open);
@@ -573,6 +583,7 @@ pub fn check_obs_coverage(
                                      from `msgs_sent`/`msgs_recv` and the recovery timeline"
                                 ),
                                 allowed: None,
+                                chain: Vec::new(),
                             },
                         ));
                     }
@@ -592,6 +603,7 @@ pub fn check_obs_coverage(
                 line: 1,
                 message: format!("instrumentation site missing: file not found ({role})"),
                 allowed: None,
+                chain: Vec::new(),
             }),
             Some(text) if !text.contains(needle) => out.push(Finding {
                 check: Check::ObsCoverage,
@@ -602,8 +614,153 @@ pub fn check_obs_coverage(
                      message counters, blinding every drill assertion built on the metrics"
                 ),
                 allowed: None,
+                chain: Vec::new(),
             }),
             Some(_) => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Check 6: drill coverage
+// ---------------------------------------------------------------------------
+
+/// Counter-name prefixes whose series must be asserted by at least one
+/// test: these are the recovery/durability metrics the kill drills gate on.
+pub const DRILL_COUNTER_PREFIXES: [&str; 3] = ["restart_", "wal_", "recovery_"];
+
+/// Is this label an integration-test file (everything in it is test code)?
+fn is_test_file(label: &str) -> bool {
+    label.contains("/tests/") || label.starts_with("tests/")
+}
+
+/// Extract `"restart_*"`/`"wal_*"`/`"recovery_*"` string literals from the
+/// raw text, with the 1-based line of each first occurrence. Only literals
+/// outside test regions count — a counter minted by a test is not a
+/// production failure-path metric.
+fn drill_counters(text: &str, model: &SourceModel) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = Vec::new();
+    let bytes = text.as_bytes();
+    for prefix in DRILL_COUNTER_PREFIXES {
+        let mut from = 0usize;
+        while let Some(rel) = text.get(from..).and_then(|t| t.find(prefix)) {
+            let pos = from + rel;
+            from = pos + prefix.len();
+            // Must be a string literal: opening quote right before.
+            if pos == 0 || bytes[pos - 1] != b'"' {
+                continue;
+            }
+            let mut end = pos;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            // …and close immediately after the [a-z0-9_]+ name.
+            if end >= bytes.len() || bytes[end] != b'"' {
+                continue;
+            }
+            let name = &text[pos..end];
+            let line = model.line_of(pos);
+            if model.line_in_test(line) {
+                continue;
+            }
+            if !out.iter().any(|(n, _)| n == name) {
+                out.push((name.to_string(), line));
+            }
+        }
+    }
+    out
+}
+
+/// Every `CoordEvent` variant and every `restart_*`/`wal_*`/`recovery_*`
+/// counter minted by production code must appear in at least one test
+/// (integration-test files or `#[cfg(test)]` regions) — a failure path
+/// nobody asserts on is a failure path nobody will notice regressing.
+pub fn check_drill_coverage(
+    coord_label: &str,
+    coord_src: &str,
+    sources: &[(String, String)],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let coord_model = SourceModel::parse(coord_src);
+
+    // Assemble the test corpus: whole integration-test files plus the
+    // `#[cfg(test)]`/`#[test]` regions of everything else.
+    let mut corpus = String::new();
+    for (label, text) in sources {
+        if is_test_file(label) {
+            corpus.push_str(text);
+            corpus.push('\n');
+        } else {
+            let model = SourceModel::parse(text);
+            for (i, line) in text.lines().enumerate() {
+                if model.line_in_test(i + 1) {
+                    corpus.push_str(line);
+                    corpus.push('\n');
+                }
+            }
+        }
+    }
+
+    // Half 1: every CoordEvent variant asserted somewhere.
+    match enum_variants("CoordEvent", coord_src) {
+        None => out.push(Finding {
+            check: Check::DrillCoverage,
+            file: coord_label.to_string(),
+            line: 1,
+            message: "could not locate `pub enum CoordEvent` to audit drill coverage".to_string(),
+            allowed: None,
+            chain: Vec::new(),
+        }),
+        Some(variants) => {
+            for v in &variants {
+                if !corpus.contains(&format!("CoordEvent::{v}")) {
+                    out.push(apply_allow(
+                        &coord_model,
+                        Finding {
+                            check: Check::DrillCoverage,
+                            file: coord_label.to_string(),
+                            line: 1,
+                            message: format!(
+                                "`CoordEvent::{v}` is asserted by no test: this failure path \
+                                 can regress without any drill noticing"
+                            ),
+                            allowed: None,
+                            chain: Vec::new(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // Half 2: every production drill counter asserted somewhere.
+    for (label, text) in sources {
+        if is_test_file(label) {
+            continue;
+        }
+        let model = SourceModel::parse(text);
+        for (name, line) in drill_counters(text, &model) {
+            if !corpus.contains(&name) {
+                out.push(apply_allow(
+                    &model,
+                    Finding {
+                        check: Check::DrillCoverage,
+                        file: label.clone(),
+                        line,
+                        message: format!(
+                            "counter `{name}` is asserted by no test: the metric can silently \
+                             stop moving and every drill built on it stays green"
+                        ),
+                        allowed: None,
+                        chain: Vec::new(),
+                    },
+                ));
+            }
         }
     }
     out

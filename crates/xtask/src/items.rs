@@ -1,0 +1,380 @@
+//! Item-level parse of the workspace: functions, impl blocks, and call
+//! sites, built on the [`crate::source`] masked lexer.
+//!
+//! This is deliberately *not* a Rust parser. It recovers exactly the three
+//! facts the call-graph checks need from each file:
+//!
+//! 1. every `fn` item — name, body span, enclosing `impl` type, whether it
+//!    takes `self`, and whether it is test-only code;
+//! 2. every `impl` block span and its `Self` type name (the segment after
+//!    `for` in trait impls);
+//! 3. every call site — callee name, `Q::` qualifier or `.method` shape,
+//!    and the innermost enclosing function.
+//!
+//! Anything it cannot classify it skips; the graph layer compensates by
+//! resolving names conservatively (over-approximating reachability), which
+//! is the right failure mode for an availability lint: a spurious edge can
+//! at worst demand an extra justification, a missed edge would hide a
+//! panic.
+
+use crate::source::{next_brace_block, tokenize, SourceModel, Tok};
+
+/// One parsed source file plus its token stream.
+pub struct FileIndex {
+    /// Workspace-relative label (e.g. `crates/gf/src/field.rs`).
+    pub label: String,
+    /// Masked model (comments/strings blanked).
+    pub model: SourceModel,
+    /// Token stream over the masked text.
+    pub toks: Vec<Tok>,
+    /// True when every item in the file is test-only (integration tests
+    /// under a `tests/` directory).
+    pub all_test: bool,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index into [`WorkspaceIndex::files`].
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// `Self` type of the innermost enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// Whether the parameter list starts with (some form of) `self`.
+    pub has_self: bool,
+    /// Byte offsets of the body `{` and `}` in the file.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Test-only code (`#[cfg(test)]`, `#[test]`, or a `tests/` file).
+    pub is_test: bool,
+}
+
+/// One call site attributed to its innermost enclosing function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index into [`WorkspaceIndex::files`].
+    pub file: usize,
+    /// Index of the enclosing [`FnItem`], if the call sits inside one
+    /// (const initializers and statics have `None` and produce no edge).
+    pub caller: Option<usize>,
+    /// Bare callee name.
+    pub callee: String,
+    /// `Q` from a `Q::callee(...)` path call, if any.
+    pub qualifier: Option<String>,
+    /// True for `.callee(...)` method-call syntax.
+    pub is_method: bool,
+    /// Byte offset of the callee identifier.
+    pub offset: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// The whole-workspace item index the call graph is built over.
+pub struct WorkspaceIndex {
+    /// Every parsed file.
+    pub files: Vec<FileIndex>,
+    /// Every `fn` item, ordered by (file, body start).
+    pub fns: Vec<FnItem>,
+    /// Every call site.
+    pub calls: Vec<CallSite>,
+}
+
+/// Keywords that look like `name(`-style calls but are not.
+const CALL_KEYWORDS: [&str; 14] = [
+    "if", "else", "match", "while", "for", "loop", "return", "fn", "let", "in", "as", "move",
+    "ref", "break",
+];
+
+/// An `impl` block's span and `Self` type.
+struct ImplSpan {
+    type_name: String,
+    open: usize,
+    close: usize,
+}
+
+impl WorkspaceIndex {
+    /// Parse every `(label, text)` source into one index.
+    pub fn build(sources: &[(String, String)]) -> WorkspaceIndex {
+        let mut files = Vec::new();
+        let mut fns = Vec::new();
+        let mut calls = Vec::new();
+        for (label, text) in sources {
+            let model = SourceModel::parse(text);
+            let toks = tokenize(&model.masked);
+            let all_test = label.contains("/tests/") || label.starts_with("tests/");
+            let file = files.len();
+            let impls = impl_spans(&toks, &model);
+            collect_fns(file, &toks, &model, &impls, all_test, &mut fns);
+            files.push(FileIndex {
+                label: label.clone(),
+                model,
+                toks,
+                all_test,
+            });
+        }
+        // Attribute call sites once all fns are known (innermost wins).
+        for (file, fi) in files.iter().enumerate() {
+            collect_calls(file, fi, &fns, &mut calls);
+        }
+        WorkspaceIndex { files, fns, calls }
+    }
+
+    /// Indices of fns defined in the file with the given label.
+    pub fn fns_in_file(&self, label: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| self.files[f.file].label == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `file::name` rendering for chain output.
+    pub fn fn_display(&self, idx: usize) -> String {
+        let f = &self.fns[idx];
+        let file = &self.files[f.file].label;
+        match &f.impl_type {
+            Some(t) => format!("{file}::{t}::{}", f.name),
+            None => format!("{file}::{}", f.name),
+        }
+    }
+}
+
+/// Collect `impl` block spans and their `Self` type names.
+fn impl_spans(toks: &[Tok], model: &SourceModel) -> Vec<ImplSpan> {
+    let bytes = model.masked.as_bytes();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident { text, offset } = t else {
+            continue;
+        };
+        if text != "impl" {
+            continue;
+        }
+        // Walk the header tokens up to the body `{`, tracking the last
+        // path segment seen; a `for` resets it (trait impls name the Self
+        // type after `for`). Generic argument lists are skipped.
+        let Some((open, close)) = next_brace_block(bytes, *offset) else {
+            continue;
+        };
+        let mut type_name: Option<String> = None;
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        while j < toks.len() && toks[j].offset() < open {
+            match &toks[j] {
+                Tok::Punct { ch: b'<', .. } => angle += 1,
+                Tok::Punct { ch: b'>', .. } => angle -= 1,
+                Tok::Ident { text, .. } if angle == 0 => {
+                    if text == "for" {
+                        type_name = None;
+                    } else if text == "where" {
+                        break;
+                    } else if text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                        type_name = Some(text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(type_name) = type_name {
+            out.push(ImplSpan {
+                type_name,
+                open,
+                close,
+            });
+        }
+    }
+    out
+}
+
+/// Find the body block of a `fn` whose name ends at `from`.
+///
+/// Unlike [`next_brace_block`], this tolerates `;` inside the signature's
+/// parens and brackets — `fn f() -> ([u8; 16], [u8; 16]) { ... }` has a
+/// body even though a raw scan sees a semicolon before the brace. A `;` at
+/// bracket depth 0 is a genuine bodyless declaration (trait method).
+fn fn_body_block(bytes: &[u8], from: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b';' if depth == 0 => return None,
+            b'{' if depth == 0 => return next_brace_block(bytes, i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collect every `fn` item with a body in one file.
+fn collect_fns(
+    file: usize,
+    toks: &[Tok],
+    model: &SourceModel,
+    impls: &[ImplSpan],
+    all_test: bool,
+    out: &mut Vec<FnItem>,
+) {
+    let bytes = model.masked.as_bytes();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident { text, offset } = t else {
+            continue;
+        };
+        if text != "fn" {
+            continue;
+        }
+        let Some(Tok::Ident {
+            text: name,
+            offset: name_off,
+        }) = toks.get(i + 1)
+        else {
+            continue; // `fn(...)` pointer type
+        };
+        let Some(body) = fn_body_block(bytes, name_off + name.len()) else {
+            continue; // trait method declaration (no body)
+        };
+        let line = model.line_of(*offset);
+        // Innermost impl containing the signature.
+        let impl_type = impls
+            .iter()
+            .filter(|s| s.open < *offset && *offset < s.close)
+            .max_by_key(|s| s.open)
+            .map(|s| s.type_name.clone());
+        out.push(FnItem {
+            file,
+            name: name.clone(),
+            impl_type,
+            has_self: param_list_has_self(toks, i + 2, body.0),
+            body,
+            line,
+            is_test: all_test || model.line_in_test(line),
+        });
+    }
+}
+
+/// Does the parameter list opening at/after token `from` (bounded by the
+/// body `{` at byte `body_open`) start with a `self` receiver?
+fn param_list_has_self(toks: &[Tok], from: usize, body_open: usize) -> bool {
+    // Find the opening paren of the parameter list (skipping generics).
+    let mut j = from;
+    let mut angle = 0i32;
+    while j < toks.len() && toks[j].offset() < body_open {
+        match &toks[j] {
+            Tok::Punct { ch: b'<', .. } => angle += 1,
+            Tok::Punct { ch: b'>', .. } => angle -= 1,
+            Tok::Punct { ch: b'(', .. } if angle == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Scan the first parameter (up to the first depth-1 comma) for `self`.
+    let mut depth = 0i32;
+    while j < toks.len() && toks[j].offset() < body_open {
+        match &toks[j] {
+            Tok::Punct { ch: b'(', .. } | Tok::Punct { ch: b'[', .. } => depth += 1,
+            Tok::Punct { ch: b')', .. } | Tok::Punct { ch: b']', .. } => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            Tok::Punct { ch: b',', .. } if depth == 1 => return false,
+            Tok::Ident { text, .. } if depth == 1 && text == "self" => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Collect call sites in one file, attributing each to the innermost
+/// enclosing fn (scanned over the *global* fn list so indices line up).
+fn collect_calls(file: usize, fi: &FileIndex, fns: &[FnItem], out: &mut Vec<CallSite>) {
+    let toks = &fi.toks;
+    // Fns of this file, for innermost-enclosing lookup.
+    let local: Vec<(usize, &FnItem)> = fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.file == file)
+        .collect();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident { text: name, offset } = t else {
+            continue;
+        };
+        if CALL_KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // Variant/tuple-struct constructors are uppercase; workspace fns
+        // are snake_case. Numbers lex as idents too — skip both.
+        let first = name.chars().next().unwrap_or('0');
+        if !(first.is_ascii_lowercase() || first == '_') {
+            continue;
+        }
+        // Macro invocation `name!(...)` is not a call edge.
+        if matches!(toks.get(i + 1), Some(Tok::Punct { ch: b'!', .. })) {
+            continue;
+        }
+        // Require `(`, optionally through a turbofish `::<...>`.
+        let mut j = i + 1;
+        if matches!(toks.get(j), Some(Tok::Punct { ch: b':', .. }))
+            && matches!(toks.get(j + 1), Some(Tok::Punct { ch: b':', .. }))
+            && matches!(toks.get(j + 2), Some(Tok::Punct { ch: b'<', .. }))
+        {
+            let mut angle = 0i32;
+            j += 2;
+            while j < toks.len() {
+                match &toks[j] {
+                    Tok::Punct { ch: b'<', .. } => angle += 1,
+                    Tok::Punct { ch: b'>', .. } => {
+                        angle -= 1;
+                        if angle == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        if !matches!(toks.get(j), Some(Tok::Punct { ch: b'(', .. })) {
+            continue;
+        }
+        let is_method = matches!(
+            i.checked_sub(1).map(|p| &toks[p]),
+            Some(Tok::Punct { ch: b'.', .. })
+        );
+        let qualifier = if !is_method
+            && i >= 3
+            && matches!(&toks[i - 1], Tok::Punct { ch: b':', .. })
+            && matches!(&toks[i - 2], Tok::Punct { ch: b':', .. })
+        {
+            match &toks[i - 3] {
+                Tok::Ident { text, .. } => Some(text.clone()),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        let caller = local
+            .iter()
+            .filter(|(_, f)| f.body.0 < *offset && *offset < f.body.1)
+            .max_by_key(|(_, f)| f.body.0)
+            .map(|(idx, _)| *idx);
+        out.push(CallSite {
+            file,
+            caller,
+            callee: name.clone(),
+            qualifier,
+            is_method,
+            offset: *offset,
+            line: fi.model.line_of(*offset),
+        });
+    }
+}

@@ -1,34 +1,54 @@
 //! lhrs-xtask: project-specific static analysis for the LH\*RS workspace.
 //!
-//! `cargo run -p lhrs-xtask -- lint` runs five checks that generic tooling
+//! `cargo run -p lhrs-xtask -- lint` runs ten checks that generic tooling
 //! (`clippy -D warnings`) cannot express because they encode *protocol*
 //! invariants, not language idioms:
 //!
-//! 1. **panic-freedom** — the actor hot paths (`core::{coordinator,
-//!    data_bucket, client}`, `rs::code`, `net::{frame, transport, host}`)
+//! 1. **panic-freedom** — the actor hot-path modules (see [`HOT_PATHS`])
 //!    must not contain `.unwrap()`, `.expect(...)`, `panic!`/`unreachable!`
 //!    macros, direct slice indexing, or narrowing `as` casts. LH\*RS sells
 //!    k-availability; the protocol logic itself aborting on a malformed
 //!    frame or a lagging peer defeats the whole design.
-//! 2. **codec-exhaustiveness** — every `Msg` and `CoordEvent` variant must
+//! 2. **transitive-panic** — the same patterns (plus the `assert!` family)
+//!    anywhere in `gf`/`rs`/`lh`/`obs`/`convert` code *reachable* from the
+//!    hot paths through the workspace call graph ([`graph`]); each finding
+//!    prints the offending call chain.
+//! 3. **unchecked-arithmetic** — raw `+`/`-`/`*`/`<<` on reachable
+//!    helper-crate code; overflow semantics must be spelled out with
+//!    `checked_`/`saturating_`/`wrapping_` (or justified).
+//! 4. **codec-exhaustiveness** — every `Msg` and `CoordEvent` variant must
 //!    have an arm in both the encode and decode halves of `core/src/wire.rs`
 //!    so a new protocol message cannot ship without wire coverage.
-//! 3. **config-knob** — every `Config` field must be read somewhere (dead
+//! 5. **wire-tag** — the extracted `mod tag`/`mod etag` tables must agree
+//!    with the pinned manifest `wire_tags.toml` (no collisions, no drift,
+//!    no reuse of retired tags) — see [`manifest`].
+//! 6. **drill-coverage** — every `CoordEvent` variant and every
+//!    `restart_*`/`wal_*`/`recovery_*` counter must be asserted by at
+//!    least one test, so a new failure path cannot land untested.
+//! 7. **config-knob** — every `Config` field must be read somewhere (dead
 //!    knobs silently ignore operator intent).
-//! 4. **test-hygiene** — no bare `#[ignore]`, no sleep-based
+//! 8. **test-hygiene** — no bare `#[ignore]`, no sleep-based
 //!    synchronization in `crates/net` tests.
-//! 5. **obs-coverage** — every `Msg` variant must carry its own `fn kind`
+//! 9. **obs-coverage** — every `Msg` variant must carry its own `fn kind`
 //!    label (a `_ =>` wildcard would collapse new protocol messages into
 //!    one counter bucket), and the `msgs_sent`/`msgs_recv` counter sites
 //!    in the simulator and the TCP host must stay in place.
+//! 10. **unused-allow** — every escape-hatch directive must still silence
+//!     something; stale allows rot into false confidence.
 //!
 //! Escape hatch: `// lhrs-lint: allow(<check>) reason="..."` on the finding
 //! line or the line above. The reason string is mandatory and must be
 //! nonempty — an allow without a justification is itself a finding.
+//!
+//! `--json` emits the findings as a machine-readable array for CI
+//! annotation; see [`findings_to_json`].
 
 #![forbid(unsafe_code)]
 
 pub mod checks;
+pub mod graph;
+pub mod items;
+pub mod manifest;
 pub mod source;
 
 use std::fmt;
@@ -40,14 +60,24 @@ use std::path::{Path, PathBuf};
 pub enum Check {
     /// Panic-freedom audit of the actor hot paths.
     PanicFreedom,
+    /// Transitive panic-reachability through the workspace call graph.
+    TransitivePanic,
+    /// Unchecked integer arithmetic on reachable helper-crate code.
+    UncheckedArith,
     /// Wire-codec exhaustiveness over `Msg`/`CoordEvent`.
     CodecExhaustiveness,
+    /// Wire-tag manifest agreement (`wire_tags.toml`).
+    WireTag,
+    /// Drill coverage: events and counters asserted by tests.
+    DrillCoverage,
     /// Dead-knob detection on `Config`.
     ConfigKnob,
     /// Test-attribute hygiene.
     TestHygiene,
     /// Observability coverage over `Msg` kinds and counter sites.
     ObsCoverage,
+    /// Escape-hatch directives that no longer silence anything.
+    UnusedAllow,
 }
 
 impl Check {
@@ -55,12 +85,31 @@ impl Check {
     pub fn name(self) -> &'static str {
         match self {
             Check::PanicFreedom => "panic-freedom",
+            Check::TransitivePanic => "transitive-panic",
+            Check::UncheckedArith => "unchecked-arithmetic",
             Check::CodecExhaustiveness => "codec-exhaustiveness",
+            Check::WireTag => "wire-tag",
+            Check::DrillCoverage => "drill-coverage",
             Check::ConfigKnob => "config-knob",
             Check::TestHygiene => "test-hygiene",
             Check::ObsCoverage => "obs-coverage",
+            Check::UnusedAllow => "unused-allow",
         }
     }
+
+    /// Every check name, for validating `allow(...)` directives.
+    pub const ALL: [Check; 10] = [
+        Check::PanicFreedom,
+        Check::TransitivePanic,
+        Check::UncheckedArith,
+        Check::CodecExhaustiveness,
+        Check::WireTag,
+        Check::DrillCoverage,
+        Check::ConfigKnob,
+        Check::TestHygiene,
+        Check::ObsCoverage,
+        Check::UnusedAllow,
+    ];
 }
 
 /// One lint finding.
@@ -76,6 +125,8 @@ pub struct Finding {
     pub message: String,
     /// `Some(reason)` when silenced by a justified escape hatch.
     pub allowed: Option<String>,
+    /// For graph checks: the call chain `root → … → offending fn`.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -91,13 +142,22 @@ impl fmt::Display for Finding {
         if let Some(r) = &self.allowed {
             write!(f, " (allowed: {r})")?;
         }
+        for (i, hop) in self.chain.iter().enumerate() {
+            write!(f, "\n    {}{}", if i == 0 { "via " } else { "  → " }, hop)?;
+        }
         Ok(())
     }
 }
 
-/// Hot-path modules governed by the panic-freedom audit
+/// Hot-path modules governed by the strict per-file panic-freedom audit
 /// (workspace-relative paths).
-pub const HOT_PATHS: [&str; 9] = [
+///
+/// This is a subset of [`graph::ROOT_FILES`]: every file here is also a
+/// reachability root, but the roots additionally include the client-side
+/// orchestration modules (`file.rs`, `parity_bucket.rs`) whose *helpers*
+/// must be panic-free transitively even though the modules themselves keep
+/// driver-validated invariants that the per-file audit would reject.
+pub const HOT_PATHS: [&str; 10] = [
     "crates/core/src/coordinator.rs",
     "crates/core/src/data_bucket.rs",
     "crates/core/src/client.rs",
@@ -106,6 +166,7 @@ pub const HOT_PATHS: [&str; 9] = [
     "crates/net/src/frame.rs",
     "crates/net/src/transport.rs",
     "crates/net/src/host.rs",
+    "crates/net/src/durable.rs",
     "crates/wal/src/lib.rs",
 ];
 
@@ -170,6 +231,7 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
                 line: 1,
                 message: "hot-path module listed in lhrs_xtask::HOT_PATHS is missing".to_string(),
                 allowed: None,
+                chain: Vec::new(),
             });
         }
     }
@@ -198,6 +260,7 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
             line: 1,
             message: "wire.rs missing".to_string(),
             allowed: None,
+            chain: Vec::new(),
         });
     }
 
@@ -241,10 +304,141 @@ pub fn run_all(root: &Path) -> Vec<Finding> {
             line: 1,
             message: "msg.rs missing".to_string(),
             allowed: None,
+            chain: Vec::new(),
         });
     }
 
+    // 6. Call-graph checks: transitive panic-reachability and unchecked
+    // arithmetic over everything the actor hot paths can reach.
+    let ws = items::WorkspaceIndex::build(&sources);
+    let adj = graph::build_graph(&ws);
+    let reach_info = graph::reach(&ws, &adj, |f| {
+        graph::ROOT_FILES.contains(&ws.files[f.file].label.as_str())
+    });
+    findings.extend(graph::run_graph_checks(&ws, &reach_info));
+
+    // 7. Wire-tag manifest agreement.
+    if let Some((wire_label, wire_src)) = get("crates/core/src/wire.rs") {
+        let manifest_text = fs::read_to_string(root.join("wire_tags.toml")).ok();
+        findings.extend(manifest::check_wire_tags(
+            wire_label,
+            wire_src,
+            manifest_text.as_deref(),
+        ));
+    }
+
+    // 8. Drill coverage: CoordEvent variants and recovery counters must be
+    // asserted by at least one test.
+    if let Some((coord_label, coord_src)) = get("crates/core/src/coordinator.rs") {
+        findings.extend(checks::check_drill_coverage(
+            coord_label,
+            coord_src,
+            &sources,
+        ));
+    }
+
+    // 9. Unused allows — runs last, over every other check's matches.
+    let stale = check_unused_allows(&sources, &findings);
+    findings.extend(stale);
+
     findings
+}
+
+/// Report escape-hatch directives that silence nothing (or name a check
+/// that does not exist). A stale allow is worse than none: it advertises a
+/// suppressed finding that is no longer there, and it would silently
+/// re-arm if the pattern ever came back in a different shape.
+pub fn check_unused_allows(sources: &[(String, String)], findings: &[Finding]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (label, text) in sources {
+        let model = source::SourceModel::parse(text);
+        for a in &model.allows {
+            if !Check::ALL.iter().any(|c| c.name() == a.check) {
+                out.push(Finding {
+                    check: Check::UnusedAllow,
+                    file: label.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) names an unknown check; valid names: {}",
+                        a.check,
+                        Check::ALL
+                            .iter()
+                            .map(|c| c.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    allowed: None,
+                    chain: Vec::new(),
+                });
+                continue;
+            }
+            let used = findings.iter().any(|f| {
+                f.file == *label
+                    && f.check.name() == a.check
+                    && (f.line == a.line || f.line == a.line + 1)
+            });
+            if !used {
+                out.push(Finding {
+                    check: Check::UnusedAllow,
+                    file: label.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) no longer silences any finding; delete the stale escape hatch",
+                        a.check
+                    ),
+                    allowed: None,
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON array for CI annotation (`--json`). Hand-
+/// rolled emission — the analyzer stays zero-dep.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let chain = f
+            .chain
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let allowed = match &f.allowed {
+            Some(r) => format!("\"{}\"", esc(r)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"check\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \
+             \"allowed\": {}, \"chain\": [{}]}}{}\n",
+            f.check.name(),
+            esc(&f.file),
+            f.line,
+            esc(&f.message),
+            allowed,
+            chain,
+            if i + 1 == findings.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// The counter call sites the obs-coverage check pins down: deleting any

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p lhrs-xtask -- lint              # exit 1 on unallowed findings
 //! cargo run -p lhrs-xtask -- lint --verbose    # also show justified allows
+//! cargo run -p lhrs-xtask -- lint --json       # machine-readable findings
 //! cargo run -p lhrs-xtask -- lint --fix-allow  # emit a TODO allowlist
 //! cargo run -p lhrs-xtask -- lint --root DIR   # lint another tree
 //! ```
@@ -12,13 +13,16 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use lhrs_xtask::{find_workspace_root, fix_allow_report, run_all};
+use lhrs_xtask::{find_workspace_root, findings_to_json, fix_allow_report, run_all};
+
+const USAGE: &str = "usage: lhrs-xtask lint [--fix-allow] [--verbose] [--json] [--root DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut fix_allow = false;
     let mut verbose = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
             "lint" if cmd.is_none() => cmd = Some("lint"),
             "--fix-allow" => fix_allow = true,
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -35,13 +40,13 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: lhrs-xtask lint [--fix-allow] [--verbose] [--root DIR]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
     if cmd != Some("lint") {
-        eprintln!("usage: lhrs-xtask lint [--fix-allow] [--verbose] [--root DIR]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -64,6 +69,23 @@ fn main() -> ExitCode {
     if fix_allow {
         print!("{}", fix_allow_report(&findings));
         return ExitCode::SUCCESS;
+    }
+
+    if json {
+        // Open findings first so CI annotations lead with what fails the
+        // build; allowed residue follows for the artifact.
+        let mut ordered: Vec<_> = findings
+            .iter()
+            .filter(|f| f.allowed.is_none())
+            .cloned()
+            .collect();
+        ordered.extend(findings.iter().filter(|f| f.allowed.is_some()).cloned());
+        print!("{}", findings_to_json(&ordered));
+        return if open.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     for f in &open {

@@ -1,0 +1,292 @@
+//! The pinned wire-tag manifest check.
+//!
+//! `wire_tags.toml` at the workspace root is the single source of truth
+//! for every `Msg` (`mod tag`) and `CoordEvent` (`mod etag`) wire tag.
+//! The analyzer extracts the `pub const NAME: u8 = N;` tables from
+//! `crates/core/src/wire.rs` and fails on:
+//!
+//! - a **collision** — two constants in one namespace sharing a value;
+//! - **drift** — a tag present in the code but not the manifest, present in
+//!   the manifest but not the code, or present in both with different
+//!   values (the PR-7 hand-assigned tag 42 is exactly the class of edit
+//!   this pins down);
+//! - **reuse of a retired tag** — deleting a message must retire its tag
+//!   in the manifest's `[retired]` table; a later message reusing the value
+//!   would be mis-decoded by peers still speaking the old protocol.
+//!
+//! The manifest parser covers only the TOML subset the file uses (comments,
+//! `[section]` headers, `KEY = <int>`, `key = [int, int, ...]`) — the
+//! analyzer stays zero-dep.
+
+use crate::source::{next_brace_block, tokenize, SourceModel, Tok};
+use crate::{Check, Finding};
+
+/// Parsed manifest: `(msg tags, coord_event tags, retired msg values,
+/// retired coord_event values)`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct WireManifest {
+    /// `[msg]` table: `NAME = tag`.
+    pub msg: Vec<(String, u32)>,
+    /// `[coord_event]` table: `NAME = tag`.
+    pub coord_event: Vec<(String, u32)>,
+    /// `[retired] msg = [...]` — values that may never be reassigned.
+    pub retired_msg: Vec<u32>,
+    /// `[retired] coord_event = [...]`.
+    pub retired_coord_event: Vec<u32>,
+}
+
+/// Parse the TOML subset of `wire_tags.toml`. Returns `Err(line, message)`
+/// on anything outside the subset, so a malformed manifest is a loud
+/// finding rather than silently-dropped pins.
+pub fn parse_manifest(text: &str) -> Result<WireManifest, (usize, String)> {
+    let mut m = WireManifest::default();
+    let mut section = String::new();
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw_line.find('#') {
+            Some(p) => &raw_line[..p],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err((lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim().to_string();
+        let value = value.trim();
+        match section.as_str() {
+            "msg" | "coord_event" => {
+                let tag: u32 = value.parse().map_err(|_| {
+                    (
+                        lineno,
+                        format!("`{key}` needs an integer tag, got `{value}`"),
+                    )
+                })?;
+                if section == "msg" {
+                    m.msg.push((key, tag));
+                } else {
+                    m.coord_event.push((key, tag));
+                }
+            }
+            "retired" => {
+                let inner = value
+                    .strip_prefix('[')
+                    .and_then(|v| v.strip_suffix(']'))
+                    .ok_or_else(|| {
+                        (
+                            lineno,
+                            format!("`{key}` needs an `[int, ...]` list, got `{value}`"),
+                        )
+                    })?;
+                let mut vals = Vec::new();
+                for part in inner.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    vals.push(part.parse().map_err(|_| {
+                        (
+                            lineno,
+                            format!("retired list entry `{part}` is not an integer"),
+                        )
+                    })?);
+                }
+                match key.as_str() {
+                    "msg" => m.retired_msg = vals,
+                    "coord_event" => m.retired_coord_event = vals,
+                    other => return Err((lineno, format!("unknown retired namespace `{other}`"))),
+                }
+            }
+            other => return Err((lineno, format!("unknown section `[{other}]`"))),
+        }
+    }
+    Ok(m)
+}
+
+/// Extract `pub const NAME: u8 = N;` entries from `mod <mod_name>` in
+/// `wire_src`, with the 1-based line of each constant.
+pub fn extract_tags(wire_src: &str, mod_name: &str) -> Option<Vec<(String, u32, usize)>> {
+    let model = SourceModel::parse(wire_src);
+    let needle = format!("mod {mod_name}");
+    let mut from = 0usize;
+    let pos = loop {
+        let p = model.masked[from..].find(&needle)? + from;
+        let after = p + needle.len();
+        let boundary = model
+            .masked
+            .as_bytes()
+            .get(after)
+            .is_none_or(|b| !(b.is_ascii_alphanumeric() || *b == b'_'));
+        if boundary {
+            break p;
+        }
+        from = after;
+    };
+    let (open, close) = next_brace_block(model.masked.as_bytes(), pos)?;
+    let body = &model.masked[open + 1..close];
+    let toks = tokenize(body);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // const NAME : u8 = N ;
+        if let Tok::Ident { text, .. } = &toks[i] {
+            if text == "const" {
+                if let (
+                    Some(Tok::Ident {
+                        text: name,
+                        offset: name_off,
+                    }),
+                    Some(Tok::Ident { text: value, .. }),
+                ) = (toks.get(i + 1), toks.get(i + 5))
+                {
+                    if let Ok(v) = value.parse::<u32>() {
+                        let line = model.line_of(open + 1 + name_off);
+                        out.push((name.clone(), v, line));
+                        i += 6;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+/// Compare one namespace's extracted tags against the manifest.
+fn check_namespace(
+    wire_label: &str,
+    namespace: &str,
+    extracted: &[(String, u32, usize)],
+    pinned: &[(String, u32)],
+    retired: &[u32],
+    out: &mut Vec<Finding>,
+) {
+    let push = |out: &mut Vec<Finding>, line: usize, message: String| {
+        out.push(Finding {
+            check: Check::WireTag,
+            file: wire_label.to_string(),
+            line,
+            message,
+            allowed: None,
+            chain: Vec::new(),
+        });
+    };
+    // Collisions inside the code itself.
+    for (i, (name, value, line)) in extracted.iter().enumerate() {
+        if let Some((other, _, _)) = extracted[..i].iter().find(|(_, v, _)| v == value) {
+            push(
+                out,
+                *line,
+                format!(
+                    "[{namespace}] tag collision: `{name}` and `{other}` both use {value}; \
+                     peers cannot distinguish the two messages on the wire"
+                ),
+            );
+        }
+        if retired.contains(value) {
+            push(
+                out,
+                *line,
+                format!(
+                    "[{namespace}] `{name}` reuses retired tag {value}; old peers would \
+                     mis-decode it as the retired message"
+                ),
+            );
+        }
+        match pinned.iter().find(|(n, _)| n == name) {
+            None => push(
+                out,
+                *line,
+                format!(
+                    "[{namespace}] `{name} = {value}` is not pinned in wire_tags.toml; \
+                     add it to the manifest to freeze the wire format"
+                ),
+            ),
+            Some((_, pv)) if pv != value => push(
+                out,
+                *line,
+                format!(
+                    "[{namespace}] `{name}` drifted: code says {value}, wire_tags.toml \
+                     pins {pv}; changing a shipped tag breaks every deployed peer"
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (name, value) in pinned {
+        if !extracted.iter().any(|(n, _, _)| n == name) {
+            push(
+                out,
+                1,
+                format!(
+                    "[{namespace}] manifest pins `{name} = {value}` but the code no longer \
+                     defines it; delete the message's pin and move {value} to [retired]"
+                ),
+            );
+        }
+    }
+}
+
+/// The wire-tag manifest check: `manifest_text` is the contents of
+/// `wire_tags.toml` (or `None` when the file is missing).
+pub fn check_wire_tags(
+    wire_label: &str,
+    wire_src: &str,
+    manifest_text: Option<&str>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let missing = |out: &mut Vec<Finding>, what: String| {
+        out.push(Finding {
+            check: Check::WireTag,
+            file: wire_label.to_string(),
+            line: 1,
+            message: what,
+            allowed: None,
+            chain: Vec::new(),
+        });
+    };
+    let manifest = match manifest_text {
+        None => {
+            missing(
+                &mut out,
+                "wire_tags.toml is missing at the workspace root; the wire format is unpinned"
+                    .to_string(),
+            );
+            return out;
+        }
+        Some(text) => match parse_manifest(text) {
+            Ok(m) => m,
+            Err((line, msg)) => {
+                missing(&mut out, format!("wire_tags.toml:{line}: {msg}"));
+                return out;
+            }
+        },
+    };
+    for (mod_name, namespace, pinned, retired) in [
+        ("tag", "msg", &manifest.msg, &manifest.retired_msg),
+        (
+            "etag",
+            "coord_event",
+            &manifest.coord_event,
+            &manifest.retired_coord_event,
+        ),
+    ] {
+        match extract_tags(wire_src, mod_name) {
+            None => missing(
+                &mut out,
+                format!("`mod {mod_name}` not found in wire.rs; cannot audit [{namespace}] tags"),
+            ),
+            Some(extracted) => {
+                check_namespace(wire_label, namespace, &extracted, pinned, retired, &mut out)
+            }
+        }
+    }
+    out
+}

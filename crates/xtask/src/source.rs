@@ -41,7 +41,7 @@ impl SourceModel {
     /// Lex `raw` into a model.
     pub fn parse(raw: &str) -> SourceModel {
         let (masked, comments) = mask(raw);
-        let allows = comments.iter().filter_map(parse_allow).collect();
+        let allows = comments.iter().flat_map(parse_allow).collect();
         let in_test = test_regions(&masked);
         SourceModel {
             raw: raw.to_string(),
@@ -281,23 +281,35 @@ fn is_char_literal(bytes: &[u8], i: usize) -> bool {
     j < bytes.len() && bytes[j] == b'\''
 }
 
-/// Parse `// lhrs-lint: allow(<check>) reason="..."`.
-fn parse_allow(c: &Comment) -> Option<AllowDirective> {
+/// Parse `// lhrs-lint: allow(<check>[, <check>...]) reason="..."`.
+/// A comma-separated list silences several checks on the same line with one
+/// shared justification; each listed check becomes its own directive.
+fn parse_allow(c: &Comment) -> Vec<AllowDirective> {
     let text = c.text.trim_start_matches('/').trim();
-    let rest = text.strip_prefix("lhrs-lint:")?.trim();
-    let rest = rest.strip_prefix("allow(")?;
-    let close = rest.find(')')?;
-    let check = rest[..close].trim().to_string();
+    let Some(rest) = text.strip_prefix("lhrs-lint:").map(str::trim) else {
+        return Vec::new();
+    };
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
     let tail = rest[close + 1..].trim();
     let reason = tail
         .strip_prefix("reason=\"")
         .and_then(|r| r.find('"').map(|end| r[..end].trim().to_string()))
         .filter(|r| !r.is_empty());
-    Some(AllowDirective {
-        line: c.line,
-        check,
-        reason,
-    })
+    rest[..close]
+        .split(',')
+        .map(str::trim)
+        .filter(|check| !check.is_empty())
+        .map(|check| AllowDirective {
+            line: c.line,
+            check: check.to_string(),
+            reason: reason.clone(),
+        })
+        .collect()
 }
 
 /// Mark lines covered by `#[cfg(test)] mod ... { }` blocks and

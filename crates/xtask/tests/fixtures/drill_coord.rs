@@ -1,0 +1,5 @@
+//! Fixture: minimal coordinator enum for the drill-coverage self-test.
+
+pub enum CoordEvent {
+    SplitDone,
+}

@@ -1,0 +1,19 @@
+//! Fixture: production code minting two drill counters; the test region
+//! asserts one of them (`recovery_probe_ok`) and the seeded gap
+//! (`wal_rotations`) is asserted nowhere.
+
+pub fn rotate(metrics: &Metrics) {
+    metrics.incr("wal_rotations");
+    metrics.incr("recovery_probe_ok");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe_counter_moves() {
+        let m = Metrics::default();
+        rotate(&m);
+        assert!(m.counter("recovery_probe_ok") > 0);
+        let _ = CoordEvent::SplitDone;
+    }
+}

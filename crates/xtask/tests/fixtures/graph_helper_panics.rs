@@ -1,0 +1,22 @@
+//! Fixture: a helper-crate module (labeled `crates/gf/src/helper.rs` in the
+//! self-test) with one panic seeded two calls below the hot path, one
+//! unchecked addition, and an unreachable decoy that must stay silent.
+
+pub fn helper_entry(cell: &mut [u8]) {
+    inner_step(cell);
+}
+
+fn inner_step(cell: &mut [u8]) {
+    if cell.is_empty() {
+        panic!("seeded: two calls below the hot path");
+    }
+    cell[0] = 0;
+}
+
+pub fn unchecked_sum(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+fn orphan_decoy() {
+    unreachable!("decoy: no hot path reaches this fn");
+}

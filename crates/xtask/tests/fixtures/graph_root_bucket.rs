@@ -1,0 +1,8 @@
+//! Fixture: a fake data-bucket hot path. In the self-test this file is
+//! labeled `crates/core/src/data_bucket.rs`, making every fn here a
+//! reachability root.
+
+pub fn on_message(cell: &mut [u8]) {
+    helper_entry(cell);
+    let _ = unchecked_sum(1, 2);
+}

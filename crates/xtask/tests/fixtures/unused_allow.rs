@@ -1,0 +1,12 @@
+//! Fixture: escape hatches that silence nothing — one stale allow on a
+//! clean line, one naming a check that does not exist.
+
+pub fn tidy(a: u64) -> u64 {
+    // lhrs-lint: allow(panic-freedom) reason="seeded: nothing here to silence"
+    a.saturating_add(1)
+}
+
+pub fn bogus(a: u64) -> u64 {
+    // lhrs-lint: allow(no-such-check) reason="seeded: unknown check name"
+    a
+}

@@ -1,0 +1,14 @@
+//! Fixture: wire-tag tables with a collision, a retired-tag reuse, and an
+//! unpinned tag (the manifest side of the drift lives in
+//! `wire_tags_bad.toml`).
+
+pub mod tag {
+    pub const PUT: u8 = 1;
+    pub const GET: u8 = 1;
+    pub const DEL: u8 = 9;
+    pub const NEW: u8 = 3;
+}
+
+pub mod etag {
+    pub const SPLIT_DONE: u8 = 1;
+}

@@ -1,0 +1,206 @@
+//! Self-tests for the whole-workspace analyzer: call-graph
+//! panic-reachability, unchecked arithmetic, the wire-tag manifest, drill
+//! coverage, and stale-allow reporting — each against a seeded fixture,
+//! plus the acceptance gate that a panic planted in the real `crates/gf`
+//! is traced back to `data_bucket.rs` with its full call chain.
+
+use std::path::Path;
+
+use lhrs_xtask::checks::check_drill_coverage;
+use lhrs_xtask::graph::{build_graph, reach, run_graph_checks, ROOT_FILES};
+use lhrs_xtask::items::WorkspaceIndex;
+use lhrs_xtask::manifest::{check_wire_tags, parse_manifest};
+use lhrs_xtask::{check_unused_allows, workspace_sources, Check, Finding};
+
+const GRAPH_ROOT: &str = include_str!("fixtures/graph_root_bucket.rs");
+const GRAPH_HELPER: &str = include_str!("fixtures/graph_helper_panics.rs");
+const WIRE_COLLISION: &str = include_str!("fixtures/wire_collision.rs");
+const WIRE_TAGS_BAD: &str = include_str!("fixtures/wire_tags_bad.toml");
+const DRILL_GAP: &str = include_str!("fixtures/drill_gap.rs");
+const DRILL_COORD: &str = include_str!("fixtures/drill_coord.rs");
+const UNUSED_ALLOW: &str = include_str!("fixtures/unused_allow.rs");
+
+fn graph_findings(sources: &[(String, String)]) -> Vec<Finding> {
+    let ws = WorkspaceIndex::build(sources);
+    let adj = build_graph(&ws);
+    let reach_info = reach(&ws, &adj, |f| {
+        ROOT_FILES.contains(&ws.files[f.file].label.as_str())
+    });
+    run_graph_checks(&ws, &reach_info)
+}
+
+#[test]
+fn panic_two_calls_deep_is_traced_to_the_hot_path() {
+    let sources = vec![
+        (
+            "crates/core/src/data_bucket.rs".to_string(),
+            GRAPH_ROOT.to_string(),
+        ),
+        (
+            "crates/gf/src/helper.rs".to_string(),
+            GRAPH_HELPER.to_string(),
+        ),
+    ];
+    let findings = graph_findings(&sources);
+
+    let panics: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.check == Check::TransitivePanic)
+        .collect();
+    // `panic!` plus the seeded `cell[0]` index in `inner_step`; the decoy's
+    // `unreachable!` must NOT appear.
+    assert!(
+        panics
+            .iter()
+            .all(|f| f.file == "crates/gf/src/helper.rs" && !f.message.contains("unreachable")),
+        "only reachable sites may fire: {panics:#?}"
+    );
+    let seeded: Vec<&&Finding> = panics
+        .iter()
+        .filter(|f| f.message.contains("panic!"))
+        .collect();
+    assert_eq!(seeded.len(), 1, "{panics:#?}");
+    let chain = &seeded[0].chain;
+    assert!(
+        chain.len() >= 3,
+        "root → helper_entry → inner_step is two hops: {chain:#?}"
+    );
+    assert!(chain[0].contains("data_bucket.rs") && chain[0].contains("on_message"));
+    assert!(chain.last().unwrap().contains("inner_step"));
+
+    let arith: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.check == Check::UncheckedArith)
+        .collect();
+    assert_eq!(arith.len(), 1, "{arith:#?}");
+    assert!(arith[0].message.contains('+'));
+}
+
+#[test]
+fn colliding_and_retired_wire_tags_are_flagged() {
+    let findings = check_wire_tags(
+        "fixtures/wire_collision.rs",
+        WIRE_COLLISION,
+        Some(WIRE_TAGS_BAD),
+    );
+    let msg = |needle: &str| {
+        findings
+            .iter()
+            .filter(|f| f.message.contains(needle))
+            .count()
+    };
+    assert_eq!(msg("tag collision"), 1, "{findings:#?}");
+    assert_eq!(msg("reuses retired tag 9"), 1, "{findings:#?}");
+    assert_eq!(msg("`NEW = 3` is not pinned"), 1, "{findings:#?}");
+    assert_eq!(msg("manifest pins `GONE = 7`"), 1, "{findings:#?}");
+    assert_eq!(findings.len(), 4, "no extra findings: {findings:#?}");
+}
+
+#[test]
+fn drifted_tag_value_is_flagged() {
+    let drifted = WIRE_TAGS_BAD.replace("PUT = 1", "PUT = 2");
+    let findings = check_wire_tags("fixtures/wire_collision.rs", WIRE_COLLISION, Some(&drifted));
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("`PUT` drifted: code says 1, wire_tags.toml pins 2")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn manifest_parser_round_trips_the_fixture() {
+    let m = parse_manifest(WIRE_TAGS_BAD).expect("fixture manifest parses");
+    assert_eq!(m.msg.len(), 4);
+    assert_eq!(m.coord_event, vec![("SPLIT_DONE".to_string(), 1)]);
+    assert_eq!(m.retired_msg, vec![9]);
+    assert!(m.retired_coord_event.is_empty());
+    // Malformed input is a loud error, not silently-dropped pins.
+    assert!(parse_manifest("[msg]\nPUT = banana").is_err());
+    assert!(parse_manifest("[mystery]\nx = 1").is_err());
+}
+
+#[test]
+fn unasserted_drill_counter_is_flagged() {
+    let sources = vec![
+        (
+            "crates/core/src/coordinator.rs".to_string(),
+            DRILL_COORD.to_string(),
+        ),
+        (
+            "crates/wal/src/fixture.rs".to_string(),
+            DRILL_GAP.to_string(),
+        ),
+    ];
+    let findings = check_drill_coverage("crates/core/src/coordinator.rs", DRILL_COORD, &sources);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("`wal_rotations`"));
+    // `recovery_probe_ok` is asserted by the fixture's test region and
+    // `CoordEvent::SplitDone` is named there too — both must stay silent.
+}
+
+#[test]
+fn stale_and_unknown_allows_are_reported() {
+    let sources = vec![(
+        "fixtures/unused_allow.rs".to_string(),
+        UNUSED_ALLOW.to_string(),
+    )];
+    let findings = check_unused_allows(&sources, &[]);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("no longer silences any finding")));
+    assert!(findings.iter().any(|f| f.message.contains("unknown check")));
+}
+
+/// The acceptance gate: a panic planted in the real `crates/gf` kernel is
+/// reported with a transitive call chain starting at `data_bucket.rs`.
+#[test]
+fn seeded_gf_panic_is_reachable_from_the_real_data_bucket() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root");
+    let mut sources = workspace_sources(root);
+    let field = sources
+        .iter_mut()
+        .find(|(l, _)| l == "crates/gf/src/field.rs")
+        .expect("field.rs in workspace");
+    let seeded = field.1.replace(
+        "pub fn add_slice(src: &[u8], dst: &mut [u8]) {",
+        "pub fn add_slice(src: &[u8], dst: &mut [u8]) {\n    panic!(\"seeded\");",
+    );
+    assert_ne!(seeded, field.1, "the kernel we sabotage must exist");
+    field.1 = seeded;
+
+    // Root the reachability at the data bucket alone: the chain the finding
+    // carries must then pass through `data_bucket.rs` by construction (the
+    // full root set would be free to discover the panic via another actor
+    // first, e.g. the parity path through `rs/code.rs`).
+    let ws = WorkspaceIndex::build(&sources);
+    let adj = build_graph(&ws);
+    let reach_info = reach(&ws, &adj, |f| {
+        ws.files[f.file].label == "crates/core/src/data_bucket.rs"
+    });
+    let findings = run_graph_checks(&ws, &reach_info);
+    let hit = findings
+        .iter()
+        .find(|f| {
+            f.check == Check::TransitivePanic
+                && f.file == "crates/gf/src/field.rs"
+                && f.message.contains("panic!")
+        })
+        .unwrap_or_else(|| panic!("seeded panic not found: {findings:#?}"));
+    assert!(
+        hit.chain
+            .iter()
+            .any(|hop| hop.contains("crates/core/src/data_bucket.rs")),
+        "chain must pass through the data bucket: {:#?}",
+        hit.chain
+    );
+    assert!(
+        hit.chain.last().unwrap().contains("add_slice"),
+        "{:#?}",
+        hit.chain
+    );
+}
