@@ -10,7 +10,7 @@
 //! folds the transport-specific error shapes (`Result<_, Error>` in the
 //! driver, timeout `Option`s on the network) into one enum.
 
-use crate::msg::{FilterSpec, OpResult};
+use crate::msg::{ClientOp, FilterSpec, OpResult};
 use crate::Key;
 
 /// The outcome of one key-value operation, shared by every [`KvClient`]
@@ -93,6 +93,24 @@ pub trait KvClient {
     fn delete(&mut self, key: Key) -> OpOutcome;
     /// Parallel scan with a server-side filter.
     fn scan(&mut self, filter: FilterSpec) -> OpOutcome;
+
+    /// Execute a batch of operations; `outcome[i]` answers `ops[i]`.
+    ///
+    /// The default runs the batch sequentially, one blocking operation at
+    /// a time — correct everywhere. Pipelined transports (the multiplexed
+    /// `lhrs_net::client::NetClient`) override it to keep a bounded window
+    /// of operations in flight and complete them out of order.
+    fn run_batch(&mut self, ops: Vec<ClientOp>) -> Vec<OpOutcome> {
+        ops.into_iter()
+            .map(|op| match op {
+                ClientOp::Insert { key, payload } => self.insert(key, payload),
+                ClientOp::Lookup { key } => self.lookup(key),
+                ClientOp::Update { key, payload } => self.update(key, payload),
+                ClientOp::Delete { key } => self.delete(key),
+                ClientOp::Scan { filter } => self.scan(filter),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

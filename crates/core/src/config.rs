@@ -138,6 +138,13 @@ pub struct Config {
     /// this bound; must be ≥ 1. Size it above `clients × in-flight ops` so
     /// a retried write still finds its first execution's result.
     pub replay_cache_cap: usize,
+    /// Pipelined-client in-flight window: how many operations a batch
+    /// driver (`KvClient::run_batch` over the multiplexed network client)
+    /// keeps outstanding at once. 1 restores strict one-op-at-a-time
+    /// behaviour; must be ≥ 1. Keep `replay_cache_cap` above
+    /// `clients × client_window` so a retried write still finds its first
+    /// execution's result.
+    pub client_window: usize,
     /// Snapshot interval for durable buckets: after this many write-ahead
     /// log appends since the last snapshot, a bucket writes a fresh
     /// snapshot and truncates its log. 0 disables periodic snapshots
@@ -179,6 +186,7 @@ impl Default for Config {
             coord_retransmit_us: 8_000,
             coord_retries: 10,
             replay_cache_cap: 4096,
+            client_window: 64,
             wal_snapshot_every: 1024,
             delta_history_cap: 4096,
             wal_fsync: FsyncPolicy::default(),
@@ -229,6 +237,11 @@ impl Config {
         if self.replay_cache_cap == 0 {
             return Err(crate::Error::InvalidConfig(
                 "replay_cache_cap must be ≥ 1".into(),
+            ));
+        }
+        if self.client_window == 0 {
+            return Err(crate::Error::InvalidConfig(
+                "client_window must be ≥ 1".into(),
             ));
         }
         if self.delta_history_cap == 0 {
@@ -456,6 +469,12 @@ impl ConfigBuilder {
         self
     }
 
+    /// Pipelined-client in-flight window (1 = one op at a time).
+    pub fn client_window(mut self, n: usize) -> Self {
+        self.cfg.client_window = n;
+        self
+    }
+
     /// Snapshot interval (appends) for durable buckets; 0 disables.
     pub fn wal_snapshot_every(mut self, n: u64) -> Self {
         self.cfg.wal_snapshot_every = n;
@@ -628,6 +647,7 @@ mod tests {
             .coord_retransmit_us(9_000)
             .coord_retries(4)
             .replay_cache_cap(128)
+            .client_window(16)
             .wal_snapshot_every(256)
             .delta_history_cap(512)
             .wal_fsync(FsyncPolicy::Never)
@@ -644,6 +664,7 @@ mod tests {
         assert!(cfg.ack_parity && cfg.ack_writes);
         assert_eq!(cfg.field, GfField::Gf16);
         assert_eq!(cfg.client_retries, 5);
+        assert_eq!(cfg.client_window, 16);
         assert_eq!(cfg.wal_snapshot_every, 256);
         assert_eq!(cfg.delta_history_cap, 512);
         assert_eq!(cfg.wal_fsync, FsyncPolicy::Never);
@@ -662,6 +683,15 @@ mod tests {
     fn zero_delta_history_cap_rejected() {
         let c = Config {
             delta_history_cap: 0,
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_client_window_rejected() {
+        let c = Config {
+            client_window: 0,
             ..Config::default()
         };
         assert!(c.validate().is_err());

@@ -669,6 +669,9 @@ impl Coordinator {
             let Some(ctx) = self.recoveries.remove(&token) else {
                 return;
             };
+            // Whatever froze for this collection must not stay frozen
+            // until its safety timer: the collection is dead.
+            self.resume_group_writes(env, ctx.group, &ctx.rebuild);
             match ctx.purpose {
                 Purpose::Repair => {
                     // Survivors stopped answering; audit the group afresh.
@@ -2035,13 +2038,77 @@ impl Coordinator {
             ctx.collected.insert(shard, content);
         }
         if ctx.awaiting.is_empty() {
-            if let Some(ctx) = self.recoveries.remove(&token) {
+            if let Some(mut ctx) = self.recoveries.remove(&token) {
+                // The rebuild XORs shards cell-by-cell, so every collected
+                // shard must sit on the same Δ-prefix. Survivors freeze on
+                // `TransferShard`, but a write racing the first round (or a
+                // Δ still in flight to a parity bucket) can tear the cut —
+                // detect it and re-collect rather than rebuild garbage.
+                if torn_cut(self.m(), &ctx.collected).is_some() {
+                    env.obs().incr("recovery_torn_cuts");
+                    ctx.awaiting = ctx.collected.keys().copied().collect();
+                    ctx.collected.clear();
+                    self.resend_collection(env, token, &ctx);
+                    self.recoveries.insert(token, ctx);
+                    return;
+                }
                 self.finish_collection(env, token, ctx);
             }
         }
     }
 
+    /// Re-send `TransferShard` to every shard a collection still awaits
+    /// (the torn-cut retry path; the periodic retransmit timer keeps its
+    /// own schedule and give-up budget).
+    fn resend_collection(&self, env: &mut Env<'_, Msg>, token: u64, ctx: &RecoveryCtx) {
+        let m = self.m();
+        let reg = self.shared.registry.borrow();
+        let mut targets = Vec::new();
+        for &shard in &ctx.awaiting {
+            let node = if shard < m {
+                reg.data_node(ctx.group * m as u64 + shard as u64)
+            } else {
+                match reg.parity_nodes(ctx.group).get(shard - m) {
+                    Some(n) => *n,
+                    None => continue,
+                }
+            };
+            targets.push(node);
+        }
+        drop(reg);
+        for node in targets {
+            env.send(node, Msg::TransferShard { token });
+        }
+    }
+
+    /// The shard collection for `group` is over, however it ended: tell
+    /// the surviving data columns to serve writes again. Columns being
+    /// rebuilt are skipped (their nodes are gone); a bucket that never
+    /// froze treats the message as a no-op, and a lost message is covered
+    /// by the bucket's own freeze safety timer.
+    fn resume_group_writes(&self, env: &mut Env<'_, Msg>, group: u64, rebuild: &[usize]) {
+        let m = self.m();
+        let reg = self.shared.registry.borrow();
+        let mut targets = Vec::new();
+        for col in 0..m {
+            if rebuild.contains(&col) {
+                continue;
+            }
+            if let Some(node) = reg.try_data_node(group * m as u64 + col as u64) {
+                targets.push(node);
+            }
+        }
+        drop(reg);
+        for node in targets {
+            env.send(node, Msg::ResumeWrites { group });
+        }
+    }
+
     fn finish_collection(&mut self, env: &mut Env<'_, Msg>, token: u64, mut ctx: RecoveryCtx) {
+        // A consistent cut is in hand: the survivors may serve writes again
+        // whatever happens below (the rebuild works on the snapshot, and
+        // the dead bucket's ops stay parked here until the install).
+        self.resume_group_writes(env, ctx.group, &ctx.rebuild);
         let m = self.m();
         let cell_len = self.shared.cfg.cell_len();
         let existing = self.existing_cols(ctx.group);
@@ -2287,6 +2354,46 @@ fn copy_cell(buf: &mut [u8], pos: usize, cell_len: usize, cell: &[u8]) {
 /// group at once.
 ///
 /// # Errors
+/// Check a completed shard collection for a torn cut. The rebuild treats
+/// the collected shards as one code word per rank, which is only sound if
+/// every parity shard has applied exactly the Δ-prefix each collected data
+/// shard had emitted when it was snapshotted (`col_seqs[c] == delta_seq`),
+/// and all parity shards agree with each other on every column (the only
+/// cross-check available for columns whose data shard is being rebuilt).
+/// Returns a description of the first mismatch, `None` when consistent.
+fn torn_cut(m: usize, collected: &HashMap<usize, ShardContent>) -> Option<String> {
+    let parities: Vec<(usize, &Vec<u64>)> = collected
+        .iter()
+        .filter_map(|(&s, c)| match c {
+            ShardContent::Parity { col_seqs, .. } if s >= m => Some((s, col_seqs)),
+            _ => None,
+        })
+        .collect();
+    for (&shard, content) in collected {
+        let ShardContent::Data { delta_seq, .. } = content else {
+            continue;
+        };
+        for &(pshard, col_seqs) in &parities {
+            let applied = col_seqs.get(shard).copied().unwrap_or(0);
+            if applied != *delta_seq {
+                return Some(format!(
+                    "column {shard} emitted Δ-seq {delta_seq} but parity shard {pshard} applied {applied}"
+                ));
+            }
+        }
+    }
+    if let Some((&(first_shard, first), rest)) = parities.split_first() {
+        for &(pshard, col_seqs) in rest {
+            if col_seqs != first {
+                return Some(format!(
+                    "parity shards {first_shard} and {pshard} disagree on applied Δ-seqs: {first:?} vs {col_seqs:?}"
+                ));
+            }
+        }
+    }
+    None
+}
+
 /// A human-readable description when the survivors cannot produce the
 /// requested shards (too many erasures, inconsistent content). The caller
 /// surfaces it as a degraded-mode event and abandons the rebuild.

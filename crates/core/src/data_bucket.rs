@@ -2,7 +2,7 @@
 //! assignment, Δ-emission to parity buckets, and splitting.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use lhrs_lh::{a2_route, A2Outcome};
 use lhrs_obs::Event as ObsEvent;
@@ -51,10 +51,16 @@ pub struct DataBucket {
     last_min_acked: u64,
     /// Client-op replay cache: the result each recent write produced, so a
     /// retried (duplicated) request is answered identically without
-    /// re-executing.
-    replay: HashMap<(NodeId, OpId), (Key, OpResult)>,
-    /// FIFO eviction order of the replay cache.
-    replay_order: VecDeque<(NodeId, OpId)>,
+    /// re-executing. The `u64` is the entry's LRU generation stamp.
+    replay: HashMap<(NodeId, OpId), (Key, OpResult, u64)>,
+    /// LRU recency order: generation stamp → cache key, coldest first.
+    /// Eviction must be least-recently-*used*, not insertion order: a
+    /// pipelined client keeps a whole window of ids in flight, and a
+    /// still-retried old id that FIFO would evict first must stay cached
+    /// as long as duplicates keep touching it.
+    replay_lru: BTreeMap<u64, (NodeId, OpId)>,
+    /// Generation counter backing `replay_lru` (monotone per bucket).
+    replay_gen: u64,
     /// Last split shipment `(target, movers, replay)`, re-sent verbatim when
     /// the coordinator re-orders the split (lost SplitLoad or SplitDone).
     last_split: Option<(u64, Vec<Record>, Vec<ReplayEntry>)>,
@@ -82,6 +88,16 @@ pub struct DataBucket {
     /// the bucket is waiting for the coordinator's `Retire` and must not
     /// resume, whatever still arrives.
     catchup_failed: bool,
+    /// Writes frozen while a recovery shard collection is in flight: the
+    /// coordinator must observe every survivor at the same Δ-sequence, so
+    /// between `TransferShard` and `ResumeWrites` all mutations are
+    /// deferred into `frozen_held`.
+    frozen: bool,
+    /// Mutating messages deferred while frozen, replayed on resume.
+    frozen_held: Vec<(NodeId, Msg)>,
+    /// Safety valve: unfreeze anyway if the coordinator's `ResumeWrites`
+    /// is lost (or the coordinator dies mid-recovery).
+    freeze_timer: Option<TimerId>,
 }
 
 impl DataBucket {
@@ -104,7 +120,8 @@ impl DataBucket {
             retry_rounds: 0,
             last_min_acked: 0,
             replay: HashMap::new(),
-            replay_order: VecDeque::new(),
+            replay_lru: BTreeMap::new(),
+            replay_gen: 0,
             last_split: None,
             last_merge: None,
             store: None,
@@ -115,6 +132,9 @@ impl DataBucket {
             got_ack: false,
             catchup_timer: None,
             catchup_failed: false,
+            frozen: false,
+            frozen_held: Vec::new(),
+            freeze_timer: None,
         }
     }
 
@@ -200,15 +220,21 @@ impl DataBucket {
     }
 
     /// Flush the store's buffered appends (the once-per-batch hook behind
-    /// [`crate::FsyncPolicy::Batch`]).
-    pub fn sync_store(&mut self) {
+    /// [`crate::FsyncPolicy::Batch`]). Returns how many buffered appends
+    /// this sync made durable (the group-commit batch size; 0 when nothing
+    /// was buffered, the store is absent, or the sync failed).
+    pub fn sync_store(&mut self) -> u64 {
         if let Some(store) = self.store.as_mut() {
+            let pending = store.unsynced_ops();
             if store.sync().is_err() {
                 // Buffered appends may be gone: the log has a silent hole
                 // and must never be replayed.
                 self.reset_store();
+                return 0;
             }
+            return pending;
         }
+        0
     }
 
     /// Erase and drop the store — on retirement (the logical bucket lives
@@ -350,6 +376,24 @@ impl DataBucket {
                 }
             }
         }
+        // While a recovery shard collection is in flight the coordinator
+        // needs this column to hold still at the Δ-sequence it shipped in
+        // `ShardData` — defer everything that would advance it (or move
+        // records wholesale) until `ResumeWrites` or the safety timer.
+        if self.frozen {
+            let mutates = match &msg {
+                Msg::Req { kind, .. } => !matches!(kind, ReqKind::Lookup(_)),
+                Msg::DoSplit { .. }
+                | Msg::SplitLoad { .. }
+                | Msg::DoMerge { .. }
+                | Msg::MergeLoad { .. } => true,
+                _ => false,
+            };
+            if mutates {
+                self.frozen_held.push((from, msg));
+                return;
+            }
+        }
         match msg {
             Msg::Req {
                 op_id,
@@ -396,8 +440,11 @@ impl DataBucket {
             } => {
                 // Movers arriving at a freshly initialised bucket (or again,
                 // if the shipment was duplicated — absorb dedups by key).
+                // `level` is the sender's, not necessarily ours: an expel
+                // shipment (see `expel_misplaced`) addresses at the
+                // expeller's level, and absorb re-forwards any stray.
                 debug_assert_eq!(bucket, self.bucket);
-                debug_assert_eq!(level, self.level);
+                let _ = level;
                 self.absorb_movers(env, records, replay, true);
                 let coord = self.shared.registry.borrow().coordinator;
                 env.send(
@@ -459,6 +506,10 @@ impl DataBucket {
                 }
             }
             Msg::TransferShard { token } => {
+                // Freeze (or re-arm an existing freeze — collection retries
+                // re-send this) so the shipped Δ-sequence stays the truth
+                // until the coordinator finishes the collection.
+                self.freeze(env);
                 let content = self.content();
                 env.send(
                     from,
@@ -469,6 +520,7 @@ impl DataBucket {
                     },
                 );
             }
+            Msg::ResumeWrites { .. } => self.unfreeze(env),
             Msg::ReadCell { rank, token } => {
                 let cell_len = self.shared.cfg.cell_len();
                 let cell = self
@@ -598,6 +650,16 @@ impl DataBucket {
             }
             return;
         }
+        if self.freeze_timer == Some(timer) {
+            // The coordinator never said `ResumeWrites` (lost frame, or it
+            // died mid-recovery): serve writes again rather than wedge.
+            self.freeze_timer = None;
+            if self.frozen {
+                env.obs().incr("recovery_freeze_expired");
+            }
+            self.unfreeze(env);
+            return;
+        }
         if self.retry_timer != Some(timer) {
             return; // stale timer from a cancelled round
         }
@@ -696,16 +758,34 @@ impl DataBucket {
             .unwrap_or(self.delta_seq)
     }
 
-    /// Record a write's outcome in the replay cache (FIFO-bounded).
+    /// Record a write's outcome in the replay cache (LRU-bounded).
     fn remember(&mut self, client: NodeId, op_id: OpId, key: Key, result: OpResult) {
-        if self.replay.insert((client, op_id), (key, result)).is_none() {
-            self.replay_order.push_back((client, op_id));
-            while self.replay_order.len() > self.shared.cfg.replay_cache_cap {
-                if let Some(old) = self.replay_order.pop_front() {
-                    self.replay.remove(&old);
-                }
-            }
+        let id = (client, op_id);
+        self.replay_gen += 1;
+        let gen = self.replay_gen;
+        if let Some((_, _, old_gen)) = self.replay.insert(id, (key, result, gen)) {
+            self.replay_lru.remove(&old_gen);
         }
+        self.replay_lru.insert(gen, id);
+        while self.replay.len() > self.shared.cfg.replay_cache_cap {
+            let Some((_, coldest)) = self.replay_lru.pop_first() else {
+                break; // maps out of sync only on a logic bug; never spin
+            };
+            self.replay.remove(&coldest);
+        }
+    }
+
+    /// Look up a cached write outcome, refreshing the entry's recency so
+    /// an id that is still being retried outlives colder entries.
+    fn replay_hit(&mut self, client: NodeId, op_id: OpId) -> Option<OpResult> {
+        let id = (client, op_id);
+        let (_, result, gen) = self.replay.get_mut(&id)?;
+        let result = result.clone();
+        self.replay_gen += 1;
+        let old_gen = std::mem::replace(gen, self.replay_gen);
+        self.replay_lru.remove(&old_gen);
+        self.replay_lru.insert(self.replay_gen, id);
+        Some(result)
     }
 
     /// Number of entries currently in the replay cache (bounded by
@@ -771,10 +851,9 @@ impl DataBucket {
                 // again (a re-run insert would report DuplicateKey, a re-run
                 // delete NotFound, and each would double-commit parity Δs).
                 // Answer duplicates from the replay cache instead.
-                if let Some((_, result)) = self.replay.get(&(client, op_id)) {
+                if let Some(result) = self.replay_hit(client, op_id) {
                     let is_err = matches!(result, OpResult::DuplicateKey | OpResult::NotFound);
                     if ack_writes || iam.is_some() || is_err {
-                        let result = result.clone();
                         env.send(client, Msg::Reply { op_id, result, iam });
                     }
                     return;
@@ -859,7 +938,7 @@ impl DataBucket {
         debug_assert_eq!(source, self.bucket);
         if new_level <= self.level {
             // Duplicate order: the coordinator re-sent because SplitDone
-            // never arrived. The partition already ran — re-ship the cached
+            // never arrived. If the partition ran here, re-ship the cached
             // movers verbatim (re-running would emit fresh Δ seqs for work
             // the parity already saw). The receiver absorbs idempotently
             // and re-confirms.
@@ -875,8 +954,16 @@ impl DataBucket {
                         replay,
                     },
                 );
+                return;
             }
-            return;
+            // No cached shipment: this replica never ran the partition —
+            // it was rebuilt from parity after its predecessor died with
+            // the order in flight, and was installed at the coordinator's
+            // (post-split) level with the movers still inside. Fall
+            // through and partition now: the movers it still holds have
+            // never been retracted from parity, so the fresh Δ seqs are
+            // exactly right, and if it genuinely has nothing for the
+            // target the shipment is an empty re-confirmation.
         }
         let cell_len = self.shared.cfg.cell_len();
         let mut movers = Vec::new();
@@ -911,14 +998,14 @@ impl DataBucket {
         let mut moving_ids: Vec<(NodeId, OpId)> = self
             .replay
             .iter()
-            .filter(|(_, (key, _))| lhrs_lh::h(new_level, 1, *key) == target)
+            .filter(|(_, (key, _, _))| lhrs_lh::h(new_level, 1, *key) == target)
             .map(|(id, _)| *id)
             .collect();
         moving_ids.sort_unstable();
         let mut replay_movers = Vec::new();
         for id in moving_ids {
-            if let Some((key, result)) = self.replay.remove(&id) {
-                self.replay_order.retain(|x| x != &id);
+            if let Some((key, result, gen)) = self.replay.remove(&id) {
+                self.replay_lru.remove(&gen);
                 replay_movers.push(ReplayEntry {
                     client: id.0,
                     op_id: id.1,
@@ -951,6 +1038,74 @@ impl DataBucket {
         self.snapshot_obs(env);
     }
 
+    /// Ship away records that do not address to this bucket at its level.
+    /// A rebuilt bucket can hold such records: its predecessor died with a
+    /// split order in flight, after the coordinator committed the address-
+    /// space change but before the partition ran — the reconstruction then
+    /// restores the movers into a bucket whose level says they belong
+    /// elsewhere, where no lookup will ever find them. Retract each stray
+    /// from this group's parity and ship it to its home bucket through the
+    /// normal split-shipment path (the receiver absorbs idempotently).
+    pub fn expel_misplaced(&mut self, env: &mut Env<'_, Msg>) {
+        // Resolve each stray's home first: a record whose home this host's
+        // registry replica cannot name yet stays put (still covered by
+        // parity) instead of being retracted into nowhere.
+        let foreign: Vec<(Rank, u64, NodeId)> = {
+            let reg = self.shared.registry.borrow();
+            self.records
+                .iter()
+                .filter_map(|(&rank, rec)| {
+                    let home = lhrs_lh::h(self.level, 1, rec.key);
+                    if home == self.bucket {
+                        return None;
+                    }
+                    reg.try_data_node(home).map(|node| (rank, home, node))
+                })
+                .collect()
+        };
+        if foreign.is_empty() {
+            return;
+        }
+        let cell_len = self.shared.cfg.cell_len();
+        let mut removals = Vec::new();
+        let mut by_home: BTreeMap<u64, (NodeId, Vec<Record>)> = BTreeMap::new();
+        for (rank, home, node) in foreign {
+            let Some(rec) = self.records.remove(&rank) else {
+                continue; // listed from this map just above
+            };
+            self.by_key.remove(&rec.key);
+            self.free_ranks.push(Reverse(rank));
+            removals.push(DeltaEntry {
+                seq: self.next_seq(),
+                rank,
+                col: self.col(),
+                key_op: KeyOp::Remove(rec.key),
+                delta_cell: encode_cell(&rec.payload, cell_len),
+            });
+            by_home
+                .entry(home)
+                .or_insert((node, Vec::new()))
+                .1
+                .push(rec);
+        }
+        self.send_batch(env, removals);
+        let level = self.level;
+        for (home, (node, records)) in by_home {
+            env.obs()
+                .add("recovery_expelled_records", records.len() as u64);
+            env.send(
+                node,
+                Msg::SplitLoad {
+                    bucket: home,
+                    level,
+                    records,
+                    replay: Vec::new(),
+                },
+            );
+        }
+        self.snapshot_obs(env);
+    }
+
     /// Receive records moved in by a split or merge: assign fresh ranks and
     /// enrol them in this group's parity. Records whose key is already
     /// present are duplicates from a retransmitted shipment and are skipped
@@ -965,11 +1120,26 @@ impl DataBucket {
         for e in replay {
             self.remember(e.client, e.op_id, e.key, e.result);
         }
+        // An expel shipment addressed at the *sender's* level can carry
+        // records this bucket has since split past: forward them onward
+        // at our level (the chain terminates — each hop's address refines).
+        let mut onward: BTreeMap<u64, (NodeId, Vec<Record>)> = BTreeMap::new();
         let cell_len = self.shared.cfg.cell_len();
         let mut additions = Vec::new();
         for rec in records {
             if self.by_key.contains_key(&rec.key) {
                 continue; // duplicated shipment
+            }
+            let home = lhrs_lh::h(self.level, 1, rec.key);
+            if home != self.bucket {
+                let node = self.shared.registry.borrow().try_data_node(home);
+                if let Some(node) = node {
+                    onward.entry(home).or_insert((node, Vec::new())).1.push(rec);
+                    continue;
+                }
+                // Unresolvable home: absorb locally rather than drop — the
+                // record stays parity-covered, just unaddressable until a
+                // later split re-partitions it.
             }
             let rank = self.alloc_rank();
             additions.push(DeltaEntry {
@@ -983,6 +1153,18 @@ impl DataBucket {
             self.records.insert(rank, rec);
         }
         self.send_batch(env, additions);
+        let level = self.level;
+        for (home, (node, records)) in onward {
+            env.send(
+                node,
+                Msg::SplitLoad {
+                    bucket: home,
+                    level,
+                    records,
+                    replay: Vec::new(),
+                },
+            );
+        }
         if check_overflow {
             self.maybe_report_overflow(env);
         }
@@ -1031,11 +1213,12 @@ impl DataBucket {
         }
         // The whole replay cache follows the records (this bucket is
         // disappearing).
-        let mut ids: Vec<(NodeId, OpId)> = std::mem::take(&mut self.replay_order).into();
+        let mut ids: Vec<(NodeId, OpId)> = self.replay.keys().copied().collect();
         ids.sort_unstable();
+        self.replay_lru.clear();
         let mut replay_movers = Vec::new();
         for id in ids {
-            if let Some((key, result)) = self.replay.remove(&id) {
+            if let Some((key, result, _)) = self.replay.remove(&id) {
                 replay_movers.push(ReplayEntry {
                     client: id.0,
                     op_id: id.1,
@@ -1297,6 +1480,35 @@ impl DataBucket {
             .cfg
             .probe_timeout_us
             .saturating_mul(u64::from(self.shared.cfg.coord_retries).saturating_add(2))
+    }
+
+    /// Enter (or extend) the recovery write freeze: every mutation defers
+    /// until [`Self::unfreeze`]. Re-armed on every `TransferShard` so a
+    /// retried collection keeps its window open.
+    fn freeze(&mut self, env: &mut Env<'_, Msg>) {
+        self.frozen = true;
+        if let Some(t) = self.freeze_timer.take() {
+            env.cancel_timer(t);
+        }
+        // Long enough for several collection retry rounds, short enough
+        // that a dead coordinator doesn't read as a dead bucket.
+        let deadline = self.shared.cfg.coord_retransmit_us.saturating_mul(8);
+        self.freeze_timer = Some(env.set_timer(deadline));
+    }
+
+    /// Leave the recovery write freeze and replay everything deferred.
+    fn unfreeze(&mut self, env: &mut Env<'_, Msg>) {
+        if let Some(t) = self.freeze_timer.take() {
+            env.cancel_timer(t);
+        }
+        if !self.frozen {
+            return;
+        }
+        self.frozen = false;
+        let held = std::mem::take(&mut self.frozen_held);
+        for (f, m) in held {
+            self.on_message(env, f, m);
+        }
     }
 
     /// (Re)arm the catch-up watchdog.

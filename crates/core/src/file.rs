@@ -519,6 +519,40 @@ impl LhrsFile {
             .push((node, CrashedShard::Parity(group, index)));
     }
 
+    /// Drill hook: commit a split in the coordinator's address space, then
+    /// crash the split's source bucket before the `DoSplit` order reaches
+    /// it — the interleaving where a node dies after `state.split()` has
+    /// committed the new address space but before the bucket partitioned.
+    /// The RS rebuild later restores the pre-split content at the
+    /// post-split level, and the install path must expel the records that
+    /// address elsewhere. Returns the committed `(source, target)` pair.
+    ///
+    /// Call on an idle file with a non-busy coordinator and spare nodes in
+    /// the pool; otherwise the split is deferred and the hook panics.
+    pub fn drill_kill_during_split(&mut self) -> (u64, u64) {
+        let source = self.coord().state.split_pointer();
+        let target = self.bucket_count();
+        let node = self.shared.registry.borrow().data_node(source);
+        // Ask for a split exactly as an overflowing bucket would (the
+        // coordinator ignores the report fields) ...
+        self.sim.send_external(
+            self.coordinator,
+            Msg::ReportOverflow {
+                bucket: source,
+                size: 0,
+            },
+        );
+        // ... deliver events until the address space commits ...
+        while self.bucket_count() == target {
+            assert!(self.sim.step(), "coordinator must act on the overflow");
+        }
+        // ... and kill the source before anything else — the DoSplit order
+        // in particular — can reach it.
+        self.sim.crash(node);
+        self.crashed_log.push((node, CrashedShard::Data(source)));
+        (source, target)
+    }
+
     /// Bring back the node that was crashed while carrying data bucket
     /// `bucket`, with its state intact, and run the §2.5.4 self-detection
     /// protocol: the node asks the coordinator whether it still owns the

@@ -589,6 +589,16 @@ pub enum Msg {
         /// The bucket giving up on the Δ-suffix path.
         bucket: u64,
     },
+    /// Coordinator → surviving data bucket: the recovery shard collection
+    /// for `group` is over (consistent cut taken, or the recovery gave
+    /// up) — resume applying writes deferred since [`Msg::TransferShard`].
+    /// Data buckets freeze mutations while a collection is in flight so
+    /// the coordinator can observe every survivor at the same Δ-sequence;
+    /// a lost `ResumeWrites` is covered by the bucket's own safety timer.
+    ResumeWrites {
+        /// The parity group whose collection finished.
+        group: u64,
+    },
     /// Driver-injected: audit a whole group's liveness and recover any
     /// failed shards (how parity-bucket failures, invisible to clients, get
     /// detected in the drills).
@@ -654,6 +664,7 @@ impl lhrs_sim::Payload for Msg {
             Msg::DeltaSuffix { .. } => "delta-suffix",
             Msg::SuffixInfo { .. } => "suffix-info",
             Msg::RestartAbort { .. } => "restart-abort",
+            Msg::ResumeWrites { .. } => "resume-writes",
             Msg::CheckGroup { .. } => "check-group",
             Msg::RecoverFileState => "recover-file-state",
             Msg::StateQuery => "state-query",
@@ -733,6 +744,7 @@ impl lhrs_sim::Payload for Msg {
             }
             Msg::SuffixInfo { .. } => 40,
             Msg::RestartAbort { .. } => 12,
+            Msg::ResumeWrites { .. } => 8,
             Msg::CheckGroup { .. } => 8,
             Msg::RecoverFileState => 0,
             Msg::StateQuery => 4,

@@ -156,6 +156,11 @@ impl Node {
                             records,
                         );
                         Node::attach_data_store(shared, env.me(), &mut d);
+                        // The predecessor may have died with a split's
+                        // partition unexecuted: records the reconstruction
+                        // restored that address elsewhere at the installed
+                        // level must move to their home buckets now.
+                        d.expel_misplaced(env);
                         Node::Data(d)
                     }
                     ShardContent::Parity { records, col_seqs } => {
@@ -225,12 +230,13 @@ impl Node {
     }
 
     /// Flush the attached store's buffered appends, if any — the
-    /// once-per-batch hook behind [`crate::FsyncPolicy::Batch`].
-    pub fn sync_store(&mut self) {
+    /// once-per-batch hook behind [`crate::FsyncPolicy::Batch`]. Returns
+    /// how many buffered appends the sync made durable.
+    pub fn sync_store(&mut self) -> u64 {
         match self {
             Node::Data(d) => d.sync_store(),
             Node::Parity(p) => p.sync_store(),
-            _ => {}
+            _ => 0,
         }
     }
 }

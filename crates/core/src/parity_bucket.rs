@@ -145,15 +145,21 @@ impl ParityBucket {
     }
 
     /// Flush the store's buffered appends (the once-per-batch hook behind
-    /// [`crate::FsyncPolicy::Batch`]).
-    pub fn sync_store(&mut self) {
+    /// [`crate::FsyncPolicy::Batch`]). Returns how many buffered appends
+    /// this sync made durable (0 when nothing was buffered, the store is
+    /// absent, or the sync failed).
+    pub fn sync_store(&mut self) -> u64 {
         if let Some(store) = self.store.as_mut() {
+            let pending = store.unsynced_ops();
             if store.sync().is_err() {
                 // Buffered appends may be gone: the log has a silent hole
                 // and must never be replayed.
                 self.reset_store();
+                return 0;
             }
+            return pending;
         }
+        0
     }
 
     /// Erase and drop the store — on retirement (the logical parity column

@@ -106,6 +106,12 @@ pub trait BucketStore {
     /// Flush buffered appends to the medium (fsync-policy hook; a no-op
     /// for memory-backed stores).
     fn sync(&mut self) -> Result<(), StoreError>;
+    /// Appends buffered since the last durability point — what the next
+    /// [`BucketStore::sync`] would make durable at once. Feeds the host's
+    /// group-commit accounting; memory-backed stores report 0.
+    fn unsynced_ops(&self) -> u64 {
+        0
+    }
 }
 
 /// The durable identity a store is keyed by: logical shard, not node —

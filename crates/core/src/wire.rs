@@ -183,6 +183,8 @@ pub mod tag {
     pub const SUFFIX_INFO: u8 = 41;
     /// `Msg::RestartAbort`
     pub const RESTART_ABORT: u8 = 42;
+    /// `Msg::ResumeWrites`
+    pub const RESUME_WRITES: u8 = 43;
 }
 
 /// Tag table for [`CoordEvent`](crate::coordinator::CoordEvent) — a
@@ -1072,6 +1074,10 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             out.push(tag::RESTART_ABORT);
             put_varint(&mut out, *bucket);
         }
+        Msg::ResumeWrites { group } => {
+            out.push(tag::RESUME_WRITES);
+            put_varint(&mut out, *group);
+        }
         Msg::CheckGroup { group } => {
             out.push(tag::CHECK_GROUP);
             put_varint(&mut out, *group);
@@ -1306,6 +1312,7 @@ pub fn decode_msg(buf: &[u8]) -> Result<Msg, WireError> {
         tag::RESTART_ABORT => Msg::RestartAbort {
             bucket: r.varint()?,
         },
+        tag::RESUME_WRITES => Msg::ResumeWrites { group: r.varint()? },
         tag::CHECK_GROUP => Msg::CheckGroup { group: r.varint()? },
         tag::RECOVER_FILE_STATE => Msg::RecoverFileState,
         tag::STATE_QUERY => Msg::StateQuery,
@@ -1654,6 +1661,7 @@ mod tests {
                 bytes: 6,
             },
             Msg::RestartAbort { bucket: 6 },
+            Msg::ResumeWrites { group: 3 },
         ];
         for m in &msgs {
             let buf = encode_msg(m);

@@ -1,6 +1,9 @@
 //! The data-bucket replay cache stays bounded by
 //! [`Config::replay_cache_cap`] under sustained retried writes, evicting
-//! FIFO: recent duplicates are still suppressed, evicted ones re-execute.
+//! least-recently-*used*: recent duplicates are still suppressed, evicted
+//! ones re-execute, and — the pipelined-client case — an old id whose
+//! retries keep touching the cache outlives colder entries that plain
+//! FIFO insertion order would have kept instead.
 
 use lhrs_core::data_bucket::DataBucket;
 use lhrs_core::msg::{Msg, OpResult, ReqKind};
@@ -52,7 +55,7 @@ fn drive(bucket: &mut DataBucket, client: NodeId, op_id: u64, kind: ReqKind) -> 
 }
 
 #[test]
-fn cache_is_fifo_bounded() {
+fn cache_is_lru_bounded() {
     let mut bucket = test_bucket();
     let client = NodeId(99);
 
@@ -83,8 +86,9 @@ fn recent_duplicate_is_suppressed_evicted_one_reexecutes() {
     let r = drive(&mut bucket, client, 19, ReqKind::Insert(19, vec![1]));
     assert_eq!(r, Some(OpResult::Inserted), "cached result replayed");
 
-    // Op 0 was FIFO-evicted (cap 8 < 20 entries): its retry re-executes,
-    // and the re-run insert sees the existing key.
+    // Op 0 went cold and was evicted (cap 8 < 20 entries, never touched
+    // since): its retry re-executes, and the re-run insert sees the
+    // existing key.
     let r = drive(&mut bucket, client, 0, ReqKind::Insert(0, vec![1]));
     assert_eq!(r, Some(OpResult::DuplicateKey), "evicted retry re-executed");
 }
@@ -104,4 +108,39 @@ fn sustained_retries_do_not_grow_the_cache() {
         }
     }
     assert_eq!(bucket.replay_cache_len(), CAP);
+}
+
+#[test]
+fn retried_id_outlives_colder_entries() {
+    let mut bucket = test_bucket();
+    let client = NodeId(3);
+    // Fill the cache to its cap.
+    for op in 0..CAP as u64 {
+        drive(&mut bucket, client, op, ReqKind::Insert(op, vec![0]));
+    }
+
+    // A pipelined client's out-of-order retries: op 0 keeps being retried
+    // (every retry must refresh its recency) while two caps' worth of
+    // newer ids stream past. Under FIFO eviction op 0 — the oldest
+    // *insertion* — would be dropped while still pending, and its next
+    // retry would re-execute as DuplicateKey: a lost-reply bug.
+    for op in CAP as u64..(3 * CAP as u64) {
+        let r = drive(&mut bucket, client, 0, ReqKind::Insert(0, vec![0]));
+        assert_eq!(
+            r,
+            Some(OpResult::Inserted),
+            "op 0 still suppressed after {op} newer writes"
+        );
+        drive(&mut bucket, client, op, ReqKind::Insert(op, vec![0]));
+        assert!(bucket.replay_cache_len() <= CAP);
+    }
+
+    // And one more duplicate, long after FIFO would have evicted it.
+    let r = drive(&mut bucket, client, 0, ReqKind::Insert(0, vec![0]));
+    assert_eq!(r, Some(OpResult::Inserted), "hot id survived the sweep");
+
+    // Meanwhile op 1 — inserted in the same first batch but never
+    // retried — went cold and re-executes.
+    let r = drive(&mut bucket, client, 1, ReqKind::Insert(1, vec![0]));
+    assert_eq!(r, Some(OpResult::DuplicateKey), "cold id was evicted");
 }

@@ -388,7 +388,7 @@ fn random_garbage_never_panics() {
 #[test]
 fn unknown_tags_are_rejected_with_context() {
     // Top-level tag 0 and anything above the table.
-    for bad in [0u8, 43, 99, 255] {
+    for bad in [0u8, 44, 99, 255] {
         let buf = [WIRE_VERSION, bad];
         assert_eq!(
             decode_msg(&buf).unwrap_err(),

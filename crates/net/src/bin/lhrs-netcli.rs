@@ -22,6 +22,8 @@ use std::process::exit;
 use std::sync::mpsc;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
+use lhrs_core::api::OpOutcome;
+use lhrs_core::msg::ClientOp;
 use lhrs_net::client::NetClient;
 use lhrs_net::cluster::{ClusterSpec, Role};
 use lhrs_net::frame::{read_frame, write_frame, FrameType};
@@ -40,7 +42,7 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lhrs-netcli --config <cluster.conf> --node <id> \
+        "usage: lhrs-netcli --config <cluster.conf> --node <id> [--window <n>] \
          (insert <key> <value> | lookup <key> | delete <key> | \
          load <n> [start] | verify <n> [start] | status | stats [node])"
     );
@@ -61,12 +63,14 @@ fn payload_for(key: u64) -> Vec<u8> {
 fn main() {
     let mut config: Option<String> = None;
     let mut node: Option<u32> = None;
+    let mut window: Option<usize> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => config = args.next(),
             "--node" => node = args.next().and_then(|s| s.parse().ok()),
+            "--window" => window = args.next().and_then(|s| s.parse().ok()),
             _ => {
                 rest.push(arg);
                 rest.extend(args.by_ref());
@@ -125,13 +129,23 @@ fn main() {
         )
         .and_then(|()| std::io::Write::flush(&mut stream))
         .unwrap_or_else(|e| fail(&format!("cannot send StatsPull: {e}")));
+        // Overall deadline on the reply wait: the per-read timeout alone
+        // would never fire against a peer that keeps streaming other
+        // frames (registry heartbeats, replies to older request ids) —
+        // each read succeeds, the loop spins, and the command wedges.
+        let reply_deadline = std::time::Instant::now() + OP_TIMEOUT;
         loop {
+            if std::time::Instant::now() >= reply_deadline {
+                fail("no StatsReply within the deadline (stale frames skipped)");
+            }
             match read_frame(&mut stream) {
                 Ok(Some(f)) if f.ftype == FrameType::StatsReply => {
                     print!("{}", String::from_utf8_lossy(&f.payload));
                     return;
                 }
-                // A registry broadcast may race ahead of the reply; skip it.
+                // A registry broadcast (or a reply meant for an older
+                // request id on a reused connection) may race ahead of the
+                // reply; drop it and keep waiting, bounded by the deadline.
                 Ok(Some(_)) => continue,
                 Ok(None) => fail("peer closed before replying to StatsPull"),
                 Err(e) => fail(&format!("bad frame while waiting for stats: {e}")),
@@ -157,6 +171,11 @@ fn main() {
         .unwrap_or(1)
         .max(1);
     let mut client = NetClient::new(host, node, base);
+    // `--window` overrides the spec's client_window for this invocation:
+    // load/verify pipeline that many ops in flight.
+    if let Some(w) = window {
+        client.set_window(w);
+    }
 
     if !client.sync_registry(0, Duration::from_secs(20)) {
         fail("no allocation table from the coordinator (is node 0 up?)");
@@ -197,29 +216,43 @@ fn main() {
             }
         }
         "load" => {
+            // Pipelined bulk load: the whole batch rides through the
+            // client's in-flight window instead of one RTT per key.
             let n = arg_n(1);
             let start = if rest.len() > 2 { arg_n(2) } else { 1 };
-            for key in start..start + n {
-                match client.insert(key, payload_for(key), OP_TIMEOUT) {
-                    Some(true) => {}
-                    Some(false) => fail(&format!("duplicate key {key} during load")),
-                    None => fail(&format!("insert {key} did not complete")),
+            let keys: Vec<u64> = (start..start + n).collect();
+            let ops: Vec<ClientOp> = keys
+                .iter()
+                .map(|&key| ClientOp::Insert {
+                    key,
+                    payload: payload_for(key),
+                })
+                .collect();
+            let window = client.window();
+            for (&key, (outcome, _)) in keys.iter().zip(client.run_window(ops, window)) {
+                match outcome {
+                    OpOutcome::Done => {}
+                    OpOutcome::DuplicateKey => fail(&format!("duplicate key {key} during load")),
+                    other => fail(&format!("insert {key} failed: {other:?}")),
                 }
             }
-            println!("loaded {n} records");
+            println!("loaded {n} records (window {window})");
         }
         "verify" => {
             let n = arg_n(1);
             let start = if rest.len() > 2 { arg_n(2) } else { 1 };
-            for key in start..start + n {
-                match client.lookup(key, OP_TIMEOUT) {
-                    Some(Some(v)) if v == payload_for(key) => {}
-                    Some(Some(_)) => fail(&format!("key {key} has a corrupt payload")),
-                    Some(None) => fail(&format!("key {key} lost")),
-                    None => fail(&format!("lookup {key} did not complete")),
+            let keys: Vec<u64> = (start..start + n).collect();
+            let ops: Vec<ClientOp> = keys.iter().map(|&key| ClientOp::Lookup { key }).collect();
+            let window = client.window();
+            for (&key, (outcome, _)) in keys.iter().zip(client.run_window(ops, window)) {
+                match outcome {
+                    OpOutcome::Value(Some(v)) if v == payload_for(key) => {}
+                    OpOutcome::Value(Some(_)) => fail(&format!("key {key} has a corrupt payload")),
+                    OpOutcome::Value(None) => fail(&format!("key {key} lost")),
+                    other => fail(&format!("lookup {key} failed: {other:?}")),
                 }
             }
-            println!("verified {n} records");
+            println!("verified {n} records (window {window})");
         }
         "status" => {
             let version = client

@@ -201,8 +201,9 @@ fn main() {
         let mut seen = 0usize;
         while !host.is_shutdown() {
             host.poll(std::time::Duration::from_millis(50));
-            let events = &host.node(0).as_coordinator().events;
-            for (t, ev) in &events[seen..] {
+            let Some(node) = host.node(0) else { continue };
+            let events = &node.as_coordinator().events;
+            for (t, ev) in events.iter().skip(seen) {
                 eprintln!("lhrs-netd: [{t}us] {ev:?}");
             }
             seen = events.len();

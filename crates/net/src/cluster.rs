@@ -132,6 +132,7 @@ impl ClusterSpec {
             ("coord_retransmit_us", c.coord_retransmit_us.to_string()),
             ("coord_retries", c.coord_retries.to_string()),
             ("replay_cache_cap", c.replay_cache_cap.to_string()),
+            ("client_window", c.client_window.to_string()),
             ("wal_snapshot_every", c.wal_snapshot_every.to_string()),
             ("delta_history_cap", c.delta_history_cap.to_string()),
             ("wal_fsync", c.wal_fsync.to_string()),
@@ -274,6 +275,12 @@ fn apply_config(cfg: &mut Config, key: &str, val: &str) -> Result<(), String> {
         "coord_retransmit_us" => cfg.coord_retransmit_us = p(key, val)?,
         "coord_retries" => cfg.coord_retries = p(key, val)?,
         "replay_cache_cap" => cfg.replay_cache_cap = p(key, val)?,
+        "client_window" => {
+            cfg.client_window = p(key, val)?;
+            if cfg.client_window == 0 {
+                return Err("client_window must be ≥ 1".into());
+            }
+        }
         "wal_snapshot_every" => cfg.wal_snapshot_every = p(key, val)?,
         "delta_history_cap" => cfg.delta_history_cap = p(key, val)?,
         "wal_fsync" => cfg.wal_fsync = p(key, val)?,
@@ -320,6 +327,7 @@ node 5 127.0.0.1:7005
         assert_eq!(spec.nodes, again.nodes);
         assert_eq!(spec.cfg.group_size, again.cfg.group_size);
         assert_eq!(spec.cfg.replay_cache_cap, again.cfg.replay_cache_cap);
+        assert_eq!(spec.cfg.client_window, again.cfg.client_window);
         assert_eq!(spec.cfg.wal_snapshot_every, again.cfg.wal_snapshot_every);
         assert_eq!(spec.cfg.delta_history_cap, again.cfg.delta_history_cap);
         assert_eq!(spec.cfg.wal_fsync, again.cfg.wal_fsync);
@@ -333,6 +341,14 @@ node 5 127.0.0.1:7005
         assert_eq!(spec.cfg.delta_history_cap, 64);
         assert_eq!(spec.cfg.wal_fsync, lhrs_core::FsyncPolicy::Always);
         assert!(ClusterSpec::parse(&format!("{SPEC}config wal_fsync sometimes\n")).is_err());
+    }
+
+    #[test]
+    fn client_window_parses() {
+        let spec = ClusterSpec::parse(&format!("{SPEC}config client_window 128\n")).unwrap();
+        assert_eq!(spec.cfg.client_window, 128);
+        // A zero window is rejected at spec-parse time, not at first use.
+        assert!(ClusterSpec::parse(&format!("{SPEC}config client_window 0\n")).is_err());
     }
 
     #[test]

@@ -129,8 +129,81 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
         stream.read_exact(&mut b)?;
         b
     };
-    // `len >= 10` was range-checked above; destructuring the fixed-size
-    // header keeps every byte access panic-free.
+    decode_frame_body(&body).map(Some)
+}
+
+/// Incremental frame decoder for nonblocking reads: feed whatever bytes
+/// the socket had ([`FrameAccumulator::extend`]), pop complete frames
+/// ([`FrameAccumulator::next_frame`]). Performs exactly the validation of
+/// [`read_frame`], but never blocks — a partial frame simply stays
+/// buffered until more bytes arrive.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by popped frames; compacted lazily
+    /// so a burst of small frames does not memmove per frame.
+    consumed: usize,
+}
+
+impl FrameAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        FrameAccumulator::default()
+    }
+
+    /// Buffer newly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a popped frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len().saturating_sub(self.consumed)
+    }
+
+    /// Pop the next complete frame. `Ok(None)` means more bytes are
+    /// needed; an error means the stream is corrupt (bad length, version,
+    /// or type) and the connection must be dropped — the byte stream has
+    /// no recoverable sync point.
+    pub fn next_frame(&mut self) -> io::Result<Option<Frame>> {
+        let avail = self.buf.get(self.consumed..).unwrap_or(&[]);
+        let Some(len_bytes) = avail.get(..4) else {
+            return Ok(None);
+        };
+        let len_buf: [u8; 4] = len_bytes.try_into().map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "frame length slice sized above")
+        })?;
+        let len = u32::from_le_bytes(len_buf);
+        if !(10..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} out of range"),
+            ));
+        }
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "frame length overflows usize")
+        })?;
+        let Some(body) = avail.get(4..4 + len) else {
+            return Ok(None); // body not fully buffered yet
+        };
+        let frame = decode_frame_body(body)?;
+        self.consumed += 4 + len;
+        // Compact once the dead prefix dominates, amortising the memmove.
+        if self.consumed > 4096 && self.consumed * 2 >= self.buf.len() {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+/// Decode a frame body (everything after the length word); shared by
+/// [`read_frame`] and [`FrameAccumulator`].
+fn decode_frame_body(body: &[u8]) -> io::Result<Frame> {
     let (hdr, payload) = body.split_at_checked(10).ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -154,12 +227,12 @@ pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Frame>> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("frame type {tbyte}")))?;
     let from = NodeId(u32::from_le_bytes([f0, f1, f2, f3]));
     let to = NodeId(u32::from_le_bytes([t0, t1, t2, t3]));
-    Ok(Some(Frame {
+    Ok(Frame {
         ftype,
         from,
         to,
         payload: payload.to_vec(),
-    }))
+    })
 }
 
 /// Write a frame and leave it in the writer's buffer (callers flush in
@@ -268,6 +341,59 @@ mod tests {
         buf.extend_from_slice(&[0u8; 32]);
         let mut cursor = io::Cursor::new(buf);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn accumulator_reassembles_byte_by_byte() {
+        let f1 = encode_frame(FrameType::Msg, NodeId(1), NodeId(2), b"alpha");
+        let f2 = encode_frame(FrameType::StatsReply, NodeId(2), NodeId(1), b"beta");
+        let mut acc = FrameAccumulator::new();
+        let mut popped = Vec::new();
+        for chunk in f1.iter().chain(f2.iter()) {
+            acc.extend(&[*chunk]);
+            while let Some(f) = acc.next_frame().unwrap() {
+                popped.push(f);
+            }
+        }
+        assert_eq!(popped.len(), 2);
+        assert_eq!(popped[0].payload, b"alpha");
+        assert_eq!(popped[0].ftype, FrameType::Msg);
+        assert_eq!(popped[1].payload, b"beta");
+        assert_eq!(popped[1].ftype, FrameType::StatsReply);
+        assert_eq!(acc.pending(), 0);
+    }
+
+    #[test]
+    fn accumulator_pops_multiple_frames_from_one_chunk() {
+        let mut bytes = Vec::new();
+        for i in 0..5u32 {
+            bytes.extend(encode_frame(
+                FrameType::Msg,
+                NodeId(i),
+                NodeId(9),
+                &i.to_le_bytes(),
+            ));
+        }
+        let mut acc = FrameAccumulator::new();
+        acc.extend(&bytes);
+        for i in 0..5u32 {
+            let f = acc.next_frame().unwrap().expect("frame buffered");
+            assert_eq!(f.from, NodeId(i));
+        }
+        assert!(acc.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn accumulator_rejects_garbage_header() {
+        let mut acc = FrameAccumulator::new();
+        // Length far above MAX_FRAME: corrupt stream, no resync possible.
+        acc.extend(&u32::MAX.to_le_bytes());
+        assert!(acc.next_frame().is_err());
+        let mut acc = FrameAccumulator::new();
+        let mut frame = encode_frame(FrameType::Msg, NodeId(1), NodeId(2), b"x");
+        frame[4] = 99; // bad version byte
+        acc.extend(&frame);
+        assert!(acc.next_frame().is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
-use lhrs_core::msg::Msg;
+use lhrs_core::msg::{DeltaEntry, Msg};
 use lhrs_core::node::Node;
 use lhrs_core::registry::SharedHandle;
 use lhrs_obs::{Event as ObsEvent, Metrics};
@@ -29,6 +29,16 @@ const HEARTBEAT_US: u64 = 200_000;
 /// A heap entry: fire at `deadline` µs, FIFO within a deadline via `seq`,
 /// on node `node`. `std::cmp::Reverse` turns the max-heap into a min-heap.
 type TimerEntry = std::cmp::Reverse<(u64, u64, u32, TimerId)>;
+
+/// Entries per coalesced Δ-batch before it is flushed early. Bounds frame
+/// size and parity-side admission burstiness; a poll batch rarely reaches
+/// it.
+const DELTA_COALESCE_CAP: usize = 256;
+
+/// Key of one pending coalesced Δ-batch: destination parity node, emitting
+/// data node, group, and ack target — everything [`Msg::ParityBatch`]
+/// needs to stay faithful to the individual Δs it replaces.
+type DeltaKey = (u32, u32, u64, Option<NodeId>);
 
 /// One process's share of the LH\*RS multicomputer: a set of [`Node`]
 /// actors, their timers, and a transport to everyone else.
@@ -56,6 +66,12 @@ pub struct NodeHost<T: Transport> {
     /// `None` until the first snapshot arrives.
     seen_version: Option<u64>,
     shutdown: bool,
+    /// Remote-bound Δ-commits buffered within the current poll batch,
+    /// coalesced into one [`Msg::ParityBatch`] per (destination, sender,
+    /// group, ack target) at the batch boundary. `pending_delta_order`
+    /// keeps flush order deterministic (insertion order of first Δ).
+    pending_deltas: HashMap<DeltaKey, Vec<DeltaEntry>>,
+    pending_delta_order: Vec<DeltaKey>,
     /// Dump every dispatched message to stderr (`LHRS_NET_TRACE=1`).
     trace: bool,
     /// Observability handle shared with every [`Env`] this host builds
@@ -93,6 +109,8 @@ impl<T: Transport> NodeHost<T> {
             last_broadcast_at: 0,
             seen_version: None,
             shutdown: false,
+            pending_deltas: HashMap::new(),
+            pending_delta_order: Vec::new(),
             trace: std::env::var_os("LHRS_NET_TRACE").is_some(),
             metrics: Metrics::disabled(),
         }
@@ -121,16 +139,15 @@ impl<T: Transport> NodeHost<T> {
         self.nodes.insert(id, node);
     }
 
-    /// The hosted node `id` (panics if not hosted here).
-    pub fn node(&self, id: u32) -> &Node {
-        // lhrs-lint: allow(panic-freedom) reason="driver-facing accessor with a documented panic contract; `id` comes from local test/driver code, never off the wire"
-        &self.nodes[&id]
+    /// The hosted node `id`, or `None` when this host does not carry it.
+    pub fn node(&self, id: u32) -> Option<&Node> {
+        self.nodes.get(&id)
     }
 
-    /// Mutable access to hosted node `id` (panics if not hosted here).
-    pub fn node_mut(&mut self, id: u32) -> &mut Node {
-        // lhrs-lint: allow(panic-freedom) reason="driver-facing accessor with a documented panic contract; `id` comes from local test/driver code, never off the wire"
-        self.nodes.get_mut(&id).expect("node hosted here")
+    /// Mutable access to hosted node `id`, or `None` when this host does
+    /// not carry it.
+    pub fn node_mut(&mut self, id: u32) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
     }
 
     /// This process's shared registry/config handle.
@@ -262,15 +279,91 @@ impl<T: Transport> NodeHost<T> {
                 }
             }
         }
-        self.transport.flush();
+        // No per-dispatch transport flush: writes accumulate in the
+        // transport's buffers and Δ-commits in the coalescing buffer until
+        // the poll-batch boundary (`flush_outbound`), amortising syscalls
+        // and frames across every dispatch of the batch.
     }
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: Msg) {
         if self.nodes.contains_key(&to.0) {
             self.local_queue.push_back((from, to, msg));
-        } else {
-            self.transport.send_msg(from, to, &msg);
+            return;
         }
+        // Remote-bound Δ-commits are coalesced per parity destination and
+        // shipped as one ParityBatch at the poll-batch boundary. Any other
+        // message to the same destination first flushes its pending Δs so
+        // per-connection FIFO order is preserved (a Retire or SuffixPull
+        // must never overtake the Δs emitted before it).
+        if let Msg::ParityDelta {
+            group,
+            entry,
+            ack_to,
+        } = msg
+        {
+            let key = (to.0, from.0, group, ack_to);
+            let pending = self.pending_deltas.entry(key).or_insert_with(|| {
+                self.pending_delta_order.push(key);
+                Vec::new()
+            });
+            pending.push(entry);
+            if pending.len() >= DELTA_COALESCE_CAP {
+                self.flush_deltas_to(Some(to.0));
+            }
+            return;
+        }
+        self.flush_deltas_to(Some(to.0));
+        self.transport.send_msg(from, to, &msg);
+    }
+
+    /// Ship buffered Δ-commits as [`Msg::ParityBatch`]es — all of them, or
+    /// only those bound for destination `only`. A single buffered Δ is
+    /// sent as the plain [`Msg::ParityDelta`] it started as.
+    fn flush_deltas_to(&mut self, only: Option<u32>) {
+        if self.pending_deltas.is_empty() {
+            return;
+        }
+        let mut kept = Vec::new();
+        for key in std::mem::take(&mut self.pending_delta_order) {
+            let (to, from, group, ack_to) = key;
+            if only.is_some_and(|o| o != to) {
+                kept.push(key);
+                continue;
+            }
+            let Some(mut entries) = self.pending_deltas.remove(&key) else {
+                continue;
+            };
+            if entries.len() == 1 {
+                let Some(entry) = entries.pop() else {
+                    continue;
+                };
+                let msg = Msg::ParityDelta {
+                    group,
+                    entry,
+                    ack_to,
+                };
+                self.transport.send_msg(NodeId(from), NodeId(to), &msg);
+                continue;
+            }
+            self.metrics.incr("net_delta_batches");
+            self.metrics
+                .add("net_deltas_coalesced", entries.len() as u64);
+            let msg = Msg::ParityBatch {
+                group,
+                entries,
+                ack_to,
+            };
+            self.transport.send_msg(NodeId(from), NodeId(to), &msg);
+        }
+        self.pending_delta_order = kept;
+    }
+
+    /// The poll-batch boundary: ship coalesced Δ-batches, then flush the
+    /// transport's buffered writes to the wire. Runs before the host
+    /// blocks waiting for events and again after the batch's dispatches.
+    fn flush_outbound(&mut self) {
+        self.flush_deltas_to(None);
+        self.transport.flush();
     }
 
     /// Build the current table snapshot (without a version).
@@ -426,6 +519,7 @@ impl<T: Transport> NodeHost<T> {
         did |= self.drain_local();
         did |= self.fire_due_timers();
         did |= self.drain_local();
+        self.flush_outbound();
         if self.shutdown {
             return did;
         }
@@ -466,6 +560,7 @@ impl<T: Transport> NodeHost<T> {
         did |= self.drain_local();
         did |= self.fire_due_timers();
         did |= self.drain_local();
+        self.flush_outbound();
         self.heartbeat();
         if did {
             self.sync_stores();
@@ -476,10 +571,17 @@ impl<T: Transport> NodeHost<T> {
     /// Flush every hosted node's durable store: the
     /// [`lhrs_core::FsyncPolicy::Batch`] semantic is one fsync per poll
     /// batch, however many appends the batch carried. A no-op for nodes
-    /// without a store or with nothing buffered.
+    /// without a store or with nothing buffered. Each non-empty pass is
+    /// one group commit; `wal_group_commit_ops` over `wal_group_commits`
+    /// is the mean appends amortised per fsync pass.
     fn sync_stores(&mut self) {
+        let mut ops = 0;
         for node in self.nodes.values_mut() {
-            node.sync_store();
+            ops += node.sync_store();
+        }
+        if ops > 0 {
+            self.metrics.incr("wal_group_commits");
+            self.metrics.add("wal_group_commit_ops", ops);
         }
     }
 

@@ -9,9 +9,10 @@
 //! heal message loss.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{BufWriter, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::Sender;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -20,7 +21,7 @@ use lhrs_core::wire::{decode_msg, encode_msg};
 use lhrs_obs::{Event as ObsEvent, Metrics};
 use lhrs_sim::NodeId;
 
-use crate::frame::{encode_frame, read_frame, write_frame, FrameType, RegistryUpdate};
+use crate::frame::{encode_frame, write_frame, Frame, FrameAccumulator, FrameType, RegistryUpdate};
 
 /// An inbound event delivered to a node host.
 #[derive(Debug)]
@@ -80,9 +81,17 @@ pub trait Transport {
 
 // ----- TCP -----
 
+/// Reader shards per process: accepted connections are spread round-robin
+/// over this many event-driven reader threads, each polling its
+/// connections with nonblocking reads. Inbound capacity no longer costs a
+/// thread per client, so one node sustains thousands of concurrent
+/// pipelined connections on a fixed thread budget.
+const READER_SHARDS: usize = 4;
+
 /// TCP transport: one lazily connected, write-buffered outbound connection
-/// per peer address; inbound via one listener per hosted node, a reader
-/// thread per accepted connection, all feeding the host's event channel.
+/// per peer address; inbound via one listener per hosted node feeding a
+/// fixed pool of [`READER_SHARDS`] nonblocking reader shards, all feeding
+/// the host's event channel.
 pub struct TcpTransport {
     /// Peer node → address (includes local nodes; those are skipped).
     peers: HashMap<u32, String>,
@@ -123,11 +132,22 @@ impl TcpTransport {
         tx: Sender<HostEvent>,
         obs: Metrics,
     ) -> std::io::Result<TcpTransport> {
+        // One shared shard pool per process, however many listeners the
+        // process binds; spawned only when there is something to listen on.
+        let mut shard_txs: Vec<Sender<TcpStream>> = Vec::new();
+        if !local.is_empty() {
+            for _ in 0..READER_SHARDS {
+                let (stx, srx) = std::sync::mpsc::channel();
+                let tx = tx.clone();
+                let obs = obs.clone();
+                std::thread::spawn(move || shard_loop(srx, tx, obs));
+                shard_txs.push(stx);
+            }
+        }
         for (_, addr) in local {
             let listener = TcpListener::bind(addr)?;
-            let tx = tx.clone();
-            let obs = obs.clone();
-            std::thread::spawn(move || accept_loop(listener, tx, obs));
+            let shard_txs = shard_txs.clone();
+            std::thread::spawn(move || accept_loop(listener, shard_txs));
         }
         Ok(TcpTransport {
             peers,
@@ -152,9 +172,22 @@ impl TcpTransport {
                 // process went away (or restarted) since our last write.
                 // Writes into such a half-dead socket "succeed" at the OS
                 // level and vanish; detect it now and reconnect instead.
-                if conn_is_stale(w.get_ref()) {
-                    self.conns.remove(addr);
-                    was_connected = true;
+                match conn_staleness(w.get_ref()) {
+                    Staleness::Healthy => {}
+                    Staleness::Closed => {
+                        self.conns.remove(addr);
+                        was_connected = true;
+                    }
+                    Staleness::StrayData => {
+                        // Bytes arrived on a write-only connection — e.g.
+                        // a reply to an *older* request whose reader is
+                        // long gone. They die with the closed socket:
+                        // drop-and-count, never deliver them to whoever
+                        // reads the replacement connection.
+                        self.obs.incr("net_stale_replies_dropped");
+                        self.conns.remove(addr);
+                        was_connected = true;
+                    }
                 }
             }
             if !self.conns.contains_key(addr) {
@@ -209,104 +242,250 @@ impl TcpTransport {
     }
 }
 
-/// Whether an idle outbound connection has gone stale: a non-blocking
-/// 1-byte peek. `WouldBlock` is the healthy case (nothing to read on a
-/// write-only connection); EOF, unexpected bytes, or a socket error all
-/// mean the peer closed or reset since our last write.
-fn conn_is_stale(stream: &TcpStream) -> bool {
-    if stream.set_nonblocking(true).is_err() {
-        return true;
-    }
-    let mut probe = [0u8; 1];
-    let stale = match stream.peek(&mut probe) {
-        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
-        _ => true, // EOF (Ok(0)), RST (Err), or protocol-violating data
-    };
-    let _ = stream.set_nonblocking(false);
-    stale
+/// What a nonblocking 1-byte peek on an idle outbound connection reveals.
+enum Staleness {
+    /// `WouldBlock`: nothing to read on a write-only connection — healthy.
+    Healthy,
+    /// EOF or a socket error: the peer closed or reset since our last
+    /// write.
+    Closed,
+    /// Readable bytes: protocol-violating data on a write-only connection
+    /// (typically a late reply to an older request). The connection is
+    /// dead to us, and the bytes must be dropped and counted — never
+    /// delivered.
+    StrayData,
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<HostEvent>, obs: Metrics) {
+fn conn_staleness(stream: &TcpStream) -> Staleness {
+    if stream.set_nonblocking(true).is_err() {
+        return Staleness::Closed;
+    }
+    let mut probe = [0u8; 1];
+    let staleness = match stream.peek(&mut probe) {
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Staleness::Healthy,
+        Ok(0) | Err(_) => Staleness::Closed,
+        Ok(_) => Staleness::StrayData,
+    };
+    let _ = stream.set_nonblocking(false);
+    staleness
+}
+
+fn accept_loop(listener: TcpListener, shard_txs: Vec<Sender<TcpStream>>) {
+    let mut next = 0usize;
     loop {
         let Ok((stream, _)) = listener.accept() else {
             return;
         };
-        let tx = tx.clone();
-        let obs = obs.clone();
-        std::thread::spawn(move || reader_loop(stream, tx, obs));
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let Some(shard) = shard_txs.get(next % shard_txs.len().max(1)) else {
+            return;
+        };
+        if shard.send(stream).is_err() {
+            return; // shard pool gone: process shutting down
+        }
+        next = next.wrapping_add(1);
     }
 }
 
-fn reader_loop(mut stream: TcpStream, tx: Sender<HostEvent>, obs: Metrics) {
+/// One connection owned by a reader shard.
+struct ShardConn {
+    stream: TcpStream,
+    acc: FrameAccumulator,
+}
+
+/// Ceiling of a shard's idle backoff between poll sweeps.
+const SHARD_IDLE_MAX: Duration = Duration::from_millis(2);
+
+/// One event-driven reader shard: adopt connections from `rx`, sweep them
+/// with nonblocking reads, decode frames incrementally, and feed the host
+/// channel. An idle shard backs off (up to [`SHARD_IDLE_MAX`]) inside
+/// `recv_timeout`, so waiting costs no CPU yet newly accepted connections
+/// are adopted immediately.
+fn shard_loop(rx: Receiver<TcpStream>, tx: Sender<HostEvent>, obs: Metrics) {
+    let mut conns: Vec<ShardConn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut accepting = true;
+    let mut idle_wait = Duration::from_micros(100);
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) => return,
+        while accepting {
+            match rx.try_recv() {
+                Ok(stream) => conns.push(ShardConn {
+                    stream,
+                    acc: FrameAccumulator::new(),
+                }),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => accepting = false,
+            }
+        }
+        let mut progress = false;
+        let mut i = 0;
+        while i < conns.len() {
+            let Some(conn) = conns.get_mut(i) else { break };
+            match service_conn(conn, &mut scratch, &tx, &obs) {
+                ConnState::Idle => i += 1,
+                ConnState::Progressed => {
+                    progress = true;
+                    i += 1;
+                }
+                ConnState::Dead => {
+                    conns.swap_remove(i);
+                }
+            }
+        }
+        if progress {
+            idle_wait = Duration::from_micros(100);
+            continue;
+        }
+        if conns.is_empty() && !accepting {
+            return;
+        }
+        // Nothing readable: sleep with exponential backoff, waking early
+        // for a newly accepted connection.
+        idle_wait = (idle_wait * 2).min(SHARD_IDLE_MAX);
+        if accepting {
+            match rx.recv_timeout(idle_wait) {
+                Ok(stream) => conns.push(ShardConn {
+                    stream,
+                    acc: FrameAccumulator::new(),
+                }),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => accepting = false,
+            }
+        } else {
+            std::thread::sleep(idle_wait);
+        }
+    }
+}
+
+/// Outcome of one nonblocking service pass over a connection.
+enum ConnState {
+    /// Nothing to read.
+    Idle,
+    /// At least one byte was consumed.
+    Progressed,
+    /// EOF, a socket error, a corrupt stream, or the host went away.
+    Dead,
+}
+
+/// Drain whatever the socket has ready, decoding and dispatching every
+/// complete frame.
+fn service_conn(
+    conn: &mut ShardConn,
+    scratch: &mut [u8],
+    tx: &Sender<HostEvent>,
+    obs: &Metrics,
+) -> ConnState {
+    let mut progressed = false;
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return ConnState::Dead, // clean EOF
+            Ok(n) => {
+                progressed = true;
+                conn.acc.extend(scratch.get(..n).unwrap_or(&[]));
+                loop {
+                    match conn.acc.next_frame() {
+                        Ok(Some(frame)) => {
+                            if !handle_frame(frame, &mut conn.stream, tx, obs) {
+                                return ConnState::Dead;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // A desynced stream has no recovery point.
+                            obs.incr("net_decode_errors");
+                            obs.trace_now(ObsEvent::DecodeError {
+                                context: "inbound frame".to_string(),
+                            });
+                            return ConnState::Dead;
+                        }
+                    }
+                }
+                if n < scratch.len() {
+                    // Socket drained (short read): yield to the next conn.
+                    return ConnState::Progressed;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return if progressed {
+                    ConnState::Progressed
+                } else {
+                    ConnState::Idle
+                };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ConnState::Dead,
+        }
+    }
+}
+
+/// Dispatch one decoded frame; returns whether the connection stays up.
+fn handle_frame(
+    frame: Frame,
+    stream: &mut TcpStream,
+    tx: &Sender<HostEvent>,
+    obs: &Metrics,
+) -> bool {
+    obs.incr("net_frames_recv");
+    let event = match frame.ftype {
+        FrameType::Msg => match decode_msg(&frame.payload) {
+            Ok(msg) => HostEvent::Deliver {
+                from: frame.from,
+                to: frame.to,
+                msg,
+            },
+            Err(_) => {
+                // Defensive: skip undecodable frames.
+                obs.incr("net_decode_errors");
+                obs.trace_now(ObsEvent::DecodeError {
+                    context: "message payload".to_string(),
+                });
+                return true;
+            }
+        },
+        FrameType::Registry => match RegistryUpdate::decode(&frame.payload) {
+            Ok(up) => HostEvent::Registry(up),
             Err(_) => {
                 obs.incr("net_decode_errors");
                 obs.trace_now(ObsEvent::DecodeError {
-                    context: "inbound frame".to_string(),
+                    context: "registry payload".to_string(),
                 });
-                return;
+                return true;
             }
-        };
-        obs.incr("net_frames_recv");
-        let event = match frame.ftype {
-            FrameType::Msg => match decode_msg(&frame.payload) {
-                Ok(msg) => HostEvent::Deliver {
-                    from: frame.from,
-                    to: frame.to,
-                    msg,
-                },
-                Err(_) => {
-                    // Defensive: skip undecodable frames.
-                    obs.incr("net_decode_errors");
-                    obs.trace_now(ObsEvent::DecodeError {
-                        context: "message payload".to_string(),
-                    });
-                    continue;
-                }
-            },
-            FrameType::Registry => match RegistryUpdate::decode(&frame.payload) {
-                Ok(up) => HostEvent::Registry(up),
-                Err(_) => {
-                    obs.incr("net_decode_errors");
-                    obs.trace_now(ObsEvent::DecodeError {
-                        context: "registry payload".to_string(),
-                    });
-                    continue;
-                }
-            },
-            FrameType::RegistryPull => HostEvent::RegistryPull { from: frame.from },
-            FrameType::StatsPull => {
-                // The `STATS` command: answered right here on the same
-                // connection so operator tooling (`lhrs-netcli stats`)
-                // needs no listener and gets a reply even while the host
-                // loop is busy. `Metrics` is thread-safe by construction.
-                obs.incr("net_stats_pulls");
-                let snapshot = obs.render_prometheus();
-                if write_frame(
-                    &mut stream,
-                    FrameType::StatsReply,
-                    frame.to,
-                    frame.from,
-                    snapshot.as_bytes(),
-                )
-                .and_then(|_| stream.flush())
-                .is_err()
-                {
-                    return;
-                }
-                continue;
+        },
+        FrameType::RegistryPull => HostEvent::RegistryPull { from: frame.from },
+        FrameType::StatsPull => {
+            // The `STATS` command: answered right here on the same
+            // connection so operator tooling (`lhrs-netcli stats`) needs
+            // no listener and gets a reply even while the host loop is
+            // busy. The socket flips to blocking for the write — a reply
+            // is small and the puller is actively reading.
+            obs.incr("net_stats_pulls");
+            let snapshot = obs.render_prometheus();
+            if stream.set_nonblocking(false).is_err() {
+                return false;
             }
-            // A reply frame is only meaningful to the puller, which reads
-            // its connection directly; a host receiving one ignores it.
-            FrameType::StatsReply => continue,
-        };
-        if tx.send(event).is_err() {
-            return; // host gone
+            let ok = write_frame(
+                stream,
+                FrameType::StatsReply,
+                frame.to,
+                frame.from,
+                snapshot.as_bytes(),
+            )
+            .and_then(|_| stream.flush())
+            .is_ok();
+            if stream.set_nonblocking(true).is_err() {
+                return false;
+            }
+            return ok;
         }
-    }
+        // A reply frame is only meaningful to the puller, which reads its
+        // connection directly; a host receiving one ignores it.
+        FrameType::StatsReply => return true,
+    };
+    tx.send(event).is_ok()
 }
 
 impl Transport for TcpTransport {
@@ -375,6 +554,10 @@ type RouteTable = Arc<Mutex<HashMap<u32, Sender<HostEvent>>>>;
 #[derive(Clone, Default)]
 pub struct LoopbackNet {
     routes: RouteTable,
+    /// Bumped (under the routes lock) on every register/unregister, so
+    /// transports can cache the table between topology changes instead of
+    /// taking the shared lock on every message.
+    version: Arc<AtomicU64>,
 }
 
 impl LoopbackNet {
@@ -394,6 +577,7 @@ impl LoopbackNet {
         for id in ids {
             map.insert(*id, tx.clone());
         }
+        self.version.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Remove nodes from the routing table (simulates a dead host: sends
@@ -403,14 +587,17 @@ impl LoopbackNet {
         for id in ids {
             map.remove(id);
         }
+        self.version.fetch_add(1, Ordering::SeqCst);
     }
 
-    fn send(&self, to: u32, event: HostEvent) -> bool {
-        let tx = { self.lock().get(&to).cloned() };
-        match tx {
-            Some(tx) => tx.send(event).is_ok(),
-            None => false,
-        }
+    /// The current topology version (see `version` field).
+    fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// A copy of the current routing table.
+    fn snapshot_routes(&self) -> HashMap<u32, Sender<HostEvent>> {
+        self.lock().clone()
     }
 
     fn all_ids(&self) -> Vec<u32> {
@@ -426,6 +613,10 @@ pub struct LoopbackTransport {
     local: HashSet<u32>,
     stats: TransportStats,
     obs: Metrics,
+    /// Routing-table cache, refreshed when the net's version moves: sends
+    /// between topology changes take no shared lock.
+    cached_routes: HashMap<u32, Sender<HostEvent>>,
+    cached_version: u64,
 }
 
 impl LoopbackTransport {
@@ -442,6 +633,24 @@ impl LoopbackTransport {
             local: local.iter().copied().collect(),
             stats: TransportStats::default(),
             obs,
+            cached_routes: HashMap::new(),
+            cached_version: u64::MAX, // miss on first send
+        }
+    }
+
+    /// Deliver through the cached routing table, refreshing it when the
+    /// topology version moved. A victim of a concurrent kill disappears
+    /// either via the refresh or via its dropped receiver — both count as
+    /// a send drop, like a packet in flight when a host dies.
+    fn send_cached(&mut self, to: u32, event: HostEvent) -> bool {
+        let version = self.net.version();
+        if version != self.cached_version {
+            self.cached_routes = self.net.snapshot_routes();
+            self.cached_version = version;
+        }
+        match self.cached_routes.get(&to) {
+            Some(tx) => tx.send(event).is_ok(),
+            None => false,
         }
     }
 }
@@ -463,7 +672,7 @@ impl Transport for LoopbackTransport {
             self.obs.incr("net_decode_errors");
             return;
         };
-        if !self.net.send(to.0, HostEvent::Deliver { from, to, msg }) {
+        if !self.send_cached(to.0, HostEvent::Deliver { from, to, msg }) {
             self.stats.dropped += 1;
             self.obs.incr("net_send_drops");
         }
@@ -476,13 +685,13 @@ impl Transport for LoopbackTransport {
             self.stats.dropped += 1;
             return;
         };
-        if !self.net.send(to.0, HostEvent::Registry(up)) {
+        if !self.send_cached(to.0, HostEvent::Registry(up)) {
             self.stats.dropped += 1;
         }
     }
 
     fn send_registry_pull(&mut self, from: NodeId, to: NodeId) {
-        if !self.net.send(to.0, HostEvent::RegistryPull { from }) {
+        if !self.send_cached(to.0, HostEvent::RegistryPull { from }) {
             self.stats.dropped += 1;
         }
     }

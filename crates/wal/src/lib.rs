@@ -247,6 +247,9 @@ pub struct FileWal {
     op_bytes: u64,
     tail: TailState,
     dirty: bool,
+    /// Appends buffered since the last durability point (fsync, snapshot,
+    /// or reset) — the group-commit batch the next `sync` covers.
+    unsynced: u64,
 }
 
 /// The log segments of `dir`, sorted by sequence number.
@@ -398,6 +401,7 @@ impl FileWal {
             op_bytes,
             tail,
             dirty: false,
+            unsynced: 0,
         })
     }
 
@@ -453,7 +457,10 @@ impl BucketStore for FileWal {
             FsyncPolicy::Always => {
                 self.seg.sync_data().map_err(|e| io_err("fsync", &e))?;
             }
-            FsyncPolicy::Batch | FsyncPolicy::Never => self.dirty = true,
+            FsyncPolicy::Batch | FsyncPolicy::Never => {
+                self.dirty = true;
+                self.unsynced += 1;
+            }
         }
         if self.seg_len >= self.segment_cap {
             self.rotate()?;
@@ -489,6 +496,7 @@ impl BucketStore for FileWal {
         self.op_bytes = 0;
         self.tail = TailState::Clean;
         self.dirty = false;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -547,6 +555,7 @@ impl BucketStore for FileWal {
         self.op_bytes = 0;
         self.tail = TailState::Clean;
         self.dirty = false;
+        self.unsynced = 0;
         Ok(())
     }
 
@@ -562,8 +571,13 @@ impl BucketStore for FileWal {
         if self.dirty {
             self.seg.sync_data().map_err(|e| io_err("sync", &e))?;
             self.dirty = false;
+            self.unsynced = 0;
         }
         Ok(())
+    }
+
+    fn unsynced_ops(&self) -> u64 {
+        self.unsynced
     }
 }
 

@@ -627,8 +627,11 @@ pub fn check_obs_coverage(
 // ---------------------------------------------------------------------------
 
 /// Counter-name prefixes whose series must be asserted by at least one
-/// test: these are the recovery/durability metrics the kill drills gate on.
-pub const DRILL_COUNTER_PREFIXES: [&str; 3] = ["restart_", "wal_", "recovery_"];
+/// test: the recovery/durability metrics the kill drills gate on, plus the
+/// pipelined-client window accounting (`inflight_*`/`window_*`) the
+/// multiplexed drills gate on.
+pub const DRILL_COUNTER_PREFIXES: [&str; 5] =
+    ["restart_", "wal_", "recovery_", "inflight_", "window_"];
 
 /// Is this label an integration-test file (everything in it is test code)?
 fn is_test_file(label: &str) -> bool {

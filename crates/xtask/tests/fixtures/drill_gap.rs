@@ -1,10 +1,16 @@
-//! Fixture: production code minting two drill counters; the test region
-//! asserts one of them (`recovery_probe_ok`) and the seeded gap
-//! (`wal_rotations`) is asserted nowhere.
+//! Fixture: production code minting four drill counters; the test region
+//! asserts two of them (`recovery_probe_ok`, `inflight_launched`) and the
+//! seeded gaps (`wal_rotations`, `window_full_stalls`) are asserted
+//! nowhere.
 
 pub fn rotate(metrics: &Metrics) {
     metrics.incr("wal_rotations");
     metrics.incr("recovery_probe_ok");
+}
+
+pub fn pipelined_submit(metrics: &Metrics) {
+    metrics.incr("inflight_launched");
+    metrics.incr("window_full_stalls");
 }
 
 #[cfg(test)]
@@ -15,5 +21,12 @@ mod tests {
         rotate(&m);
         assert!(m.counter("recovery_probe_ok") > 0);
         let _ = CoordEvent::SplitDone;
+    }
+
+    #[test]
+    fn submit_counter_moves() {
+        let m = Metrics::default();
+        pipelined_submit(&m);
+        assert!(m.counter("inflight_launched") > 0);
     }
 }

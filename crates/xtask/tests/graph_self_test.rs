@@ -133,10 +133,16 @@ fn unasserted_drill_counter_is_flagged() {
         ),
     ];
     let findings = check_drill_coverage("crates/core/src/coordinator.rs", DRILL_COORD, &sources);
-    assert_eq!(findings.len(), 1, "{findings:#?}");
-    assert!(findings[0].message.contains("`wal_rotations`"));
-    // `recovery_probe_ok` is asserted by the fixture's test region and
-    // `CoordEvent::SplitDone` is named there too — both must stay silent.
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`wal_rotations`")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("`window_full_stalls`")));
+    // `recovery_probe_ok` and `inflight_launched` are asserted by the
+    // fixture's test region and `CoordEvent::SplitDone` is named there
+    // too — all three must stay silent.
 }
 
 #[test]
